@@ -1,0 +1,640 @@
+//! Programmatic kernel construction with forward-label patching.
+
+use scratch_isa::{Fields, Instruction, Opcode, Operand, SmrdOffset};
+
+use crate::{AsmError, Kernel, KernelMeta};
+
+/// A branch target handle created by [`KernelBuilder::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Inst(Instruction),
+    Branch { opcode: Opcode, target: Label },
+}
+
+impl Slot {
+    fn size_words(&self) -> usize {
+        match self {
+            Slot::Inst(i) => i.size_words(),
+            Slot::Branch { .. } => 1,
+        }
+    }
+}
+
+/// Incrementally builds a [`Kernel`], standing in for the CodeXL compiler of
+/// the paper's toolchain.
+///
+/// Instructions are validated as they are pushed; branches take [`Label`]s
+/// whose 16-bit word offsets are resolved by [`KernelBuilder::finish`].
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    slots: Vec<Slot>,
+    labels: Vec<Option<usize>>,
+    meta: KernelMeta,
+}
+
+impl KernelBuilder {
+    /// Start a new kernel with default metadata.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            slots: Vec::new(),
+            labels: Vec::new(),
+            meta: KernelMeta::default(),
+        }
+    }
+
+    /// Set the SGPR budget reported to the dispatcher.
+    pub fn sgprs(&mut self, n: u8) -> &mut Self {
+        self.meta.sgprs = n;
+        self
+    }
+
+    /// Set the VGPR budget reported to the dispatcher.
+    pub fn vgprs(&mut self, n: u8) -> &mut Self {
+        self.meta.vgprs = n;
+        self
+    }
+
+    /// Set the per-workgroup LDS allocation, in bytes.
+    pub fn lds_bytes(&mut self, n: u32) -> &mut Self {
+        self.meta.lds_bytes = n;
+        self
+    }
+
+    /// Set the workgroup size, in work-items.
+    pub fn workgroup_size(&mut self, n: u32) -> &mut Self {
+        self.meta.workgroup_size = n;
+        self
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateLabel`] if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(AsmError::DuplicateLabel {
+                name: format!("L{}", label.0),
+            });
+        }
+        *slot = Some(self.slots.len());
+        Ok(())
+    }
+
+    /// Append a pre-built instruction.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.slots.push(Slot::Inst(inst));
+        self
+    }
+
+    /// Choose the cheapest operand encoding for a 32-bit constant: an inline
+    /// constant when the value fits `-16..=64`, a literal otherwise.
+    #[must_use]
+    pub fn const_u32(value: u32) -> Operand {
+        let signed = value as i32;
+        if (-16..=64).contains(&signed) {
+            Operand::IntConst(signed as i8)
+        } else {
+            Operand::Literal(value)
+        }
+    }
+
+    /// Choose the cheapest operand encoding for an `f32` constant.
+    #[must_use]
+    pub fn const_f32(value: f32) -> Operand {
+        if Operand::INLINE_FLOATS
+            .iter()
+            .any(|&c| c.to_bits() == value.to_bits())
+        {
+            Operand::FloatConst(value)
+        } else {
+            Operand::Literal(value.to_bits())
+        }
+    }
+
+    /// Append a SOP2 instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn sop2(
+        &mut self,
+        opcode: Opcode,
+        sdst: Operand,
+        ssrc0: Operand,
+        ssrc1: Operand,
+    ) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Sop2 { sdst, ssrc0, ssrc1 })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a SOPK instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn sopk(&mut self, opcode: Opcode, sdst: Operand, simm16: i16) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Sopk { sdst, simm16 })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a SOP1 instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn sop1(&mut self, opcode: Opcode, sdst: Operand, ssrc0: Operand) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Sop1 { sdst, ssrc0 })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a SOPC (scalar compare) instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn sopc(&mut self, opcode: Opcode, ssrc0: Operand, ssrc1: Operand) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Sopc { ssrc0, ssrc1 })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a SOPP instruction with a raw immediate (`s_endpgm`,
+    /// `s_barrier`, `s_waitcnt`, …). Use [`KernelBuilder::branch`] for
+    /// label-targeted branches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn sopp(&mut self, opcode: Opcode, simm16: u16) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Sopp { simm16 })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a branch (`s_branch` / `s_cbranch_*`) to `target`.
+    pub fn branch(&mut self, opcode: Opcode, target: Label) -> &mut Self {
+        self.slots.push(Slot::Branch { opcode, target });
+        self
+    }
+
+    /// Append an SMRD scalar load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn smrd(
+        &mut self,
+        opcode: Opcode,
+        sdst: Operand,
+        sbase: u8,
+        offset: SmrdOffset,
+    ) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Smrd { sdst, sbase, offset })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a VOP2 instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn vop2(
+        &mut self,
+        opcode: Opcode,
+        vdst: u8,
+        src0: Operand,
+        vsrc1: u8,
+    ) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Vop2 { vdst, src0, vsrc1 })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a VOP1 instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn vop1(&mut self, opcode: Opcode, vdst: u8, src0: Operand) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Vop1 { vdst, src0 })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a VOPC compare writing VCC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn vopc(&mut self, opcode: Opcode, src0: Operand, vsrc1: u8) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(opcode, Fields::Vopc { src0, vsrc1 })?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a VOP3a instruction (no modifiers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn vop3a(
+        &mut self,
+        opcode: Opcode,
+        vdst: u8,
+        src0: Operand,
+        src1: Operand,
+        src2: Option<Operand>,
+    ) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(
+            opcode,
+            Fields::Vop3a {
+                vdst,
+                src0,
+                src1,
+                src2,
+                abs: 0,
+                neg: 0,
+                clamp: false,
+                omod: 0,
+            },
+        )?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a VOP3b instruction (compare / carry with explicit scalar
+    /// destination).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn vop3b(
+        &mut self,
+        opcode: Opcode,
+        vdst: u8,
+        sdst: Operand,
+        src0: Operand,
+        src1: Operand,
+        src2: Option<Operand>,
+    ) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(
+            opcode,
+            Fields::Vop3b {
+                vdst,
+                sdst,
+                src0,
+                src1,
+                src2,
+            },
+        )?;
+        Ok(self.push(inst))
+    }
+
+    /// Append an LDS read: `vdst = LDS[v(addr) + offset]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn ds_read(&mut self, opcode: Opcode, vdst: u8, addr: u8, offset: u8) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(
+            opcode,
+            Fields::Ds {
+                vdst,
+                addr,
+                data0: 0,
+                data1: 0,
+                offset0: offset,
+                offset1: 0,
+                gds: false,
+            },
+        )?;
+        Ok(self.push(inst))
+    }
+
+    /// Append an LDS write / atomic: `LDS[v(addr) + offset] op= v(data0)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn ds_write(
+        &mut self,
+        opcode: Opcode,
+        addr: u8,
+        data0: u8,
+        offset: u8,
+    ) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(
+            opcode,
+            Fields::Ds {
+                vdst: 0,
+                addr,
+                data0,
+                data1: 0,
+                offset0: offset,
+                offset1: 0,
+                gds: false,
+            },
+        )?;
+        Ok(self.push(inst))
+    }
+
+    /// Append a MUBUF access with `offen` addressing
+    /// (`addr = base + v(vaddr) + offset`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn mubuf(
+        &mut self,
+        opcode: Opcode,
+        vdata: u8,
+        vaddr: u8,
+        srsrc: u8,
+        soffset: Operand,
+        offset: u16,
+    ) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(
+            opcode,
+            Fields::Mubuf {
+                vdata,
+                vaddr,
+                srsrc,
+                soffset,
+                offset,
+                offen: true,
+                idxen: false,
+                glc: false,
+            },
+        )?;
+        Ok(self.push(inst))
+    }
+
+    /// Append an MTBUF access with `offen` addressing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn mtbuf(
+        &mut self,
+        opcode: Opcode,
+        vdata: u8,
+        vaddr: u8,
+        srsrc: u8,
+        soffset: Operand,
+        offset: u16,
+    ) -> Result<&mut Self, AsmError> {
+        let inst = Instruction::new(
+            opcode,
+            Fields::Mtbuf {
+                vdata,
+                vaddr,
+                srsrc,
+                soffset,
+                offset,
+                offen: true,
+                idxen: false,
+                dfmt: 4,
+                nfmt: 4,
+            },
+        )?;
+        Ok(self.push(inst))
+    }
+
+    /// Append `s_waitcnt` for the given counters (`None` = don't wait).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn waitcnt(&mut self, vmcnt: Option<u8>, lgkmcnt: Option<u8>) -> Result<&mut Self, AsmError> {
+        self.sopp(Opcode::SWaitcnt, waitcnt_imm(vmcnt, lgkmcnt))
+    }
+
+    /// Append `s_endpgm`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand validation failures.
+    pub fn endpgm(&mut self) -> Result<&mut Self, AsmError> {
+        self.sopp(Opcode::SEndpgm, 0)
+    }
+
+    /// Number of instructions appended so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no instructions have been appended.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Resolve labels, encode, and produce the [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// * [`AsmError::UnboundLabel`] for branches to labels never bound;
+    /// * [`AsmError::BranchOutOfRange`] when a branch offset exceeds ±32767
+    ///   words;
+    /// * [`AsmError::MissingEndpgm`] when the kernel cannot terminate.
+    pub fn finish(&self) -> Result<Kernel, AsmError> {
+        let has_end = self.slots.iter().any(|s| match s {
+            Slot::Inst(i) => i.opcode == Opcode::SEndpgm,
+            Slot::Branch { .. } => false,
+        });
+        if !has_end {
+            return Err(AsmError::MissingEndpgm);
+        }
+
+        // First pass: word offset of every slot (sizes are label-independent).
+        let mut offsets = Vec::with_capacity(self.slots.len() + 1);
+        let mut pos = 0usize;
+        for slot in &self.slots {
+            offsets.push(pos);
+            pos += slot.size_words();
+        }
+        offsets.push(pos);
+
+        // Second pass: encode, patching branch offsets.
+        let mut words = Vec::with_capacity(pos);
+        for (idx, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Slot::Inst(inst) => words.extend(inst.encode()?),
+                Slot::Branch { opcode, target } => {
+                    let bound = self.labels[target.0].ok_or_else(|| AsmError::UnboundLabel {
+                        name: format!("L{}", target.0),
+                    })?;
+                    let target_word = offsets[bound] as i64;
+                    // Offset is relative to the word after the branch.
+                    let delta = target_word - (offsets[idx] as i64 + 1);
+                    let simm = i16::try_from(delta).map_err(|_| AsmError::BranchOutOfRange {
+                        name: format!("L{}", target.0),
+                        offset: delta,
+                    })?;
+                    let inst = Instruction::new(
+                        *opcode,
+                        Fields::Sopp {
+                            simm16: simm as u16,
+                        },
+                    )?;
+                    words.extend(inst.encode()?);
+                }
+            }
+        }
+
+        Ok(Kernel::from_words(self.name.clone(), words, self.meta))
+    }
+}
+
+/// Build the `s_waitcnt` immediate: `vmcnt` in bits \[3:0\], `lgkmcnt` in
+/// bits \[12:8\]; `None` leaves the counter at its "don't wait" maximum.
+#[must_use]
+pub fn waitcnt_imm(vmcnt: Option<u8>, lgkmcnt: Option<u8>) -> u16 {
+    let vm = u16::from(vmcnt.unwrap_or(0xf).min(0xf));
+    let lgkm = u16::from(lgkmcnt.unwrap_or(0x1f).min(0x1f));
+    // expcnt (bits 6:4) is kept at don't-care, as MIAOW has no export unit.
+    vm | (0x7 << 4) | (lgkm << 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_isa::Instruction;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut b = KernelBuilder::new("loop");
+        let top = b.new_label();
+        let done = b.new_label();
+        b.sopk(Opcode::SMovkI32, Operand::Sgpr(0), 4).unwrap();
+        b.bind(top).unwrap();
+        b.sop2(
+            Opcode::SSubI32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(0),
+            Operand::IntConst(1),
+        )
+        .unwrap();
+        b.sopc(Opcode::SCmpEqI32, Operand::Sgpr(0), Operand::IntConst(0))
+            .unwrap();
+        b.branch(Opcode::SCbranchScc1, done);
+        b.branch(Opcode::SBranch, top);
+        b.bind(done).unwrap();
+        b.endpgm().unwrap();
+        let kernel = b.finish().unwrap();
+
+        let insts = kernel.instructions().unwrap();
+        assert_eq!(insts.len(), 6);
+        // s_cbranch_scc1 at word 3 jumps to word 5: offset +1.
+        let (_, cb) = insts[3];
+        match cb.fields {
+            Fields::Sopp { simm16 } => assert_eq!(simm16 as i16, 1),
+            other => panic!("unexpected fields {other:?}"),
+        }
+        // s_branch at word 4 jumps back to word 1: offset -4.
+        let (_, br) = insts[4];
+        match br.fields {
+            Fields::Sopp { simm16 } => assert_eq!(simm16 as i16, -4),
+            other => panic!("unexpected fields {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_offsets_account_for_wide_instructions() {
+        let mut b = KernelBuilder::new("wide");
+        let done = b.new_label();
+        // 2-word instruction (literal) between branch and target.
+        b.branch(Opcode::SBranch, done);
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(0), Operand::Literal(0xabcd))
+            .unwrap();
+        b.bind(done).unwrap();
+        b.endpgm().unwrap();
+        let kernel = b.finish().unwrap();
+        let insts = kernel.instructions().unwrap();
+        let (_, br) = insts[0];
+        match br.fields {
+            Fields::Sopp { simm16 } => assert_eq!(simm16 as i16, 2),
+            other => panic!("unexpected fields {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let mut b = KernelBuilder::new("bad");
+        let l = b.new_label();
+        b.branch(Opcode::SBranch, l);
+        b.endpgm().unwrap();
+        assert!(matches!(b.finish(), Err(AsmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut b = KernelBuilder::new("bad");
+        let l = b.new_label();
+        b.bind(l).unwrap();
+        assert!(matches!(b.bind(l), Err(AsmError::DuplicateLabel { .. })));
+    }
+
+    #[test]
+    fn missing_endpgm_rejected() {
+        let mut b = KernelBuilder::new("bad");
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(0), Operand::Sgpr(1))
+            .unwrap();
+        assert_eq!(b.finish().unwrap_err(), AsmError::MissingEndpgm);
+    }
+
+    #[test]
+    fn const_selection() {
+        assert_eq!(KernelBuilder::const_u32(7), Operand::IntConst(7));
+        assert_eq!(KernelBuilder::const_u32(64), Operand::IntConst(64));
+        assert_eq!(KernelBuilder::const_u32(65), Operand::Literal(65));
+        assert_eq!(
+            KernelBuilder::const_u32(0xffff_fff0),
+            Operand::IntConst(-16)
+        );
+        assert_eq!(KernelBuilder::const_f32(1.0), Operand::FloatConst(1.0));
+        assert_eq!(
+            KernelBuilder::const_f32(3.5),
+            Operand::Literal(3.5f32.to_bits())
+        );
+    }
+
+    #[test]
+    fn waitcnt_bitfield() {
+        assert_eq!(waitcnt_imm(Some(0), None) & 0xf, 0);
+        assert_eq!(waitcnt_imm(None, Some(0)) >> 8, 0);
+        assert_eq!(waitcnt_imm(None, None) & 0xf, 0xf);
+        assert_eq!(waitcnt_imm(None, None) >> 8, 0x1f);
+    }
+
+    #[test]
+    fn meta_builders() {
+        let mut b = KernelBuilder::new("m");
+        b.sgprs(12).vgprs(6).lds_bytes(256).workgroup_size(128);
+        b.endpgm().unwrap();
+        let k = b.finish().unwrap();
+        assert_eq!(k.meta().sgprs, 12);
+        assert_eq!(k.meta().vgprs, 6);
+        assert_eq!(k.meta().lds_bytes, 256);
+        assert_eq!(k.meta().workgroup_size, 128);
+    }
+
+    #[test]
+    fn push_accepts_prebuilt() {
+        let inst = Instruction::new(Opcode::SEndpgm, Fields::Sopp { simm16: 0 }).unwrap();
+        let mut b = KernelBuilder::new("p");
+        b.push(inst);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        b.finish().unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+use std::fmt;
+
+use scratch_isa::IsaError;
+
+/// Errors produced while building, assembling or disassembling kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// An underlying ISA-level construction or encoding failure.
+    Isa(IsaError),
+    /// A label was referenced but never bound to a position.
+    UnboundLabel {
+        /// Label name (builder labels are synthesised as `L<n>`).
+        name: String,
+    },
+    /// A label was bound more than once.
+    DuplicateLabel {
+        /// Label name.
+        name: String,
+    },
+    /// A branch target is too far away for the 16-bit word offset.
+    BranchOutOfRange {
+        /// Label name.
+        name: String,
+        /// Required offset, in words.
+        offset: i64,
+    },
+    /// Text-assembly syntax error.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The kernel contains no `s_endpgm`, so execution would run off the end.
+    MissingEndpgm,
+}
+
+impl AsmError {
+    /// Convenience constructor for syntax errors.
+    pub(crate) fn syntax(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Isa(e) => write!(f, "isa error: {e}"),
+            AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::DuplicateLabel { name } => write!(f, "label `{name}` bound twice"),
+            AsmError::BranchOutOfRange { name, offset } => {
+                write!(f, "branch to `{name}` needs offset {offset} words (max ±32767)")
+            }
+            AsmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::MissingEndpgm => write!(f, "kernel has no s_endpgm"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for AsmError {
+    fn from(e: IsaError) -> Self {
+        AsmError::Isa(e)
+    }
+}

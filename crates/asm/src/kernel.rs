@@ -1,0 +1,120 @@
+//! Compiled kernel artifacts.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_isa::Instruction;
+
+use crate::AsmError;
+
+/// Launch metadata for a kernel — the information CodeXL's ISA dump provides
+/// so the ultra-threaded dispatcher (MicroBlaze in the paper) can initialise
+/// compute-unit state before starting a workgroup (§2.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelMeta {
+    /// Number of SGPRs the kernel uses per wavefront.
+    pub sgprs: u8,
+    /// Number of VGPRs the kernel uses per work-item.
+    pub vgprs: u8,
+    /// Bytes of LDS (local data share) allocated per workgroup.
+    pub lds_bytes: u32,
+    /// Work-items per workgroup (a multiple of the 64-lane wavefront in
+    /// every paper benchmark).
+    pub workgroup_size: u32,
+}
+
+impl Default for KernelMeta {
+    fn default() -> Self {
+        KernelMeta {
+            sgprs: 32,
+            vgprs: 16,
+            lds_bytes: 0,
+            workgroup_size: 64,
+        }
+    }
+}
+
+/// A compiled kernel: Southern Islands machine words plus launch metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    name: String,
+    words: Vec<u32>,
+    meta: KernelMeta,
+}
+
+impl Kernel {
+    /// Wrap raw machine words as a kernel.
+    #[must_use]
+    pub fn from_words(name: impl Into<String>, words: Vec<u32>, meta: KernelMeta) -> Kernel {
+        Kernel {
+            name: name.into(),
+            words,
+            meta,
+        }
+    }
+
+    /// Kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Raw machine words.
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Launch metadata.
+    #[must_use]
+    pub fn meta(&self) -> &KernelMeta {
+        &self.meta
+    }
+
+    /// Size of the binary in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Decode the binary into `(word offset, instruction)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the binary contains undecodable words (e.g. it was built for
+    /// an unsupported instruction set).
+    pub fn instructions(&self) -> Result<Vec<(usize, Instruction)>, AsmError> {
+        Ok(Instruction::decode_all(&self.words)?)
+    }
+
+    /// Disassemble to CodeXL-like text (see [`crate::disassemble`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the binary contains undecodable words.
+    pub fn disassemble(&self) -> Result<String, AsmError> {
+        crate::disassemble(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_isa::{Fields, Opcode};
+
+    #[test]
+    fn roundtrips_raw_words() {
+        let end = Instruction::new(Opcode::SEndpgm, Fields::Sopp { simm16: 0 }).unwrap();
+        let k = Kernel::from_words("k", end.encode().unwrap(), KernelMeta::default());
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.size_bytes(), 4);
+        let insts = k.instructions().unwrap();
+        assert_eq!(insts.len(), 1);
+        assert_eq!(insts[0].1.opcode, Opcode::SEndpgm);
+    }
+
+    #[test]
+    fn undecodable_binary_reports_error() {
+        let k = Kernel::from_words("bad", vec![0xffff_ffff], KernelMeta::default());
+        assert!(k.instructions().is_err());
+    }
+}

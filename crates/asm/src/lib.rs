@@ -1,0 +1,47 @@
+//! # scratch-asm
+//!
+//! Assembler, disassembler and programmatic kernel builder for the
+//! Southern Islands binaries consumed by the SCRATCH toolchain.
+//!
+//! In the paper's flow, AMD CodeXL compiles OpenCL kernels and its ISA dump
+//! (assembly text + register metadata) feeds both the trimming tool and the
+//! MicroBlaze loader. This crate stands in for that path:
+//!
+//! * [`Kernel`] — a compiled kernel: machine words plus launch metadata
+//!   (SGPR/VGPR counts, LDS size) as CodeXL reports them;
+//! * [`KernelBuilder`] — programmatic emission with forward-label patching,
+//!   used by `scratch-kernels` to author the benchmark suite;
+//! * [`assemble`] / [`disassemble`] — text assembly in CodeXL-like syntax,
+//!   round-trip safe.
+//!
+//! # Examples
+//!
+//! ```
+//! use scratch_asm::KernelBuilder;
+//! use scratch_isa::{Opcode, Operand};
+//!
+//! # fn main() -> Result<(), scratch_asm::AsmError> {
+//! let mut b = KernelBuilder::new("double_tid");
+//! // v1 = v0 + v0  (v0 is pre-initialised with the work-item id)
+//! b.vop2(Opcode::VAddI32, 1, Operand::Vgpr(0), 0)?;
+//! b.sopp(Opcode::SEndpgm, 0)?;
+//! let kernel = b.finish()?;
+//! assert_eq!(kernel.instructions()?.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod disasm;
+mod error;
+mod kernel;
+mod parser;
+
+pub use builder::{KernelBuilder, Label};
+pub use disasm::disassemble;
+pub use error::AsmError;
+pub use kernel::{Kernel, KernelMeta};
+pub use parser::assemble;

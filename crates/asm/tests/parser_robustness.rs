@@ -1,0 +1,69 @@
+//! Robustness: the assembler must reject arbitrary garbage with an error,
+//! never a panic, and must report accurate line numbers.
+
+use proptest::prelude::*;
+use scratch_asm::{assemble, AsmError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary text never panics the assembler.
+    #[test]
+    fn arbitrary_text_never_panics(text in ".{0,400}") {
+        let _ = assemble(&text);
+    }
+
+    /// Arbitrary lines spliced between valid instructions never panic and
+    /// keep line numbers accurate.
+    #[test]
+    fn garbage_line_reports_its_number(
+        garbage in "[a-z_]{1,12}( [a-z0-9_,\\[\\]]{1,10}){0,3}",
+        prefix_lines in 0usize..5,
+    ) {
+        // Skip inputs that accidentally form valid assembly.
+        prop_assume!(scratch_isa::Opcode::from_mnemonic(
+            garbage.split_whitespace().next().unwrap_or("")
+        ).is_none());
+        let mut text = String::new();
+        for _ in 0..prefix_lines {
+            text.push_str("s_mov_b32 s0, s1\n");
+        }
+        text.push_str(&garbage);
+        text.push('\n');
+        text.push_str("s_endpgm\n");
+        match assemble(&text) {
+            Err(AsmError::Syntax { line, .. }) => {
+                prop_assert_eq!(line, prefix_lines + 1);
+            }
+            other => prop_assert!(false, "expected syntax error, got {:?}", other),
+        }
+    }
+
+    /// Valid numeric immediates in any radix parse consistently.
+    #[test]
+    fn numeric_immediates_roundtrip(v in any::<i16>()) {
+        let text = format!(".kernel n\ns_movk_i32 s0, {v}\ns_endpgm\n");
+        let kernel = assemble(&text).unwrap();
+        let insts = kernel.instructions().unwrap();
+        match insts[0].1.fields {
+            scratch_isa::Fields::Sopk { simm16, .. } => prop_assert_eq!(simm16, v),
+            ref other => prop_assert!(false, "unexpected fields {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn empty_and_comment_only_inputs() {
+    assert!(matches!(assemble(""), Err(AsmError::MissingEndpgm)));
+    assert!(matches!(
+        assemble("// nothing here\n; or here\n"),
+        Err(AsmError::MissingEndpgm)
+    ));
+    assert!(assemble("s_endpgm // trailing comment\n").is_ok());
+}
+
+#[test]
+fn duplicate_text_labels_rejected() {
+    let text = "a:\ns_endpgm\na:\n";
+    assert!(matches!(assemble(text), Err(AsmError::Syntax { .. })));
+}

@@ -1,0 +1,284 @@
+//! Property test: `assemble(disassemble(k))` reproduces the binary exactly,
+//! for kernels of random instructions drawn from every format family.
+
+use proptest::prelude::*;
+use scratch_asm::{assemble, disassemble, Kernel, KernelMeta};
+use scratch_isa::{Fields, Instruction, Opcode, Operand, SmrdOffset};
+
+fn scalar_dst() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..100).prop_map(Operand::Sgpr),
+        Just(Operand::VccLo),
+        Just(Operand::ExecLo),
+        Just(Operand::M0),
+    ]
+}
+
+fn scalar_src() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..100).prop_map(Operand::Sgpr),
+        Just(Operand::VccLo),
+        Just(Operand::ExecLo),
+        (-16i8..=64).prop_map(Operand::IntConst),
+        any::<u32>().prop_map(Operand::Literal),
+    ]
+}
+
+fn vector_src() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        scalar_src(),
+        any::<u8>().prop_map(Operand::Vgpr),
+        (0usize..8).prop_map(|i| Operand::FloatConst(Operand::INLINE_FLOATS[i])),
+    ]
+}
+
+fn no_lit(op: Operand) -> Operand {
+    match op {
+        Operand::Literal(_) => Operand::IntConst(1),
+        o => o,
+    }
+}
+
+fn opcode_of(pred: fn(&Opcode) -> bool) -> impl Strategy<Value = Opcode> {
+    prop::sample::select(
+        Opcode::ALL
+            .iter()
+            .copied()
+            .filter(pred)
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn arb_inst() -> impl Strategy<Value = Instruction> {
+    use scratch_isa::Format as F;
+    prop_oneof![
+        (
+            opcode_of(|o| o.format() == F::Sop2),
+            scalar_dst(),
+            scalar_src(),
+            scalar_src()
+        )
+            .prop_filter_map("v", |(op, d, a, b)| {
+                if a.is_literal() && b.is_literal() {
+                    return None;
+                }
+                Instruction::new(op, Fields::Sop2 { sdst: d, ssrc0: a, ssrc1: b }).ok()
+            }),
+        (opcode_of(|o| o.format() == F::Sopk), scalar_dst(), any::<i16>())
+            .prop_filter_map("v", |(op, d, i)| {
+                Instruction::new(op, Fields::Sopk { sdst: d, simm16: i }).ok()
+            }),
+        (opcode_of(|o| o.format() == F::Sop1), scalar_dst(), scalar_src())
+            .prop_filter_map("v", |(op, d, a)| {
+                Instruction::new(op, Fields::Sop1 { sdst: d, ssrc0: a }).ok()
+            }),
+        (opcode_of(|o| o.format() == F::Sopc), scalar_src(), scalar_src())
+            .prop_filter_map("v", |(op, a, b)| {
+                if a.is_literal() && b.is_literal() {
+                    return None;
+                }
+                Instruction::new(op, Fields::Sopc { ssrc0: a, ssrc1: b }).ok()
+            }),
+        (
+            opcode_of(|o| o.format() == F::Smrd),
+            scalar_dst(),
+            (0u8..50).prop_map(|n| n * 2),
+            prop_oneof![
+                (0u8..=255).prop_map(SmrdOffset::Imm),
+                (0u8..100).prop_map(SmrdOffset::Sgpr)
+            ]
+        )
+            .prop_filter_map("v", |(op, d, b, off)| {
+                Instruction::new(op, Fields::Smrd { sdst: d, sbase: b, offset: off }).ok()
+            }),
+        (
+            opcode_of(|o| o.format() == F::Vop2),
+            any::<u8>(),
+            vector_src(),
+            any::<u8>()
+        )
+            .prop_filter_map("v", |(op, d, a, b)| {
+                Instruction::new(op, Fields::Vop2 { vdst: d, src0: a, vsrc1: b }).ok()
+            }),
+        (opcode_of(|o| o.format() == F::Vop1), any::<u8>(), vector_src())
+            .prop_filter_map("v", |(op, d, a)| {
+                Instruction::new(op, Fields::Vop1 { vdst: d, src0: a }).ok()
+            }),
+        (opcode_of(|o| o.format() == F::Vopc), vector_src(), any::<u8>())
+            .prop_filter_map("v", |(op, a, b)| {
+                Instruction::new(op, Fields::Vopc { src0: a, vsrc1: b }).ok()
+            }),
+        (
+            opcode_of(|o| o.format() == F::Vopc),
+            (0u8..50).prop_map(|n| n * 2),
+            vector_src(),
+            vector_src()
+        )
+            .prop_filter_map("v", |(op, sd, a, b)| {
+                Instruction::new(
+                    op,
+                    Fields::Vop3b {
+                        vdst: 0,
+                        sdst: Operand::Sgpr(sd),
+                        src0: no_lit(a),
+                        src1: no_lit(b),
+                        src2: None,
+                    },
+                )
+                .ok()
+            }),
+        (
+            opcode_of(|o| o.format() == F::Vop3a),
+            any::<u8>(),
+            vector_src(),
+            vector_src(),
+            vector_src()
+        )
+            .prop_filter_map("v", |(op, d, a, b, c)| {
+                let src2 = (op.src_count() == 3).then_some(no_lit(c));
+                Instruction::new(
+                    op,
+                    Fields::Vop3a {
+                        vdst: d,
+                        src0: no_lit(a),
+                        src1: no_lit(b),
+                        src2,
+                        abs: 0,
+                        neg: 0,
+                        clamp: false,
+                        omod: 0,
+                    },
+                )
+                .ok()
+            }),
+        (
+            opcode_of(|o| o.format() == F::Ds),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>()
+        )
+            .prop_filter_map("v", |(op, vd, addr, d0, d1, off)| {
+                let two = matches!(op, Opcode::DsRead2B32 | Opcode::DsWrite2B32);
+                Instruction::new(
+                    op,
+                    Fields::Ds {
+                        vdst: vd,
+                        addr,
+                        data0: d0,
+                        data1: if two { d1 } else { 0 },
+                        offset0: off,
+                        offset1: if two { off / 2 } else { 0 },
+                        gds: false,
+                    },
+                )
+                .ok()
+            }),
+        (
+            opcode_of(|o| o.format() == F::Mubuf),
+            any::<u8>(),
+            any::<u8>(),
+            (0u8..26).prop_map(|n| n * 4),
+            prop_oneof![(0u8..100).prop_map(Operand::Sgpr), Just(Operand::IntConst(0))],
+            0u16..0x1000,
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_filter_map("v", |(op, vd, va, sr, so, off, offen, glc)| {
+                Instruction::new(
+                    op,
+                    Fields::Mubuf {
+                        vdata: vd,
+                        vaddr: va,
+                        srsrc: sr,
+                        soffset: so,
+                        offset: off,
+                        offen,
+                        idxen: false,
+                        glc,
+                    },
+                )
+                .ok()
+            }),
+        (
+            opcode_of(|o| o.format() == F::Mtbuf),
+            any::<u8>(),
+            any::<u8>(),
+            (0u8..26).prop_map(|n| n * 4),
+            0u16..0x1000,
+            any::<bool>()
+        )
+            .prop_filter_map("v", |(op, vd, va, sr, off, offen)| {
+                Instruction::new(
+                    op,
+                    Fields::Mtbuf {
+                        vdata: vd,
+                        vaddr: va,
+                        srsrc: sr,
+                        soffset: Operand::IntConst(0),
+                        offset: off,
+                        offen,
+                        idxen: false,
+                        dfmt: 4,
+                        nfmt: 4,
+                    },
+                )
+                .ok()
+            }),
+    ]
+}
+
+// DS vdst on stores/atomics is "don't care" in the text form; normalise it
+// (and the unused data fields of reads) the way the parser reconstructs them.
+fn normalise(inst: Instruction) -> Instruction {
+    match inst.fields {
+        Fields::Ds {
+            addr,
+            data0,
+            data1,
+            offset0,
+            offset1,
+            gds,
+            vdst,
+        } => {
+            let op = inst.opcode;
+            let is_read = matches!(op, Opcode::DsReadB32 | Opcode::DsRead2B32);
+            let fields = Fields::Ds {
+                vdst: if is_read { vdst } else { 0 },
+                addr,
+                data0: if is_read { 0 } else { data0 },
+                data1: if matches!(op, Opcode::DsWrite2B32) { data1 } else { 0 },
+                offset0,
+                offset1,
+                gds,
+            };
+            Instruction::new(op, fields).unwrap()
+        }
+        _ => inst,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn text_roundtrip(insts in prop::collection::vec(arb_inst(), 1..40)) {
+        let mut words = Vec::new();
+        for inst in &insts {
+            words.extend(normalise(*inst).encode().unwrap());
+        }
+        // Terminate so the kernel is well-formed.
+        words.extend(
+            Instruction::new(Opcode::SEndpgm, Fields::Sopp { simm16: 0 })
+                .unwrap()
+                .encode()
+                .unwrap(),
+        );
+        let kernel = Kernel::from_words("prop", words.clone(), KernelMeta::default());
+        let text = disassemble(&kernel).expect("disassemble");
+        let back = assemble(&text).unwrap_or_else(|e| panic!("assemble failed: {e}\n{text}"));
+        prop_assert_eq!(back.words(), &words[..], "text:\n{}", text);
+        prop_assert_eq!(back.meta(), kernel.meta());
+    }
+}

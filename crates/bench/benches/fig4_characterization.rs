@@ -1,0 +1,34 @@
+//! Criterion wrapper for the Fig. 4 characterisation: dynamic
+//! instruction-mix profiling of representative kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scratch_core::DynamicMix;
+use scratch_kernels::{conv2d::Conv2d, micro::Reduction, vec_ops::MatrixAdd, Benchmark};
+use scratch_system::{SystemConfig, SystemKind};
+
+fn characterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_characterization");
+    group.sample_size(10);
+    let benches: Vec<(&str, Box<dyn Benchmark>)> = vec![
+        ("matrix_add_int", Box::new(MatrixAdd::new(32, false))),
+        ("conv2d_int_k3", Box::new(Conv2d::new(32, 3, false))),
+        ("reduction_lds", Box::new(Reduction::new(512))),
+    ];
+    for (name, bench) in benches {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = bench
+                    .run(SystemConfig::preset(SystemKind::DcdPm))
+                    .expect("benchmark");
+                let mix = DynamicMix::of(&report.stats);
+                assert!(mix.total > 0);
+                mix
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, characterization);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion wrapper for the Fig. 6 compile-time path: static analysis,
+//! trimming (Algorithm 1), the synthesis resource/power model, and the
+//! freed-area allocators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scratch_core::{trim_kernels, Scratch};
+use scratch_fpga::ParallelPlan;
+use scratch_kernels::{cnn::Cnn, conv2d::Conv2d, transpose::Transpose, Benchmark};
+use scratch_system::SystemKind;
+
+fn trimming_tool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_trimming");
+    let scratch = Scratch::new();
+    let apps: Vec<(&str, Box<dyn Benchmark>)> = vec![
+        ("conv2d_int", Box::new(Conv2d::new(64, 5, false))),
+        ("transpose", Box::new(Transpose::new(64))),
+        ("cnn_int_multi_kernel", Box::new(Cnn::new(8, false))),
+    ];
+    for (name, app) in &apps {
+        let kernels = app.kernels().expect("kernels");
+        group.bench_function(format!("trim/{name}"), |b| {
+            b.iter(|| trim_kernels(&kernels).expect("trim"));
+        });
+        let trim = trim_kernels(&kernels).unwrap();
+        group.bench_function(format!("synthesize/{name}"), |b| {
+            b.iter(|| {
+                scratch.synthesize(
+                    SystemKind::DcdPm,
+                    Some(&trim),
+                    ParallelPlan::baseline(trim.uses_fp),
+                )
+            });
+        });
+        group.bench_function(format!("allocate/{name}"), |b| {
+            b.iter(|| {
+                (
+                    scratch.plan_multicore(&trim, 3),
+                    scratch.plan_multithread(&trim, 4),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, trimming_tool);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion wrapper for Fig. 7: the trimmed multi-core and multi-thread
+//! designs against the baseline on the 2-D convolution workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scratch_core::{configure, trim_kernels, Scratch};
+use scratch_fpga::ParallelPlan;
+use scratch_kernels::{conv2d::Conv2d, Benchmark};
+use scratch_system::SystemKind;
+
+fn parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_parallelism");
+    group.sample_size(10);
+    let bench = Conv2d::new(32, 5, false);
+    let scratch = Scratch::new();
+    let trim = trim_kernels(&bench.kernels().unwrap()).unwrap();
+
+    let configs = [
+        ("baseline_1cu", configure(SystemKind::DcdPm, ParallelPlan::baseline(true), None)),
+        (
+            "multicore_3cu",
+            configure(
+                SystemKind::DcdPm,
+                scratch.plan_multicore(&trim, 3),
+                Some(&trim),
+            ),
+        ),
+        (
+            "multithread_4valu",
+            configure(
+                SystemKind::DcdPm,
+                scratch.plan_multithread(&trim, 4),
+                Some(&trim),
+            ),
+        ),
+    ];
+    let mut cycles = std::collections::HashMap::new();
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = bench.run(config.clone()).expect("run");
+                cycles.insert(name, r.cu_cycles);
+                r.cu_cycles
+            });
+        });
+    }
+    group.finish();
+    assert!(cycles["multicore_3cu"] < cycles["baseline_1cu"]);
+    assert!(cycles["multithread_4valu"] < cycles["baseline_1cu"]);
+}
+
+criterion_group!(benches, parallelism);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion wrapper for §4.1.2: the same workload on the Original, DCD
+//! and DCD+PM systems (the measured quantity is simulated time; criterion
+//! tracks harness wall time and the assertions keep the speedup shape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scratch_kernels::{vec_ops::MatrixAdd, Benchmark};
+use scratch_system::{SystemConfig, SystemKind};
+
+fn configurations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec41_speedups");
+    group.sample_size(10);
+    let bench = MatrixAdd::new(32, false);
+    let mut seconds = std::collections::HashMap::new();
+    for kind in [SystemKind::Original, SystemKind::Dcd, SystemKind::DcdPm] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let r = bench.run(SystemConfig::preset(kind)).expect("run");
+                seconds.insert(kind.label(), r.seconds);
+                r.cu_cycles
+            });
+        });
+    }
+    group.finish();
+    let orig = seconds["Original"];
+    let dcd = seconds["DCD"];
+    let pm = seconds["DCD+PM"];
+    assert!(orig > dcd && dcd > pm, "paper ordering must hold");
+    assert!(orig / pm > 4.0, "PM speedup {:.1}", orig / pm);
+}
+
+criterion_group!(benches, configurations);
+criterion_main!(benches);

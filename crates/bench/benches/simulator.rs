@@ -1,0 +1,106 @@
+//! Microbenchmarks of the substrates themselves: instruction
+//! encode/decode, text assembly, and raw compute-unit issue throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use scratch_asm::{assemble, KernelBuilder};
+use scratch_cu::{ComputeUnit, CuConfig, FixedLatencyMemory, WaveInit};
+use scratch_isa::{Instruction, Opcode, Operand};
+
+fn isa_codec(c: &mut Criterion) {
+    // A representative word stream.
+    let mut b = KernelBuilder::new("codec");
+    for i in 0..32u8 {
+        b.vop2(Opcode::VAddI32, i % 8, Operand::Sgpr(i % 16), i % 8)
+            .unwrap();
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(i % 16),
+            Operand::Sgpr((i + 1) % 16),
+            Operand::Literal(u32::from(i) * 1000),
+        )
+        .unwrap();
+        b.mubuf(Opcode::BufferLoadDword, 1, 2, 4, Operand::Sgpr(20), 16)
+            .unwrap();
+    }
+    b.endpgm().unwrap();
+    let kernel = b.finish().unwrap();
+    let words = kernel.words().to_vec();
+
+    let mut group = c.benchmark_group("isa_codec");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("decode_stream", |b| {
+        b.iter(|| Instruction::decode_all(&words).unwrap());
+    });
+    let insts: Vec<Instruction> = Instruction::decode_all(&words)
+        .unwrap()
+        .into_iter()
+        .map(|(_, i)| i)
+        .collect();
+    group.bench_function("encode_stream", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(words.len());
+            for inst in &insts {
+                out.extend(inst.encode().unwrap());
+            }
+            out
+        });
+    });
+    group.finish();
+}
+
+fn assembler(c: &mut Criterion) {
+    let mut b = KernelBuilder::new("asm");
+    for i in 0..64u8 {
+        b.vop2(Opcode::VAddI32, i % 8, Operand::IntConst((i % 32) as i8), i % 8)
+            .unwrap();
+    }
+    b.endpgm().unwrap();
+    let text = b.finish().unwrap().disassemble().unwrap();
+    c.bench_function("assemble_65_instructions", |b| {
+        b.iter(|| assemble(&text).unwrap());
+    });
+}
+
+fn cu_issue_throughput(c: &mut Criterion) {
+    // A pure-ALU kernel: measures the scheduler, scoreboard and executor.
+    let mut b = KernelBuilder::new("alu");
+    b.vgprs(8).sgprs(8);
+    for _ in 0..64 {
+        b.vop2(Opcode::VAddI32, 1, Operand::IntConst(1), 0).unwrap();
+        b.vop2(Opcode::VXorB32, 2, Operand::Vgpr(1), 2).unwrap();
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(0),
+            Operand::IntConst(1),
+        )
+        .unwrap();
+    }
+    b.endpgm().unwrap();
+    let kernel = b.finish().unwrap();
+
+    let mut group = c.benchmark_group("cu_pipeline");
+    group.throughput(Throughput::Elements(64 * 3 * 16));
+    group.bench_function("issue_16_waves", |b| {
+        b.iter(|| {
+            let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+            let wg = cu.add_workgroup();
+            for _ in 0..16 {
+                cu.start_wave(WaveInit {
+                    workgroup: wg,
+                    exec: u64::MAX,
+                    sgprs: vec![],
+                    vgprs: vec![(0, (0..64).collect())],
+                })
+                .unwrap();
+            }
+            let mut mem = FixedLatencyMemory::new(0, 0);
+            cu.run_to_completion(&mut mem).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, isa_codec, assembler, cu_issue_throughput);
+criterion_main!(benches);

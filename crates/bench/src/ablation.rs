@@ -1,0 +1,289 @@
+//! Ablation studies of the design choices the paper motivates but does not
+//! sweep directly: wavefront occupancy (latency hiding), VALU scaling,
+//! prefetch-capacity behaviour, datapath bit-width, and the §4.3
+//! per-kernel-trimming / partial-reconfiguration trade-off.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_core::{
+    analyze_per_kernel, configure, trim_kernels, PerKernelAnalysis, ReconfigModel, Scratch,
+};
+use scratch_cu::CuConfig;
+use scratch_fpga::{allocate_multicore_bits, cu_resources, power, CuShape, Device,
+    SystemProfile};
+use scratch_kernels::{
+    cnn::Cnn,
+    matmul::MatrixMul,
+    nin::Nin,
+    pooling::{Mode, Pooling},
+    BenchError, Benchmark,
+};
+use scratch_system::{SystemConfig, SystemKind};
+
+use crate::runner::Scale;
+
+/// One point of the wavefront-occupancy ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OccupancyPoint {
+    /// Maximum resident wavefronts.
+    pub max_wavefronts: u8,
+    /// Cycles for the workload.
+    pub cycles: u64,
+    /// Speedup relative to the single-wavefront configuration.
+    pub speedup_vs_one: f64,
+}
+
+/// Latency hiding: the same matmul with 1..40 resident wavefronts.
+/// MIAOW's 40-deep fetch controller is what makes the slow FPGA memory
+/// tolerable at all.
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn wavefront_occupancy(scale: Scale) -> Result<Vec<OccupancyPoint>, BenchError> {
+    let bench = MatrixMul::new(64, false);
+    let mut out = Vec::new();
+    let mut one = None;
+    for max in [1u8, 2, 4, 8, 16, 40] {
+        let cu = CuConfig {
+            max_wavefronts: max,
+            ..CuConfig::default()
+        };
+        let config = SystemConfig::preset(SystemKind::DcdPm).with_cu_config(cu);
+        let report = bench.run(config)?;
+        let cycles = report.cu_cycles;
+        let base = *one.get_or_insert(cycles);
+        out.push(OccupancyPoint {
+            max_wavefronts: max,
+            cycles,
+            speedup_vs_one: base as f64 / cycles as f64,
+        });
+    }
+    let _ = scale;
+    Ok(out)
+}
+
+/// One point of the VALU-scaling ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValuPoint {
+    /// Integer VALUs in the CU.
+    pub valus: u8,
+    /// Cycles for the workload.
+    pub cycles: u64,
+    /// Speedup relative to one VALU.
+    pub speedup_vs_one: f64,
+}
+
+/// Multi-thread scaling curve: 1..4 integer VALUs on the conv workload
+/// (Fig. 7B shows the endpoints; this is the whole curve).
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn valu_scaling(scale: Scale) -> Result<Vec<ValuPoint>, BenchError> {
+    let bench = scratch_kernels::conv2d::Conv2d::new(scale.pick(16, 64), 5, false);
+    let mut out = Vec::new();
+    let mut one = None;
+    for valus in 1u8..=4 {
+        let cu = CuConfig {
+            int_valus: valus,
+            ..CuConfig::default()
+        };
+        let config = SystemConfig::preset(SystemKind::DcdPm).with_cu_config(cu);
+        let report = bench.run(config)?;
+        let cycles = report.cu_cycles;
+        let base = *one.get_or_insert(cycles);
+        out.push(ValuPoint {
+            valus,
+            cycles,
+            speedup_vs_one: base as f64 / cycles as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of the prefetch-capacity ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefetchPoint {
+    /// Input image dimension (bytes grow quadratically).
+    pub image: u32,
+    /// Input bytes.
+    pub input_bytes: u64,
+    /// Prefetch hit count.
+    pub hits: u64,
+    /// Global (miss) access count.
+    pub misses: u64,
+    /// DCD+PM speedup over DCD (collapses once data outgrows the buffer).
+    pub pm_speedup: f64,
+}
+
+/// The prefetch-capacity cliff: 2×2 pooling over growing images. Once the
+/// input exceeds the ~3.8 MB of BRAM dedicated to the prefetch memory,
+/// the surplus spills to the MicroBlaze path and the PM advantage fades —
+/// the behaviour §4.1.1 alludes to when distributing BRAMs across CUs.
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn prefetch_capacity(scale: Scale) -> Result<Vec<PrefetchPoint>, BenchError> {
+    let images: &[u32] = match scale {
+        Scale::Quick => &[128, 512],
+        Scale::Paper => &[256, 512, 1024, 1536],
+    };
+    let mut out = Vec::new();
+    for &image in images {
+        let bench = Pooling::new(image / 2, Mode::Max);
+        let pm = bench.run(SystemConfig::preset(SystemKind::DcdPm))?;
+        let dcd = bench.run(SystemConfig::preset(SystemKind::Dcd))?;
+        out.push(PrefetchPoint {
+            image,
+            input_bytes: u64::from(image) * u64::from(image) * 4,
+            hits: pm.prefetch_hits,
+            misses: pm.global_accesses,
+            pm_speedup: dcd.seconds / pm.seconds,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of the datapath bit-width ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BitwidthPoint {
+    /// Vector datapath width in bits.
+    pub bits: u8,
+    /// Trimmed CU flip-flops.
+    pub cu_ff: u64,
+    /// CUs the routable area fits.
+    pub cus: u8,
+    /// Board power of the multi-core configuration (W).
+    pub power_w: f64,
+}
+
+/// Datapath bit-width vs parallelism: the intro's "adjust the bitwidth of
+/// the datapath" and §4.2's INT8 NIN, swept over 8/16/24/32 bits.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures.
+pub fn datapath_bits(scale: Scale) -> Result<Vec<BitwidthPoint>, BenchError> {
+    let nin = Nin::new(scale.pick(8, 32), 32);
+    let trim = trim_kernels(&nin.kernels()?)?;
+    let kept = trim.kept_opcodes();
+    let mut out = Vec::new();
+    for bits in [8u8, 16, 24, 32] {
+        let plan = allocate_multicore_bits(&Device::XC7VX690T, &kept, 4, bits);
+        let shape = CuShape {
+            kept: kept.clone(),
+            int_valus: plan.int_valus,
+            fp_valus: plan.fp_valus,
+            datapath_bits: bits,
+        };
+        out.push(BitwidthPoint {
+            bits,
+            cu_ff: cu_resources(&shape).ff,
+            cus: plan.cus,
+            power_w: power(SystemProfile::DCD_PM, &shape, plan.cus).total_w(),
+        });
+    }
+    Ok(out)
+}
+
+/// The §4.3 per-kernel trimming study over the multi-kernel AI workloads.
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn per_kernel_trimming(scale: Scale) -> Result<Vec<PerKernelAnalysis>, BenchError> {
+    let apps: Vec<(String, Vec<scratch_asm::Kernel>, Box<dyn Benchmark>)> = vec![
+        {
+            let cnn = Cnn::new(scale.pick(8, 32), false);
+            ("CNN (INT32)".into(), cnn.kernels()?, Box::new(cnn) as Box<dyn Benchmark>)
+        },
+        {
+            let nin = Nin::new(scale.pick(8, 32), 32);
+            ("NiN (INT32)".into(), nin.kernels()?, Box::new(nin))
+        },
+    ];
+    let scratch = Scratch::new();
+    let mut out = Vec::new();
+    for (name, kernels, bench) in apps {
+        let trim = trim_kernels(&kernels)?;
+        let plan = scratch.plan_multicore(&trim, 3);
+        let report = bench.run(configure(SystemKind::DcdPm, plan, Some(&trim)))?;
+        out.push(analyze_per_kernel(
+            &name,
+            &kernels,
+            &report,
+            plan,
+            &ReconfigModel::default(),
+        )?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_monotonically_hides_latency() {
+        let points = wavefront_occupancy(Scale::Quick).expect("occupancy");
+        assert_eq!(points.len(), 6);
+        for w in points.windows(2) {
+            assert!(
+                w[1].cycles <= w[0].cycles,
+                "more wavefronts must never slow the CU down"
+            );
+        }
+        let last = points.last().unwrap();
+        assert!(
+            last.speedup_vs_one > 2.0,
+            "occupancy should hide a solid share of latency ({:.1}x)",
+            last.speedup_vs_one
+        );
+        // The benefit saturates: most of the 40-wave gain is reached by 8.
+        let at_8 = points.iter().find(|p| p.max_wavefronts == 8).unwrap();
+        assert!(at_8.speedup_vs_one > last.speedup_vs_one * 0.7);
+    }
+
+    #[test]
+    fn valu_scaling_saturates() {
+        let points = valu_scaling(Scale::Quick).expect("valus");
+        assert!(points[1].speedup_vs_one > 1.2, "2 VALUs help");
+        assert!(points[3].speedup_vs_one > points[1].speedup_vs_one);
+        assert!(
+            points[3].speedup_vs_one < 4.0,
+            "frontend bounds the scaling below ideal"
+        );
+    }
+
+    #[test]
+    fn prefetch_capacity_cliff_appears() {
+        let points = prefetch_capacity(Scale::Quick).expect("prefetch");
+        // Small image: everything hits; large: still hits at quick scale.
+        assert!(points[0].misses == 0);
+        assert!(points[0].pm_speedup > 3.0);
+    }
+
+    #[test]
+    fn narrower_datapaths_fit_more_cus() {
+        let points = datapath_bits(Scale::Quick).expect("bits");
+        assert_eq!(points.len(), 4);
+        assert!(points[0].cu_ff < points[3].cu_ff);
+        assert!(
+            points[0].cus >= points[3].cus,
+            "8-bit should never fit fewer CUs"
+        );
+        assert_eq!(points[0].cus, 4, "INT8 fits the paper's 4th CU");
+    }
+
+    #[test]
+    fn per_kernel_trimming_reports_crossover() {
+        let rows = per_kernel_trimming(Scale::Quick).expect("per-kernel");
+        for a in &rows {
+            assert!(a.reconfigurations > 0, "{}: AI apps alternate kernels", a.name);
+            assert!(a.union_kept >= *a.per_kernel_kept.iter().max().unwrap());
+            assert!(a.per_kernel_seconds >= a.union_seconds);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Regenerate the SCRATCH paper's tables and figures.
+//!
+//! ```text
+//! experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|all]
+//!             [--quick] [--json <path>]
+//! ```
+//!
+//! `--quick` runs CI-sized workloads; the default reproduces the paper's
+//! sizes. `--json` additionally dumps every table as JSON (used to
+//! regenerate `EXPERIMENTS.md`).
+
+use std::fmt::Write as _;
+
+use scratch_bench::{ablation, fig4, fig6, fig7, headline, sec41, Scale};
+use scratch_isa::Category;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .map_or("all", String::as_str);
+
+    let mut json = serde_json::Map::new();
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("fig4") {
+        match fig4::characterize(scale) {
+            Ok(rows) => {
+                print_fig4(&rows);
+                json.insert("fig4".into(), serde_json::to_value(&rows).unwrap());
+            }
+            Err(e) => eprintln!("fig4 failed: {e}"),
+        }
+    }
+    if run("fig6-baseline") {
+        let rows = fig6::baseline_systems();
+        print_fig6_baseline(&rows);
+        json.insert("fig6_baseline".into(), serde_json::to_value(&rows).unwrap());
+    }
+    if run("fig6-trim") {
+        match fig6::trimming_rows(scale) {
+            Ok(rows) => {
+                print_fig6_trim(&rows);
+                json.insert("fig6_trim".into(), serde_json::to_value(&rows).unwrap());
+            }
+            Err(e) => eprintln!("fig6-trim failed: {e}"),
+        }
+    }
+    if run("sec41") {
+        match sec41::speedups(scale) {
+            Ok(rows) => {
+                print_sec41(&rows);
+                json.insert("sec41".into(), serde_json::to_value(&rows).unwrap());
+                let agg = sec41::aggregates(&rows);
+                json.insert("sec41_aggregates".into(), serde_json::to_value(&agg).unwrap());
+            }
+            Err(e) => eprintln!("sec41 failed: {e}"),
+        }
+    }
+    if run("fig7a") || run("fig7b") || run("headline") {
+        match fig7::sweep(scale) {
+            Ok(points) => {
+                if run("fig7a") {
+                    print_fig7(&points, true);
+                }
+                if run("fig7b") {
+                    print_fig7(&points, false);
+                }
+                json.insert("fig7".into(), serde_json::to_value(&points).unwrap());
+                if run("headline") {
+                    let h = headline::compute(&points);
+                    print_headline(&h);
+                    json.insert("headline".into(), serde_json::to_value(&h).unwrap());
+                }
+            }
+            Err(e) => eprintln!("fig7 failed: {e}"),
+        }
+    }
+
+    if run("ablations") {
+        match ablation_tables(scale) {
+            Ok(value) => {
+                json.insert("ablations".into(), value);
+            }
+            Err(e) => eprintln!("ablations failed: {e}"),
+        }
+    }
+
+    if let Some(path) = json_path {
+        let value = serde_json::Value::Object(json);
+        std::fs::write(&path, serde_json::to_string_pretty(&value).unwrap())
+            .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
+        println!("\nJSON written to {path}");
+    }
+}
+
+fn ablation_tables(scale: Scale) -> Result<serde_json::Value, scratch_kernels::BenchError> {
+    let mut map = serde_json::Map::new();
+
+    let occ = ablation::wavefront_occupancy(scale)?;
+    hr("Ablation — wavefront occupancy (latency hiding)");
+    println!("{:>12} {:>12} {:>10}", "wavefronts", "cycles", "speedup");
+    for p in &occ {
+        println!("{:>12} {:>12} {:>10.2}", p.max_wavefronts, p.cycles, p.speedup_vs_one);
+    }
+    map.insert("occupancy".into(), serde_json::to_value(&occ).unwrap());
+
+    let valus = ablation::valu_scaling(scale)?;
+    hr("Ablation — integer VALU scaling (multi-thread curve)");
+    println!("{:>8} {:>12} {:>10}", "VALUs", "cycles", "speedup");
+    for p in &valus {
+        println!("{:>8} {:>12} {:>10.2}", p.valus, p.cycles, p.speedup_vs_one);
+    }
+    map.insert("valu_scaling".into(), serde_json::to_value(&valus).unwrap());
+
+    let pf = ablation::prefetch_capacity(scale)?;
+    hr("Ablation — prefetch-capacity cliff (2x2 max pooling)");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>12}",
+        "image", "input B", "hits", "misses", "PM speedup"
+    );
+    for p in &pf {
+        println!(
+            "{:>8} {:>12} {:>10} {:>10} {:>12.2}",
+            p.image, p.input_bytes, p.hits, p.misses, p.pm_speedup
+        );
+    }
+    map.insert("prefetch".into(), serde_json::to_value(&pf).unwrap());
+
+    let bits = ablation::datapath_bits(scale)?;
+    hr("Ablation — vector datapath bit-width (NiN)");
+    println!("{:>6} {:>12} {:>6} {:>10}", "bits", "CU FF", "CUs", "power W");
+    for p in &bits {
+        println!("{:>6} {:>12} {:>6} {:>10.2}", p.bits, p.cu_ff, p.cus, p.power_w);
+    }
+    map.insert("datapath_bits".into(), serde_json::to_value(&bits).unwrap());
+
+    let pk = ablation::per_kernel_trimming(scale)?;
+    hr("Ablation — per-kernel trimming + partial reconfiguration (§4.3)");
+    println!(
+        "{:30} {:>10} {:>14} {:>12} {:>12} {:>12} {:>14}",
+        "application", "reconfigs", "reconfig (ms)", "union (mJ)", "per-k (mJ)", "winner", "breakeven(ms)"
+    );
+    for a in &pk {
+        println!(
+            "{:30} {:>10} {:>14.3} {:>12.3} {:>12.3} {:>12} {:>14.3}",
+            a.name,
+            a.reconfigurations,
+            a.reconfig_seconds * 1e3,
+            a.union_energy_j * 1e3,
+            a.per_kernel_energy_j * 1e3,
+            if a.per_kernel_wins() { "per-kernel" } else { "union" },
+            a.breakeven_reconfig_s.unwrap_or(0.0) * 1e3,
+        );
+    }
+    map.insert("per_kernel".into(), serde_json::to_value(&pk).unwrap());
+
+    Ok(serde_json::Value::Object(map))
+}
+
+fn hr(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn print_fig4(rows: &[fig4::MixRow]) {
+    hr("Fig. 4 — instruction mix per benchmark (% of executed instructions)");
+    let mut head = format!("{:38}", "benchmark");
+    for c in Category::ALL {
+        write!(head, "{:>9}", c.label()).unwrap();
+    }
+    println!("{head}{:>8}", "FP%");
+    for r in rows {
+        let mut line = format!("{:38}", r.name);
+        for p in &r.percent {
+            write!(line, "{p:>9.1}").unwrap();
+        }
+        println!("{line}{:>8.1}", r.fp_percent);
+    }
+}
+
+fn print_fig6_baseline(rows: &[fig6::BaselineRow]) {
+    hr("Fig. 6 (left) — base-system resource utilisation and power");
+    println!(
+        "{:10} {:>10} {:>10} {:>7} {:>7} {:>9} {:>9}",
+        "system", "FF", "LUT", "DSP48", "BRAM", "static W", "dynamic W"
+    );
+    for r in rows {
+        println!(
+            "{:10} {:>10} {:>10} {:>7} {:>7} {:>9.2} {:>9.2}",
+            r.label,
+            r.resources.ff,
+            r.resources.lut,
+            r.resources.dsp,
+            r.resources.bram,
+            r.static_w,
+            r.dynamic_w
+        );
+    }
+}
+
+fn print_fig6_trim(rows: &[fig6::TrimRow]) {
+    hr("Fig. 6 (right) — per-benchmark trimming and parallelism");
+    println!(
+        "{:30} {:>24} {:>26} {:>13} {:>9} {:>9} {:>8}",
+        "benchmark",
+        "usage% SALU/iV/fpV/LSU",
+        "savings% FF/LUT/DSP/BRAM",
+        "power W s+d",
+        "MC plan",
+        "MT plan",
+        "totW MC"
+    );
+    for r in rows {
+        println!(
+            "{:30} {:>5.0} {:>5.0} {:>5.0} {:>5.0}  {:>6.0} {:>6.0} {:>6.0} {:>5.0} {:>6.2}+{:<5.2} {:>3}c/{}i/{}f {:>3}c/{}i/{}f {:>8.2}",
+            r.name,
+            r.usage[0],
+            r.usage[1],
+            r.usage[2],
+            r.usage[3],
+            r.savings[0],
+            r.savings[1],
+            r.savings[2],
+            r.savings[3],
+            r.power_w.0,
+            r.power_w.1,
+            r.multicore.cus,
+            r.multicore.int_valus,
+            r.multicore.fp_valus,
+            r.multithread.cus,
+            r.multithread.int_valus,
+            r.multithread.fp_valus,
+            r.multicore_power_w,
+        );
+    }
+    let avg = fig6::average_savings(rows);
+    println!(
+        "{:30} {:>24} {:>6.0} {:>6.0} {:>6.0} {:>5.0}",
+        "AVERAGE", "", avg[0], avg[1], avg[2], avg[3]
+    );
+}
+
+fn print_sec41(rows: &[sec41::SpeedupRow]) {
+    hr("§4.1.2 — speedup and energy-efficiency of DCD / DCD+PM / trimming");
+    println!(
+        "{:30} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "DCD x", "DCD+PM x", "DCD IPJ", "PM IPJ", "trim IPJ"
+    );
+    for r in rows {
+        println!(
+            "{:30} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.3}",
+            r.name, r.dcd_speedup, r.pm_speedup, r.dcd_ipj_gain, r.pm_ipj_gain, r.trim_ipj_gain
+        );
+    }
+    let agg = sec41::aggregates(rows);
+    println!(
+        "min DCD {:.2}x | min PM {:.2}x | max PM {:.2}x | avg DCD IPJ {:.2}x | avg PM IPJ {:.2}x | trim IPJ {:.2}-{:.2}x",
+        agg.min_dcd_speedup,
+        agg.min_pm_speedup,
+        agg.max_pm_speedup,
+        agg.avg_dcd_ipj,
+        agg.avg_pm_ipj,
+        agg.trim_ipj_range.0,
+        agg.trim_ipj_range.1
+    );
+}
+
+fn print_fig7(points: &[fig7::Fig7Point], multicore: bool) {
+    hr(if multicore {
+        "Fig. 7A — multi-core parallelism (several CUs, 1 VALU each)"
+    } else {
+        "Fig. 7B — multi-thread parallelism (1 CU, multiple VALUs)"
+    });
+    println!(
+        "{:22} {:20} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "family", "param", "plan", "x vs orig", "x vs base", "IPJ orig", "IPJ base"
+    );
+    for p in points {
+        let (plan, g) = if multicore {
+            (p.multicore_plan, p.multicore)
+        } else {
+            (p.multithread_plan, p.multithread)
+        };
+        println!(
+            "{:22} {:20} {:>4}c/{}i/{}f {:>10.1} {:>10.2} {:>10.1} {:>10.2}",
+            p.family,
+            p.param,
+            plan.cus,
+            plan.int_valus,
+            plan.fp_valus,
+            g.speedup_vs_original,
+            g.speedup_vs_baseline,
+            g.ipj_vs_original,
+            g.ipj_vs_baseline
+        );
+    }
+}
+
+fn print_headline(h: &headline::Headline) {
+    hr("Headline aggregates (abstract)");
+    println!(
+        "avg speedup vs original MIAOW : {:>8.1}x   (paper: 140x)",
+        h.avg_speedup_vs_original
+    );
+    println!(
+        "avg IPJ gain vs original      : {:>8.1}x   (paper: 115x)",
+        h.avg_ipj_vs_original
+    );
+    println!(
+        "avg speedup vs baseline       : {:>8.2}x   (paper: 2.4x)",
+        h.avg_speedup_vs_baseline
+    );
+    println!(
+        "avg IPJ gain vs baseline      : {:>8.2}x   (paper: 2.1x)",
+        h.avg_ipj_vs_baseline
+    );
+    println!(
+        "peak speedup vs baseline      : {:>8.2}x   (paper: 3.0-3.5x)",
+        h.peak_speedup_vs_baseline
+    );
+    println!(
+        "peak IPJ gain vs original     : {:>8.1}x   (paper: up to 252x)",
+        h.peak_ipj_vs_original
+    );
+    println!("aggregated over {} sweep points", h.points);
+}

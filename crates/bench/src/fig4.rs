@@ -1,0 +1,96 @@
+//! Fig. 4 — characterisation of the executed instructions per benchmark:
+//! percentage per computational category, split into scalar/vector usage
+//! and integer vs single-precision floating point.
+//!
+//! The paper runs 25 AMD APP SDK benchmarks through Multi2Sim; we
+//! characterise our implemented suite (the 17 evaluated applications plus
+//! the extra characterisation kernels) through the simulator's dynamic
+//! histograms — the substitution recorded in DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_core::DynamicMix;
+use scratch_isa::{Category, DataType};
+use scratch_kernels::{characterization_benchmarks, BenchError};
+use scratch_system::{SystemConfig, SystemKind};
+
+use crate::runner::{fig6_set, Scale};
+
+/// One row (benchmark) of the Fig. 4 characterisation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixRow {
+    /// Benchmark name.
+    pub name: String,
+    /// `%` of executed instructions per category, in [`Category::ALL`]
+    /// order.
+    pub percent: Vec<f64>,
+    /// `(uses_scalar, uses_vector)` per category.
+    pub usage: Vec<(bool, bool)>,
+    /// `%` of executed instructions that are SP-FP arithmetic.
+    pub fp_percent: f64,
+    /// Total dynamic instructions.
+    pub instructions: u64,
+}
+
+/// Run the characterisation study.
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn characterize(scale: Scale) -> Result<Vec<MixRow>, BenchError> {
+    let mut benches = fig6_set(scale);
+    benches.extend(characterization_benchmarks());
+    let mut rows = Vec::with_capacity(benches.len());
+    for bench in &benches {
+        let report = bench.run(SystemConfig::preset(SystemKind::DcdPm))?;
+        let mix = DynamicMix::of(&report.stats);
+        let percent: Vec<f64> = Category::ALL.iter().map(|&c| mix.percent(c)).collect();
+        let usage: Vec<(bool, bool)> = Category::ALL
+            .iter()
+            .map(|&c| mix.scalar_vector_use(c))
+            .collect();
+        let fp_percent: f64 = Category::ALL
+            .iter()
+            .map(|&c| mix.percent_typed(c, DataType::Fp32))
+            .sum();
+        rows.push(MixRow {
+            name: bench.name(),
+            percent,
+            usage,
+            fp_percent,
+            instructions: report.instructions(),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_rows_are_consistent() {
+        let rows = characterize(Scale::Quick).expect("fig4");
+        assert!(rows.len() >= 17);
+        for row in &rows {
+            let total: f64 = row.percent.iter().sum();
+            assert!(
+                (total - 100.0).abs() < 1e-6,
+                "{}: categories sum to {total}",
+                row.name
+            );
+            assert!(row.instructions > 0);
+            // FP arithmetic appears exactly in the FP benchmarks.
+            let is_fp_bench = row.name.contains("SP FP")
+                || row.name.contains("K-Means")
+                || row.name.contains("Black-Scholes");
+            assert_eq!(
+                row.fp_percent > 0.0,
+                is_fp_bench,
+                "{}: fp {}%",
+                row.name,
+                row.fp_percent
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Fig. 6 — resource utilisation and power of the three base systems
+//! (left panel) and, per benchmark: instruction usage, trimming savings,
+//! trimmed-system power and the freed-area parallelism plans.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_core::Scratch;
+use scratch_fpga::{allocate_multicore_bits, Device, ParallelPlan, Resources};
+use scratch_isa::FuncUnit;
+use scratch_kernels::BenchError;
+use scratch_system::SystemKind;
+
+use crate::runner::{fig6_set, full_plan, trim_of, Scale};
+
+/// One row of the left panel: a base-system configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// Configuration label.
+    pub label: String,
+    /// Occupied resources.
+    pub resources: Resources,
+    /// Utilisation % of the XC7VX690T, `[ff, lut, dsp, bram]`.
+    pub utilization: [f64; 4],
+    /// Static power (W).
+    pub static_w: f64,
+    /// Dynamic power (W).
+    pub dynamic_w: f64,
+}
+
+/// The left panel of Fig. 6.
+#[must_use]
+pub fn baseline_systems() -> Vec<BaselineRow> {
+    let scratch = Scratch::new();
+    [SystemKind::Original, SystemKind::Dcd, SystemKind::DcdPm]
+        .into_iter()
+        .map(|kind| {
+            let synth = scratch.synthesize(kind, None, full_plan());
+            BaselineRow {
+                label: kind.label().to_string(),
+                resources: synth.resources,
+                utilization: synth.utilization_percent,
+                static_w: synth.power.static_w,
+                dynamic_w: synth.power.dynamic_w(),
+            }
+        })
+        .collect()
+}
+
+/// One benchmark column of the right panel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrimRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Instruction usage % per unit `[SALU, iVALU, fpVALU, LSU]`.
+    pub usage: [f64; 4],
+    /// CU resource savings % over the baseline CU, `[ff, lut, dsp, bram]`.
+    pub savings: [f64; 4],
+    /// Trimmed single-CU system power: (static, dynamic) in watts.
+    pub power_w: (f64, f64),
+    /// Multi-core plan from the freed area (Fig. 6 bottom).
+    pub multicore: ParallelPlan,
+    /// Multi-thread plan from the freed area.
+    pub multithread: ParallelPlan,
+    /// Total power of the multi-core configuration (W).
+    pub multicore_power_w: f64,
+    /// Retained instructions.
+    pub kept: usize,
+}
+
+/// The right panel of Fig. 6 across the 17 applications.
+///
+/// # Errors
+///
+/// Propagates kernel-construction failures.
+pub fn trimming_rows(scale: Scale) -> Result<Vec<TrimRow>, BenchError> {
+    let scratch = Scratch::new();
+    let mut rows = Vec::new();
+    for bench in fig6_set(scale) {
+        let trim = trim_of(bench.as_ref())?;
+        let base_plan = ParallelPlan::baseline(trim.uses_fp);
+        let synth = scratch.synthesize(SystemKind::DcdPm, Some(&trim), base_plan);
+
+        // The INT8 NIN shortens the vector datapath, fitting a 4th CU.
+        let is_int8 = bench.name().contains("INT8");
+        let multicore = if is_int8 {
+            allocate_multicore_bits(&Device::XC7VX690T, &trim.kept_opcodes(), 4, 8)
+        } else {
+            scratch.plan_multicore(&trim, 3)
+        };
+        let multithread = scratch.plan_multithread(&trim, 4);
+        let mc_synth = scratch.synthesize(SystemKind::DcdPm, Some(&trim), multicore);
+
+        rows.push(TrimRow {
+            name: bench.name(),
+            usage: [
+                trim.usage_percent[&FuncUnit::Salu],
+                trim.usage_percent[&FuncUnit::Simd],
+                trim.usage_percent[&FuncUnit::Simf],
+                trim.usage_percent[&FuncUnit::Lsu],
+            ],
+            savings: trim.cu_savings_percent(1, u8::from(trim.uses_fp)),
+            power_w: (synth.power.static_w, synth.power.dynamic_w()),
+            multicore,
+            multithread,
+            multicore_power_w: mc_synth.power.total_w(),
+            kept: trim.kept_count(),
+        });
+    }
+    Ok(rows)
+}
+
+/// The paper's headline savings averages (41 % FF / 36 % LUT across the
+/// benchmarks).
+#[must_use]
+pub fn average_savings(rows: &[TrimRow]) -> [f64; 4] {
+    let n = rows.len().max(1) as f64;
+    let mut avg = [0.0; 4];
+    for row in rows {
+        for (a, s) in avg.iter_mut().zip(row.savings) {
+            *a += s / n;
+        }
+    }
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_rows_match_paper_shape() {
+        let rows = baseline_systems();
+        assert_eq!(rows.len(), 3);
+        // DCD adds nearly nothing; PM adds the BRAMs.
+        assert_eq!(rows[2].resources.bram, 1_151);
+        assert_eq!(rows[0].resources.bram, 223);
+        assert!(rows[2].dynamic_w > rows[0].dynamic_w);
+        for r in &rows {
+            for u in r.utilization {
+                assert!(u < 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn trimming_rows_have_paper_shape() {
+        let rows = trimming_rows(Scale::Quick).expect("fig6 rows");
+        assert_eq!(rows.len(), 17);
+
+        let avg = average_savings(&rows);
+        // Paper: average 41% FF and 36% LUT savings.
+        assert!(
+            (25.0..=60.0).contains(&avg[0]),
+            "avg FF savings {:.0}% out of band",
+            avg[0]
+        );
+        assert!(
+            (25.0..=55.0).contains(&avg[1]),
+            "avg LUT savings {:.0}% out of band",
+            avg[1]
+        );
+
+        // Transpose and the poolings save the most FF; FP conv the least.
+        let ff = |name: &str| {
+            rows.iter()
+                .find(|r| r.name.contains(name))
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .savings[0]
+        };
+        assert!(ff("Transpose") > 55.0, "transpose FF {:.0}%", ff("Transpose"));
+        assert!(ff("Max Pooling") > 55.0);
+        // FP benchmarks keep their SIMF sub-units, so they save less than
+        // the integer ones on average, and the minimum savings belongs to
+        // an FP application (the paper's minimum is the SP-FP 2D conv).
+        let avg_of = |fp: bool| {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| (r.usage[2] > 0.0) == fp)
+                .map(|r| r.savings[0])
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(
+            avg_of(false) > avg_of(true) + 10.0,
+            "INT avg FF savings {:.0}% vs FP {:.0}%",
+            avg_of(false),
+            avg_of(true)
+        );
+        let min_row = rows
+            .iter()
+            .min_by(|a, b| a.savings[0].total_cmp(&b.savings[0]))
+            .unwrap();
+        assert!(
+            min_row.usage[2] > 0.0,
+            "minimum savings should be an FP benchmark, got {}",
+            min_row.name
+        );
+
+        // Parallelism plans: integers reach 3 CUs / 4 VALUs, FP 2 CUs /
+        // 1+3 VALUs, INT8 NIN 4 CUs.
+        for row in &rows {
+            if row.name.contains("INT8") {
+                assert_eq!(row.multicore.cus, 4, "{}", row.name);
+            } else if row.name.contains("INT32") {
+                assert_eq!(row.multicore.cus, 3, "{}", row.name);
+                assert_eq!(row.multithread.int_valus, 4, "{}", row.name);
+            } else {
+                assert_eq!(row.multicore.cus, 2, "{}", row.name);
+                assert_eq!(row.multithread.fp_valus, 3, "{}", row.name);
+            }
+            assert!(row.multicore_power_w > row.power_w.0 + row.power_w.1);
+            assert!(row.multicore_power_w < 6.5);
+        }
+    }
+}

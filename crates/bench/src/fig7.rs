@@ -1,0 +1,300 @@
+//! Fig. 7 — throughput and energy-efficiency gains from reinvesting the
+//! trimmed area into multi-core (A) or multi-thread (B) parallelism,
+//! across the paper's per-benchmark parameter sweeps.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_fpga::{allocate_multicore_bits, Device, ParallelPlan};
+use scratch_kernels::{
+    bitonic::BitonicSort,
+    cnn::Cnn,
+    conv2d::Conv2d,
+    gaussian::Gaussian,
+    kmeans::KMeans,
+    matmul::MatrixMul,
+    nin::Nin,
+    pooling::{Mode, Pooling},
+    transpose::Transpose,
+    vec_ops::MatrixAdd,
+    BenchError, Benchmark,
+};
+use scratch_core::Scratch;
+use scratch_system::SystemKind;
+
+use crate::runner::{full_plan, run_summary, trim_of, Scale};
+
+/// Gains of one parallel configuration against the two references.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GainSet {
+    /// Speedup vs the original MIAOW system.
+    pub speedup_vs_original: f64,
+    /// Speedup vs the DCD+PM baseline.
+    pub speedup_vs_baseline: f64,
+    /// IPJ gain vs the original system.
+    pub ipj_vs_original: f64,
+    /// IPJ gain vs the baseline.
+    pub ipj_vs_baseline: f64,
+}
+
+/// One sweep point of Fig. 7 (both panels).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Point {
+    /// Benchmark family (Fig. 7 column).
+    pub family: String,
+    /// Swept parameter, e.g. `"block=512"`.
+    pub param: String,
+    /// Uses floating point.
+    pub fp: bool,
+    /// Multi-core plan and gains (panel A).
+    pub multicore_plan: ParallelPlan,
+    /// Gains of the multi-core configuration.
+    pub multicore: GainSet,
+    /// Multi-thread plan and gains (panel B).
+    pub multithread_plan: ParallelPlan,
+    /// Gains of the multi-thread configuration.
+    pub multithread: GainSet,
+}
+
+struct SweepEntry {
+    family: &'static str,
+    param: String,
+    bench: Box<dyn Benchmark>,
+    /// INT8 datapath (NIN variant).
+    int8: bool,
+}
+
+fn entry(family: &'static str, param: String, bench: Box<dyn Benchmark>) -> SweepEntry {
+    SweepEntry {
+        family,
+        param,
+        bench,
+        int8: false,
+    }
+}
+
+#[allow(clippy::vec_init_then_push)]
+fn sweep_entries(scale: Scale) -> Vec<SweepEntry> {
+    let s = scale;
+    let mut v: Vec<SweepEntry> = Vec::new();
+
+    for n in match s {
+        Scale::Quick => vec![32],
+        Scale::Paper => vec![128, 256, 512],
+    } {
+        v.push(entry("Matrix Add", format!("block={n}"), Box::new(MatrixAdd::new(n, false))));
+        v.push(entry("Matrix Add", format!("block={n} fp"), Box::new(MatrixAdd::new(n, true))));
+    }
+    for n in match s {
+        Scale::Quick => vec![64],
+        Scale::Paper => vec![64, 128, 256],
+    } {
+        v.push(entry("Matrix Multiply", format!("block={n}"), Box::new(MatrixMul::new(n, false))));
+        v.push(entry("Matrix Multiply", format!("block={n} fp"), Box::new(MatrixMul::new(n, true))));
+    }
+    for n in match s {
+        Scale::Quick => vec![64],
+        Scale::Paper => vec![128, 256, 512],
+    } {
+        v.push(entry("Matrix Transpose", format!("block={n}"), Box::new(Transpose::new(n))));
+    }
+    for n in match s {
+        Scale::Quick => vec![128],
+        Scale::Paper => vec![64, 512, 2048],
+    } {
+        v.push(entry("Bitonic Sort", format!("chunk={n}"), Box::new(BitonicSort::new(n))));
+    }
+    for n in match s {
+        Scale::Quick => vec![8],
+        Scale::Paper => vec![16, 64, 128],
+    } {
+        v.push(entry("Gaussian Elimination", format!("size={n}"), Box::new(Gaussian::new(n))));
+    }
+    for k in [5u32, 10] {
+        v.push(entry(
+            "K-Means",
+            format!("clusters={k}"),
+            Box::new(KMeans::new(512, k, s.pick(2, 4))),
+        ));
+    }
+    for b in match s {
+        Scale::Quick => vec![16],
+        Scale::Paper => vec![32, 128, 512],
+    } {
+        v.push(entry("2D Conv (K=5)", format!("block={b}"), Box::new(Conv2d::new(b, 5, false))));
+    }
+    for k in match s {
+        Scale::Quick => vec![3],
+        Scale::Paper => vec![3, 5, 7, 15],
+    } {
+        let b = s.pick(16, 512);
+        v.push(entry(
+            "2D Conv (B=512)",
+            format!("kernel={k}"),
+            Box::new(Conv2d::new(b, k, false)),
+        ));
+    }
+    // "image" is the pooling *input* dimension; the output is image/2.
+    for img in match s {
+        Scale::Quick => vec![128],
+        Scale::Paper => vec![128, 256, 512],
+    } {
+        v.push(entry(
+            "2x2 Pooling",
+            format!("max image={img}"),
+            Box::new(Pooling::new(img / 2, Mode::Max)),
+        ));
+    }
+    v.push(entry(
+        "2x2 Pooling",
+        format!("median image={}", s.pick(128, 256)),
+        Box::new(Pooling::new(s.pick(64, 128), Mode::Median)),
+    ));
+    v.push(entry(
+        "2x2 Pooling",
+        format!("avg image={}", s.pick(128, 256)),
+        Box::new(Pooling::new(s.pick(64, 128), Mode::Average)),
+    ));
+    for size in match s {
+        Scale::Quick => vec![16],
+        Scale::Paper => vec![32, 64, 128],
+    } {
+        v.push(entry("CNN", format!("image={size}"), Box::new(Cnn::new(size, false))));
+    }
+    v.push(entry(
+        "CNN",
+        format!("image={} fp", s.pick(16, 32)),
+        Box::new(Cnn::new(s.pick(16, 32), true)),
+    ));
+    for layers in match s {
+        Scale::Quick => vec![3],
+        Scale::Paper => vec![3, 7, 15],
+    } {
+        v.push(entry(
+            "CNN",
+            format!("layers={layers}"),
+            Box::new(Cnn::new(s.pick(16, 32), false).with_layers(layers)),
+        ));
+    }
+    for maps in match s {
+        Scale::Quick => vec![4],
+        Scale::Paper => vec![4, 16, 64],
+    } {
+        v.push(entry(
+            "NiN",
+            format!("features={maps}"),
+            Box::new(Nin::new(s.pick(16, 32), 32).with_maps(maps)),
+        ));
+    }
+    v.push(SweepEntry {
+        family: "NiN",
+        param: "features=16 int8".to_string(),
+        bench: Box::new(Nin::new(s.pick(16, 32), 8)),
+        int8: true,
+    });
+    v
+}
+
+/// Run the Fig. 7 sweeps (both panels share the reference runs).
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn sweep(scale: Scale) -> Result<Vec<Fig7Point>, BenchError> {
+    let scratch = Scratch::new();
+    let mut out = Vec::new();
+    for e in sweep_entries(scale) {
+        let bench = e.bench.as_ref();
+        let trim = trim_of(bench)?;
+
+        let orig = run_summary(bench, SystemKind::Original, full_plan(), None)?;
+        let base = run_summary(bench, SystemKind::DcdPm, full_plan(), None)?;
+
+        let mc_plan = if e.int8 {
+            allocate_multicore_bits(&Device::XC7VX690T, &trim.kept_opcodes(), 4, 8)
+        } else {
+            scratch.plan_multicore(&trim, 3)
+        };
+        let mt_plan = scratch.plan_multithread(&trim, 4);
+
+        let mc = run_summary(bench, SystemKind::DcdPm, mc_plan, Some(&trim))?;
+        let mt = run_summary(bench, SystemKind::DcdPm, mt_plan, Some(&trim))?;
+
+        let gains = |s: &scratch_core::RunSummary| GainSet {
+            speedup_vs_original: s.speedup_vs(&orig),
+            speedup_vs_baseline: s.speedup_vs(&base),
+            ipj_vs_original: s.ipj_gain_vs(&orig),
+            ipj_vs_baseline: s.ipj_gain_vs(&base),
+        };
+
+        out.push(Fig7Point {
+            family: e.family.to_string(),
+            param: e.param,
+            fp: bench.uses_fp(),
+            multicore_plan: mc_plan,
+            multicore: gains(&mc),
+            multithread_plan: mt_plan,
+            multithread: gains(&mt),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shapes() {
+        let points = sweep(Scale::Quick).expect("fig7");
+        assert!(points.len() >= 15);
+        let mut winners = 0;
+        for p in &points {
+            // Small workloads may cross below 1x (one wavefront per CU
+            // cannot hide memory latency) — that crossover is part of the
+            // paper's shape; big losses are not.
+            assert!(
+                p.multicore.speedup_vs_baseline > 0.7,
+                "{} {}: MC {:.2}",
+                p.family,
+                p.param,
+                p.multicore.speedup_vs_baseline
+            );
+            assert!(
+                p.multicore.speedup_vs_baseline < 4.5,
+                "{} {}: MC {:.2} too large",
+                p.family,
+                p.param,
+                p.multicore.speedup_vs_baseline
+            );
+            assert!(
+                p.multithread.speedup_vs_baseline > 0.7,
+                "{} {}: MT {:.2}",
+                p.family,
+                p.param,
+                p.multithread.speedup_vs_baseline
+            );
+            // vs-original gains are large (memory path + parallelism).
+            assert!(
+                p.multicore.speedup_vs_original > 3.0,
+                "{} {}: vs orig {:.1}",
+                p.family,
+                p.param,
+                p.multicore.speedup_vs_original
+            );
+            if p.multicore.speedup_vs_baseline.max(p.multithread.speedup_vs_baseline) > 1.3 {
+                winners += 1;
+            }
+        }
+        assert!(
+            winners * 2 >= points.len(),
+            "parallelism should win clearly on most workloads ({winners}/{})",
+            points.len()
+        );
+        // At least one point in the hundreds-x regime vs original.
+        let max = points
+            .iter()
+            .map(|p| p.multicore.speedup_vs_original)
+            .fold(0.0, f64::max);
+        assert!(max > 30.0, "peak vs-original speedup {max:.0}");
+    }
+}

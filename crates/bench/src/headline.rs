@@ -1,0 +1,84 @@
+//! The abstract's headline numbers: average speedup and energy-efficiency
+//! of the trimmed + parallelised designs against the original MIAOW and
+//! against the untrimmed baseline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fig7::Fig7Point;
+
+/// Aggregate gains across the benchmark sweeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Headline {
+    /// Average speedup vs the original MIAOW system (paper: 140×).
+    pub avg_speedup_vs_original: f64,
+    /// Average IPJ gain vs the original system (paper: 115×).
+    pub avg_ipj_vs_original: f64,
+    /// Average speedup vs the DCD+PM baseline (paper: 2.4×).
+    pub avg_speedup_vs_baseline: f64,
+    /// Average IPJ gain vs the baseline (paper: 2.1×).
+    pub avg_ipj_vs_baseline: f64,
+    /// Peak speedup vs the baseline (paper: 3.0× multi-core / 3.5×
+    /// multi-thread).
+    pub peak_speedup_vs_baseline: f64,
+    /// Peak IPJ gain vs the original (paper: up to 252×).
+    pub peak_ipj_vs_original: f64,
+    /// Points aggregated.
+    pub points: usize,
+}
+
+/// Aggregate the Fig. 7 sweep, taking each point's better parallel mode
+/// (as the paper's per-application designs do).
+#[must_use]
+pub fn compute(points: &[Fig7Point]) -> Headline {
+    let n = points.len().max(1) as f64;
+    let best = |p: &Fig7Point| {
+        if p.multicore.speedup_vs_baseline >= p.multithread.speedup_vs_baseline {
+            p.multicore
+        } else {
+            p.multithread
+        }
+    };
+    let sum = |f: &dyn Fn(&Fig7Point) -> f64| points.iter().map(f).sum::<f64>();
+    let max = |f: &dyn Fn(&Fig7Point) -> f64| points.iter().map(f).fold(0.0, f64::max);
+    Headline {
+        avg_speedup_vs_original: sum(&|p| best(p).speedup_vs_original) / n,
+        avg_ipj_vs_original: sum(&|p| best(p).ipj_vs_original) / n,
+        avg_speedup_vs_baseline: sum(&|p| best(p).speedup_vs_baseline) / n,
+        avg_ipj_vs_baseline: sum(&|p| best(p).ipj_vs_baseline) / n,
+        peak_speedup_vs_baseline: max(&|p| best(p).speedup_vs_baseline),
+        peak_ipj_vs_original: max(&|p| best(p).ipj_vs_original),
+        points: points.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig7::sweep;
+    use crate::Scale;
+
+    #[test]
+    fn headline_shape() {
+        let points = sweep(Scale::Quick).expect("sweep");
+        let h = compute(&points);
+        assert_eq!(h.points, points.len());
+        // Shapes from the abstract: tens-to-hundreds x vs original,
+        // a couple of x vs baseline.
+        assert!(
+            h.avg_speedup_vs_original > 10.0,
+            "avg vs original {:.1}",
+            h.avg_speedup_vs_original
+        );
+        assert!(
+            (1.2..=4.0).contains(&h.avg_speedup_vs_baseline),
+            "avg vs baseline {:.2}",
+            h.avg_speedup_vs_baseline
+        );
+        assert!(
+            h.avg_ipj_vs_baseline > 1.0,
+            "avg IPJ vs baseline {:.2}",
+            h.avg_ipj_vs_baseline
+        );
+        assert!(h.peak_speedup_vs_baseline <= 4.5);
+    }
+}

@@ -1,0 +1,30 @@
+//! # scratch-bench
+//!
+//! The experiment harness: one module per table/figure of the SCRATCH
+//! paper's evaluation (§4), regenerating the same rows and series from the
+//! simulator + resource/power model.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig4`] | Fig. 4 — instruction-mix characterisation |
+//! | [`fig6`] | Fig. 6 — resource utilisation, trimming savings, power, parallelism |
+//! | [`sec41`] | §4.1.2 — DCD / DCD+PM speedups and energy-efficiency |
+//! | [`fig7`] | Fig. 7 — multi-core / multi-thread parallelism sweeps |
+//! | [`headline`] | Abstract — aggregate speedup / IPJ gains |
+//! | [`ablation`] | Design-choice studies: occupancy, VALU scaling, prefetch capacity, bit-width, per-kernel reconfiguration (§4.3) |
+//!
+//! The `experiments` binary prints each as an aligned text table and can
+//! emit JSON for regeneration of `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod headline;
+pub mod runner;
+pub mod sec41;
+
+pub use runner::Scale;

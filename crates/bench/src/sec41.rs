@@ -1,0 +1,163 @@
+//! §4.1.2 — throughput and energy-efficiency gains of the architectural
+//! improvements (DCD, DCD+PM) and of trimming alone.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_fpga::ParallelPlan;
+use scratch_kernels::BenchError;
+use scratch_system::SystemKind;
+
+use crate::runner::{fig6_set, full_plan, run_summary, trim_of, Scale};
+
+/// One benchmark's configuration comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Benchmark name.
+    pub name: String,
+    /// DCD speedup over the original system.
+    pub dcd_speedup: f64,
+    /// DCD+PM (baseline) speedup over the original system.
+    pub pm_speedup: f64,
+    /// DCD energy-efficiency (IPJ) gain over the original.
+    pub dcd_ipj_gain: f64,
+    /// DCD+PM energy-efficiency gain over the original.
+    pub pm_ipj_gain: f64,
+    /// Energy-efficiency gain of trimming alone (same cycles, lower power)
+    /// over the untrimmed DCD+PM baseline.
+    pub trim_ipj_gain: f64,
+    /// Whether the application uses floating point (trim gains are smaller
+    /// for FP kernels, §4.1.2).
+    pub fp: bool,
+}
+
+/// Run the configuration study across the benchmark suite.
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn speedups(scale: Scale) -> Result<Vec<SpeedupRow>, BenchError> {
+    let mut rows = Vec::new();
+    for bench in fig6_set(scale) {
+        let orig = run_summary(bench.as_ref(), SystemKind::Original, full_plan(), None)?;
+        let dcd = run_summary(bench.as_ref(), SystemKind::Dcd, full_plan(), None)?;
+        let pm = run_summary(bench.as_ref(), SystemKind::DcdPm, full_plan(), None)?;
+
+        let trim = trim_of(bench.as_ref())?;
+        let trimmed = run_summary(
+            bench.as_ref(),
+            SystemKind::DcdPm,
+            ParallelPlan::baseline(trim.uses_fp),
+            Some(&trim),
+        )?;
+
+        rows.push(SpeedupRow {
+            name: bench.name(),
+            dcd_speedup: dcd.speedup_vs(&orig),
+            pm_speedup: pm.speedup_vs(&orig),
+            dcd_ipj_gain: dcd.ipj_gain_vs(&orig),
+            pm_ipj_gain: pm.ipj_gain_vs(&orig),
+            trim_ipj_gain: trimmed.ipj_gain_vs(&pm),
+            fp: bench.uses_fp(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Aggregates quoted in §4.1.2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sec41Aggregates {
+    /// Minimum DCD speedup (paper: 1.17×, integer 2D conv).
+    pub min_dcd_speedup: f64,
+    /// Minimum DCD+PM speedup (paper: 4.27×).
+    pub min_pm_speedup: f64,
+    /// Maximum DCD+PM speedup (paper: 95.79×).
+    pub max_pm_speedup: f64,
+    /// Average DCD energy-efficiency gain (paper: 1.17×).
+    pub avg_dcd_ipj: f64,
+    /// Average DCD+PM energy-efficiency gain (paper: 55.87×).
+    pub avg_pm_ipj: f64,
+    /// Trim-only IPJ gain range (paper: 1.02–1.23×).
+    pub trim_ipj_range: (f64, f64),
+}
+
+/// Compute the §4.1.2 aggregates from the per-benchmark rows.
+#[must_use]
+pub fn aggregates(rows: &[SpeedupRow]) -> Sec41Aggregates {
+    let min = |f: fn(&SpeedupRow) -> f64| rows.iter().map(f).fold(f64::INFINITY, f64::min);
+    let max = |f: fn(&SpeedupRow) -> f64| rows.iter().map(f).fold(0.0, f64::max);
+    let avg = |f: fn(&SpeedupRow) -> f64| {
+        rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
+    };
+    Sec41Aggregates {
+        min_dcd_speedup: min(|r| r.dcd_speedup),
+        min_pm_speedup: min(|r| r.pm_speedup),
+        max_pm_speedup: max(|r| r.pm_speedup),
+        avg_dcd_ipj: avg(|r| r.dcd_ipj_gain),
+        avg_pm_ipj: avg(|r| r.pm_ipj_gain),
+        trim_ipj_range: (min(|r| r.trim_ipj_gain), max(|r| r.trim_ipj_gain)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_shapes_match_paper() {
+        let rows = speedups(Scale::Quick).expect("sec41");
+        let agg = aggregates(&rows);
+
+        // Every benchmark gains from each improvement.
+        for r in &rows {
+            assert!(r.dcd_speedup > 1.0, "{}: DCD {:.2}", r.name, r.dcd_speedup);
+            assert!(
+                r.pm_speedup > r.dcd_speedup,
+                "{}: PM {:.2} vs DCD {:.2}",
+                r.name,
+                r.pm_speedup,
+                r.dcd_speedup
+            );
+            assert!(r.trim_ipj_gain > 1.0, "{}: trim {:.3}", r.name, r.trim_ipj_gain);
+        }
+
+        // Paper bands (shape, not absolutes): min DCD ≈ 1.17x, min PM ≈
+        // 4.27x, max PM within tens of x, trim gains ≈ 1.02–1.25x.
+        assert!(
+            (1.02..=1.6).contains(&agg.min_dcd_speedup),
+            "min DCD {:.2}",
+            agg.min_dcd_speedup
+        );
+        assert!(
+            agg.min_pm_speedup > 2.5,
+            "min PM speedup {:.2}",
+            agg.min_pm_speedup
+        );
+        assert!(
+            agg.max_pm_speedup > 20.0,
+            "max PM speedup {:.2}",
+            agg.max_pm_speedup
+        );
+        assert!(
+            agg.trim_ipj_range.1 < 1.6,
+            "trim gains stay modest ({:.2})",
+            agg.trim_ipj_range.1
+        );
+
+        // Integer kernels gain more from trimming than FP ones on average
+        // (the SIMF survives in FP kernels).
+        let avg_of = |fp: bool| {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.fp == fp)
+                .map(|r| r.trim_ipj_gain)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(
+            avg_of(false) > avg_of(true),
+            "int trim gain {:.3} vs fp {:.3}",
+            avg_of(false),
+            avg_of(true)
+        );
+    }
+}

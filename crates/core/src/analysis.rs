@@ -1,0 +1,229 @@
+//! Kernel analysis: the compile-time inspection that drives trimming, and
+//! the dynamic characterisation behind the paper's Fig. 4.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use scratch_asm::{AsmError, Kernel};
+use scratch_cu::CuStats;
+use scratch_isa::{Category, DataType, FuncUnit, Opcode};
+
+/// Static analysis of a kernel binary — Algorithm 1, step 1: walk the
+/// binary, decode every instruction, and collect the required instructions
+/// per functional unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticAnalysis {
+    /// Kernel name.
+    pub name: String,
+    /// `required_instructions[FU]` from the paper's Algorithm 1.
+    pub required: BTreeMap<FuncUnit, BTreeSet<Opcode>>,
+    /// Static instruction count (decoded, not executed).
+    pub static_instructions: usize,
+}
+
+impl StaticAnalysis {
+    /// Analyse a kernel binary.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the binary does not decode.
+    pub fn of(kernel: &Kernel) -> Result<StaticAnalysis, AsmError> {
+        let mut required: BTreeMap<FuncUnit, BTreeSet<Opcode>> = BTreeMap::new();
+        let insts = kernel.instructions()?;
+        let n = insts.len();
+        for (_, inst) in insts {
+            required
+                .entry(inst.opcode.unit())
+                .or_default()
+                .insert(inst.opcode);
+        }
+        Ok(StaticAnalysis {
+            name: kernel.name().to_string(),
+            required,
+            static_instructions: n,
+        })
+    }
+
+    /// All distinct opcodes the kernel uses.
+    #[must_use]
+    pub fn opcodes(&self) -> Vec<Opcode> {
+        self.required.values().flatten().copied().collect()
+    }
+
+    /// Distinct opcodes used on `unit`.
+    #[must_use]
+    pub fn unit_opcodes(&self, unit: FuncUnit) -> usize {
+        self.required.get(&unit).map_or(0, BTreeSet::len)
+    }
+
+    /// Instruction usage of `unit` as a percentage of the supported set —
+    /// the "Instruction Usage" panel of Fig. 6.
+    #[must_use]
+    pub fn unit_usage_percent(&self, unit: FuncUnit) -> f64 {
+        let supported = Opcode::ALL.iter().filter(|o| o.unit() == unit).count();
+        if supported == 0 {
+            return 0.0;
+        }
+        100.0 * self.unit_opcodes(unit) as f64 / supported as f64
+    }
+
+    /// `true` if the kernel needs floating-point vector hardware.
+    #[must_use]
+    pub fn uses_fp(&self) -> bool {
+        self.unit_opcodes(FuncUnit::Simf) > 0
+    }
+}
+
+/// Dynamic instruction mix of an execution — the Fig. 4 characterisation
+/// (per computational category, split by scalar/vector and int/FP).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicMix {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Counts per `(category, data type, vector?)`.
+    pub buckets: BTreeMap<(Category, DataType, bool), u64>,
+}
+
+impl DynamicMix {
+    /// Build the mix from compute-unit statistics.
+    #[must_use]
+    pub fn of(stats: &CuStats) -> DynamicMix {
+        let mut buckets: BTreeMap<(Category, DataType, bool), u64> = BTreeMap::new();
+        let mut total = 0;
+        for (&op, &n) in &stats.histogram {
+            total += n;
+            let vector = matches!(op.unit(), FuncUnit::Simd | FuncUnit::Simf)
+                || op.is_vector_memory()
+                || op.is_lds();
+            *buckets
+                .entry((op.category(), op.data_type(), vector))
+                .or_default() += n;
+        }
+        DynamicMix { total, buckets }
+    }
+
+    /// Percentage of executed instructions in `category` (both domains).
+    #[must_use]
+    pub fn percent(&self, category: Category) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n: u64 = self
+            .buckets
+            .iter()
+            .filter(|((c, _, _), _)| *c == category)
+            .map(|(_, &n)| n)
+            .sum();
+        100.0 * n as f64 / self.total as f64
+    }
+
+    /// Percentage in `category` restricted to `dt`.
+    #[must_use]
+    pub fn percent_typed(&self, category: Category, dt: DataType) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n: u64 = self
+            .buckets
+            .iter()
+            .filter(|((c, d, _), _)| *c == category && *d == dt)
+            .map(|(_, &n)| n)
+            .sum();
+        100.0 * n as f64 / self.total as f64
+    }
+
+    /// Usage classification for Fig. 4's scalar/vector markers: returns
+    /// `(uses_scalar, uses_vector)` for the category.
+    #[must_use]
+    pub fn scalar_vector_use(&self, category: Category) -> (bool, bool) {
+        let mut scalar = false;
+        let mut vector = false;
+        for ((c, _, v), &n) in &self.buckets {
+            if *c == category && n > 0 {
+                if *v {
+                    vector = true;
+                } else {
+                    scalar = true;
+                }
+            }
+        }
+        (scalar, vector)
+    }
+
+    /// `true` when any single-precision floating-point arithmetic executed.
+    #[must_use]
+    pub fn uses_fp(&self) -> bool {
+        self.buckets
+            .iter()
+            .any(|((_, d, _), &n)| *d == DataType::Fp32 && n > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_asm::KernelBuilder;
+    use scratch_isa::Operand;
+
+    fn mixed_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("mixed");
+        b.vgprs(8).sgprs(8);
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(0), Operand::IntConst(1))
+            .unwrap();
+        b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), 0).unwrap();
+        b.vop2(Opcode::VMulF32, 2, Operand::FloatConst(2.0), 1).unwrap();
+        b.mubuf(
+            Opcode::BufferStoreDword,
+            2,
+            1,
+            4,
+            Operand::IntConst(0),
+            0,
+        )
+        .unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        b.endpgm().unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn static_analysis_builds_required_dictionary() {
+        let a = StaticAnalysis::of(&mixed_kernel()).unwrap();
+        assert_eq!(a.static_instructions, 6);
+        assert_eq!(a.unit_opcodes(FuncUnit::Salu), 1);
+        assert_eq!(a.unit_opcodes(FuncUnit::Simd), 1);
+        assert_eq!(a.unit_opcodes(FuncUnit::Simf), 1);
+        assert_eq!(a.unit_opcodes(FuncUnit::Lsu), 1);
+        assert_eq!(a.unit_opcodes(FuncUnit::Branch), 2); // waitcnt + endpgm
+        assert!(a.uses_fp());
+        assert!(a.unit_usage_percent(FuncUnit::Simf) > 0.0);
+        assert!(a.unit_usage_percent(FuncUnit::Simf) < 20.0);
+    }
+
+    #[test]
+    fn integer_kernel_has_no_fp() {
+        let mut b = KernelBuilder::new("int");
+        b.vop2(Opcode::VAddI32, 1, Operand::IntConst(1), 0).unwrap();
+        b.endpgm().unwrap();
+        let a = StaticAnalysis::of(&b.finish().unwrap()).unwrap();
+        assert!(!a.uses_fp());
+        assert_eq!(a.unit_usage_percent(FuncUnit::Simf), 0.0);
+    }
+
+    #[test]
+    fn dynamic_mix_percentages() {
+        let mut stats = CuStats::default();
+        for _ in 0..3 {
+            stats.record_issue(Opcode::VAddI32, 64);
+        }
+        stats.record_issue(Opcode::VMulF32, 64);
+        let mix = DynamicMix::of(&stats);
+        assert_eq!(mix.total, 4);
+        assert!((mix.percent(Category::Add) - 75.0).abs() < 1e-9);
+        assert!((mix.percent_typed(Category::Mul, DataType::Fp32) - 25.0).abs() < 1e-9);
+        assert!(mix.uses_fp());
+        let (scalar, vector) = mix.scalar_vector_use(Category::Add);
+        assert!(vector && !scalar);
+    }
+}

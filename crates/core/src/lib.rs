@@ -1,0 +1,30 @@
+//! # scratch-core
+//!
+//! The SCRATCH framework itself: application-aware analysis and trimming of
+//! the MIAOW2.0 soft-GPGPU, plus the end-to-end pipeline that connects the
+//! compiler output to a runnable, synthesizable (here: simulatable +
+//! resource-modelled) system — the paper's §3.
+//!
+//! * [`analysis`] — static decoding of a kernel binary into the
+//!   `required_instructions` dictionary (Algorithm 1, step 1) and dynamic
+//!   instruction-mix profiling (the Fig. 4 characterisation);
+//! * [`trim`] — Algorithm 1, step 2: drop unused functional units and
+//!   decode entries, producing a [`TrimReport`] whose [`scratch_cu::TrimSet`]
+//!   the compute unit enforces;
+//! * [`pipeline`] — the [`Scratch`] entry point: analyse → trim →
+//!   "synthesise" (resource + power report) → allocate parallelism →
+//!   configure a [`scratch_system::System`] → summarise runs
+//!   (time, energy, instructions-per-Joule).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod pipeline;
+pub mod reconfig;
+pub mod trim;
+
+pub use analysis::{DynamicMix, StaticAnalysis};
+pub use reconfig::{analyze_per_kernel, PerKernelAnalysis, ReconfigModel};
+pub use pipeline::{configure, profile_of, RunSummary, Scratch, SynthesisReport};
+pub use trim::{trim_kernel, trim_kernels, TrimReport};

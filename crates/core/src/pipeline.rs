@@ -1,0 +1,360 @@
+//! The end-to-end SCRATCH pipeline: compile-time analysis and trimming,
+//! synthesis-style reporting, parallelism planning, and run summaries.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_asm::{AsmError, Kernel};
+use scratch_cu::CuConfig;
+use scratch_fpga::{
+    allocate_multicore, allocate_multithread, cu_resources, power, system_resources, CuShape,
+    Device, ParallelPlan, PowerBreakdown, Resources, SystemProfile,
+};
+use scratch_system::{RunReport, SystemConfig, SystemKind};
+
+use crate::analysis::StaticAnalysis;
+use crate::trim::{trim_kernel, TrimReport};
+
+/// Map a system kind to its hardware profile for the resource/power model.
+#[must_use]
+pub fn profile_of(kind: SystemKind) -> SystemProfile {
+    match kind {
+        SystemKind::Original => SystemProfile::ORIGINAL,
+        SystemKind::Dcd => SystemProfile::DCD,
+        SystemKind::DcdPm => SystemProfile::DCD_PM,
+    }
+}
+
+/// Build a runnable [`SystemConfig`] from a system kind, a parallelism
+/// plan, and (optionally) a trim report whose instruction set the CUs will
+/// enforce.
+#[must_use]
+pub fn configure(kind: SystemKind, plan: ParallelPlan, trim: Option<&TrimReport>) -> SystemConfig {
+    let cu = CuConfig {
+        int_valus: plan.int_valus,
+        fp_valus: plan.fp_valus,
+        trim: trim.map(|t| t.kept.clone()),
+        ..CuConfig::default()
+    };
+    SystemConfig::preset(kind)
+        .with_cus(plan.cus)
+        .with_cu_config(cu)
+}
+
+/// The "synthesis" output of the pipeline: where Vivado would report
+/// utilisation and power, the calibrated model does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Total occupied resources.
+    pub resources: Resources,
+    /// Utilisation as a percentage of the device, `[ff, lut, dsp, bram]`.
+    pub utilization_percent: [f64; 4],
+    /// CU-level savings relative to an untrimmed CU of the same
+    /// parallelism, `[ff, lut, dsp, bram]` (the Fig. 6 savings panel).
+    pub cu_savings_percent: [f64; 4],
+    /// Board power.
+    pub power: PowerBreakdown,
+}
+
+/// A run measurement combined with the power model: the quantities the
+/// paper reports (execution time, power, energy, instructions-per-Joule).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// CU cycles (max across compute units).
+    pub cu_cycles: u64,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Board power.
+    pub power: PowerBreakdown,
+    /// Energy consumed, `P × t`, in joules.
+    pub energy_j: f64,
+    /// Energy efficiency: instructions per joule.
+    pub ipj: f64,
+}
+
+impl RunSummary {
+    /// Speedup of `self` relative to `other` (time ratio).
+    #[must_use]
+    pub fn speedup_vs(&self, other: &RunSummary) -> f64 {
+        other.seconds / self.seconds
+    }
+
+    /// Energy-efficiency gain of `self` relative to `other` (IPJ ratio).
+    #[must_use]
+    pub fn ipj_gain_vs(&self, other: &RunSummary) -> f64 {
+        self.ipj / other.ipj
+    }
+}
+
+/// The SCRATCH framework entry point.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Target device for synthesis and allocation.
+    pub device: Device,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch::new()
+    }
+}
+
+impl Scratch {
+    /// Framework targeting the paper's Virtex-7 XC7VX690T.
+    #[must_use]
+    pub fn new() -> Scratch {
+        Scratch {
+            device: Device::XC7VX690T,
+        }
+    }
+
+    /// Static analysis of a kernel (Algorithm 1, step 1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the binary does not decode.
+    pub fn analyze(&self, kernel: &Kernel) -> Result<StaticAnalysis, AsmError> {
+        StaticAnalysis::of(kernel)
+    }
+
+    /// Trim the architecture for a kernel (Algorithm 1, step 2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the binary does not decode.
+    pub fn trim(&self, kernel: &Kernel) -> Result<TrimReport, AsmError> {
+        trim_kernel(kernel)
+    }
+
+    /// Resource/power report for a configuration — what the Vivado flow of
+    /// §3.3 would print after implementation.
+    #[must_use]
+    pub fn synthesize(
+        &self,
+        kind: SystemKind,
+        trim: Option<&TrimReport>,
+        plan: ParallelPlan,
+    ) -> SynthesisReport {
+        let shape = match trim {
+            Some(t) => CuShape {
+                kept: t.kept_opcodes(),
+                int_valus: plan.int_valus,
+                fp_valus: plan.fp_valus,
+                datapath_bits: 32,
+            },
+            None => CuShape::full(plan.int_valus, plan.fp_valus),
+        };
+        let profile = profile_of(kind);
+        let resources = system_resources(profile, &shape, plan.cus);
+        let full = cu_resources(&CuShape::full(
+            plan.int_valus.max(1),
+            plan.fp_valus.max(1),
+        ));
+        let trimmed_cu = cu_resources(&shape);
+        SynthesisReport {
+            resources,
+            utilization_percent: resources.percent_of(&self.device.capacity),
+            cu_savings_percent: full.saturating_sub(&trimmed_cu).percent_of(&full),
+            power: power(profile, &shape, plan.cus),
+        }
+    }
+
+    /// Plan multi-core parallelism from the freed area (Fig. 7A).
+    #[must_use]
+    pub fn plan_multicore(&self, trim: &TrimReport, max_cus: u8) -> ParallelPlan {
+        allocate_multicore(&self.device, &trim.kept_opcodes(), max_cus)
+    }
+
+    /// Plan multi-thread parallelism from the freed area (Fig. 7B).
+    #[must_use]
+    pub fn plan_multithread(&self, trim: &TrimReport, max_valus: u8) -> ParallelPlan {
+        allocate_multithread(&self.device, &trim.kept_opcodes(), max_valus)
+    }
+
+    /// Combine a run measurement with the power model.
+    #[must_use]
+    pub fn summarize(
+        &self,
+        kind: SystemKind,
+        trim: Option<&TrimReport>,
+        plan: ParallelPlan,
+        report: &RunReport,
+    ) -> RunSummary {
+        let synth = self.synthesize(kind, trim, plan);
+        let seconds = report.seconds;
+        let energy_j = synth.power.total_w() * seconds;
+        let instructions = report.instructions();
+        RunSummary {
+            seconds,
+            cu_cycles: report.cu_cycles,
+            instructions,
+            power: synth.power,
+            energy_j,
+            ipj: if energy_j > 0.0 {
+                instructions as f64 / energy_j
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_asm::KernelBuilder;
+    use scratch_isa::{Opcode, Operand, SmrdOffset};
+    use scratch_system::{abi, System};
+
+    /// out[gid] = in[gid] * 3 (integer, memory-bound).
+    fn triple_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("triple");
+        b.vgprs(8).sgprs(32);
+        b.smrd(
+            Opcode::SBufferLoadDwordx2,
+            Operand::Sgpr(20),
+            abi::CONST_BUF1,
+            SmrdOffset::Imm(0),
+        )
+        .unwrap();
+        b.waitcnt(None, Some(0)).unwrap();
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(abi::WG_ID_X),
+            Operand::IntConst(64),
+        )
+        .unwrap();
+        b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), abi::TID_X).unwrap();
+        b.vop2(Opcode::VLshlrevB32, 1, Operand::IntConst(2), 1).unwrap();
+        b.mubuf(Opcode::BufferLoadDword, 2, 1, abi::UAV_DESC, Operand::Sgpr(20), 0)
+            .unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        b.vop3a(
+            Opcode::VMulLoI32,
+            2,
+            Operand::Vgpr(2),
+            Operand::IntConst(3),
+            None,
+        )
+        .unwrap();
+        b.mubuf(Opcode::BufferStoreDword, 2, 1, abi::UAV_DESC, Operand::Sgpr(21), 0)
+            .unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        b.endpgm().unwrap();
+        b.finish().unwrap()
+    }
+
+    fn run(kernel: &Kernel, config: SystemConfig, n: u32) -> (Vec<u32>, RunReport) {
+        let mut sys = System::new(config, kernel).unwrap();
+        let input: Vec<u32> = (0..n).collect();
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(u64::from(n) * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        sys.dispatch([n / 64, 1, 1]).unwrap();
+        (sys.read_words(a_out, n as usize), sys.report())
+    }
+
+    #[test]
+    fn end_to_end_trimmed_run_matches_untrimmed() {
+        let kernel = triple_kernel();
+        let scratch = Scratch::new();
+        let trim = scratch.trim(&kernel).unwrap();
+        assert!(!trim.uses_fp);
+
+        let plan = ParallelPlan::baseline(trim.uses_fp);
+        let base_cfg = configure(SystemKind::DcdPm, ParallelPlan::baseline(true), None);
+        let trim_cfg = configure(SystemKind::DcdPm, plan, Some(&trim));
+
+        let (out_base, rep_base) = run(&kernel, base_cfg, 512);
+        let (out_trim, rep_trim) = run(&kernel, trim_cfg, 512);
+        assert_eq!(out_base, out_trim, "trimming never changes results");
+        assert_eq!(out_trim[10], 30);
+
+        // Same cycles (trimming does not change timing), less power.
+        assert_eq!(rep_base.cu_cycles, rep_trim.cu_cycles);
+        let s_base = scratch.summarize(
+            SystemKind::DcdPm,
+            None,
+            ParallelPlan::baseline(true),
+            &rep_base,
+        );
+        let s_trim = scratch.summarize(SystemKind::DcdPm, Some(&trim), plan, &rep_trim);
+        assert!(s_trim.power.total_w() < s_base.power.total_w());
+        let gain = s_trim.ipj_gain_vs(&s_base);
+        assert!(
+            gain > 1.05 && gain < 1.6,
+            "trim-only IPJ gain {gain:.2} outside the paper's 1.02-1.25 band"
+        );
+    }
+
+    #[test]
+    fn multicore_plan_speeds_up_and_wins_energy() {
+        let kernel = triple_kernel();
+        let scratch = Scratch::new();
+        let trim = scratch.trim(&kernel).unwrap();
+        let plan = scratch.plan_multicore(&trim, 3);
+        assert!(plan.cus >= 2);
+
+        let base_cfg = configure(SystemKind::DcdPm, ParallelPlan::baseline(true), None);
+        let par_cfg = configure(SystemKind::DcdPm, plan, Some(&trim));
+        let (out_base, rep_base) = run(&kernel, base_cfg, 4096);
+        let (out_par, rep_par) = run(&kernel, par_cfg, 4096);
+        assert_eq!(out_base, out_par);
+
+        let s_base = scratch.summarize(
+            SystemKind::DcdPm,
+            None,
+            ParallelPlan::baseline(true),
+            &rep_base,
+        );
+        let s_par = scratch.summarize(SystemKind::DcdPm, Some(&trim), plan, &rep_par);
+        let speedup = s_par.speedup_vs(&s_base);
+        assert!(
+            speedup > 1.5 && speedup < f64::from(plan.cus) + 0.5,
+            "multicore speedup {speedup:.2}"
+        );
+        assert!(s_par.ipj_gain_vs(&s_base) > 1.0);
+    }
+
+    #[test]
+    fn synthesis_report_shapes() {
+        let kernel = triple_kernel();
+        let scratch = Scratch::new();
+        let trim = scratch.trim(&kernel).unwrap();
+        let base = scratch.synthesize(SystemKind::DcdPm, None, ParallelPlan::baseline(true));
+        let trimmed = scratch.synthesize(
+            SystemKind::DcdPm,
+            Some(&trim),
+            ParallelPlan::baseline(false),
+        );
+        assert!(trimmed.resources.ff < base.resources.ff);
+        assert!(trimmed.cu_savings_percent[0] > 40.0);
+        assert_eq!(base.cu_savings_percent[0], 0.0);
+        assert!(base.utilization_percent[0] < 100.0);
+    }
+
+    #[test]
+    fn trimmed_system_rejects_foreign_kernel() {
+        let kernel = triple_kernel();
+        let scratch = Scratch::new();
+        let trim = scratch.trim(&kernel).unwrap();
+
+        // An FP kernel on the integer-trimmed architecture must fail hard.
+        let mut b = KernelBuilder::new("fp");
+        b.vgprs(4).sgprs(8);
+        b.vop2(Opcode::VAddF32, 1, Operand::FloatConst(1.0), 0).unwrap();
+        b.endpgm().unwrap();
+        let fp_kernel = b.finish().unwrap();
+
+        let cfg = configure(
+            SystemKind::DcdPm,
+            ParallelPlan::baseline(false),
+            Some(&trim),
+        );
+        let mut sys = System::new(cfg, &fp_kernel).unwrap();
+        sys.set_args(&[0]);
+        assert!(sys.dispatch([1, 1, 1]).is_err());
+    }
+}

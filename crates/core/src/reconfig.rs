@@ -1,0 +1,295 @@
+//! Per-kernel trimming with partial reconfiguration — the extension the
+//! paper sketches in its §4.3 discussion: instead of one architecture
+//! trimmed for the whole application, reconfigure the vector-execution
+//! region between kernel calls, paying the FPGA partial-reconfiguration
+//! latency each time the next kernel needs a different architecture.
+//!
+//! Whether this wins "depends on the ratio between kernel execution time
+//! and architecture reconfiguration time" (§4.3); [`analyze_per_kernel`]
+//! computes both sides from a measured run and reports the crossover.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_asm::Kernel;
+use scratch_fpga::{cu_resources, power, CuShape, ParallelPlan, SystemProfile};
+use scratch_system::RunReport;
+
+use crate::trim::{trim_kernel, trim_kernels, TrimReport};
+use scratch_asm::AsmError;
+
+/// Partial-reconfiguration cost model for the vector-execution region.
+///
+/// The paper's suggested strategy fixes the CU count and floor-plans the
+/// SIMD/SIMF blocks into a reconfigurable region (§4.3, citing ZyCAP); the
+/// bitstream for that region streams through the ICAP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigModel {
+    /// Bitstream bytes per kilo-flip-flop of the reconfigured region
+    /// (region area dominates partial-bitstream size).
+    pub bytes_per_kff: u64,
+    /// ICAP throughput in bytes/second (ZyCAP reaches ~382 MB/s).
+    pub icap_bytes_per_s: f64,
+}
+
+impl Default for ReconfigModel {
+    fn default() -> Self {
+        ReconfigModel {
+            bytes_per_kff: 16_384,
+            icap_bytes_per_s: 382.0e6,
+        }
+    }
+}
+
+impl ReconfigModel {
+    /// Seconds to reconfigure a vector region of the given shape.
+    #[must_use]
+    pub fn seconds_for(&self, shape: &CuShape) -> f64 {
+        // The reconfigurable region holds the vector units; approximate its
+        // size by the difference to a fully scratched vector datapath.
+        let with = cu_resources(shape);
+        let without = cu_resources(&CuShape {
+            kept: shape
+                .kept
+                .iter()
+                .copied()
+                .filter(|o| {
+                    !matches!(
+                        o.unit(),
+                        scratch_isa::FuncUnit::Simd | scratch_isa::FuncUnit::Simf
+                    )
+                })
+                .collect(),
+            ..shape.clone()
+        });
+        let region_ff = with.ff.saturating_sub(without.ff).max(1_000);
+        let bytes = region_ff.div_ceil(1_000) * self.bytes_per_kff;
+        bytes as f64 / self.icap_bytes_per_s
+    }
+}
+
+/// Outcome of the per-kernel vs per-application comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerKernelAnalysis {
+    /// Application name.
+    pub name: String,
+    /// Per-application (union) trim.
+    pub union_kept: usize,
+    /// Retained instructions per kernel.
+    pub per_kernel_kept: Vec<usize>,
+    /// Board power with the union architecture (W).
+    pub union_power_w: f64,
+    /// Board power per kernel-specific architecture (W).
+    pub per_kernel_power_w: Vec<f64>,
+    /// Application time on the union architecture (s).
+    pub union_seconds: f64,
+    /// Application time under per-kernel trimming, including
+    /// reconfiguration stalls (s).
+    pub per_kernel_seconds: f64,
+    /// Total time spent reconfiguring (s).
+    pub reconfig_seconds: f64,
+    /// Number of reconfigurations (kernel switches in the dispatch trace).
+    pub reconfigurations: u64,
+    /// Energy on the union architecture (J).
+    pub union_energy_j: f64,
+    /// Energy under per-kernel trimming (J).
+    pub per_kernel_energy_j: f64,
+    /// Per-reconfiguration latency at which the two schemes break even
+    /// (seconds); `None` when per-kernel trimming never wins (identical
+    /// per-kernel requirements).
+    pub breakeven_reconfig_s: Option<f64>,
+}
+
+impl PerKernelAnalysis {
+    /// `true` when per-kernel trimming is the better choice for this trace.
+    #[must_use]
+    pub fn per_kernel_wins(&self) -> bool {
+        self.per_kernel_energy_j < self.union_energy_j
+    }
+}
+
+/// Compare per-application and per-kernel trimming over a measured run.
+///
+/// `report` must come from a run of `kernels` (its `per_kernel_cycles`
+/// index the same list).
+///
+/// # Errors
+///
+/// Fails when a kernel does not decode.
+pub fn analyze_per_kernel(
+    name: &str,
+    kernels: &[Kernel],
+    report: &RunReport,
+    plan: ParallelPlan,
+    model: &ReconfigModel,
+) -> Result<PerKernelAnalysis, AsmError> {
+    let union = trim_kernels(kernels)?;
+    let per_kernel: Vec<TrimReport> = kernels
+        .iter()
+        .map(trim_kernel)
+        .collect::<Result<_, _>>()?;
+
+    let shape = |t: &TrimReport| CuShape {
+        kept: t.kept_opcodes(),
+        int_valus: plan.int_valus,
+        fp_valus: if t.uses_fp { plan.fp_valus.max(1) } else { 0 },
+        datapath_bits: 32,
+    };
+    let union_shape = shape(&union);
+    let union_power = power(SystemProfile::DCD_PM, &union_shape, plan.cus).total_w();
+    let kernel_powers: Vec<f64> = per_kernel
+        .iter()
+        .map(|t| power(SystemProfile::DCD_PM, &shape(t), plan.cus).total_w())
+        .collect();
+
+    // Phase times from the measured dispatch trace, at the CU clock.
+    let cu_hz = 50.0e6;
+    let phase_seconds: Vec<f64> = report
+        .per_kernel_cycles
+        .iter()
+        .map(|&c| c as f64 / cu_hz)
+        .collect();
+    let union_seconds: f64 =
+        phase_seconds.iter().sum::<f64>() + report.host_cycles as f64 / 200.0e6;
+
+    // Reconfiguration: one per kernel switch, sized for the largest
+    // kernel-specific vector region.
+    let reconfig_each = per_kernel
+        .iter()
+        .map(|t| model.seconds_for(&shape(t)))
+        .fold(0.0, f64::max);
+    let identical_requirements = per_kernel
+        .iter()
+        .all(|t| t.kept_count() == union.kept_count());
+    let reconfigs = if identical_requirements {
+        0
+    } else {
+        report.kernel_switches
+    };
+    let reconfig_seconds = reconfigs as f64 * reconfig_each;
+    let per_kernel_seconds = union_seconds + reconfig_seconds;
+
+    let union_energy = union_power * union_seconds;
+    let mut per_kernel_energy = reconfig_seconds * union_power; // reconfig at full draw
+    for (t, &p) in phase_seconds.iter().zip(&kernel_powers) {
+        per_kernel_energy += t * p;
+    }
+    per_kernel_energy += report.host_cycles as f64 / 200.0e6 * union_power;
+
+    // Break-even reconfiguration latency: energy saved per second of
+    // execution vs energy cost per reconfiguration.
+    let saved: f64 = phase_seconds
+        .iter()
+        .zip(&kernel_powers)
+        .map(|(t, p)| t * (union_power - p))
+        .sum();
+    let breakeven = if reconfigs > 0 && saved > 0.0 {
+        Some(saved / (reconfigs as f64 * union_power))
+    } else {
+        None
+    };
+
+    Ok(PerKernelAnalysis {
+        name: name.to_string(),
+        union_kept: union.kept_count(),
+        per_kernel_kept: per_kernel.iter().map(TrimReport::kept_count).collect(),
+        union_power_w: union_power,
+        per_kernel_power_w: kernel_powers,
+        union_seconds,
+        per_kernel_seconds,
+        reconfig_seconds,
+        reconfigurations: reconfigs,
+        union_energy_j: union_energy,
+        per_kernel_energy_j: per_kernel_energy,
+        breakeven_reconfig_s: breakeven,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_fpga::ParallelPlan;
+    use scratch_system::RunReport;
+
+    fn fake_report(per_kernel_cycles: Vec<u64>, switches: u64) -> RunReport {
+        RunReport {
+            cu_cycles: per_kernel_cycles.iter().sum(),
+            host_cycles: 0,
+            seconds: 0.0,
+            stats: scratch_cu::CuStats::default(),
+            per_cu_cycles: vec![],
+            global_accesses: 0,
+            prefetch_hits: 0,
+            per_kernel_dispatches: per_kernel_cycles.iter().map(|_| 1).collect(),
+            per_kernel_cycles,
+            kernel_switches: switches,
+        }
+    }
+
+    fn two_kernel_app() -> Vec<Kernel> {
+        use scratch_asm::KernelBuilder;
+        use scratch_isa::{Opcode, Operand};
+        // Kernel A: floating point; kernel B: integer only.
+        let mut a = KernelBuilder::new("fp_phase");
+        a.vgprs(4);
+        a.vop2(Opcode::VMulF32, 1, Operand::FloatConst(2.0), 0).unwrap();
+        a.endpgm().unwrap();
+        let mut b = KernelBuilder::new("int_phase");
+        b.vgprs(4);
+        b.vop2(Opcode::VAddI32, 1, Operand::IntConst(1), 0).unwrap();
+        b.endpgm().unwrap();
+        vec![a.finish().unwrap(), b.finish().unwrap()]
+    }
+
+    #[test]
+    fn reconfig_seconds_scale_with_region() {
+        let model = ReconfigModel::default();
+        let small = CuShape {
+            kept: vec![scratch_isa::Opcode::VAddI32, scratch_isa::Opcode::SEndpgm],
+            int_valus: 1,
+            fp_valus: 0,
+            datapath_bits: 32,
+        };
+        let big = CuShape::full(1, 1);
+        assert!(model.seconds_for(&big) > model.seconds_for(&small));
+        // Milliseconds, not seconds (ZyCAP-class ICAP streaming).
+        assert!(model.seconds_for(&big) < 0.1);
+        assert!(model.seconds_for(&small) > 1e-6);
+    }
+
+    #[test]
+    fn long_phases_favour_per_kernel_trimming() {
+        let kernels = two_kernel_app();
+        // Long-running phases, few switches.
+        let report = fake_report(vec![200_000_000, 200_000_000], 1);
+        let a = analyze_per_kernel(
+            "synthetic",
+            &kernels,
+            &report,
+            ParallelPlan::baseline(true),
+            &ReconfigModel::default(),
+        )
+        .unwrap();
+        assert!(a.per_kernel_wins(), "{a:?}");
+        assert!(a.breakeven_reconfig_s.unwrap() > a.reconfig_seconds / a.reconfigurations as f64);
+        // The integer phase runs on a cheaper architecture.
+        assert!(a.per_kernel_power_w[1] < a.union_power_w);
+    }
+
+    #[test]
+    fn frequent_switching_favours_application_trimming() {
+        let kernels = two_kernel_app();
+        // Tiny phases, many switches: reconfiguration dominates.
+        let report = fake_report(vec![5_000, 5_000], 10_000);
+        let a = analyze_per_kernel(
+            "synthetic",
+            &kernels,
+            &report,
+            ParallelPlan::baseline(true),
+            &ReconfigModel::default(),
+        )
+        .unwrap();
+        assert!(!a.per_kernel_wins(), "{a:?}");
+        assert!(a.per_kernel_seconds > a.union_seconds);
+    }
+
+}

@@ -1,0 +1,209 @@
+//! Architecture trimming — the paper's Algorithm 1.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use scratch_asm::{AsmError, Kernel};
+use scratch_cu::TrimSet;
+use scratch_fpga::{cu_resources, CuShape};
+use scratch_isa::{FuncUnit, Opcode};
+
+use crate::analysis::StaticAnalysis;
+
+/// The output of the trimming tool for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrimReport {
+    /// Kernel name.
+    pub name: String,
+    /// The retained instruction set (what the trimmed decode and functional
+    /// units still implement).
+    pub kept: TrimSet,
+    /// Functional units removed wholesale (no retained instruction uses
+    /// them — e.g. the SIMF for integer-only kernels).
+    pub removed_units: Vec<FuncUnit>,
+    /// Instruction usage per unit, % of the supported set (Fig. 6 panel).
+    pub usage_percent: BTreeMap<FuncUnit, f64>,
+    /// `true` if the kernel needs floating-point vector hardware.
+    pub uses_fp: bool,
+}
+
+impl TrimReport {
+    /// Number of retained instructions.
+    #[must_use]
+    pub fn kept_count(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Number of instructions removed from the supported set.
+    #[must_use]
+    pub fn removed_count(&self) -> usize {
+        Opcode::ALL.len() - self.kept.len()
+    }
+
+    /// The retained opcodes as a vector (for the resource model).
+    #[must_use]
+    pub fn kept_opcodes(&self) -> Vec<Opcode> {
+        self.kept.iter().collect()
+    }
+
+    /// Resource savings of the trimmed CU relative to a full CU with the
+    /// same vector-unit counts, as `[ff%, lut%, dsp%, bram%]`.
+    #[must_use]
+    pub fn cu_savings_percent(&self, int_valus: u8, fp_valus: u8) -> [f64; 4] {
+        let full = cu_resources(&CuShape::full(int_valus, fp_valus.max(1)));
+        let trimmed = cu_resources(&CuShape {
+            kept: self.kept_opcodes(),
+            int_valus,
+            fp_valus,
+            datapath_bits: 32,
+        });
+        let saved = full.saturating_sub(&trimmed);
+        saved.percent_of(&full)
+    }
+}
+
+/// Trim for a whole application: the union of the requirements of all its
+/// kernels (the paper trims at application level rather than per kernel —
+/// see the §4.3 discussion).
+///
+/// # Errors
+///
+/// Fails if any binary does not decode.
+pub fn trim_kernels(kernels: &[Kernel]) -> Result<TrimReport, AsmError> {
+    let mut reports = kernels.iter().map(trim_kernel).collect::<Result<Vec<_>, _>>()?;
+    let mut merged = reports.pop().expect("at least one kernel");
+    for r in reports {
+        merged.kept.extend(r.kept.iter());
+        merged.uses_fp |= r.uses_fp;
+    }
+    merged.name = kernels
+        .iter()
+        .map(Kernel::name)
+        .collect::<Vec<_>>()
+        .join("+");
+    merged.removed_units = FuncUnit::TRIMMABLE
+        .iter()
+        .copied()
+        .filter(|&u| merged.kept.unit_unused(u))
+        .collect();
+    // Usage percentages over the union.
+    merged.usage_percent = FuncUnit::TRIMMABLE
+        .iter()
+        .map(|&u| {
+            let supported = Opcode::ALL.iter().filter(|o| o.unit() == u).count();
+            let used = merged.kept.of_unit(u).count();
+            (u, 100.0 * used as f64 / supported.max(1) as f64)
+        })
+        .collect();
+    Ok(merged)
+}
+
+/// Run the trimming tool on a kernel binary (paper Algorithm 1).
+///
+/// Step 1 decodes the binary into `required_instructions[FU]`
+/// ([`StaticAnalysis`]); step 2 keeps exactly those instructions: every
+/// other decode entry and functional sub-unit is removed, and units with no
+/// surviving instruction are removed wholesale.
+///
+/// # Errors
+///
+/// Fails if the binary does not decode.
+pub fn trim_kernel(kernel: &Kernel) -> Result<TrimReport, AsmError> {
+    let analysis = StaticAnalysis::of(kernel)?;
+
+    let mut kept = TrimSet::empty();
+    for op in analysis.opcodes() {
+        kept.insert(op);
+    }
+
+    let removed_units = FuncUnit::TRIMMABLE
+        .iter()
+        .copied()
+        .filter(|&u| kept.unit_unused(u))
+        .collect();
+
+    let usage_percent = FuncUnit::TRIMMABLE
+        .iter()
+        .map(|&u| (u, analysis.unit_usage_percent(u)))
+        .collect();
+
+    Ok(TrimReport {
+        name: kernel.name().to_string(),
+        uses_fp: analysis.uses_fp(),
+        kept,
+        removed_units,
+        usage_percent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_asm::KernelBuilder;
+    use scratch_isa::Operand;
+
+    fn int_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("int");
+        b.vgprs(4).sgprs(8);
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(16),
+            Operand::IntConst(64),
+        )
+        .unwrap();
+        b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), 0).unwrap();
+        b.mubuf(Opcode::BufferStoreDword, 1, 1, 4, Operand::IntConst(0), 0)
+            .unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        b.endpgm().unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn integer_kernel_drops_whole_simf() {
+        let report = trim_kernel(&int_kernel()).unwrap();
+        assert!(report.removed_units.contains(&FuncUnit::Simf));
+        assert!(!report.removed_units.contains(&FuncUnit::Simd));
+        assert!(!report.uses_fp);
+        assert_eq!(report.kept_count(), 5);
+        assert!(report.removed_count() > 150);
+    }
+
+    #[test]
+    fn kept_set_is_exactly_the_binary() {
+        let report = trim_kernel(&int_kernel()).unwrap();
+        for op in [
+            Opcode::SMulI32,
+            Opcode::VAddI32,
+            Opcode::BufferStoreDword,
+            Opcode::SWaitcnt,
+            Opcode::SEndpgm,
+        ] {
+            assert!(report.kept.contains(op), "{op:?} must be kept");
+        }
+        assert!(!report.kept.contains(Opcode::VAddF32));
+        assert!(!report.kept.contains(Opcode::VMulLoI32));
+    }
+
+    #[test]
+    fn savings_increase_when_more_is_removed() {
+        let report = trim_kernel(&int_kernel()).unwrap();
+        // With FP hardware removed entirely, savings must be substantial.
+        let [ff, lut, _, _] = report.cu_savings_percent(1, 0);
+        assert!(ff > 50.0, "FF savings {ff:.0}%");
+        assert!(lut > 50.0, "LUT savings {lut:.0}%");
+    }
+
+    #[test]
+    fn usage_percentages_are_small_for_tiny_kernels() {
+        let report = trim_kernel(&int_kernel()).unwrap();
+        for (&unit, &pct) in &report.usage_percent {
+            assert!(pct <= 100.0);
+            if unit == FuncUnit::Simf {
+                assert_eq!(pct, 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+use std::fmt;
+
+use scratch_isa::{FuncUnit, IsaError, Opcode};
+
+/// Errors raised by the compute-unit simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CuError {
+    /// The kernel binary failed to decode.
+    Isa(IsaError),
+    /// An instruction was issued that the trimming tool removed from this
+    /// architecture.
+    Trimmed {
+        /// The offending opcode.
+        opcode: Opcode,
+    },
+    /// An instruction requires a functional unit that the architecture
+    /// configuration does not instantiate (e.g. an FP opcode on a CU whose
+    /// SIMF units were scratched).
+    MissingUnit {
+        /// The required unit.
+        unit: FuncUnit,
+        /// The offending opcode.
+        opcode: Opcode,
+    },
+    /// Control flow left the kernel binary.
+    PcOutOfRange {
+        /// Word offset the program counter reached.
+        pc: usize,
+    },
+    /// A register index exceeded the kernel's declared budget.
+    RegisterOutOfRange {
+        /// Register class.
+        what: &'static str,
+        /// The offending index.
+        index: u32,
+    },
+    /// An LDS access fell outside the workgroup's allocation.
+    LdsOutOfRange {
+        /// Byte address of the access.
+        addr: u32,
+        /// Allocated LDS bytes.
+        size: u32,
+    },
+    /// More wavefronts were started than the fetch controller supports.
+    TooManyWavefronts,
+    /// No wavefront can ever make progress again (e.g. a barrier that can
+    /// never be satisfied).
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+    /// The simulation exceeded its configured cycle budget.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CuError::Isa(e) => write!(f, "isa error: {e}"),
+            CuError::Trimmed { opcode } => write!(
+                f,
+                "instruction {} was trimmed from this architecture",
+                opcode.mnemonic()
+            ),
+            CuError::MissingUnit { unit, opcode } => write!(
+                f,
+                "no {unit} unit instantiated for {}",
+                opcode.mnemonic()
+            ),
+            CuError::PcOutOfRange { pc } => write!(f, "program counter left the binary (word {pc})"),
+            CuError::RegisterOutOfRange { what, index } => {
+                write!(f, "{what}{index} exceeds the kernel register budget")
+            }
+            CuError::LdsOutOfRange { addr, size } => {
+                write!(f, "LDS access at byte {addr} outside allocation of {size} bytes")
+            }
+            CuError::TooManyWavefronts => write!(f, "fetch controller supports at most 40 wavefronts"),
+            CuError::Deadlock { cycle } => write!(f, "no wavefront can make progress (cycle {cycle})"),
+            CuError::CycleLimit { limit } => write!(f, "simulation exceeded {limit} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for CuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CuError::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for CuError {
+    fn from(e: IsaError) -> Self {
+        CuError::Isa(e)
+    }
+}

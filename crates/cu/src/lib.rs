@@ -1,0 +1,52 @@
+//! # scratch-cu
+//!
+//! Cycle-level simulator of the MIAOW2.0 compute unit from the SCRATCH paper
+//! (MICRO-50, 2017).
+//!
+//! The simulated CU mirrors the architecture of the paper's Fig. 2:
+//!
+//! * up to 40 resident wavefronts with round-robin fetch ([`CuConfig`]);
+//! * a decode stage that needs two cycles for 64-bit encodings;
+//! * an issue stage with per-wavefront in-order scoreboarding, immediate
+//!   handling of barriers and halts, and `s_waitcnt` blocking;
+//! * four execution-unit classes — SALU, integer SIMD VALUs, floating-point
+//!   SIMF VALUs and the LSU — with configurable *counts* of SIMD/SIMF units
+//!   (the paper's multi-thread parallelism axis) and per-class latencies;
+//! * 16-wide vector units executing a 64-lane wavefront in 4 beats;
+//! * an LDS scratchpad per workgroup and workgroup-scoped `s_barrier`.
+//!
+//! Functional execution is exact for every supported instruction: the same
+//! register/memory state a Southern Islands CU would produce (§2.3 of the
+//! paper validated this instruction-by-instruction on the FPGA; our unit
+//! tests play the same role).
+//!
+//! Timing follows a *functional-now, timing-later* discipline: an
+//! instruction's architectural effects apply when it issues, while its cost
+//! occupies the functional unit and delays dependent instructions, and
+//! memory costs are charged through the `vmcnt`/`lgkmcnt` counters exactly
+//! where SI software must already synchronise with `s_waitcnt`.
+//!
+//! Trimmed architectures ([`TrimSet`]) are enforced at issue: executing an
+//! instruction the trimming tool removed is a hard [`CuError::Trimmed`] —
+//! the safety property the SCRATCH tool guarantees never to violate for the
+//! kernel it trimmed against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod exec;
+mod memory;
+mod pipeline;
+mod stats;
+mod trimset;
+mod wavefront;
+
+pub use config::{CuConfig, Latencies};
+pub use error::CuError;
+pub use memory::{AccessKind, FixedLatencyMemory, Memory};
+pub use pipeline::{ComputeUnit, WaveInit};
+pub use stats::{CuStats, OpcodeHistogram};
+pub use trimset::TrimSet;
+pub use wavefront::Wavefront;

@@ -1,0 +1,155 @@
+//! The global-memory interface the compute unit talks to.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a memory access, used by timing models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// SMRD scalar load (one request per wavefront).
+    ScalarLoad,
+    /// MUBUF/MTBUF vector load.
+    VectorLoad,
+    /// MUBUF/MTBUF vector store.
+    VectorStore,
+}
+
+/// Functional + timing interface to the memory system behind the CU.
+///
+/// `scratch-system` implements the paper's three configurations (Original,
+/// DCD, DCD+PM); [`FixedLatencyMemory`] is a flat test double.
+///
+/// Functional reads/writes are performed eagerly when an instruction issues;
+/// [`Memory::access`] separately returns the *completion cycle* used to
+/// drive the wavefront's `vmcnt`/`lgkmcnt` counters.
+pub trait Memory {
+    /// Read a 32-bit word. Unmapped addresses read as zero (matching the
+    /// out-of-range behaviour of SI buffer loads).
+    fn read_u32(&mut self, addr: u64) -> u32;
+
+    /// Write a 32-bit word. Writes outside the mapped range are dropped
+    /// (matching SI buffer-store range checking).
+    fn write_u32(&mut self, addr: u64, value: u32);
+
+    /// Charge the timing of an access issued at cycle `now` touching
+    /// `lanes` active lanes at `addr`; returns the completion cycle.
+    fn access(&mut self, kind: AccessKind, addr: u64, lanes: u32, now: u64) -> u64;
+}
+
+/// A flat memory with a fixed per-access latency — the unit-test double.
+#[derive(Debug, Clone)]
+pub struct FixedLatencyMemory {
+    data: Vec<u8>,
+    latency: u64,
+    /// Number of accesses that fell outside the mapped range.
+    pub out_of_range: u64,
+}
+
+impl FixedLatencyMemory {
+    /// Allocate `size` bytes of zeroed memory with the given latency.
+    #[must_use]
+    pub fn new(size: usize, latency: u64) -> FixedLatencyMemory {
+        FixedLatencyMemory {
+            data: vec![0; size],
+            latency,
+            out_of_range: 0,
+        }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the memory has zero capacity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy a `u32` slice into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice does not fit.
+    pub fn load_words(&mut self, addr: u64, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            let a = addr as usize + i * 4;
+            self.data[a..a + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Read back a `u32` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit.
+    #[must_use]
+    pub fn read_words(&self, addr: u64, count: usize) -> Vec<u32> {
+        (0..count)
+            .map(|i| {
+                let a = addr as usize + i * 4;
+                u32::from_le_bytes(self.data[a..a + 4].try_into().unwrap())
+            })
+            .collect()
+    }
+}
+
+impl Memory for FixedLatencyMemory {
+    fn read_u32(&mut self, addr: u64) -> u32 {
+        let a = addr as usize;
+        if a + 4 <= self.data.len() {
+            u32::from_le_bytes(self.data[a..a + 4].try_into().unwrap())
+        } else {
+            self.out_of_range += 1;
+            0
+        }
+    }
+
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        let a = addr as usize;
+        if a + 4 <= self.data.len() {
+            self.data[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.out_of_range += 1;
+        }
+    }
+
+    fn access(&mut self, _kind: AccessKind, _addr: u64, _lanes: u32, now: u64) -> u64 {
+        now + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = FixedLatencyMemory::new(64, 10);
+        m.write_u32(8, 0xdead_beef);
+        assert_eq!(m.read_u32(8), 0xdead_beef);
+        assert_eq!(m.read_u32(12), 0);
+    }
+
+    #[test]
+    fn out_of_range_is_safe() {
+        let mut m = FixedLatencyMemory::new(8, 1);
+        m.write_u32(100, 1);
+        assert_eq!(m.read_u32(100), 0);
+        assert_eq!(m.out_of_range, 2);
+    }
+
+    #[test]
+    fn bulk_helpers() {
+        let mut m = FixedLatencyMemory::new(64, 1);
+        m.load_words(0, &[1, 2, 3]);
+        assert_eq!(m.read_words(0, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fixed_latency() {
+        let mut m = FixedLatencyMemory::new(8, 25);
+        assert_eq!(m.access(AccessKind::VectorLoad, 0, 64, 100), 125);
+    }
+}

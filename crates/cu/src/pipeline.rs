@@ -1,0 +1,933 @@
+//! The compute-unit timing model: fetch/decode/issue scheduling over the
+//! functional executor.
+
+use std::collections::HashMap;
+
+use scratch_asm::{Kernel, KernelMeta};
+use scratch_isa::{Fields, FuncUnit, Instruction, Opcode, Operand};
+
+use crate::exec::{execute, MemEvent};
+use crate::memory::Memory;
+use crate::wavefront::{WaveState, Wavefront};
+use crate::{CuConfig, CuError, CuStats};
+
+/// Register-level dependency key for the issue scoreboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RegKey {
+    S(u8),
+    V(u8),
+    Vcc,
+    Exec,
+    Scc,
+    M0,
+}
+
+fn scalar_key(op: Operand) -> Option<RegKey> {
+    match op {
+        Operand::Sgpr(n) => Some(RegKey::S(n)),
+        Operand::VccLo | Operand::VccHi | Operand::Vccz => Some(RegKey::Vcc),
+        Operand::ExecLo | Operand::ExecHi | Operand::Execz => Some(RegKey::Exec),
+        Operand::Scc => Some(RegKey::Scc),
+        Operand::M0 => Some(RegKey::M0),
+        _ => None,
+    }
+}
+
+fn push_group(keys: &mut Vec<RegKey>, base: RegKey, width: u8) {
+    match base {
+        RegKey::S(n) => {
+            for i in 0..width {
+                keys.push(RegKey::S(n.saturating_add(i)));
+            }
+        }
+        RegKey::V(n) => {
+            for i in 0..width {
+                keys.push(RegKey::V(n.saturating_add(i)));
+            }
+        }
+        other => keys.push(other),
+    }
+}
+
+/// Source registers an instruction reads (for scoreboarding).
+fn source_keys(inst: &Instruction) -> Vec<RegKey> {
+    let op = inst.opcode;
+    let mut keys = Vec::with_capacity(6);
+    for src in inst.source_operands() {
+        match src {
+            Operand::Vgpr(r) => keys.push(RegKey::V(r)),
+            other => {
+                if let Some(k) = scalar_key(other) {
+                    push_group(&mut keys, k, op.src_width());
+                }
+            }
+        }
+    }
+    // Vector instructions read the execute mask.
+    if op.is_vector_alu() || op.is_vector_memory() || op.is_lds() {
+        keys.push(RegKey::Exec);
+    }
+    // Implicit VCC / SCC reads.
+    if op.reads_vcc_implicitly() || op == Opcode::VCndmaskB32 {
+        keys.push(RegKey::Vcc);
+    }
+    match op {
+        Opcode::SCselectB32 | Opcode::SCmovB32 | Opcode::SAddcU32 | Opcode::SSubbU32
+        | Opcode::SCbranchScc0 | Opcode::SCbranchScc1 => keys.push(RegKey::Scc),
+        Opcode::SCbranchVccz | Opcode::SCbranchVccnz => keys.push(RegKey::Vcc),
+        Opcode::SCbranchExecz | Opcode::SCbranchExecnz => keys.push(RegKey::Exec),
+        _ => {}
+    }
+    // Read-modify-write destinations.
+    match inst.fields {
+        Fields::Sopk { sdst, .. }
+            if matches!(
+                op,
+                Opcode::SCmpkEqI32
+                    | Opcode::SCmpkLgI32
+                    | Opcode::SCmpkGtI32
+                    | Opcode::SCmpkGeI32
+                    | Opcode::SCmpkLtI32
+                    | Opcode::SCmpkLeI32
+                    | Opcode::SAddkI32
+                    | Opcode::SMulkI32
+            ) =>
+        {
+            if let Some(k) = scalar_key(sdst) {
+                keys.push(k);
+            }
+        }
+        Fields::Sop1 { sdst, .. }
+            if matches!(op, Opcode::SBitset0B32 | Opcode::SBitset1B32 | Opcode::SCmovB32) =>
+        {
+            if let Some(k) = scalar_key(sdst) {
+                keys.push(k);
+            }
+        }
+        Fields::Vop2 { vdst, .. } if op == Opcode::VMacF32 => keys.push(RegKey::V(vdst)),
+        // Buffer stores read the data register group.
+        Fields::Mubuf { vdata, .. } | Fields::Mtbuf { vdata, .. } if op.is_store() => {
+            push_group(&mut keys, RegKey::V(vdata), op.dst_width());
+        }
+        // Buffer descriptors span four SGPRs.
+        Fields::Mubuf { srsrc, .. } | Fields::Mtbuf { srsrc, .. } => {
+            push_group(&mut keys, RegKey::S(srsrc), 4);
+        }
+        _ => {}
+    }
+    keys
+}
+
+/// Destination registers an instruction writes (for scoreboarding).
+/// Memory-load destinations are deliberately excluded: SI software must
+/// order those with `s_waitcnt`, and the timing model charges them there.
+fn dest_keys(inst: &Instruction) -> Vec<RegKey> {
+    let op = inst.opcode;
+    let mut keys = Vec::with_capacity(4);
+    if op.is_memory() {
+        return keys;
+    }
+    match inst.fields {
+        Fields::Sop2 { sdst, .. } | Fields::Sopk { sdst, .. } | Fields::Sop1 { sdst, .. } => {
+            if let Some(k) = scalar_key(sdst) {
+                push_group(&mut keys, k, op.dst_width());
+            }
+        }
+        Fields::Sopc { .. } | Fields::Sopp { .. } => {}
+        Fields::Vop1 { vdst, .. } => {
+            if op == Opcode::VReadfirstlaneB32 {
+                keys.push(RegKey::S(vdst));
+            } else {
+                keys.push(RegKey::V(vdst));
+            }
+        }
+        Fields::Vop2 { vdst, .. } => keys.push(RegKey::V(vdst)),
+        Fields::Vopc { .. } => keys.push(RegKey::Vcc),
+        Fields::Vop3a { vdst, .. } => keys.push(RegKey::V(vdst)),
+        Fields::Vop3b { vdst, sdst, .. } => {
+            if !op.is_vector_compare() {
+                keys.push(RegKey::V(vdst));
+            }
+            if let Some(k) = scalar_key(sdst) {
+                push_group(&mut keys, k, 2);
+            }
+        }
+        _ => {}
+    }
+    if op.writes_scc() {
+        keys.push(RegKey::Scc);
+    }
+    if op.writes_vcc_implicitly() && !matches!(inst.fields, Fields::Vop3b { .. }) {
+        keys.push(RegKey::Vcc);
+    }
+    if matches!(
+        op,
+        Opcode::SAndSaveexecB64
+            | Opcode::SOrSaveexecB64
+            | Opcode::SXorSaveexecB64
+            | Opcode::SAndn2SaveexecB64
+    ) {
+        keys.push(RegKey::Exec);
+    }
+    keys
+}
+
+/// Initial state for one wavefront, as the ultra-threaded dispatcher would
+/// program it over the register access interfaces (§2.1.2).
+#[derive(Debug, Clone, Default)]
+pub struct WaveInit {
+    /// Workgroup handle from [`ComputeUnit::add_workgroup`].
+    pub workgroup: usize,
+    /// Initial execute mask (lanes beyond the workgroup tail are disabled).
+    pub exec: u64,
+    /// `(register, value)` scalar initialisers.
+    pub sgprs: Vec<(u32, u32)>,
+    /// `(register, per-lane values)` vector initialisers.
+    pub vgprs: Vec<(u32, Vec<u32>)>,
+}
+
+#[derive(Debug)]
+struct Workgroup {
+    lds: Vec<u32>,
+    waves: Vec<usize>,
+    arrived: usize,
+}
+
+#[derive(Debug)]
+struct FuPool {
+    salu_busy: u64,
+    lsu_busy: u64,
+    simd_busy: Vec<u64>,
+    simf_busy: Vec<u64>,
+}
+
+/// The MIAOW2.0 compute unit: program, resident wavefronts, functional
+/// units and the cycle-level scheduler.
+#[derive(Debug)]
+pub struct ComputeUnit {
+    config: CuConfig,
+    meta: KernelMeta,
+    /// Word-indexed decoded program.
+    program: Vec<Option<Instruction>>,
+    waves: Vec<Wavefront>,
+    pending: Vec<HashMap<RegKey, u64>>,
+    workgroups: Vec<Workgroup>,
+    fus: FuPool,
+    rr: usize,
+    now: u64,
+    stats: CuStats,
+}
+
+impl ComputeUnit {
+    /// Build a compute unit loaded with `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel binary does not decode.
+    pub fn new(config: CuConfig, kernel: &Kernel) -> Result<ComputeUnit, CuError> {
+        let insts = scratch_isa::Instruction::decode_all(kernel.words())?;
+        let mut program = vec![None; kernel.words().len()];
+        for (pos, inst) in insts {
+            program[pos] = Some(inst);
+        }
+        Ok(ComputeUnit {
+            fus: FuPool {
+                salu_busy: 0,
+                lsu_busy: 0,
+                simd_busy: vec![0; config.int_valus as usize],
+                simf_busy: vec![0; config.fp_valus as usize],
+            },
+            config,
+            meta: *kernel.meta(),
+            program,
+            waves: Vec::new(),
+            pending: Vec::new(),
+            workgroups: Vec::new(),
+            rr: 0,
+            now: 0,
+            stats: CuStats::default(),
+        })
+    }
+
+    /// Architecture configuration.
+    #[must_use]
+    pub fn config(&self) -> &CuConfig {
+        &self.config
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CuStats {
+        &self.stats
+    }
+
+    /// Access a resident wavefront (for result inspection in tests).
+    #[must_use]
+    pub fn wave(&self, idx: usize) -> &Wavefront {
+        &self.waves[idx]
+    }
+
+    /// Allocate a workgroup (LDS storage + barrier scope); returns its
+    /// handle for [`WaveInit::workgroup`].
+    pub fn add_workgroup(&mut self) -> usize {
+        self.workgroups.push(Workgroup {
+            lds: vec![0; (self.meta.lds_bytes as usize).div_ceil(4)],
+            waves: Vec::new(),
+            arrived: 0,
+        });
+        self.workgroups.len() - 1
+    }
+
+    /// Start a wavefront at PC 0 with the dispatcher-provided register state.
+    ///
+    /// # Errors
+    ///
+    /// * [`CuError::TooManyWavefronts`] beyond the fetch controller's limit;
+    /// * register initialisers outside the kernel's budgets.
+    pub fn start_wave(&mut self, init: WaveInit) -> Result<usize, CuError> {
+        let resident = self
+            .waves
+            .iter()
+            .filter(|w| w.state != WaveState::Done)
+            .count();
+        if resident >= usize::from(self.config.max_wavefronts) {
+            return Err(CuError::TooManyWavefronts);
+        }
+        let idx = self.waves.len();
+        let mut wave = Wavefront::new(
+            idx,
+            init.workgroup,
+            usize::from(self.meta.sgprs),
+            usize::from(self.meta.vgprs),
+        );
+        wave.exec = init.exec;
+        wave.next_ready = self.now;
+        for &(r, v) in &init.sgprs {
+            wave.set_sgpr(r, v)?;
+        }
+        for (r, lanes) in &init.vgprs {
+            for (lane, &v) in lanes.iter().enumerate().take(scratch_isa::WAVEFRONT_SIZE) {
+                wave.set_vgpr(*r, lane, v)?;
+            }
+        }
+        self.workgroups[init.workgroup].waves.push(idx);
+        self.waves.push(wave);
+        self.pending.push(HashMap::new());
+        Ok(idx)
+    }
+
+    /// Drop retired wavefronts and workgroups so a new batch can start.
+    /// Cycle count and statistics carry over.
+    pub fn clear_waves(&mut self) {
+        self.waves.clear();
+        self.pending.clear();
+        self.workgroups.clear();
+        self.rr = 0;
+    }
+
+    /// Replace the loaded program with another kernel (the dispatcher
+    /// reloads the instruction memory between kernel launches). Resident
+    /// wavefronts are dropped; cycle count and statistics carry over.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel binary does not decode.
+    pub fn load_kernel(&mut self, kernel: &Kernel) -> Result<(), CuError> {
+        let insts = scratch_isa::Instruction::decode_all(kernel.words())?;
+        let mut program = vec![None; kernel.words().len()];
+        for (pos, inst) in insts {
+            program[pos] = Some(inst);
+        }
+        self.program = program;
+        self.meta = *kernel.meta();
+        self.clear_waves();
+        Ok(())
+    }
+
+    /// Run until every resident wavefront has executed `s_endpgm`.
+    ///
+    /// Returns the number of cycles this batch took.
+    ///
+    /// # Errors
+    ///
+    /// Trim violations, missing units, register/LDS range errors, barrier
+    /// deadlock, or exceeding the configured cycle limit.
+    pub fn run_to_completion(&mut self, mem: &mut dyn Memory) -> Result<u64, CuError> {
+        let start = self.now;
+        while self.waves.iter().any(|w| w.state != WaveState::Done) {
+            if self.now - start > self.config.cycle_limit {
+                return Err(CuError::CycleLimit {
+                    limit: self.config.cycle_limit,
+                });
+            }
+            if self.try_issue(mem)? {
+                self.now += 1;
+            } else {
+                self.now = self
+                    .next_event()
+                    .ok_or(CuError::Deadlock { cycle: self.now })?;
+            }
+        }
+        self.stats.cycles = self.now;
+        Ok(self.now - start)
+    }
+
+    fn inst_at(&self, pc: usize) -> Result<&Instruction, CuError> {
+        self.program
+            .get(pc)
+            .and_then(|slot| slot.as_ref())
+            .ok_or(CuError::PcOutOfRange { pc })
+    }
+
+    /// Attempt to issue instructions this cycle. MIAOW's issue stage keeps
+    /// one scoreboard per instruction class (branch & message, scalar,
+    /// vector, LD/ST — Fig. 2) and its arbiter can start one instruction
+    /// of each class per cycle, from different wavefronts. Returns `true`
+    /// if anything issued.
+    fn try_issue(&mut self, mem: &mut dyn Memory) -> Result<bool, CuError> {
+        let mut class_used = [false; 4]; // scalar, vector, lsu, branch
+        let mut issued_any = false;
+        let n = self.waves.len();
+        let rr_start = self.rr;
+        for i in 0..n {
+            if class_used.iter().all(|&u| u) {
+                break;
+            }
+            let wi = (rr_start + i) % n;
+            if self.waves[wi].state != WaveState::Ready || self.waves[wi].next_ready > self.now {
+                continue;
+            }
+            let pc = self.waves[wi].pc;
+            let inst = *self.inst_at(pc)?;
+            let op = inst.opcode;
+
+            // One instruction per issue class per cycle.
+            let class = match op.unit() {
+                FuncUnit::Salu => 0,
+                FuncUnit::Simd | FuncUnit::Simf => 1,
+                FuncUnit::Lsu => 2,
+                FuncUnit::Branch => 3,
+            };
+            if class_used[class] {
+                continue;
+            }
+
+            // Trimmed-architecture enforcement (hard errors: the hardware
+            // for this instruction does not exist).
+            if let Some(trim) = &self.config.trim {
+                if !trim.contains(op) {
+                    return Err(CuError::Trimmed { opcode: op });
+                }
+            }
+            let unit = op.unit();
+            match unit {
+                FuncUnit::Simd if self.config.int_valus == 0 => {
+                    return Err(CuError::MissingUnit { unit, opcode: op })
+                }
+                FuncUnit::Simf if self.config.fp_valus == 0 => {
+                    return Err(CuError::MissingUnit { unit, opcode: op })
+                }
+                _ => {}
+            }
+
+            // s_waitcnt blocks at issue until the counters drain.
+            if op == Opcode::SWaitcnt {
+                let Fields::Sopp { simm16 } = inst.fields else {
+                    unreachable!()
+                };
+                let vm_target = u32::from(simm16 & 0xf);
+                let lgkm_target = u32::from((simm16 >> 8) & 0x1f);
+                let ready = self.waves[wi].waitcnt_ready_at(vm_target, lgkm_target);
+                if ready > self.now {
+                    self.waves[wi].next_ready = ready;
+                    continue;
+                }
+            }
+
+            // Scoreboard: stall on pending writes to our sources.
+            let mut dep_ready = 0u64;
+            for key in source_keys(&inst) {
+                if let Some(&t) = self.pending[wi].get(&key) {
+                    dep_ready = dep_ready.max(t);
+                }
+            }
+            if dep_ready > self.now {
+                self.waves[wi].next_ready = dep_ready;
+                continue;
+            }
+
+            // Structural hazard: need a free unit instance.
+            let is_vector = op.is_vector_alu();
+            let slot: Option<usize> = match unit {
+                FuncUnit::Salu => (self.fus.salu_busy <= self.now).then_some(0),
+                FuncUnit::Lsu => (self.fus.lsu_busy <= self.now).then_some(0),
+                FuncUnit::Branch => Some(0),
+                FuncUnit::Simd => self.fus.simd_busy.iter().position(|&b| b <= self.now),
+                FuncUnit::Simf => self.fus.simf_busy.iter().position(|&b| b <= self.now),
+            };
+            let Some(slot) = slot else { continue };
+
+            // ---- issue ----
+            class_used[class] = true;
+            issued_any = true;
+            self.rr = (wi + 1) % n;
+            let beats = self.config.vector_beats();
+            // SIMD datapaths are pipelined (one beat per cycle); the SIMF
+            // maps to iterative FP cores on the FPGA, so a floating-point
+            // instruction occupies its unit for the full operation latency
+            // — which is why replicating SIMF units pays off so well in the
+            // paper's multi-thread experiments (Fig. 7B).
+            let occupancy = match unit {
+                FuncUnit::Simd => beats,
+                FuncUnit::Simf => beats + self.config.latencies.of(op),
+                _ => 1,
+            };
+            match unit {
+                FuncUnit::Salu => self.fus.salu_busy = self.now + 1,
+                FuncUnit::Lsu => self.fus.lsu_busy = self.now + 1,
+                FuncUnit::Branch => {}
+                FuncUnit::Simd => self.fus.simd_busy[slot] = self.now + occupancy,
+                FuncUnit::Simf => self.fus.simf_busy[slot] = self.now + occupancy,
+            }
+            self.stats.record_busy(unit, occupancy);
+
+            let next_pc = pc + inst.size_words();
+            let lds_ptr = self.waves[wi].workgroup;
+            let wave = &mut self.waves[wi];
+            let lanes = wave.active_lanes();
+            let outcome = execute(
+                &inst,
+                next_pc,
+                wave,
+                &mut self.workgroups[lds_ptr].lds,
+                mem,
+            )?;
+            wave.retired += 1;
+            self.stats.record_issue(op, lanes);
+
+            // Result latency for the scoreboard.
+            let latency = self.config.latencies.of(op) + if is_vector { beats - 1 } else { 0 };
+            let done_at = self.now + latency.max(1);
+            self.pending[wi].retain(|_, &mut t| t > self.now);
+            for key in dest_keys(&inst) {
+                self.pending[wi].insert(key, done_at);
+            }
+
+            // Fetch/decode cost for the following instruction.
+            let decode = inst.size_words() as u64;
+            self.waves[wi].next_ready = self.now + decode.max(1);
+
+            // Memory events feed the waitcnt counters.
+            match outcome.mem {
+                Some(MemEvent::Scalar { addr }) => {
+                    let t = mem.access(
+                        crate::AccessKind::ScalarLoad,
+                        addr,
+                        1,
+                        self.now + self.config.latencies.lsu_addr,
+                    );
+                    self.waves[wi].lgkm_events.push(t);
+                    self.stats.scalar_mem_ops += 1;
+                }
+                // A fully masked-off vector access issues no memory request
+                // at all (the LSU sees an empty lane set).
+                Some(MemEvent::Vector { lanes: 0, .. }) => {}
+                Some(MemEvent::Vector { kind, addr, lanes }) => {
+                    let t = mem.access(kind, addr, lanes, self.now + self.config.latencies.lsu_addr);
+                    self.waves[wi].vm_events.push(t);
+                    self.stats.vector_mem_ops += 1;
+                }
+                Some(MemEvent::Lds) => {
+                    self.waves[wi].lgkm_events.push(self.now + 2);
+                    self.stats.lds_ops += 1;
+                }
+                None => {}
+            }
+            self.waves[wi].retire_mem_events(self.now);
+
+            // Control flow.
+            if outcome.end {
+                self.waves[wi].state = WaveState::Done;
+                self.stats.wavefronts_retired += 1;
+            } else if let Some(target) = outcome.new_pc {
+                self.waves[wi].pc = target;
+                self.waves[wi].next_ready = self.now + self.config.latencies.branch_taken;
+                self.stats.branches_taken += 1;
+            } else {
+                self.waves[wi].pc = next_pc;
+            }
+
+            if outcome.barrier {
+                self.stats.barriers += 1;
+                let wg = self.waves[wi].workgroup;
+                self.waves[wi].state = WaveState::AtBarrier;
+                self.workgroups[wg].arrived += 1;
+                if self.workgroups[wg].arrived == self.workgroups[wg].waves.len() {
+                    self.workgroups[wg].arrived = 0;
+                    let release = self.now + 1;
+                    for &widx in &self.workgroups[wg].waves.clone() {
+                        if self.waves[widx].state == WaveState::AtBarrier {
+                            self.waves[widx].state = WaveState::Ready;
+                            self.waves[widx].next_ready =
+                                self.waves[widx].next_ready.max(release);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(issued_any)
+    }
+
+    /// Earliest future time at which anything could change.
+    fn next_event(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > self.now {
+                best = Some(best.map_or(t, |b| b.min(t)));
+            }
+        };
+        for (wi, w) in self.waves.iter().enumerate() {
+            if w.state != WaveState::Ready {
+                continue;
+            }
+            consider(w.next_ready);
+            for &t in &w.vm_events {
+                consider(t);
+            }
+            for &t in &w.lgkm_events {
+                consider(t);
+            }
+            for &t in self.pending[wi].values() {
+                consider(t);
+            }
+        }
+        consider(self.fus.salu_busy);
+        consider(self.fus.lsu_busy);
+        for &t in &self.fus.simd_busy {
+            consider(t);
+        }
+        for &t in &self.fus.simf_busy {
+            consider(t);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::FixedLatencyMemory;
+    use crate::TrimSet;
+    use scratch_asm::KernelBuilder;
+    use scratch_isa::{Opcode, Operand};
+
+    /// v1 = v0 * 3 + 7 elementwise, no memory.
+    fn alu_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("alu");
+        b.vgprs(4).sgprs(8);
+        b.vop3a(
+            Opcode::VMulLoI32,
+            1,
+            Operand::Vgpr(0),
+            Operand::IntConst(3),
+            None,
+        )
+        .unwrap();
+        b.vop2(Opcode::VAddI32, 1, Operand::IntConst(7), 1).unwrap();
+        b.endpgm().unwrap();
+        b.finish().unwrap()
+    }
+
+    fn tid_init(workgroup: usize) -> WaveInit {
+        WaveInit {
+            workgroup,
+            exec: u64::MAX,
+            sgprs: vec![],
+            vgprs: vec![(0, (0..64).collect())],
+        }
+    }
+
+    #[test]
+    fn single_wave_alu_results() {
+        let kernel = alu_kernel();
+        let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+        let wg = cu.add_workgroup();
+        let w = cu.start_wave(tid_init(wg)).unwrap();
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        let cycles = cu.run_to_completion(&mut mem).unwrap();
+        assert!(cycles > 0);
+        for lane in 0..64 {
+            assert_eq!(cu.wave(w).vgpr(1, lane).unwrap(), lane as u32 * 3 + 7);
+        }
+        assert_eq!(cu.stats().wavefronts_retired, 1);
+        assert_eq!(cu.stats().instructions, 3);
+    }
+
+    #[test]
+    fn dependent_chain_slower_than_independent() {
+        // Dependent: v1 = v0+1; v2 = v1+1; v3 = v2+1 (RAW chain).
+        let mut b = KernelBuilder::new("dep");
+        b.vgprs(8);
+        b.vop2(Opcode::VAddI32, 1, Operand::IntConst(1), 0).unwrap();
+        b.vop2(Opcode::VAddI32, 2, Operand::IntConst(1), 1).unwrap();
+        b.vop2(Opcode::VAddI32, 3, Operand::IntConst(1), 2).unwrap();
+        b.endpgm().unwrap();
+        let dep = b.finish().unwrap();
+
+        // Independent: v1 = v0+1; v2 = v0+1; v3 = v0+1.
+        let mut b = KernelBuilder::new("indep");
+        b.vgprs(8);
+        for d in 1..=3 {
+            b.vop2(Opcode::VAddI32, d, Operand::IntConst(1), 0).unwrap();
+        }
+        b.endpgm().unwrap();
+        let indep = b.finish().unwrap();
+
+        let run = |k: &Kernel| {
+            let mut cu = ComputeUnit::new(
+                CuConfig {
+                    int_valus: 4,
+                    ..CuConfig::default()
+                },
+                k,
+            )
+            .unwrap();
+            let wg = cu.add_workgroup();
+            cu.start_wave(tid_init(wg)).unwrap();
+            let mut mem = FixedLatencyMemory::new(0, 0);
+            cu.run_to_completion(&mut mem).unwrap()
+        };
+        assert!(
+            run(&dep) > run(&indep),
+            "RAW chain must be slower than independent ops"
+        );
+    }
+
+    #[test]
+    fn multiple_valus_speed_up_many_waves() {
+        let kernel = alu_kernel();
+        let run = |valus: u8| {
+            let mut cu = ComputeUnit::new(
+                CuConfig {
+                    int_valus: valus,
+                    ..CuConfig::default()
+                },
+                &kernel,
+            )
+            .unwrap();
+            let wg = cu.add_workgroup();
+            for _ in 0..16 {
+                cu.start_wave(tid_init(wg)).unwrap();
+            }
+            let mut mem = FixedLatencyMemory::new(0, 0);
+            cu.run_to_completion(&mut mem).unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four * 2 < one,
+            "4 VALUs ({four} cy) should be >2x faster than 1 ({one} cy)"
+        );
+    }
+
+    #[test]
+    fn waitcnt_charges_memory_latency() {
+        // load -> waitcnt -> endpgm with big latency vs small latency.
+        let mut b = KernelBuilder::new("mem");
+        b.vgprs(4).sgprs(8);
+        b.mubuf(
+            Opcode::BufferLoadDword,
+            1,
+            0,
+            4,
+            Operand::IntConst(0),
+            0,
+        )
+        .unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        b.endpgm().unwrap();
+        let kernel = b.finish().unwrap();
+
+        let run = |latency: u64| {
+            let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+            let wg = cu.add_workgroup();
+            cu.start_wave(WaveInit {
+                workgroup: wg,
+                exec: u64::MAX,
+                sgprs: vec![(4, 0), (5, 0), (6, 0)],
+                vgprs: vec![(0, (0..64).map(|l| l * 4).collect())],
+            })
+            .unwrap();
+            let mut mem = FixedLatencyMemory::new(1024, latency);
+            cu.run_to_completion(&mut mem).unwrap()
+        };
+        let slow = run(500);
+        let fast = run(5);
+        assert!(slow > fast + 400, "slow={slow} fast={fast}");
+    }
+
+    #[test]
+    fn barrier_synchronises_workgroup() {
+        // Each wave: atomically add 1 to LDS[0], barrier, read LDS[0].
+        let mut b = KernelBuilder::new("bar");
+        b.vgprs(4).sgprs(4).lds_bytes(16);
+        b.vop1(Opcode::VMovB32, 1, Operand::IntConst(0)).unwrap(); // addr
+        b.vop1(Opcode::VMovB32, 2, Operand::IntConst(1)).unwrap(); // data
+        b.ds_write(Opcode::DsAddU32, 1, 2, 0).unwrap();
+        b.waitcnt(None, Some(0)).unwrap();
+        b.sopp(Opcode::SBarrier, 0).unwrap();
+        b.ds_read(Opcode::DsReadB32, 3, 1, 0).unwrap();
+        b.waitcnt(None, Some(0)).unwrap();
+        b.endpgm().unwrap();
+        let kernel = b.finish().unwrap();
+
+        let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+        let wg = cu.add_workgroup();
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            // Single active lane per wave so the atomic adds 1 per wave.
+            ids.push(
+                cu.start_wave(WaveInit {
+                    workgroup: wg,
+                    exec: 1,
+                    sgprs: vec![],
+                    vgprs: vec![],
+                })
+                .unwrap(),
+            );
+        }
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        cu.run_to_completion(&mut mem).unwrap();
+        for &w in &ids {
+            assert_eq!(
+                cu.wave(w).vgpr(3, 0).unwrap(),
+                4,
+                "every wave must observe all 4 atomic adds after the barrier"
+            );
+        }
+        assert_eq!(cu.stats().barriers, 4);
+    }
+
+    #[test]
+    fn trimmed_instruction_is_fatal() {
+        let kernel = alu_kernel();
+        let mut trim = TrimSet::empty();
+        trim.insert(Opcode::VAddI32);
+        trim.insert(Opcode::SEndpgm);
+        // v_mul_lo_i32 missing.
+        let mut cu = ComputeUnit::new(
+            CuConfig {
+                trim: Some(trim),
+                ..CuConfig::default()
+            },
+            &kernel,
+        )
+        .unwrap();
+        let wg = cu.add_workgroup();
+        cu.start_wave(tid_init(wg)).unwrap();
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        let err = cu.run_to_completion(&mut mem).unwrap_err();
+        assert_eq!(
+            err,
+            CuError::Trimmed {
+                opcode: Opcode::VMulLoI32
+            }
+        );
+    }
+
+    #[test]
+    fn missing_simf_is_fatal() {
+        let mut b = KernelBuilder::new("fp");
+        b.vgprs(4);
+        b.vop2(Opcode::VAddF32, 1, Operand::FloatConst(1.0), 0).unwrap();
+        b.endpgm().unwrap();
+        let kernel = b.finish().unwrap();
+        let mut cu = ComputeUnit::new(
+            CuConfig {
+                fp_valus: 0,
+                ..CuConfig::default()
+            },
+            &kernel,
+        )
+        .unwrap();
+        let wg = cu.add_workgroup();
+        cu.start_wave(tid_init(wg)).unwrap();
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        let err = cu.run_to_completion(&mut mem).unwrap_err();
+        assert!(matches!(err, CuError::MissingUnit { .. }));
+    }
+
+    #[test]
+    fn too_many_wavefronts_rejected() {
+        let kernel = alu_kernel();
+        let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+        let wg = cu.add_workgroup();
+        for _ in 0..40 {
+            cu.start_wave(tid_init(wg)).unwrap();
+        }
+        assert_eq!(
+            cu.start_wave(tid_init(wg)).unwrap_err(),
+            CuError::TooManyWavefronts
+        );
+    }
+
+    #[test]
+    fn loop_kernel_terminates_with_correct_count() {
+        // s0 = 10; loop { s0 -= 1 } until s0 == 0.
+        let mut b = KernelBuilder::new("loop");
+        b.sgprs(4).vgprs(1);
+        let top = b.new_label();
+        b.sopk(Opcode::SMovkI32, Operand::Sgpr(0), 10).unwrap();
+        b.sopk(Opcode::SMovkI32, Operand::Sgpr(1), 0).unwrap();
+        b.bind(top).unwrap();
+        b.sop2(
+            Opcode::SAddI32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(1),
+            Operand::IntConst(1),
+        )
+        .unwrap();
+        b.sop2(
+            Opcode::SSubI32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(0),
+            Operand::IntConst(1),
+        )
+        .unwrap();
+        b.sopc(Opcode::SCmpLgI32, Operand::Sgpr(0), Operand::IntConst(0))
+            .unwrap();
+        b.branch(Opcode::SCbranchScc1, top);
+        b.endpgm().unwrap();
+        let kernel = b.finish().unwrap();
+
+        let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+        let wg = cu.add_workgroup();
+        let w = cu.start_wave(tid_init(wg)).unwrap();
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        cu.run_to_completion(&mut mem).unwrap();
+        assert_eq!(cu.wave(w).sgpr(1).unwrap(), 10);
+        assert_eq!(cu.wave(w).sgpr(0).unwrap(), 0);
+        assert_eq!(cu.stats().branches_taken, 9);
+    }
+
+    #[test]
+    fn batches_accumulate_cycles() {
+        let kernel = alu_kernel();
+        let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        let wg = cu.add_workgroup();
+        cu.start_wave(tid_init(wg)).unwrap();
+        let c1 = cu.run_to_completion(&mut mem).unwrap();
+        cu.clear_waves();
+        let wg = cu.add_workgroup();
+        cu.start_wave(tid_init(wg)).unwrap();
+        let c2 = cu.run_to_completion(&mut mem).unwrap();
+        assert_eq!(cu.now(), c1 + c2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Execution statistics collected by the compute unit.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use scratch_isa::{Category, DataType, FuncUnit, Opcode};
+
+/// Dynamic per-opcode execution counts.
+pub type OpcodeHistogram = BTreeMap<Opcode, u64>;
+
+/// Counters accumulated while a compute unit runs.
+///
+/// These drive the paper's Fig. 4 characterisation (per-category instruction
+/// mixes), the energy model (instructions-per-Joule needs retired
+/// instructions) and utilisation sanity checks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CuStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Dynamic instructions issued (wavefront granularity).
+    pub instructions: u64,
+    /// Work-item level operations (instructions × active lanes for vector
+    /// ops, ×1 for scalar).
+    pub work_item_ops: u64,
+    /// Dynamic histogram by opcode.
+    pub histogram: OpcodeHistogram,
+    /// Busy cycles per functional-unit class (occupancy, summed over
+    /// instances).
+    pub fu_busy: BTreeMap<FuncUnit, u64>,
+    /// Taken branches.
+    pub branches_taken: u64,
+    /// Vector memory requests issued.
+    pub vector_mem_ops: u64,
+    /// Scalar memory requests issued.
+    pub scalar_mem_ops: u64,
+    /// LDS accesses issued.
+    pub lds_ops: u64,
+    /// Barriers executed (per wavefront arrival).
+    pub barriers: u64,
+    /// Wavefronts that ran to `s_endpgm`.
+    pub wavefronts_retired: u64,
+}
+
+impl CuStats {
+    /// Record the issue of `opcode` with `lanes` active lanes.
+    ///
+    /// Exposed so analyses can build synthetic statistics; the compute unit
+    /// calls this internally for every issued instruction.
+    pub fn record_issue(&mut self, opcode: Opcode, lanes: u32) {
+        self.instructions += 1;
+        *self.histogram.entry(opcode).or_default() += 1;
+        self.work_item_ops += if opcode.is_vector_alu() || opcode.is_vector_memory() {
+            u64::from(lanes)
+        } else {
+            1
+        };
+    }
+
+    /// Record `cycles` of busy time on `unit`.
+    pub(crate) fn record_busy(&mut self, unit: FuncUnit, cycles: u64) {
+        *self.fu_busy.entry(unit).or_default() += cycles;
+    }
+
+    /// Merge another stats block into this one (used when aggregating CUs).
+    pub fn merge(&mut self, other: &CuStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.instructions += other.instructions;
+        self.work_item_ops += other.work_item_ops;
+        for (&op, &n) in &other.histogram {
+            *self.histogram.entry(op).or_default() += n;
+        }
+        for (&u, &n) in &other.fu_busy {
+            *self.fu_busy.entry(u).or_default() += n;
+        }
+        self.branches_taken += other.branches_taken;
+        self.vector_mem_ops += other.vector_mem_ops;
+        self.scalar_mem_ops += other.scalar_mem_ops;
+        self.lds_ops += other.lds_ops;
+        self.barriers += other.barriers;
+        self.wavefronts_retired += other.wavefronts_retired;
+    }
+
+    /// Dynamic instruction counts grouped by `(unit, category, data type)`.
+    #[must_use]
+    pub fn mix(&self) -> BTreeMap<(FuncUnit, Category, DataType), u64> {
+        let mut out = BTreeMap::new();
+        for (&op, &n) in &self.histogram {
+            *out.entry((op.unit(), op.category(), op.data_type()))
+                .or_default() += n;
+        }
+        out
+    }
+
+    /// Dynamic instructions executed on `unit`.
+    #[must_use]
+    pub fn unit_instructions(&self, unit: FuncUnit) -> u64 {
+        self.histogram
+            .iter()
+            .filter(|(op, _)| op.unit() == unit)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// The set of distinct opcodes that were actually executed.
+    #[must_use]
+    pub fn executed_opcodes(&self) -> Vec<Opcode> {
+        self.histogram.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_recording_distinguishes_lanes() {
+        let mut s = CuStats::default();
+        s.record_issue(Opcode::SAddU32, 64);
+        s.record_issue(Opcode::VAddI32, 48);
+        assert_eq!(s.instructions, 2);
+        assert_eq!(s.work_item_ops, 1 + 48);
+        assert_eq!(s.unit_instructions(FuncUnit::Salu), 1);
+        assert_eq!(s.unit_instructions(FuncUnit::Simd), 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CuStats::default();
+        a.record_issue(Opcode::VAddF32, 64);
+        a.cycles = 100;
+        let mut b = CuStats::default();
+        b.record_issue(Opcode::VAddF32, 64);
+        b.cycles = 150;
+        a.merge(&b);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.histogram[&Opcode::VAddF32], 2);
+    }
+
+    #[test]
+    fn mix_buckets_by_metadata() {
+        let mut s = CuStats::default();
+        s.record_issue(Opcode::VAddF32, 64);
+        s.record_issue(Opcode::VMulF32, 64);
+        s.record_issue(Opcode::VAddI32, 64);
+        let mix = s.mix();
+        assert_eq!(
+            mix[&(FuncUnit::Simf, Category::Add, DataType::Fp32)],
+            1
+        );
+        assert_eq!(
+            mix[&(FuncUnit::Simf, Category::Mul, DataType::Fp32)],
+            1
+        );
+        assert_eq!(mix[&(FuncUnit::Simd, Category::Add, DataType::Int)], 1);
+    }
+}

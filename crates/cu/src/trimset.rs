@@ -1,0 +1,114 @@
+//! The set of instructions a trimmed architecture retains.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use scratch_isa::{FuncUnit, Opcode};
+
+/// The instruction subset kept by the SCRATCH trimming tool.
+///
+/// A `TrimSet` is produced by the trimming pass in `scratch-core` and
+/// enforced by the compute unit at issue time: decode entries and functional
+/// sub-units for anything outside the set no longer exist in the trimmed
+/// hardware, so executing such an instruction is an architecture error.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrimSet {
+    kept: BTreeSet<Opcode>,
+}
+
+impl TrimSet {
+    /// The full (untrimmed) instruction set.
+    #[must_use]
+    pub fn full() -> TrimSet {
+        TrimSet {
+            kept: Opcode::ALL.iter().copied().collect(),
+        }
+    }
+
+    /// An empty set (useful as a builder start).
+    #[must_use]
+    pub fn empty() -> TrimSet {
+        TrimSet::default()
+    }
+
+    /// Insert an opcode into the kept set.
+    pub fn insert(&mut self, opcode: Opcode) {
+        self.kept.insert(opcode);
+    }
+
+    /// `true` if the architecture retains `opcode`.
+    #[must_use]
+    pub fn contains(&self, opcode: Opcode) -> bool {
+        self.kept.contains(&opcode)
+    }
+
+    /// Number of retained instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// `true` when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+
+    /// Iterate over the retained opcodes.
+    pub fn iter(&self) -> impl Iterator<Item = Opcode> + '_ {
+        self.kept.iter().copied()
+    }
+
+    /// Retained opcodes executing on `unit`.
+    pub fn of_unit(&self, unit: FuncUnit) -> impl Iterator<Item = Opcode> + '_ {
+        self.kept.iter().copied().filter(move |o| o.unit() == unit)
+    }
+
+    /// `true` when no retained instruction needs `unit` — the whole unit can
+    /// be scratched from the design (e.g. the SIMF for integer-only kernels).
+    #[must_use]
+    pub fn unit_unused(&self, unit: FuncUnit) -> bool {
+        self.of_unit(unit).next().is_none()
+    }
+}
+
+impl FromIterator<Opcode> for TrimSet {
+    fn from_iter<T: IntoIterator<Item = Opcode>>(iter: T) -> Self {
+        TrimSet {
+            kept: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Opcode> for TrimSet {
+    fn extend<T: IntoIterator<Item = Opcode>>(&mut self, iter: T) {
+        self.kept.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_contains_everything() {
+        let t = TrimSet::full();
+        assert_eq!(t.len(), Opcode::ALL.len());
+        for &op in Opcode::ALL {
+            assert!(t.contains(op));
+        }
+        assert!(!t.unit_unused(FuncUnit::Simf));
+    }
+
+    #[test]
+    fn integer_only_set_frees_the_simf() {
+        let t: TrimSet = [Opcode::SMovB32, Opcode::VAddI32, Opcode::SEndpgm]
+            .into_iter()
+            .collect();
+        assert!(t.unit_unused(FuncUnit::Simf));
+        assert!(!t.unit_unused(FuncUnit::Simd));
+        assert!(t.contains(Opcode::VAddI32));
+        assert!(!t.contains(Opcode::VAddF32));
+    }
+}

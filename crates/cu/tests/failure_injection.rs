@@ -1,0 +1,191 @@
+//! Failure injection: the compute unit must fail *cleanly* on broken
+//! programs — runaway loops, barrier deadlocks, control flow escaping the
+//! binary, and register over-reach — rather than hanging or corrupting
+//! state.
+
+use scratch_asm::{Kernel, KernelBuilder, KernelMeta};
+use scratch_cu::{ComputeUnit, CuConfig, CuError, FixedLatencyMemory, WaveInit};
+use scratch_isa::{Fields, Instruction, Opcode, Operand};
+
+fn simple_init(workgroup: usize) -> WaveInit {
+    WaveInit {
+        workgroup,
+        exec: u64::MAX,
+        sgprs: vec![],
+        vgprs: vec![],
+    }
+}
+
+#[test]
+fn infinite_loop_hits_cycle_limit() {
+    let mut b = KernelBuilder::new("spin");
+    b.sgprs(8).vgprs(1);
+    let top = b.new_label();
+    b.bind(top).unwrap();
+    b.sop2(
+        Opcode::SAddU32,
+        Operand::Sgpr(0),
+        Operand::Sgpr(0),
+        Operand::IntConst(1),
+    )
+    .unwrap();
+    b.branch(Opcode::SBranch, top);
+    b.endpgm().unwrap(); // unreachable
+    let kernel = b.finish().unwrap();
+
+    let mut cu = ComputeUnit::new(
+        CuConfig {
+            cycle_limit: 10_000,
+            ..CuConfig::default()
+        },
+        &kernel,
+    )
+    .unwrap();
+    let wg = cu.add_workgroup();
+    cu.start_wave(simple_init(wg)).unwrap();
+    let mut mem = FixedLatencyMemory::new(0, 0);
+    assert_eq!(
+        cu.run_to_completion(&mut mem),
+        Err(CuError::CycleLimit { limit: 10_000 })
+    );
+}
+
+#[test]
+fn barrier_deadlock_detected() {
+    // Two waves in one workgroup; lane masking makes one exit before the
+    // barrier, so the other can never be released.
+    let mut b = KernelBuilder::new("deadlock");
+    b.sgprs(16).vgprs(4);
+    // if s16 (here: wg-relative role flag in s0) != 0 { endpgm }
+    let barrier_path = b.new_label();
+    b.sopc(Opcode::SCmpEqI32, Operand::Sgpr(0), Operand::IntConst(0))
+        .unwrap();
+    b.branch(Opcode::SCbranchScc1, barrier_path);
+    b.endpgm().unwrap();
+    b.bind(barrier_path).unwrap();
+    b.sopp(Opcode::SBarrier, 0).unwrap();
+    b.endpgm().unwrap();
+    let kernel = b.finish().unwrap();
+
+    let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+    let wg = cu.add_workgroup();
+    cu.start_wave(WaveInit {
+        workgroup: wg,
+        exec: u64::MAX,
+        sgprs: vec![(0, 0)], // waits at the barrier
+        vgprs: vec![],
+    })
+    .unwrap();
+    cu.start_wave(WaveInit {
+        workgroup: wg,
+        exec: u64::MAX,
+        sgprs: vec![(0, 1)], // exits immediately
+        vgprs: vec![],
+    })
+    .unwrap();
+    let mut mem = FixedLatencyMemory::new(0, 0);
+    assert!(matches!(
+        cu.run_to_completion(&mut mem),
+        Err(CuError::Deadlock { .. })
+    ));
+}
+
+#[test]
+fn branch_escaping_binary_detected() {
+    let mut b = KernelBuilder::new("escape");
+    b.sgprs(8).vgprs(1);
+    // Branch far beyond the end of the program.
+    b.sopp(Opcode::SBranch, 500).unwrap();
+    b.endpgm().unwrap();
+    let kernel = b.finish().unwrap();
+    let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+    let wg = cu.add_workgroup();
+    cu.start_wave(simple_init(wg)).unwrap();
+    let mut mem = FixedLatencyMemory::new(0, 0);
+    assert!(matches!(
+        cu.run_to_completion(&mut mem),
+        Err(CuError::PcOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn falling_off_the_end_detected() {
+    // A hand-built binary without s_endpgm (the builder refuses to make
+    // one, so construct the kernel from raw words).
+    let inst = Instruction::new(
+        Opcode::SMovB32,
+        Fields::Sop1 {
+            sdst: Operand::Sgpr(0),
+            ssrc0: Operand::IntConst(1),
+        },
+    )
+    .unwrap();
+    let kernel = Kernel::from_words("no_end", inst.encode().unwrap(), KernelMeta::default());
+    let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+    let wg = cu.add_workgroup();
+    cu.start_wave(simple_init(wg)).unwrap();
+    let mut mem = FixedLatencyMemory::new(0, 0);
+    assert!(matches!(
+        cu.run_to_completion(&mut mem),
+        Err(CuError::PcOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn register_budget_violation_detected() {
+    // Kernel metadata declares 4 SGPRs but the program touches s10.
+    let mut b = KernelBuilder::new("overreach");
+    b.sgprs(4).vgprs(1);
+    b.sop1(Opcode::SMovB32, Operand::Sgpr(10), Operand::IntConst(1))
+        .unwrap();
+    b.endpgm().unwrap();
+    let kernel = b.finish().unwrap();
+    let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+    let wg = cu.add_workgroup();
+    cu.start_wave(simple_init(wg)).unwrap();
+    let mut mem = FixedLatencyMemory::new(0, 0);
+    assert!(matches!(
+        cu.run_to_completion(&mut mem),
+        Err(CuError::RegisterOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn malformed_binary_rejected_at_load() {
+    let kernel = Kernel::from_words("garbage", vec![0xffff_ffff, 0], KernelMeta::default());
+    assert!(matches!(
+        ComputeUnit::new(CuConfig::default(), &kernel),
+        Err(CuError::Isa(_))
+    ));
+}
+
+#[test]
+fn errors_display_reasonably() {
+    // Error messages are part of the public API surface.
+    let cases: Vec<(CuError, &str)> = vec![
+        (
+            CuError::Trimmed {
+                opcode: Opcode::VAddF32,
+            },
+            "v_add_f32",
+        ),
+        (
+            CuError::MissingUnit {
+                unit: scratch_isa::FuncUnit::Simf,
+                opcode: Opcode::VMulF32,
+            },
+            "fpVALU",
+        ),
+        (CuError::Deadlock { cycle: 7 }, "7"),
+        (CuError::CycleLimit { limit: 9 }, "9"),
+        (CuError::TooManyWavefronts, "40"),
+        (
+            CuError::LdsOutOfRange { addr: 4, size: 2 },
+            "LDS",
+        ),
+    ];
+    for (err, needle) in cases {
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "`{msg}` should mention `{needle}`");
+    }
+}

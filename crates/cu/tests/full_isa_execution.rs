@@ -1,0 +1,183 @@
+//! Every supported opcode must *execute* on the compute unit — a single
+//! program touching all 208 instructions, mirroring the paper's claim of
+//! "156 fully usable instructions" validated on hardware.
+
+use scratch_asm::KernelBuilder;
+use scratch_cu::{ComputeUnit, CuConfig, FixedLatencyMemory, WaveInit};
+use scratch_isa::{Fields, Format, Instruction, Opcode, Operand, SmrdOffset};
+
+/// Build one safely-executable instruction for `op`.
+fn instance(op: Opcode) -> Option<Instruction> {
+    let f = match op.format() {
+        Format::Sop2 => Fields::Sop2 {
+            sdst: Operand::Sgpr(40),
+            ssrc0: Operand::Sgpr(42),
+            ssrc1: Operand::Sgpr(44),
+        },
+        Format::Sopk => Fields::Sopk {
+            sdst: Operand::Sgpr(40),
+            simm16: 3,
+        },
+        Format::Sop1 => Fields::Sop1 {
+            sdst: Operand::Sgpr(40),
+            ssrc0: Operand::Sgpr(42),
+        },
+        Format::Sopc => Fields::Sopc {
+            ssrc0: Operand::Sgpr(42),
+            ssrc1: Operand::Sgpr(44),
+        },
+        Format::Sopp => match op {
+            // s_endpgm terminates; the harness appends it once at the end.
+            Opcode::SEndpgm => return None,
+            // Branches with offset 0 fall through harmlessly.
+            _ => Fields::Sopp { simm16: 0 },
+        },
+        Format::Smrd => Fields::Smrd {
+            sdst: Operand::Sgpr(46),
+            sbase: 2,
+            offset: SmrdOffset::Imm(0),
+        },
+        Format::Vop2 => Fields::Vop2 {
+            vdst: 8,
+            src0: Operand::Vgpr(1),
+            vsrc1: 2,
+        },
+        Format::Vop1 => Fields::Vop1 {
+            vdst: 8,
+            src0: Operand::Vgpr(1),
+        },
+        Format::Vopc => Fields::Vopc {
+            src0: Operand::Vgpr(1),
+            vsrc1: 2,
+        },
+        Format::Vop3a | Format::Vop3b => Fields::Vop3a {
+            vdst: 8,
+            src0: Operand::Vgpr(1),
+            src1: Operand::Vgpr(2),
+            src2: (op.src_count() == 3).then_some(Operand::Vgpr(3)),
+            abs: 0,
+            neg: 0,
+            clamp: false,
+            omod: 0,
+        },
+        Format::Ds => Fields::Ds {
+            vdst: 8,
+            addr: 4, // v4 holds 0: a valid LDS byte address
+            data0: 1,
+            data1: 2,
+            offset0: 0,
+            offset1: 1,
+            gds: false,
+        },
+        Format::Mubuf => Fields::Mubuf {
+            vdata: 8,
+            vaddr: 5, // v5 holds small offsets
+            srsrc: 4,
+            soffset: Operand::IntConst(0),
+            offset: 0,
+            offen: true,
+            idxen: false,
+            glc: false,
+        },
+        Format::Mtbuf => Fields::Mtbuf {
+            vdata: 8,
+            vaddr: 5,
+            srsrc: 4,
+            soffset: Operand::IntConst(0),
+            offset: 0,
+            offen: true,
+            idxen: false,
+            dfmt: 4,
+            nfmt: 4,
+        },
+    };
+    Some(Instruction::new(op, f).expect("constructible instance"))
+}
+
+#[test]
+fn all_supported_opcodes_execute() {
+    let mut b = KernelBuilder::new("full_isa");
+    b.sgprs(64).vgprs(16).lds_bytes(256);
+    let mut emitted = 0usize;
+    for &op in Opcode::ALL {
+        if let Some(inst) = instance(op) {
+            b.push(inst);
+            // Quiesce outstanding memory ops so counters never overflow.
+            if op.is_memory() {
+                b.waitcnt(Some(0), Some(0)).unwrap();
+            }
+            emitted += 1;
+        }
+    }
+    b.endpgm().unwrap();
+    let kernel = b.finish().unwrap();
+    assert_eq!(emitted, Opcode::ALL.len() - 1, "everything but s_endpgm");
+
+    let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+    let wg = cu.add_workgroup();
+    cu.start_wave(WaveInit {
+        workgroup: wg,
+        exec: u64::MAX,
+        // s[2:3]: scalar-load base; s[4:7]: unbounded buffer descriptor;
+        // source scalars hold benign small values.
+        sgprs: vec![
+            (2, 0),
+            (3, 0),
+            (4, 0),
+            (5, 0),
+            (6, 0),
+            (7, 0),
+            (42, 7),
+            (43, 0),
+            (44, 3),
+            (45, 0),
+        ],
+        vgprs: vec![
+            (1, (0..64).map(|l| l + 1).collect()),
+            (2, vec![2; 64]),
+            (3, vec![1; 64]),
+            (4, vec![0; 64]),
+            (5, (0..64u32).map(|l| (l % 8) * 4).collect()),
+        ],
+    })
+    .unwrap();
+    let mut mem = FixedLatencyMemory::new(4096, 2);
+    cu.run_to_completion(&mut mem)
+        .expect("the full ISA program must run to completion");
+
+    // Every opcode must appear in the dynamic histogram.
+    let executed = cu.stats().executed_opcodes();
+    for &op in Opcode::ALL {
+        assert!(
+            executed.contains(&op),
+            "{} never executed",
+            op.mnemonic()
+        );
+    }
+    assert_eq!(cu.stats().instructions as usize, Opcode::ALL.len() + {
+        // one extra s_waitcnt per memory opcode
+        Opcode::ALL.iter().filter(|o| o.is_memory()).count()
+    });
+}
+
+#[test]
+fn full_isa_program_is_trim_neutral() {
+    // Trimming the full-ISA program keeps everything: the trimmed
+    // architecture equals the full architecture.
+    let mut b = KernelBuilder::new("full_isa");
+    b.sgprs(64).vgprs(16).lds_bytes(256);
+    for &op in Opcode::ALL {
+        if let Some(inst) = instance(op) {
+            b.push(inst);
+        }
+    }
+    b.endpgm().unwrap();
+    let kernel = b.finish().unwrap();
+    let static_ops: std::collections::BTreeSet<Opcode> = kernel
+        .instructions()
+        .unwrap()
+        .into_iter()
+        .map(|(_, i)| i.opcode)
+        .collect();
+    assert_eq!(static_ops.len(), Opcode::ALL.len());
+}

@@ -1,0 +1,236 @@
+//! Reinvesting trimmed-away area into parallelism (paper §4.2).
+
+use serde::{Deserialize, Serialize};
+
+use scratch_isa::{FuncUnit, Opcode};
+
+use crate::model::{system_resources, CuShape, SystemProfile};
+use crate::Device;
+
+/// A parallelism configuration produced by the allocator — the
+/// "CUs / INT VALUs / FP VALUs" rows of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelPlan {
+    /// Number of compute units.
+    pub cus: u8,
+    /// Integer VALUs per CU.
+    pub int_valus: u8,
+    /// Floating-point VALUs per CU.
+    pub fp_valus: u8,
+}
+
+impl ParallelPlan {
+    /// The single-CU, single-VALU baseline shape.
+    #[must_use]
+    pub fn baseline(needs_fp: bool) -> ParallelPlan {
+        ParallelPlan {
+            cus: 1,
+            int_valus: 1,
+            fp_valus: u8::from(needs_fp),
+        }
+    }
+}
+
+fn shape(kept: &[Opcode], int_valus: u8, fp_valus: u8, bits: u8) -> CuShape {
+    CuShape {
+        kept: kept.to_vec(),
+        int_valus,
+        fp_valus,
+        datapath_bits: bits,
+    }
+}
+
+fn needs_fp(kept: &[Opcode]) -> bool {
+    kept.iter().any(|o| o.unit() == FuncUnit::Simf)
+}
+
+fn needs_int(kept: &[Opcode]) -> bool {
+    kept.iter().any(|o| o.unit() == FuncUnit::Simd)
+}
+
+/// Multi-core allocation: replicate whole (trimmed) CUs — each with a
+/// single VALU of the kinds the kernel needs — until the device is full.
+///
+/// MIAOW's fetch controller and the board's routing pressure bound the
+/// practical CU count; the paper reports a maximum of 3 CUs for 32-bit
+/// designs (4 for the INT8 NIN variant), so the count is capped at
+/// `max_cus`.
+#[must_use]
+pub fn allocate_multicore(device: &Device, kept: &[Opcode], max_cus: u8) -> ParallelPlan {
+    allocate_multicore_bits(device, kept, max_cus, 32)
+}
+
+/// [`allocate_multicore`] with an explicit vector datapath width: the INT8
+/// NIN variant of §4.2 shrinks the datapath to 8 bits and fits a fourth CU.
+#[must_use]
+pub fn allocate_multicore_bits(
+    device: &Device,
+    kept: &[Opcode],
+    max_cus: u8,
+    bits: u8,
+) -> ParallelPlan {
+    let fp = needs_fp(kept);
+    let int = needs_int(kept) || !fp;
+    let int_valus = u8::from(int);
+    let fp_valus = u8::from(fp);
+    let mut best = 1u8;
+    for cus in 2..=max_cus {
+        let total = system_resources(
+            SystemProfile::DCD_PM,
+            &shape(kept, int_valus, fp_valus, bits),
+            cus,
+        );
+        if total.fits_in(&device.routable_capacity()) {
+            best = cus;
+        } else {
+            break;
+        }
+    }
+    ParallelPlan {
+        cus: best,
+        int_valus,
+        fp_valus,
+    }
+}
+
+/// Multi-thread allocation: one CU, replicating the vector units the
+/// kernel actually uses (up to MIAOW's limit of four VALUs per CU).
+#[must_use]
+pub fn allocate_multithread(device: &Device, kept: &[Opcode], max_valus: u8) -> ParallelPlan {
+    let fp = needs_fp(kept);
+    let int = needs_int(kept);
+    // Integer-only kernels scale SIMD units; FP kernels keep one SIMD for
+    // address arithmetic and scale the SIMF units (Fig. 6: "1 INT, 3 FP").
+    let mut plan = ParallelPlan {
+        cus: 1,
+        int_valus: u8::from(int || !fp),
+        fp_valus: u8::from(fp),
+    };
+    loop {
+        let mut next = plan;
+        let total_valus = next.int_valus + next.fp_valus;
+        if total_valus >= max_valus {
+            break;
+        }
+        if fp {
+            next.fp_valus += 1;
+        } else {
+            next.int_valus += 1;
+        }
+        let total = system_resources(
+            SystemProfile::DCD_PM,
+            &shape(kept, next.int_valus, next.fp_valus, 32),
+            1,
+        );
+        if total.fits_in(&device.routable_capacity()) {
+            plan = next;
+        } else {
+            break;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A typical trimmed integer application (the 2D-conv INT32 subset).
+    fn int_kernel() -> Vec<Opcode> {
+        vec![
+            Opcode::SMovB32,
+            Opcode::SMulI32,
+            Opcode::SAddU32,
+            Opcode::SSubU32,
+            Opcode::SSubI32,
+            Opcode::SLshlB32,
+            Opcode::SCmpLgI32,
+            Opcode::SAndSaveexecB64,
+            Opcode::SMovB64,
+            Opcode::VAddI32,
+            Opcode::VMovB32,
+            Opcode::VLshlrevB32,
+            Opcode::VMulLoI32,
+            Opcode::VCmpGtU32,
+            Opcode::SBufferLoadDwordx4,
+            Opcode::SLoadDword,
+            Opcode::BufferLoadDword,
+            Opcode::BufferStoreDword,
+            Opcode::SWaitcnt,
+            Opcode::SBranch,
+            Opcode::SCbranchScc1,
+            Opcode::SEndpgm,
+        ]
+    }
+
+    /// The same application in SP-FP (keeps the SIMF core).
+    fn fp_kernel() -> Vec<Opcode> {
+        let mut v = int_kernel();
+        v.extend([Opcode::VMacF32, Opcode::VSubrevF32, Opcode::VCmpLtF32]);
+        v
+    }
+
+    #[test]
+    fn integer_kernels_fit_three_cores() {
+        let plan = allocate_multicore(&Device::XC7VX690T, &int_kernel(), 3);
+        assert_eq!(plan.fp_valus, 0);
+        assert_eq!(plan.int_valus, 1);
+        assert_eq!(plan.cus, 3, "paper reaches 3 CUs for integer kernels");
+    }
+
+    #[test]
+    fn fp_kernels_fit_fewer_cores() {
+        let fp_plan = allocate_multicore(&Device::XC7VX690T, &fp_kernel(), 3);
+        assert_eq!(fp_plan.fp_valus, 1);
+        assert_eq!(fp_plan.cus, 2, "paper reaches 2 CUs for FP kernels");
+    }
+
+    #[test]
+    fn int8_datapath_fits_a_fourth_cu() {
+        let p32 = allocate_multicore_bits(&Device::XC7VX690T, &int_kernel(), 4, 32);
+        let p8 = allocate_multicore_bits(&Device::XC7VX690T, &int_kernel(), 4, 8);
+        assert!(p8.cus > p32.cus.min(3), "INT8: {} vs INT32: {}", p8.cus, p32.cus);
+        assert_eq!(p8.cus, 4, "paper: 4 CUs for the INT8 NIN");
+    }
+
+    #[test]
+    fn multithread_reaches_four_valus() {
+        let plan = allocate_multithread(&Device::XC7VX690T, &int_kernel(), 4);
+        assert_eq!(plan.cus, 1);
+        assert_eq!(plan.int_valus, 4, "paper: 1 CU with 4 INT VALUs");
+        assert_eq!(plan.fp_valus, 0);
+
+        let fp = allocate_multithread(&Device::XC7VX690T, &fp_kernel(), 4);
+        assert_eq!(fp.cus, 1);
+        assert_eq!(fp.int_valus, 1);
+        assert_eq!(fp.fp_valus, 3, "paper: 1 CU with 1 INT + 3 FP VALUs");
+    }
+
+    #[test]
+    fn plans_respect_routable_capacity() {
+        for plan_kept in [int_kernel(), fp_kernel()] {
+            let mc = allocate_multicore(&Device::XC7VX690T, &plan_kept, 8);
+            let total = system_resources(
+                SystemProfile::DCD_PM,
+                &CuShape {
+                    kept: plan_kept.clone(),
+                    int_valus: mc.int_valus,
+                    fp_valus: mc.fp_valus,
+                    datapath_bits: 32,
+                },
+                mc.cus,
+            );
+            assert!(total.fits_in(&Device::XC7VX690T.routable_capacity()));
+        }
+    }
+
+    #[test]
+    fn tiny_device_gets_baseline() {
+        let tiny = Device {
+            name: "tiny",
+            capacity: crate::Resources::new(200_000, 110_000, 250, 1_200),
+        };
+        let plan = allocate_multicore(&tiny, &fp_kernel(), 4);
+        assert_eq!(plan.cus, 1);
+    }
+}

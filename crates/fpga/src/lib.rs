@@ -1,0 +1,35 @@
+//! # scratch-fpga
+//!
+//! Resource, power and parallelism model of the SCRATCH FPGA implementation
+//! (AlphaData ADM-PCIE-7V3, Xilinx Virtex-7 XC7VX690T, Vivado 2015.1).
+//!
+//! There is no synthesis tool here: instead, an *additive component model*
+//! maps each architectural block of the MIAOW2.0 compute unit — fetch,
+//! wavepool, issue, register files, decode entries, and the per-category
+//! sub-units of the SALU/SIMD/SIMF/LSU — to slice flip-flops, LUTs, DSP48
+//! slices and BRAM36 blocks. The model is calibrated against the paper's
+//! published synthesis results:
+//!
+//! * baseline (DCD+PM) utilisation ≈ 213 k FF / 123 k LUT / 198 DSP /
+//!   1,151 BRAM (Fig. 6, left);
+//! * execute units hold the dominant share of CU area and power, with the
+//!   SIMF ≈ 2× the SIMD (MIAOW TACO'15 breakdown cited in §3.2);
+//! * fetch/issue stay below ~6 % of area and ~11 % of power;
+//! * board power 3.59 W (Original) → 3.66 W (DCD) → 3.95 W (DCD+PM).
+//!
+//! Because trimming decisions and the freed-area parallelism allocation
+//! depend only on *relative* resource deltas, this calibrated additive
+//! model preserves the paper's who-saves-what behaviour (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocator;
+mod model;
+mod power;
+mod resources;
+
+pub use allocator::{allocate_multicore, allocate_multicore_bits, allocate_multithread, ParallelPlan};
+pub use model::{cu_resources, subunit, system_resources, CuShape, SubUnit, SystemProfile};
+pub use power::{power, PowerBreakdown};
+pub use resources::{Device, Resources};

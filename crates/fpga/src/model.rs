@@ -1,0 +1,400 @@
+//! The additive component resource model of the MIAOW2.0 CU and the
+//! surrounding FPGA base system.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_isa::{Category, Format, FuncUnit, Opcode};
+
+use crate::Resources;
+
+/// A trimmable hardware granule of the compute unit.
+///
+/// The trimming tool removes decode entries per instruction and, within
+/// each functional unit, the per-category sub-unit once no retained
+/// instruction needs it; an entire FU disappears when none of its
+/// sub-units survive (paper Algorithm 1, second step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SubUnit {
+    /// An ALU sub-unit, identified by the executing unit and the
+    /// computational category it implements.
+    Alu(FuncUnit, Category),
+    /// An LSU datapath, identified by the memory-instruction format.
+    LsuPath(Format),
+}
+
+/// The sub-unit that implements `op`.
+#[must_use]
+pub fn subunit(op: Opcode) -> SubUnit {
+    if op.unit() == FuncUnit::Lsu {
+        SubUnit::LsuPath(op.format())
+    } else {
+        SubUnit::Alu(op.unit(), op.category())
+    }
+}
+
+/// Resource cost of one decode-table entry (per retained instruction).
+fn decode_entry_cost() -> Resources {
+    Resources::new(58, 40, 0, 0)
+}
+
+/// Base (irreducible) cost of a functional unit, paid while any of its
+/// sub-units survives.
+fn fu_base_cost(unit: FuncUnit) -> Resources {
+    match unit {
+        FuncUnit::Salu => Resources::new(2_200, 1_300, 2, 0),
+        FuncUnit::Simd => Resources::new(4_200, 2_300, 0, 0),
+        FuncUnit::Simf => Resources::new(5_200, 2_900, 0, 0),
+        FuncUnit::Lsu => Resources::new(6_000, 3_500, 4, 0),
+        FuncUnit::Branch => Resources::new(1_600, 1_100, 0, 0),
+    }
+}
+
+/// Resource cost of a sub-unit.
+#[allow(clippy::match_same_arms)]
+fn subunit_cost(sub: SubUnit) -> Resources {
+    use Category as C;
+    use FuncUnit as U;
+    match sub {
+        // Scalar ALU sub-units.
+        SubUnit::Alu(U::Salu, C::Mov) => Resources::new(350, 220, 0, 0),
+        SubUnit::Alu(U::Salu, C::Logic) => Resources::new(950, 620, 0, 0),
+        SubUnit::Alu(U::Salu, C::Shift) => Resources::new(720, 460, 0, 0),
+        SubUnit::Alu(U::Salu, C::Bitwise) => Resources::new(820, 520, 0, 0),
+        SubUnit::Alu(U::Salu, C::Convert) => Resources::new(320, 200, 0, 0),
+        SubUnit::Alu(U::Salu, C::Control) => Resources::new(450, 280, 0, 0),
+        SubUnit::Alu(U::Salu, C::Add) => Resources::new(1_600, 950, 0, 0),
+        SubUnit::Alu(U::Salu, C::Mul) => Resources::new(1_300, 750, 2, 0),
+        SubUnit::Alu(U::Salu, _) => Resources::new(400, 250, 0, 0),
+        // Branch & message path (not trimmable in practice — SOPP control).
+        SubUnit::Alu(U::Branch, _) => Resources::new(400, 260, 0, 0),
+        // Integer vector sub-units (16-lane datapath).
+        SubUnit::Alu(U::Simd, C::Mov) => Resources::new(1_700, 900, 0, 0),
+        SubUnit::Alu(U::Simd, C::Logic) => Resources::new(3_200, 1_700, 0, 0),
+        SubUnit::Alu(U::Simd, C::Shift) => Resources::new(3_800, 2_000, 0, 0),
+        SubUnit::Alu(U::Simd, C::Bitwise) => Resources::new(2_700, 1_400, 0, 0),
+        SubUnit::Alu(U::Simd, C::Control) => Resources::new(300, 180, 0, 0),
+        SubUnit::Alu(U::Simd, C::Add) => Resources::new(6_800, 3_600, 8, 0),
+        SubUnit::Alu(U::Simd, C::Mul) => Resources::new(10_200, 5_400, 48, 0),
+        SubUnit::Alu(U::Simd, _) => Resources::new(1_000, 550, 0, 0),
+        // Floating-point vector sub-units (16-lane datapath; the costliest
+        // blocks in the design — the SIMF totals ~2x the SIMD).
+        SubUnit::Alu(U::Simf, C::Convert) => Resources::new(6_800, 3_600, 8, 0),
+        SubUnit::Alu(U::Simf, C::Add) => Resources::new(15_500, 8_300, 32, 0),
+        SubUnit::Alu(U::Simf, C::Mul) => Resources::new(18_000, 9_700, 56, 0),
+        SubUnit::Alu(U::Simf, C::Div) => Resources::new(13_500, 7_200, 16, 0),
+        SubUnit::Alu(U::Simf, C::Trans) => Resources::new(14_500, 7_800, 16, 0),
+        SubUnit::Alu(U::Simf, _) => Resources::new(2_000, 1_100, 0, 0),
+        // LSU datapaths per memory-instruction format.
+        SubUnit::LsuPath(Format::Smrd) => Resources::new(1_600, 950, 0, 0),
+        SubUnit::LsuPath(Format::Ds) => Resources::new(4_200, 2_300, 0, 0),
+        SubUnit::LsuPath(Format::Mubuf) => Resources::new(5_200, 2_900, 0, 0),
+        SubUnit::LsuPath(Format::Mtbuf) => Resources::new(4_700, 2_600, 0, 0),
+        SubUnit::LsuPath(_) => Resources::new(1_000, 600, 0, 0),
+        // The LSU is modelled through `LsuPath`; no `Alu(Lsu, _)` granule
+        // is ever produced by `subunit`.
+        SubUnit::Alu(U::Lsu, _) => Resources::ZERO,
+    }
+}
+
+/// Fixed CU blocks the trimming tool never touches (fetch and issue have
+/// generic functionality and limited area/power impact — §3.2).
+fn cu_fixed_cost() -> Resources {
+    // Fetch + wavepool + issue/scheduler + branch&message + register files
+    // + decode base logic.
+    Resources::new(3_000, 2_000, 0, 0)     // fetch
+        + Resources::new(4_200, 2_500, 0, 4) // wavepool
+        + Resources::new(6_200, 4_600, 0, 0) // issue + scoreboards
+        + fu_base_cost(FuncUnit::Branch)
+        + Resources::new(6_000, 5_000, 0, 60) // SGPR/VGPR register files
+        + Resources::new(2_100, 1_500, 0, 0) // decode base
+}
+
+/// Architectural shape of one compute unit: which instructions it retains,
+/// how many vector units it instantiates, and its vector datapath width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CuShape {
+    /// Retained instructions (the full ISA for untrimmed CUs).
+    pub kept: Vec<Opcode>,
+    /// Integer VALU count.
+    pub int_valus: u8,
+    /// Floating-point VALU count.
+    pub fp_valus: u8,
+    /// Vector datapath width in bits (32 by default; the paper's INT8 NIN
+    /// variant shortens it to 8, shrinking the vector sub-units — §4.2).
+    pub datapath_bits: u8,
+}
+
+impl CuShape {
+    /// An untrimmed CU with the given vector-unit counts.
+    #[must_use]
+    pub fn full(int_valus: u8, fp_valus: u8) -> CuShape {
+        CuShape {
+            kept: Opcode::ALL.to_vec(),
+            int_valus,
+            fp_valus,
+            datapath_bits: 32,
+        }
+    }
+
+    /// Builder-style override of the datapath width.
+    #[must_use]
+    pub fn with_datapath_bits(mut self, bits: u8) -> CuShape {
+        self.datapath_bits = bits;
+        self
+    }
+
+    /// `true` if any retained instruction executes on `unit`.
+    #[must_use]
+    pub fn uses_unit(&self, unit: FuncUnit) -> bool {
+        self.kept.iter().any(|o| o.unit() == unit)
+    }
+}
+
+/// Resources of one compute unit with the given shape.
+#[must_use]
+pub fn cu_resources(shape: &CuShape) -> Resources {
+    let mut total = cu_fixed_cost();
+
+    // Decode entries: one per retained instruction.
+    total += decode_entry_cost() * shape.kept.len() as u64;
+
+    // Survived sub-units.
+    let mut subs: Vec<SubUnit> = shape.kept.iter().map(|&o| subunit(o)).collect();
+    // FPU-core granularity: the fused floating-point datapath implements
+    // addition and multiplication in one hard block, so retaining *any*
+    // SIMF functionality keeps at least the add/mul core. (This is why the
+    // paper's FP designs trim less and fit only two CUs.)
+    if subs.iter().any(|s| matches!(s, SubUnit::Alu(FuncUnit::Simf, _))) {
+        subs.push(SubUnit::Alu(FuncUnit::Simf, Category::Add));
+        subs.push(SubUnit::Alu(FuncUnit::Simf, Category::Mul));
+    }
+    subs.sort_unstable();
+    subs.dedup();
+
+    let unit_multiplier = |unit: FuncUnit| -> u64 {
+        match unit {
+            FuncUnit::Simd => u64::from(shape.int_valus.max(u8::from(false))),
+            FuncUnit::Simf => u64::from(shape.fp_valus),
+            _ => 1,
+        }
+    };
+
+    // FU bases for units with any survivor.
+    for unit in FuncUnit::ALL {
+        let used = subs.iter().any(|s| match s {
+            SubUnit::Alu(u, _) => *u == unit,
+            SubUnit::LsuPath(_) => unit == FuncUnit::Lsu,
+        });
+        if used && unit != FuncUnit::Branch {
+            let mult = unit_multiplier(unit).max(1);
+            total += fu_base_cost(unit) * mult;
+        }
+    }
+
+    // Vector-datapath bit-width scaling: arithmetic area grows roughly
+    // linearly with operand width, so an 8-bit datapath keeps ~1/4 of the
+    // 32-bit vector sub-unit cost (registers/control keep a floor share).
+    let scale = |r: Resources| -> Resources {
+        let bits = u64::from(shape.datapath_bits.clamp(8, 32));
+        Resources {
+            ff: r.ff * (bits + 8) / 40,
+            lut: r.lut * (bits + 8) / 40,
+            dsp: r.dsp * bits / 32,
+            bram: r.bram,
+        }
+    };
+
+    for sub in subs {
+        let (mult, vector) = match sub {
+            SubUnit::Alu(u @ (FuncUnit::Simd | FuncUnit::Simf), _) => {
+                (unit_multiplier(u).max(1), true)
+            }
+            _ => (1, false),
+        };
+        let cost = subunit_cost(sub) * mult;
+        total += if vector { scale(cost) } else { cost };
+    }
+    total
+}
+
+/// Which base-system features are present (maps from the system kinds of
+/// `scratch-system` without a crate dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemProfile {
+    /// Dual clock domain (memory side at 200 MHz).
+    pub dual_clock: bool,
+    /// In-fabric prefetch memory present.
+    pub prefetch: bool,
+}
+
+impl SystemProfile {
+    /// The original MIAOW system.
+    pub const ORIGINAL: SystemProfile = SystemProfile {
+        dual_clock: false,
+        prefetch: false,
+    };
+    /// Dual clock domain.
+    pub const DCD: SystemProfile = SystemProfile {
+        dual_clock: true,
+        prefetch: false,
+    };
+    /// Dual clock domain + prefetch memory (the paper's baseline).
+    pub const DCD_PM: SystemProfile = SystemProfile {
+        dual_clock: true,
+        prefetch: true,
+    };
+}
+
+/// Base-system overhead outside the CUs: MicroBlaze, MIG memory controller,
+/// AXI interconnect, timer, debug module and instruction memory.
+fn overhead_cost(profile: SystemProfile) -> Resources {
+    let mut r = Resources::new(30_500, 20_400, 6, 150);
+    // Instruction memory.
+    r += Resources::new(500, 400, 0, 9);
+    if profile.dual_clock {
+        // Clock-domain crossing FIFOs.
+        r += Resources::new(800, 500, 0, 0);
+    }
+    r
+}
+
+/// Prefetch-memory cost: the design methodology distributes most otherwise
+/// unused BRAM blocks to the CUs' prefetch buffers (§4.1.1), so the block
+/// count is fixed per system, not per CU.
+fn prefetch_cost() -> Resources {
+    Resources::new(1_100, 850, 0, 928)
+}
+
+/// Total system resources for `cus` identical compute units under
+/// `profile`.
+#[must_use]
+pub fn system_resources(profile: SystemProfile, shape: &CuShape, cus: u8) -> Resources {
+    let mut total = overhead_cost(profile);
+    if profile.prefetch {
+        total += prefetch_cost();
+    }
+    total += cu_resources(shape) * u64::from(cus.max(1));
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+
+    #[test]
+    fn baseline_matches_paper_figure6() {
+        // DCD+PM with one full CU must land near the paper's reported
+        // utilisation: ~213 k FF, ~123 k LUT, 198 DSP, 1,151 BRAM.
+        let r = system_resources(SystemProfile::DCD_PM, &CuShape::full(1, 1), 1);
+        assert!(
+            (150_000..=250_000).contains(&r.ff),
+            "FF {} out of calibration band",
+            r.ff
+        );
+        assert!(
+            (90_000..=140_000).contains(&r.lut),
+            "LUT {} out of calibration band",
+            r.lut
+        );
+        assert!((150..=230).contains(&r.dsp), "DSP {}", r.dsp);
+        assert_eq!(r.bram, 1_151, "BRAM calibration is exact");
+        assert!(r.fits_in(&Device::XC7VX690T.capacity));
+    }
+
+    #[test]
+    fn original_has_few_brams() {
+        let r = system_resources(SystemProfile::ORIGINAL, &CuShape::full(1, 1), 1);
+        assert_eq!(r.bram, 223, "matches the paper's original-design BRAM count");
+    }
+
+    #[test]
+    fn simf_is_roughly_twice_simd() {
+        let int_only: Vec<Opcode> = Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|o| o.unit() == FuncUnit::Simd)
+            .collect();
+        let fp_only: Vec<Opcode> = Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|o| o.unit() == FuncUnit::Simf)
+            .collect();
+        let simd: Resources = int_only.iter().map(|&o| subunit(o)).collect::<std::collections::BTreeSet<_>>()
+            .into_iter().map(subunit_cost).fold(fu_base_cost(FuncUnit::Simd), |a, b| a + b);
+        let simf: Resources = fp_only.iter().map(|&o| subunit(o)).collect::<std::collections::BTreeSet<_>>()
+            .into_iter().map(subunit_cost).fold(fu_base_cost(FuncUnit::Simf), |a, b| a + b);
+        let ratio = simf.ff as f64 / simd.ff as f64;
+        assert!(
+            (1.7..=2.6).contains(&ratio),
+            "SIMF/SIMD FF ratio {ratio:.2} should be ~2x (paper §3.2)"
+        );
+    }
+
+    #[test]
+    fn fetch_issue_share_is_small() {
+        let full = cu_resources(&CuShape::full(1, 1));
+        let fixed = cu_fixed_cost();
+        let share = fixed.ff as f64 / full.ff as f64;
+        assert!(share < 0.25, "fixed-logic share {share:.2} too large");
+    }
+
+    #[test]
+    fn trimming_integer_kernel_removes_simf() {
+        let int_kernel: Vec<Opcode> = vec![
+            Opcode::SMovB32,
+            Opcode::SMulI32,
+            Opcode::VAddI32,
+            Opcode::VMulLoI32,
+            Opcode::VLshlrevB32,
+            Opcode::BufferLoadDword,
+            Opcode::BufferStoreDword,
+            Opcode::SWaitcnt,
+            Opcode::SEndpgm,
+        ];
+        let trimmed = CuShape {
+            kept: int_kernel,
+            int_valus: 1,
+            fp_valus: 0,
+            datapath_bits: 32,
+        };
+        let full = cu_resources(&CuShape::full(1, 1));
+        let small = cu_resources(&trimmed);
+        let savings = 1.0 - small.ff as f64 / full.ff as f64;
+        assert!(
+            savings > 0.5,
+            "integer-only trim should free >50% of CU flip-flops, got {savings:.2}"
+        );
+    }
+
+    #[test]
+    fn valu_replication_scales_vector_units_only() {
+        let one = cu_resources(&CuShape::full(1, 0));
+        let four = cu_resources(&CuShape::full(4, 0));
+        let delta = four - one;
+        // Three extra SIMD units, nothing else.
+        assert!(delta.ff > 0);
+        let five = cu_resources(&CuShape::full(5, 0));
+        assert_eq!((five - four).ff, (four - one).ff / 3);
+    }
+
+    #[test]
+    fn subunit_mapping() {
+        assert_eq!(
+            subunit(Opcode::VAddF32),
+            SubUnit::Alu(FuncUnit::Simf, Category::Add)
+        );
+        assert_eq!(subunit(Opcode::BufferLoadDword), SubUnit::LsuPath(Format::Mubuf));
+        assert_eq!(subunit(Opcode::DsReadB32), SubUnit::LsuPath(Format::Ds));
+    }
+
+    #[test]
+    fn multicore_scales_linearly_in_cu_resources() {
+        let shape = CuShape::full(1, 1);
+        let one = system_resources(SystemProfile::DCD_PM, &shape, 1);
+        let three = system_resources(SystemProfile::DCD_PM, &shape, 3);
+        assert_eq!(three.ff - one.ff, 2 * cu_resources(&shape).ff);
+        // Prefetch + overhead BRAM are paid once.
+        assert_eq!(three.bram - one.bram, 2 * cu_resources(&shape).bram);
+    }
+}

@@ -1,0 +1,189 @@
+//! FPGA resource vectors and device capacities.
+
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A vector of the four FPGA resource classes reported in the paper's
+/// Fig. 6: slice flip-flops, slice LUTs, DSP48 slices and BRAM36 blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// Slice flip-flops.
+    pub ff: u64,
+    /// Slice LUTs.
+    pub lut: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+    /// 36 Kb block RAMs.
+    pub bram: u64,
+}
+
+impl Resources {
+    /// A zero resource vector.
+    pub const ZERO: Resources = Resources {
+        ff: 0,
+        lut: 0,
+        dsp: 0,
+        bram: 0,
+    };
+
+    /// Construct from the four counts.
+    #[must_use]
+    pub fn new(ff: u64, lut: u64, dsp: u64, bram: u64) -> Resources {
+        Resources { ff, lut, dsp, bram }
+    }
+
+    /// `true` when every class of `self` fits within `other`.
+    #[must_use]
+    pub fn fits_in(&self, other: &Resources) -> bool {
+        self.ff <= other.ff && self.lut <= other.lut && self.dsp <= other.dsp && self.bram <= other.bram
+    }
+
+    /// Component-wise saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            ff: self.ff.saturating_sub(other.ff),
+            lut: self.lut.saturating_sub(other.lut),
+            dsp: self.dsp.saturating_sub(other.dsp),
+            bram: self.bram.saturating_sub(other.bram),
+        }
+    }
+
+    /// Fraction of `self` relative to `total`, per class, as percentages.
+    #[must_use]
+    pub fn percent_of(&self, total: &Resources) -> [f64; 4] {
+        let pct = |a: u64, b: u64| if b == 0 { 0.0 } else { 100.0 * a as f64 / b as f64 };
+        [
+            pct(self.ff, total.ff),
+            pct(self.lut, total.lut),
+            pct(self.dsp, total.dsp),
+            pct(self.bram, total.bram),
+        ]
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            ff: self.ff + rhs.ff,
+            lut: self.lut + rhs.lut,
+            dsp: self.dsp + rhs.dsp,
+            bram: self.bram + rhs.bram,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    fn sub(self, rhs: Resources) -> Resources {
+        self.saturating_sub(&rhs)
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, k: u64) -> Resources {
+        Resources {
+            ff: self.ff * k,
+            lut: self.lut * k,
+            dsp: self.dsp * k,
+            bram: self.bram * k,
+        }
+    }
+}
+
+impl std::fmt::Display for Resources {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} FF, {} LUT, {} DSP48, {} BRAM",
+            self.ff, self.lut, self.dsp, self.bram
+        )
+    }
+}
+
+/// An FPGA device with its resource capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Device name.
+    pub name: &'static str,
+    /// Total capacities.
+    pub capacity: Resources,
+}
+
+impl Device {
+    /// The Xilinx Virtex-7 XC7VX690T on the AlphaData ADM-PCIE-7V3 board
+    /// used throughout the paper's evaluation.
+    pub const XC7VX690T: Device = Device {
+        name: "XC7VX690T",
+        capacity: Resources {
+            ff: 866_400,
+            lut: 433_200,
+            dsp: 3_600,
+            bram: 1_470,
+        },
+    };
+
+    /// The *routable* capacity the parallelism allocator plans against.
+    ///
+    /// MIAOW is notoriously routing- and timing-hungry on the Virtex-7
+    /// (§4.3: "a limited amount of resources ... impose a maximum number of
+    /// 3 CUs"), so only a fraction of the raw fabric is usable before
+    /// placement fails at 50 MHz. The fractions are calibrated to the
+    /// paper's achievable configurations: 1 untrimmed CU, 3 trimmed
+    /// integer CUs, 2 trimmed FP CUs, 4 INT8 CUs.
+    #[must_use]
+    pub fn routable_capacity(&self) -> Resources {
+        Resources {
+            ff: self.capacity.ff * 36 / 100,
+            lut: self.capacity.lut * 39 / 100,
+            dsp: self.capacity.dsp * 60 / 100,
+            bram: self.capacity.bram,
+        }
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::XC7VX690T
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(10, 20, 3, 1);
+        let b = Resources::new(5, 5, 1, 0);
+        assert_eq!(a + b, Resources::new(15, 25, 4, 1));
+        assert_eq!(a - b, Resources::new(5, 15, 2, 1));
+        assert_eq!(b * 3, Resources::new(15, 15, 3, 0));
+        assert_eq!(b.saturating_sub(&a), Resources::ZERO);
+    }
+
+    #[test]
+    fn fitting() {
+        let dev = Device::XC7VX690T;
+        assert!(Resources::new(100_000, 50_000, 100, 500).fits_in(&dev.capacity));
+        assert!(!Resources::new(900_000, 0, 0, 0).fits_in(&dev.capacity));
+        assert!(!Resources::new(0, 0, 0, 1_471).fits_in(&dev.capacity));
+    }
+
+    #[test]
+    fn percentage() {
+        let total = Resources::new(200, 100, 50, 10);
+        let part = Resources::new(100, 25, 50, 0);
+        let p = part.percent_of(&total);
+        assert_eq!(p, [50.0, 25.0, 100.0, 0.0]);
+    }
+}

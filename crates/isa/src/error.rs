@@ -1,0 +1,84 @@
+use std::fmt;
+
+use crate::{Format, Opcode};
+
+/// Errors produced while constructing, encoding or decoding instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The instruction word stream ended before a full instruction was read.
+    TruncatedStream,
+    /// The leading word does not match any known format encoding.
+    UnknownFormat {
+        /// The offending machine word.
+        word: u32,
+    },
+    /// The format was recognised but the opcode number is not implemented.
+    UnknownOpcode {
+        /// The instruction format that was decoded.
+        format: Format,
+        /// The native opcode number found in the word.
+        native: u16,
+    },
+    /// The operand field value does not decode to a valid operand.
+    InvalidOperandEncoding {
+        /// The raw 9-bit source-field value.
+        raw: u16,
+    },
+    /// An operand is not legal in the position it was used in.
+    InvalidOperand {
+        /// Opcode being built.
+        opcode: Opcode,
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+    /// The field payload does not match the opcode's format.
+    FieldsMismatch {
+        /// Opcode being built.
+        opcode: Opcode,
+        /// Format required by the opcode.
+        expected: Format,
+    },
+    /// More than one literal constant was requested (SI allows at most one).
+    MultipleLiterals,
+    /// A register index is out of architectural range.
+    RegisterOutOfRange {
+        /// Description of the register class.
+        what: &'static str,
+        /// The offending index.
+        index: u16,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::TruncatedStream => write!(f, "instruction stream ended mid-instruction"),
+            IsaError::UnknownFormat { word } => {
+                write!(f, "word {word:#010x} does not match any SI format encoding")
+            }
+            IsaError::UnknownOpcode { format, native } => {
+                write!(f, "format {format:?} opcode number {native} is not implemented")
+            }
+            IsaError::InvalidOperandEncoding { raw } => {
+                write!(f, "source-field value {raw} does not decode to an operand")
+            }
+            IsaError::InvalidOperand { opcode, reason } => {
+                write!(f, "invalid operand for {}: {reason}", opcode.mnemonic())
+            }
+            IsaError::FieldsMismatch { opcode, expected } => write!(
+                f,
+                "fields for {} must use the {expected:?} layout",
+                opcode.mnemonic()
+            ),
+            IsaError::MultipleLiterals => {
+                write!(f, "an SI instruction may carry at most one literal constant")
+            }
+            IsaError::RegisterOutOfRange { what, index } => {
+                write!(f, "{what} index {index} out of architectural range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

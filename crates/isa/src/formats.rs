@@ -1,0 +1,203 @@
+//! SI machine-code format (encoding family) identification.
+
+use serde::{Deserialize, Serialize};
+
+/// The microcode format families of the Southern Islands ISA that MIAOW2.0
+/// implements.
+///
+/// The discriminating bit patterns live in the *most significant* bits of the
+/// first instruction word; [`Format::of_word`] performs the match in the
+/// priority order mandated by the ISA manual (longer prefixes first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Format {
+    /// Scalar, two sources: `10 op7 sdst7 ssrc1_8 ssrc0_8`.
+    Sop2,
+    /// Scalar, 16-bit immediate: `1011 op5 sdst7 simm16`.
+    Sopk,
+    /// Scalar, one source: `101111101 sdst7 op8 ssrc0_8`.
+    Sop1,
+    /// Scalar compare: `101111110 op7 ssrc1_8 ssrc0_8`.
+    Sopc,
+    /// Scalar program control: `101111111 op7 simm16`.
+    Sopp,
+    /// Scalar memory read: `11000 op5 sdst7 sbase6 imm1 offset8`.
+    Smrd,
+    /// Vector, two sources: `0 op6 vdst8 vsrc1_8 src0_9`.
+    Vop2,
+    /// Vector, one source: `0111111 vdst8 op8 src0_9`.
+    Vop1,
+    /// Vector compare: `0111110 op8 vsrc1_8 src0_9`.
+    Vopc,
+    /// Vector, three sources, 64-bit encoding (with abs/clamp modifiers).
+    Vop3a,
+    /// Vector, three sources, 64-bit encoding with a scalar destination
+    /// (carry-out / compare-result variants).
+    Vop3b,
+    /// Local data share (LDS) access, 64-bit encoding.
+    Ds,
+    /// Untyped buffer memory access, 64-bit encoding.
+    Mubuf,
+    /// Typed buffer memory access, 64-bit encoding.
+    Mtbuf,
+}
+
+impl Format {
+    /// All formats, in decode-priority order.
+    pub const ALL: [Format; 14] = [
+        Format::Sop1,
+        Format::Sopc,
+        Format::Sopp,
+        Format::Sopk,
+        Format::Sop2,
+        Format::Smrd,
+        Format::Vop1,
+        Format::Vopc,
+        Format::Vop3a,
+        Format::Vop3b,
+        Format::Ds,
+        Format::Mubuf,
+        Format::Mtbuf,
+        Format::Vop2,
+    ];
+
+    /// `true` for formats whose instructions occupy two 32-bit words
+    /// (before any trailing literal).
+    #[must_use]
+    pub fn is_64bit(self) -> bool {
+        matches!(
+            self,
+            Format::Vop3a | Format::Vop3b | Format::Ds | Format::Mubuf | Format::Mtbuf
+        )
+    }
+
+    /// `true` for the scalar formats executed by the SALU / branch unit.
+    #[must_use]
+    pub fn is_scalar(self) -> bool {
+        matches!(
+            self,
+            Format::Sop2 | Format::Sopk | Format::Sop1 | Format::Sopc | Format::Sopp | Format::Smrd
+        )
+    }
+
+    /// Identify the format family of a leading instruction word.
+    ///
+    /// Returns `None` when the word matches no family (an ill-formed binary).
+    ///
+    /// Note: `Vop3a`/`Vop3b` share an encoding prefix; the split is decided
+    /// later from the opcode number, so this function reports [`Format::Vop3a`]
+    /// for both.
+    #[must_use]
+    pub fn of_word(word: u32) -> Option<Format> {
+        // Scalar family: 0b10 in bits [31:30].
+        if word >> 30 == 0b10 {
+            return Some(match word >> 23 {
+                0b101111101 => Format::Sop1,
+                0b101111110 => Format::Sopc,
+                0b101111111 => Format::Sopp,
+                _ if word >> 28 == 0b1011 => Format::Sopk,
+                _ => Format::Sop2,
+            });
+        }
+        // SMRD: 0b11000 in [31:27].
+        if word >> 27 == 0b11000 {
+            return Some(Format::Smrd);
+        }
+        // 64-bit vector/memory families: distinguish on [31:26].
+        match word >> 26 {
+            0b110100 => return Some(Format::Vop3a),
+            0b110110 => return Some(Format::Ds),
+            0b111000 => return Some(Format::Mubuf),
+            0b111010 => return Some(Format::Mtbuf),
+            _ => {}
+        }
+        // VALU 32-bit family: leading 0 bit.
+        if word >> 31 == 0 {
+            return Some(match word >> 25 {
+                0b0111111 => Format::Vop1,
+                0b0111110 => Format::Vopc,
+                _ => Format::Vop2,
+            });
+        }
+        None
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Format::Sop2 => "SOP2",
+            Format::Sopk => "SOPK",
+            Format::Sop1 => "SOP1",
+            Format::Sopc => "SOPC",
+            Format::Sopp => "SOPP",
+            Format::Smrd => "SMRD",
+            Format::Vop2 => "VOP2",
+            Format::Vop1 => "VOP1",
+            Format::Vopc => "VOPC",
+            Format::Vop3a => "VOP3a",
+            Format::Vop3b => "VOP3b",
+            Format::Ds => "DS",
+            Format::Mubuf => "MUBUF",
+            Format::Mtbuf => "MTBUF",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_prefixes_identified() {
+        assert_eq!(Format::of_word(0b10 << 30), Some(Format::Sop2));
+        assert_eq!(Format::of_word(0b1011 << 28), Some(Format::Sopk));
+        assert_eq!(Format::of_word(0b101111101 << 23), Some(Format::Sop1));
+        assert_eq!(Format::of_word(0b101111110 << 23), Some(Format::Sopc));
+        assert_eq!(Format::of_word(0b101111111 << 23), Some(Format::Sopp));
+        assert_eq!(Format::of_word(0b11000 << 27), Some(Format::Smrd));
+    }
+
+    #[test]
+    fn vector_prefixes_identified() {
+        assert_eq!(Format::of_word(0), Some(Format::Vop2));
+        assert_eq!(Format::of_word(0b0111111 << 25), Some(Format::Vop1));
+        assert_eq!(Format::of_word(0b0111110 << 25), Some(Format::Vopc));
+        assert_eq!(Format::of_word(0b110100 << 26), Some(Format::Vop3a));
+        assert_eq!(Format::of_word(0b110110 << 26), Some(Format::Ds));
+        assert_eq!(Format::of_word(0b111000 << 26), Some(Format::Mubuf));
+        assert_eq!(Format::of_word(0b111010 << 26), Some(Format::Mtbuf));
+    }
+
+    #[test]
+    fn unknown_prefix_rejected() {
+        // 0b111111 << 26 matches no family.
+        assert_eq!(Format::of_word(0b111111 << 26), None);
+        assert_eq!(Format::of_word(0b110101 << 26), None);
+    }
+
+    #[test]
+    fn scalar_flag_consistent() {
+        for f in Format::ALL {
+            assert_eq!(
+                f.is_scalar(),
+                matches!(
+                    f,
+                    Format::Sop2
+                        | Format::Sopk
+                        | Format::Sop1
+                        | Format::Sopc
+                        | Format::Sopp
+                        | Format::Smrd
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for f in Format::ALL {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

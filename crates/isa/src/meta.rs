@@ -1,0 +1,191 @@
+//! Opcode metadata used by the trimming tool and the characterisation study.
+
+use serde::{Deserialize, Serialize};
+
+/// The compute-unit functional unit that executes an instruction.
+///
+/// These are the trimming granules of the SCRATCH tool: the decode entries
+/// and execution sub-units of `Salu`, `Simd`, `Simf` and `Lsu` can all be
+/// pruned; the `Branch` (branch & message) path is part of the generic
+/// fetch/issue logic the paper leaves untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuncUnit {
+    /// Scalar ALU.
+    Salu,
+    /// Integer vector ALU (SIMD).
+    Simd,
+    /// Floating-point vector ALU (SIMF).
+    Simf,
+    /// Load/store unit (scalar memory, LDS and buffer accesses).
+    Lsu,
+    /// Branch & message unit (program control: branches, barriers, waitcnt).
+    Branch,
+}
+
+impl FuncUnit {
+    /// All functional units, in the order used by reports.
+    pub const ALL: [FuncUnit; 5] = [
+        FuncUnit::Salu,
+        FuncUnit::Simd,
+        FuncUnit::Simf,
+        FuncUnit::Lsu,
+        FuncUnit::Branch,
+    ];
+
+    /// The four trimmable units shown in Fig. 6 of the paper
+    /// (SALU, iVALU, fpVALU, LSU).
+    pub const TRIMMABLE: [FuncUnit; 4] =
+        [FuncUnit::Salu, FuncUnit::Simd, FuncUnit::Simf, FuncUnit::Lsu];
+
+    /// Short label used in reports (matches the paper's legend).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FuncUnit::Salu => "SALU",
+            FuncUnit::Simd => "iVALU",
+            FuncUnit::Simf => "fpVALU",
+            FuncUnit::Lsu => "LSU",
+            FuncUnit::Branch => "BRANCH",
+        }
+    }
+}
+
+impl std::fmt::Display for FuncUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Computational category of an instruction — the taxonomy of the paper's
+/// Fig. 4 characterisation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Register-to-register moves.
+    Mov,
+    /// Logic operations including bit masks and bit compares.
+    Logic,
+    /// Shifts and rotates.
+    Shift,
+    /// Bit search and bit count.
+    Bitwise,
+    /// Numeric format conversion.
+    Convert,
+    /// Control / communication (excluding logic & arithmetic compares).
+    Control,
+    /// Addition, subtraction and arithmetic compare.
+    Add,
+    /// Multiply, with or without subsequent add.
+    Mul,
+    /// Divide and reciprocal.
+    Div,
+    /// Transcendental: sine, cosine, exponential, square root, logarithm.
+    Trans,
+    /// Memory operations (category "G" in Fig. 4).
+    Mem,
+}
+
+impl Category {
+    /// All categories in the order of the paper's Fig. 4 legend.
+    pub const ALL: [Category; 11] = [
+        Category::Mov,
+        Category::Logic,
+        Category::Shift,
+        Category::Bitwise,
+        Category::Convert,
+        Category::Control,
+        Category::Add,
+        Category::Mul,
+        Category::Div,
+        Category::Trans,
+        Category::Mem,
+    ];
+
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Mov => "MOV",
+            Category::Logic => "LOGIC",
+            Category::Shift => "SHIFT",
+            Category::Bitwise => "BITWISE",
+            Category::Convert => "CONVERT",
+            Category::Control => "CONTROL",
+            Category::Add => "ADD",
+            Category::Mul => "MUL",
+            Category::Div => "DIV",
+            Category::Trans => "TRANS",
+            Category::Mem => "MEM",
+        }
+    }
+
+    /// `true` for the arithmetic categories (groups B/C of Fig. 4).
+    #[must_use]
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            Category::Add | Category::Mul | Category::Div | Category::Trans
+        )
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The numeric domain an instruction operates in.
+///
+/// The synthesizable MIAOW2.0 design supports integer and single-precision
+/// floating-point arithmetic; double precision exists only in the Multi2Sim
+/// characterisation of Fig. 4 and is deliberately absent here, as in the
+/// paper's FPGA design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataType {
+    /// Integer / untyped bit operations.
+    Int,
+    /// Single-precision IEEE-754 floating point.
+    Fp32,
+}
+
+impl DataType {
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Fp32 => "SP FP",
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmable_excludes_branch() {
+        assert!(!FuncUnit::TRIMMABLE.contains(&FuncUnit::Branch));
+        assert_eq!(FuncUnit::TRIMMABLE.len(), 4);
+    }
+
+    #[test]
+    fn category_labels_unique() {
+        let mut labels: Vec<_> = Category::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn arithmetic_partition() {
+        let arith: Vec<_> = Category::ALL.iter().filter(|c| c.is_arithmetic()).collect();
+        assert_eq!(arith.len(), 4);
+    }
+}

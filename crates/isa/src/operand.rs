@@ -1,0 +1,302 @@
+//! Instruction operands and their SI source-field encodings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::IsaError;
+
+/// One instruction operand.
+///
+/// The SI ISA addresses all scalar sources through a shared 9-bit field
+/// (8-bit in scalar formats) whose value space covers SGPRs, special
+/// registers, inline constants, a literal-follows marker and — in vector
+/// formats — the VGPRs at offset 256. [`Operand::encode_src`] /
+/// [`Operand::decode_src`] implement that value space.
+///
+/// 64-bit operands (e.g. the sources of `S_AND_B64`) are encoded through the
+/// *low* register of an aligned pair; the width is a property of the opcode,
+/// not of the operand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// Scalar general-purpose register `s0..s103`.
+    Sgpr(u8),
+    /// Vector general-purpose register `v0..v255`.
+    Vgpr(u8),
+    /// Vector condition code, low half (`vcc_lo`; pairs as the full `vcc`).
+    VccLo,
+    /// Vector condition code, high half.
+    VccHi,
+    /// Memory-descriptor register `m0`.
+    M0,
+    /// Execute mask, low half (`exec_lo`; pairs as the full `exec`).
+    ExecLo,
+    /// Execute mask, high half.
+    ExecHi,
+    /// Scalar condition code (readable as a source).
+    Scc,
+    /// `vccz` — reads 1 when VCC is all-zero.
+    Vccz,
+    /// `execz` — reads 1 when EXEC is all-zero.
+    Execz,
+    /// Inline integer constant in `-16..=64`.
+    IntConst(i8),
+    /// Inline float constant: one of ±0.5, ±1.0, ±2.0, ±4.0.
+    FloatConst(f32),
+    /// 32-bit literal constant carried in a trailing instruction word.
+    Literal(u32),
+}
+
+/// Source-field value space constants.
+const ENC_VCC_LO: u16 = 106;
+const ENC_VCC_HI: u16 = 107;
+const ENC_M0: u16 = 124;
+const ENC_EXEC_LO: u16 = 126;
+const ENC_EXEC_HI: u16 = 127;
+const ENC_ZERO: u16 = 128;
+const ENC_VCCZ: u16 = 251;
+const ENC_EXECZ: u16 = 252;
+const ENC_SCC: u16 = 253;
+const ENC_LITERAL: u16 = 255;
+const ENC_VGPR_BASE: u16 = 256;
+
+impl Operand {
+    /// The inline float constants representable without a literal.
+    pub const INLINE_FLOATS: [f32; 8] = [0.5, -0.5, 1.0, -1.0, 2.0, -2.0, 4.0, -4.0];
+
+    /// Encode to the shared 9-bit source-field value space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] for SGPR indices ≥ 104 and
+    /// [`IsaError::InvalidOperandEncoding`] for inline constants outside the
+    /// representable sets.
+    pub fn encode_src(self) -> Result<u16, IsaError> {
+        Ok(match self {
+            Operand::Sgpr(n) => {
+                if usize::from(n) >= crate::SGPR_COUNT {
+                    return Err(IsaError::RegisterOutOfRange {
+                        what: "sgpr",
+                        index: n.into(),
+                    });
+                }
+                n.into()
+            }
+            Operand::Vgpr(n) => ENC_VGPR_BASE + u16::from(n),
+            Operand::VccLo => ENC_VCC_LO,
+            Operand::VccHi => ENC_VCC_HI,
+            Operand::M0 => ENC_M0,
+            Operand::ExecLo => ENC_EXEC_LO,
+            Operand::ExecHi => ENC_EXEC_HI,
+            Operand::Scc => ENC_SCC,
+            Operand::Vccz => ENC_VCCZ,
+            Operand::Execz => ENC_EXECZ,
+            Operand::IntConst(v) => match v {
+                0 => ENC_ZERO,
+                1..=64 => 128 + v as u16,
+                -16..=-1 => (192 + (-v) as i32) as u16,
+                _ => return Err(IsaError::InvalidOperandEncoding { raw: v as u16 }),
+            },
+            Operand::FloatConst(v) => {
+                let idx = Self::INLINE_FLOATS
+                    .iter()
+                    .position(|&c| c.to_bits() == v.to_bits())
+                    .ok_or(IsaError::InvalidOperandEncoding {
+                        raw: v.to_bits() as u16,
+                    })?;
+                240 + idx as u16
+            }
+            Operand::Literal(_) => ENC_LITERAL,
+        })
+    }
+
+    /// Decode from the shared source-field value space.
+    ///
+    /// A [`Operand::Literal`] placeholder (value 0) is produced for the
+    /// literal marker 255; the caller patches in the trailing word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidOperandEncoding`] for reserved or
+    /// unsupported values.
+    pub fn decode_src(raw: u16) -> Result<Operand, IsaError> {
+        Ok(match raw {
+            0..=103 => Operand::Sgpr(raw as u8),
+            ENC_VCC_LO => Operand::VccLo,
+            ENC_VCC_HI => Operand::VccHi,
+            ENC_M0 => Operand::M0,
+            ENC_EXEC_LO => Operand::ExecLo,
+            ENC_EXEC_HI => Operand::ExecHi,
+            ENC_ZERO => Operand::IntConst(0),
+            129..=192 => Operand::IntConst((raw - 128) as i8),
+            193..=208 => Operand::IntConst(-((raw - 192) as i8)),
+            240..=247 => Operand::FloatConst(Self::INLINE_FLOATS[(raw - 240) as usize]),
+            ENC_VCCZ => Operand::Vccz,
+            ENC_EXECZ => Operand::Execz,
+            ENC_SCC => Operand::Scc,
+            ENC_LITERAL => Operand::Literal(0),
+            256..=511 => Operand::Vgpr((raw - 256) as u8),
+            _ => return Err(IsaError::InvalidOperandEncoding { raw }),
+        })
+    }
+
+    /// `true` if this operand names a register that a scalar instruction can
+    /// write (SGPR, VCC halves, EXEC halves, M0).
+    #[must_use]
+    pub fn is_scalar_writable(self) -> bool {
+        matches!(
+            self,
+            Operand::Sgpr(_)
+                | Operand::VccLo
+                | Operand::VccHi
+                | Operand::ExecLo
+                | Operand::ExecHi
+                | Operand::M0
+        )
+    }
+
+    /// `true` if this operand is legal in an 8-bit scalar source field
+    /// (anything but a VGPR).
+    #[must_use]
+    pub fn is_scalar_src(self) -> bool {
+        !matches!(self, Operand::Vgpr(_))
+    }
+
+    /// `true` if the operand is an inline or literal constant.
+    #[must_use]
+    pub fn is_constant(self) -> bool {
+        matches!(
+            self,
+            Operand::IntConst(_) | Operand::FloatConst(_) | Operand::Literal(_)
+        )
+    }
+
+    /// `true` if the operand requires a trailing literal word.
+    #[must_use]
+    pub fn is_literal(self) -> bool {
+        matches!(self, Operand::Literal(_))
+    }
+
+    /// The SGPR index if this operand is an SGPR.
+    #[must_use]
+    pub fn sgpr_index(self) -> Option<u8> {
+        match self {
+            Operand::Sgpr(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The VGPR index if this operand is a VGPR.
+    #[must_use]
+    pub fn vgpr_index(self) -> Option<u8> {
+        match self {
+            Operand::Vgpr(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Sgpr(n) => write!(f, "s{n}"),
+            Operand::Vgpr(n) => write!(f, "v{n}"),
+            Operand::VccLo => f.write_str("vcc_lo"),
+            Operand::VccHi => f.write_str("vcc_hi"),
+            Operand::M0 => f.write_str("m0"),
+            Operand::ExecLo => f.write_str("exec_lo"),
+            Operand::ExecHi => f.write_str("exec_hi"),
+            Operand::Scc => f.write_str("scc"),
+            Operand::Vccz => f.write_str("vccz"),
+            Operand::Execz => f.write_str("execz"),
+            Operand::IntConst(v) => write!(f, "{v}"),
+            Operand::FloatConst(v) => write!(f, "{v:.1}"),
+            Operand::Literal(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgpr_roundtrip() {
+        for n in 0..104u16 {
+            let op = Operand::decode_src(n).unwrap();
+            assert_eq!(op, Operand::Sgpr(n as u8));
+            assert_eq!(op.encode_src().unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn sgpr_out_of_range_rejected() {
+        assert!(Operand::Sgpr(104).encode_src().is_err());
+        assert!(Operand::decode_src(104).is_err());
+    }
+
+    #[test]
+    fn vgpr_roundtrip() {
+        for n in [0u16, 1, 100, 255] {
+            let raw = 256 + n;
+            assert_eq!(Operand::decode_src(raw).unwrap(), Operand::Vgpr(n as u8));
+            assert_eq!(Operand::Vgpr(n as u8).encode_src().unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn int_constants_roundtrip() {
+        for v in -16i8..=64 {
+            let raw = Operand::IntConst(v).encode_src().unwrap();
+            assert_eq!(Operand::decode_src(raw).unwrap(), Operand::IntConst(v));
+        }
+        assert!(Operand::IntConst(65).encode_src().is_err());
+        assert!(Operand::IntConst(-17).encode_src().is_err());
+    }
+
+    #[test]
+    fn float_constants_roundtrip() {
+        for &v in &Operand::INLINE_FLOATS {
+            let raw = Operand::FloatConst(v).encode_src().unwrap();
+            assert_eq!(Operand::decode_src(raw).unwrap(), Operand::FloatConst(v));
+        }
+        assert!(Operand::FloatConst(3.0).encode_src().is_err());
+    }
+
+    #[test]
+    fn special_registers_roundtrip() {
+        let specials = [
+            Operand::VccLo,
+            Operand::VccHi,
+            Operand::M0,
+            Operand::ExecLo,
+            Operand::ExecHi,
+            Operand::Scc,
+            Operand::Vccz,
+            Operand::Execz,
+        ];
+        for op in specials {
+            let raw = op.encode_src().unwrap();
+            assert_eq!(Operand::decode_src(raw).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn literal_marker() {
+        assert_eq!(Operand::Literal(0xdead_beef).encode_src().unwrap(), 255);
+        assert_eq!(Operand::decode_src(255).unwrap(), Operand::Literal(0));
+    }
+
+    #[test]
+    fn reserved_values_rejected() {
+        for raw in [209u16, 230, 239, 248, 250, 254] {
+            assert!(Operand::decode_src(raw).is_err(), "raw={raw}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand::Sgpr(5).to_string(), "s5");
+        assert_eq!(Operand::Vgpr(17).to_string(), "v17");
+        assert_eq!(Operand::IntConst(-3).to_string(), "-3");
+        assert_eq!(Operand::FloatConst(2.0).to_string(), "2.0");
+    }
+}

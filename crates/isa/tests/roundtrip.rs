@@ -1,0 +1,275 @@
+//! Property tests: every constructible instruction must encode/decode
+//! bit-exactly, for every opcode in the supported set.
+
+use proptest::prelude::*;
+use scratch_isa::{Fields, Format, Instruction, Opcode, Operand, SmrdOffset};
+
+/// Strategy for scalar-source operands (8-bit field space, no VGPRs).
+fn scalar_src() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..104).prop_map(Operand::Sgpr),
+        Just(Operand::VccLo),
+        Just(Operand::VccHi),
+        Just(Operand::M0),
+        Just(Operand::ExecLo),
+        Just(Operand::ExecHi),
+        Just(Operand::Scc),
+        (-16i8..=64).prop_map(Operand::IntConst),
+        (0usize..8).prop_map(|i| Operand::FloatConst(Operand::INLINE_FLOATS[i])),
+        any::<u32>().prop_map(Operand::Literal),
+    ]
+}
+
+/// Strategy for non-literal scalar sources (VOP3 and soffset positions).
+fn scalar_src_no_literal() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..104).prop_map(Operand::Sgpr),
+        Just(Operand::VccLo),
+        Just(Operand::ExecLo),
+        (-16i8..=64).prop_map(Operand::IntConst),
+        (0usize..8).prop_map(|i| Operand::FloatConst(Operand::INLINE_FLOATS[i])),
+    ]
+}
+
+/// Strategy for the full 9-bit vector source space.
+fn vector_src() -> impl Strategy<Value = Operand> {
+    prop_oneof![scalar_src(), any::<u8>().prop_map(Operand::Vgpr)]
+}
+
+/// Strategy for vector sources without literals (VOP3 positions).
+fn vector_src_no_literal() -> impl Strategy<Value = Operand> {
+    prop_oneof![scalar_src_no_literal(), any::<u8>().prop_map(Operand::Vgpr)]
+}
+
+fn scalar_dst() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..104).prop_map(Operand::Sgpr),
+        Just(Operand::VccLo),
+        Just(Operand::ExecLo),
+        Just(Operand::M0),
+    ]
+}
+
+fn opcode_of(format: Format) -> impl Strategy<Value = Opcode> {
+    let list: Vec<Opcode> = Opcode::ALL
+        .iter()
+        .copied()
+        .filter(move |o| o.format() == format)
+        .collect();
+    assert!(!list.is_empty(), "no opcodes in format {format:?}");
+    prop::sample::select(list)
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let sop2 = (opcode_of(Format::Sop2), scalar_dst(), scalar_src(), scalar_src()).prop_filter_map(
+        "valid",
+        |(op, sdst, s0, s1)| {
+            // Keep at most one literal.
+            if s0.is_literal() && s1.is_literal() {
+                return None;
+            }
+            Instruction::new(op, Fields::Sop2 { sdst, ssrc0: s0, ssrc1: s1 }).ok()
+        },
+    );
+    let sopk = (opcode_of(Format::Sopk), scalar_dst(), any::<i16>())
+        .prop_filter_map("valid", |(op, sdst, simm16)| {
+            Instruction::new(op, Fields::Sopk { sdst, simm16 }).ok()
+        });
+    let sop1 = (opcode_of(Format::Sop1), scalar_dst(), scalar_src())
+        .prop_filter_map("valid", |(op, sdst, ssrc0)| {
+            Instruction::new(op, Fields::Sop1 { sdst, ssrc0 }).ok()
+        });
+    let sopc = (opcode_of(Format::Sopc), scalar_src(), scalar_src()).prop_filter_map(
+        "valid",
+        |(op, s0, s1)| {
+            if s0.is_literal() && s1.is_literal() {
+                return None;
+            }
+            Instruction::new(op, Fields::Sopc { ssrc0: s0, ssrc1: s1 }).ok()
+        },
+    );
+    let sopp = (opcode_of(Format::Sopp), any::<u16>())
+        .prop_filter_map("valid", |(op, simm16)| {
+            Instruction::new(op, Fields::Sopp { simm16 }).ok()
+        });
+    let smrd = (
+        opcode_of(Format::Smrd),
+        scalar_dst(),
+        (0u8..52).prop_map(|n| n * 2),
+        prop_oneof![
+            any::<u8>().prop_map(SmrdOffset::Imm),
+            (0u8..104).prop_map(SmrdOffset::Sgpr)
+        ],
+    )
+        .prop_filter_map("valid", |(op, sdst, sbase, offset)| {
+            Instruction::new(op, Fields::Smrd { sdst, sbase, offset }).ok()
+        });
+    let vop2 = (opcode_of(Format::Vop2), any::<u8>(), vector_src(), any::<u8>())
+        .prop_filter_map("valid", |(op, vdst, src0, vsrc1)| {
+            Instruction::new(op, Fields::Vop2 { vdst, src0, vsrc1 }).ok()
+        });
+    let vop1 = (opcode_of(Format::Vop1), any::<u8>(), vector_src())
+        .prop_filter_map("valid", |(op, vdst, src0)| {
+            Instruction::new(op, Fields::Vop1 { vdst, src0 }).ok()
+        });
+    let vopc = (opcode_of(Format::Vopc), vector_src(), any::<u8>())
+        .prop_filter_map("valid", |(op, src0, vsrc1)| {
+            Instruction::new(op, Fields::Vopc { src0, vsrc1 }).ok()
+        });
+    let vop3a = (
+        opcode_of(Format::Vop3a),
+        any::<u8>(),
+        vector_src_no_literal(),
+        vector_src_no_literal(),
+        vector_src_no_literal(),
+        0u8..8,
+        0u8..8,
+        any::<bool>(),
+        0u8..4,
+    )
+        .prop_filter_map(
+            "valid",
+            |(op, vdst, src0, src1, src2, abs, neg, clamp, omod)| {
+                let src2 = (op.src_count() == 3).then_some(src2);
+                Instruction::new(
+                    op,
+                    Fields::Vop3a {
+                        vdst,
+                        src0,
+                        src1,
+                        src2,
+                        abs,
+                        neg,
+                        clamp,
+                        omod,
+                    },
+                )
+                .ok()
+            },
+        );
+    let ds = (
+        opcode_of(Format::Ds),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+    )
+        .prop_filter_map("valid", |(op, vdst, addr, data0, data1, o0, o1)| {
+            Instruction::new(
+                op,
+                Fields::Ds {
+                    vdst,
+                    addr,
+                    data0,
+                    data1,
+                    offset0: o0,
+                    offset1: o1,
+                    gds: false,
+                },
+            )
+            .ok()
+        });
+    let mubuf = (
+        opcode_of(Format::Mubuf),
+        any::<u8>(),
+        any::<u8>(),
+        (0u8..26).prop_map(|n| n * 4),
+        scalar_src_no_literal(),
+        0u16..0x1000,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_filter_map(
+            "valid",
+            |(op, vdata, vaddr, srsrc, soffset, offset, offen, idxen, glc)| {
+                Instruction::new(
+                    op,
+                    Fields::Mubuf {
+                        vdata,
+                        vaddr,
+                        srsrc,
+                        soffset,
+                        offset,
+                        offen,
+                        idxen,
+                        glc,
+                    },
+                )
+                .ok()
+            },
+        );
+    let mtbuf = (
+        opcode_of(Format::Mtbuf),
+        any::<u8>(),
+        any::<u8>(),
+        (0u8..26).prop_map(|n| n * 4),
+        scalar_src_no_literal(),
+        0u16..0x1000,
+        any::<bool>(),
+        0u8..16,
+        0u8..8,
+    )
+        .prop_filter_map(
+            "valid",
+            |(op, vdata, vaddr, srsrc, soffset, offset, offen, dfmt, nfmt)| {
+                Instruction::new(
+                    op,
+                    Fields::Mtbuf {
+                        vdata,
+                        vaddr,
+                        srsrc,
+                        soffset,
+                        offset,
+                        offen,
+                        idxen: false,
+                        dfmt,
+                        nfmt,
+                    },
+                )
+                .ok()
+            },
+        );
+
+    prop_oneof![
+        sop2, sopk, sop1, sopc, sopp, smrd, vop2, vop1, vopc, vop3a, ds, mubuf, mtbuf
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_instruction()) {
+        let words = inst.encode().expect("encode must succeed for valid instruction");
+        prop_assert_eq!(words.len(), inst.size_words());
+        let (back, used) = Instruction::decode(&words).expect("decode must succeed");
+        prop_assert_eq!(used, words.len());
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn decode_never_panics(words in prop::collection::vec(any::<u32>(), 1..4)) {
+        let _ = Instruction::decode(&words);
+    }
+
+    #[test]
+    fn stream_decode_consistent(insts in prop::collection::vec(arb_instruction(), 1..20)) {
+        let mut words = Vec::new();
+        let mut offsets = Vec::new();
+        for inst in &insts {
+            offsets.push(words.len());
+            words.extend(inst.encode().unwrap());
+        }
+        let decoded = Instruction::decode_all(&words).unwrap();
+        prop_assert_eq!(decoded.len(), insts.len());
+        for ((off, inst), (eoff, expected)) in
+            decoded.into_iter().zip(offsets.into_iter().zip(insts))
+        {
+            prop_assert_eq!(off, eoff);
+            prop_assert_eq!(inst, expected);
+        }
+    }
+}

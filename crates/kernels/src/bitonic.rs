@@ -1,0 +1,122 @@
+//! Bitonic sort (INT32) — one compare-exchange pass per dispatch, driven by
+//! a host loop over `(k, j)` stages, exactly as the AMD SDK OpenCL version.
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand};
+use scratch_system::{RunReport, System, SystemConfig};
+
+use crate::common::{arg, check_u32, gid_x, load_args, random_u32, unmask};
+use crate::{Benchmark, BenchError};
+
+/// Ascending bitonic sort of `n` unsigned keys (`n` a power of two and a
+/// multiple of 64).
+#[derive(Debug, Clone, Copy)]
+pub struct BitonicSort {
+    /// Number of keys.
+    pub n: u32,
+}
+
+impl BitonicSort {
+    /// A sort of `n` keys.
+    #[must_use]
+    pub fn new(n: u32) -> BitonicSort {
+        assert!(n.is_power_of_two() && n >= 64, "n must be a power of two ≥ 64");
+        BitonicSort { n }
+    }
+
+    /// One compare-exchange pass. Args: `[data, j, k]`.
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("bitonic_pass");
+        b.sgprs(32).vgprs(16);
+        load_args(&mut b, 3)?;
+        gid_x(&mut b, 3, 64)?;
+        // partner = gid ^ j.
+        b.vop2(Opcode::VXorB32, 4, arg(1), 3)?;
+        // Only the lower element of each pair does the exchange.
+        b.vopc(Opcode::VCmpGtU32, Operand::Vgpr(4), 3)?;
+        b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
+        // Load both elements.
+        b.vop2(Opcode::VLshlrevB32, 5, Operand::IntConst(2), 3)?;
+        b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 4)?;
+        b.mubuf(Opcode::BufferLoadDword, 7, 5, 4, arg(0), 0)?;
+        b.mubuf(Opcode::BufferLoadDword, 8, 6, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        // dir: ascending iff (gid & k) == 0.
+        b.vop2(Opcode::VAndB32, 9, arg(2), 3)?;
+        b.vopc(Opcode::VCmpEqU32, Operand::IntConst(0), 9)?;
+        // lo/hi of the pair.
+        b.vop2(Opcode::VMinU32, 10, Operand::Vgpr(7), 8)?;
+        b.vop2(Opcode::VMaxU32, 11, Operand::Vgpr(7), 8)?;
+        // own = dir ? lo : hi ; partner = dir ? hi : lo.
+        b.vop2(Opcode::VCndmaskB32, 12, Operand::Vgpr(11), 10)?;
+        b.vop2(Opcode::VCndmaskB32, 13, Operand::Vgpr(10), 11)?;
+        b.mubuf(Opcode::BufferStoreDword, 12, 5, 4, arg(0), 0)?;
+        b.mubuf(Opcode::BufferStoreDword, 13, 6, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for BitonicSort {
+    fn name(&self) -> String {
+        "Bitonic Sort (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let input = random_u32(n, 61, u32::MAX);
+        let data = sys.alloc_words(&input);
+
+        // Host stage loop: for k in 2,4,..,n; for j in k/2,..,1.
+        let mut k = 2u32;
+        while k <= self.n {
+            let mut j = k / 2;
+            while j >= 1 {
+                sys.set_args(&[data as u32, j, k]);
+                sys.dispatch([self.n / 64, 1, 1])?;
+                j /= 2;
+            }
+            k *= 2;
+        }
+
+        let mut expected = input;
+        expected.sort_unstable();
+        check_u32(&self.name(), &sys.read_words(data, n), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    #[test]
+    fn sorts_256_keys() {
+        BitonicSort::new(256)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("bitonic sort");
+    }
+
+    #[test]
+    fn cndmask_direction_logic() {
+        // Spot-check one pass by hand: k=2, j=1 on 64 keys pairs (0,1),(2,3)...
+        // with alternating direction. Run a full small sort instead (the
+        // network is only correct end-to-end).
+        BitonicSort::new(64)
+            .run(SystemConfig::preset(SystemKind::Dcd))
+            .expect("bitonic 64");
+    }
+}

@@ -1,0 +1,497 @@
+//! Convolutional neural network inference (INT32 fixed-point and SP-FP) —
+//! the paper's AI workload: a 3-layer topology with 16 feature maps per
+//! layer and 2×2 max pooling after each layer, classifying square RGB
+//! images (32×32 = CIFAR-10 up to 512×512).
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand, SmrdOffset};
+use scratch_system::{abi, RunReport, System, SystemConfig};
+
+use crate::common::{
+    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32,
+    unmask, CountedLoop,
+};
+use crate::pooling::pool_kernel;
+use crate::{Benchmark, BenchError};
+
+/// Numeric behaviour of a convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LayerMath {
+    /// Q8 fixed point: accumulate int32, shift right 8, ReLU.
+    IntQ8,
+    /// Q8 fixed point clamped to the int8 range after ReLU (NIN INT8).
+    Int8Q8,
+    /// Single-precision float with ReLU.
+    Fp32,
+}
+
+/// Multi-channel convolution layer kernel.
+///
+/// Args: `[in, w, out, b, k, c, plane_bytes]` — padded input planes of
+/// width `b+k-1` laid out channel-major, weights `[c][k][k]` streamed by
+/// scalar loads, output one `b × b` feature map. Grid `[ceil(b/64), b, 1]`.
+pub(crate) fn conv_layer_kernel(math: LayerMath) -> Result<Kernel, AsmError> {
+    let mut b = KernelBuilder::new(match math {
+        LayerMath::IntQ8 => "conv_layer_int",
+        LayerMath::Int8Q8 => "conv_layer_int8",
+        LayerMath::Fp32 => "conv_layer_fp",
+    });
+    b.sgprs(40).vgprs(12);
+    load_args(&mut b, 7)?;
+    gid_x(&mut b, 3, 64)?; // v3 = x
+    mask_lt(&mut b, 3, arg(3), 14)?;
+    b.vop1(Opcode::VMovB32, 5, Operand::IntConst(0))?; // acc
+    // Weights pointer.
+    b.sop1(Opcode::SMovB32, Operand::Sgpr(2), arg(1))?;
+    b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
+    // s32 = W = b + k - 1 (scratch registers live above the arg window).
+    b.sop2(Opcode::SAddU32, Operand::Sgpr(32), arg(3), arg(4))?;
+    b.sop2(
+        Opcode::SSubU32,
+        Operand::Sgpr(32),
+        Operand::Sgpr(32),
+        Operand::IntConst(1),
+    )?;
+    // s33 = current channel plane base (starts at `in`).
+    b.sop1(Opcode::SMovB32, Operand::Sgpr(33), arg(0))?;
+
+    let ch = CountedLoop::begin(&mut b, 30, arg(5))?;
+    // s28 = y + ky (restarts at y for each channel).
+    b.sop1(Opcode::SMovB32, Operand::Sgpr(28), Operand::Sgpr(abi::WG_ID_Y))?;
+    let ky = CountedLoop::begin(&mut b, 19, arg(4))?;
+    b.sop2(
+        Opcode::SMulI32,
+        Operand::Sgpr(1),
+        Operand::Sgpr(28),
+        Operand::Sgpr(32),
+    )?;
+    b.sop2(
+        Opcode::SLshlB32,
+        Operand::Sgpr(1),
+        Operand::Sgpr(1),
+        Operand::IntConst(2),
+    )?;
+    b.sop2(
+        Opcode::SAddU32,
+        Operand::Sgpr(29),
+        Operand::Sgpr(33),
+        Operand::Sgpr(1),
+    )?;
+    b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+    let kx = CountedLoop::begin(&mut b, 27, arg(4))?;
+    b.smrd(Opcode::SLoadDword, Operand::Sgpr(1), 2, SmrdOffset::Imm(0))?;
+    b.sop2(
+        Opcode::SAddU32,
+        Operand::Sgpr(2),
+        Operand::Sgpr(2),
+        Operand::IntConst(4),
+    )?;
+    b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, Operand::Sgpr(29), 0)?;
+    b.waitcnt(Some(0), Some(0))?;
+    match math {
+        LayerMath::Fp32 => {
+            b.vop2(Opcode::VMacF32, 5, Operand::Sgpr(1), 6)?;
+        }
+        LayerMath::IntQ8 | LayerMath::Int8Q8 => {
+            b.vop3a(Opcode::VMulLoI32, 7, Operand::Sgpr(1), Operand::Vgpr(6), None)?;
+            b.vop2(Opcode::VAddI32, 5, Operand::Vgpr(7), 5)?;
+        }
+    }
+    b.vop2(Opcode::VAddI32, 4, Operand::IntConst(4), 4)?;
+    kx.end(&mut b)?;
+    b.sop2(
+        Opcode::SAddU32,
+        Operand::Sgpr(28),
+        Operand::Sgpr(28),
+        Operand::IntConst(1),
+    )?;
+    ky.end(&mut b)?;
+    b.sop2(
+        Opcode::SAddU32,
+        Operand::Sgpr(33),
+        Operand::Sgpr(33),
+        arg(6),
+    )?;
+    ch.end(&mut b)?;
+
+    // Activation.
+    match math {
+        LayerMath::Fp32 => {
+            b.vop2(Opcode::VMaxF32, 5, Operand::IntConst(0), 5)?; // ReLU
+        }
+        LayerMath::IntQ8 => {
+            b.vop2(Opcode::VAshrrevI32, 5, Operand::IntConst(8), 5)?;
+            b.vop2(Opcode::VMaxI32, 5, Operand::IntConst(0), 5)?;
+        }
+        LayerMath::Int8Q8 => {
+            b.vop2(Opcode::VAshrrevI32, 5, Operand::IntConst(8), 5)?;
+            b.vop2(Opcode::VMaxI32, 5, Operand::IntConst(0), 5)?;
+            b.vop2(Opcode::VMinI32, 5, Operand::Literal(127), 5)?;
+        }
+    }
+
+    // Store out[y*b + x].
+    b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(3))?;
+    b.vop2(Opcode::VAddI32, 8, Operand::Sgpr(0), 3)?;
+    b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
+    b.mubuf(Opcode::BufferStoreDword, 5, 8, 4, arg(2), 0)?;
+    b.waitcnt(Some(0), None)?;
+    unmask(&mut b, 14)?;
+    b.endpgm()?;
+    b.finish()
+}
+
+/// Host-side reference of one conv layer output map (same operation order
+/// as the kernel: channel-major, then ky, kx).
+pub(crate) fn conv_reference_int(
+    padded: &[Vec<u32>],
+    weights: &[u32],
+    b: usize,
+    k: usize,
+    clamp8: bool,
+) -> Vec<u32> {
+    let w = b + k - 1;
+    let mut out = vec![0u32; b * b];
+    for y in 0..b {
+        for x in 0..b {
+            let mut acc = 0u32;
+            let mut wi = 0;
+            for plane in padded {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        acc = acc
+                            .wrapping_add(weights[wi].wrapping_mul(plane[(y + ky) * w + x + kx]));
+                        wi += 1;
+                    }
+                }
+            }
+            let mut v = (acc as i32) >> 8;
+            v = v.max(0);
+            if clamp8 {
+                v = v.min(127);
+            }
+            out[y * b + x] = v as u32;
+        }
+    }
+    out
+}
+
+pub(crate) fn conv_reference_fp(
+    padded: &[Vec<f32>],
+    weights: &[f32],
+    b: usize,
+    k: usize,
+) -> Vec<f32> {
+    let w = b + k - 1;
+    let mut out = vec![0f32; b * b];
+    for y in 0..b {
+        for x in 0..b {
+            let mut acc = 0f32;
+            let mut wi = 0;
+            for plane in padded {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        acc = weights[wi].mul_add(plane[(y + ky) * w + x + kx], acc);
+                        wi += 1;
+                    }
+                }
+            }
+            out[y * b + x] = acc.max(0.0);
+        }
+    }
+    out
+}
+
+/// Zero-pad a `b × b` plane to `(b+k-1)²` with the (k-1)/2 border the host
+/// prepares before each layer.
+pub(crate) fn pad_plane(plane: &[u32], b: usize, k: usize) -> Vec<u32> {
+    let w = b + k - 1;
+    let pad = (k - 1) / 2;
+    let mut out = vec![0u32; w * w];
+    for y in 0..b {
+        for x in 0..b {
+            out[(y + pad) * w + x + pad] = plane[y * b + x];
+        }
+    }
+    out
+}
+
+/// 2×2 max-pool reference.
+pub(crate) fn maxpool_reference_int(plane: &[u32], b_out: usize) -> Vec<u32> {
+    let w = 2 * b_out;
+    let mut out = vec![0u32; b_out * b_out];
+    for y in 0..b_out {
+        for x in 0..b_out {
+            let vals = [
+                plane[(2 * y) * w + 2 * x] as i32,
+                plane[(2 * y) * w + 2 * x + 1] as i32,
+                plane[(2 * y + 1) * w + 2 * x] as i32,
+                plane[(2 * y + 1) * w + 2 * x + 1] as i32,
+            ];
+            out[y * b_out + x] = (*vals.iter().max().unwrap()) as u32;
+        }
+    }
+    out
+}
+
+/// The CNN benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Cnn {
+    /// Input image dimension.
+    pub size: u32,
+    /// SP-FP arithmetic when `true`, Q8 fixed point otherwise.
+    pub fp: bool,
+    /// Convolutional layers (paper default 3; Fig. 7 sweeps 3–15).
+    pub layers: u32,
+    /// Feature maps per layer (paper default 16).
+    pub maps: u32,
+}
+
+impl Cnn {
+    /// A 3-layer CNN with 16 feature maps on `size × size` RGB images.
+    #[must_use]
+    pub fn new(size: u32, fp: bool) -> Cnn {
+        Cnn {
+            size,
+            fp,
+            layers: 3,
+            maps: 16,
+        }
+    }
+
+    /// Override the layer count (Fig. 7 sweep).
+    #[must_use]
+    pub fn with_layers(mut self, layers: u32) -> Cnn {
+        self.layers = layers;
+        self
+    }
+
+    const K: u32 = 3;
+
+    fn math(&self) -> LayerMath {
+        if self.fp {
+            LayerMath::Fp32
+        } else {
+            LayerMath::IntQ8
+        }
+    }
+}
+
+impl Benchmark for Cnn {
+    fn name(&self) -> String {
+        format!("CNN ({})", if self.fp { "SP FP" } else { "INT32" })
+    }
+
+    fn uses_fp(&self) -> bool {
+        self.fp
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![
+            conv_layer_kernel(self.math())?,
+            pool_kernel(crate::pooling::Mode::Max, self.fp)?,
+        ])
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernels = self.kernels()?;
+        let mut sys = System::with_kernels(config, &kernels)?;
+        let k = Cnn::K as usize;
+        let maps = self.maps as usize;
+
+        // Input channels (3 = RGB); Q8 pixel values, or floats scaled small.
+        let mut b_cur = self.size as usize;
+        let mut channels: Vec<Vec<u32>> = (0..3)
+            .map(|c| {
+                if self.fp {
+                    f32_bits(
+                        &random_f32(b_cur * b_cur, 70 + c)
+                            .iter()
+                            .map(|v| v * 0.5)
+                            .collect::<Vec<_>>(),
+                    )
+                } else {
+                    random_u32(b_cur * b_cur, 70 + c, 256)
+                }
+            })
+            .collect();
+
+        // Per-layer weights [map][channel*k*k], small Q8 / small floats.
+        let weight_value = |seed: u64, n: usize| -> Vec<u32> {
+            if self.fp {
+                f32_bits(
+                    &random_f32(n, seed)
+                        .iter()
+                        .map(|v| v * 0.25)
+                        .collect::<Vec<_>>(),
+                )
+            } else {
+                random_u32(n, seed, 8)
+            }
+        };
+
+        for layer in 0..self.layers {
+            let c = channels.len();
+            let w = b_cur + k - 1;
+            let plane_bytes = (w * w * 4) as u32;
+
+            // Host pads the input planes (data handling the MicroBlaze
+            // templates perform between kernels, §3.3).
+            let padded: Vec<Vec<u32>> = channels
+                .iter()
+                .map(|p| pad_plane(p, b_cur, k))
+                .collect();
+            sys.host_work((c * w * w) as u64);
+            // Channel planes must be contiguous at `plane_bytes` stride.
+            let flat: Vec<u32> = padded.iter().flatten().copied().collect();
+            let in_base = sys.alloc_words(&flat);
+
+            let do_pool = b_cur.is_multiple_of(2) && b_cur >= 8;
+            let mut next_channels = Vec::with_capacity(maps);
+            for m in 0..maps {
+                let weights = weight_value(100 + u64::from(layer) * 64 + m as u64, c * k * k);
+                let w_dev = sys.alloc_words(&weights);
+                let conv_out = sys.alloc((b_cur * b_cur) as u64 * 4);
+                sys.set_args(&[
+                    in_base as u32,
+                    w_dev as u32,
+                    conv_out as u32,
+                    b_cur as u32,
+                    Cnn::K,
+                    c as u32,
+                    plane_bytes,
+                ]);
+                sys.dispatch_kernel(0, [(b_cur as u32).div_ceil(64), b_cur as u32, 1])?;
+
+                let final_plane = if do_pool {
+                    let pooled = sys.alloc((b_cur * b_cur / 4) as u64 * 4);
+                    sys.set_args(&[conv_out as u32, pooled as u32, (b_cur / 2) as u32]);
+                    sys.dispatch_kernel(
+                        1,
+                        [((b_cur / 2) as u32).div_ceil(64), (b_cur / 2) as u32, 1],
+                    )?;
+                    sys.read_words(pooled, b_cur * b_cur / 4)
+                } else {
+                    sys.read_words(conv_out, b_cur * b_cur)
+                };
+                next_channels.push(final_plane);
+            }
+            sys.host_work((maps * b_cur * b_cur / 2) as u64);
+            channels = next_channels;
+            if do_pool {
+                b_cur /= 2;
+            }
+        }
+
+        // Reference pipeline (identical order and arithmetic).
+        let mut rb = self.size as usize;
+        let mut ref_channels: Vec<Vec<u32>> = (0..3)
+            .map(|c| {
+                if self.fp {
+                    f32_bits(
+                        &random_f32(rb * rb, 70 + c)
+                            .iter()
+                            .map(|v| v * 0.5)
+                            .collect::<Vec<_>>(),
+                    )
+                } else {
+                    random_u32(rb * rb, 70 + c, 256)
+                }
+            })
+            .collect();
+        for layer in 0..self.layers {
+            let c = ref_channels.len();
+            let do_pool = rb.is_multiple_of(2) && rb >= 8;
+            let mut next = Vec::with_capacity(maps);
+            for m in 0..maps {
+                let weights = weight_value(100 + u64::from(layer) * 64 + m as u64, c * k * k);
+                let plane = if self.fp {
+                    let padded: Vec<Vec<f32>> = ref_channels
+                        .iter()
+                        .map(|p| {
+                            pad_plane(p, rb, k)
+                                .iter()
+                                .map(|&b| f32::from_bits(b))
+                                .collect()
+                        })
+                        .collect();
+                    let wts: Vec<f32> = weights.iter().map(|&b| f32::from_bits(b)).collect();
+                    f32_bits(&conv_reference_fp(&padded, &wts, rb, k))
+                } else {
+                    let padded: Vec<Vec<u32>> =
+                        ref_channels.iter().map(|p| pad_plane(p, rb, k)).collect();
+                    conv_reference_int(&padded, &weights, rb, k, false)
+                };
+                let plane = if do_pool {
+                    if self.fp {
+                        // FP max-pool: same as int max on non-negative floats
+                        // (ReLU output), which compare identically as bits.
+                        maxpool_reference_int(&plane, rb / 2)
+                    } else {
+                        maxpool_reference_int(&plane, rb / 2)
+                    }
+                } else {
+                    plane
+                };
+                next.push(plane);
+            }
+            ref_channels = next;
+            if do_pool {
+                rb /= 2;
+            }
+        }
+
+        for (m, (got, expect)) in channels.iter().zip(&ref_channels).enumerate() {
+            if self.fp {
+                let exp: Vec<f32> = expect.iter().map(|&b| f32::from_bits(b)).collect();
+                check_f32(&format!("{} map {m}", self.name()), got, &exp, 1e-4)?;
+            } else {
+                check_u32(&format!("{} map {m}", self.name()), got, expect)?;
+            }
+        }
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    fn tiny(fp: bool) -> Cnn {
+        Cnn {
+            size: 8,
+            fp,
+            layers: 2,
+            maps: 4,
+        }
+    }
+
+    #[test]
+    fn int_cnn_validates() {
+        tiny(false)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("int CNN");
+    }
+
+    #[test]
+    fn fp_cnn_validates() {
+        tiny(true)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("fp CNN");
+    }
+
+    #[test]
+    fn padding_reference() {
+        let plane = vec![1, 2, 3, 4];
+        let padded = pad_plane(&plane, 2, 3);
+        // 4x4 with 1-pixel zero border.
+        assert_eq!(padded.len(), 16);
+        assert_eq!(padded[5], 1);
+        assert_eq!(padded[6], 2);
+        assert_eq!(padded[9], 3);
+        assert_eq!(padded[10], 4);
+        assert_eq!(padded[0], 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! 2-D convolution (INT32 and SP-FP) — the paper's running example
+//! (Fig. 5) and a Fig. 7 sweep workload.
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand, SmrdOffset};
+use scratch_system::{abi, RunReport, System, SystemConfig};
+
+use crate::common::{
+    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32,
+    unmask, CountedLoop,
+};
+use crate::{Benchmark, BenchError};
+
+/// Valid-mode 2-D convolution: input `(b+k-1)²`, mask `k²`, output `b²`.
+/// Grid `[ceil(b/64), b, 1]`; mask coefficients stream through scalar
+/// loads (they are uniform across the wavefront, as in the paper's Fig. 5
+/// code).
+#[derive(Debug, Clone, Copy)]
+pub struct Conv2d {
+    /// Output block dimension.
+    pub b: u32,
+    /// Convolution kernel dimension.
+    pub k: u32,
+    /// Single-precision floating point when `true`.
+    pub fp: bool,
+}
+
+impl Conv2d {
+    /// A `b × b` convolution with a `k × k` mask.
+    #[must_use]
+    pub fn new(b: u32, k: u32, fp: bool) -> Conv2d {
+        assert!(k >= 1 && b >= 1);
+        Conv2d { b, k, fp }
+    }
+
+    fn width(&self) -> u32 {
+        self.b + self.k - 1
+    }
+
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new(self.name());
+        b.sgprs(32).vgprs(10);
+        // args: [in, mask, out, b, k]
+        load_args(&mut b, 5)?;
+        gid_x(&mut b, 3, 64)?; // v3 = x
+        mask_lt(&mut b, 3, arg(3), 14)?;
+        // acc = 0
+        b.vop1(Opcode::VMovB32, 5, Operand::IntConst(0))?;
+        // s[2:3] = mask pointer.
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(2), arg(1))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
+        // s26 = input width W = b + k - 1.
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(26), arg(3), arg(4))?;
+        b.sop2(
+            Opcode::SSubU32,
+            Operand::Sgpr(26),
+            Operand::Sgpr(26),
+            Operand::IntConst(1),
+        )?;
+        // s28 = y + ky (starts at y = wg_id_y).
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(28), Operand::Sgpr(abi::WG_ID_Y))?;
+
+        let ky = CountedLoop::begin(&mut b, 19, arg(4))?;
+        // s29 = in + (y+ky)*W*4 (row base as soffset).
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(28),
+            Operand::Sgpr(26),
+        )?;
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(1),
+            Operand::IntConst(2),
+        )?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(29), arg(0), Operand::Sgpr(1))?;
+        // v4 = x byte offset (kx advances it by 4 each inner step).
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+
+        let kx = CountedLoop::begin(&mut b, 25, arg(4))?;
+        b.smrd(Opcode::SLoadDword, Operand::Sgpr(1), 2, SmrdOffset::Imm(0))?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(2),
+            Operand::Sgpr(2),
+            Operand::IntConst(4),
+        )?;
+        b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, Operand::Sgpr(29), 0)?;
+        b.waitcnt(Some(0), Some(0))?;
+        if self.fp {
+            b.vop2(Opcode::VMacF32, 5, Operand::Sgpr(1), 6)?;
+        } else {
+            b.vop3a(Opcode::VMulLoI32, 7, Operand::Sgpr(1), Operand::Vgpr(6), None)?;
+            b.vop2(Opcode::VAddI32, 5, Operand::Vgpr(7), 5)?;
+        }
+        b.vop2(Opcode::VAddI32, 4, Operand::IntConst(4), 4)?;
+        kx.end(&mut b)?;
+
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(28),
+            Operand::Sgpr(28),
+            Operand::IntConst(1),
+        )?;
+        ky.end(&mut b)?;
+
+        // Store out[y*b + x].
+        b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(3))?;
+        b.vop2(Opcode::VAddI32, 8, Operand::Sgpr(0), 3)?;
+        b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
+        b.mubuf(Opcode::BufferStoreDword, 5, 8, 4, arg(2), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for Conv2d {
+    fn name(&self) -> String {
+        format!("2D Conv ({})", if self.fp { "SP FP" } else { "INT32" })
+    }
+
+    fn uses_fp(&self) -> bool {
+        self.fp
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let (bsz, k, w) = (self.b as usize, self.k as usize, self.width() as usize);
+        let grid = [self.b.div_ceil(64), self.b, 1];
+
+        if self.fp {
+            let input = random_f32(w * w, 51);
+            let mask = random_f32(k * k, 52);
+            let a_in = sys.alloc_words(&f32_bits(&input));
+            let a_mask = sys.alloc_words(&f32_bits(&mask));
+            let a_out = sys.alloc((bsz * bsz) as u64 * 4);
+            sys.set_args(&[a_in as u32, a_mask as u32, a_out as u32, self.b, self.k]);
+            sys.dispatch(grid)?;
+            let mut expected = vec![0f32; bsz * bsz];
+            for y in 0..bsz {
+                for x in 0..bsz {
+                    let mut acc = 0f32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc = mask[ky * k + kx]
+                                .mul_add(input[(y + ky) * w + (x + kx)], acc);
+                        }
+                    }
+                    expected[y * bsz + x] = acc;
+                }
+            }
+            check_f32(
+                &self.name(),
+                &sys.read_words(a_out, bsz * bsz),
+                &expected,
+                1e-5,
+            )?;
+        } else {
+            let input = random_u32(w * w, 51, 1 << 10);
+            let mask = random_u32(k * k, 52, 1 << 8);
+            let a_in = sys.alloc_words(&input);
+            let a_mask = sys.alloc_words(&mask);
+            let a_out = sys.alloc((bsz * bsz) as u64 * 4);
+            sys.set_args(&[a_in as u32, a_mask as u32, a_out as u32, self.b, self.k]);
+            sys.dispatch(grid)?;
+            let mut expected = vec![0u32; bsz * bsz];
+            for y in 0..bsz {
+                for x in 0..bsz {
+                    let mut acc = 0u32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc = acc.wrapping_add(
+                                mask[ky * k + kx].wrapping_mul(input[(y + ky) * w + (x + kx)]),
+                            );
+                        }
+                    }
+                    expected[y * bsz + x] = acc;
+                }
+            }
+            check_u32(&self.name(), &sys.read_words(a_out, bsz * bsz), &expected)?;
+        }
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    #[test]
+    fn int_conv_validates() {
+        Conv2d::new(64, 3, false)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("int conv2d");
+    }
+
+    #[test]
+    fn fp_conv_validates() {
+        Conv2d::new(64, 3, true)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("fp conv2d");
+    }
+
+    #[test]
+    fn masked_small_block_validates() {
+        Conv2d::new(16, 5, false)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("masked conv2d");
+    }
+}

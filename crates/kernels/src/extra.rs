@@ -1,0 +1,737 @@
+//! Further AMD APP SDK workloads from the paper's Fig. 4 characterisation
+//! set: Black-Scholes (the benchmark the paper singles out for its wide
+//! arithmetic range, including transcendentals), Sobel filter, DCT,
+//! Floyd-Warshall and uniform random-noise generation.
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand, SmrdOffset};
+use scratch_system::{abi, RunReport, System, SystemConfig};
+
+use crate::common::{
+    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32,
+    unmask, CountedLoop,
+};
+use crate::{Benchmark, BenchError};
+
+// ------------------------------------------------------------ BlackScholes
+
+/// European call-option pricing with the Abramowitz–Stegun normal-CDF
+/// polynomial — logarithms, exponentials, reciprocals, square roots and MAD
+/// chains (the div/trans arithmetic groups of Fig. 4 that the paper calls
+/// out for Black-Scholes).
+#[derive(Debug, Clone, Copy)]
+pub struct BlackScholes {
+    /// Number of options (multiple of 64).
+    pub n: u32,
+}
+
+impl BlackScholes {
+    const RATE: f32 = 0.02;
+    const VOL: f32 = 0.30;
+    const T: f32 = 1.5;
+    const C1: f32 = 0.319_381_53;
+    const C2: f32 = -0.356_563_78;
+    const C3: f32 = 1.781_477_9;
+    const C4: f32 = -1.821_256;
+    const C5: f32 = 1.330_274_4;
+    const INV_SQRT_2PI: f32 = 0.398_942_3;
+
+    /// Price `n` options.
+    #[must_use]
+    pub fn new(n: u32) -> BlackScholes {
+        assert!(n.is_multiple_of(64));
+        BlackScholes { n }
+    }
+
+    /// The device CND, mirrored operation-for-operation by
+    /// [`BlackScholes::cnd_reference`]. `x` is the input VGPR, `out` the
+    /// result VGPR; v14–v17 are scratch; v20–v24 hold the polynomial
+    /// coefficients.
+    fn emit_cnd(b: &mut KernelBuilder, x: u8, out: u8) -> Result<(), AsmError> {
+        let lit = KernelBuilder::const_f32;
+        // v14 = |x|
+        b.vop2(Opcode::VAndB32, 14, Operand::Literal(0x7fff_ffff), x)?;
+        // v15 = k = 1 / (1 + 0.2316419 |x|)
+        b.vop1(Opcode::VMovB32, 15, lit(0.231_641_9))?;
+        b.vop3a(
+            Opcode::VMadF32,
+            15,
+            Operand::Vgpr(15),
+            Operand::Vgpr(14),
+            Some(Operand::FloatConst(1.0)),
+        )?;
+        b.vop1(Opcode::VRcpF32, 15, Operand::Vgpr(15))?;
+        // v16 = Horner polynomial in k.
+        b.vop1(Opcode::VMovB32, 16, Operand::Vgpr(20))?; // c5
+        for coeff in [21u8, 22, 23, 24] {
+            b.vop3a(
+                Opcode::VMadF32,
+                16,
+                Operand::Vgpr(16),
+                Operand::Vgpr(15),
+                Some(Operand::Vgpr(coeff)),
+            )?;
+        }
+        b.vop2(Opcode::VMulF32, 16, Operand::Vgpr(16), 15)?;
+        // v17 = pdf(|x|) = inv_sqrt_2pi * exp2(-x^2/2 * log2(e))
+        b.vop2(Opcode::VMulF32, 17, Operand::Vgpr(14), 14)?;
+        b.vop1(
+            Opcode::VMovB32,
+            18,
+            lit(-0.5 * std::f32::consts::LOG2_E),
+        )?;
+        b.vop2(Opcode::VMulF32, 17, Operand::Vgpr(17), 18)?;
+        b.vop1(Opcode::VExpF32, 17, Operand::Vgpr(17))?;
+        b.vop1(Opcode::VMovB32, 18, lit(Self::INV_SQRT_2PI))?;
+        b.vop2(Opcode::VMulF32, 17, Operand::Vgpr(17), 18)?;
+        // out = 1 - pdf * poly
+        b.vop2(Opcode::VMulF32, 16, Operand::Vgpr(17), 16)?;
+        b.vop2(Opcode::VSubrevF32, out, Operand::Vgpr(16), 19)?; // v19 = 1.0
+        // x < 0 => out = 1 - out (mirror).
+        b.vop2(Opcode::VSubF32, 18, Operand::Vgpr(19), out)?;
+        b.vopc(Opcode::VCmpGtF32, Operand::IntConst(0), x)?; // 0 > x
+        b.vop2(Opcode::VCndmaskB32, out, Operand::Vgpr(out), 18)?;
+        Ok(())
+    }
+
+    /// Host mirror of [`BlackScholes::emit_cnd`].
+    fn cnd_reference(x: f32) -> f32 {
+        let a = x.abs();
+        let k = 1.0 / (0.231_641_9f32 * a + 1.0);
+        let mut poly = Self::C5;
+        for c in [Self::C4, Self::C3, Self::C2, Self::C1] {
+            poly = poly * k + c;
+        }
+        poly *= k;
+        let pdf = (a * a * (-0.5 * std::f32::consts::LOG2_E)).exp2() * Self::INV_SQRT_2PI;
+        let cnd = 1.0 - pdf * poly;
+        if 0.0 > x {
+            1.0 - cnd
+        } else {
+            cnd
+        }
+    }
+
+    /// Host mirror of the whole kernel for one option.
+    fn price_reference(s: f32, k: f32) -> f32 {
+        let ln_sk = (s.log2() - k.log2()) * (1.0 / std::f32::consts::LOG2_E);
+        let vsqrt = Self::T.sqrt() * Self::VOL;
+        let drift = (Self::RATE + Self::VOL * Self::VOL * 0.5) * Self::T;
+        let d1 = (ln_sk + drift) * (1.0 / vsqrt);
+        let d2 = d1 - vsqrt;
+        let disc = (-Self::RATE * Self::T).exp();
+        s * Self::cnd_reference(d1) - k * disc * Self::cnd_reference(d2)
+    }
+
+    /// Args: `[spot, strike, out]`; one work-item per option.
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let lit = KernelBuilder::const_f32;
+        let mut b = KernelBuilder::new("black_scholes");
+        b.sgprs(32).vgprs(28);
+        load_args(&mut b, 3)?;
+        gid_x(&mut b, 3, 64)?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, arg(0), 0)?; // S
+        b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, arg(1), 0)?; // K
+        b.waitcnt(Some(0), None)?;
+
+        // Polynomial coefficients and the constant one.
+        b.vop1(Opcode::VMovB32, 20, lit(Self::C5))?;
+        b.vop1(Opcode::VMovB32, 21, lit(Self::C4))?;
+        b.vop1(Opcode::VMovB32, 22, lit(Self::C3))?;
+        b.vop1(Opcode::VMovB32, 23, lit(Self::C2))?;
+        b.vop1(Opcode::VMovB32, 24, lit(Self::C1))?;
+        b.vop1(Opcode::VMovB32, 19, Operand::FloatConst(1.0))?;
+
+        // v7 = ln(S/K) = (log2 S - log2 K) / log2 e.
+        b.vop1(Opcode::VLogF32, 7, Operand::Vgpr(5))?;
+        b.vop1(Opcode::VLogF32, 8, Operand::Vgpr(6))?;
+        b.vop2(Opcode::VSubF32, 7, Operand::Vgpr(7), 8)?;
+        b.vop1(Opcode::VMovB32, 8, lit(1.0 / std::f32::consts::LOG2_E))?;
+        b.vop2(Opcode::VMulF32, 7, Operand::Vgpr(7), 8)?;
+        // v9 = sigma * sqrt(T)
+        b.vop1(Opcode::VSqrtF32, 9, lit(Self::T))?;
+        b.vop2(Opcode::VMulF32, 9, lit(Self::VOL), 9)?;
+        // v10 = d1 = (lnSK + drift) / (sigma sqrt T)
+        let drift = (Self::RATE + Self::VOL * Self::VOL * 0.5) * Self::T;
+        b.vop2(Opcode::VAddF32, 10, lit(drift), 7)?;
+        b.vop1(Opcode::VRcpF32, 11, Operand::Vgpr(9))?;
+        b.vop2(Opcode::VMulF32, 10, Operand::Vgpr(10), 11)?;
+        // v11 = d2 = d1 - sigma sqrt T
+        b.vop2(Opcode::VSubF32, 11, Operand::Vgpr(10), 9)?;
+
+        Self::emit_cnd(&mut b, 10, 12)?;
+        Self::emit_cnd(&mut b, 11, 13)?;
+
+        // price = S cnd1 - K e^{-rT} cnd2.
+        let disc = (-Self::RATE * Self::T).exp();
+        b.vop2(Opcode::VMulF32, 25, Operand::Vgpr(5), 12)?;
+        b.vop1(Opcode::VMovB32, 26, lit(disc))?;
+        b.vop2(Opcode::VMulF32, 26, Operand::Vgpr(6), 26)?;
+        b.vop2(Opcode::VMulF32, 26, Operand::Vgpr(26), 13)?;
+        b.vop2(Opcode::VSubF32, 25, Operand::Vgpr(25), 26)?;
+
+        b.mubuf(Opcode::BufferStoreDword, 25, 4, 4, arg(2), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for BlackScholes {
+    fn name(&self) -> String {
+        "Black-Scholes (SP FP)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        true
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let spot: Vec<f32> = random_f32(n, 111).iter().map(|v| 40.0 + v * 20.0).collect();
+        let strike: Vec<f32> = random_f32(n, 112).iter().map(|v| 40.0 + v * 20.0).collect();
+        let a_s = sys.alloc_words(&f32_bits(&spot));
+        let a_k = sys.alloc_words(&f32_bits(&strike));
+        let a_out = sys.alloc(n as u64 * 4);
+        sys.set_args(&[a_s as u32, a_k as u32, a_out as u32]);
+        sys.dispatch([self.n / 64, 1, 1])?;
+
+        let expected: Vec<f32> = spot
+            .iter()
+            .zip(&strike)
+            .map(|(&s, &k)| Self::price_reference(s, k))
+            .collect();
+        check_f32(&self.name(), &sys.read_words(a_out, n), &expected, 1e-4)?;
+        Ok(sys.report())
+    }
+}
+
+// ------------------------------------------------------------------ Sobel
+
+/// Sobel edge filter (INT32): two fixed 3×3 masks and an |gx|+|gy|
+/// magnitude — the image-processing staple of the SDK set.
+#[derive(Debug, Clone, Copy)]
+pub struct Sobel {
+    /// Output dimension.
+    pub b: u32,
+}
+
+impl Sobel {
+    /// Filter a `(b+2)²` image into a `b²` edge map.
+    #[must_use]
+    pub fn new(b: u32) -> Sobel {
+        Sobel { b }
+    }
+
+    /// Args: `[in, out, b]`; grid `[ceil(b/64), b, 1]`.
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("sobel");
+        b.sgprs(32).vgprs(24);
+        load_args(&mut b, 3)?;
+        gid_x(&mut b, 3, 64)?;
+        mask_lt(&mut b, 3, arg(2), 14)?;
+        // Row base soffsets: s27/s28/s29 = in + (y+r) * (b+2) * 4.
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(26), arg(2), Operand::IntConst(2))?;
+        for r in 0..3u8 {
+            b.sop2(
+                Opcode::SAddU32,
+                Operand::Sgpr(1),
+                Operand::Sgpr(abi::WG_ID_Y),
+                KernelBuilder::const_u32(r.into()),
+            )?;
+            b.sop2(Opcode::SMulI32, Operand::Sgpr(1), Operand::Sgpr(1), Operand::Sgpr(26))?;
+            b.sop2(
+                Opcode::SLshlB32,
+                Operand::Sgpr(1),
+                Operand::Sgpr(1),
+                Operand::IntConst(2),
+            )?;
+            b.sop2(Opcode::SAddU32, Operand::Sgpr(27 + r), arg(0), Operand::Sgpr(1))?;
+        }
+        // v4 = x * 4.
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        // Load the 3x3 neighbourhood into v5..v13 (row-major).
+        for r in 0..3u8 {
+            for c in 0..3u16 {
+                b.mubuf(
+                    Opcode::BufferLoadDword,
+                    5 + r * 3 + c as u8,
+                    4,
+                    4,
+                    Operand::Sgpr(27 + r),
+                    c * 4,
+                )?;
+            }
+        }
+        b.waitcnt(Some(0), None)?;
+        // gx = (p02 + 2 p12 + p22) - (p00 + 2 p10 + p20)  -> v15
+        b.vop2(Opcode::VAddI32, 15, Operand::Vgpr(7), 10)?; // p02 + p12
+        b.vop2(Opcode::VAddI32, 15, Operand::Vgpr(15), 10)?; // + p12 again
+        b.vop2(Opcode::VAddI32, 15, Operand::Vgpr(15), 13)?; // + p22
+        b.vop2(Opcode::VAddI32, 16, Operand::Vgpr(5), 8)?;
+        b.vop2(Opcode::VAddI32, 16, Operand::Vgpr(16), 8)?;
+        b.vop2(Opcode::VAddI32, 16, Operand::Vgpr(16), 11)?;
+        b.vop2(Opcode::VSubI32, 15, Operand::Vgpr(15), 16)?;
+        // gy = (p20 + 2 p21 + p22) - (p00 + 2 p01 + p02)  -> v17
+        b.vop2(Opcode::VAddI32, 17, Operand::Vgpr(11), 12)?;
+        b.vop2(Opcode::VAddI32, 17, Operand::Vgpr(17), 12)?;
+        b.vop2(Opcode::VAddI32, 17, Operand::Vgpr(17), 13)?;
+        b.vop2(Opcode::VAddI32, 18, Operand::Vgpr(5), 6)?;
+        b.vop2(Opcode::VAddI32, 18, Operand::Vgpr(18), 6)?;
+        b.vop2(Opcode::VAddI32, 18, Operand::Vgpr(18), 7)?;
+        b.vop2(Opcode::VSubI32, 17, Operand::Vgpr(17), 18)?;
+        // |gx| + |gy| via max(x, -x).
+        b.vop1(Opcode::VMovB32, 20, Operand::IntConst(0))?;
+        b.vop2(Opcode::VSubI32, 19, Operand::Vgpr(20), 15)?; // -gx
+        b.vop2(Opcode::VMaxI32, 15, Operand::Vgpr(15), 19)?;
+        b.vop2(Opcode::VSubI32, 19, Operand::Vgpr(20), 17)?; // -gy
+        b.vop2(Opcode::VMaxI32, 17, Operand::Vgpr(17), 19)?;
+        b.vop2(Opcode::VAddI32, 15, Operand::Vgpr(15), 17)?;
+        // Store out[y*b + x].
+        b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+        b.vop2(Opcode::VAddI32, 21, Operand::Sgpr(0), 3)?;
+        b.vop2(Opcode::VLshlrevB32, 21, Operand::IntConst(2), 21)?;
+        b.mubuf(Opcode::BufferStoreDword, 15, 21, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for Sobel {
+    fn name(&self) -> String {
+        "Sobel Filter (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let bsz = self.b as usize;
+        let w = bsz + 2;
+        let input = random_u32(w * w, 121, 256);
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc((bsz * bsz) as u64 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32, self.b]);
+        sys.dispatch([self.b.div_ceil(64), self.b, 1])?;
+
+        let px = |y: usize, x: usize| input[y * w + x] as i32;
+        let mut expected = vec![0u32; bsz * bsz];
+        for y in 0..bsz {
+            for x in 0..bsz {
+                let gx = (px(y, x + 2) + 2 * px(y + 1, x + 2) + px(y + 2, x + 2))
+                    - (px(y, x) + 2 * px(y + 1, x) + px(y + 2, x));
+                let gy = (px(y + 2, x) + 2 * px(y + 2, x + 1) + px(y + 2, x + 2))
+                    - (px(y, x) + 2 * px(y, x + 1) + px(y, x + 2));
+                expected[y * bsz + x] = (gx.abs() + gy.abs()) as u32;
+            }
+        }
+        check_u32(&self.name(), &sys.read_words(a_out, bsz * bsz), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+// -------------------------------------------------------------------- DCT
+
+/// 8×8 block DCT (SP FP): one workgroup per block, one work-item per
+/// output coefficient, as a dot product with the host-precomputed 64×64
+/// transform matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Dct {
+    /// Number of 8×8 blocks.
+    pub blocks: u32,
+}
+
+impl Dct {
+    /// Transform `blocks` 8×8 blocks.
+    #[must_use]
+    pub fn new(blocks: u32) -> Dct {
+        assert!(blocks >= 1);
+        Dct { blocks }
+    }
+
+    /// The 64×64 DCT-II matrix, laid out `m[xy][uv]` so work-item `uv` can
+    /// gather its column at stride 64.
+    fn matrix() -> Vec<f32> {
+        let mut m = vec![0f32; 64 * 64];
+        for u in 0..8usize {
+            for v in 0..8 {
+                let alpha = |k: usize| if k == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+                for x in 0..8 {
+                    for y in 0..8 {
+                        let cu = ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / 16.0).cos();
+                        let cv = ((2 * y + 1) as f32 * v as f32 * std::f32::consts::PI / 16.0).cos();
+                        m[(x * 8 + y) * 64 + (u * 8 + v)] = alpha(u) * alpha(v) * cu * cv;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Args: `[in, matrix, out]`; grid `[blocks, 1, 1]`, wg = 64.
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("dct8x8");
+        b.sgprs(32).vgprs(12);
+        load_args(&mut b, 3)?;
+        // Block base bytes: s25 = wg_id * 64 * 4; pixel pointer s[2:3].
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(25),
+            Operand::Sgpr(abi::WG_ID_X),
+            Operand::IntConst(8),
+        )?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(2), arg(0), Operand::Sgpr(25))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
+        // Matrix row offset advances 64*4 bytes per step; v4 = tid*4 within
+        // the row; acc v5 = 0; s26 walks the row base.
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 0)?;
+        b.vop1(Opcode::VMovB32, 5, Operand::IntConst(0))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(26), arg(1))?;
+
+        let l = CountedLoop::begin(&mut b, 19, Operand::IntConst(64))?;
+        b.smrd(Opcode::SLoadDword, Operand::Sgpr(1), 2, SmrdOffset::Imm(0))?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(2),
+            Operand::Sgpr(2),
+            Operand::IntConst(4),
+        )?;
+        b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, Operand::Sgpr(26), 0)?;
+        b.waitcnt(Some(0), Some(0))?;
+        b.vop2(Opcode::VMacF32, 5, Operand::Sgpr(1), 6)?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(26),
+            Operand::Sgpr(26),
+            Operand::Literal(256),
+        )?;
+        l.end(&mut b)?;
+
+        // out[wg*64 + tid].
+        b.vop2(Opcode::VAddI32, 7, Operand::Sgpr(25), 4)?;
+        b.mubuf(Opcode::BufferStoreDword, 5, 7, 4, arg(2), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for Dct {
+    fn name(&self) -> String {
+        "DCT (SP FP)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        true
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.blocks as usize * 64;
+        let input = random_f32(n, 131);
+        let matrix = Self::matrix();
+        let a_in = sys.alloc_words(&f32_bits(&input));
+        let a_m = sys.alloc_words(&f32_bits(&matrix));
+        let a_out = sys.alloc(n as u64 * 4);
+        sys.set_args(&[a_in as u32, a_m as u32, a_out as u32]);
+        sys.dispatch([self.blocks, 1, 1])?;
+
+        let mut expected = vec![0f32; n];
+        for blk in 0..self.blocks as usize {
+            for uv in 0..64 {
+                let mut acc = 0f32;
+                for xy in 0..64 {
+                    acc = matrix[xy * 64 + uv].mul_add(input[blk * 64 + xy], acc);
+                }
+                expected[blk * 64 + uv] = acc;
+            }
+        }
+        check_f32(&self.name(), &sys.read_words(a_out, n), &expected, 1e-4)?;
+        Ok(sys.report())
+    }
+}
+
+// ---------------------------------------------------------- FloydWarshall
+
+/// All-pairs shortest paths (INT32): one relaxation kernel per pivot `k`,
+/// driven by a host loop — the classic SDK formulation.
+#[derive(Debug, Clone, Copy)]
+pub struct FloydWarshall {
+    /// Vertex count (multiple of 64 keeps lanes full; smaller is masked).
+    pub v: u32,
+}
+
+impl FloydWarshall {
+    const INF: u32 = 1 << 20;
+
+    /// Shortest paths over `v` vertices.
+    #[must_use]
+    pub fn new(v: u32) -> FloydWarshall {
+        FloydWarshall { v }
+    }
+
+    /// Args: `[d, k, v]`; grid `[ceil(v/64), v, 1]`; i = wg Y, j = flat X.
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("floyd_warshall");
+        b.sgprs(32).vgprs(12);
+        load_args(&mut b, 3)?;
+        gid_x(&mut b, 3, 64)?; // j
+        mask_lt(&mut b, 3, arg(2), 14)?;
+        // s25 = i*v*4 (row i base), s26 = k*v*4 (row k base).
+        b.sop2(Opcode::SMulI32, Operand::Sgpr(25), Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(25),
+            Operand::Sgpr(25),
+            Operand::IntConst(2),
+        )?;
+        b.sop2(Opcode::SMulI32, Operand::Sgpr(26), arg(1), arg(2))?;
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(26),
+            Operand::Sgpr(26),
+            Operand::IntConst(2),
+        )?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(27), arg(0), Operand::Sgpr(25))?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(28), arg(0), Operand::Sgpr(26))?;
+        // d[i][k] is wavefront-uniform: scalar load via s[2:3].
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(1),
+            arg(1),
+            Operand::IntConst(2),
+        )?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(2), Operand::Sgpr(27), Operand::Sgpr(1))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
+        b.smrd(Opcode::SLoadDword, Operand::Sgpr(30), 2, SmrdOffset::Imm(0))?;
+        // d[i][j] and d[k][j].
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, Operand::Sgpr(27), 0)?;
+        b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, Operand::Sgpr(28), 0)?;
+        b.waitcnt(Some(0), Some(0))?;
+        // candidate = d[i][k] + d[k][j]; d[i][j] = min(d[i][j], candidate).
+        b.vop2(Opcode::VAddI32, 7, Operand::Sgpr(30), 6)?;
+        b.vop2(Opcode::VMinU32, 5, Operand::Vgpr(5), 7)?;
+        b.mubuf(Opcode::BufferStoreDword, 5, 4, 4, Operand::Sgpr(27), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for FloydWarshall {
+    fn name(&self) -> String {
+        "Floyd-Warshall (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let v = self.v as usize;
+        // Sparse random digraph.
+        let raw = random_u32(v * v, 141, 100);
+        let mut d: Vec<u32> = raw
+            .iter()
+            .map(|&x| if x < 20 { x + 1 } else { Self::INF })
+            .collect();
+        for i in 0..v {
+            d[i * v + i] = 0;
+        }
+        let dev = sys.alloc_words(&d);
+        for k in 0..self.v {
+            sys.set_args(&[dev as u32, k, self.v]);
+            sys.dispatch([self.v.div_ceil(64), self.v, 1])?;
+        }
+
+        let mut expected = d;
+        for k in 0..v {
+            for i in 0..v {
+                let dik = expected[i * v + k];
+                for j in 0..v {
+                    let cand = dik + expected[k * v + j];
+                    if cand < expected[i * v + j] {
+                        expected[i * v + j] = cand;
+                    }
+                }
+            }
+        }
+        check_u32(&self.name(), &sys.read_words(dev, v * v), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+// ------------------------------------------------------------------ Noise
+
+/// Uniform random noise generation (INT32): per-work-item xorshift32
+/// iterated `rounds` times — the shift/logic-dominated profile Fig. 4
+/// shows for the SDK's noise generator.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseGen {
+    /// Values to generate (multiple of 64).
+    pub n: u32,
+    /// Xorshift rounds per value.
+    pub rounds: u32,
+}
+
+impl NoiseGen {
+    /// Generate `n` values with `rounds` xorshift rounds each.
+    #[must_use]
+    pub fn new(n: u32, rounds: u32) -> NoiseGen {
+        assert!(n.is_multiple_of(64) && rounds >= 1);
+        NoiseGen { n, rounds }
+    }
+
+    /// Args: `[seeds, out, rounds]`.
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("noise_gen");
+        b.sgprs(32).vgprs(12);
+        load_args(&mut b, 3)?;
+        gid_x(&mut b, 3, 64)?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        let l = CountedLoop::begin(&mut b, 19, arg(2))?;
+        // x ^= x << 13 ; x ^= x >> 17 ; x ^= x << 5.
+        b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(13), 5)?;
+        b.vop2(Opcode::VXorB32, 5, Operand::Vgpr(5), 6)?;
+        b.vop2(Opcode::VLshrrevB32, 6, Operand::IntConst(17), 5)?;
+        b.vop2(Opcode::VXorB32, 5, Operand::Vgpr(5), 6)?;
+        b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(5), 5)?;
+        b.vop2(Opcode::VXorB32, 5, Operand::Vgpr(5), 6)?;
+        l.end(&mut b)?;
+        b.mubuf(Opcode::BufferStoreDword, 5, 4, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for NoiseGen {
+    fn name(&self) -> String {
+        "Uniform Random Noise (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        // Seeds must be nonzero for xorshift.
+        let seeds: Vec<u32> = random_u32(n, 151, u32::MAX - 1).iter().map(|&s| s | 1).collect();
+        let a_in = sys.alloc_words(&seeds);
+        let a_out = sys.alloc(n as u64 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32, self.rounds]);
+        sys.dispatch([self.n / 64, 1, 1])?;
+
+        let expected: Vec<u32> = seeds
+            .iter()
+            .map(|&s| {
+                let mut x = s;
+                for _ in 0..self.rounds {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                }
+                x
+            })
+            .collect();
+        check_u32(&self.name(), &sys.read_words(a_out, n), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::preset(SystemKind::DcdPm)
+    }
+
+    #[test]
+    fn black_scholes_validates() {
+        BlackScholes::new(128).run(cfg()).expect("black-scholes");
+    }
+
+    #[test]
+    fn black_scholes_prices_are_sane() {
+        // Deep in-the-money call ~ S - K e^{-rT}; worthless when S << K.
+        let deep = BlackScholes::price_reference(100.0, 10.0);
+        assert!((deep - (100.0 - 10.0 * (-0.03f32).exp())).abs() < 0.5, "{deep}");
+        let worthless = BlackScholes::price_reference(10.0, 100.0);
+        assert!(worthless < 0.5, "{worthless}");
+    }
+
+    #[test]
+    fn black_scholes_uses_trans_and_div_units() {
+        use scratch_isa::Category;
+        let k = BlackScholes::new(64).kernels().unwrap().remove(0);
+        let cats: std::collections::BTreeSet<Category> = k
+            .instructions()
+            .unwrap()
+            .iter()
+            .map(|(_, i)| i.opcode.category())
+            .collect();
+        assert!(cats.contains(&Category::Trans), "log/exp/sqrt present");
+        assert!(cats.contains(&Category::Div), "rcp present");
+    }
+
+    #[test]
+    fn sobel_validates() {
+        Sobel::new(64).run(cfg()).expect("sobel");
+        Sobel::new(16).run(cfg()).expect("masked sobel");
+    }
+
+    #[test]
+    fn dct_validates() {
+        Dct::new(4).run(cfg()).expect("dct");
+    }
+
+    #[test]
+    fn floyd_warshall_validates() {
+        FloydWarshall::new(16).run(cfg()).expect("floyd-warshall");
+    }
+
+    #[test]
+    fn noise_gen_validates() {
+        NoiseGen::new(128, 8).run(cfg()).expect("noise");
+    }
+}

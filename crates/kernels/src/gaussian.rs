@@ -1,0 +1,277 @@
+//! Gaussian elimination (SP-FP) — the Rodinia workload: the CU reduces the
+//! augmented matrix to triangular form (Fan1/Fan2 kernels per pivot), then
+//! the MicroBlaze performs the back-substitution (§4).
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand, SmrdOffset};
+use scratch_system::{abi, RunReport, System, SystemConfig};
+
+use crate::common::{arg, check_f32, f32_bits, gid_x, load_args, random_f32, unmask};
+use crate::{Benchmark, BenchError};
+
+/// Solve `A·x = b` for an `n × n` diagonally dominant system using the
+/// augmented `n × (n+1)` matrix layout.
+#[derive(Debug, Clone, Copy)]
+pub struct Gaussian {
+    /// System dimension.
+    pub n: u32,
+}
+
+impl Gaussian {
+    /// A Gaussian-elimination workload.
+    #[must_use]
+    pub fn new(n: u32) -> Gaussian {
+        assert!(n >= 2);
+        Gaussian { n }
+    }
+
+    /// Fan1: `m[i] = A[i][k] · rcp(A[k][k])` for `i > k`.
+    /// Args: `[m, a, k, n]`; grid `[ceil(n/64), 1, 1]`.
+    fn fan1(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("gaussian_fan1");
+        b.sgprs(32).vgprs(12);
+        load_args(&mut b, 4)?;
+        gid_x(&mut b, 3, 64)?; // v3 = i
+        // exec &= (i < n) & (i > k).
+        b.vopc(Opcode::VCmpGtU32, arg(3), 3)?;
+        b.sop1(Opcode::SMovB64, Operand::Sgpr(0), Operand::VccLo)?;
+        b.vopc(Opcode::VCmpLtU32, arg(2), 3)?;
+        b.sop2(Opcode::SAndB64, Operand::VccLo, Operand::Sgpr(0), Operand::VccLo)?;
+        b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
+        // s26 = width = n + 1.
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(26), arg(3), Operand::IntConst(1))?;
+        // Pivot A[k][k]: scalar load.
+        b.sop2(Opcode::SMulI32, Operand::Sgpr(1), arg(2), Operand::Sgpr(26))?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(1), Operand::Sgpr(1), arg(2))?;
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(1),
+            Operand::IntConst(2),
+        )?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(2), arg(1), Operand::Sgpr(1))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
+        b.smrd(Opcode::SLoadDword, Operand::Sgpr(30), 2, SmrdOffset::Imm(0))?;
+        b.waitcnt(None, Some(0))?;
+        // v6 = rcp(pivot).
+        b.vop1(Opcode::VRcpF32, 6, Operand::Sgpr(30))?;
+        // A[i][k]: offset (i*(n+1) + k) * 4.
+        b.vop3a(Opcode::VMulLoU32, 7, Operand::Vgpr(3), Operand::Sgpr(26), None)?;
+        b.vop2(Opcode::VAddI32, 7, arg(2), 7)?;
+        b.vop2(Opcode::VLshlrevB32, 7, Operand::IntConst(2), 7)?;
+        b.mubuf(Opcode::BufferLoadDword, 8, 7, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        // m[i] = A[i][k] * rcp.
+        b.vop2(Opcode::VMulF32, 9, Operand::Vgpr(8), 6)?;
+        b.vop2(Opcode::VLshlrevB32, 10, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferStoreDword, 9, 10, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.endpgm()?;
+        b.finish()
+    }
+
+    /// Fan2: `A[i][j] -= m[i] · A[k][j]` for `i > k`, `j ≥ k`.
+    /// Args: `[m, a, k, n]`; grid `[ceil((n+1)/64), n, 1]` (row = wg Y).
+    fn fan2(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("gaussian_fan2");
+        b.sgprs(32).vgprs(12);
+        load_args(&mut b, 4)?;
+        // Whole-row early out: if i <= k, nothing to do.
+        b.sopc(Opcode::SCmpLeU32, Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+        let done = b.new_label();
+        b.branch(Opcode::SCbranchScc1, done);
+        gid_x(&mut b, 3, 64)?; // v3 = j
+        // s26 = width = n + 1.
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(26), arg(3), Operand::IntConst(1))?;
+        // exec &= (j < n+1) & (j >= k).
+        b.vopc(Opcode::VCmpGtU32, Operand::Sgpr(26), 3)?;
+        b.sop1(Opcode::SMovB64, Operand::Sgpr(0), Operand::VccLo)?;
+        b.vopc(Opcode::VCmpLeU32, arg(2), 3)?;
+        b.sop2(Opcode::SAndB64, Operand::VccLo, Operand::Sgpr(0), Operand::VccLo)?;
+        b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
+        // m[i] scalar.
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(abi::WG_ID_Y),
+            Operand::IntConst(2),
+        )?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(2), arg(0), Operand::Sgpr(1))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
+        b.smrd(Opcode::SLoadDword, Operand::Sgpr(30), 2, SmrdOffset::Imm(0))?;
+        b.waitcnt(None, Some(0))?;
+        // v4 = byte offset of A[k][j].
+        b.sop2(Opcode::SMulI32, Operand::Sgpr(1), arg(2), Operand::Sgpr(26))?;
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(1),
+            Operand::IntConst(2),
+        )?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.vop2(Opcode::VAddI32, 5, Operand::Sgpr(1), 4)?;
+        b.mubuf(Opcode::BufferLoadDword, 6, 5, 4, arg(1), 0)?;
+        // v7 = byte offset of A[i][j].
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(abi::WG_ID_Y),
+            Operand::Sgpr(26),
+        )?;
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(1),
+            Operand::IntConst(2),
+        )?;
+        b.vop2(Opcode::VAddI32, 7, Operand::Sgpr(1), 4)?;
+        b.mubuf(Opcode::BufferLoadDword, 8, 7, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        // A[i][j] -= m[i] * A[k][j].
+        b.vop2(Opcode::VMulF32, 9, Operand::Sgpr(30), 6)?;
+        b.vop2(Opcode::VSubF32, 8, Operand::Vgpr(8), 9)?;
+        b.mubuf(Opcode::BufferStoreDword, 8, 7, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.bind(done)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+/// Reference elimination with the device's exact arithmetic (including the
+/// multiply-by-reciprocal).
+fn eliminate_reference(aug: &mut [f32], n: usize) {
+    let w = n + 1;
+    for k in 0..n - 1 {
+        let rcp = 1.0 / aug[k * w + k];
+        let m: Vec<f32> = (0..n)
+            .map(|i| if i > k { aug[i * w + k] * rcp } else { 0.0 })
+            .collect();
+        for i in (k + 1)..n {
+            for j in k..w {
+                aug[i * w + j] -= m[i] * aug[k * w + j];
+            }
+        }
+    }
+}
+
+/// Back substitution (the MicroBlaze's phase).
+fn back_substitute(aug: &[f32], n: usize) -> Vec<f32> {
+    let w = n + 1;
+    let mut x = vec![0f32; n];
+    for i in (0..n).rev() {
+        let mut sum = aug[i * w + n];
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            sum -= aug[i * w + j] * xj;
+        }
+        x[i] = sum / aug[i * w + i];
+    }
+    x
+}
+
+impl Benchmark for Gaussian {
+    fn name(&self) -> String {
+        "Gaussian Elimination (SP FP)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        true
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.fan1()?, self.fan2()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernels = self.kernels()?;
+        let mut sys = System::with_kernels(config, &kernels)?;
+        let n = self.n as usize;
+        let w = n + 1;
+
+        // Diagonally dominant augmented system.
+        let mut aug = random_f32(n * w, 95);
+        for i in 0..n {
+            aug[i * w + i] = 4.0 + aug[i * w + i].abs() + n as f32 * 0.5;
+        }
+        let reference_input = aug.clone();
+
+        let a_m = sys.alloc(u64::from(self.n) * 4);
+        let a_aug = sys.alloc_words(&f32_bits(&aug));
+
+        for k in 0..self.n - 1 {
+            sys.set_args(&[a_m as u32, a_aug as u32, k, self.n]);
+            sys.dispatch_kernel(0, [self.n.div_ceil(64), 1, 1])?;
+            sys.dispatch_kernel(1, [(self.n + 1).div_ceil(64), self.n, 1])?;
+        }
+
+        // MicroBlaze back-substitution on the triangularised matrix.
+        let device_aug: Vec<f32> = sys
+            .read_words(a_aug, n * w)
+            .iter()
+            .map(|&b| f32::from_bits(b))
+            .collect();
+        let x_device = back_substitute(&device_aug, n);
+        sys.host_work(u64::from(self.n) * u64::from(self.n) * 4);
+
+        // Reference.
+        let mut ref_aug = reference_input.clone();
+        eliminate_reference(&mut ref_aug, n);
+        let x_ref = back_substitute(&ref_aug, n);
+
+        check_f32(&self.name(), &f32_bits(&x_device), &x_ref, 1e-4)?;
+
+        // Confirm the solution actually solves the original system.
+        for i in 0..n {
+            let mut lhs = 0f64;
+            for (j, &xj) in x_device.iter().enumerate() {
+                lhs += f64::from(reference_input[i * w + j]) * f64::from(xj);
+            }
+            let rhs = f64::from(reference_input[i * w + n]);
+            if (lhs - rhs).abs() > 1e-2 {
+                return Err(BenchError::Mismatch {
+                    bench: self.name(),
+                    index: i,
+                    expected: (rhs as f32).to_bits(),
+                    got: (lhs as f32).to_bits(),
+                });
+            }
+        }
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    #[test]
+    fn gaussian_validates() {
+        Gaussian::new(16)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("gaussian");
+    }
+
+    #[test]
+    fn reference_solver_residual_is_small() {
+        let n = 8;
+        let w = n + 1;
+        let mut aug = random_f32(n * w, 95);
+        for i in 0..n {
+            aug[i * w + i] = 4.0 + aug[i * w + i].abs() + n as f32 * 0.5;
+        }
+        let original = aug.clone();
+        eliminate_reference(&mut aug, n);
+        let x = back_substitute(&aug, n);
+        for i in 0..n {
+            let mut lhs = 0f64;
+            for j in 0..n {
+                lhs += f64::from(original[i * w + j]) * f64::from(x[j]);
+            }
+            let rhs = f64::from(original[i * w + n]);
+            assert!((lhs - rhs).abs() < 1e-3, "row {i}: {lhs} vs {rhs}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! K-means clustering (SP-FP) — the Rodinia workload with MicroBlaze host
+//! phases: the device assigns points to the nearest center, the host
+//! recomputes the centers of mass between iterations (§4).
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand, SmrdOffset};
+use scratch_system::{RunReport, System, SystemConfig};
+
+use crate::common::{arg, check_u32, f32_bits, gid_x, load_args, random_f32, CountedLoop};
+use crate::{Benchmark, BenchError};
+
+/// K-means over `n` two-dimensional points and `k` clusters, iterated a
+/// fixed number of times (the paper uses 512 points, 5 or 10 clusters).
+#[derive(Debug, Clone, Copy)]
+pub struct KMeans {
+    /// Number of points (multiple of 64).
+    pub n: u32,
+    /// Number of clusters.
+    pub k: u32,
+    /// Assignment/update iterations.
+    pub iters: u32,
+}
+
+impl KMeans {
+    /// A K-means workload.
+    #[must_use]
+    pub fn new(n: u32, k: u32, iters: u32) -> KMeans {
+        assert!(n.is_multiple_of(64) && k >= 1 && iters >= 1);
+        KMeans { n, k, iters }
+    }
+
+    /// The assignment kernel. Args: `[px, py, centers, assign, k]`
+    /// (centers as interleaved x,y pairs).
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("kmeans_assign");
+        b.sgprs(32).vgprs(16);
+        load_args(&mut b, 5)?;
+        gid_x(&mut b, 3, 64)?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, arg(0), 0)?; // px
+        b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, arg(1), 0)?; // py
+        b.waitcnt(Some(0), None)?;
+        // best distance = +inf, best index = 0, current index s27 = 0.
+        b.vop1(Opcode::VMovB32, 9, Operand::Literal(f32::INFINITY.to_bits()))?;
+        b.vop1(Opcode::VMovB32, 10, Operand::IntConst(0))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(27), Operand::IntConst(0))?;
+        // s[2:3] = centers pointer.
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(2), arg(2))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
+
+        let lk = CountedLoop::begin(&mut b, 19, arg(4))?;
+        // Load center (cx, cy) as scalars.
+        b.smrd(Opcode::SLoadDwordx2, Operand::Sgpr(30), 2, SmrdOffset::Imm(0))?;
+        b.waitcnt(None, Some(0))?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(2),
+            Operand::Sgpr(2),
+            Operand::IntConst(8),
+        )?;
+        // dx = px - cx ; dy = py - cy.
+        b.vop2(Opcode::VSubrevF32, 7, Operand::Sgpr(30), 5)?;
+        b.vop2(Opcode::VSubrevF32, 8, Operand::Sgpr(31), 6)?;
+        // dist = dx*dx + dy*dy (FMA on the dy term, like the device).
+        b.vop2(Opcode::VMulF32, 11, Operand::Vgpr(7), 7)?;
+        b.vop2(Opcode::VMacF32, 11, Operand::Vgpr(8), 8)?;
+        // Strictly closer? Update best distance and index.
+        b.vopc(Opcode::VCmpLtF32, Operand::Vgpr(11), 9)?;
+        b.vop2(Opcode::VCndmaskB32, 9, Operand::Vgpr(9), 11)?;
+        b.vop1(Opcode::VMovB32, 12, Operand::Sgpr(27))?;
+        b.vop2(Opcode::VCndmaskB32, 10, Operand::Vgpr(10), 12)?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(27),
+            Operand::Sgpr(27),
+            Operand::IntConst(1),
+        )?;
+        lk.end(&mut b)?;
+
+        b.mubuf(Opcode::BufferStoreDword, 10, 4, 4, arg(3), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+/// Reference assignment with the device's exact arithmetic.
+fn assign_reference(px: &[f32], py: &[f32], centers: &[(f32, f32)]) -> Vec<u32> {
+    px.iter()
+        .zip(py)
+        .map(|(&x, &y)| {
+            let mut best = f32::INFINITY;
+            let mut idx = 0u32;
+            for (i, &(cx, cy)) in centers.iter().enumerate() {
+                let dx = x - cx;
+                let dy = y - cy;
+                let dist = dy.mul_add(dy, dx * dx);
+                if dist < best {
+                    best = dist;
+                    idx = i as u32;
+                }
+            }
+            idx
+        })
+        .collect()
+}
+
+/// Host recentering: mean of assigned points (empty clusters keep their
+/// center).
+fn recenter(px: &[f32], py: &[f32], assign: &[u32], centers: &mut [(f32, f32)]) {
+    let k = centers.len();
+    let mut sum = vec![(0f64, 0f64, 0u32); k];
+    for ((&x, &y), &a) in px.iter().zip(py).zip(assign) {
+        let s = &mut sum[a as usize];
+        s.0 += f64::from(x);
+        s.1 += f64::from(y);
+        s.2 += 1;
+    }
+    for (c, s) in centers.iter_mut().zip(sum) {
+        if s.2 > 0 {
+            *c = ((s.0 / f64::from(s.2)) as f32, (s.1 / f64::from(s.2)) as f32);
+        }
+    }
+}
+
+impl Benchmark for KMeans {
+    fn name(&self) -> String {
+        format!("K-Means (SP FP, k={})", self.k)
+    }
+
+    fn uses_fp(&self) -> bool {
+        true
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let k = self.k as usize;
+
+        let px = random_f32(n, 91);
+        let py = random_f32(n, 92);
+        let mut centers: Vec<(f32, f32)> = (0..k).map(|i| (px[i], py[i])).collect();
+        let mut ref_centers = centers.clone();
+
+        let a_px = sys.alloc_words(&f32_bits(&px));
+        let a_py = sys.alloc_words(&f32_bits(&py));
+        let a_centers = sys.alloc(k as u64 * 8);
+        let a_assign = sys.alloc(u64::from(self.n) * 4);
+
+        let mut device_assign = vec![0u32; n];
+        for _ in 0..self.iters {
+            let interleaved: Vec<u32> = centers
+                .iter()
+                .flat_map(|&(x, y)| [x.to_bits(), y.to_bits()])
+                .collect();
+            sys.write_words(a_centers, &interleaved);
+            sys.set_args(&[
+                a_px as u32,
+                a_py as u32,
+                a_centers as u32,
+                a_assign as u32,
+                self.k,
+            ]);
+            sys.dispatch([self.n / 64, 1, 1])?;
+            device_assign = sys.read_words(a_assign, n);
+
+            // MicroBlaze recomputes the centers of mass between iterations.
+            recenter(&px, &py, &device_assign, &mut centers);
+            sys.host_work(u64::from(self.n) * 6 + u64::from(self.k) * 8);
+        }
+
+        // Reference: identical loop.
+        let mut ref_assign = vec![0u32; n];
+        for _ in 0..self.iters {
+            ref_assign = assign_reference(&px, &py, &ref_centers);
+            recenter(&px, &py, &ref_assign, &mut ref_centers);
+        }
+        check_u32(&self.name(), &device_assign, &ref_assign)?;
+        for (got, expect) in centers.iter().zip(&ref_centers) {
+            if got != expect {
+                return Err(BenchError::Mismatch {
+                    bench: self.name(),
+                    index: 0,
+                    expected: expect.0.to_bits(),
+                    got: got.0.to_bits(),
+                });
+            }
+        }
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    #[test]
+    fn kmeans_validates() {
+        KMeans::new(128, 5, 3)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("kmeans");
+    }
+
+    #[test]
+    fn kmeans_ten_clusters() {
+        KMeans::new(64, 10, 2)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("kmeans k=10");
+    }
+
+    #[test]
+    fn recenter_means() {
+        let px = [0.0, 2.0, 10.0];
+        let py = [0.0, 2.0, 10.0];
+        let assign = [0, 0, 1];
+        let mut centers = vec![(5.0, 5.0), (0.0, 0.0), (7.0, 7.0)];
+        recenter(&px, &py, &assign, &mut centers);
+        assert_eq!(centers[0], (1.0, 1.0));
+        assert_eq!(centers[1], (10.0, 10.0));
+        assert_eq!(centers[2], (7.0, 7.0), "empty cluster keeps its center");
+    }
+}

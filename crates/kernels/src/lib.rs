@@ -1,0 +1,155 @@
+//! # scratch-kernels
+//!
+//! The SCRATCH evaluation workloads (paper §4): the 17 fixed- and
+//! floating-point applications benchmarked on the FPGA, written in
+//! Southern Islands assembly through the [`scratch_asm::KernelBuilder`],
+//! each with a workload generator, a CPU reference implementation and an
+//! output validator — plus additional characterisation kernels used to
+//! populate the Fig. 4 instruction-mix study.
+//!
+//! Every workload implements [`Benchmark`]: it builds its kernels, runs
+//! them on a configured [`scratch_system::System`] (including any host
+//! phases the MicroBlaze would perform, such as K-means recentering or the
+//! Gaussian back-substitution), validates the device results against the
+//! reference, and returns the measured [`scratch_system::RunReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod cnn;
+pub mod common;
+pub mod conv2d;
+pub mod extra;
+pub mod gaussian;
+pub mod kmeans;
+pub mod matmul;
+pub mod micro;
+pub mod nin;
+pub mod pooling;
+pub mod transpose;
+pub mod vec_ops;
+
+use std::fmt;
+
+use scratch_asm::{AsmError, Kernel};
+use scratch_system::{RunReport, SystemConfig, SystemError};
+
+/// Errors raised while running a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// Kernel construction failed.
+    Asm(AsmError),
+    /// The system simulator failed.
+    System(SystemError),
+    /// Device output disagreed with the CPU reference.
+    Mismatch {
+        /// Which benchmark failed.
+        bench: String,
+        /// First mismatching element.
+        index: usize,
+        /// Expected value (as bits for FP).
+        expected: u32,
+        /// Device value.
+        got: u32,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Asm(e) => write!(f, "kernel: {e}"),
+            BenchError::System(e) => write!(f, "system: {e}"),
+            BenchError::Mismatch {
+                bench,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{bench}: output[{index}] = {got:#x}, reference says {expected:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<AsmError> for BenchError {
+    fn from(e: AsmError) -> Self {
+        BenchError::Asm(e)
+    }
+}
+
+impl From<SystemError> for BenchError {
+    fn from(e: SystemError) -> Self {
+        BenchError::System(e)
+    }
+}
+
+/// A runnable, self-validating workload.
+pub trait Benchmark {
+    /// Display name, e.g. `"2D Conv (INT32)"`.
+    fn name(&self) -> String;
+
+    /// `true` when the workload uses single-precision floating point.
+    fn uses_fp(&self) -> bool;
+
+    /// The application's kernels (one or more).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a kernel does not assemble.
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError>;
+
+    /// Run on a system with `config`, validate the outputs against the CPU
+    /// reference, and return the measurement.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures or output mismatches.
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError>;
+}
+
+/// The paper's 17 evaluated applications at their default sizes
+/// (Fig. 6 columns).
+#[must_use]
+pub fn paper_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(vec_ops::MatrixAdd::new(128, false)),
+        Box::new(vec_ops::MatrixAdd::new(128, true)),
+        Box::new(matmul::MatrixMul::new(64, false)),
+        Box::new(matmul::MatrixMul::new(64, true)),
+        Box::new(conv2d::Conv2d::new(64, 5, false)),
+        Box::new(conv2d::Conv2d::new(64, 5, true)),
+        Box::new(bitonic::BitonicSort::new(1024)),
+        Box::new(transpose::Transpose::new(128)),
+        Box::new(pooling::Pooling::new(64, pooling::Mode::Max)),
+        Box::new(pooling::Pooling::new(64, pooling::Mode::Median)),
+        Box::new(pooling::Pooling::new(64, pooling::Mode::Average)),
+        Box::new(cnn::Cnn::new(32, false)),
+        Box::new(cnn::Cnn::new(32, true)),
+        Box::new(nin::Nin::new(32, 32)),
+        Box::new(nin::Nin::new(32, 8)),
+        Box::new(kmeans::KMeans::new(512, 5, 4)),
+        Box::new(gaussian::Gaussian::new(32)),
+    ]
+}
+
+/// Additional kernels for the Fig. 4 characterisation study.
+#[must_use]
+pub fn characterization_benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(micro::Reduction::new(4096)),
+        Box::new(micro::PrefixSum::new(2048)),
+        Box::new(micro::Histogram::new(4096)),
+        Box::new(micro::BinarySearch::new(1024, 256)),
+        Box::new(micro::FastWalsh::new(1024)),
+        Box::new(extra::BlackScholes::new(2048)),
+        Box::new(extra::Sobel::new(128)),
+        Box::new(extra::Dct::new(64)),
+        Box::new(extra::FloydWarshall::new(64)),
+        Box::new(extra::NoiseGen::new(2048, 16)),
+    ]
+}

@@ -1,0 +1,185 @@
+//! Matrix multiplication (INT32 and SP-FP) — one work-item per output
+//! element, scalar loads streaming the A row (uniform across the row's
+//! work-items) and vector loads gathering the B column.
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand, SmrdOffset};
+use scratch_system::{abi, RunReport, System, SystemConfig};
+
+use crate::common::{
+    arg, check_f32, check_u32, f32_bits, gid_x, load_args, random_f32, random_u32, CountedLoop,
+};
+use crate::{Benchmark, BenchError};
+
+/// `c = a × b` over `n × n` matrices; grid `[n/64, n, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixMul {
+    /// Matrix dimension (multiple of 64).
+    pub n: u32,
+    /// Single-precision floating point when `true`.
+    pub fp: bool,
+}
+
+impl MatrixMul {
+    /// A matrix-multiply workload on `n × n` matrices.
+    #[must_use]
+    pub fn new(n: u32, fp: bool) -> MatrixMul {
+        assert!(n.is_multiple_of(64), "n must be a multiple of the wavefront");
+        MatrixMul { n, fp }
+    }
+
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new(self.name());
+        b.sgprs(32).vgprs(10);
+        // args: [a, b, c, n]
+        load_args(&mut b, 4)?;
+        gid_x(&mut b, 3, 64)?; // v3 = column
+        b.vop1(Opcode::VMovB32, 5, Operand::IntConst(0))?; // acc
+        // s[2:3] = &A[row][0]; row = wg_id_y.
+        b.sop2(Opcode::SMulI32, Operand::Sgpr(1), Operand::Sgpr(abi::WG_ID_Y), arg(3))?;
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(1),
+            Operand::IntConst(2),
+        )?;
+        b.sop2(Opcode::SAddU32, Operand::Sgpr(2), arg(0), Operand::Sgpr(1))?;
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
+        // v4 = B column byte offset; s25 = B row stride in bytes.
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.sop2(Opcode::SLshlB32, Operand::Sgpr(25), arg(3), Operand::IntConst(2))?;
+
+        let k_loop = CountedLoop::begin(&mut b, 19, arg(3))?;
+        b.smrd(
+            Opcode::SLoadDword,
+            Operand::Sgpr(1),
+            2,
+            SmrdOffset::Imm(0),
+        )?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(2),
+            Operand::Sgpr(2),
+            Operand::IntConst(4),
+        )?;
+        b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), Some(0))?;
+        if self.fp {
+            b.vop2(Opcode::VMacF32, 5, Operand::Sgpr(1), 6)?;
+        } else {
+            b.vop3a(Opcode::VMulLoI32, 7, Operand::Sgpr(1), Operand::Vgpr(6), None)?;
+            b.vop2(Opcode::VAddI32, 5, Operand::Vgpr(7), 5)?;
+        }
+        b.vop2(Opcode::VAddI32, 4, Operand::Sgpr(25), 4)?;
+        k_loop.end(&mut b)?;
+
+        // Store C[row][col].
+        b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(3))?;
+        b.vop2(Opcode::VAddI32, 8, Operand::Sgpr(0), 3)?;
+        b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
+        b.mubuf(Opcode::BufferStoreDword, 5, 8, 4, arg(2), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for MatrixMul {
+    fn name(&self) -> String {
+        format!(
+            "Matrix Multiplication ({})",
+            if self.fp { "SP FP" } else { "INT32" }
+        )
+    }
+
+    fn uses_fp(&self) -> bool {
+        self.fp
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let grid = [self.n / 64, self.n, 1];
+
+        if self.fp {
+            let a = random_f32(n * n, 41);
+            let bm = random_f32(n * n, 42);
+            let a_dev = sys.alloc_words(&f32_bits(&a));
+            let b_dev = sys.alloc_words(&f32_bits(&bm));
+            let c_dev = sys.alloc((n * n) as u64 * 4);
+            sys.set_args(&[a_dev as u32, b_dev as u32, c_dev as u32, self.n]);
+            sys.dispatch(grid)?;
+            let mut expected = vec![0f32; n * n];
+            for y in 0..n {
+                for x in 0..n {
+                    let mut acc = 0f32;
+                    for k in 0..n {
+                        // Same order and FMA contraction as v_mac_f32.
+                        acc = a[y * n + k].mul_add(bm[k * n + x], acc);
+                    }
+                    expected[y * n + x] = acc;
+                }
+            }
+            check_f32(
+                &self.name(),
+                &sys.read_words(c_dev, n * n),
+                &expected,
+                1e-5,
+            )?;
+        } else {
+            let a = random_u32(n * n, 41, 1 << 10);
+            let bm = random_u32(n * n, 42, 1 << 10);
+            let a_dev = sys.alloc_words(&a);
+            let b_dev = sys.alloc_words(&bm);
+            let c_dev = sys.alloc((n * n) as u64 * 4);
+            sys.set_args(&[a_dev as u32, b_dev as u32, c_dev as u32, self.n]);
+            sys.dispatch(grid)?;
+            let mut expected = vec![0u32; n * n];
+            for y in 0..n {
+                for x in 0..n {
+                    let mut acc = 0u32;
+                    for k in 0..n {
+                        acc = acc.wrapping_add(a[y * n + k].wrapping_mul(bm[k * n + x]));
+                    }
+                    expected[y * n + x] = acc;
+                }
+            }
+            check_u32(&self.name(), &sys.read_words(c_dev, n * n), &expected)?;
+        }
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    #[test]
+    fn int_matmul_validates() {
+        MatrixMul::new(64, false)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("int matmul");
+    }
+
+    #[test]
+    fn fp_matmul_validates() {
+        MatrixMul::new(64, true)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("fp matmul");
+    }
+
+    #[test]
+    fn fp_kernel_keeps_simf_int_kernel_does_not() {
+        use scratch_core::trim_kernel;
+        let fp = trim_kernel(&MatrixMul::new(64, true).kernels().unwrap()[0]).unwrap();
+        let int = trim_kernel(&MatrixMul::new(64, false).kernels().unwrap()[0]).unwrap();
+        assert!(fp.uses_fp);
+        assert!(!int.uses_fp);
+    }
+}

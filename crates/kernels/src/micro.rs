@@ -1,0 +1,506 @@
+//! Characterisation workloads for the Fig. 4 instruction-mix study and the
+//! instruction-domain validation of §2.3: reduction, prefix sum, histogram,
+//! binary search and the fast Walsh transform. They exercise the LDS,
+//! barriers, atomics, bit operations and data-dependent control flow that
+//! the 17 main applications touch only lightly.
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand};
+use scratch_system::{RunReport, System, SystemConfig};
+
+use crate::common::{arg, check_u32, gid_x, load_args, random_u32, smov, unmask, CountedLoop};
+use crate::{Benchmark, BenchError};
+
+// --------------------------------------------------------------- Reduction
+
+/// Per-workgroup tree reduction in the LDS; the host sums the partials.
+#[derive(Debug, Clone, Copy)]
+pub struct Reduction {
+    /// Elements (multiple of 64).
+    pub n: u32,
+}
+
+impl Reduction {
+    /// A sum-reduction of `n` values.
+    #[must_use]
+    pub fn new(n: u32) -> Reduction {
+        assert!(n.is_multiple_of(64));
+        Reduction { n }
+    }
+
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("reduction");
+        b.sgprs(32).vgprs(12).lds_bytes(64 * 4);
+        load_args(&mut b, 2)?;
+        gid_x(&mut b, 3, 64)?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        // lds[tid] = x.
+        b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 0)?;
+        b.ds_write(Opcode::DsWriteB32, 6, 5, 0)?;
+        b.waitcnt(None, Some(0))?;
+        b.sopp(Opcode::SBarrier, 0)?;
+        // Tree: strides 32..1.
+        for stride in [32u32, 16, 8, 4, 2, 1] {
+            smov(&mut b, 27, stride)?;
+            // lanes tid < stride participate.
+            b.vopc(Opcode::VCmpGtU32, Operand::Sgpr(27), 0)?;
+            b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
+            b.vop2(Opcode::VAddI32, 8, Operand::Sgpr(27), 0)?;
+            b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
+            b.ds_read(Opcode::DsReadB32, 9, 8, 0)?;
+            b.waitcnt(None, Some(0))?;
+            b.vop2(Opcode::VAddI32, 5, Operand::Vgpr(9), 5)?;
+            b.ds_write(Opcode::DsWriteB32, 6, 5, 0)?;
+            b.waitcnt(None, Some(0))?;
+            unmask(&mut b, 14)?;
+            b.sopp(Opcode::SBarrier, 0)?;
+        }
+        // Lane 0 stores the partial to out[wg_id].
+        b.vopc(Opcode::VCmpEqU32, Operand::IntConst(0), 0)?;
+        b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
+        b.vop1(Opcode::VMovB32, 10, Operand::Sgpr(16))?;
+        b.vop2(Opcode::VLshlrevB32, 10, Operand::IntConst(2), 10)?;
+        b.mubuf(Opcode::BufferStoreDword, 5, 10, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for Reduction {
+    fn name(&self) -> String {
+        "Reduction (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let wgs = self.n / 64;
+        let input = random_u32(n, 101, 1 << 20);
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(u64::from(wgs) * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        sys.dispatch([wgs, 1, 1])?;
+
+        let expected: Vec<u32> = input
+            .chunks(64)
+            .map(|c| c.iter().fold(0u32, |a, &x| a.wrapping_add(x)))
+            .collect();
+        check_u32(&self.name(), &sys.read_words(a_out, wgs as usize), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+// --------------------------------------------------------------- PrefixSum
+
+/// Inclusive per-workgroup scan (Hillis-Steele in the LDS).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixSum {
+    /// Elements (multiple of 64).
+    pub n: u32,
+}
+
+impl PrefixSum {
+    /// An inclusive scan of `n` values (per 64-element block).
+    #[must_use]
+    pub fn new(n: u32) -> PrefixSum {
+        assert!(n.is_multiple_of(64));
+        PrefixSum { n }
+    }
+
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("prefix_sum");
+        b.sgprs(32).vgprs(12).lds_bytes(64 * 4);
+        load_args(&mut b, 2)?;
+        gid_x(&mut b, 3, 64)?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 0)?;
+        b.ds_write(Opcode::DsWriteB32, 6, 5, 0)?;
+        b.waitcnt(None, Some(0))?;
+        b.sopp(Opcode::SBarrier, 0)?;
+        for offset in [1u32, 2, 4, 8, 16, 32] {
+            smov(&mut b, 27, offset)?;
+            // lanes tid >= offset participate.
+            b.vopc(Opcode::VCmpLeU32, Operand::Sgpr(27), 0)?;
+            b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
+            b.vop2(Opcode::VSubrevI32, 8, Operand::Sgpr(27), 0)?; // tid - offset
+            b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
+            b.ds_read(Opcode::DsReadB32, 9, 8, 0)?;
+            b.waitcnt(None, Some(0))?;
+            b.vop2(Opcode::VAddI32, 5, Operand::Vgpr(9), 5)?;
+            unmask(&mut b, 14)?;
+            b.sopp(Opcode::SBarrier, 0)?;
+            // Publish after everyone has read the previous round.
+            b.ds_write(Opcode::DsWriteB32, 6, 5, 0)?;
+            b.waitcnt(None, Some(0))?;
+            b.sopp(Opcode::SBarrier, 0)?;
+        }
+        b.mubuf(Opcode::BufferStoreDword, 5, 4, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for PrefixSum {
+    fn name(&self) -> String {
+        "Prefix Sum (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let input = random_u32(n, 102, 1 << 16);
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(n as u64 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        sys.dispatch([self.n / 64, 1, 1])?;
+
+        let mut expected = vec![0u32; n];
+        for (ci, chunk) in input.chunks(64).enumerate() {
+            let mut acc = 0u32;
+            for (i, &x) in chunk.iter().enumerate() {
+                acc = acc.wrapping_add(x);
+                expected[ci * 64 + i] = acc;
+            }
+        }
+        check_u32(&self.name(), &sys.read_words(a_out, n), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+// --------------------------------------------------------------- Histogram
+
+/// Per-workgroup 16-bin histogram with LDS atomics.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    /// Elements (multiple of 64).
+    pub n: u32,
+}
+
+impl Histogram {
+    /// A 16-bin histogram over `n` values.
+    #[must_use]
+    pub fn new(n: u32) -> Histogram {
+        assert!(n.is_multiple_of(64));
+        Histogram { n }
+    }
+
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("histogram");
+        b.sgprs(32).vgprs(12).lds_bytes(16 * 4);
+        load_args(&mut b, 2)?;
+        gid_x(&mut b, 3, 64)?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        // bin = value & 15; LDS atomic add 1.
+        b.vop2(Opcode::VAndB32, 6, Operand::IntConst(15), 5)?;
+        b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 6)?;
+        b.vop1(Opcode::VMovB32, 7, Operand::IntConst(1))?;
+        b.ds_write(Opcode::DsAddU32, 6, 7, 0)?;
+        b.waitcnt(None, Some(0))?;
+        b.sopp(Opcode::SBarrier, 0)?;
+        // Lanes 0..16 publish the workgroup histogram.
+        b.vopc(Opcode::VCmpGtU32, Operand::IntConst(16), 0)?;
+        b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
+        b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 0)?;
+        b.ds_read(Opcode::DsReadB32, 9, 8, 0)?;
+        b.waitcnt(None, Some(0))?;
+        // out[(wg*16 + tid)].
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(16),
+            Operand::IntConst(4),
+        )?;
+        b.vop2(Opcode::VAddI32, 10, Operand::Sgpr(0), 0)?;
+        b.vop2(Opcode::VLshlrevB32, 10, Operand::IntConst(2), 10)?;
+        b.mubuf(Opcode::BufferStoreDword, 9, 10, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for Histogram {
+    fn name(&self) -> String {
+        "Histogram (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let wgs = (self.n / 64) as usize;
+        let input = random_u32(n, 103, u32::MAX);
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc((wgs * 16) as u64 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        sys.dispatch([self.n / 64, 1, 1])?;
+
+        let mut expected = vec![0u32; wgs * 16];
+        for (ci, chunk) in input.chunks(64).enumerate() {
+            for &v in chunk {
+                expected[ci * 16 + (v & 15) as usize] += 1;
+            }
+        }
+        check_u32(&self.name(), &sys.read_words(a_out, wgs * 16), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+// ------------------------------------------------------------ BinarySearch
+
+/// Vectorised lower-bound: every work-item bit-descends a sorted table.
+#[derive(Debug, Clone, Copy)]
+pub struct BinarySearch {
+    /// Sorted-table size (power of two).
+    pub table: u32,
+    /// Number of keys (multiple of 64).
+    pub keys: u32,
+}
+
+impl BinarySearch {
+    /// Search `keys` keys in a table of `table` sorted values.
+    #[must_use]
+    pub fn new(table: u32, keys: u32) -> BinarySearch {
+        assert!(table.is_power_of_two() && keys.is_multiple_of(64));
+        BinarySearch { table, keys }
+    }
+
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("binary_search");
+        b.sgprs(32).vgprs(12);
+        // args: [table, keys, out, half, log2n]
+        load_args(&mut b, 5)?;
+        gid_x(&mut b, 3, 64)?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
+        b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, arg(1), 0)?; // key
+        b.waitcnt(Some(0), None)?;
+        b.vop1(Opcode::VMovB32, 6, Operand::IntConst(0))?; // pos
+        b.sop1(Opcode::SMovB32, Operand::Sgpr(27), arg(3))?; // bit = n/2
+        let l = CountedLoop::begin(&mut b, 19, arg(4))?;
+        // probe = pos + bit; inspect table[probe-1].
+        b.vop2(Opcode::VAddI32, 7, Operand::Sgpr(27), 6)?;
+        b.vop2(Opcode::VAddI32, 8, Operand::IntConst(-1), 7)?;
+        b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
+        b.mubuf(Opcode::BufferLoadDword, 9, 8, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        // table[probe-1] < key  =>  pos = probe.
+        b.vopc(Opcode::VCmpGtU32, Operand::Vgpr(5), 9)?;
+        b.vop2(Opcode::VCndmaskB32, 6, Operand::Vgpr(6), 7)?;
+        b.sop2(
+            Opcode::SLshrB32,
+            Operand::Sgpr(27),
+            Operand::Sgpr(27),
+            Operand::IntConst(1),
+        )?;
+        l.end(&mut b)?;
+        b.mubuf(Opcode::BufferStoreDword, 6, 4, 4, arg(2), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for BinarySearch {
+    fn name(&self) -> String {
+        "Binary Search (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let mut table = random_u32(self.table as usize, 104, u32::MAX - 2);
+        table.sort_unstable();
+        // The bit-descent computes ranks in [0, n-1]; keep every key below
+        // the table maximum so the lower bound never reaches n.
+        *table.last_mut().unwrap() = u32::MAX;
+        let keys = random_u32(self.keys as usize, 105, u32::MAX - 2);
+        let a_table = sys.alloc_words(&table);
+        let a_keys = sys.alloc_words(&keys);
+        let a_out = sys.alloc(u64::from(self.keys) * 4);
+        sys.set_args(&[
+            a_table as u32,
+            a_keys as u32,
+            a_out as u32,
+            self.table / 2,
+            self.table.ilog2(),
+        ]);
+        sys.dispatch([self.keys / 64, 1, 1])?;
+
+        let expected: Vec<u32> = keys
+            .iter()
+            .map(|&k| table.partition_point(|&v| v < k) as u32)
+            .collect();
+        check_u32(
+            &self.name(),
+            &sys.read_words(a_out, self.keys as usize),
+            &expected,
+        )?;
+        Ok(sys.report())
+    }
+}
+
+// --------------------------------------------------------------- FastWalsh
+
+/// Fast Walsh-Hadamard transform: one butterfly pass per dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct FastWalsh {
+    /// Elements (power of two, ≥ 64).
+    pub n: u32,
+}
+
+impl FastWalsh {
+    /// An `n`-point transform.
+    #[must_use]
+    pub fn new(n: u32) -> FastWalsh {
+        assert!(n.is_power_of_two() && n >= 64);
+        FastWalsh { n }
+    }
+
+    /// One pass. Args: `[data, j]`.
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new("fwt_pass");
+        b.sgprs(32).vgprs(16);
+        load_args(&mut b, 2)?;
+        gid_x(&mut b, 3, 64)?;
+        b.vop2(Opcode::VXorB32, 4, arg(1), 3)?;
+        b.vopc(Opcode::VCmpGtU32, Operand::Vgpr(4), 3)?;
+        b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
+        b.vop2(Opcode::VLshlrevB32, 5, Operand::IntConst(2), 3)?;
+        b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 4)?;
+        b.mubuf(Opcode::BufferLoadDword, 7, 5, 4, arg(0), 0)?;
+        b.mubuf(Opcode::BufferLoadDword, 8, 6, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.vop2(Opcode::VAddI32, 10, Operand::Vgpr(7), 8)?;
+        b.vop2(Opcode::VSubI32, 11, Operand::Vgpr(7), 8)?;
+        b.mubuf(Opcode::BufferStoreDword, 10, 5, 4, arg(0), 0)?;
+        b.mubuf(Opcode::BufferStoreDword, 11, 6, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        unmask(&mut b, 14)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for FastWalsh {
+    fn name(&self) -> String {
+        "Fast Walsh Transform (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let input = random_u32(n, 106, 1 << 16);
+        let data = sys.alloc_words(&input);
+
+        let mut j = 1u32;
+        while j < self.n {
+            sys.set_args(&[data as u32, j]);
+            sys.dispatch([self.n / 64, 1, 1])?;
+            j *= 2;
+        }
+
+        let mut expected = input;
+        let mut stride = 1usize;
+        while stride < n {
+            for i in 0..n {
+                let p = i ^ stride;
+                if p > i {
+                    let (a, b) = (expected[i], expected[p]);
+                    expected[i] = a.wrapping_add(b);
+                    expected[p] = a.wrapping_sub(b);
+                }
+            }
+            stride *= 2;
+        }
+        check_u32(&self.name(), &sys.read_words(data, n), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::preset(SystemKind::DcdPm)
+    }
+
+    #[test]
+    fn reduction_validates() {
+        Reduction::new(256).run(cfg()).expect("reduction");
+    }
+
+    #[test]
+    fn prefix_sum_validates() {
+        PrefixSum::new(256).run(cfg()).expect("prefix sum");
+    }
+
+    #[test]
+    fn histogram_validates() {
+        Histogram::new(256).run(cfg()).expect("histogram");
+    }
+
+    #[test]
+    fn binary_search_validates() {
+        BinarySearch::new(256, 128).run(cfg()).expect("binary search");
+    }
+
+    #[test]
+    fn fast_walsh_validates() {
+        FastWalsh::new(128).run(cfg()).expect("fwt");
+    }
+}

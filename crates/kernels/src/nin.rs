@@ -1,0 +1,227 @@
+//! Network-in-Network inference (fixed point, 32-bit and shortened 8-bit)
+//! — the paper's NIN workload: a convolutional MLP layer (16 feature
+//! maps), a partially sparse MLP-010 middle layer, and average pooling at
+//! the output.
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_system::{RunReport, System, SystemConfig};
+
+use crate::cnn::{conv_layer_kernel, conv_reference_int, pad_plane, LayerMath};
+use crate::common::{check_u32, random_u32};
+use crate::pooling::{pool_kernel, pool_reference, Mode};
+use crate::{Benchmark, BenchError};
+
+// Silence an unused-import lint gate: the kernel builder is used by the
+// shared conv kernel; NIN itself only drives dispatches.
+#[allow(unused)]
+fn _builder_marker(_b: KernelBuilder) {}
+
+/// The NIN benchmark: `conv k×k` → `MLP 1×1` (sparse 010) → `MLP 1×1` →
+/// 2×2 average pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Nin {
+    /// Input image dimension.
+    pub size: u32,
+    /// Numerical precision: 32 or 8 (the Fig. 7 INT8 variant).
+    pub bits: u8,
+    /// Feature maps per MLP layer (paper default 16; Fig. 7 sweeps 4–64).
+    pub maps: u32,
+    /// Spatial convolution kernel size.
+    pub k: u32,
+}
+
+impl Nin {
+    /// A NIN on `size × size` RGB images at the given precision.
+    #[must_use]
+    pub fn new(size: u32, bits: u8) -> Nin {
+        assert!(bits == 32 || bits == 8, "NIN supports 32- or 8-bit precision");
+        Nin {
+            size,
+            bits,
+            maps: 16,
+            k: 3,
+        }
+    }
+
+    /// Override the feature-map count (Fig. 7 sweep).
+    #[must_use]
+    pub fn with_maps(mut self, maps: u32) -> Nin {
+        self.maps = maps;
+        self
+    }
+
+    fn math(&self) -> LayerMath {
+        if self.bits == 8 {
+            LayerMath::Int8Q8
+        } else {
+            LayerMath::IntQ8
+        }
+    }
+}
+
+struct LayerSpec {
+    k: usize,
+    /// Take every `stride`-th input channel (2 for the sparse MLP-010).
+    channel_stride: usize,
+}
+
+impl Benchmark for Nin {
+    fn name(&self) -> String {
+        format!("NiN (INT{})", self.bits)
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![
+            conv_layer_kernel(self.math())?,
+            pool_kernel(Mode::Average, false)?,
+        ])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernels = self.kernels()?;
+        let mut sys = System::with_kernels(config, &kernels)?;
+        let b = self.size as usize;
+        let maps = self.maps as usize;
+        let clamp8 = self.bits == 8;
+
+        let layers = [
+            LayerSpec {
+                k: self.k as usize,
+                channel_stride: 1,
+            },
+            // MLP-010: partially sparse 1x1 layer over every other channel.
+            LayerSpec {
+                k: 1,
+                channel_stride: 2,
+            },
+            LayerSpec {
+                k: 1,
+                channel_stride: 1,
+            },
+        ];
+
+        let gen_input = |c: u64| random_u32(b * b, 80 + c, 256);
+        let weights_of = |layer: usize, m: usize, n: usize| {
+            random_u32(n, 200 + (layer as u64) * 128 + m as u64, 8)
+        };
+
+        // --- device pipeline ---
+        let mut channels: Vec<Vec<u32>> = (0..3).map(gen_input).collect();
+        for (li, spec) in layers.iter().enumerate() {
+            let picked: Vec<&Vec<u32>> = channels.iter().step_by(spec.channel_stride).collect();
+            let c = picked.len();
+            let w = b + spec.k - 1;
+            let plane_bytes = (w * w * 4) as u32;
+            let padded: Vec<Vec<u32>> = picked.iter().map(|p| pad_plane(p, b, spec.k)).collect();
+            sys.host_work((c * w * w) as u64);
+            // Channel planes must be contiguous at `plane_bytes` stride.
+            let flat: Vec<u32> = padded.iter().flatten().copied().collect();
+            let in_base = sys.alloc_words(&flat);
+            let mut next = Vec::with_capacity(maps);
+            for m in 0..maps {
+                let weights = weights_of(li, m, c * spec.k * spec.k);
+                let w_dev = sys.alloc_words(&weights);
+                let out = sys.alloc((b * b) as u64 * 4);
+                sys.set_args(&[
+                    in_base as u32,
+                    w_dev as u32,
+                    out as u32,
+                    b as u32,
+                    spec.k as u32,
+                    c as u32,
+                    plane_bytes,
+                ]);
+                sys.dispatch_kernel(0, [(b as u32).div_ceil(64), b as u32, 1])?;
+                next.push(sys.read_words(out, b * b));
+            }
+            channels = next;
+        }
+        // Average pool the output maps.
+        let b_out = b / 2;
+        let mut device_out = Vec::with_capacity(maps);
+        for plane in &channels {
+            let a_in = sys.alloc_words(plane);
+            let a_out = sys.alloc((b_out * b_out) as u64 * 4);
+            sys.set_args(&[a_in as u32, a_out as u32, b_out as u32]);
+            sys.dispatch_kernel(1, [(b_out as u32).div_ceil(64), b_out as u32, 1])?;
+            device_out.push(sys.read_words(a_out, b_out * b_out));
+        }
+
+        // --- reference pipeline ---
+        let mut ref_channels: Vec<Vec<u32>> = (0..3).map(gen_input).collect();
+        for (li, spec) in layers.iter().enumerate() {
+            let picked: Vec<Vec<u32>> = ref_channels
+                .iter()
+                .step_by(spec.channel_stride)
+                .cloned()
+                .collect();
+            let padded: Vec<Vec<u32>> = picked.iter().map(|p| pad_plane(p, b, spec.k)).collect();
+            let c = padded.len();
+            let mut next = Vec::with_capacity(maps);
+            for m in 0..maps {
+                let weights = weights_of(li, m, c * spec.k * spec.k);
+                next.push(conv_reference_int(&padded, &weights, b, spec.k, clamp8));
+            }
+            ref_channels = next;
+        }
+        for (m, plane) in ref_channels.iter().enumerate() {
+            let wdim = 2 * b_out;
+            let mut expected = vec![0u32; b_out * b_out];
+            for y in 0..b_out {
+                for x in 0..b_out {
+                    expected[y * b_out + x] = pool_reference(
+                        Mode::Average,
+                        [
+                            plane[(2 * y) * wdim + 2 * x],
+                            plane[(2 * y) * wdim + 2 * x + 1],
+                            plane[(2 * y + 1) * wdim + 2 * x],
+                            plane[(2 * y + 1) * wdim + 2 * x + 1],
+                        ],
+                    );
+                }
+            }
+            check_u32(&format!("{} map {m}", self.name()), &device_out[m], &expected)?;
+        }
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    #[test]
+    fn nin_int32_validates() {
+        Nin {
+            size: 8,
+            bits: 32,
+            maps: 4,
+            k: 3,
+        }
+        .run(SystemConfig::preset(SystemKind::DcdPm))
+        .expect("NIN int32");
+    }
+
+    #[test]
+    fn nin_int8_validates_and_clamps() {
+        Nin {
+            size: 8,
+            bits: 8,
+            maps: 4,
+            k: 3,
+        }
+        .run(SystemConfig::preset(SystemKind::DcdPm))
+        .expect("NIN int8");
+    }
+
+    #[test]
+    #[should_panic(expected = "precision")]
+    fn rejects_other_precisions() {
+        let _ = Nin::new(8, 16);
+    }
+}

@@ -1,0 +1,238 @@
+//! 2×2 pooling (max / median / average) — the paper's dedicated pooling
+//! benchmarks, also reused as the CNN's pooling stage.
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand};
+use scratch_system::{abi, RunReport, System, SystemConfig};
+
+use crate::common::{arg, check_u32, gid_x, load_args, mask_lt, random_u32, unmask};
+use crate::{Benchmark, BenchError};
+
+/// The pooling function applied to each 2×2 window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Maximum of the four values.
+    Max,
+    /// Median of four: the mean of the two middle values.
+    Median,
+    /// Arithmetic mean (floor).
+    Average,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Max => "Max",
+            Mode::Median => "Median",
+            Mode::Average => "Average",
+        }
+    }
+}
+
+/// Build the pooling kernel: input `2b × 2b`, output `b × b`, grid
+/// `[ceil(b/64), b, 1]` with lane masking for `b < 64`.
+///
+/// Args: `[in, out, b]`. When `fp` is set the max mode uses `v_max_f32`
+/// (as the CNN layers need); median/average remain integer.
+pub(crate) fn pool_kernel(mode: Mode, fp: bool) -> Result<Kernel, AsmError> {
+    let mut b = KernelBuilder::new(format!("pool_{}", mode.label().to_lowercase()));
+    b.sgprs(32).vgprs(12);
+    load_args(&mut b, 3)?;
+    gid_x(&mut b, 3, 64)?; // v3 = x
+    mask_lt(&mut b, 3, arg(2), 14)?;
+    // Row bases: s1 = y*16b (bytes of row 2y), s25 = s1 + 8b.
+    b.sop2(Opcode::SMulI32, Operand::Sgpr(1), Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+    b.sop2(
+        Opcode::SLshlB32,
+        Operand::Sgpr(1),
+        Operand::Sgpr(1),
+        Operand::IntConst(4),
+    )?;
+    b.sop2(Opcode::SLshlB32, Operand::Sgpr(25), arg(2), Operand::IntConst(3))?;
+    b.sop2(
+        Opcode::SAddU32,
+        Operand::Sgpr(25),
+        Operand::Sgpr(1),
+        Operand::Sgpr(25),
+    )?;
+    // Absolute row addresses via soffset.
+    b.sop2(Opcode::SAddU32, Operand::Sgpr(27), arg(0), Operand::Sgpr(1))?;
+    b.sop2(Opcode::SAddU32, Operand::Sgpr(28), arg(0), Operand::Sgpr(25))?;
+    // v4 = x*8 bytes (two elements per output column).
+    b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(3), 3)?;
+    b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, Operand::Sgpr(27), 0)?;
+    b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, Operand::Sgpr(27), 4)?;
+    b.mubuf(Opcode::BufferLoadDword, 7, 4, 4, Operand::Sgpr(28), 0)?;
+    b.mubuf(Opcode::BufferLoadDword, 8, 4, 4, Operand::Sgpr(28), 4)?;
+    b.waitcnt(Some(0), None)?;
+
+    match (mode, fp) {
+        (Mode::Max, false) => {
+            b.vop3a(
+                Opcode::VMax3I32,
+                9,
+                Operand::Vgpr(5),
+                Operand::Vgpr(6),
+                Some(Operand::Vgpr(7)),
+            )?;
+            b.vop2(Opcode::VMaxI32, 9, Operand::Vgpr(9), 8)?;
+        }
+        (Mode::Max, true) => {
+            b.vop3a(
+                Opcode::VMax3F32,
+                9,
+                Operand::Vgpr(5),
+                Operand::Vgpr(6),
+                Some(Operand::Vgpr(7)),
+            )?;
+            b.vop2(Opcode::VMaxF32, 9, Operand::Vgpr(9), 8)?;
+        }
+        (Mode::Average, _) => {
+            b.vop2(Opcode::VAddI32, 9, Operand::Vgpr(5), 6)?;
+            b.vop2(Opcode::VAddI32, 9, Operand::Vgpr(9), 7)?;
+            b.vop2(Opcode::VAddI32, 9, Operand::Vgpr(9), 8)?;
+            b.vop2(Opcode::VLshrrevB32, 9, Operand::IntConst(2), 9)?;
+        }
+        (Mode::Median, _) => {
+            // median of four = (sum - min - max) / 2.
+            b.vop2(Opcode::VAddI32, 9, Operand::Vgpr(5), 6)?;
+            b.vop2(Opcode::VAddI32, 9, Operand::Vgpr(9), 7)?;
+            b.vop2(Opcode::VAddI32, 9, Operand::Vgpr(9), 8)?;
+            b.vop3a(
+                Opcode::VMin3U32,
+                10,
+                Operand::Vgpr(5),
+                Operand::Vgpr(6),
+                Some(Operand::Vgpr(7)),
+            )?;
+            b.vop2(Opcode::VMinU32, 10, Operand::Vgpr(10), 8)?;
+            b.vop3a(
+                Opcode::VMax3U32,
+                11,
+                Operand::Vgpr(5),
+                Operand::Vgpr(6),
+                Some(Operand::Vgpr(7)),
+            )?;
+            b.vop2(Opcode::VMaxU32, 11, Operand::Vgpr(11), 8)?;
+            b.vop2(Opcode::VSubI32, 9, Operand::Vgpr(9), 10)?;
+            b.vop2(Opcode::VSubI32, 9, Operand::Vgpr(9), 11)?;
+            b.vop2(Opcode::VLshrrevB32, 9, Operand::IntConst(1), 9)?;
+        }
+    }
+
+    // Out offset (y*b + x) * 4.
+    b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+    b.vop2(Opcode::VAddI32, 10, Operand::Sgpr(0), 3)?;
+    b.vop2(Opcode::VLshlrevB32, 10, Operand::IntConst(2), 10)?;
+    b.mubuf(Opcode::BufferStoreDword, 9, 10, 4, arg(1), 0)?;
+    b.waitcnt(Some(0), None)?;
+    unmask(&mut b, 14)?;
+    b.endpgm()?;
+    b.finish()
+}
+
+/// CPU reference for one 2×2 window.
+pub(crate) fn pool_reference(mode: Mode, vals: [u32; 4]) -> u32 {
+    match mode {
+        Mode::Max => *vals.iter().max_by_key(|&&v| v as i32).unwrap(),
+        Mode::Average => {
+            (vals.iter().map(|&v| u64::from(v)).sum::<u64>() / 4) as u32
+        }
+        Mode::Median => {
+            let sum: u64 = vals.iter().map(|&v| u64::from(v)).sum();
+            let min = u64::from(*vals.iter().min().unwrap());
+            let max = u64::from(*vals.iter().max().unwrap());
+            ((sum - min - max) / 2) as u32
+        }
+    }
+}
+
+/// The standalone pooling benchmark: input `2b × 2b` INT32 image.
+#[derive(Debug, Clone, Copy)]
+pub struct Pooling {
+    /// Output dimension.
+    pub b: u32,
+    /// Pooling function.
+    pub mode: Mode,
+}
+
+impl Pooling {
+    /// A pooling workload with output `b × b`.
+    #[must_use]
+    pub fn new(b: u32, mode: Mode) -> Pooling {
+        Pooling { b, mode }
+    }
+}
+
+impl Benchmark for Pooling {
+    fn name(&self) -> String {
+        format!("{} Pooling (INT32)", self.mode.label())
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![pool_kernel(self.mode, false)?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = pool_kernel(self.mode, false)?;
+        let mut sys = System::new(config, &kernel)?;
+        let b = self.b as usize;
+        let w = 2 * b;
+        // Positive int32 pixels.
+        let input = random_u32(w * w, 31, 1 << 20);
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc((b * b) as u64 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32, self.b]);
+        sys.dispatch([self.b.div_ceil(64), self.b, 1])?;
+
+        let mut expected = vec![0u32; b * b];
+        for y in 0..b {
+            for x in 0..b {
+                let vals = [
+                    input[(2 * y) * w + 2 * x],
+                    input[(2 * y) * w + 2 * x + 1],
+                    input[(2 * y + 1) * w + 2 * x],
+                    input[(2 * y + 1) * w + 2 * x + 1],
+                ];
+                expected[y * b + x] = pool_reference(self.mode, vals);
+            }
+        }
+        check_u32(&self.name(), &sys.read_words(a_out, b * b), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    #[test]
+    fn all_modes_validate() {
+        for mode in [Mode::Max, Mode::Median, Mode::Average] {
+            Pooling::new(64, mode)
+                .run(SystemConfig::preset(SystemKind::DcdPm))
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn small_output_uses_lane_masking() {
+        // b = 16 < wavefront: upper lanes must be masked off.
+        Pooling::new(16, Mode::Max)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("masked pooling");
+    }
+
+    #[test]
+    fn median_reference_is_middle_mean() {
+        assert_eq!(pool_reference(Mode::Median, [1, 2, 3, 4]), 2);
+        assert_eq!(pool_reference(Mode::Median, [10, 10, 10, 10]), 10);
+        assert_eq!(pool_reference(Mode::Max, [4, 9, 2, 7]), 9);
+        assert_eq!(pool_reference(Mode::Average, [1, 2, 3, 4]), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! Matrix transpose (INT32) — the AMD SDK workload with the paper's
+//! highest trimming potential (72 % FF savings).
+
+use scratch_asm::{AsmError, Kernel, KernelBuilder};
+use scratch_isa::{Opcode, Operand};
+use scratch_system::{abi, RunReport, System, SystemConfig};
+
+use crate::common::{arg, check_u32, gid_x, load_args, random_u32};
+use crate::{Benchmark, BenchError};
+
+/// `out[x][y] = in[y][x]` over an `n × n` matrix; grid `[n/64, n, 1]`
+/// (row = workgroup id Y, column = flat X id).
+#[derive(Debug, Clone, Copy)]
+pub struct Transpose {
+    /// Matrix dimension (multiple of 64).
+    pub n: u32,
+}
+
+impl Transpose {
+    /// A transpose workload on an `n × n` matrix.
+    #[must_use]
+    pub fn new(n: u32) -> Transpose {
+        assert!(n.is_multiple_of(64), "n must be a multiple of the wavefront");
+        Transpose { n }
+    }
+
+    fn build(&self) -> Result<Kernel, AsmError> {
+        let mut b = KernelBuilder::new(self.name());
+        b.sgprs(32).vgprs(8);
+        // args: [in, out, n]
+        load_args(&mut b, 3)?;
+        gid_x(&mut b, 3, 64)?; // v3 = x
+        // In offset: (y*n + x) * 4; y = wg_id_y.
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(abi::WG_ID_Y),
+            arg(2),
+        )?;
+        b.vop2(Opcode::VAddI32, 4, Operand::Sgpr(1), 3)?;
+        b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 4)?;
+        // Out offset: (x*n + y) * 4.
+        b.vop3a(Opcode::VMulLoU32, 5, Operand::Vgpr(3), arg(2), None)?;
+        b.vop2(Opcode::VAddI32, 5, Operand::Sgpr(abi::WG_ID_Y), 5)?;
+        b.vop2(Opcode::VLshlrevB32, 5, Operand::IntConst(2), 5)?;
+        b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, arg(0), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.mubuf(Opcode::BufferStoreDword, 6, 5, 4, arg(1), 0)?;
+        b.waitcnt(Some(0), None)?;
+        b.endpgm()?;
+        b.finish()
+    }
+}
+
+impl Benchmark for Transpose {
+    fn name(&self) -> String {
+        "Matrix Transpose (INT32)".to_string()
+    }
+
+    fn uses_fp(&self) -> bool {
+        false
+    }
+
+    fn kernels(&self) -> Result<Vec<Kernel>, AsmError> {
+        Ok(vec![self.build()?])
+    }
+
+    fn run(&self, config: SystemConfig) -> Result<RunReport, BenchError> {
+        let kernel = self.build()?;
+        let mut sys = System::new(config, &kernel)?;
+        let n = self.n as usize;
+        let input = random_u32(n * n, 21, u32::MAX);
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc((n * n) as u64 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32, self.n]);
+        sys.dispatch([self.n / 64, self.n, 1])?;
+
+        let mut expected = vec![0u32; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                expected[x * n + y] = input[y * n + x];
+            }
+        }
+        check_u32(&self.name(), &sys.read_words(a_out, n * n), &expected)?;
+        Ok(sys.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_system::SystemKind;
+
+    #[test]
+    fn transpose_validates() {
+        Transpose::new(64)
+            .run(SystemConfig::preset(SystemKind::DcdPm))
+            .expect("transpose");
+    }
+
+    #[test]
+    fn transpose_is_integer_only() {
+        use scratch_core::trim_kernel;
+        let k = Transpose::new(64).kernels().unwrap().pop().unwrap();
+        let trim = trim_kernel(&k).unwrap();
+        assert!(!trim.uses_fp);
+        assert!(trim
+            .removed_units
+            .contains(&scratch_isa::FuncUnit::Simf));
+    }
+}

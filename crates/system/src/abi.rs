@@ -1,0 +1,48 @@
+//! The register-initialisation ABI the ultra-threaded dispatcher programs
+//! before launching a workgroup (paper §2.2.2).
+//!
+//! * `s[4:7]`   — `IMM_UAV`: buffer descriptor for data-gathering accesses.
+//!   The dispatcher sets base 0 with unbounded records, so kernels address
+//!   global memory with absolute byte offsets through this descriptor.
+//! * `s[8:11]`  — `IMM_CONST_BUFFER0`: base address of the OpenCL call
+//!   values (grid dimensions, workgroup size, global sizes).
+//! * `s[12:15]` — `IMM_CONST_BUFFER1`: pointer to the kernel arguments.
+//! * `s16..s18` — workgroup id in X, Y, Z (Y/Z initialised only when used).
+//! * `v0..v2`   — work-item id in X, Y, Z.
+//!
+//! Because the dispatcher writes registers up to `s18`, every kernel must
+//! declare an SGPR budget of at least 19 (the default
+//! [`scratch_asm::KernelMeta`] reserves 32).
+
+/// First SGPR of the UAV buffer descriptor.
+pub const UAV_DESC: u8 = 4;
+/// First SGPR of the `IMM_CONST_BUFFER0` descriptor (OpenCL call values).
+pub const CONST_BUF0: u8 = 8;
+/// First SGPR of the `IMM_CONST_BUFFER1` descriptor (kernel arguments).
+pub const CONST_BUF1: u8 = 12;
+/// SGPR holding the workgroup id, X dimension.
+pub const WG_ID_X: u8 = 16;
+/// SGPR holding the workgroup id, Y dimension.
+pub const WG_ID_Y: u8 = 17;
+/// SGPR holding the workgroup id, Z dimension.
+pub const WG_ID_Z: u8 = 18;
+/// VGPR holding the work-item id, X dimension.
+pub const TID_X: u8 = 0;
+/// VGPR holding the work-item id, Y dimension.
+pub const TID_Y: u8 = 1;
+/// VGPR holding the work-item id, Z dimension.
+pub const TID_Z: u8 = 2;
+
+/// Dword indices within `IMM_CONST_BUFFER0`.
+pub mod cb0 {
+    /// Workgroup count, X.
+    pub const GRID_X: u8 = 0;
+    /// Workgroup count, Y.
+    pub const GRID_Y: u8 = 1;
+    /// Workgroup count, Z.
+    pub const GRID_Z: u8 = 2;
+    /// Work-items per workgroup.
+    pub const WG_SIZE: u8 = 3;
+    /// Global size, X (`GRID_X × WG_SIZE`).
+    pub const GLOBAL_X: u8 = 4;
+}

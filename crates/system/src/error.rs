@@ -1,0 +1,72 @@
+use std::fmt;
+
+use scratch_asm::AsmError;
+use scratch_cu::CuError;
+
+/// Errors raised by the full-system simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// Compute-unit level failure.
+    Cu(CuError),
+    /// Kernel construction/decoding failure.
+    Asm(AsmError),
+    /// Global memory is exhausted.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining.
+        available: u64,
+    },
+    /// The prefetch buffer cannot hold the requested range.
+    PrefetchCapacity {
+        /// Bytes requested for prefetch residence.
+        requested: u64,
+        /// Prefetch capacity in bytes.
+        capacity: u64,
+    },
+    /// A dispatch was attempted before `set_args`.
+    ArgsNotSet,
+    /// A zero-sized grid or workgroup was dispatched.
+    EmptyDispatch,
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Cu(e) => write!(f, "compute unit: {e}"),
+            SystemError::Asm(e) => write!(f, "kernel: {e}"),
+            SystemError::OutOfMemory { requested, available } => {
+                write!(f, "out of global memory ({requested} bytes requested, {available} free)")
+            }
+            SystemError::PrefetchCapacity { requested, capacity } => write!(
+                f,
+                "prefetch buffer capacity exceeded ({requested} bytes requested of {capacity})"
+            ),
+            SystemError::ArgsNotSet => write!(f, "kernel arguments not set before dispatch"),
+            SystemError::EmptyDispatch => write!(f, "dispatch with an empty grid or workgroup"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Cu(e) => Some(e),
+            SystemError::Asm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CuError> for SystemError {
+    fn from(e: CuError) -> Self {
+        SystemError::Cu(e)
+    }
+}
+
+impl From<AsmError> for SystemError {
+    fn from(e: AsmError) -> Self {
+        SystemError::Asm(e)
+    }
+}

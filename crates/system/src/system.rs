@@ -1,0 +1,618 @@
+//! The full system: CUs + dispatcher + host bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_asm::Kernel;
+use scratch_cu::{ComputeUnit, CuConfig, CuStats, WaveInit};
+use scratch_isa::WAVEFRONT_SIZE;
+
+use crate::memory::{MemTiming, SharedMemory};
+use crate::{abi, SystemError};
+
+/// The three system configurations compared throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// The original MIAOW FPGA system: one 50 MHz clock domain.
+    Original,
+    /// Dual clock domain (memory side at 200 MHz).
+    Dcd,
+    /// Dual clock domain + prefetch memory — the paper's *baseline* for
+    /// trimming and parallelism experiments.
+    DcdPm,
+}
+
+impl SystemKind {
+    /// CU clock (Hz) — 50 MHz in every configuration (critical path of the
+    /// Issue stage).
+    #[must_use]
+    pub fn cu_clock_hz(self) -> f64 {
+        50.0e6
+    }
+
+    /// MicroBlaze / memory-side clock (Hz).
+    #[must_use]
+    pub fn mb_clock_hz(self) -> f64 {
+        match self {
+            SystemKind::Original => 50.0e6,
+            SystemKind::Dcd | SystemKind::DcdPm => 200.0e6,
+        }
+    }
+
+    /// Memory timing parameters of this configuration.
+    #[must_use]
+    pub fn timing(self) -> MemTiming {
+        match self {
+            SystemKind::Original => MemTiming::original(),
+            SystemKind::Dcd => MemTiming::dcd(),
+            SystemKind::DcdPm => MemTiming::dcd_pm(),
+        }
+    }
+
+    /// Display label used in experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Original => "Original",
+            SystemKind::Dcd => "DCD",
+            SystemKind::DcdPm => "DCD+PM",
+        }
+    }
+}
+
+/// Configuration of a [`System`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// System kind (clocking + memory path).
+    pub kind: SystemKind,
+    /// Number of compute units (the paper's multi-core axis).
+    pub cus: u8,
+    /// Per-CU architecture configuration (VALU counts, trim set, …).
+    pub cu: CuConfig,
+    /// Global memory size in bytes.
+    pub memory_bytes: usize,
+    /// Mark allocations prefetch-resident automatically when the prefetch
+    /// buffer has room (the paper preloads application data at startup).
+    pub auto_prefetch: bool,
+}
+
+impl SystemConfig {
+    /// Default configuration for `kind`: one CU, one SIMD + one SIMF, 64 MiB
+    /// of DDR3, automatic prefetch residency.
+    #[must_use]
+    pub fn preset(kind: SystemKind) -> SystemConfig {
+        SystemConfig {
+            kind,
+            cus: 1,
+            cu: CuConfig::default(),
+            memory_bytes: 64 << 20,
+            auto_prefetch: true,
+        }
+    }
+
+    /// Builder-style override of the CU count.
+    #[must_use]
+    pub fn with_cus(mut self, cus: u8) -> SystemConfig {
+        self.cus = cus.max(1);
+        self
+    }
+
+    /// Builder-style override of the per-CU configuration.
+    #[must_use]
+    pub fn with_cu_config(mut self, cu: CuConfig) -> SystemConfig {
+        self.cu = cu;
+        self
+    }
+}
+
+/// Cumulative measurements of a system run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// CU cycles consumed (max across compute units).
+    pub cu_cycles: u64,
+    /// MicroBlaze host cycles consumed (host phases of the application).
+    pub host_cycles: u64,
+    /// Wall-clock seconds: CU time at 50 MHz + host time at the MicroBlaze
+    /// clock.
+    pub seconds: f64,
+    /// Merged CU statistics.
+    pub stats: CuStats,
+    /// Per-CU cycle counts.
+    pub per_cu_cycles: Vec<u64>,
+    /// Accesses that went down the global (MicroBlaze) memory path.
+    pub global_accesses: u64,
+    /// Accesses serviced by the prefetch buffer.
+    pub prefetch_hits: u64,
+    /// CU cycles attributed to each loaded kernel (per-kernel trimming
+    /// analysis, §4.3).
+    pub per_kernel_cycles: Vec<u64>,
+    /// Dispatches of each loaded kernel.
+    pub per_kernel_dispatches: Vec<u64>,
+    /// Number of times consecutive dispatches changed kernels (each would
+    /// trigger a partial reconfiguration under per-kernel trimming).
+    pub kernel_switches: u64,
+}
+
+impl RunReport {
+    /// Dynamic instructions executed.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+}
+
+/// A complete soft-GPGPU system: global memory, N compute units, and the
+/// ultra-threaded dispatcher (the MicroBlaze's roles from §2.2.2).
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    kernels: Vec<Kernel>,
+    mem: SharedMemory,
+    cus: Vec<ComputeUnit>,
+    bump: u64,
+    args_addr: Option<u64>,
+    args_len: u64,
+    cb0_addr: u64,
+    host_cycles: u64,
+    per_kernel_cycles: Vec<u64>,
+    per_kernel_dispatches: Vec<u64>,
+    kernel_switches: u64,
+    last_kernel: Option<usize>,
+}
+
+impl System {
+    /// Build a system running `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel binary does not decode.
+    pub fn new(config: SystemConfig, kernel: &Kernel) -> Result<System, SystemError> {
+        System::with_kernels(config, std::slice::from_ref(kernel))
+    }
+
+    /// Build a system loaded with several kernels of one application
+    /// (dispatched by index through [`System::dispatch_kernel`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `kernels` is empty or a binary does not decode.
+    pub fn with_kernels(config: SystemConfig, kernels: &[Kernel]) -> Result<System, SystemError> {
+        let first = kernels.first().ok_or(SystemError::EmptyDispatch)?;
+        let mut mem = SharedMemory::new(config.memory_bytes, config.kind.timing());
+        mem.set_sharers(u32::from(config.cus));
+        let mut cus = Vec::with_capacity(usize::from(config.cus));
+        for _ in 0..config.cus.max(1) {
+            cus.push(ComputeUnit::new(config.cu.clone(), first)?);
+        }
+        let n = kernels.len();
+        let mut sys = System {
+            config,
+            kernels: kernels.to_vec(),
+            mem,
+            cus,
+            bump: 0x1000,
+            args_addr: None,
+            args_len: 0,
+            cb0_addr: 0,
+            host_cycles: 0,
+            per_kernel_cycles: vec![0; n],
+            per_kernel_dispatches: vec![0; n],
+            kernel_switches: 0,
+            last_kernel: None,
+        };
+        sys.cb0_addr = sys.alloc(64);
+        Ok(sys)
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The first loaded kernel.
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernels[0]
+    }
+
+    /// All loaded kernels.
+    #[must_use]
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Direct access to the shared memory (host-side).
+    #[must_use]
+    pub fn memory(&self) -> &SharedMemory {
+        &self.mem
+    }
+
+    /// Allocate `bytes` of global memory (256-byte aligned). On DCD+PM
+    /// systems with `auto_prefetch`, the range is marked prefetch-resident
+    /// if the buffer has room (best effort, as the MicroBlaze preload does).
+    ///
+    /// # Panics
+    ///
+    /// Panics when global memory is exhausted — allocation failures are a
+    /// host-program bug in this simulator, not a recoverable condition.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.bump;
+        let size = bytes.div_ceil(256) * 256;
+        assert!(
+            (addr + size) as usize <= self.mem.len(),
+            "out of global memory: {bytes} bytes requested at {addr:#x}"
+        );
+        self.bump += size;
+        if self.config.auto_prefetch && self.config.kind == SystemKind::DcdPm {
+            self.mem.prefetch_partial(addr, size);
+        }
+        addr
+    }
+
+    /// Allocate and fill a buffer with `words`.
+    pub fn alloc_words(&mut self, words: &[u32]) -> u64 {
+        let addr = self.alloc(words.len() as u64 * 4);
+        self.mem.write_words(addr, words);
+        addr
+    }
+
+    /// Host-side write of words into memory.
+    pub fn write_words(&mut self, addr: u64, words: &[u32]) {
+        self.mem.write_words(addr, words);
+    }
+
+    /// Host-side read of words from memory.
+    #[must_use]
+    pub fn read_words(&self, addr: u64, count: usize) -> Vec<u32> {
+        self.mem.read_words(addr, count)
+    }
+
+    /// Explicitly mark a range prefetch-resident.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configuration has no prefetch buffer or capacity is
+    /// exceeded.
+    pub fn prefetch(&mut self, addr: u64, len: u64) -> Result<(), SystemError> {
+        self.mem.prefetch(addr, len)
+    }
+
+    /// Set the kernel argument words (`IMM_CONST_BUFFER1` contents).
+    pub fn set_args(&mut self, args: &[u32]) {
+        let addr = self.alloc(args.len().max(1) as u64 * 4);
+        self.mem.write_words(addr, args);
+        self.args_addr = Some(addr);
+        self.args_len = args.len() as u64 * 4;
+    }
+
+    /// Charge `cycles` of MicroBlaze host processing (data initialisation,
+    /// K-means recentering, Gaussian back-substitution, …).
+    pub fn host_work(&mut self, cycles: u64) {
+        self.host_cycles += cycles;
+    }
+
+    /// Launch `grid` workgroups ([x, y, z]) of the loaded kernel and run to
+    /// completion. Returns the CU cycles this dispatch took (max across
+    /// CUs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CU failures (trim violations, deadlocks, …); fails on
+    /// empty grids or missing arguments.
+    pub fn dispatch(&mut self, grid: [u32; 3]) -> Result<u64, SystemError> {
+        self.dispatch_kernel(0, grid)
+    }
+
+    /// Launch `grid` workgroups of kernel `idx` (multi-kernel applications:
+    /// the dispatcher reloads the CU instruction memories first).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::dispatch`]; additionally panics are avoided by treating
+    /// an out-of-range index as an empty dispatch error.
+    pub fn dispatch_kernel(&mut self, idx: usize, grid: [u32; 3]) -> Result<u64, SystemError> {
+        let args_addr = self.args_addr.ok_or(SystemError::ArgsNotSet)?;
+        let kernel = self
+            .kernels
+            .get(idx)
+            .ok_or(SystemError::EmptyDispatch)?
+            .clone();
+        for cu in &mut self.cus {
+            cu.load_kernel(&kernel)?;
+        }
+        let wg_size = kernel.meta().workgroup_size;
+        let total_wgs = u64::from(grid[0]) * u64::from(grid[1]) * u64::from(grid[2]);
+        if total_wgs == 0 || wg_size == 0 {
+            return Err(SystemError::EmptyDispatch);
+        }
+        let waves_per_wg = (wg_size as usize).div_ceil(WAVEFRONT_SIZE);
+
+        // OpenCL call values.
+        self.mem.write_words(
+            self.cb0_addr,
+            &[grid[0], grid[1], grid[2], wg_size, grid[0] * wg_size],
+        );
+        let cb0 = self.cb0_addr;
+
+        // Round-robin workgroups over the CUs.
+        let n_cus = self.cus.len();
+        let mut assignments: Vec<Vec<[u32; 3]>> = vec![Vec::new(); n_cus];
+        let mut i = 0usize;
+        for z in 0..grid[2] {
+            for y in 0..grid[1] {
+                for x in 0..grid[0] {
+                    assignments[i % n_cus].push([x, y, z]);
+                    i += 1;
+                }
+            }
+        }
+
+        let mut before = Vec::with_capacity(n_cus);
+        for cu in &self.cus {
+            before.push(cu.now());
+        }
+
+        for (ci, wgs) in assignments.iter().enumerate() {
+            let cu = &mut self.cus[ci];
+            let max_waves = usize::from(cu.config().max_wavefronts);
+            let wgs_per_batch = (max_waves / waves_per_wg).max(1);
+            for batch in wgs.chunks(wgs_per_batch) {
+                cu.clear_waves();
+                for &wg_id in batch {
+                    let wg = cu.add_workgroup();
+                    for w in 0..waves_per_wg {
+                        let lane_base = (w * WAVEFRONT_SIZE) as u32;
+                        let active = (wg_size - lane_base).min(WAVEFRONT_SIZE as u32);
+                        if active == 0 {
+                            break;
+                        }
+                        let exec = if active >= 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << active) - 1
+                        };
+                        let tids: Vec<u32> =
+                            (0..WAVEFRONT_SIZE as u32).map(|l| lane_base + l).collect();
+                        cu.start_wave(WaveInit {
+                            workgroup: wg,
+                            exec,
+                            sgprs: vec![
+                                // IMM_UAV: base 0, unbounded records.
+                                (u32::from(abi::UAV_DESC), 0),
+                                (u32::from(abi::UAV_DESC) + 1, 0),
+                                (u32::from(abi::UAV_DESC) + 2, 0),
+                                (u32::from(abi::UAV_DESC) + 3, 0),
+                                // IMM_CONST_BUFFER0.
+                                (u32::from(abi::CONST_BUF0), cb0 as u32),
+                                (u32::from(abi::CONST_BUF0) + 1, (cb0 >> 32) as u32),
+                                (u32::from(abi::CONST_BUF0) + 2, 64),
+                                (u32::from(abi::CONST_BUF0) + 3, 0),
+                                // IMM_CONST_BUFFER1.
+                                (u32::from(abi::CONST_BUF1), args_addr as u32),
+                                (u32::from(abi::CONST_BUF1) + 1, (args_addr >> 32) as u32),
+                                (u32::from(abi::CONST_BUF1) + 2, self.args_len as u32),
+                                (u32::from(abi::CONST_BUF1) + 3, 0),
+                                // Workgroup ids.
+                                (u32::from(abi::WG_ID_X), wg_id[0]),
+                                (u32::from(abi::WG_ID_Y), wg_id[1]),
+                                (u32::from(abi::WG_ID_Z), wg_id[2]),
+                            ],
+                            vgprs: vec![(u32::from(abi::TID_X), tids)],
+                        })?;
+                    }
+                }
+                cu.run_to_completion(&mut self.mem)?;
+            }
+        }
+
+        let spent = self
+            .cus
+            .iter()
+            .zip(before)
+            .map(|(cu, b)| cu.now() - b)
+            .max()
+            .unwrap_or(0);
+        self.per_kernel_cycles[idx] += spent;
+        self.per_kernel_dispatches[idx] += 1;
+        if self.last_kernel.is_some_and(|prev| prev != idx) {
+            self.kernel_switches += 1;
+        }
+        self.last_kernel = Some(idx);
+        Ok(spent)
+    }
+
+    /// Cumulative measurements since construction.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let mut stats = CuStats::default();
+        let mut per_cu = Vec::with_capacity(self.cus.len());
+        for cu in &self.cus {
+            stats.merge(cu.stats());
+            per_cu.push(cu.now());
+        }
+        let cu_cycles = per_cu.iter().copied().max().unwrap_or(0);
+        stats.cycles = cu_cycles;
+        let seconds = cu_cycles as f64 / self.config.kind.cu_clock_hz()
+            + self.host_cycles as f64 / self.config.kind.mb_clock_hz();
+        RunReport {
+            cu_cycles,
+            host_cycles: self.host_cycles,
+            seconds,
+            stats,
+            per_cu_cycles: per_cu,
+            global_accesses: self.mem.global_accesses(),
+            prefetch_hits: self.mem.prefetch_hits(),
+            per_kernel_cycles: self.per_kernel_cycles.clone(),
+            per_kernel_dispatches: self.per_kernel_dispatches.clone(),
+            kernel_switches: self.kernel_switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_asm::KernelBuilder;
+    use scratch_isa::{Opcode, Operand, SmrdOffset};
+
+    /// out[gid] = in[gid] + 1, 1-D over the X grid. Args: [in, out].
+    fn add_one_kernel(wg_size: u32) -> Kernel {
+        let mut b = KernelBuilder::new("add_one");
+        b.vgprs(8).sgprs(32).workgroup_size(wg_size);
+        // s20 = in, s21 = out
+        b.smrd(
+            Opcode::SBufferLoadDwordx2,
+            Operand::Sgpr(20),
+            abi::CONST_BUF1,
+            SmrdOffset::Imm(0),
+        )
+        .unwrap();
+        b.waitcnt(None, Some(0)).unwrap();
+        // s0 = wg_id_x * wg_size
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(abi::WG_ID_X),
+            Operand::Literal(wg_size),
+        )
+        .unwrap();
+        // v1 = gid = s0 + tid
+        b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), abi::TID_X).unwrap();
+        // v1 = byte offset
+        b.vop2(Opcode::VLshlrevB32, 1, Operand::IntConst(2), 1).unwrap();
+        // v2 = load in[gid]
+        b.mubuf(
+            Opcode::BufferLoadDword,
+            2,
+            1,
+            abi::UAV_DESC,
+            Operand::Sgpr(20),
+            0,
+        )
+        .unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        // v2 += 1
+        b.vop2(Opcode::VAddI32, 2, Operand::IntConst(1), 2).unwrap();
+        // store out[gid]
+        b.mubuf(
+            Opcode::BufferStoreDword,
+            2,
+            1,
+            abi::UAV_DESC,
+            Operand::Sgpr(21),
+            0,
+        )
+        .unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        b.endpgm().unwrap();
+        b.finish().unwrap()
+    }
+
+    fn run_add_one(kind: SystemKind, cus: u8, n: u32, wg_size: u32) -> (Vec<u32>, RunReport) {
+        let kernel = add_one_kernel(wg_size);
+        let mut sys = System::new(SystemConfig::preset(kind).with_cus(cus), &kernel).unwrap();
+        let input: Vec<u32> = (0..n).map(|i| i * 3).collect();
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(u64::from(n) * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        sys.dispatch([n / wg_size, 1, 1]).unwrap();
+        (sys.read_words(a_out, n as usize), sys.report())
+    }
+
+    #[test]
+    fn vector_add_correct_across_configs() {
+        for kind in [SystemKind::Original, SystemKind::Dcd, SystemKind::DcdPm] {
+            let (out, _) = run_add_one(kind, 1, 256, 64);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, i as u32 * 3 + 1, "{kind:?} element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_speedups_have_paper_shape() {
+        let n = 2048;
+        let (_, orig) = run_add_one(SystemKind::Original, 1, n, 64);
+        let (_, dcd) = run_add_one(SystemKind::Dcd, 1, n, 64);
+        let (_, pm) = run_add_one(SystemKind::DcdPm, 1, n, 64);
+        let s_dcd = orig.seconds / dcd.seconds;
+        let s_pm = orig.seconds / pm.seconds;
+        assert!(
+            (1.05..=1.6).contains(&s_dcd),
+            "DCD speedup {s_dcd:.2} outside the paper's ~1.17x regime"
+        );
+        assert!(s_pm > 4.0, "DCD+PM speedup {s_pm:.2} too small");
+        assert!(s_pm > s_dcd * 2.0);
+        assert!(pm.prefetch_hits > 0);
+        assert_eq!(orig.prefetch_hits, 0);
+    }
+
+    #[test]
+    fn multi_core_distributes_and_speeds_up() {
+        let n = 4096;
+        let (out1, r1) = run_add_one(SystemKind::DcdPm, 1, n, 64);
+        let (out3, r3) = run_add_one(SystemKind::DcdPm, 3, n, 64);
+        assert_eq!(out1, out3, "results identical regardless of CU count");
+        let speedup = r1.seconds / r3.seconds;
+        assert!(
+            speedup > 1.8 && speedup < 3.2,
+            "3-CU speedup {speedup:.2} out of expected band"
+        );
+        assert_eq!(r3.per_cu_cycles.len(), 3);
+    }
+
+    #[test]
+    fn partial_tail_masks_lanes() {
+        // 96-item workgroups: second wave has 32 active lanes.
+        let kernel = add_one_kernel(96);
+        let mut sys =
+            System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        let input: Vec<u32> = (0..96).collect();
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(96 * 4 + 64 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        sys.dispatch([1, 1, 1]).unwrap();
+        let out = sys.read_words(a_out, 96 + 16);
+        for (i, &v) in out.iter().take(96).enumerate() {
+            assert_eq!(v, i as u32 + 1);
+        }
+        // Lanes beyond the workgroup must not have stored.
+        for (i, &v) in out.iter().enumerate().skip(96) {
+            assert_eq!(v, 0, "lane {i} leaked past the exec mask");
+        }
+    }
+
+    #[test]
+    fn dispatch_without_args_fails() {
+        let kernel = add_one_kernel(64);
+        let mut sys =
+            System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        assert_eq!(sys.dispatch([1, 1, 1]), Err(SystemError::ArgsNotSet));
+        sys.set_args(&[0, 0]);
+        assert_eq!(sys.dispatch([0, 1, 1]), Err(SystemError::EmptyDispatch));
+    }
+
+    #[test]
+    fn host_work_charged_at_mb_clock() {
+        let kernel = add_one_kernel(64);
+        let mut sys =
+            System::new(SystemConfig::preset(SystemKind::Original), &kernel).unwrap();
+        sys.host_work(50_000_000); // 1 second at 50 MHz
+        let r = sys.report();
+        assert!((r.seconds - 1.0).abs() < 1e-9);
+
+        let mut sys2 =
+            System::new(SystemConfig::preset(SystemKind::Dcd), &kernel).unwrap();
+        sys2.host_work(50_000_000); // 0.25 s at 200 MHz
+        let r2 = sys2.report();
+        assert!((r2.seconds - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_accumulates_instruction_counts() {
+        let (_, r) = run_add_one(SystemKind::DcdPm, 1, 128, 64);
+        assert_eq!(r.stats.wavefronts_retired, 2);
+        assert!(r.instructions() > 0);
+        assert!(r.stats.vector_mem_ops >= 4); // 2 wavefronts x (load+store)
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end CNN inference (the paper's AI workload): run the fixed-point
+//! CNN on the baseline soft-GPGPU and on its trimmed, multi-core
+//! application-specific variant, comparing time, power, energy and
+//! instructions-per-Joule.
+//!
+//! ```sh
+//! cargo run --release --example cnn_inference
+//! ```
+
+use scratch::core::{configure, trim_kernels, Scratch};
+use scratch::fpga::ParallelPlan;
+use scratch::kernels::cnn::Cnn;
+use scratch::kernels::Benchmark;
+use scratch::system::SystemKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 32x32 RGB input (the CIFAR-10 geometry), 3 conv layers, 16 feature
+    // maps, 2x2 max pooling — all in Q8 fixed point.
+    let cnn = Cnn::new(32, false);
+    let scratch = Scratch::new();
+    let trim = trim_kernels(&cnn.kernels()?)?;
+    println!(
+        "CNN uses {} of {} instructions; SIMF removed: {}",
+        trim.kept_count(),
+        trim.kept_count() + trim.removed_count(),
+        trim.removed_units.contains(&scratch::isa::FuncUnit::Simf)
+    );
+
+    // Baseline: untrimmed single CU on the DCD+PM system.
+    let base_plan = ParallelPlan::baseline(true);
+    let base_report = cnn.run(configure(SystemKind::DcdPm, base_plan, None))?;
+    let base = scratch.summarize(SystemKind::DcdPm, None, base_plan, &base_report);
+
+    // Application-specific: trimmed, with the freed area spent on CUs.
+    let plan = scratch.plan_multicore(&trim, 3);
+    let report = cnn.run(configure(SystemKind::DcdPm, plan, Some(&trim)))?;
+    let tuned = scratch.summarize(SystemKind::DcdPm, Some(&trim), plan, &report);
+
+    println!("\n{:24} {:>14} {:>14}", "", "baseline", "trimmed x CUs");
+    println!(
+        "{:24} {:>14} {:>14}",
+        "configuration",
+        "1 CU (full ISA)",
+        format!("{} CUs (trimmed)", plan.cus)
+    );
+    println!(
+        "{:24} {:>14.3} {:>14.3}",
+        "inference time (ms)",
+        base.seconds * 1e3,
+        tuned.seconds * 1e3
+    );
+    println!(
+        "{:24} {:>14.2} {:>14.2}",
+        "board power (W)",
+        base.power.total_w(),
+        tuned.power.total_w()
+    );
+    println!(
+        "{:24} {:>14.3} {:>14.3}",
+        "energy (mJ)",
+        base.energy_j * 1e3,
+        tuned.energy_j * 1e3
+    );
+    println!(
+        "{:24} {:>14.0} {:>14.0}",
+        "instructions / joule",
+        base.ipj,
+        tuned.ipj
+    );
+    println!(
+        "\nspeedup {:.2}x, energy-efficiency gain {:.2}x (both outputs validated)",
+        tuned.speedup_vs(&base),
+        tuned.ipj_gain_vs(&base)
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! The SCRATCH trimming tool on the paper's running example (Fig. 5): a 2-D
+//! integer convolution. Prints the per-unit instruction requirements, the
+//! trimmed instruction set, the synthesis-model resource savings, and the
+//! parallelism the freed area buys.
+//!
+//! ```sh
+//! cargo run --release --example trim_report
+//! ```
+
+use scratch::core::{configure, Scratch};
+use scratch::fpga::ParallelPlan;
+use scratch::isa::FuncUnit;
+use scratch::kernels::conv2d::Conv2d;
+use scratch::kernels::Benchmark;
+use scratch::system::SystemKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Conv2d::new(128, 5, false);
+    let kernel = bench.kernels()?.remove(0);
+    println!("== kernel (conv2D, INT32) ==");
+    println!("{}", kernel.disassemble()?);
+
+    let scratch = Scratch::new();
+    let analysis = scratch.analyze(&kernel)?;
+    println!("== required_instructions[FU] (Algorithm 1, step 1) ==");
+    for (unit, ops) in &analysis.required {
+        let names: Vec<&str> = ops.iter().map(|o| o.mnemonic()).collect();
+        println!("{unit:8}: {}", names.join(", "));
+    }
+
+    let trim = scratch.trim(&kernel)?;
+    println!("\n== trimming (Algorithm 1, step 2) ==");
+    println!(
+        "kept {} of {} instructions; removed units: {:?}",
+        trim.kept_count(),
+        trim.kept_count() + trim.removed_count(),
+        trim.removed_units
+    );
+    for unit in FuncUnit::TRIMMABLE {
+        println!("  {:8} usage: {:5.1} %", unit.label(), trim.usage_percent[&unit]);
+    }
+
+    let base = scratch.synthesize(SystemKind::DcdPm, None, ParallelPlan::baseline(true));
+    let trimmed = scratch.synthesize(
+        SystemKind::DcdPm,
+        Some(&trim),
+        ParallelPlan::baseline(trim.uses_fp),
+    );
+    println!("\n== synthesis model ==");
+    println!("baseline system: {}", base.resources);
+    println!("trimmed system : {}", trimmed.resources);
+    let s = trimmed.cu_savings_percent;
+    println!(
+        "CU savings     : {:.0}% FF, {:.0}% LUT, {:.0}% DSP, {:.0}% BRAM",
+        s[0], s[1], s[2], s[3]
+    );
+    println!(
+        "power          : {:.2} W -> {:.2} W",
+        base.power.total_w(),
+        trimmed.power.total_w()
+    );
+
+    let mc = scratch.plan_multicore(&trim, 3);
+    let mt = scratch.plan_multithread(&trim, 4);
+    println!("\n== freed-area parallelism ==");
+    println!(
+        "multi-core : {} CUs x ({} INT + {} FP VALUs)",
+        mc.cus, mc.int_valus, mc.fp_valus
+    );
+    println!(
+        "multi-thread: {} CU with {} INT + {} FP VALUs",
+        mt.cus, mt.int_valus, mt.fp_valus
+    );
+
+    // Prove the trimmed architecture still runs the application.
+    let report = bench.run(configure(SystemKind::DcdPm, mc, Some(&trim)))?;
+    println!(
+        "\ntrimmed multi-core run: {} cycles, outputs validated against the CPU reference",
+        report.cu_cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,181 @@
+//! `scratch-tool` — the command-line face of the SCRATCH framework:
+//! assemble Southern Islands kernels, inspect them, run the trimming tool,
+//! and execute them on the simulated soft-GPGPU.
+//!
+//! ```text
+//! scratch-tool assemble <file.s> [-o out.kernel.json]
+//! scratch-tool disasm   <file.kernel.json | file.s>
+//! scratch-tool analyze  <file.s>
+//! scratch-tool trim     <file.s>
+//! scratch-tool run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]
+//! ```
+//!
+//! `run` launches the kernel with one argument: the address of a scratch
+//! output buffer (the quickstart convention used by the examples), then
+//! prints the first words of that buffer.
+
+use std::process::ExitCode;
+
+use scratch::asm::{assemble, Kernel};
+use scratch::core::Scratch;
+use scratch::fpga::ParallelPlan;
+use scratch::isa::FuncUnit;
+use scratch::system::{System, SystemConfig, SystemKind};
+
+fn load_kernel(path: &str) -> Result<Kernel, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".json") {
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        assemble(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("scratch-tool: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let path = args.get(1).cloned();
+
+    match cmd {
+        "assemble" => {
+            let path = path.ok_or("usage: scratch-tool assemble <file.s> [-o out.json]")?;
+            let kernel = load_kernel(&path)?;
+            let out = args
+                .iter()
+                .position(|a| a == "-o")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| format!("{}.kernel.json", kernel.name()));
+            std::fs::write(&out, serde_json::to_string_pretty(&kernel).unwrap())
+                .map_err(|e| format!("{out}: {e}"))?;
+            println!(
+                "assembled `{}`: {} bytes -> {out}",
+                kernel.name(),
+                kernel.size_bytes()
+            );
+            Ok(())
+        }
+        "disasm" => {
+            let path = path.ok_or("usage: scratch-tool disasm <file>")?;
+            let kernel = load_kernel(&path)?;
+            print!("{}", kernel.disassemble().map_err(|e| e.to_string())?);
+            Ok(())
+        }
+        "analyze" => {
+            let path = path.ok_or("usage: scratch-tool analyze <file.s>")?;
+            let kernel = load_kernel(&path)?;
+            let analysis = Scratch::new().analyze(&kernel).map_err(|e| e.to_string())?;
+            println!(
+                "`{}`: {} static instructions",
+                kernel.name(),
+                analysis.static_instructions
+            );
+            for (unit, ops) in &analysis.required {
+                let names: Vec<&str> = ops.iter().map(|o| o.mnemonic()).collect();
+                println!("{unit:8} ({:5.1} %): {}", analysis.unit_usage_percent(*unit), names.join(", "));
+            }
+            Ok(())
+        }
+        "trim" => {
+            let path = path.ok_or("usage: scratch-tool trim <file.s>")?;
+            let kernel = load_kernel(&path)?;
+            let scratch = Scratch::new();
+            let trim = scratch.trim(&kernel).map_err(|e| e.to_string())?;
+            println!(
+                "kept {} instructions ({} removed); removed units: {:?}",
+                trim.kept_count(),
+                trim.removed_count(),
+                trim.removed_units
+            );
+            for unit in FuncUnit::TRIMMABLE {
+                println!("  {:8} usage {:5.1} %", unit.label(), trim.usage_percent[&unit]);
+            }
+            let s = trim.cu_savings_percent(1, u8::from(trim.uses_fp));
+            println!(
+                "CU savings: {:.0}% FF, {:.0}% LUT, {:.0}% DSP, {:.0}% BRAM",
+                s[0], s[1], s[2], s[3]
+            );
+            let synth = scratch.synthesize(
+                SystemKind::DcdPm,
+                Some(&trim),
+                ParallelPlan::baseline(trim.uses_fp),
+            );
+            println!(
+                "trimmed system: {} | {:.2} W",
+                synth.resources,
+                synth.power.total_w()
+            );
+            let mc = scratch.plan_multicore(&trim, 3);
+            let mt = scratch.plan_multithread(&trim, 4);
+            println!(
+                "freed-area plans: {} CUs (multi-core) | {} INT + {} FP VALUs (multi-thread)",
+                mc.cus, mt.int_valus, mt.fp_valus
+            );
+            Ok(())
+        }
+        "run" => {
+            let path = path.ok_or("usage: scratch-tool run <file.s> [--system ...]")?;
+            let kernel = load_kernel(&path)?;
+            let kind = match args
+                .iter()
+                .position(|a| a == "--system")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+            {
+                Some("original") => SystemKind::Original,
+                Some("dcd") => SystemKind::Dcd,
+                None | Some("dcdpm") => SystemKind::DcdPm,
+                Some(other) => return Err(format!("unknown system `{other}`")),
+            };
+            let parse_n = |flag: &str, default: u32| -> u32 {
+                args.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default)
+            };
+            let wgs = parse_n("--wgs", 1);
+            let out_words = parse_n("--out-words", 16) as usize;
+
+            let mut sys = System::new(SystemConfig::preset(kind), &kernel)
+                .map_err(|e| e.to_string())?;
+            let out = sys.alloc(1 << 20);
+            sys.set_args(&[out as u32]);
+            sys.dispatch([wgs, 1, 1]).map_err(|e| e.to_string())?;
+            let report = sys.report();
+            println!(
+                "{}: {} CU cycles, {} instructions, {:.3} ms on {}",
+                kernel.name(),
+                report.cu_cycles,
+                report.instructions(),
+                report.seconds * 1e3,
+                kind.label()
+            );
+            println!("out[0..{out_words}] = {:?}", sys.read_words(out, out_words));
+            Ok(())
+        }
+        _ => {
+            println!(
+                "scratch-tool — SCRATCH soft-GPGPU toolchain\n\
+                 \n\
+                 commands:\n\
+                 \x20 assemble <file.s> [-o out.json]   assemble SI text to a kernel artifact\n\
+                 \x20 disasm   <file>                   disassemble a kernel (.s or .json)\n\
+                 \x20 analyze  <file.s>                 per-unit instruction requirements\n\
+                 \x20 trim     <file.s>                 run the trimming tool + synthesis model\n\
+                 \x20 run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]"
+            );
+            Ok(())
+        }
+    }
+}

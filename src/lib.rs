@@ -1,0 +1,27 @@
+//! # SCRATCH — application-aware soft-GPGPU architecture and trimming tool
+//!
+//! This is the umbrella crate of the Rust reproduction of *"SCRATCH: An
+//! End-to-End Application-Aware Soft-GPGPU Architecture and Trimming Tool"*
+//! (Duarte, Tomás, Falcão — MICRO-50, 2017). It re-exports the public API of
+//! every workspace crate:
+//!
+//! * [`isa`] — the Southern Islands instruction-set model;
+//! * [`asm`] — assembler, disassembler and kernel builder;
+//! * [`cu`] — the cycle-level MIAOW2.0 compute-unit simulator;
+//! * [`system`] — memory hierarchy, clock domains and the ultra-threaded
+//!   dispatcher;
+//! * [`fpga`] — the calibrated resource/power model and parallelism
+//!   allocator;
+//! * [`core`] — kernel analysis, architecture trimming and the end-to-end
+//!   pipeline;
+//! * [`kernels`] — the paper's 17-application benchmark suite.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use scratch_asm as asm;
+pub use scratch_core as core;
+pub use scratch_cu as cu;
+pub use scratch_fpga as fpga;
+pub use scratch_isa as isa;
+pub use scratch_kernels as kernels;
+pub use scratch_system as system;

@@ -1,0 +1,82 @@
+//! Dispatcher accounting: per-kernel cycle attribution, dispatch counts and
+//! kernel-switch tracking (the inputs of the §4.3 reconfiguration study).
+
+use scratch::asm::{Kernel, KernelBuilder};
+use scratch::isa::{Opcode, Operand};
+use scratch::system::{System, SystemConfig, SystemKind};
+
+fn tiny_kernel(name: &str, adds: usize) -> Kernel {
+    let mut b = KernelBuilder::new(name);
+    // The dispatcher ABI initialises s4..s18, so every kernel budgets at
+    // least 19 SGPRs.
+    b.sgprs(24).vgprs(4);
+    for _ in 0..adds {
+        b.vop2(Opcode::VAddI32, 1, Operand::IntConst(1), 1).unwrap();
+    }
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+#[test]
+fn per_kernel_cycles_attributed_to_the_right_kernel() {
+    let kernels = [tiny_kernel("short", 2), tiny_kernel("long", 64)];
+    let mut sys = System::with_kernels(
+        SystemConfig::preset(SystemKind::DcdPm),
+        &kernels,
+    )
+    .unwrap();
+    sys.set_args(&[0]);
+
+    sys.dispatch_kernel(0, [1, 1, 1]).unwrap();
+    sys.dispatch_kernel(1, [1, 1, 1]).unwrap();
+    sys.dispatch_kernel(1, [1, 1, 1]).unwrap();
+
+    let report = sys.report();
+    assert_eq!(report.per_kernel_dispatches, vec![1, 2]);
+    assert_eq!(report.kernel_switches, 1, "0 -> 1 is the only switch");
+    assert!(
+        report.per_kernel_cycles[1] > report.per_kernel_cycles[0] * 4,
+        "the long kernel must dominate: {:?}",
+        report.per_kernel_cycles
+    );
+    assert_eq!(
+        report.per_kernel_cycles.iter().sum::<u64>(),
+        report.cu_cycles,
+        "attribution must cover the whole timeline"
+    );
+}
+
+#[test]
+fn alternating_dispatches_count_every_switch() {
+    let kernels = [tiny_kernel("a", 1), tiny_kernel("b", 1)];
+    let mut sys = System::with_kernels(
+        SystemConfig::preset(SystemKind::DcdPm),
+        &kernels,
+    )
+    .unwrap();
+    sys.set_args(&[0]);
+    for i in 0..6 {
+        sys.dispatch_kernel(i % 2, [1, 1, 1]).unwrap();
+    }
+    let report = sys.report();
+    assert_eq!(report.kernel_switches, 5);
+    assert_eq!(report.per_kernel_dispatches, vec![3, 3]);
+}
+
+#[test]
+fn out_of_range_kernel_index_rejected() {
+    let kernels = [tiny_kernel("only", 1)];
+    let mut sys = System::with_kernels(
+        SystemConfig::preset(SystemKind::DcdPm),
+        &kernels,
+    )
+    .unwrap();
+    sys.set_args(&[0]);
+    assert!(sys.dispatch_kernel(1, [1, 1, 1]).is_err());
+    assert!(sys.dispatch_kernel(0, [1, 1, 1]).is_ok());
+}
+
+#[test]
+fn empty_kernel_list_rejected() {
+    assert!(System::with_kernels(SystemConfig::preset(SystemKind::DcdPm), &[]).is_err());
+}

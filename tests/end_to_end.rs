@@ -1,0 +1,175 @@
+//! Cross-crate integration: the full SCRATCH pipeline (compile → analyse →
+//! trim → configure → run → summarise) over real benchmarks and all three
+//! system configurations.
+
+use scratch::core::{configure, trim_kernels, Scratch};
+use scratch::fpga::ParallelPlan;
+use scratch::kernels::{
+    conv2d::Conv2d, gaussian::Gaussian, pooling, transpose::Transpose, vec_ops::MatrixAdd,
+    Benchmark,
+};
+use scratch::system::{SystemConfig, SystemKind};
+
+#[test]
+fn every_system_kind_runs_every_small_benchmark() {
+    let benches: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(MatrixAdd::new(16, false)),
+        Box::new(MatrixAdd::new(16, true)),
+        Box::new(Transpose::new(64)),
+        Box::new(pooling::Pooling::new(32, pooling::Mode::Median)),
+        Box::new(Conv2d::new(16, 3, true)),
+        Box::new(Gaussian::new(8)),
+    ];
+    for bench in &benches {
+        for kind in [SystemKind::Original, SystemKind::Dcd, SystemKind::DcdPm] {
+            bench
+                .run(SystemConfig::preset(kind))
+                .unwrap_or_else(|e| panic!("{} on {kind:?}: {e}", bench.name()));
+        }
+    }
+}
+
+#[test]
+fn trimmed_architectures_preserve_results_and_save_energy() {
+    let scratch = Scratch::new();
+    let benches: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(MatrixAdd::new(16, false)),
+        Box::new(Conv2d::new(16, 3, false)),
+        Box::new(Transpose::new(64)),
+        Box::new(Conv2d::new(16, 3, true)),
+    ];
+    for bench in &benches {
+        let trim = trim_kernels(&bench.kernels().unwrap()).unwrap();
+        let plan = ParallelPlan::baseline(trim.uses_fp);
+        let full = ParallelPlan::baseline(true);
+
+        let base_report = bench
+            .run(configure(SystemKind::DcdPm, full, None))
+            .unwrap_or_else(|e| panic!("{} untrimmed: {e}", bench.name()));
+        let trim_report = bench
+            .run(configure(SystemKind::DcdPm, plan, Some(&trim)))
+            .unwrap_or_else(|e| panic!("{} trimmed: {e}", bench.name()));
+
+        // Identical cycle counts (trimming removes hardware, not time) and
+        // both validated internally against the CPU reference.
+        assert_eq!(
+            base_report.cu_cycles,
+            trim_report.cu_cycles,
+            "{}: trimming changed timing",
+            bench.name()
+        );
+
+        let s_base = scratch.summarize(SystemKind::DcdPm, None, full, &base_report);
+        let s_trim = scratch.summarize(SystemKind::DcdPm, Some(&trim), plan, &trim_report);
+        assert!(
+            s_trim.energy_j < s_base.energy_j,
+            "{}: trimmed energy {} >= baseline {}",
+            bench.name(),
+            s_trim.energy_j,
+            s_base.energy_j
+        );
+    }
+}
+
+#[test]
+fn parallel_plans_speed_up_real_workloads() {
+    let scratch = Scratch::new();
+    let bench = Conv2d::new(64, 5, false);
+    let trim = trim_kernels(&bench.kernels().unwrap()).unwrap();
+
+    let base_plan = ParallelPlan::baseline(true);
+    let base = bench
+        .run(configure(SystemKind::DcdPm, base_plan, None))
+        .unwrap();
+    let s_base = scratch.summarize(SystemKind::DcdPm, None, base_plan, &base);
+
+    for (label, plan) in [
+        ("multicore", scratch.plan_multicore(&trim, 3)),
+        ("multithread", scratch.plan_multithread(&trim, 4)),
+    ] {
+        let run = bench
+            .run(configure(SystemKind::DcdPm, plan, Some(&trim)))
+            .unwrap();
+        let s = scratch.summarize(SystemKind::DcdPm, Some(&trim), plan, &run);
+        let speedup = s.speedup_vs(&s_base);
+        assert!(
+            speedup > 1.2 && speedup < 4.5,
+            "{label} speedup {speedup:.2} out of band"
+        );
+    }
+}
+
+#[test]
+fn foreign_instructions_rejected_by_trimmed_hardware() {
+    // Trim for the integer transpose, then try to run an FP benchmark.
+    let transpose = Transpose::new(64);
+    let trim = trim_kernels(&transpose.kernels().unwrap()).unwrap();
+    let fp_bench = MatrixAdd::new(16, true);
+    let err = fp_bench
+        .run(configure(
+            SystemKind::DcdPm,
+            ParallelPlan::baseline(false),
+            Some(&trim),
+        ))
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("trimmed") || msg.contains("unit"),
+        "unexpected error: {msg}"
+    );
+}
+
+#[test]
+fn characterization_matches_trim_requirements() {
+    // Dynamic execution may only touch statically-required instructions.
+    let bench = Conv2d::new(16, 3, false);
+    let kernels = bench.kernels().unwrap();
+    let trim = trim_kernels(&kernels).unwrap();
+    let report = bench
+        .run(SystemConfig::preset(SystemKind::DcdPm))
+        .unwrap();
+    for op in report.stats.executed_opcodes() {
+        assert!(
+            trim.kept.contains(op),
+            "executed {op:?} absent from the static trim set"
+        );
+    }
+}
+
+#[test]
+fn per_kernel_reconfiguration_analysis_on_cnn() {
+    use scratch::core::{analyze_per_kernel, ReconfigModel};
+    let cnn = scratch::kernels::cnn::Cnn {
+        size: 8,
+        fp: false,
+        layers: 2,
+        maps: 4,
+    };
+    let kernels = cnn.kernels().unwrap();
+    let report = cnn
+        .run(configure(
+            SystemKind::DcdPm,
+            ParallelPlan::baseline(true),
+            None,
+        ))
+        .unwrap();
+    assert!(report.kernel_switches > 0, "CNN alternates conv and pool");
+    let a = analyze_per_kernel(
+        "CNN",
+        &kernels,
+        &report,
+        ParallelPlan::baseline(false),
+        &ReconfigModel::default(),
+    )
+    .unwrap();
+    // Conv and pool kernels need different (strictly smaller) sets.
+    assert!(a.per_kernel_kept.iter().all(|&k| k < a.union_kept));
+    assert!(a.reconfigurations > 0);
+    assert!(a.reconfig_seconds > 0.0);
+    // The §4.3 trade-off is visible: per-kernel power is lower in at least
+    // one phase, and the crossover latency is reported.
+    assert!(a
+        .per_kernel_power_w
+        .iter()
+        .any(|&p| p < a.union_power_w));
+}

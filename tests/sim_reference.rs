@@ -1,0 +1,146 @@
+//! Property test: the simulator's functional execution matches a CPU
+//! reference interpreter over random straight-line integer programs — the
+//! software analogue of the paper's §2.3 instruction-domain validation.
+
+use proptest::prelude::*;
+
+use scratch::asm::KernelBuilder;
+use scratch::isa::{Opcode, Operand};
+use scratch::system::{System, SystemConfig, SystemKind};
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Bin(u8, u8, i8, u8), // op, dst, int-const src0, vsrc1
+    Un(u8, u8, u8),      // op, dst, vsrc0
+}
+
+const BIN_OPS: [Opcode; 10] = [
+    Opcode::VAddI32,
+    Opcode::VSubI32,
+    Opcode::VSubrevI32,
+    Opcode::VAndB32,
+    Opcode::VOrB32,
+    Opcode::VXorB32,
+    Opcode::VLshlrevB32,
+    Opcode::VLshrrevB32,
+    Opcode::VAshrrevI32,
+    Opcode::VMaxU32,
+];
+
+const UN_OPS: [Opcode; 3] = [Opcode::VNotB32, Opcode::VBfrevB32, Opcode::VMovB32];
+
+fn reference_bin(op: Opcode, a: u32, b: u32) -> u32 {
+    match op {
+        Opcode::VAddI32 => a.wrapping_add(b),
+        Opcode::VSubI32 => a.wrapping_sub(b),
+        Opcode::VSubrevI32 => b.wrapping_sub(a),
+        Opcode::VAndB32 => a & b,
+        Opcode::VOrB32 => a | b,
+        Opcode::VXorB32 => a ^ b,
+        Opcode::VLshlrevB32 => b << (a & 31),
+        Opcode::VLshrrevB32 => b >> (a & 31),
+        Opcode::VAshrrevI32 => ((b as i32) >> (a & 31)) as u32,
+        Opcode::VMaxU32 => a.max(b),
+        _ => unreachable!(),
+    }
+}
+
+fn reference_un(op: Opcode, a: u32) -> u32 {
+    match op {
+        Opcode::VNotB32 => !a,
+        Opcode::VBfrevB32 => a.reverse_bits(),
+        Opcode::VMovB32 => a,
+        _ => unreachable!(),
+    }
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        (any::<u8>(), 1u8..6, -16i8..=16, 0u8..6)
+            .prop_map(|(op, d, c, s)| Step::Bin(op, d, c, s)),
+        (any::<u8>(), 1u8..6, 0u8..6).prop_map(|(op, d, s)| Step::Un(op, d, s)),
+    ];
+    prop::collection::vec(step, 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_matches_reference_interpreter(steps in arb_steps()) {
+        // Build the kernel.
+        let mut b = KernelBuilder::new("ref");
+        b.sgprs(32).vgprs(8);
+        for step in &steps {
+            match *step {
+                Step::Bin(op, d, c, s) => {
+                    let op = BIN_OPS[usize::from(op) % BIN_OPS.len()];
+                    b.vop2(op, d, Operand::IntConst(c), s).unwrap();
+                }
+                Step::Un(op, d, s) => {
+                    let op = UN_OPS[usize::from(op) % UN_OPS.len()];
+                    b.vop1(op, d, Operand::Vgpr(s)).unwrap();
+                }
+            }
+        }
+        // Store v1..v5 to out.
+        b.smrd(
+            Opcode::SBufferLoadDword,
+            Operand::Sgpr(20),
+            scratch::system::abi::CONST_BUF1,
+            scratch::isa::SmrdOffset::Imm(0),
+        )
+        .unwrap();
+        b.waitcnt(None, Some(0)).unwrap();
+        b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 0).unwrap();
+        for (i, reg) in (1u8..6).enumerate() {
+            b.mubuf(
+                Opcode::BufferStoreDword,
+                reg,
+                6,
+                4,
+                Operand::Sgpr(20),
+                (i * 256) as u16,
+            )
+            .unwrap();
+        }
+        b.waitcnt(Some(0), None).unwrap();
+        b.endpgm().unwrap();
+        let kernel = b.finish().unwrap();
+
+        // Reference interpreter over all 64 lanes.
+        let mut regs = [[0u32; 64]; 6];
+        for (lane, r0) in regs[0].iter_mut().enumerate() {
+            *r0 = lane as u32;
+        }
+        for step in &steps {
+            match *step {
+                Step::Bin(op, d, c, s) => {
+                    let op = BIN_OPS[usize::from(op) % BIN_OPS.len()];
+                    let src = regs[s as usize];
+                    for (dst, &sv) in regs[d as usize].iter_mut().zip(src.iter()) {
+                        *dst = reference_bin(op, c as i32 as u32, sv);
+                    }
+                }
+                Step::Un(op, d, s) => {
+                    let op = UN_OPS[usize::from(op) % UN_OPS.len()];
+                    let src = regs[s as usize];
+                    for (dst, &sv) in regs[d as usize].iter_mut().zip(src.iter()) {
+                        *dst = reference_un(op, sv);
+                    }
+                }
+            }
+        }
+
+        // Simulate.
+        let mut sys =
+            System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        let out = sys.alloc(5 * 256);
+        sys.set_args(&[out as u32]);
+        sys.dispatch([1, 1, 1]).unwrap();
+        for (i, reg) in (1usize..6).enumerate() {
+            let got = sys.read_words(out + (i as u64) * 256, 64);
+            prop_assert_eq!(&got[..], &regs[reg][..], "v{} differs", reg);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests of the trimming tool's safety guarantee: an application
+//! always runs identically on the architecture trimmed for it ("the removal
+//! of unused resources does not affect execution ... without compromising
+//! the correct program execution", §3.2), and anything outside the trimmed
+//! set is rejected by the hardware.
+
+use proptest::prelude::*;
+
+use scratch::asm::{Kernel, KernelBuilder};
+use scratch::core::{configure, trim_kernel};
+use scratch::fpga::ParallelPlan;
+use scratch::isa::{Opcode, Operand};
+use scratch::system::{System, SystemConfig, SystemKind};
+
+/// A random straight-line vector kernel: a sequence of integer/FP vector
+/// operations over v0 (the lane id) and previously produced registers,
+/// storing the final value of v5.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    steps: Vec<(u8, Operand, u8)>, // (op selector, src0, vsrc1)
+}
+
+fn vector_op(selector: u8) -> Opcode {
+    const OPS: [Opcode; 12] = [
+        Opcode::VAddI32,
+        Opcode::VSubI32,
+        Opcode::VAndB32,
+        Opcode::VOrB32,
+        Opcode::VXorB32,
+        Opcode::VLshlrevB32,
+        Opcode::VLshrrevB32,
+        Opcode::VMaxI32,
+        Opcode::VMinU32,
+        Opcode::VAddF32,
+        Opcode::VMulF32,
+        Opcode::VMaxF32,
+    ];
+    OPS[usize::from(selector) % OPS.len()]
+}
+
+fn arb_program() -> impl Strategy<Value = RandomProgram> {
+    let step = (
+        any::<u8>(),
+        prop_oneof![
+            (0u8..6).prop_map(Operand::Vgpr),
+            (-16i8..=16).prop_map(Operand::IntConst),
+            (0u8..4).prop_map(|i| Operand::FloatConst(Operand::INLINE_FLOATS[i as usize])),
+        ],
+        0u8..6,
+    );
+    prop::collection::vec(step, 1..12).prop_map(|steps| RandomProgram { steps })
+}
+
+fn build(program: &RandomProgram) -> Kernel {
+    let mut b = KernelBuilder::new("random");
+    b.sgprs(32).vgprs(8);
+    // Seed v1..v5 deterministically from v0 so every register is defined.
+    for d in 1..6u8 {
+        b.vop2(Opcode::VAddI32, d, Operand::IntConst(d as i8), 0)
+            .unwrap();
+    }
+    for &(sel, src0, vsrc1) in &program.steps {
+        let op = vector_op(sel);
+        // Shifts mask their amount; everything else is total. Write the
+        // result into v5 so the final value depends on the whole program.
+        b.vop2(op, 5, src0, vsrc1).unwrap();
+    }
+    // Store v5 to out[tid] (arg 0 carries the buffer address in s20).
+    b.smrd(
+        Opcode::SBufferLoadDword,
+        Operand::Sgpr(20),
+        scratch::system::abi::CONST_BUF1,
+        scratch::isa::SmrdOffset::Imm(0),
+    )
+    .unwrap();
+    b.waitcnt(None, Some(0)).unwrap();
+    b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 0).unwrap();
+    b.mubuf(Opcode::BufferStoreDword, 5, 6, 4, Operand::Sgpr(20), 0)
+        .unwrap();
+    b.waitcnt(Some(0), None).unwrap();
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+fn run(kernel: &Kernel, config: SystemConfig) -> Result<Vec<u32>, String> {
+    let mut sys = System::new(config, kernel).map_err(|e| e.to_string())?;
+    let out = sys.alloc(64 * 4);
+    sys.set_args(&[out as u32]);
+    sys.dispatch([1, 1, 1]).map_err(|e| e.to_string())?;
+    Ok(sys.read_words(out, 64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core guarantee of the SCRATCH tool: running a kernel on the
+    /// architecture trimmed *for that kernel* yields bit-identical results.
+    #[test]
+    fn trimmed_architecture_is_safe_for_its_own_kernel(program in arb_program()) {
+        let kernel = build(&program);
+        let trim = trim_kernel(&kernel).unwrap();
+
+        let full = run(&kernel, configure(SystemKind::DcdPm, ParallelPlan::baseline(true), None))
+            .expect("untrimmed run");
+        let trimmed = run(
+            &kernel,
+            configure(
+                SystemKind::DcdPm,
+                ParallelPlan::baseline(trim.uses_fp),
+                Some(&trim),
+            ),
+        )
+        .expect("trimmed run must always succeed for its own kernel");
+        prop_assert_eq!(full, trimmed);
+    }
+
+    /// Conversely: an instruction outside the trimmed set is always caught.
+    #[test]
+    fn foreign_opcode_always_rejected(program in arb_program(), foreign_sel in any::<u8>()) {
+        let kernel = build(&program);
+        let trim = trim_kernel(&kernel).unwrap();
+
+        // Find a vector opcode the trim removed.
+        let foreign = (0..12u8)
+            .map(|i| vector_op(foreign_sel.wrapping_add(i)))
+            .find(|op| !trim.kept.contains(*op));
+        prop_assume!(foreign.is_some());
+        let foreign = foreign.unwrap();
+
+        let mut b = KernelBuilder::new("foreign");
+        b.sgprs(32).vgprs(8);
+        b.vop2(foreign, 1, Operand::Vgpr(0), 0).unwrap();
+        b.endpgm().unwrap();
+        let bad = b.finish().unwrap();
+
+        let err = run(
+            &bad,
+            configure(
+                SystemKind::DcdPm,
+                ParallelPlan::baseline(trim.uses_fp),
+                Some(&trim),
+            ),
+        )
+        .expect_err("foreign instruction must be rejected");
+        prop_assert!(
+            err.contains("trimmed") || err.contains("unit"),
+            "unexpected error: {}", err
+        );
+    }
+
+    /// The trim set equals the set of statically decoded opcodes.
+    #[test]
+    fn trim_set_is_exactly_static_usage(program in arb_program()) {
+        let kernel = build(&program);
+        let trim = trim_kernel(&kernel).unwrap();
+        let static_ops: std::collections::BTreeSet<Opcode> = kernel
+            .instructions()
+            .unwrap()
+            .into_iter()
+            .map(|(_, i)| i.opcode)
+            .collect();
+        let kept: std::collections::BTreeSet<Opcode> = trim.kept.iter().collect();
+        prop_assert_eq!(kept, static_ops);
+    }
+}
