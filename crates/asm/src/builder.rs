@@ -146,7 +146,12 @@ impl KernelBuilder {
     /// # Errors
     ///
     /// Propagates operand validation failures.
-    pub fn sopk(&mut self, opcode: Opcode, sdst: Operand, simm16: i16) -> Result<&mut Self, AsmError> {
+    pub fn sopk(
+        &mut self,
+        opcode: Opcode,
+        sdst: Operand,
+        simm16: i16,
+    ) -> Result<&mut Self, AsmError> {
         let inst = Instruction::new(opcode, Fields::Sopk { sdst, simm16 })?;
         Ok(self.push(inst))
     }
@@ -156,7 +161,12 @@ impl KernelBuilder {
     /// # Errors
     ///
     /// Propagates operand validation failures.
-    pub fn sop1(&mut self, opcode: Opcode, sdst: Operand, ssrc0: Operand) -> Result<&mut Self, AsmError> {
+    pub fn sop1(
+        &mut self,
+        opcode: Opcode,
+        sdst: Operand,
+        ssrc0: Operand,
+    ) -> Result<&mut Self, AsmError> {
         let inst = Instruction::new(opcode, Fields::Sop1 { sdst, ssrc0 })?;
         Ok(self.push(inst))
     }
@@ -166,7 +176,12 @@ impl KernelBuilder {
     /// # Errors
     ///
     /// Propagates operand validation failures.
-    pub fn sopc(&mut self, opcode: Opcode, ssrc0: Operand, ssrc1: Operand) -> Result<&mut Self, AsmError> {
+    pub fn sopc(
+        &mut self,
+        opcode: Opcode,
+        ssrc0: Operand,
+        ssrc1: Operand,
+    ) -> Result<&mut Self, AsmError> {
         let inst = Instruction::new(opcode, Fields::Sopc { ssrc0, ssrc1 })?;
         Ok(self.push(inst))
     }
@@ -201,7 +216,14 @@ impl KernelBuilder {
         sbase: u8,
         offset: SmrdOffset,
     ) -> Result<&mut Self, AsmError> {
-        let inst = Instruction::new(opcode, Fields::Smrd { sdst, sbase, offset })?;
+        let inst = Instruction::new(
+            opcode,
+            Fields::Smrd {
+                sdst,
+                sbase,
+                offset,
+            },
+        )?;
         Ok(self.push(inst))
     }
 
@@ -236,7 +258,12 @@ impl KernelBuilder {
     /// # Errors
     ///
     /// Propagates operand validation failures.
-    pub fn vopc(&mut self, opcode: Opcode, src0: Operand, vsrc1: u8) -> Result<&mut Self, AsmError> {
+    pub fn vopc(
+        &mut self,
+        opcode: Opcode,
+        src0: Operand,
+        vsrc1: u8,
+    ) -> Result<&mut Self, AsmError> {
         let inst = Instruction::new(opcode, Fields::Vopc { src0, vsrc1 })?;
         Ok(self.push(inst))
     }
@@ -303,7 +330,13 @@ impl KernelBuilder {
     /// # Errors
     ///
     /// Propagates operand validation failures.
-    pub fn ds_read(&mut self, opcode: Opcode, vdst: u8, addr: u8, offset: u8) -> Result<&mut Self, AsmError> {
+    pub fn ds_read(
+        &mut self,
+        opcode: Opcode,
+        vdst: u8,
+        addr: u8,
+        offset: u8,
+    ) -> Result<&mut Self, AsmError> {
         let inst = Instruction::new(
             opcode,
             Fields::Ds {
@@ -413,7 +446,11 @@ impl KernelBuilder {
     /// # Errors
     ///
     /// Propagates operand validation failures.
-    pub fn waitcnt(&mut self, vmcnt: Option<u8>, lgkmcnt: Option<u8>) -> Result<&mut Self, AsmError> {
+    pub fn waitcnt(
+        &mut self,
+        vmcnt: Option<u8>,
+        lgkmcnt: Option<u8>,
+    ) -> Result<&mut Self, AsmError> {
         self.sopp(Opcode::SWaitcnt, waitcnt_imm(vmcnt, lgkmcnt))
     }
 

@@ -70,7 +70,13 @@ pub fn disassemble(kernel: &Kernel) -> Result<String, AsmError> {
         if let Some(label) = targets.get(pos) {
             writeln!(out, "{label}:").unwrap();
         }
-        writeln!(out, "  0x{:06X} {}", pos * 4, format_inst(*pos, inst, &targets)).unwrap();
+        writeln!(
+            out,
+            "  0x{:06X} {}",
+            pos * 4,
+            format_inst(*pos, inst, &targets)
+        )
+        .unwrap();
     }
     Ok(out)
 }
@@ -140,7 +146,11 @@ pub(crate) fn format_inst(
             }
             _ => format!("{mn} {simm16}"),
         },
-        Fields::Smrd { sdst, sbase, offset } => {
+        Fields::Smrd {
+            sdst,
+            sbase,
+            offset,
+        } => {
             let off = match offset {
                 SmrdOffset::Imm(i) => format!("{i:#x}"),
                 SmrdOffset::Sgpr(s) => format!("s{s}"),
@@ -154,16 +164,10 @@ pub(crate) fn format_inst(
         }
         Fields::Vop2 { vdst, src0, vsrc1 } => {
             if inst.opcode == Opcode::VCndmaskB32 {
-                format!(
-                    "{mn} v{vdst}, {}, v{vsrc1}, vcc",
-                    operand_src(src0, 1)
-                )
+                format!("{mn} v{vdst}, {}, v{vsrc1}, vcc", operand_src(src0, 1))
             } else if inst.opcode.reads_vcc_implicitly() {
                 // v_addc / v_subb: carry-out and carry-in both VCC.
-                format!(
-                    "{mn} v{vdst}, vcc, {}, v{vsrc1}, vcc",
-                    operand_src(src0, 1)
-                )
+                format!("{mn} v{vdst}, vcc, {}, v{vsrc1}, vcc", operand_src(src0, 1))
             } else if inst.opcode.writes_vcc_implicitly() {
                 format!("{mn} v{vdst}, vcc, {}, v{vsrc1}", operand_src(src0, 1))
             } else {
@@ -191,7 +195,11 @@ pub(crate) fn format_inst(
             clamp,
             omod,
         } => {
-            let mut s = format!("{mn} v{vdst}, {}, {}", operand_src(src0, 1), operand_src(src1, 1));
+            let mut s = format!(
+                "{mn} v{vdst}, {}, {}",
+                operand_src(src0, 1),
+                operand_src(src1, 1)
+            );
             if let Some(s2) = src2 {
                 write!(s, ", {}", operand_src(s2, 1)).unwrap();
             }

@@ -53,7 +53,10 @@ impl fmt::Display for AsmError {
             AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
             AsmError::DuplicateLabel { name } => write!(f, "label `{name}` bound twice"),
             AsmError::BranchOutOfRange { name, offset } => {
-                write!(f, "branch to `{name}` needs offset {offset} words (max ±32767)")
+                write!(
+                    f,
+                    "branch to `{name}` needs offset {offset} words (max ±32767)"
+                )
             }
             AsmError::Syntax { line, message } => write!(f, "line {line}: {message}"),
             AsmError::MissingEndpgm => write!(f, "kernel has no s_endpgm"),

@@ -65,7 +65,10 @@ pub fn assemble(text: &str) -> Result<Kernel, AsmError> {
                     // Keep any state accumulated so far (directives must come
                     // first; enforce that).
                     if !nb.is_empty() {
-                        return Err(AsmError::syntax(lineno, ".kernel must precede instructions"));
+                        return Err(AsmError::syntax(
+                            lineno,
+                            ".kernel must precede instructions",
+                        ));
                     }
                 }
                 "sgprs" => {
@@ -80,7 +83,12 @@ pub fn assemble(text: &str) -> Result<Kernel, AsmError> {
                 "wgsize" => {
                     builder.workgroup_size(parse_int(val, lineno)? as u32);
                 }
-                other => return Err(AsmError::syntax(lineno, format!("unknown directive .{other}"))),
+                other => {
+                    return Err(AsmError::syntax(
+                        lineno,
+                        format!("unknown directive .{other}"),
+                    ))
+                }
             }
             continue;
         }
@@ -174,10 +182,16 @@ fn parse_operand(tok: &str, lineno: usize) -> Result<Operand, AsmError> {
             .map_err(|_| AsmError::syntax(lineno, format!("bad float `{t}`")))?;
         return Ok(KernelBuilder::const_f32(f));
     }
-    if lower.starts_with("0x") || lower.starts_with('-') || lower.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+    if lower.starts_with("0x")
+        || lower.starts_with('-')
+        || lower.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
         return Ok(KernelBuilder::const_u32(parse_int(&lower, lineno)? as u32));
     }
-    Err(AsmError::syntax(lineno, format!("unrecognised operand `{t}`")))
+    Err(AsmError::syntax(
+        lineno,
+        format!("unrecognised operand `{t}`"),
+    ))
 }
 
 fn expect_vgpr(op: Operand, lineno: usize) -> Result<u8, AsmError> {
@@ -226,7 +240,12 @@ fn parse_mods(tokens: &[&str], lineno: usize) -> Result<Mods, AsmError> {
                 "abs" => m.abs = Some(v),
                 "neg" => m.neg = Some(v),
                 "omod" => m.omod = Some(v),
-                other => return Err(AsmError::syntax(lineno, format!("unknown modifier `{other}`"))),
+                other => {
+                    return Err(AsmError::syntax(
+                        lineno,
+                        format!("unknown modifier `{other}`"),
+                    ))
+                }
             }
         } else {
             match t {
@@ -324,7 +343,8 @@ fn parse_instruction(
                 let all: Vec<&str> = rest.split_whitespace().collect();
                 for tok in all {
                     let t = tok.to_ascii_lowercase();
-                    if let Some(inner) = t.strip_prefix("vmcnt(").and_then(|s| s.strip_suffix(')')) {
+                    if let Some(inner) = t.strip_prefix("vmcnt(").and_then(|s| s.strip_suffix(')'))
+                    {
                         vm = Some(parse_int(inner, lineno)? as u8);
                     } else if let Some(inner) =
                         t.strip_prefix("lgkmcnt(").and_then(|s| s.strip_suffix(')'))
@@ -399,7 +419,14 @@ fn parse_instruction(
                 if cout == Operand::VccLo && cin == Operand::VccLo {
                     builder.vop2(opcode, vdst, op_at(2)?, vsrc1)?;
                 } else {
-                    builder.vop3b(opcode, vdst, cout, op_at(2)?, Operand::Vgpr(vsrc1), Some(cin))?;
+                    builder.vop3b(
+                        opcode,
+                        vdst,
+                        cout,
+                        op_at(2)?,
+                        Operand::Vgpr(vsrc1),
+                        Some(cin),
+                    )?;
                 }
             } else if opcode.writes_vcc_implicitly() {
                 // v_add_i32 vdst, <carry-out>, src0, vsrc1

@@ -40,13 +40,7 @@ fn no_lit(op: Operand) -> Operand {
 }
 
 fn opcode_of(pred: fn(&Opcode) -> bool) -> impl Strategy<Value = Opcode> {
-    prop::sample::select(
-        Opcode::ALL
-            .iter()
-            .copied()
-            .filter(pred)
-            .collect::<Vec<_>>(),
-    )
+    prop::sample::select(Opcode::ALL.iter().copied().filter(pred).collect::<Vec<_>>())
 }
 
 fn arb_inst() -> impl Strategy<Value = Instruction> {
@@ -62,17 +56,37 @@ fn arb_inst() -> impl Strategy<Value = Instruction> {
                 if a.is_literal() && b.is_literal() {
                     return None;
                 }
-                Instruction::new(op, Fields::Sop2 { sdst: d, ssrc0: a, ssrc1: b }).ok()
+                Instruction::new(
+                    op,
+                    Fields::Sop2 {
+                        sdst: d,
+                        ssrc0: a,
+                        ssrc1: b,
+                    },
+                )
+                .ok()
             }),
-        (opcode_of(|o| o.format() == F::Sopk), scalar_dst(), any::<i16>())
+        (
+            opcode_of(|o| o.format() == F::Sopk),
+            scalar_dst(),
+            any::<i16>()
+        )
             .prop_filter_map("v", |(op, d, i)| {
                 Instruction::new(op, Fields::Sopk { sdst: d, simm16: i }).ok()
             }),
-        (opcode_of(|o| o.format() == F::Sop1), scalar_dst(), scalar_src())
+        (
+            opcode_of(|o| o.format() == F::Sop1),
+            scalar_dst(),
+            scalar_src()
+        )
             .prop_filter_map("v", |(op, d, a)| {
                 Instruction::new(op, Fields::Sop1 { sdst: d, ssrc0: a }).ok()
             }),
-        (opcode_of(|o| o.format() == F::Sopc), scalar_src(), scalar_src())
+        (
+            opcode_of(|o| o.format() == F::Sopc),
+            scalar_src(),
+            scalar_src()
+        )
             .prop_filter_map("v", |(op, a, b)| {
                 if a.is_literal() && b.is_literal() {
                     return None;
@@ -89,7 +103,15 @@ fn arb_inst() -> impl Strategy<Value = Instruction> {
             ]
         )
             .prop_filter_map("v", |(op, d, b, off)| {
-                Instruction::new(op, Fields::Smrd { sdst: d, sbase: b, offset: off }).ok()
+                Instruction::new(
+                    op,
+                    Fields::Smrd {
+                        sdst: d,
+                        sbase: b,
+                        offset: off,
+                    },
+                )
+                .ok()
             }),
         (
             opcode_of(|o| o.format() == F::Vop2),
@@ -98,13 +120,29 @@ fn arb_inst() -> impl Strategy<Value = Instruction> {
             any::<u8>()
         )
             .prop_filter_map("v", |(op, d, a, b)| {
-                Instruction::new(op, Fields::Vop2 { vdst: d, src0: a, vsrc1: b }).ok()
+                Instruction::new(
+                    op,
+                    Fields::Vop2 {
+                        vdst: d,
+                        src0: a,
+                        vsrc1: b,
+                    },
+                )
+                .ok()
             }),
-        (opcode_of(|o| o.format() == F::Vop1), any::<u8>(), vector_src())
+        (
+            opcode_of(|o| o.format() == F::Vop1),
+            any::<u8>(),
+            vector_src()
+        )
             .prop_filter_map("v", |(op, d, a)| {
                 Instruction::new(op, Fields::Vop1 { vdst: d, src0: a }).ok()
             }),
-        (opcode_of(|o| o.format() == F::Vopc), vector_src(), any::<u8>())
+        (
+            opcode_of(|o| o.format() == F::Vopc),
+            vector_src(),
+            any::<u8>()
+        )
             .prop_filter_map("v", |(op, a, b)| {
                 Instruction::new(op, Fields::Vopc { src0: a, vsrc1: b }).ok()
             }),
@@ -180,7 +218,10 @@ fn arb_inst() -> impl Strategy<Value = Instruction> {
             any::<u8>(),
             any::<u8>(),
             (0u8..26).prop_map(|n| n * 4),
-            prop_oneof![(0u8..100).prop_map(Operand::Sgpr), Just(Operand::IntConst(0))],
+            prop_oneof![
+                (0u8..100).prop_map(Operand::Sgpr),
+                Just(Operand::IntConst(0))
+            ],
             0u16..0x1000,
             any::<bool>(),
             any::<bool>()
@@ -248,7 +289,11 @@ fn normalise(inst: Instruction) -> Instruction {
                 vdst: if is_read { vdst } else { 0 },
                 addr,
                 data0: if is_read { 0 } else { data0 },
-                data1: if matches!(op, Opcode::DsWrite2B32) { data1 } else { 0 },
+                data1: if matches!(op, Opcode::DsWrite2B32) {
+                    data1
+                } else {
+                    0
+                },
                 offset0,
                 offset1,
                 gds,

@@ -16,7 +16,10 @@ fn parallelism(c: &mut Criterion) {
     let trim = trim_kernels(&bench.kernels().unwrap()).unwrap();
 
     let configs = [
-        ("baseline_1cu", configure(SystemKind::DcdPm, ParallelPlan::baseline(true), None)),
+        (
+            "baseline_1cu",
+            configure(SystemKind::DcdPm, ParallelPlan::baseline(true), None),
+        ),
         (
             "multicore_3cu",
             configure(

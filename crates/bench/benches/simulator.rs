@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use scratch_asm::{assemble, KernelBuilder};
-use scratch_cu::{ComputeUnit, CuConfig, FixedLatencyMemory, WaveInit};
+use scratch_cu::{ComputeUnit, CuConfig, FixedLatencyMemory, NullTracer, WaveInit};
 use scratch_isa::{Instruction, Opcode, Operand};
 
 fn isa_codec(c: &mut Criterion) {
@@ -52,8 +52,13 @@ fn isa_codec(c: &mut Criterion) {
 fn assembler(c: &mut Criterion) {
     let mut b = KernelBuilder::new("asm");
     for i in 0..64u8 {
-        b.vop2(Opcode::VAddI32, i % 8, Operand::IntConst((i % 32) as i8), i % 8)
-            .unwrap();
+        b.vop2(
+            Opcode::VAddI32,
+            i % 8,
+            Operand::IntConst((i % 32) as i8),
+            i % 8,
+        )
+        .unwrap();
     }
     b.endpgm().unwrap();
     let text = b.finish().unwrap().disassemble().unwrap();
@@ -85,6 +90,26 @@ fn cu_issue_throughput(c: &mut Criterion) {
     group.bench_function("issue_16_waves", |b| {
         b.iter(|| {
             let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+            let wg = cu.add_workgroup();
+            for _ in 0..16 {
+                cu.start_wave(WaveInit {
+                    workgroup: wg,
+                    exec: u64::MAX,
+                    sgprs: vec![],
+                    vgprs: vec![(0, (0..64).collect())],
+                })
+                .unwrap();
+            }
+            let mut mem = FixedLatencyMemory::new(0, 0);
+            cu.run_to_completion(&mut mem).unwrap()
+        });
+    });
+    // The tracing acceptance bar: a NullTracer sink must stay within noise
+    // (<2%) of the untraced run above.
+    group.bench_function("issue_16_waves_null_tracer", |b| {
+        b.iter(|| {
+            let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+            cu.set_tracer(0, Box::new(NullTracer));
             let wg = cu.add_workgroup();
             for _ in 0..16 {
                 cu.start_wave(WaveInit {

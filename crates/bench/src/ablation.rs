@@ -9,8 +9,7 @@ use scratch_core::{
     analyze_per_kernel, configure, trim_kernels, PerKernelAnalysis, ReconfigModel, Scratch,
 };
 use scratch_cu::CuConfig;
-use scratch_fpga::{allocate_multicore_bits, cu_resources, power, CuShape, Device,
-    SystemProfile};
+use scratch_fpga::{allocate_multicore_bits, cu_resources, power, CuShape, Device, SystemProfile};
 use scratch_kernels::{
     cnn::Cnn,
     matmul::MatrixMul,
@@ -197,7 +196,11 @@ pub fn per_kernel_trimming(scale: Scale) -> Result<Vec<PerKernelAnalysis>, Bench
     let apps: Vec<(String, Vec<scratch_asm::Kernel>, Box<dyn Benchmark>)> = vec![
         {
             let cnn = Cnn::new(scale.pick(8, 32), false);
-            ("CNN (INT32)".into(), cnn.kernels()?, Box::new(cnn) as Box<dyn Benchmark>)
+            (
+                "CNN (INT32)".into(),
+                cnn.kernels()?,
+                Box::new(cnn) as Box<dyn Benchmark>,
+            )
         },
         {
             let nin = Nin::new(scale.pick(8, 32), 32);
@@ -281,7 +284,11 @@ mod tests {
     fn per_kernel_trimming_reports_crossover() {
         let rows = per_kernel_trimming(Scale::Quick).expect("per-kernel");
         for a in &rows {
-            assert!(a.reconfigurations > 0, "{}: AI apps alternate kernels", a.name);
+            assert!(
+                a.reconfigurations > 0,
+                "{}: AI apps alternate kernels",
+                a.name
+            );
             assert!(a.union_kept >= *a.per_kernel_kept.iter().max().unwrap());
             assert!(a.per_kernel_seconds >= a.union_seconds);
         }

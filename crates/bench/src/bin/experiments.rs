@@ -3,15 +3,17 @@
 //! ```text
 //! experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|all]
 //!             [--quick] [--json <path>]
+//! experiments trace [--quick] [--json <path>]
 //! ```
 //!
 //! `--quick` runs CI-sized workloads; the default reproduces the paper's
 //! sizes. `--json` additionally dumps every table as JSON (used to
-//! regenerate `EXPERIMENTS.md`).
+//! regenerate `EXPERIMENTS.md`). `trace` (not part of `all`) prints the
+//! stall-attribution profile of Matrix Add under each system preset.
 
 use std::fmt::Write as _;
 
-use scratch_bench::{ablation, fig4, fig6, fig7, headline, sec41, Scale};
+use scratch_bench::{ablation, fig4, fig6, fig7, headline, sec41, stalls, Scale};
 use scratch_isa::Category;
 
 fn main() {
@@ -61,7 +63,10 @@ fn main() {
                 print_sec41(&rows);
                 json.insert("sec41".into(), serde_json::to_value(&rows).unwrap());
                 let agg = sec41::aggregates(&rows);
-                json.insert("sec41_aggregates".into(), serde_json::to_value(&agg).unwrap());
+                json.insert(
+                    "sec41_aggregates".into(),
+                    serde_json::to_value(&agg).unwrap(),
+                );
             }
             Err(e) => eprintln!("sec41 failed: {e}"),
         }
@@ -83,6 +88,17 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("fig7 failed: {e}"),
+        }
+    }
+
+    // Opt-in study (not part of `all`): cycle attribution per preset.
+    if what == "trace" {
+        match stalls::stall_profiles(scale) {
+            Ok(rows) => {
+                print_stalls(&rows);
+                json.insert("trace".into(), serde_json::to_value(&rows).unwrap());
+            }
+            Err(e) => eprintln!("trace failed: {e}"),
         }
     }
 
@@ -110,7 +126,10 @@ fn ablation_tables(scale: Scale) -> Result<serde_json::Value, scratch_kernels::B
     hr("Ablation — wavefront occupancy (latency hiding)");
     println!("{:>12} {:>12} {:>10}", "wavefronts", "cycles", "speedup");
     for p in &occ {
-        println!("{:>12} {:>12} {:>10.2}", p.max_wavefronts, p.cycles, p.speedup_vs_one);
+        println!(
+            "{:>12} {:>12} {:>10.2}",
+            p.max_wavefronts, p.cycles, p.speedup_vs_one
+        );
     }
     map.insert("occupancy".into(), serde_json::to_value(&occ).unwrap());
 
@@ -138,9 +157,15 @@ fn ablation_tables(scale: Scale) -> Result<serde_json::Value, scratch_kernels::B
 
     let bits = ablation::datapath_bits(scale)?;
     hr("Ablation — vector datapath bit-width (NiN)");
-    println!("{:>6} {:>12} {:>6} {:>10}", "bits", "CU FF", "CUs", "power W");
+    println!(
+        "{:>6} {:>12} {:>6} {:>10}",
+        "bits", "CU FF", "CUs", "power W"
+    );
     for p in &bits {
-        println!("{:>6} {:>12} {:>6} {:>10.2}", p.bits, p.cu_ff, p.cus, p.power_w);
+        println!(
+            "{:>6} {:>12} {:>6} {:>10.2}",
+            p.bits, p.cu_ff, p.cus, p.power_w
+        );
     }
     map.insert("datapath_bits".into(), serde_json::to_value(&bits).unwrap());
 
@@ -148,7 +173,13 @@ fn ablation_tables(scale: Scale) -> Result<serde_json::Value, scratch_kernels::B
     hr("Ablation — per-kernel trimming + partial reconfiguration (§4.3)");
     println!(
         "{:30} {:>10} {:>14} {:>12} {:>12} {:>12} {:>14}",
-        "application", "reconfigs", "reconfig (ms)", "union (mJ)", "per-k (mJ)", "winner", "breakeven(ms)"
+        "application",
+        "reconfigs",
+        "reconfig (ms)",
+        "union (mJ)",
+        "per-k (mJ)",
+        "winner",
+        "breakeven(ms)"
     );
     for a in &pk {
         println!(
@@ -158,7 +189,11 @@ fn ablation_tables(scale: Scale) -> Result<serde_json::Value, scratch_kernels::B
             a.reconfig_seconds * 1e3,
             a.union_energy_j * 1e3,
             a.per_kernel_energy_j * 1e3,
-            if a.per_kernel_wins() { "per-kernel" } else { "union" },
+            if a.per_kernel_wins() {
+                "per-kernel"
+            } else {
+                "union"
+            },
             a.breakeven_reconfig_s.unwrap_or(0.0) * 1e3,
         );
     }
@@ -169,6 +204,29 @@ fn ablation_tables(scale: Scale) -> Result<serde_json::Value, scratch_kernels::B
 
 fn hr(title: &str) {
     println!("\n=== {title} ===");
+}
+
+fn print_stalls(rows: &[stalls::StallRow]) {
+    use scratch_system::StallReason;
+    hr("Cycle attribution — where wavefront-cycles go per system preset");
+    let mut head = format!(
+        "{:22} {:10} {:>9} {:>7}",
+        "benchmark", "system", "cycles", "occ%"
+    );
+    for r in StallReason::ALL {
+        write!(head, "{:>15}", r.label()).unwrap();
+    }
+    println!("{head}");
+    for row in rows {
+        let mut line = format!(
+            "{:22} {:10} {:>9} {:>7.1}",
+            row.name, row.system, row.cycles, row.issue_occupancy_percent
+        );
+        for r in StallReason::ALL {
+            write!(line, "{:>15}", row.stall_cycles(r)).unwrap();
+        }
+        println!("{line}");
+    }
 }
 
 fn print_fig4(rows: &[fig4::MixRow]) {

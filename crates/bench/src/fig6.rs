@@ -167,7 +167,11 @@ mod tests {
                 .unwrap_or_else(|| panic!("{name} missing"))
                 .savings[0]
         };
-        assert!(ff("Transpose") > 55.0, "transpose FF {:.0}%", ff("Transpose"));
+        assert!(
+            ff("Transpose") > 55.0,
+            "transpose FF {:.0}%",
+            ff("Transpose")
+        );
         assert!(ff("Max Pooling") > 55.0);
         // FP benchmarks keep their SIMF sub-units, so they save less than
         // the integer ones on average, and the minimum savings belongs to

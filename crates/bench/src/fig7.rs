@@ -4,6 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use scratch_core::Scratch;
 use scratch_fpga::{allocate_multicore_bits, Device, ParallelPlan};
 use scratch_kernels::{
     bitonic::BitonicSort,
@@ -18,7 +19,6 @@ use scratch_kernels::{
     vec_ops::MatrixAdd,
     BenchError, Benchmark,
 };
-use scratch_core::Scratch;
 use scratch_system::SystemKind;
 
 use crate::runner::{full_plan, run_summary, trim_of, Scale};
@@ -81,33 +81,61 @@ fn sweep_entries(scale: Scale) -> Vec<SweepEntry> {
         Scale::Quick => vec![32],
         Scale::Paper => vec![128, 256, 512],
     } {
-        v.push(entry("Matrix Add", format!("block={n}"), Box::new(MatrixAdd::new(n, false))));
-        v.push(entry("Matrix Add", format!("block={n} fp"), Box::new(MatrixAdd::new(n, true))));
+        v.push(entry(
+            "Matrix Add",
+            format!("block={n}"),
+            Box::new(MatrixAdd::new(n, false)),
+        ));
+        v.push(entry(
+            "Matrix Add",
+            format!("block={n} fp"),
+            Box::new(MatrixAdd::new(n, true)),
+        ));
     }
     for n in match s {
         Scale::Quick => vec![64],
         Scale::Paper => vec![64, 128, 256],
     } {
-        v.push(entry("Matrix Multiply", format!("block={n}"), Box::new(MatrixMul::new(n, false))));
-        v.push(entry("Matrix Multiply", format!("block={n} fp"), Box::new(MatrixMul::new(n, true))));
+        v.push(entry(
+            "Matrix Multiply",
+            format!("block={n}"),
+            Box::new(MatrixMul::new(n, false)),
+        ));
+        v.push(entry(
+            "Matrix Multiply",
+            format!("block={n} fp"),
+            Box::new(MatrixMul::new(n, true)),
+        ));
     }
     for n in match s {
         Scale::Quick => vec![64],
         Scale::Paper => vec![128, 256, 512],
     } {
-        v.push(entry("Matrix Transpose", format!("block={n}"), Box::new(Transpose::new(n))));
+        v.push(entry(
+            "Matrix Transpose",
+            format!("block={n}"),
+            Box::new(Transpose::new(n)),
+        ));
     }
     for n in match s {
         Scale::Quick => vec![128],
         Scale::Paper => vec![64, 512, 2048],
     } {
-        v.push(entry("Bitonic Sort", format!("chunk={n}"), Box::new(BitonicSort::new(n))));
+        v.push(entry(
+            "Bitonic Sort",
+            format!("chunk={n}"),
+            Box::new(BitonicSort::new(n)),
+        ));
     }
     for n in match s {
         Scale::Quick => vec![8],
         Scale::Paper => vec![16, 64, 128],
     } {
-        v.push(entry("Gaussian Elimination", format!("size={n}"), Box::new(Gaussian::new(n))));
+        v.push(entry(
+            "Gaussian Elimination",
+            format!("size={n}"),
+            Box::new(Gaussian::new(n)),
+        ));
     }
     for k in [5u32, 10] {
         v.push(entry(
@@ -120,7 +148,11 @@ fn sweep_entries(scale: Scale) -> Vec<SweepEntry> {
         Scale::Quick => vec![16],
         Scale::Paper => vec![32, 128, 512],
     } {
-        v.push(entry("2D Conv (K=5)", format!("block={b}"), Box::new(Conv2d::new(b, 5, false))));
+        v.push(entry(
+            "2D Conv (K=5)",
+            format!("block={b}"),
+            Box::new(Conv2d::new(b, 5, false)),
+        ));
     }
     for k in match s {
         Scale::Quick => vec![3],
@@ -158,7 +190,11 @@ fn sweep_entries(scale: Scale) -> Vec<SweepEntry> {
         Scale::Quick => vec![16],
         Scale::Paper => vec![32, 64, 128],
     } {
-        v.push(entry("CNN", format!("image={size}"), Box::new(Cnn::new(size, false))));
+        v.push(entry(
+            "CNN",
+            format!("image={size}"),
+            Box::new(Cnn::new(size, false)),
+        ));
     }
     v.push(entry(
         "CNN",
@@ -281,7 +317,11 @@ mod tests {
                 p.param,
                 p.multicore.speedup_vs_original
             );
-            if p.multicore.speedup_vs_baseline.max(p.multithread.speedup_vs_baseline) > 1.3 {
+            if p.multicore
+                .speedup_vs_baseline
+                .max(p.multithread.speedup_vs_baseline)
+                > 1.3
+            {
                 winners += 1;
             }
         }

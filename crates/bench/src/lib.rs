@@ -12,6 +12,7 @@
 //! | [`fig7`] | Fig. 7 — multi-core / multi-thread parallelism sweeps |
 //! | [`headline`] | Abstract — aggregate speedup / IPJ gains |
 //! | [`ablation`] | Design-choice studies: occupancy, VALU scaling, prefetch capacity, bit-width, per-kernel reconfiguration (§4.3) |
+//! | [`stalls`] | Cycle-attribution profiles from the `scratch-trace` subsystem |
 //!
 //! The `experiments` binary prints each as an aligned text table and can
 //! emit JSON for regeneration of `EXPERIMENTS.md`.
@@ -26,5 +27,6 @@ pub mod fig7;
 pub mod headline;
 pub mod runner;
 pub mod sec41;
+pub mod stalls;
 
 pub use runner::Scale;

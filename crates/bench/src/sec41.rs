@@ -85,9 +85,8 @@ pub struct Sec41Aggregates {
 pub fn aggregates(rows: &[SpeedupRow]) -> Sec41Aggregates {
     let min = |f: fn(&SpeedupRow) -> f64| rows.iter().map(f).fold(f64::INFINITY, f64::min);
     let max = |f: fn(&SpeedupRow) -> f64| rows.iter().map(f).fold(0.0, f64::max);
-    let avg = |f: fn(&SpeedupRow) -> f64| {
-        rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
-    };
+    let avg =
+        |f: fn(&SpeedupRow) -> f64| rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64;
     Sec41Aggregates {
         min_dcd_speedup: min(|r| r.dcd_speedup),
         min_pm_speedup: min(|r| r.pm_speedup),
@@ -117,7 +116,12 @@ mod tests {
                 r.pm_speedup,
                 r.dcd_speedup
             );
-            assert!(r.trim_ipj_gain > 1.0, "{}: trim {:.3}", r.name, r.trim_ipj_gain);
+            assert!(
+                r.trim_ipj_gain > 1.0,
+                "{}: trim {:.3}",
+                r.name,
+                r.trim_ipj_gain
+            );
         }
 
         // Paper bands (shape, not absolutes): min DCD ≈ 1.17x, min PM ≈

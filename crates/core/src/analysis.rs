@@ -172,16 +172,10 @@ mod tests {
         b.sop1(Opcode::SMovB32, Operand::Sgpr(0), Operand::IntConst(1))
             .unwrap();
         b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), 0).unwrap();
-        b.vop2(Opcode::VMulF32, 2, Operand::FloatConst(2.0), 1).unwrap();
-        b.mubuf(
-            Opcode::BufferStoreDword,
-            2,
-            1,
-            4,
-            Operand::IntConst(0),
-            0,
-        )
-        .unwrap();
+        b.vop2(Opcode::VMulF32, 2, Operand::FloatConst(2.0), 1)
+            .unwrap();
+        b.mubuf(Opcode::BufferStoreDword, 2, 1, 4, Operand::IntConst(0), 0)
+            .unwrap();
         b.waitcnt(Some(0), None).unwrap();
         b.endpgm().unwrap();
         b.finish().unwrap()

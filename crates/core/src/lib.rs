@@ -25,6 +25,6 @@ pub mod reconfig;
 pub mod trim;
 
 pub use analysis::{DynamicMix, StaticAnalysis};
-pub use reconfig::{analyze_per_kernel, PerKernelAnalysis, ReconfigModel};
 pub use pipeline::{configure, profile_of, RunSummary, Scratch, SynthesisReport};
+pub use reconfig::{analyze_per_kernel, PerKernelAnalysis, ReconfigModel};
 pub use trim::{trim_kernel, trim_kernels, TrimReport};

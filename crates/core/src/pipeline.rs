@@ -147,10 +147,7 @@ impl Scratch {
         };
         let profile = profile_of(kind);
         let resources = system_resources(profile, &shape, plan.cus);
-        let full = cu_resources(&CuShape::full(
-            plan.int_valus.max(1),
-            plan.fp_valus.max(1),
-        ));
+        let full = cu_resources(&CuShape::full(plan.int_valus.max(1), plan.fp_valus.max(1)));
         let trimmed_cu = cu_resources(&shape);
         SynthesisReport {
             resources,
@@ -226,10 +223,19 @@ mod tests {
             Operand::IntConst(64),
         )
         .unwrap();
-        b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), abi::TID_X).unwrap();
-        b.vop2(Opcode::VLshlrevB32, 1, Operand::IntConst(2), 1).unwrap();
-        b.mubuf(Opcode::BufferLoadDword, 2, 1, abi::UAV_DESC, Operand::Sgpr(20), 0)
+        b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), abi::TID_X)
             .unwrap();
+        b.vop2(Opcode::VLshlrevB32, 1, Operand::IntConst(2), 1)
+            .unwrap();
+        b.mubuf(
+            Opcode::BufferLoadDword,
+            2,
+            1,
+            abi::UAV_DESC,
+            Operand::Sgpr(20),
+            0,
+        )
+        .unwrap();
         b.waitcnt(Some(0), None).unwrap();
         b.vop3a(
             Opcode::VMulLoI32,
@@ -239,8 +245,15 @@ mod tests {
             None,
         )
         .unwrap();
-        b.mubuf(Opcode::BufferStoreDword, 2, 1, abi::UAV_DESC, Operand::Sgpr(21), 0)
-            .unwrap();
+        b.mubuf(
+            Opcode::BufferStoreDword,
+            2,
+            1,
+            abi::UAV_DESC,
+            Operand::Sgpr(21),
+            0,
+        )
+        .unwrap();
         b.waitcnt(Some(0), None).unwrap();
         b.endpgm().unwrap();
         b.finish().unwrap()
@@ -344,7 +357,8 @@ mod tests {
         // An FP kernel on the integer-trimmed architecture must fail hard.
         let mut b = KernelBuilder::new("fp");
         b.vgprs(4).sgprs(8);
-        b.vop2(Opcode::VAddF32, 1, Operand::FloatConst(1.0), 0).unwrap();
+        b.vop2(Opcode::VAddF32, 1, Operand::FloatConst(1.0), 0)
+            .unwrap();
         b.endpgm().unwrap();
         let fp_kernel = b.finish().unwrap();
 

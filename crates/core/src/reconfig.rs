@@ -123,10 +123,7 @@ pub fn analyze_per_kernel(
     model: &ReconfigModel,
 ) -> Result<PerKernelAnalysis, AsmError> {
     let union = trim_kernels(kernels)?;
-    let per_kernel: Vec<TrimReport> = kernels
-        .iter()
-        .map(trim_kernel)
-        .collect::<Result<_, _>>()?;
+    let per_kernel: Vec<TrimReport> = kernels.iter().map(trim_kernel).collect::<Result<_, _>>()?;
 
     let shape = |t: &TrimReport| CuShape {
         kept: t.kept_opcodes(),
@@ -222,6 +219,8 @@ mod tests {
             per_kernel_dispatches: per_kernel_cycles.iter().map(|_| 1).collect(),
             per_kernel_cycles,
             kernel_switches: switches,
+            trace: None,
+            trace_events: None,
         }
     }
 
@@ -231,7 +230,8 @@ mod tests {
         // Kernel A: floating point; kernel B: integer only.
         let mut a = KernelBuilder::new("fp_phase");
         a.vgprs(4);
-        a.vop2(Opcode::VMulF32, 1, Operand::FloatConst(2.0), 0).unwrap();
+        a.vop2(Opcode::VMulF32, 1, Operand::FloatConst(2.0), 0)
+            .unwrap();
         a.endpgm().unwrap();
         let mut b = KernelBuilder::new("int_phase");
         b.vgprs(4);
@@ -291,5 +291,4 @@ mod tests {
         assert!(!a.per_kernel_wins(), "{a:?}");
         assert!(a.per_kernel_seconds > a.union_seconds);
     }
-
 }

@@ -71,7 +71,10 @@ impl TrimReport {
 ///
 /// Fails if any binary does not decode.
 pub fn trim_kernels(kernels: &[Kernel]) -> Result<TrimReport, AsmError> {
-    let mut reports = kernels.iter().map(trim_kernel).collect::<Result<Vec<_>, _>>()?;
+    let mut reports = kernels
+        .iter()
+        .map(trim_kernel)
+        .collect::<Result<Vec<_>, _>>()?;
     let mut merged = reports.pop().expect("at least one kernel");
     for r in reports {
         merged.kept.extend(r.kept.iter());

@@ -66,20 +66,27 @@ impl fmt::Display for CuError {
                 "instruction {} was trimmed from this architecture",
                 opcode.mnemonic()
             ),
-            CuError::MissingUnit { unit, opcode } => write!(
-                f,
-                "no {unit} unit instantiated for {}",
-                opcode.mnemonic()
-            ),
-            CuError::PcOutOfRange { pc } => write!(f, "program counter left the binary (word {pc})"),
+            CuError::MissingUnit { unit, opcode } => {
+                write!(f, "no {unit} unit instantiated for {}", opcode.mnemonic())
+            }
+            CuError::PcOutOfRange { pc } => {
+                write!(f, "program counter left the binary (word {pc})")
+            }
             CuError::RegisterOutOfRange { what, index } => {
                 write!(f, "{what}{index} exceeds the kernel register budget")
             }
             CuError::LdsOutOfRange { addr, size } => {
-                write!(f, "LDS access at byte {addr} outside allocation of {size} bytes")
+                write!(
+                    f,
+                    "LDS access at byte {addr} outside allocation of {size} bytes"
+                )
             }
-            CuError::TooManyWavefronts => write!(f, "fetch controller supports at most 40 wavefronts"),
-            CuError::Deadlock { cycle } => write!(f, "no wavefront can make progress (cycle {cycle})"),
+            CuError::TooManyWavefronts => {
+                write!(f, "fetch controller supports at most 40 wavefronts")
+            }
+            CuError::Deadlock { cycle } => {
+                write!(f, "no wavefront can make progress (cycle {cycle})")
+            }
             CuError::CycleLimit { limit } => write!(f, "simulation exceeded {limit} cycles"),
         }
     }

@@ -89,7 +89,11 @@ pub(crate) fn execute(
             Ok(Outcome::default())
         }
         Fields::Sopp { simm16 } => exec_sopp(inst.opcode, wave, simm16, next_pc),
-        Fields::Smrd { sdst, sbase, offset } => exec_smrd(inst.opcode, wave, sdst, sbase, offset, mem),
+        Fields::Smrd {
+            sdst,
+            sbase,
+            offset,
+        } => exec_smrd(inst.opcode, wave, sdst, sbase, offset, mem),
         Fields::Vop2 { .. }
         | Fields::Vop1 { .. }
         | Fields::Vopc { .. }
@@ -268,7 +272,12 @@ fn exec_sopk(op: Opcode, wave: &mut Wavefront, sdst: Operand, simm16: i16) -> Re
     Ok(())
 }
 
-fn exec_sop1(op: Opcode, wave: &mut Wavefront, sdst: Operand, ssrc0: Operand) -> Result<(), CuError> {
+fn exec_sop1(
+    op: Opcode,
+    wave: &mut Wavefront,
+    sdst: Operand,
+    ssrc0: Operand,
+) -> Result<(), CuError> {
     use Opcode::*;
     let w = op.src_width();
     let s0 = wave.read_scalar(ssrc0, w)?;
@@ -357,7 +366,12 @@ fn exec_sop1(op: Opcode, wave: &mut Wavefront, sdst: Operand, ssrc0: Operand) ->
     Ok(())
 }
 
-fn exec_sopc(op: Opcode, wave: &mut Wavefront, ssrc0: Operand, ssrc1: Operand) -> Result<(), CuError> {
+fn exec_sopc(
+    op: Opcode,
+    wave: &mut Wavefront,
+    ssrc0: Operand,
+    ssrc1: Operand,
+) -> Result<(), CuError> {
     use Opcode::*;
     let a = wave.read_scalar(ssrc0, 1)? as u32;
     let b = wave.read_scalar(ssrc1, 1)? as u32;
@@ -835,7 +849,11 @@ fn lanewise(op: Opcode, s: [u32; 3], acc: u32) -> u32 {
         }
         // --- VOP3 native ---
         VMadF32 => tb(fa * fbv + fc),
-        VMadI32I24 => (sext24(a).wrapping_mul(sext24(b)).wrapping_add(i64::from(c as i32))) as u32,
+        VMadI32I24 => {
+            (sext24(a)
+                .wrapping_mul(sext24(b))
+                .wrapping_add(i64::from(c as i32))) as u32
+        }
         VMadU32U24 => {
             ((u64::from(a & 0xff_ffff) * u64::from(b & 0xff_ffff)).wrapping_add(u64::from(c)))
                 as u32
@@ -989,7 +1007,11 @@ fn write_u8(mem: &mut dyn Memory, addr: u64, value: u8) {
     mem.write_u32(aligned, new);
 }
 
-fn exec_buffer(inst: &Instruction, wave: &mut Wavefront, mem: &mut dyn Memory) -> Result<Outcome, CuError> {
+fn exec_buffer(
+    inst: &Instruction,
+    wave: &mut Wavefront,
+    mem: &mut dyn Memory,
+) -> Result<Outcome, CuError> {
     use Opcode::*;
     let op = inst.opcode;
     let (vdata, vaddr, srsrc, soffset, imm_offset, offen) = match inst.fields {
@@ -1029,7 +1051,11 @@ fn exec_buffer(inst: &Instruction, wave: &mut Wavefront, mem: &mut dyn Memory) -
             continue;
         }
         lanes += 1;
-        let lane_off = if offen { wave.vgpr(vaddr.into(), lane)? } else { 0 };
+        let lane_off = if offen {
+            wave.vgpr(vaddr.into(), lane)?
+        } else {
+            0
+        };
         let offset = u64::from(soff) + u64::from(imm_offset) + u64::from(lane_off);
         let bytes = match op {
             BufferLoadUbyte | BufferLoadSbyte | BufferStoreByte => 1,
@@ -1042,7 +1068,11 @@ fn exec_buffer(inst: &Instruction, wave: &mut Wavefront, mem: &mut dyn Memory) -
         }
         match op {
             BufferLoadUbyte => {
-                let v = if in_bounds { u32::from(read_u8(mem, addr)) } else { 0 };
+                let v = if in_bounds {
+                    u32::from(read_u8(mem, addr))
+                } else {
+                    0
+                };
                 wave.set_vgpr(vdata.into(), lane, v)?;
             }
             BufferLoadSbyte => {
@@ -1053,8 +1083,13 @@ fn exec_buffer(inst: &Instruction, wave: &mut Wavefront, mem: &mut dyn Memory) -
                 };
                 wave.set_vgpr(vdata.into(), lane, v)?;
             }
-            BufferLoadDword | BufferLoadDwordx2 | BufferLoadDwordx4 | TbufferLoadFormatX
-            | TbufferLoadFormatXy | TbufferLoadFormatXyz | TbufferLoadFormatXyzw => {
+            BufferLoadDword
+            | BufferLoadDwordx2
+            | BufferLoadDwordx4
+            | TbufferLoadFormatX
+            | TbufferLoadFormatXy
+            | TbufferLoadFormatXyz
+            | TbufferLoadFormatXyzw => {
                 for i in 0..width {
                     let v = if in_bounds {
                         mem.read_u32(addr + u64::from(i) * 4)
@@ -1070,8 +1105,13 @@ fn exec_buffer(inst: &Instruction, wave: &mut Wavefront, mem: &mut dyn Memory) -
                     write_u8(mem, addr, v as u8);
                 }
             }
-            BufferStoreDword | BufferStoreDwordx2 | BufferStoreDwordx4 | TbufferStoreFormatX
-            | TbufferStoreFormatXy | TbufferStoreFormatXyz | TbufferStoreFormatXyzw => {
+            BufferStoreDword
+            | BufferStoreDwordx2
+            | BufferStoreDwordx4
+            | TbufferStoreFormatX
+            | TbufferStoreFormatXy
+            | TbufferStoreFormatXyz
+            | TbufferStoreFormatXyzw => {
                 if in_bounds {
                     for i in 0..width {
                         let v = wave.vgpr(u32::from(vdata) + i, lane)?;
@@ -1137,7 +1177,12 @@ mod tests {
         assert_eq!(w.sgpr(0).unwrap(), 0);
         assert!(w.scc);
         run(
-            &sop2(Opcode::SAddU32, 0, Operand::IntConst(2), Operand::IntConst(3)),
+            &sop2(
+                Opcode::SAddU32,
+                0,
+                Operand::IntConst(2),
+                Operand::IntConst(3),
+            ),
             &mut w,
             &mut m,
         );
@@ -1240,13 +1285,7 @@ mod tests {
         let mut w = wave();
         let mut m = FixedLatencyMemory::new(0, 0);
         w.scc = true;
-        let br = Instruction::new(
-            Opcode::SCbranchScc1,
-            Fields::Sopp {
-                simm16: 5u16,
-            },
-        )
-        .unwrap();
+        let br = Instruction::new(Opcode::SCbranchScc1, Fields::Sopp { simm16: 5u16 }).unwrap();
         let out = run(&br, &mut w, &mut m);
         assert_eq!(out.new_pc, Some(6)); // next_pc (1) + 5
         w.scc = false;

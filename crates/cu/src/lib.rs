@@ -50,3 +50,7 @@ pub use pipeline::{ComputeUnit, WaveInit};
 pub use stats::{CuStats, OpcodeHistogram};
 pub use trimset::TrimSet;
 pub use wavefront::Wavefront;
+
+// Convenience re-exports so CU users reach the tracing subsystem without a
+// separate dependency on `scratch-trace`.
+pub use scratch_trace::{EventBuffer, NullTracer, StallReason, TraceEvent, TraceSummary, Tracer};

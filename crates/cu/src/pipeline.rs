@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use scratch_asm::{Kernel, KernelMeta};
 use scratch_isa::{Fields, FuncUnit, Instruction, Opcode, Operand};
+use scratch_trace::{Attribution, StallReason, TraceEvent, TraceSummary, Tracer};
 
 use crate::exec::{execute, MemEvent};
 use crate::memory::Memory;
@@ -72,8 +73,12 @@ fn source_keys(inst: &Instruction) -> Vec<RegKey> {
         keys.push(RegKey::Vcc);
     }
     match op {
-        Opcode::SCselectB32 | Opcode::SCmovB32 | Opcode::SAddcU32 | Opcode::SSubbU32
-        | Opcode::SCbranchScc0 | Opcode::SCbranchScc1 => keys.push(RegKey::Scc),
+        Opcode::SCselectB32
+        | Opcode::SCmovB32
+        | Opcode::SAddcU32
+        | Opcode::SSubbU32
+        | Opcode::SCbranchScc0
+        | Opcode::SCbranchScc1 => keys.push(RegKey::Scc),
         Opcode::SCbranchVccz | Opcode::SCbranchVccnz => keys.push(RegKey::Vcc),
         Opcode::SCbranchExecz | Opcode::SCbranchExecnz => keys.push(RegKey::Exec),
         _ => {}
@@ -98,7 +103,10 @@ fn source_keys(inst: &Instruction) -> Vec<RegKey> {
             }
         }
         Fields::Sop1 { sdst, .. }
-            if matches!(op, Opcode::SBitset0B32 | Opcode::SBitset1B32 | Opcode::SCmovB32) =>
+            if matches!(
+                op,
+                Opcode::SBitset0B32 | Opcode::SBitset1B32 | Opcode::SCmovB32
+            ) =>
         {
             if let Some(k) = scalar_key(sdst) {
                 keys.push(k);
@@ -201,6 +209,81 @@ struct FuPool {
     simf_busy: Vec<u64>,
 }
 
+/// Per-CU tracing state: the stall-attribution engine, an optional
+/// structured-event sink, and scratch space for the decision being
+/// attributed. Boxed behind an `Option` on [`ComputeUnit`] so the untraced
+/// path pays a single pointer test per scheduling decision.
+struct CuTrace {
+    /// CU index stamped into events and timelines.
+    id: u32,
+    attr: Attribution,
+    sink: Option<Box<dyn Tracer>>,
+    /// Waves that issued in the current scheduling decision.
+    issued_now: Vec<usize>,
+    /// Open (coalescing) stall interval per wave: `(reason, from, to)`.
+    /// Only maintained while a sink is attached.
+    open: Vec<Option<(StallReason, u64, u64)>>,
+}
+
+impl std::fmt::Debug for CuTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CuTrace")
+            .field("id", &self.id)
+            .field("attr", &self.attr)
+            .field("sink", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CuTrace {
+    fn new(id: u32, sink: Option<Box<dyn Tracer>>) -> CuTrace {
+        CuTrace {
+            id,
+            attr: Attribution::new(),
+            sink,
+            issued_now: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, ev: &TraceEvent) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(ev);
+        }
+    }
+
+    /// Close wave `wi`'s open stall interval and emit it as one event.
+    fn flush_stall(&mut self, wi: usize) {
+        if let Some((reason, from, to)) = self.open.get_mut(wi).and_then(Option::take) {
+            let ev = TraceEvent::Stall {
+                cu: self.id,
+                wave: wi as u32,
+                reason,
+                from,
+                to,
+            };
+            self.emit(&ev);
+        }
+    }
+
+    /// Extend wave `wi`'s open stall interval, or start a new one (closing
+    /// the previous interval when the reason changes or time is
+    /// discontiguous).
+    fn note_stall(&mut self, wi: usize, reason: StallReason, from: u64, to: u64) {
+        if self.sink.is_none() {
+            return;
+        }
+        if let Some((r, _, t)) = &mut self.open[wi] {
+            if *r == reason && *t == from {
+                *t = to;
+                return;
+            }
+        }
+        self.flush_stall(wi);
+        self.open[wi] = Some((reason, from, to));
+    }
+}
+
 /// The MIAOW2.0 compute unit: program, resident wavefronts, functional
 /// units and the cycle-level scheduler.
 #[derive(Debug)]
@@ -216,6 +299,8 @@ pub struct ComputeUnit {
     rr: usize,
     now: u64,
     stats: CuStats,
+    /// Tracing state; `None` keeps the scheduler on its untraced fast path.
+    trace: Option<Box<CuTrace>>,
 }
 
 impl ComputeUnit {
@@ -246,7 +331,46 @@ impl ComputeUnit {
             rr: 0,
             now: 0,
             stats: CuStats::default(),
+            trace: None,
         })
+    }
+
+    /// Enable stall attribution and summary collection, identifying this
+    /// CU as `cu` in timelines and events. No structured events are
+    /// recorded; use [`ComputeUnit::set_tracer`] for an event stream.
+    pub fn enable_tracing(&mut self, cu: u32) {
+        if self.trace.is_none() {
+            self.trace = Some(Box::new(CuTrace::new(cu, None)));
+        }
+    }
+
+    /// Enable tracing with a structured-event sink attached (replaces any
+    /// previous tracer and attribution state).
+    ///
+    /// A disabled sink ([`Tracer::is_enabled`] returning `false`, e.g.
+    /// [`scratch_trace::NullTracer`]) switches tracing off entirely, so a
+    /// caller can pass any sink and pay nothing when it discards events.
+    pub fn set_tracer(&mut self, cu: u32, sink: Box<dyn Tracer>) {
+        if sink.is_enabled() {
+            self.trace = Some(Box::new(CuTrace::new(cu, Some(sink))));
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// `true` when an attribution engine (and possibly a sink) is attached.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Fold the attribution collected so far into a [`TraceSummary`]
+    /// (`None` when tracing is disabled).
+    #[must_use]
+    pub fn trace_summary(&self) -> Option<TraceSummary> {
+        self.trace
+            .as_ref()
+            .map(|tr| tr.attr.summarize(tr.id, self.now, &self.stats.fu_busy))
     }
 
     /// Architecture configuration.
@@ -360,22 +484,86 @@ impl ComputeUnit {
     /// deadlock, or exceeding the configured cycle limit.
     pub fn run_to_completion(&mut self, mem: &mut dyn Memory) -> Result<u64, CuError> {
         let start = self.now;
+        if let Some(tr) = &mut self.trace {
+            tr.attr.begin_run(self.waves.len(), start);
+            tr.open.clear();
+            tr.open.resize(self.waves.len(), None);
+            for w in &self.waves {
+                let ev = TraceEvent::WaveStart {
+                    cu: tr.id,
+                    wave: w.id as u32,
+                    workgroup: w.workgroup as u32,
+                    now: start,
+                };
+                tr.emit(&ev);
+            }
+        }
         while self.waves.iter().any(|w| w.state != WaveState::Done) {
             if self.now - start > self.config.cycle_limit {
                 return Err(CuError::CycleLimit {
                     limit: self.config.cycle_limit,
                 });
             }
-            if self.try_issue(mem)? {
-                self.now += 1;
+            let t0 = self.now;
+            let t1 = if self.try_issue(mem)? {
+                t0 + 1
             } else {
-                self.now = self
-                    .next_event()
-                    .ok_or(CuError::Deadlock { cycle: self.now })?;
+                self.next_event().ok_or(CuError::Deadlock { cycle: t0 })?
+            };
+            if self.trace.is_some() {
+                self.attribute_interval(t0, t1);
             }
+            self.now = t1;
+        }
+        if let Some(tr) = &mut self.trace {
+            for wi in 0..self.waves.len() {
+                tr.flush_stall(wi);
+            }
+            tr.attr.end_run(self.now);
         }
         self.stats.cycles = self.now;
         Ok(self.now - start)
+    }
+
+    /// Charge the decision interval `[t0, t1)` to every live wavefront:
+    /// one issue cycle for waves that issued at `t0` (issuing decisions
+    /// always advance time by exactly one cycle), and `t1 − t0` stalled
+    /// cycles with a single [`StallReason`] for everyone else. Successive
+    /// intervals tile each wave's residency, which is what makes the
+    /// attribution exact (`issued + Σ stalls == retire − start`).
+    fn attribute_interval(&mut self, t0: u64, t1: u64) {
+        let Some(mut tr) = self.trace.take() else {
+            return;
+        };
+        for (wi, w) in self.waves.iter().enumerate() {
+            if tr.attr.is_retired(wi) {
+                continue;
+            }
+            if tr.issued_now.contains(&wi) {
+                tr.flush_stall(wi);
+                tr.attr.issue(wi);
+                if w.state == WaveState::Done {
+                    tr.attr.retire(wi, t0 + 1);
+                }
+            } else {
+                // Reason priority: a wave parked at the barrier waits on
+                // its workgroup; a wave whose `next_ready` lies ahead
+                // waits on whichever stage pushed it there (recorded in
+                // `wait_reason`); a wave that was ready yet skipped lost
+                // issue arbitration — its unit was busy or the issue
+                // class was already taken this cycle.
+                let reason = if w.state == WaveState::AtBarrier {
+                    StallReason::Barrier
+                } else if w.next_ready > t0 {
+                    w.wait_reason
+                } else {
+                    StallReason::StructuralFu
+                };
+                tr.attr.stall(wi, reason, t1 - t0);
+                tr.note_stall(wi, reason, t0, t1);
+            }
+        }
+        self.trace = Some(tr);
     }
 
     fn inst_at(&self, pc: usize) -> Result<&Instruction, CuError> {
@@ -395,6 +583,11 @@ impl ComputeUnit {
         let mut issued_any = false;
         let n = self.waves.len();
         let rr_start = self.rr;
+        if let Some(tr) = &mut self.trace {
+            tr.issued_now.clear();
+        }
+        // Structured events are only worth assembling with a sink attached.
+        let emit = self.trace.as_ref().is_some_and(|tr| tr.sink.is_some());
         for i in 0..n {
             if class_used.iter().all(|&u| u) {
                 break;
@@ -445,6 +638,17 @@ impl ComputeUnit {
                 let lgkm_target = u32::from((simm16 >> 8) & 0x1f);
                 let ready = self.waves[wi].waitcnt_ready_at(vm_target, lgkm_target);
                 if ready > self.now {
+                    if self.trace.is_some() {
+                        // Which counter gates the wait? Query each alone
+                        // (the other target relaxed to "any") and blame
+                        // the one that matches the combined ready time.
+                        let vm_ready = self.waves[wi].waitcnt_ready_at(vm_target, u32::MAX);
+                        self.waves[wi].wait_reason = if vm_ready >= ready {
+                            StallReason::WaitcntVm
+                        } else {
+                            StallReason::WaitcntLgkm
+                        };
+                    }
                     self.waves[wi].next_ready = ready;
                     continue;
                 }
@@ -459,6 +663,7 @@ impl ComputeUnit {
             }
             if dep_ready > self.now {
                 self.waves[wi].next_ready = dep_ready;
+                self.waves[wi].wait_reason = StallReason::ScoreboardRaw;
                 continue;
             }
 
@@ -477,6 +682,9 @@ impl ComputeUnit {
             class_used[class] = true;
             issued_any = true;
             self.rr = (wi + 1) % n;
+            if let Some(tr) = &mut self.trace {
+                tr.issued_now.push(wi);
+            }
             let beats = self.config.vector_beats();
             // SIMD datapaths are pipelined (one beat per cycle); the SIMF
             // maps to iterative FP cores on the FPGA, so a floating-point
@@ -501,13 +709,7 @@ impl ComputeUnit {
             let lds_ptr = self.waves[wi].workgroup;
             let wave = &mut self.waves[wi];
             let lanes = wave.active_lanes();
-            let outcome = execute(
-                &inst,
-                next_pc,
-                wave,
-                &mut self.workgroups[lds_ptr].lds,
-                mem,
-            )?;
+            let outcome = execute(&inst, next_pc, wave, &mut self.workgroups[lds_ptr].lds, mem)?;
             wave.retired += 1;
             self.stats.record_issue(op, lanes);
 
@@ -522,8 +724,10 @@ impl ComputeUnit {
             // Fetch/decode cost for the following instruction.
             let decode = inst.size_words() as u64;
             self.waves[wi].next_ready = self.now + decode.max(1);
+            self.waves[wi].wait_reason = StallReason::FetchStarve;
 
             // Memory events feed the waitcnt counters.
+            let mut mem_trace: Option<(&'static str, u64, u32, u64)> = None;
             match outcome.mem {
                 Some(MemEvent::Scalar { addr }) => {
                     let t = mem.access(
@@ -534,27 +738,106 @@ impl ComputeUnit {
                     );
                     self.waves[wi].lgkm_events.push(t);
                     self.stats.scalar_mem_ops += 1;
+                    mem_trace = Some(("ScalarLoad", addr, 1, t));
                 }
                 // A fully masked-off vector access issues no memory request
                 // at all (the LSU sees an empty lane set).
                 Some(MemEvent::Vector { lanes: 0, .. }) => {}
                 Some(MemEvent::Vector { kind, addr, lanes }) => {
-                    let t = mem.access(kind, addr, lanes, self.now + self.config.latencies.lsu_addr);
+                    let t =
+                        mem.access(kind, addr, lanes, self.now + self.config.latencies.lsu_addr);
                     self.waves[wi].vm_events.push(t);
                     self.stats.vector_mem_ops += 1;
+                    let label = match kind {
+                        crate::AccessKind::ScalarLoad => "ScalarLoad",
+                        crate::AccessKind::VectorLoad => "VectorLoad",
+                        crate::AccessKind::VectorStore => "VectorStore",
+                    };
+                    mem_trace = Some((label, addr, lanes, t));
                 }
                 Some(MemEvent::Lds) => {
-                    self.waves[wi].lgkm_events.push(self.now + 2);
+                    let t = self.now + 2;
+                    self.waves[wi].lgkm_events.push(t);
                     self.stats.lds_ops += 1;
+                    mem_trace = Some(("Lds", 0, lanes, t));
                 }
                 None => {}
             }
             self.waves[wi].retire_mem_events(self.now);
 
+            if emit {
+                if let Some(tr) = &mut self.trace {
+                    let cu = tr.id;
+                    let wave = wi as u32;
+                    let pc = pc as u32;
+                    let now = self.now;
+                    tr.emit(&TraceEvent::Fetch { cu, wave, pc, now });
+                    tr.emit(&TraceEvent::Decode {
+                        cu,
+                        wave,
+                        pc,
+                        now,
+                        cycles: decode.max(1),
+                    });
+                    tr.emit(&TraceEvent::Issue {
+                        cu,
+                        wave,
+                        pc,
+                        opcode: op,
+                        unit,
+                        now,
+                    });
+                    tr.emit(&TraceEvent::Execute {
+                        cu,
+                        wave,
+                        pc,
+                        opcode: op,
+                        unit,
+                        start: now,
+                        end: now + occupancy,
+                    });
+                    tr.emit(&TraceEvent::Writeback {
+                        cu,
+                        wave,
+                        pc,
+                        now: done_at,
+                    });
+                    if let Some((kind, addr, lanes, done)) = mem_trace {
+                        tr.emit(&TraceEvent::MemStart {
+                            cu,
+                            wave,
+                            pc,
+                            kind: kind.to_owned(),
+                            addr,
+                            lanes,
+                            now,
+                        });
+                        tr.emit(&TraceEvent::MemComplete {
+                            cu,
+                            wave,
+                            kind: kind.to_owned(),
+                            addr,
+                            now: done,
+                        });
+                    }
+                }
+            }
+
             // Control flow.
             if outcome.end {
                 self.waves[wi].state = WaveState::Done;
                 self.stats.wavefronts_retired += 1;
+                if emit {
+                    let instructions = self.waves[wi].retired;
+                    if let Some(tr) = &mut self.trace {
+                        tr.emit(&TraceEvent::Retire {
+                            cu: tr.id,
+                            wave: wi as u32,
+                            now: self.now + 1,
+                            instructions,
+                        });
+                    }
+                }
             } else if let Some(target) = outcome.new_pc {
                 self.waves[wi].pc = target;
                 self.waves[wi].next_ready = self.now + self.config.latencies.branch_taken;
@@ -568,14 +851,35 @@ impl ComputeUnit {
                 let wg = self.waves[wi].workgroup;
                 self.waves[wi].state = WaveState::AtBarrier;
                 self.workgroups[wg].arrived += 1;
+                if emit {
+                    if let Some(tr) = &mut self.trace {
+                        tr.emit(&TraceEvent::BarrierArrive {
+                            cu: tr.id,
+                            wave: wi as u32,
+                            workgroup: wg as u32,
+                            now: self.now,
+                        });
+                    }
+                }
                 if self.workgroups[wg].arrived == self.workgroups[wg].waves.len() {
                     self.workgroups[wg].arrived = 0;
                     let release = self.now + 1;
                     for &widx in &self.workgroups[wg].waves.clone() {
                         if self.waves[widx].state == WaveState::AtBarrier {
                             self.waves[widx].state = WaveState::Ready;
-                            self.waves[widx].next_ready =
-                                self.waves[widx].next_ready.max(release);
+                            if release > self.waves[widx].next_ready {
+                                self.waves[widx].next_ready = release;
+                                self.waves[widx].wait_reason = StallReason::Barrier;
+                            }
+                        }
+                    }
+                    if emit {
+                        if let Some(tr) = &mut self.trace {
+                            tr.emit(&TraceEvent::BarrierRelease {
+                                cu: tr.id,
+                                workgroup: wg as u32,
+                                now: release,
+                            });
                         }
                     }
                 }
@@ -741,15 +1045,8 @@ mod tests {
         // load -> waitcnt -> endpgm with big latency vs small latency.
         let mut b = KernelBuilder::new("mem");
         b.vgprs(4).sgprs(8);
-        b.mubuf(
-            Opcode::BufferLoadDword,
-            1,
-            0,
-            4,
-            Operand::IntConst(0),
-            0,
-        )
-        .unwrap();
+        b.mubuf(Opcode::BufferLoadDword, 1, 0, 4, Operand::IntConst(0), 0)
+            .unwrap();
         b.waitcnt(Some(0), None).unwrap();
         b.endpgm().unwrap();
         let kernel = b.finish().unwrap();
@@ -845,7 +1142,8 @@ mod tests {
     fn missing_simf_is_fatal() {
         let mut b = KernelBuilder::new("fp");
         b.vgprs(4);
-        b.vop2(Opcode::VAddF32, 1, Operand::FloatConst(1.0), 0).unwrap();
+        b.vop2(Opcode::VAddF32, 1, Operand::FloatConst(1.0), 0)
+            .unwrap();
         b.endpgm().unwrap();
         let kernel = b.finish().unwrap();
         let mut cu = ComputeUnit::new(

@@ -138,20 +138,58 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_associative_and_histogram_preserving() {
+        // Three distinct per-CU stats blocks.
+        let mut a = CuStats::default();
+        a.record_issue(Opcode::VAddI32, 64);
+        a.record_issue(Opcode::SAddU32, 64);
+        a.record_busy(FuncUnit::Simd, 4);
+        a.cycles = 120;
+        a.branches_taken = 3;
+        let mut b = CuStats::default();
+        b.record_issue(Opcode::VAddI32, 32);
+        b.record_busy(FuncUnit::Simd, 8);
+        b.record_busy(FuncUnit::Salu, 1);
+        b.cycles = 90;
+        b.vector_mem_ops = 7;
+        let mut c = CuStats::default();
+        c.record_issue(Opcode::VMulF32, 16);
+        c.record_busy(FuncUnit::Simf, 40);
+        c.cycles = 200;
+        c.wavefronts_retired = 5;
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        // The merged histogram preserves every per-opcode count.
+        assert_eq!(ab_c.histogram[&Opcode::VAddI32], 2);
+        assert_eq!(ab_c.histogram[&Opcode::SAddU32], 1);
+        assert_eq!(ab_c.histogram[&Opcode::VMulF32], 1);
+        let total: u64 = ab_c.histogram.values().sum();
+        assert_eq!(total, ab_c.instructions);
+        // Busy counters accumulate per unit; cycles take the maximum.
+        assert_eq!(ab_c.fu_busy[&FuncUnit::Simd], 12);
+        assert_eq!(ab_c.fu_busy[&FuncUnit::Simf], 40);
+        assert_eq!(ab_c.cycles, 200);
+        assert_eq!(ab_c.work_item_ops, 64 + 1 + 32 + 16);
+    }
+
+    #[test]
     fn mix_buckets_by_metadata() {
         let mut s = CuStats::default();
         s.record_issue(Opcode::VAddF32, 64);
         s.record_issue(Opcode::VMulF32, 64);
         s.record_issue(Opcode::VAddI32, 64);
         let mix = s.mix();
-        assert_eq!(
-            mix[&(FuncUnit::Simf, Category::Add, DataType::Fp32)],
-            1
-        );
-        assert_eq!(
-            mix[&(FuncUnit::Simf, Category::Mul, DataType::Fp32)],
-            1
-        );
+        assert_eq!(mix[&(FuncUnit::Simf, Category::Add, DataType::Fp32)], 1);
+        assert_eq!(mix[&(FuncUnit::Simf, Category::Mul, DataType::Fp32)], 1);
         assert_eq!(mix[&(FuncUnit::Simd, Category::Add, DataType::Int)], 1);
     }
 }

@@ -1,6 +1,7 @@
 //! Per-wavefront architectural and timing state.
 
 use scratch_isa::{Operand, WAVEFRONT_SIZE};
+use scratch_trace::StallReason;
 
 use crate::CuError;
 
@@ -38,6 +39,10 @@ pub struct Wavefront {
     // --- timing state (driven by the pipeline) ---
     /// Cycle at which the next instruction may issue.
     pub(crate) next_ready: u64,
+    /// Why the wavefront is waiting for `next_ready` (set by whichever
+    /// pipeline stage last pushed `next_ready` forward; read by the
+    /// stall-attribution engine when tracing is enabled).
+    pub(crate) wait_reason: StallReason,
     /// Outstanding vector-memory completion times (vmcnt).
     pub(crate) vm_events: Vec<u64>,
     /// Outstanding LDS/scalar-memory completion times (lgkmcnt).
@@ -63,6 +68,7 @@ impl Wavefront {
             sgprs: vec![0; sgprs],
             vgprs: vec![[0; WAVEFRONT_SIZE]; vgprs],
             next_ready: 0,
+            wait_reason: StallReason::FetchStarve,
             vm_events: Vec::new(),
             lgkm_events: Vec::new(),
             state: WaveState::Ready,
@@ -91,7 +97,10 @@ impl Wavefront {
         self.sgprs
             .get(n as usize)
             .copied()
-            .ok_or(CuError::RegisterOutOfRange { what: "s", index: n })
+            .ok_or(CuError::RegisterOutOfRange {
+                what: "s",
+                index: n,
+            })
     }
 
     /// Write SGPR `n`.
@@ -105,7 +114,10 @@ impl Wavefront {
                 *slot = value;
                 Ok(())
             }
-            None => Err(CuError::RegisterOutOfRange { what: "s", index: n }),
+            None => Err(CuError::RegisterOutOfRange {
+                what: "s",
+                index: n,
+            }),
         }
     }
 
@@ -118,7 +130,10 @@ impl Wavefront {
         self.vgprs
             .get(r as usize)
             .map(|regs| regs[lane])
-            .ok_or(CuError::RegisterOutOfRange { what: "v", index: r })
+            .ok_or(CuError::RegisterOutOfRange {
+                what: "v",
+                index: r,
+            })
     }
 
     /// Write VGPR `r` of `lane`.
@@ -132,7 +147,10 @@ impl Wavefront {
                 regs[lane] = value;
                 Ok(())
             }
-            None => Err(CuError::RegisterOutOfRange { what: "v", index: r }),
+            None => Err(CuError::RegisterOutOfRange {
+                what: "v",
+                index: r,
+            }),
         }
     }
 
@@ -328,7 +346,10 @@ mod tests {
             w.read_scalar(Operand::Sgpr(2), 2).unwrap(),
             0x3333_4444_1111_2222
         );
-        assert_eq!(w.read_scalar(Operand::IntConst(-1), 1).unwrap(), 0xffff_ffff);
+        assert_eq!(
+            w.read_scalar(Operand::IntConst(-1), 1).unwrap(),
+            0xffff_ffff
+        );
         assert_eq!(w.read_scalar(Operand::IntConst(-1), 2).unwrap(), u64::MAX);
         assert_eq!(
             w.read_scalar(Operand::FloatConst(1.0), 1).unwrap(),
@@ -353,7 +374,8 @@ mod tests {
     #[test]
     fn scalar_write_halves() {
         let mut w = Wavefront::new(0, 0, 4, 1);
-        w.write_scalar(Operand::VccLo, 2, 0xdead_beef_0000_0001).unwrap();
+        w.write_scalar(Operand::VccLo, 2, 0xdead_beef_0000_0001)
+            .unwrap();
         assert_eq!(w.vcc, 0xdead_beef_0000_0001);
         w.write_scalar(Operand::VccHi, 1, 0x1234).unwrap();
         assert_eq!(w.vcc >> 32, 0x1234);

@@ -179,10 +179,7 @@ fn errors_display_reasonably() {
         (CuError::Deadlock { cycle: 7 }, "7"),
         (CuError::CycleLimit { limit: 9 }, "9"),
         (CuError::TooManyWavefronts, "40"),
-        (
-            CuError::LdsOutOfRange { addr: 4, size: 2 },
-            "LDS",
-        ),
+        (CuError::LdsOutOfRange { addr: 4, size: 2 }, "LDS"),
     ];
     for (err, needle) in cases {
         let msg = err.to_string();

@@ -148,16 +148,15 @@ fn all_supported_opcodes_execute() {
     // Every opcode must appear in the dynamic histogram.
     let executed = cu.stats().executed_opcodes();
     for &op in Opcode::ALL {
-        assert!(
-            executed.contains(&op),
-            "{} never executed",
-            op.mnemonic()
-        );
+        assert!(executed.contains(&op), "{} never executed", op.mnemonic());
     }
-    assert_eq!(cu.stats().instructions as usize, Opcode::ALL.len() + {
-        // one extra s_waitcnt per memory opcode
-        Opcode::ALL.iter().filter(|o| o.is_memory()).count()
-    });
+    assert_eq!(
+        cu.stats().instructions as usize,
+        Opcode::ALL.len() + {
+            // one extra s_waitcnt per memory opcode
+            Opcode::ALL.iter().filter(|o| o.is_memory()).count()
+        }
+    );
 }
 
 #[test]

@@ -286,10 +286,20 @@ fn vector_integer_golden_values() {
             0x8000_0000,
             0xf800_0000,
         ),
-        (vop2(Opcode::VMinI32, Operand::Vgpr(1)), 0xffff_ffff, 3, 0xffff_ffff),
+        (
+            vop2(Opcode::VMinI32, Operand::Vgpr(1)),
+            0xffff_ffff,
+            3,
+            0xffff_ffff,
+        ),
         (vop2(Opcode::VMaxI32, Operand::Vgpr(1)), 0xffff_ffff, 3, 3),
         (vop2(Opcode::VMinU32, Operand::Vgpr(1)), 0xffff_ffff, 3, 3),
-        (vop2(Opcode::VMaxU32, Operand::Vgpr(1)), 0xffff_ffff, 3, 0xffff_ffff),
+        (
+            vop2(Opcode::VMaxU32, Operand::Vgpr(1)),
+            0xffff_ffff,
+            3,
+            0xffff_ffff,
+        ),
         // 24-bit multiplies sign/zero extend from bit 23.
         (
             vop2(Opcode::VMulI32I24, Operand::Vgpr(1)),
@@ -297,25 +307,80 @@ fn vector_integer_golden_values() {
             5,
             (-5i32) as u32,
         ),
-        (vop2(Opcode::VMulU32U24, Operand::Vgpr(1)), 0x00ff_ffff, 2, 0x01ff_fffe),
+        (
+            vop2(Opcode::VMulU32U24, Operand::Vgpr(1)),
+            0x00ff_ffff,
+            2,
+            0x01ff_fffe,
+        ),
         (vop1(Opcode::VNotB32), 0x0000_ffff, 0, 0xffff_0000),
         (vop1(Opcode::VBfrevB32), 1, 0, 0x8000_0000),
         (vop1(Opcode::VFfbhU32), 0x00f0_0000, 0, 8),
         (vop1(Opcode::VFfblB32), 0x00f0_0000, 0, 20),
         (vop1(Opcode::VMovB32), 42, 0, 42),
-        (vop3(Opcode::VMulLoU32, false), 0x1_0001, 0x1_0001, 0x2_0001u32.wrapping_mul(1)),
+        (
+            vop3(Opcode::VMulLoU32, false),
+            0x1_0001,
+            0x1_0001,
+            0x2_0001u32.wrapping_mul(1),
+        ),
         (vop3(Opcode::VMulHiU32, false), 0x8000_0000, 4, 2),
-        (vop3(Opcode::VMulLoI32, false), (-3i32) as u32, 7, (-21i32) as u32),
-        (vop3(Opcode::VMulHiI32, false), (-1i32) as u32, 2, (-1i32) as u32),
+        (
+            vop3(Opcode::VMulLoI32, false),
+            (-3i32) as u32,
+            7,
+            (-21i32) as u32,
+        ),
+        (
+            vop3(Opcode::VMulHiI32, false),
+            (-1i32) as u32,
+            2,
+            (-1i32) as u32,
+        ),
         // alignbit with shift 0 (v4 is zeroed) returns src0 verbatim.
-        (vop3(Opcode::VAlignbitB32, true), 0xdead_beef, 0x1234_5678, 0xdead_beef),
+        (
+            vop3(Opcode::VAlignbitB32, true),
+            0xdead_beef,
+            0x1234_5678,
+            0xdead_beef,
+        ),
         // Float basics at lane level.
-        (vop2(Opcode::VAddF32, Operand::Vgpr(1)), f(1.5), f(2.25), f(3.75)),
-        (vop2(Opcode::VSubF32, Operand::Vgpr(1)), f(5.0), f(2.0), f(3.0)),
-        (vop2(Opcode::VSubrevF32, Operand::Vgpr(1)), f(2.0), f(5.0), f(3.0)),
-        (vop2(Opcode::VMulF32, Operand::Vgpr(1)), f(3.0), f(-2.0), f(-6.0)),
-        (vop2(Opcode::VMinF32, Operand::Vgpr(1)), f(3.0), f(-2.0), f(-2.0)),
-        (vop2(Opcode::VMaxF32, Operand::Vgpr(1)), f(3.0), f(-2.0), f(3.0)),
+        (
+            vop2(Opcode::VAddF32, Operand::Vgpr(1)),
+            f(1.5),
+            f(2.25),
+            f(3.75),
+        ),
+        (
+            vop2(Opcode::VSubF32, Operand::Vgpr(1)),
+            f(5.0),
+            f(2.0),
+            f(3.0),
+        ),
+        (
+            vop2(Opcode::VSubrevF32, Operand::Vgpr(1)),
+            f(2.0),
+            f(5.0),
+            f(3.0),
+        ),
+        (
+            vop2(Opcode::VMulF32, Operand::Vgpr(1)),
+            f(3.0),
+            f(-2.0),
+            f(-6.0),
+        ),
+        (
+            vop2(Opcode::VMinF32, Operand::Vgpr(1)),
+            f(3.0),
+            f(-2.0),
+            f(-2.0),
+        ),
+        (
+            vop2(Opcode::VMaxF32, Operand::Vgpr(1)),
+            f(3.0),
+            f(-2.0),
+            f(3.0),
+        ),
         (vop1(Opcode::VFractF32), f(2.75), 0, f(0.75)),
         (vop1(Opcode::VTruncF32), f(-2.75), 0, f(-2.0)),
         (vop1(Opcode::VCeilF32), f(2.25), 0, f(3.0)),
@@ -463,10 +528,20 @@ fn memory_program_exercises_every_access_width() {
     // Scalar loads of every width.
     b.smrd(Opcode::SLoadDword, Operand::Sgpr(20), 2, SmrdOffset::Imm(0))
         .unwrap();
-    b.smrd(Opcode::SLoadDwordx2, Operand::Sgpr(22), 2, SmrdOffset::Imm(1))
-        .unwrap();
-    b.smrd(Opcode::SLoadDwordx4, Operand::Sgpr(24), 2, SmrdOffset::Imm(4))
-        .unwrap();
+    b.smrd(
+        Opcode::SLoadDwordx2,
+        Operand::Sgpr(22),
+        2,
+        SmrdOffset::Imm(1),
+    )
+    .unwrap();
+    b.smrd(
+        Opcode::SLoadDwordx4,
+        Operand::Sgpr(24),
+        2,
+        SmrdOffset::Imm(4),
+    )
+    .unwrap();
     b.smrd(
         Opcode::SBufferLoadDword,
         Operand::Sgpr(28),
@@ -529,13 +604,27 @@ fn buffer_wide_loads_and_stores() {
     b.mubuf(Opcode::BufferLoadDwordx4, 4, 1, 4, Operand::IntConst(0), 0)
         .unwrap();
     b.waitcnt(Some(0), None).unwrap();
-    b.mubuf(Opcode::BufferStoreDwordx4, 4, 1, 4, Operand::IntConst(0), 64)
-        .unwrap();
+    b.mubuf(
+        Opcode::BufferStoreDwordx4,
+        4,
+        1,
+        4,
+        Operand::IntConst(0),
+        64,
+    )
+    .unwrap();
     b.mubuf(Opcode::BufferLoadDwordx2, 8, 1, 4, Operand::IntConst(0), 8)
         .unwrap();
     b.waitcnt(Some(0), None).unwrap();
-    b.mubuf(Opcode::BufferStoreDwordx2, 8, 1, 4, Operand::IntConst(0), 96)
-        .unwrap();
+    b.mubuf(
+        Opcode::BufferStoreDwordx2,
+        8,
+        1,
+        4,
+        Operand::IntConst(0),
+        96,
+    )
+    .unwrap();
     b.waitcnt(Some(0), None).unwrap();
     b.endpgm().unwrap();
     let kernel = b.finish().unwrap();
@@ -561,8 +650,15 @@ fn tbuffer_formats_roundtrip() {
     let mut b = KernelBuilder::new("tbuf");
     b.sgprs(64).vgprs(16);
     b.vop1(Opcode::VMovB32, 1, Operand::IntConst(0)).unwrap();
-    b.mtbuf(Opcode::TbufferLoadFormatXyzw, 4, 1, 4, Operand::IntConst(0), 0)
-        .unwrap();
+    b.mtbuf(
+        Opcode::TbufferLoadFormatXyzw,
+        4,
+        1,
+        4,
+        Operand::IntConst(0),
+        0,
+    )
+    .unwrap();
     b.waitcnt(Some(0), None).unwrap();
     b.mtbuf(
         Opcode::TbufferStoreFormatXy,
@@ -609,10 +705,12 @@ fn lds_atomic_ops_golden_values() {
         let mut b = KernelBuilder::new("lds_atomic");
         b.sgprs(32).vgprs(8).lds_bytes(64);
         b.vop1(Opcode::VMovB32, 1, Operand::IntConst(0)).unwrap(); // addr
-        b.vop1(Opcode::VMovB32, 2, Operand::Literal(initial)).unwrap();
+        b.vop1(Opcode::VMovB32, 2, Operand::Literal(initial))
+            .unwrap();
         b.ds_write(Opcode::DsWriteB32, 1, 2, 0).unwrap();
         b.waitcnt(None, Some(0)).unwrap();
-        b.vop1(Opcode::VMovB32, 3, Operand::Literal(operand)).unwrap();
+        b.vop1(Opcode::VMovB32, 3, Operand::Literal(operand))
+            .unwrap();
         b.ds_write(op, 1, 3, 0).unwrap();
         b.waitcnt(None, Some(0)).unwrap();
         b.ds_read(Opcode::DsReadB32, 4, 1, 0).unwrap();

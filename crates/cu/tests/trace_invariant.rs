@@ -1,0 +1,208 @@
+//! Property tests for the stall-attribution engine: over random kernels
+//! and CU configurations, every wavefront's attributed cycles (issue +
+//! stalls) must sum exactly to its residency, and attaching a tracer must
+//! not change simulation results.
+
+use proptest::prelude::*;
+
+use scratch_asm::{Kernel, KernelBuilder};
+use scratch_cu::{
+    ComputeUnit, CuConfig, EventBuffer, FixedLatencyMemory, NullTracer, StallReason, WaveInit,
+};
+use scratch_isa::{Opcode, Operand};
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Integer VALU op `v[dst] = v[src] + 1`.
+    VInt(u8, u8),
+    /// FP VALU op `v[dst] = v[src] + 1.0` (occupies a SIMF unit).
+    VFp(u8, u8),
+    /// Scalar op `s[dst] = s[src] + 1`.
+    SInt(u8, u8),
+    /// `buffer_load_dword v[dst], v0` through the descriptor in s[4:7].
+    Load(u8),
+    /// `s_waitcnt vmcnt(0) lgkmcnt(0)`.
+    WaitAll,
+    /// `s_barrier` (every wave executes the same program, so all arrive).
+    Barrier,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        (1u8..8, 0u8..8).prop_map(|(d, s)| Step::VInt(d, s)),
+        (1u8..8, 0u8..8).prop_map(|(d, s)| Step::VFp(d, s)),
+        (0u8..8, 0u8..8).prop_map(|(d, s)| Step::SInt(d, s)),
+        (1u8..8).prop_map(Step::Load),
+        Just(Step::WaitAll),
+        Just(Step::Barrier),
+    ];
+    prop::collection::vec(step, 1..24)
+}
+
+fn build_kernel(steps: &[Step]) -> Kernel {
+    let mut b = KernelBuilder::new("trace_prop");
+    b.sgprs(16).vgprs(8);
+    for step in steps {
+        match *step {
+            Step::VInt(d, s) => {
+                b.vop2(Opcode::VAddI32, d, Operand::IntConst(1), s).unwrap();
+            }
+            Step::VFp(d, s) => {
+                b.vop2(Opcode::VAddF32, d, Operand::FloatConst(1.0), s)
+                    .unwrap();
+            }
+            Step::SInt(d, s) => {
+                b.sop2(
+                    Opcode::SAddI32,
+                    Operand::Sgpr(d),
+                    Operand::Sgpr(s),
+                    Operand::IntConst(1),
+                )
+                .unwrap();
+            }
+            Step::Load(d) => {
+                b.mubuf(Opcode::BufferLoadDword, d, 0, 4, Operand::IntConst(0), 0)
+                    .unwrap();
+            }
+            Step::WaitAll => {
+                b.waitcnt(Some(0), Some(0)).unwrap();
+            }
+            Step::Barrier => {
+                b.sopp(Opcode::SBarrier, 0).unwrap();
+            }
+        }
+    }
+    b.waitcnt(Some(0), Some(0)).unwrap();
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+/// How a run observes (or ignores) the trace subsystem.
+enum Sink {
+    /// No tracing at all.
+    Off,
+    /// Stall attribution + summary, no event sink.
+    Summary,
+    /// A disabled sink — must behave exactly like [`Sink::Off`].
+    Null,
+    /// Full instrumentation retaining every event.
+    Buffer(EventBuffer),
+}
+
+fn run(kernel: &Kernel, config: &CuConfig, waves: usize, latency: u64, sink: Sink) -> ComputeUnit {
+    let mut cu = ComputeUnit::new(config.clone(), kernel).unwrap();
+    match sink {
+        Sink::Off => {}
+        Sink::Summary => cu.enable_tracing(0),
+        Sink::Null => cu.set_tracer(0, Box::new(NullTracer)),
+        Sink::Buffer(buf) => cu.set_tracer(0, Box::new(buf)),
+    }
+    let wg = cu.add_workgroup();
+    for _ in 0..waves {
+        cu.start_wave(WaveInit {
+            workgroup: wg,
+            exec: u64::MAX,
+            sgprs: (4..8).map(|r| (r, 0)).collect(),
+            vgprs: vec![(0, (0..64).map(|l| l * 4).collect())],
+        })
+        .unwrap();
+    }
+    let mut mem = FixedLatencyMemory::new(4096, latency);
+    cu.run_to_completion(&mut mem).unwrap();
+    cu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn attribution_tiles_every_wavefronts_residency(
+        steps in arb_steps(),
+        waves in 1usize..6,
+        int_valus in 1u8..4,
+        fp_valus in 1u8..4,
+        latency in prop::sample::select(vec![0u64, 3, 50, 300]),
+    ) {
+        let kernel = build_kernel(&steps);
+        let config = CuConfig { int_valus, fp_valus, ..CuConfig::default() };
+        let cu = run(&kernel, &config, waves, latency, Sink::Summary);
+
+        let summary = cu.trace_summary().expect("tracing was enabled");
+        prop_assert_eq!(summary.waves.len(), waves);
+        summary.check_invariant().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(summary.cycles, cu.now());
+        // Residency tiling means total attributed wavefront-cycles equal
+        // waves × batch length exactly, once the idle tail is added back.
+        let resident: u64 = summary.resident_cycles();
+        let tail = summary.stall_cycles(StallReason::WavepoolEmpty);
+        prop_assert_eq!(resident + tail, waves as u64 * cu.now());
+    }
+
+    #[test]
+    fn tracer_does_not_change_simulation(
+        steps in arb_steps(),
+        waves in 1usize..4,
+        latency in prop::sample::select(vec![0u64, 50]),
+    ) {
+        let kernel = build_kernel(&steps);
+        let config = CuConfig::default();
+        let plain = run(&kernel, &config, waves, latency, Sink::Off);
+        // A disabled sink must be recognised as "tracing off".
+        let nulled = run(&kernel, &config, waves, latency, Sink::Null);
+        // Full instrumentation (attribution + every event retained) must
+        // still leave the simulation bit-identical.
+        let buf = EventBuffer::new();
+        let traced = run(&kernel, &config, waves, latency, Sink::Buffer(buf.clone()));
+
+        prop_assert!(!nulled.tracing_enabled());
+        prop_assert!(!buf.is_empty());
+        for other in [&nulled, &traced] {
+            prop_assert_eq!(plain.now(), other.now());
+            prop_assert_eq!(plain.stats(), other.stats());
+            for w in 0..waves {
+                for r in 0..8u32 {
+                    for lane in (0..64).step_by(13) {
+                        prop_assert_eq!(
+                            plain.wave(w).vgpr(r, lane).unwrap(),
+                            other.wave(w).vgpr(r, lane).unwrap()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A memory-bound kernel must attribute its waiting to the vector-memory
+/// counter, and the stall must scale with the memory latency.
+#[test]
+fn memory_bound_kernel_blames_waitcnt_vm() {
+    let kernel = build_kernel(&[Step::Load(1), Step::WaitAll]);
+    let config = CuConfig::default();
+    let cu = run(&kernel, &config, 1, 400, Sink::Summary);
+    let summary = cu.trace_summary().unwrap();
+    summary.check_invariant().unwrap();
+    assert!(
+        summary.stall_cycles(StallReason::WaitcntVm) >= 300,
+        "vm stall too small: {:?}",
+        summary.stalls
+    );
+}
+
+/// Waves parked at a barrier are attributed to the barrier, not to memory
+/// or the scoreboard.
+#[test]
+fn barrier_wait_is_attributed_to_barrier() {
+    // One load+wait before the barrier gives the first-arriving waves a
+    // long park while the loads of later waves drain.
+    let kernel = build_kernel(&[Step::Load(1), Step::WaitAll, Step::Barrier]);
+    let config = CuConfig::default();
+    let cu = run(&kernel, &config, 4, 200, Sink::Summary);
+    let summary = cu.trace_summary().unwrap();
+    summary.check_invariant().unwrap();
+    assert!(
+        summary.stall_cycles(StallReason::Barrier) > 0,
+        "no barrier stall recorded: {:?}",
+        summary.stalls
+    );
+}

@@ -189,7 +189,12 @@ mod tests {
     fn int8_datapath_fits_a_fourth_cu() {
         let p32 = allocate_multicore_bits(&Device::XC7VX690T, &int_kernel(), 4, 32);
         let p8 = allocate_multicore_bits(&Device::XC7VX690T, &int_kernel(), 4, 8);
-        assert!(p8.cus > p32.cus.min(3), "INT8: {} vs INT32: {}", p8.cus, p32.cus);
+        assert!(
+            p8.cus > p32.cus.min(3),
+            "INT8: {} vs INT32: {}",
+            p8.cus,
+            p32.cus
+        );
         assert_eq!(p8.cus, 4, "paper: 4 CUs for the INT8 NIN");
     }
 

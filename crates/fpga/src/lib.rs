@@ -29,7 +29,9 @@ mod model;
 mod power;
 mod resources;
 
-pub use allocator::{allocate_multicore, allocate_multicore_bits, allocate_multithread, ParallelPlan};
+pub use allocator::{
+    allocate_multicore, allocate_multicore_bits, allocate_multithread, ParallelPlan,
+};
 pub use model::{cu_resources, subunit, system_resources, CuShape, SubUnit, SystemProfile};
 pub use power::{power, PowerBreakdown};
 pub use resources::{Device, Resources};

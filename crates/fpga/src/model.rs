@@ -164,7 +164,10 @@ pub fn cu_resources(shape: &CuShape) -> Resources {
     // addition and multiplication in one hard block, so retaining *any*
     // SIMF functionality keeps at least the add/mul core. (This is why the
     // paper's FP designs trim less and fit only two CUs.)
-    if subs.iter().any(|s| matches!(s, SubUnit::Alu(FuncUnit::Simf, _))) {
+    if subs
+        .iter()
+        .any(|s| matches!(s, SubUnit::Alu(FuncUnit::Simf, _)))
+    {
         subs.push(SubUnit::Alu(FuncUnit::Simf, Category::Add));
         subs.push(SubUnit::Alu(FuncUnit::Simf, Category::Mul));
     }
@@ -305,7 +308,10 @@ mod tests {
     #[test]
     fn original_has_few_brams() {
         let r = system_resources(SystemProfile::ORIGINAL, &CuShape::full(1, 1), 1);
-        assert_eq!(r.bram, 223, "matches the paper's original-design BRAM count");
+        assert_eq!(
+            r.bram, 223,
+            "matches the paper's original-design BRAM count"
+        );
     }
 
     #[test]
@@ -320,10 +326,20 @@ mod tests {
             .copied()
             .filter(|o| o.unit() == FuncUnit::Simf)
             .collect();
-        let simd: Resources = int_only.iter().map(|&o| subunit(o)).collect::<std::collections::BTreeSet<_>>()
-            .into_iter().map(subunit_cost).fold(fu_base_cost(FuncUnit::Simd), |a, b| a + b);
-        let simf: Resources = fp_only.iter().map(|&o| subunit(o)).collect::<std::collections::BTreeSet<_>>()
-            .into_iter().map(subunit_cost).fold(fu_base_cost(FuncUnit::Simf), |a, b| a + b);
+        let simd: Resources = int_only
+            .iter()
+            .map(|&o| subunit(o))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(subunit_cost)
+            .fold(fu_base_cost(FuncUnit::Simd), |a, b| a + b);
+        let simf: Resources = fp_only
+            .iter()
+            .map(|&o| subunit(o))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(subunit_cost)
+            .fold(fu_base_cost(FuncUnit::Simf), |a, b| a + b);
         let ratio = simf.ff as f64 / simd.ff as f64;
         assert!(
             (1.7..=2.6).contains(&ratio),
@@ -384,7 +400,10 @@ mod tests {
             subunit(Opcode::VAddF32),
             SubUnit::Alu(FuncUnit::Simf, Category::Add)
         );
-        assert_eq!(subunit(Opcode::BufferLoadDword), SubUnit::LsuPath(Format::Mubuf));
+        assert_eq!(
+            subunit(Opcode::BufferLoadDword),
+            SubUnit::LsuPath(Format::Mubuf)
+        );
         assert_eq!(subunit(Opcode::DsReadB32), SubUnit::LsuPath(Format::Ds));
     }
 

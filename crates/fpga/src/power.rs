@@ -84,7 +84,11 @@ mod tests {
         let orig = power(SystemProfile::ORIGINAL, &full(), 1);
         let dcd = power(SystemProfile::DCD, &full(), 1);
         let pm = power(SystemProfile::DCD_PM, &full(), 1);
-        assert!((orig.static_w - 0.39).abs() < 0.06, "static {}", orig.static_w);
+        assert!(
+            (orig.static_w - 0.39).abs() < 0.06,
+            "static {}",
+            orig.static_w
+        );
         assert!((pm.static_w - 0.46).abs() < 0.06, "static {}", pm.static_w);
         assert!(
             (orig.dynamic_w() - 3.20).abs() < 0.45,
@@ -100,7 +104,10 @@ mod tests {
         assert!(dcd.total_w() > orig.total_w());
         assert!(pm.total_w() > dcd.total_w());
         let ratio = pm.total_w() / orig.total_w();
-        assert!((1.04..=1.16).contains(&ratio), "PM/original ratio {ratio:.3}");
+        assert!(
+            (1.04..=1.16).contains(&ratio),
+            "PM/original ratio {ratio:.3}"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl Resources {
     /// `true` when every class of `self` fits within `other`.
     #[must_use]
     pub fn fits_in(&self, other: &Resources) -> bool {
-        self.ff <= other.ff && self.lut <= other.lut && self.dsp <= other.dsp && self.bram <= other.bram
+        self.ff <= other.ff
+            && self.lut <= other.lut
+            && self.dsp <= other.dsp
+            && self.bram <= other.bram
     }
 
     /// Component-wise saturating subtraction.
@@ -53,7 +56,13 @@ impl Resources {
     /// Fraction of `self` relative to `total`, per class, as percentages.
     #[must_use]
     pub fn percent_of(&self, total: &Resources) -> [f64; 4] {
-        let pct = |a: u64, b: u64| if b == 0 { 0.0 } else { 100.0 * a as f64 / b as f64 };
+        let pct = |a: u64, b: u64| {
+            if b == 0 {
+                0.0
+            } else {
+                100.0 * a as f64 / b as f64
+            }
+        };
         [
             pct(self.ff, total.ff),
             pct(self.lut, total.lut),

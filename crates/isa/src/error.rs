@@ -58,7 +58,10 @@ impl fmt::Display for IsaError {
                 write!(f, "word {word:#010x} does not match any SI format encoding")
             }
             IsaError::UnknownOpcode { format, native } => {
-                write!(f, "format {format:?} opcode number {native} is not implemented")
+                write!(
+                    f,
+                    "format {format:?} opcode number {native} is not implemented"
+                )
             }
             IsaError::InvalidOperandEncoding { raw } => {
                 write!(f, "source-field value {raw} does not decode to an operand")
@@ -72,7 +75,10 @@ impl fmt::Display for IsaError {
                 opcode.mnemonic()
             ),
             IsaError::MultipleLiterals => {
-                write!(f, "an SI instruction may carry at most one literal constant")
+                write!(
+                    f,
+                    "an SI instruction may carry at most one literal constant"
+                )
             }
             IsaError::RegisterOutOfRange { what, index } => {
                 write!(f, "{what} index {index} out of architectural range")

@@ -330,8 +330,18 @@ impl Instruction {
                 }
             }
             Fields::Ds { .. } => {}
-            Fields::Mubuf { srsrc, soffset, offset, .. }
-            | Fields::Mtbuf { srsrc, soffset, offset, .. } => {
+            Fields::Mubuf {
+                srsrc,
+                soffset,
+                offset,
+                ..
+            }
+            | Fields::Mtbuf {
+                srsrc,
+                soffset,
+                offset,
+                ..
+            } => {
                 if srsrc % 4 != 0 || usize::from(srsrc) >= crate::SGPR_COUNT {
                     return Err(err("srsrc must be a multiple-of-4 SGPR quad base"));
                 }
@@ -480,7 +490,11 @@ impl Instruction {
             Fields::Sopp { simm16 } => {
                 words.push((0b101111111 << 23) | (op << 16) | u32::from(simm16));
             }
-            Fields::Smrd { sdst, sbase, offset } => {
+            Fields::Smrd {
+                sdst,
+                sbase,
+                offset,
+            } => {
                 let d = u32::from(sdst.encode_src()?);
                 let (imm, off) = match offset {
                     SmrdOffset::Imm(i) => (1u32, u32::from(i)),
@@ -780,7 +794,11 @@ impl Instruction {
                         sdst: Operand::decode_src(field(w0, 8, 7) as u16)?,
                         src0,
                         src1,
-                        src2: if opcode.reads_vcc_implicitly() { src2 } else { None },
+                        src2: if opcode.reads_vcc_implicitly() {
+                            src2
+                        } else {
+                            None
+                        },
                     }
                 } else {
                     Fields::Vop3a {
@@ -988,9 +1006,7 @@ mod tests {
 
     #[test]
     fn sopp_roundtrip() {
-        roundtrip(
-            Instruction::new(Opcode::SWaitcnt, Fields::Sopp { simm16: 0x0070 }).unwrap(),
-        );
+        roundtrip(Instruction::new(Opcode::SWaitcnt, Fields::Sopp { simm16: 0x0070 }).unwrap());
         roundtrip(
             Instruction::new(
                 Opcode::SBranch,
@@ -1421,7 +1437,10 @@ mod tests {
         )
         .unwrap();
         let words = inst.encode().unwrap();
-        assert_eq!(Instruction::decode(&words[..1]), Err(IsaError::TruncatedStream));
+        assert_eq!(
+            Instruction::decode(&words[..1]),
+            Err(IsaError::TruncatedStream)
+        );
         assert_eq!(Instruction::decode(&[]), Err(IsaError::TruncatedStream));
     }
 }

@@ -34,8 +34,12 @@ impl FuncUnit {
 
     /// The four trimmable units shown in Fig. 6 of the paper
     /// (SALU, iVALU, fpVALU, LSU).
-    pub const TRIMMABLE: [FuncUnit; 4] =
-        [FuncUnit::Salu, FuncUnit::Simd, FuncUnit::Simf, FuncUnit::Lsu];
+    pub const TRIMMABLE: [FuncUnit; 4] = [
+        FuncUnit::Salu,
+        FuncUnit::Simd,
+        FuncUnit::Simf,
+        FuncUnit::Lsu,
+    ];
 
     /// Short label used in reports (matches the paper's legend).
     #[must_use]

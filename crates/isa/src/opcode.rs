@@ -398,14 +398,17 @@ impl Opcode {
     pub fn dst_width(self) -> u8 {
         use Opcode::*;
         match self {
-            SAndB64 | SOrB64 | SXorB64 | SAndn2B64 | SOrn2B64 | SNandB64 | SNorB64
-            | SXnorB64 | SMovB64 | SNotB64 | SWqmB64 | SAndSaveexecB64 | SOrSaveexecB64
-            | SXorSaveexecB64 | SAndn2SaveexecB64 | SLoadDwordx2 | SBufferLoadDwordx2
-            | BufferLoadDwordx2 | BufferStoreDwordx2 | TbufferLoadFormatXy
-            | TbufferStoreFormatXy => 2,
+            SAndB64 | SOrB64 | SXorB64 | SAndn2B64 | SOrn2B64 | SNandB64 | SNorB64 | SXnorB64
+            | SMovB64 | SNotB64 | SWqmB64 | SAndSaveexecB64 | SOrSaveexecB64 | SXorSaveexecB64
+            | SAndn2SaveexecB64 | SLoadDwordx2 | SBufferLoadDwordx2 | BufferLoadDwordx2
+            | BufferStoreDwordx2 | TbufferLoadFormatXy | TbufferStoreFormatXy => 2,
             TbufferLoadFormatXyz | TbufferStoreFormatXyz => 3,
-            SLoadDwordx4 | SBufferLoadDwordx4 | BufferLoadDwordx4 | BufferStoreDwordx4
-            | TbufferLoadFormatXyzw | TbufferStoreFormatXyzw => 4,
+            SLoadDwordx4
+            | SBufferLoadDwordx4
+            | BufferLoadDwordx4
+            | BufferStoreDwordx4
+            | TbufferLoadFormatXyzw
+            | TbufferStoreFormatXyzw => 4,
             _ => 1,
         }
     }
@@ -415,9 +418,9 @@ impl Opcode {
     pub fn src_width(self) -> u8 {
         use Opcode::*;
         match self {
-            SAndB64 | SOrB64 | SXorB64 | SAndn2B64 | SOrn2B64 | SNandB64 | SNorB64
-            | SXnorB64 | SMovB64 | SNotB64 | SWqmB64 | SAndSaveexecB64 | SOrSaveexecB64
-            | SXorSaveexecB64 | SAndn2SaveexecB64 => 2,
+            SAndB64 | SOrB64 | SXorB64 | SAndn2B64 | SOrn2B64 | SNandB64 | SNorB64 | SXnorB64
+            | SMovB64 | SNotB64 | SWqmB64 | SAndSaveexecB64 | SOrSaveexecB64 | SXorSaveexecB64
+            | SAndn2SaveexecB64 => 2,
             _ => 1,
         }
     }
@@ -502,13 +505,46 @@ impl Opcode {
         matches!(self.format(), Format::Sopc)
             || matches!(
                 self,
-                SAddU32 | SSubU32 | SAddI32 | SSubI32 | SAddcU32 | SSubbU32 | SMinI32 | SMinU32
-                    | SMaxI32 | SMaxU32 | SAndB32 | SAndB64 | SOrB32 | SOrB64 | SXorB32
-                    | SXorB64 | SAndn2B64 | SOrn2B64 | SNandB64 | SNorB64 | SXnorB64 | SLshlB32
-                    | SLshrB32 | SAshrI32 | SNotB32 | SNotB64 | SWqmB64 | SBcnt0I32B32
-                    | SBcnt1I32B32 | SAndSaveexecB64 | SOrSaveexecB64 | SXorSaveexecB64
-                    | SAndn2SaveexecB64 | SCmpkEqI32 | SCmpkLgI32 | SCmpkGtI32 | SCmpkGeI32
-                    | SCmpkLtI32 | SCmpkLeI32 | SAddkI32
+                SAddU32
+                    | SSubU32
+                    | SAddI32
+                    | SSubI32
+                    | SAddcU32
+                    | SSubbU32
+                    | SMinI32
+                    | SMinU32
+                    | SMaxI32
+                    | SMaxU32
+                    | SAndB32
+                    | SAndB64
+                    | SOrB32
+                    | SOrB64
+                    | SXorB32
+                    | SXorB64
+                    | SAndn2B64
+                    | SOrn2B64
+                    | SNandB64
+                    | SNorB64
+                    | SXnorB64
+                    | SLshlB32
+                    | SLshrB32
+                    | SAshrI32
+                    | SNotB32
+                    | SNotB64
+                    | SWqmB64
+                    | SBcnt0I32B32
+                    | SBcnt1I32B32
+                    | SAndSaveexecB64
+                    | SOrSaveexecB64
+                    | SXorSaveexecB64
+                    | SAndn2SaveexecB64
+                    | SCmpkEqI32
+                    | SCmpkLgI32
+                    | SCmpkGtI32
+                    | SCmpkGeI32
+                    | SCmpkLtI32
+                    | SCmpkLeI32
+                    | SAddkI32
             )
     }
 }
@@ -535,7 +571,10 @@ mod tests {
 
     #[test]
     fn native_numbers_unique_per_format() {
-        let set: HashSet<_> = Opcode::ALL.iter().map(|o| (o.format(), o.native())).collect();
+        let set: HashSet<_> = Opcode::ALL
+            .iter()
+            .map(|o| (o.format(), o.native()))
+            .collect();
         assert_eq!(set.len(), Opcode::ALL.len());
     }
 
@@ -595,7 +634,11 @@ mod tests {
     #[test]
     fn memory_opcodes_on_lsu() {
         for &op in Opcode::ALL {
-            assert_eq!(op.category() == Category::Mem, op.unit() == FuncUnit::Lsu, "{op:?}");
+            assert_eq!(
+                op.category() == Category::Mem,
+                op.unit() == FuncUnit::Lsu,
+                "{op:?}"
+            );
         }
     }
 

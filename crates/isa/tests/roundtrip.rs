@@ -61,16 +61,27 @@ fn opcode_of(format: Format) -> impl Strategy<Value = Opcode> {
 }
 
 fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    let sop2 = (opcode_of(Format::Sop2), scalar_dst(), scalar_src(), scalar_src()).prop_filter_map(
-        "valid",
-        |(op, sdst, s0, s1)| {
+    let sop2 = (
+        opcode_of(Format::Sop2),
+        scalar_dst(),
+        scalar_src(),
+        scalar_src(),
+    )
+        .prop_filter_map("valid", |(op, sdst, s0, s1)| {
             // Keep at most one literal.
             if s0.is_literal() && s1.is_literal() {
                 return None;
             }
-            Instruction::new(op, Fields::Sop2 { sdst, ssrc0: s0, ssrc1: s1 }).ok()
-        },
-    );
+            Instruction::new(
+                op,
+                Fields::Sop2 {
+                    sdst,
+                    ssrc0: s0,
+                    ssrc1: s1,
+                },
+            )
+            .ok()
+        });
     let sopk = (opcode_of(Format::Sopk), scalar_dst(), any::<i16>())
         .prop_filter_map("valid", |(op, sdst, simm16)| {
             Instruction::new(op, Fields::Sopk { sdst, simm16 }).ok()
@@ -85,13 +96,19 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             if s0.is_literal() && s1.is_literal() {
                 return None;
             }
-            Instruction::new(op, Fields::Sopc { ssrc0: s0, ssrc1: s1 }).ok()
+            Instruction::new(
+                op,
+                Fields::Sopc {
+                    ssrc0: s0,
+                    ssrc1: s1,
+                },
+            )
+            .ok()
         },
     );
-    let sopp = (opcode_of(Format::Sopp), any::<u16>())
-        .prop_filter_map("valid", |(op, simm16)| {
-            Instruction::new(op, Fields::Sopp { simm16 }).ok()
-        });
+    let sopp = (opcode_of(Format::Sopp), any::<u16>()).prop_filter_map("valid", |(op, simm16)| {
+        Instruction::new(op, Fields::Sopp { simm16 }).ok()
+    });
     let smrd = (
         opcode_of(Format::Smrd),
         scalar_dst(),
@@ -102,9 +119,22 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         ],
     )
         .prop_filter_map("valid", |(op, sdst, sbase, offset)| {
-            Instruction::new(op, Fields::Smrd { sdst, sbase, offset }).ok()
+            Instruction::new(
+                op,
+                Fields::Smrd {
+                    sdst,
+                    sbase,
+                    offset,
+                },
+            )
+            .ok()
         });
-    let vop2 = (opcode_of(Format::Vop2), any::<u8>(), vector_src(), any::<u8>())
+    let vop2 = (
+        opcode_of(Format::Vop2),
+        any::<u8>(),
+        vector_src(),
+        any::<u8>(),
+    )
         .prop_filter_map("valid", |(op, vdst, src0, vsrc1)| {
             Instruction::new(op, Fields::Vop2 { vdst, src0, vsrc1 }).ok()
         });
@@ -233,9 +263,7 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             },
         );
 
-    prop_oneof![
-        sop2, sopk, sop1, sopc, sopp, smrd, vop2, vop1, vopc, vop3a, ds, mubuf, mtbuf
-    ]
+    prop_oneof![sop2, sopk, sop1, sopc, sopp, smrd, vop2, vop1, vopc, vop3a, ds, mubuf, mtbuf]
 }
 
 proptest! {

@@ -6,7 +6,7 @@ use scratch_isa::{Opcode, Operand};
 use scratch_system::{RunReport, System, SystemConfig};
 
 use crate::common::{arg, check_u32, gid_x, load_args, random_u32, unmask};
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// Ascending bitonic sort of `n` unsigned keys (`n` a power of two and a
 /// multiple of 64).
@@ -20,7 +20,10 @@ impl BitonicSort {
     /// A sort of `n` keys.
     #[must_use]
     pub fn new(n: u32) -> BitonicSort {
-        assert!(n.is_power_of_two() && n >= 64, "n must be a power of two ≥ 64");
+        assert!(
+            n.is_power_of_two() && n >= 64,
+            "n must be a power of two ≥ 64"
+        );
         BitonicSort { n }
     }
 

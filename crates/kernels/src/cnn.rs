@@ -8,11 +8,11 @@ use scratch_isa::{Opcode, Operand, SmrdOffset};
 use scratch_system::{abi, RunReport, System, SystemConfig};
 
 use crate::common::{
-    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32,
-    unmask, CountedLoop,
+    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32, unmask,
+    CountedLoop,
 };
 use crate::pooling::pool_kernel;
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// Numeric behaviour of a convolution layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +41,7 @@ pub(crate) fn conv_layer_kernel(math: LayerMath) -> Result<Kernel, AsmError> {
     gid_x(&mut b, 3, 64)?; // v3 = x
     mask_lt(&mut b, 3, arg(3), 14)?;
     b.vop1(Opcode::VMovB32, 5, Operand::IntConst(0))?; // acc
-    // Weights pointer.
+                                                       // Weights pointer.
     b.sop1(Opcode::SMovB32, Operand::Sgpr(2), arg(1))?;
     b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
     // s32 = W = b + k - 1 (scratch registers live above the arg window).
@@ -57,7 +57,11 @@ pub(crate) fn conv_layer_kernel(math: LayerMath) -> Result<Kernel, AsmError> {
 
     let ch = CountedLoop::begin(&mut b, 30, arg(5))?;
     // s28 = y + ky (restarts at y for each channel).
-    b.sop1(Opcode::SMovB32, Operand::Sgpr(28), Operand::Sgpr(abi::WG_ID_Y))?;
+    b.sop1(
+        Opcode::SMovB32,
+        Operand::Sgpr(28),
+        Operand::Sgpr(abi::WG_ID_Y),
+    )?;
     let ky = CountedLoop::begin(&mut b, 19, arg(4))?;
     b.sop2(
         Opcode::SMulI32,
@@ -93,7 +97,13 @@ pub(crate) fn conv_layer_kernel(math: LayerMath) -> Result<Kernel, AsmError> {
             b.vop2(Opcode::VMacF32, 5, Operand::Sgpr(1), 6)?;
         }
         LayerMath::IntQ8 | LayerMath::Int8Q8 => {
-            b.vop3a(Opcode::VMulLoI32, 7, Operand::Sgpr(1), Operand::Vgpr(6), None)?;
+            b.vop3a(
+                Opcode::VMulLoI32,
+                7,
+                Operand::Sgpr(1),
+                Operand::Vgpr(6),
+                None,
+            )?;
             b.vop2(Opcode::VAddI32, 5, Operand::Vgpr(7), 5)?;
         }
     }
@@ -131,7 +141,12 @@ pub(crate) fn conv_layer_kernel(math: LayerMath) -> Result<Kernel, AsmError> {
     }
 
     // Store out[y*b + x].
-    b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(3))?;
+    b.sop2(
+        Opcode::SMulI32,
+        Operand::Sgpr(0),
+        Operand::Sgpr(abi::WG_ID_Y),
+        arg(3),
+    )?;
     b.vop2(Opcode::VAddI32, 8, Operand::Sgpr(0), 3)?;
     b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
     b.mubuf(Opcode::BufferStoreDword, 5, 8, 4, arg(2), 0)?;
@@ -338,10 +353,7 @@ impl Benchmark for Cnn {
 
             // Host pads the input planes (data handling the MicroBlaze
             // templates perform between kernels, §3.3).
-            let padded: Vec<Vec<u32>> = channels
-                .iter()
-                .map(|p| pad_plane(p, b_cur, k))
-                .collect();
+            let padded: Vec<Vec<u32>> = channels.iter().map(|p| pad_plane(p, b_cur, k)).collect();
             sys.host_work((c * w * w) as u64);
             // Channel planes must be contiguous at `plane_bytes` stride.
             let flat: Vec<u32> = padded.iter().flatten().copied().collect();

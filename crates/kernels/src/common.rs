@@ -188,7 +188,12 @@ pub fn check_u32(bench: &str, got: &[u32], expected: &[u32]) -> Result<(), Bench
 /// # Errors
 ///
 /// Returns [`BenchError::Mismatch`] on the first element outside tolerance.
-pub fn check_f32(bench: &str, got_bits: &[u32], expected: &[f32], tol: f32) -> Result<(), BenchError> {
+pub fn check_f32(
+    bench: &str,
+    got_bits: &[u32],
+    expected: &[f32],
+    tol: f32,
+) -> Result<(), BenchError> {
     for (i, (&g, &e)) in got_bits.iter().zip(expected).enumerate() {
         let gf = f32::from_bits(g);
         let err = (gf - e).abs();
@@ -251,7 +256,8 @@ mod tests {
         // Store s25 via v1 so the host can read it back.
         b.vop1(Opcode::VMovB32, 1, Operand::Sgpr(25)).unwrap();
         b.vop1(Opcode::VMovB32, 2, Operand::IntConst(0)).unwrap();
-        b.mubuf(Opcode::BufferStoreDword, 1, 2, 4, arg(0), 0).unwrap();
+        b.mubuf(Opcode::BufferStoreDword, 1, 2, 4, arg(0), 0)
+            .unwrap();
         b.waitcnt(Some(0), None).unwrap();
         b.endpgm().unwrap();
         let kernel = b.finish().unwrap();
@@ -281,7 +287,8 @@ mod tests {
         // v1 = s22 (third arg), store at out (first arg).
         b.vop1(Opcode::VMovB32, 1, arg(2)).unwrap();
         b.vop1(Opcode::VMovB32, 2, Operand::IntConst(0)).unwrap();
-        b.mubuf(Opcode::BufferStoreDword, 1, 2, 4, arg(0), 0).unwrap();
+        b.mubuf(Opcode::BufferStoreDword, 1, 2, 4, arg(0), 0)
+            .unwrap();
         b.waitcnt(Some(0), None).unwrap();
         b.endpgm().unwrap();
         let kernel = b.finish().unwrap();
@@ -302,7 +309,8 @@ mod tests {
         mask_lt(&mut b, 0, Operand::Sgpr(26), 14).unwrap();
         b.vop1(Opcode::VMovB32, 1, Operand::IntConst(1)).unwrap();
         byte_offset(&mut b, 2, 0).unwrap();
-        b.mubuf(Opcode::BufferStoreDword, 1, 2, 4, arg(0), 0).unwrap();
+        b.mubuf(Opcode::BufferStoreDword, 1, 2, 4, arg(0), 0)
+            .unwrap();
         b.waitcnt(Some(0), None).unwrap();
         unmask(&mut b, 14).unwrap();
         b.endpgm().unwrap();

@@ -6,10 +6,10 @@ use scratch_isa::{Opcode, Operand, SmrdOffset};
 use scratch_system::{abi, RunReport, System, SystemConfig};
 
 use crate::common::{
-    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32,
-    unmask, CountedLoop,
+    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32, unmask,
+    CountedLoop,
 };
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// Valid-mode 2-D convolution: input `(b+k-1)²`, mask `k²`, output `b²`.
 /// Grid `[ceil(b/64), b, 1]`; mask coefficients stream through scalar
@@ -58,7 +58,11 @@ impl Conv2d {
             Operand::IntConst(1),
         )?;
         // s28 = y + ky (starts at y = wg_id_y).
-        b.sop1(Opcode::SMovB32, Operand::Sgpr(28), Operand::Sgpr(abi::WG_ID_Y))?;
+        b.sop1(
+            Opcode::SMovB32,
+            Operand::Sgpr(28),
+            Operand::Sgpr(abi::WG_ID_Y),
+        )?;
 
         let ky = CountedLoop::begin(&mut b, 19, arg(4))?;
         // s29 = in + (y+ky)*W*4 (row base as soffset).
@@ -91,7 +95,13 @@ impl Conv2d {
         if self.fp {
             b.vop2(Opcode::VMacF32, 5, Operand::Sgpr(1), 6)?;
         } else {
-            b.vop3a(Opcode::VMulLoI32, 7, Operand::Sgpr(1), Operand::Vgpr(6), None)?;
+            b.vop3a(
+                Opcode::VMulLoI32,
+                7,
+                Operand::Sgpr(1),
+                Operand::Vgpr(6),
+                None,
+            )?;
             b.vop2(Opcode::VAddI32, 5, Operand::Vgpr(7), 5)?;
         }
         b.vop2(Opcode::VAddI32, 4, Operand::IntConst(4), 4)?;
@@ -106,7 +116,12 @@ impl Conv2d {
         ky.end(&mut b)?;
 
         // Store out[y*b + x].
-        b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(3))?;
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(abi::WG_ID_Y),
+            arg(3),
+        )?;
         b.vop2(Opcode::VAddI32, 8, Operand::Sgpr(0), 3)?;
         b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
         b.mubuf(Opcode::BufferStoreDword, 5, 8, 4, arg(2), 0)?;
@@ -150,8 +165,7 @@ impl Benchmark for Conv2d {
                     let mut acc = 0f32;
                     for ky in 0..k {
                         for kx in 0..k {
-                            acc = mask[ky * k + kx]
-                                .mul_add(input[(y + ky) * w + (x + kx)], acc);
+                            acc = mask[ky * k + kx].mul_add(input[(y + ky) * w + (x + kx)], acc);
                         }
                     }
                     expected[y * bsz + x] = acc;

@@ -8,10 +8,10 @@ use scratch_isa::{Opcode, Operand, SmrdOffset};
 use scratch_system::{abi, RunReport, System, SystemConfig};
 
 use crate::common::{
-    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32,
-    unmask, CountedLoop,
+    arg, check_f32, check_u32, f32_bits, gid_x, load_args, mask_lt, random_f32, random_u32, unmask,
+    CountedLoop,
 };
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 // ------------------------------------------------------------ BlackScholes
 
@@ -75,11 +75,7 @@ impl BlackScholes {
         b.vop2(Opcode::VMulF32, 16, Operand::Vgpr(16), 15)?;
         // v17 = pdf(|x|) = inv_sqrt_2pi * exp2(-x^2/2 * log2(e))
         b.vop2(Opcode::VMulF32, 17, Operand::Vgpr(14), 14)?;
-        b.vop1(
-            Opcode::VMovB32,
-            18,
-            lit(-0.5 * std::f32::consts::LOG2_E),
-        )?;
+        b.vop1(Opcode::VMovB32, 18, lit(-0.5 * std::f32::consts::LOG2_E))?;
         b.vop2(Opcode::VMulF32, 17, Operand::Vgpr(17), 18)?;
         b.vop1(Opcode::VExpF32, 17, Operand::Vgpr(17))?;
         b.vop1(Opcode::VMovB32, 18, lit(Self::INV_SQRT_2PI))?;
@@ -87,7 +83,7 @@ impl BlackScholes {
         // out = 1 - pdf * poly
         b.vop2(Opcode::VMulF32, 16, Operand::Vgpr(17), 16)?;
         b.vop2(Opcode::VSubrevF32, out, Operand::Vgpr(16), 19)?; // v19 = 1.0
-        // x < 0 => out = 1 - out (mirror).
+                                                                 // x < 0 => out = 1 - out (mirror).
         b.vop2(Opcode::VSubF32, 18, Operand::Vgpr(19), out)?;
         b.vopc(Opcode::VCmpGtF32, Operand::IntConst(0), x)?; // 0 > x
         b.vop2(Opcode::VCndmaskB32, out, Operand::Vgpr(out), 18)?;
@@ -238,7 +234,12 @@ impl Sobel {
         gid_x(&mut b, 3, 64)?;
         mask_lt(&mut b, 3, arg(2), 14)?;
         // Row base soffsets: s27/s28/s29 = in + (y+r) * (b+2) * 4.
-        b.sop2(Opcode::SAddU32, Operand::Sgpr(26), arg(2), Operand::IntConst(2))?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(26),
+            arg(2),
+            Operand::IntConst(2),
+        )?;
         for r in 0..3u8 {
             b.sop2(
                 Opcode::SAddU32,
@@ -246,14 +247,24 @@ impl Sobel {
                 Operand::Sgpr(abi::WG_ID_Y),
                 KernelBuilder::const_u32(r.into()),
             )?;
-            b.sop2(Opcode::SMulI32, Operand::Sgpr(1), Operand::Sgpr(1), Operand::Sgpr(26))?;
+            b.sop2(
+                Opcode::SMulI32,
+                Operand::Sgpr(1),
+                Operand::Sgpr(1),
+                Operand::Sgpr(26),
+            )?;
             b.sop2(
                 Opcode::SLshlB32,
                 Operand::Sgpr(1),
                 Operand::Sgpr(1),
                 Operand::IntConst(2),
             )?;
-            b.sop2(Opcode::SAddU32, Operand::Sgpr(27 + r), arg(0), Operand::Sgpr(1))?;
+            b.sop2(
+                Opcode::SAddU32,
+                Operand::Sgpr(27 + r),
+                arg(0),
+                Operand::Sgpr(1),
+            )?;
         }
         // v4 = x * 4.
         b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
@@ -295,7 +306,12 @@ impl Sobel {
         b.vop2(Opcode::VMaxI32, 17, Operand::Vgpr(17), 19)?;
         b.vop2(Opcode::VAddI32, 15, Operand::Vgpr(15), 17)?;
         // Store out[y*b + x].
-        b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(abi::WG_ID_Y),
+            arg(2),
+        )?;
         b.vop2(Opcode::VAddI32, 21, Operand::Sgpr(0), 3)?;
         b.vop2(Opcode::VLshlrevB32, 21, Operand::IntConst(2), 21)?;
         b.mubuf(Opcode::BufferStoreDword, 15, 21, 4, arg(1), 0)?;
@@ -371,11 +387,19 @@ impl Dct {
         let mut m = vec![0f32; 64 * 64];
         for u in 0..8usize {
             for v in 0..8 {
-                let alpha = |k: usize| if k == 0 { (1.0f32 / 8.0).sqrt() } else { (2.0f32 / 8.0).sqrt() };
+                let alpha = |k: usize| {
+                    if k == 0 {
+                        (1.0f32 / 8.0).sqrt()
+                    } else {
+                        (2.0f32 / 8.0).sqrt()
+                    }
+                };
                 for x in 0..8 {
                     for y in 0..8 {
-                        let cu = ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / 16.0).cos();
-                        let cv = ((2 * y + 1) as f32 * v as f32 * std::f32::consts::PI / 16.0).cos();
+                        let cu =
+                            ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / 16.0).cos();
+                        let cv =
+                            ((2 * y + 1) as f32 * v as f32 * std::f32::consts::PI / 16.0).cos();
                         m[(x * 8 + y) * 64 + (u * 8 + v)] = alpha(u) * alpha(v) * cu * cv;
                     }
                 }
@@ -499,7 +523,12 @@ impl FloydWarshall {
         gid_x(&mut b, 3, 64)?; // j
         mask_lt(&mut b, 3, arg(2), 14)?;
         // s25 = i*v*4 (row i base), s26 = k*v*4 (row k base).
-        b.sop2(Opcode::SMulI32, Operand::Sgpr(25), Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(25),
+            Operand::Sgpr(abi::WG_ID_Y),
+            arg(2),
+        )?;
         b.sop2(
             Opcode::SLshlB32,
             Operand::Sgpr(25),
@@ -513,8 +542,18 @@ impl FloydWarshall {
             Operand::Sgpr(26),
             Operand::IntConst(2),
         )?;
-        b.sop2(Opcode::SAddU32, Operand::Sgpr(27), arg(0), Operand::Sgpr(25))?;
-        b.sop2(Opcode::SAddU32, Operand::Sgpr(28), arg(0), Operand::Sgpr(26))?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(27),
+            arg(0),
+            Operand::Sgpr(25),
+        )?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(28),
+            arg(0),
+            Operand::Sgpr(26),
+        )?;
         // d[i][k] is wavefront-uniform: scalar load via s[2:3].
         b.sop2(
             Opcode::SLshlB32,
@@ -522,7 +561,12 @@ impl FloydWarshall {
             arg(1),
             Operand::IntConst(2),
         )?;
-        b.sop2(Opcode::SAddU32, Operand::Sgpr(2), Operand::Sgpr(27), Operand::Sgpr(1))?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(2),
+            Operand::Sgpr(27),
+            Operand::Sgpr(1),
+        )?;
         b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
         b.smrd(Opcode::SLoadDword, Operand::Sgpr(30), 2, SmrdOffset::Imm(0))?;
         // d[i][j] and d[k][j].
@@ -654,7 +698,10 @@ impl Benchmark for NoiseGen {
         let mut sys = System::new(config, &kernel)?;
         let n = self.n as usize;
         // Seeds must be nonzero for xorshift.
-        let seeds: Vec<u32> = random_u32(n, 151, u32::MAX - 1).iter().map(|&s| s | 1).collect();
+        let seeds: Vec<u32> = random_u32(n, 151, u32::MAX - 1)
+            .iter()
+            .map(|&s| s | 1)
+            .collect();
         let a_in = sys.alloc_words(&seeds);
         let a_out = sys.alloc(n as u64 * 4);
         sys.set_args(&[a_in as u32, a_out as u32, self.rounds]);
@@ -695,7 +742,10 @@ mod tests {
     fn black_scholes_prices_are_sane() {
         // Deep in-the-money call ~ S - K e^{-rT}; worthless when S << K.
         let deep = BlackScholes::price_reference(100.0, 10.0);
-        assert!((deep - (100.0 - 10.0 * (-0.03f32).exp())).abs() < 0.5, "{deep}");
+        assert!(
+            (deep - (100.0 - 10.0 * (-0.03f32).exp())).abs() < 0.5,
+            "{deep}"
+        );
         let worthless = BlackScholes::price_reference(10.0, 100.0);
         assert!(worthless < 0.5, "{worthless}");
     }

@@ -7,7 +7,7 @@ use scratch_isa::{Opcode, Operand, SmrdOffset};
 use scratch_system::{abi, RunReport, System, SystemConfig};
 
 use crate::common::{arg, check_f32, f32_bits, gid_x, load_args, random_f32, unmask};
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// Solve `A·x = b` for an `n × n` diagonally dominant system using the
 /// augmented `n × (n+1)` matrix layout.
@@ -32,14 +32,24 @@ impl Gaussian {
         b.sgprs(32).vgprs(12);
         load_args(&mut b, 4)?;
         gid_x(&mut b, 3, 64)?; // v3 = i
-        // exec &= (i < n) & (i > k).
+                               // exec &= (i < n) & (i > k).
         b.vopc(Opcode::VCmpGtU32, arg(3), 3)?;
         b.sop1(Opcode::SMovB64, Operand::Sgpr(0), Operand::VccLo)?;
         b.vopc(Opcode::VCmpLtU32, arg(2), 3)?;
-        b.sop2(Opcode::SAndB64, Operand::VccLo, Operand::Sgpr(0), Operand::VccLo)?;
+        b.sop2(
+            Opcode::SAndB64,
+            Operand::VccLo,
+            Operand::Sgpr(0),
+            Operand::VccLo,
+        )?;
         b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
         // s26 = width = n + 1.
-        b.sop2(Opcode::SAddU32, Operand::Sgpr(26), arg(3), Operand::IntConst(1))?;
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(26),
+            arg(3),
+            Operand::IntConst(1),
+        )?;
         // Pivot A[k][k]: scalar load.
         b.sop2(Opcode::SMulI32, Operand::Sgpr(1), arg(2), Operand::Sgpr(26))?;
         b.sop2(Opcode::SAddU32, Operand::Sgpr(1), Operand::Sgpr(1), arg(2))?;
@@ -56,7 +66,13 @@ impl Gaussian {
         // v6 = rcp(pivot).
         b.vop1(Opcode::VRcpF32, 6, Operand::Sgpr(30))?;
         // A[i][k]: offset (i*(n+1) + k) * 4.
-        b.vop3a(Opcode::VMulLoU32, 7, Operand::Vgpr(3), Operand::Sgpr(26), None)?;
+        b.vop3a(
+            Opcode::VMulLoU32,
+            7,
+            Operand::Vgpr(3),
+            Operand::Sgpr(26),
+            None,
+        )?;
         b.vop2(Opcode::VAddI32, 7, arg(2), 7)?;
         b.vop2(Opcode::VLshlrevB32, 7, Operand::IntConst(2), 7)?;
         b.mubuf(Opcode::BufferLoadDword, 8, 7, 4, arg(1), 0)?;
@@ -82,13 +98,23 @@ impl Gaussian {
         let done = b.new_label();
         b.branch(Opcode::SCbranchScc1, done);
         gid_x(&mut b, 3, 64)?; // v3 = j
-        // s26 = width = n + 1.
-        b.sop2(Opcode::SAddU32, Operand::Sgpr(26), arg(3), Operand::IntConst(1))?;
+                               // s26 = width = n + 1.
+        b.sop2(
+            Opcode::SAddU32,
+            Operand::Sgpr(26),
+            arg(3),
+            Operand::IntConst(1),
+        )?;
         // exec &= (j < n+1) & (j >= k).
         b.vopc(Opcode::VCmpGtU32, Operand::Sgpr(26), 3)?;
         b.sop1(Opcode::SMovB64, Operand::Sgpr(0), Operand::VccLo)?;
         b.vopc(Opcode::VCmpLeU32, arg(2), 3)?;
-        b.sop2(Opcode::SAndB64, Operand::VccLo, Operand::Sgpr(0), Operand::VccLo)?;
+        b.sop2(
+            Opcode::SAndB64,
+            Operand::VccLo,
+            Operand::Sgpr(0),
+            Operand::VccLo,
+        )?;
         b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(14), Operand::VccLo)?;
         // m[i] scalar.
         b.sop2(

@@ -7,7 +7,7 @@ use scratch_isa::{Opcode, Operand, SmrdOffset};
 use scratch_system::{RunReport, System, SystemConfig};
 
 use crate::common::{arg, check_u32, f32_bits, gid_x, load_args, random_f32, CountedLoop};
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// K-means over `n` two-dimensional points and `k` clusters, iterated a
 /// fixed number of times (the paper uses 512 points, 5 or 10 clusters).
@@ -41,7 +41,11 @@ impl KMeans {
         b.mubuf(Opcode::BufferLoadDword, 6, 4, 4, arg(1), 0)?; // py
         b.waitcnt(Some(0), None)?;
         // best distance = +inf, best index = 0, current index s27 = 0.
-        b.vop1(Opcode::VMovB32, 9, Operand::Literal(f32::INFINITY.to_bits()))?;
+        b.vop1(
+            Opcode::VMovB32,
+            9,
+            Operand::Literal(f32::INFINITY.to_bits()),
+        )?;
         b.vop1(Opcode::VMovB32, 10, Operand::IntConst(0))?;
         b.sop1(Opcode::SMovB32, Operand::Sgpr(27), Operand::IntConst(0))?;
         // s[2:3] = centers pointer.
@@ -50,7 +54,12 @@ impl KMeans {
 
         let lk = CountedLoop::begin(&mut b, 19, arg(4))?;
         // Load center (cx, cy) as scalars.
-        b.smrd(Opcode::SLoadDwordx2, Operand::Sgpr(30), 2, SmrdOffset::Imm(0))?;
+        b.smrd(
+            Opcode::SLoadDwordx2,
+            Operand::Sgpr(30),
+            2,
+            SmrdOffset::Imm(0),
+        )?;
         b.waitcnt(None, Some(0))?;
         b.sop2(
             Opcode::SAddU32,

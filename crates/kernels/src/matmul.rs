@@ -9,7 +9,7 @@ use scratch_system::{abi, RunReport, System, SystemConfig};
 use crate::common::{
     arg, check_f32, check_u32, f32_bits, gid_x, load_args, random_f32, random_u32, CountedLoop,
 };
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// `c = a × b` over `n × n` matrices; grid `[n/64, n, 1]`.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +24,10 @@ impl MatrixMul {
     /// A matrix-multiply workload on `n × n` matrices.
     #[must_use]
     pub fn new(n: u32, fp: bool) -> MatrixMul {
-        assert!(n.is_multiple_of(64), "n must be a multiple of the wavefront");
+        assert!(
+            n.is_multiple_of(64),
+            "n must be a multiple of the wavefront"
+        );
         MatrixMul { n, fp }
     }
 
@@ -35,8 +38,13 @@ impl MatrixMul {
         load_args(&mut b, 4)?;
         gid_x(&mut b, 3, 64)?; // v3 = column
         b.vop1(Opcode::VMovB32, 5, Operand::IntConst(0))?; // acc
-        // s[2:3] = &A[row][0]; row = wg_id_y.
-        b.sop2(Opcode::SMulI32, Operand::Sgpr(1), Operand::Sgpr(abi::WG_ID_Y), arg(3))?;
+                                                           // s[2:3] = &A[row][0]; row = wg_id_y.
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(1),
+            Operand::Sgpr(abi::WG_ID_Y),
+            arg(3),
+        )?;
         b.sop2(
             Opcode::SLshlB32,
             Operand::Sgpr(1),
@@ -47,15 +55,15 @@ impl MatrixMul {
         b.sop1(Opcode::SMovB32, Operand::Sgpr(3), Operand::IntConst(0))?;
         // v4 = B column byte offset; s25 = B row stride in bytes.
         b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), 3)?;
-        b.sop2(Opcode::SLshlB32, Operand::Sgpr(25), arg(3), Operand::IntConst(2))?;
+        b.sop2(
+            Opcode::SLshlB32,
+            Operand::Sgpr(25),
+            arg(3),
+            Operand::IntConst(2),
+        )?;
 
         let k_loop = CountedLoop::begin(&mut b, 19, arg(3))?;
-        b.smrd(
-            Opcode::SLoadDword,
-            Operand::Sgpr(1),
-            2,
-            SmrdOffset::Imm(0),
-        )?;
+        b.smrd(Opcode::SLoadDword, Operand::Sgpr(1), 2, SmrdOffset::Imm(0))?;
         b.sop2(
             Opcode::SAddU32,
             Operand::Sgpr(2),
@@ -67,14 +75,25 @@ impl MatrixMul {
         if self.fp {
             b.vop2(Opcode::VMacF32, 5, Operand::Sgpr(1), 6)?;
         } else {
-            b.vop3a(Opcode::VMulLoI32, 7, Operand::Sgpr(1), Operand::Vgpr(6), None)?;
+            b.vop3a(
+                Opcode::VMulLoI32,
+                7,
+                Operand::Sgpr(1),
+                Operand::Vgpr(6),
+                None,
+            )?;
             b.vop2(Opcode::VAddI32, 5, Operand::Vgpr(7), 5)?;
         }
         b.vop2(Opcode::VAddI32, 4, Operand::Sgpr(25), 4)?;
         k_loop.end(&mut b)?;
 
         // Store C[row][col].
-        b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(3))?;
+        b.sop2(
+            Opcode::SMulI32,
+            Operand::Sgpr(0),
+            Operand::Sgpr(abi::WG_ID_Y),
+            arg(3),
+        )?;
         b.vop2(Opcode::VAddI32, 8, Operand::Sgpr(0), 3)?;
         b.vop2(Opcode::VLshlrevB32, 8, Operand::IntConst(2), 8)?;
         b.mubuf(Opcode::BufferStoreDword, 5, 8, 4, arg(2), 0)?;
@@ -125,12 +144,7 @@ impl Benchmark for MatrixMul {
                     expected[y * n + x] = acc;
                 }
             }
-            check_f32(
-                &self.name(),
-                &sys.read_words(c_dev, n * n),
-                &expected,
-                1e-5,
-            )?;
+            check_f32(&self.name(), &sys.read_words(c_dev, n * n), &expected, 1e-5)?;
         } else {
             let a = random_u32(n * n, 41, 1 << 10);
             let bm = random_u32(n * n, 42, 1 << 10);

@@ -9,7 +9,7 @@ use scratch_isa::{Opcode, Operand};
 use scratch_system::{RunReport, System, SystemConfig};
 
 use crate::common::{arg, check_u32, gid_x, load_args, random_u32, smov, unmask, CountedLoop};
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 // --------------------------------------------------------------- Reduction
 
@@ -98,7 +98,11 @@ impl Benchmark for Reduction {
             .chunks(64)
             .map(|c| c.iter().fold(0u32, |a, &x| a.wrapping_add(x)))
             .collect();
-        check_u32(&self.name(), &sys.read_words(a_out, wgs as usize), &expected)?;
+        check_u32(
+            &self.name(),
+            &sys.read_words(a_out, wgs as usize),
+            &expected,
+        )?;
         Ok(sys.report())
     }
 }
@@ -496,7 +500,9 @@ mod tests {
 
     #[test]
     fn binary_search_validates() {
-        BinarySearch::new(256, 128).run(cfg()).expect("binary search");
+        BinarySearch::new(256, 128)
+            .run(cfg())
+            .expect("binary search");
     }
 
     #[test]

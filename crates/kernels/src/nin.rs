@@ -9,7 +9,7 @@ use scratch_system::{RunReport, System, SystemConfig};
 use crate::cnn::{conv_layer_kernel, conv_reference_int, pad_plane, LayerMath};
 use crate::common::{check_u32, random_u32};
 use crate::pooling::{pool_kernel, pool_reference, Mode};
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 // Silence an unused-import lint gate: the kernel builder is used by the
 // shared conv kernel; NIN itself only drives dispatches.
@@ -34,7 +34,10 @@ impl Nin {
     /// A NIN on `size × size` RGB images at the given precision.
     #[must_use]
     pub fn new(size: u32, bits: u8) -> Nin {
-        assert!(bits == 32 || bits == 8, "NIN supports 32- or 8-bit precision");
+        assert!(
+            bits == 32 || bits == 8,
+            "NIN supports 32- or 8-bit precision"
+        );
         Nin {
             size,
             bits,
@@ -184,7 +187,11 @@ impl Benchmark for Nin {
                     );
                 }
             }
-            check_u32(&format!("{} map {m}", self.name()), &device_out[m], &expected)?;
+            check_u32(
+                &format!("{} map {m}", self.name()),
+                &device_out[m],
+                &expected,
+            )?;
         }
         Ok(sys.report())
     }

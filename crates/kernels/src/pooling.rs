@@ -6,7 +6,7 @@ use scratch_isa::{Opcode, Operand};
 use scratch_system::{abi, RunReport, System, SystemConfig};
 
 use crate::common::{arg, check_u32, gid_x, load_args, mask_lt, random_u32, unmask};
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// The pooling function applied to each 2×2 window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,14 +41,24 @@ pub(crate) fn pool_kernel(mode: Mode, fp: bool) -> Result<Kernel, AsmError> {
     gid_x(&mut b, 3, 64)?; // v3 = x
     mask_lt(&mut b, 3, arg(2), 14)?;
     // Row bases: s1 = y*16b (bytes of row 2y), s25 = s1 + 8b.
-    b.sop2(Opcode::SMulI32, Operand::Sgpr(1), Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+    b.sop2(
+        Opcode::SMulI32,
+        Operand::Sgpr(1),
+        Operand::Sgpr(abi::WG_ID_Y),
+        arg(2),
+    )?;
     b.sop2(
         Opcode::SLshlB32,
         Operand::Sgpr(1),
         Operand::Sgpr(1),
         Operand::IntConst(4),
     )?;
-    b.sop2(Opcode::SLshlB32, Operand::Sgpr(25), arg(2), Operand::IntConst(3))?;
+    b.sop2(
+        Opcode::SLshlB32,
+        Operand::Sgpr(25),
+        arg(2),
+        Operand::IntConst(3),
+    )?;
     b.sop2(
         Opcode::SAddU32,
         Operand::Sgpr(25),
@@ -57,7 +67,12 @@ pub(crate) fn pool_kernel(mode: Mode, fp: bool) -> Result<Kernel, AsmError> {
     )?;
     // Absolute row addresses via soffset.
     b.sop2(Opcode::SAddU32, Operand::Sgpr(27), arg(0), Operand::Sgpr(1))?;
-    b.sop2(Opcode::SAddU32, Operand::Sgpr(28), arg(0), Operand::Sgpr(25))?;
+    b.sop2(
+        Opcode::SAddU32,
+        Operand::Sgpr(28),
+        arg(0),
+        Operand::Sgpr(25),
+    )?;
     // v4 = x*8 bytes (two elements per output column).
     b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(3), 3)?;
     b.mubuf(Opcode::BufferLoadDword, 5, 4, 4, Operand::Sgpr(27), 0)?;
@@ -121,7 +136,12 @@ pub(crate) fn pool_kernel(mode: Mode, fp: bool) -> Result<Kernel, AsmError> {
     }
 
     // Out offset (y*b + x) * 4.
-    b.sop2(Opcode::SMulI32, Operand::Sgpr(0), Operand::Sgpr(abi::WG_ID_Y), arg(2))?;
+    b.sop2(
+        Opcode::SMulI32,
+        Operand::Sgpr(0),
+        Operand::Sgpr(abi::WG_ID_Y),
+        arg(2),
+    )?;
     b.vop2(Opcode::VAddI32, 10, Operand::Sgpr(0), 3)?;
     b.vop2(Opcode::VLshlrevB32, 10, Operand::IntConst(2), 10)?;
     b.mubuf(Opcode::BufferStoreDword, 9, 10, 4, arg(1), 0)?;
@@ -135,9 +155,7 @@ pub(crate) fn pool_kernel(mode: Mode, fp: bool) -> Result<Kernel, AsmError> {
 pub(crate) fn pool_reference(mode: Mode, vals: [u32; 4]) -> u32 {
     match mode {
         Mode::Max => *vals.iter().max_by_key(|&&v| v as i32).unwrap(),
-        Mode::Average => {
-            (vals.iter().map(|&v| u64::from(v)).sum::<u64>() / 4) as u32
-        }
+        Mode::Average => (vals.iter().map(|&v| u64::from(v)).sum::<u64>() / 4) as u32,
         Mode::Median => {
             let sum: u64 = vals.iter().map(|&v| u64::from(v)).sum();
             let min = u64::from(*vals.iter().min().unwrap());

@@ -6,7 +6,7 @@ use scratch_isa::{Opcode, Operand};
 use scratch_system::{abi, RunReport, System, SystemConfig};
 
 use crate::common::{arg, check_u32, gid_x, load_args, random_u32};
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// `out[x][y] = in[y][x]` over an `n × n` matrix; grid `[n/64, n, 1]`
 /// (row = workgroup id Y, column = flat X id).
@@ -20,7 +20,10 @@ impl Transpose {
     /// A transpose workload on an `n × n` matrix.
     #[must_use]
     pub fn new(n: u32) -> Transpose {
-        assert!(n.is_multiple_of(64), "n must be a multiple of the wavefront");
+        assert!(
+            n.is_multiple_of(64),
+            "n must be a multiple of the wavefront"
+        );
         Transpose { n }
     }
 
@@ -30,7 +33,7 @@ impl Transpose {
         // args: [in, out, n]
         load_args(&mut b, 3)?;
         gid_x(&mut b, 3, 64)?; // v3 = x
-        // In offset: (y*n + x) * 4; y = wg_id_y.
+                               // In offset: (y*n + x) * 4; y = wg_id_y.
         b.sop2(
             Opcode::SMulI32,
             Operand::Sgpr(1),
@@ -104,8 +107,6 @@ mod tests {
         let k = Transpose::new(64).kernels().unwrap().pop().unwrap();
         let trim = trim_kernel(&k).unwrap();
         assert!(!trim.uses_fp);
-        assert!(trim
-            .removed_units
-            .contains(&scratch_isa::FuncUnit::Simf));
+        assert!(trim.removed_units.contains(&scratch_isa::FuncUnit::Simf));
     }
 }

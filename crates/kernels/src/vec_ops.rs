@@ -7,7 +7,7 @@ use scratch_system::{RunReport, System, SystemConfig};
 use crate::common::{
     byte_offset, check_f32, check_u32, f32_bits, gid_x, load_args, random_f32, random_u32,
 };
-use crate::{Benchmark, BenchError};
+use crate::{BenchError, Benchmark};
 
 /// `out = a + b` over an `n × n` matrix, one work-item per element.
 #[derive(Debug, Clone, Copy)]
@@ -23,7 +23,10 @@ impl MatrixAdd {
     /// multiple of 64).
     #[must_use]
     pub fn new(n: u32, fp: bool) -> MatrixAdd {
-        assert!((n * n).is_multiple_of(64), "n*n must be a multiple of the wavefront");
+        assert!(
+            (n * n).is_multiple_of(64),
+            "n*n must be a multiple of the wavefront"
+        );
         MatrixAdd { n, fp }
     }
 

@@ -36,10 +36,19 @@ impl fmt::Display for SystemError {
         match self {
             SystemError::Cu(e) => write!(f, "compute unit: {e}"),
             SystemError::Asm(e) => write!(f, "kernel: {e}"),
-            SystemError::OutOfMemory { requested, available } => {
-                write!(f, "out of global memory ({requested} bytes requested, {available} free)")
+            SystemError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of global memory ({requested} bytes requested, {available} free)"
+                )
             }
-            SystemError::PrefetchCapacity { requested, capacity } => write!(
+            SystemError::PrefetchCapacity {
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "prefetch buffer capacity exceeded ({requested} bytes requested of {capacity})"
             ),

@@ -66,4 +66,6 @@ mod system;
 
 pub use error::SystemError;
 pub use memory::{MemTiming, SharedMemory};
-pub use system::{RunReport, System, SystemConfig, SystemKind};
+pub use system::{RunReport, System, SystemConfig, SystemKind, TraceMode};
+
+pub use scratch_trace::{chrome_trace, EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer};

@@ -98,6 +98,8 @@ pub struct SharedMemory {
     /// Counters.
     pub(crate) global_accesses: u64,
     pub(crate) prefetch_hits: u64,
+    /// Cycles requests spent queued behind the server before service began.
+    pub(crate) queue_wait: u64,
 }
 
 impl SharedMemory {
@@ -113,6 +115,7 @@ impl SharedMemory {
             sharers: 1,
             global_accesses: 0,
             prefetch_hits: 0,
+            queue_wait: 0,
         }
     }
 
@@ -145,6 +148,7 @@ impl SharedMemory {
         self.server_free = 0;
         self.global_accesses = 0;
         self.prefetch_hits = 0;
+        self.queue_wait = 0;
     }
 
     /// Mark `[addr, addr+len)` as resident in the prefetch buffer, as the
@@ -181,7 +185,10 @@ impl SharedMemory {
         if self.timing.prefetch_hit.is_none() {
             return 0;
         }
-        let room = self.timing.prefetch_capacity.saturating_sub(self.prefetched_bytes);
+        let room = self
+            .timing
+            .prefetch_capacity
+            .saturating_sub(self.prefetched_bytes);
         let take = len.min(room);
         if take > 0 {
             self.prefetched.push((addr, addr + take));
@@ -213,6 +220,14 @@ impl SharedMemory {
     #[must_use]
     pub fn prefetch_hits(&self) -> u64 {
         self.prefetch_hits
+    }
+
+    /// Cycles requests spent queued behind the shared server before their
+    /// service began (the memory-server congestion component of the stall
+    /// taxonomy).
+    #[must_use]
+    pub fn queue_wait_cycles(&self) -> u64 {
+        self.queue_wait
     }
 
     /// Copy words into memory (host-side write; no timing).
@@ -275,6 +290,7 @@ impl Memory for SharedMemory {
             AccessKind::VectorLoad | AccessKind::VectorStore => self.timing.vector_service(lanes),
         } * u64::from(self.sharers);
         let start = self.server_free.max(now);
+        self.queue_wait += start - now;
         let done = start + service;
         self.server_free = done;
         done

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use scratch_asm::Kernel;
 use scratch_cu::{ComputeUnit, CuConfig, CuStats, WaveInit};
 use scratch_isa::WAVEFRONT_SIZE;
+use scratch_trace::{EventBuffer, StallReason, TraceEvent, TraceSummary};
 
 use crate::memory::{MemTiming, SharedMemory};
 use crate::{abi, SystemError};
@@ -59,6 +60,20 @@ impl SystemKind {
     }
 }
 
+/// How much tracing a [`System`] performs (see `scratch-trace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracing: the untraced fast path.
+    #[default]
+    Off,
+    /// Stall attribution only: [`RunReport::trace`] carries a
+    /// [`TraceSummary`], no event stream is retained.
+    Summary,
+    /// Attribution plus the full structured event stream
+    /// ([`RunReport::trace_events`]).
+    Full,
+}
+
 /// Configuration of a [`System`].
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -73,6 +88,8 @@ pub struct SystemConfig {
     /// Mark allocations prefetch-resident automatically when the prefetch
     /// buffer has room (the paper preloads application data at startup).
     pub auto_prefetch: bool,
+    /// Cycle-attribution / event-tracing mode.
+    pub trace: TraceMode,
 }
 
 impl SystemConfig {
@@ -86,7 +103,15 @@ impl SystemConfig {
             cu: CuConfig::default(),
             memory_bytes: 64 << 20,
             auto_prefetch: true,
+            trace: TraceMode::Off,
         }
+    }
+
+    /// Builder-style override of the tracing mode.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceMode) -> SystemConfig {
+        self.trace = trace;
+        self
     }
 
     /// Builder-style override of the CU count.
@@ -130,6 +155,11 @@ pub struct RunReport {
     /// Number of times consecutive dispatches changed kernels (each would
     /// trigger a partial reconfiguration under per-kernel trimming).
     pub kernel_switches: u64,
+    /// Merged stall-attribution summary ([`TraceMode::Summary`] or
+    /// [`TraceMode::Full`]; `None` when tracing was off).
+    pub trace: Option<TraceSummary>,
+    /// The structured event stream ([`TraceMode::Full`] only).
+    pub trace_events: Option<Vec<TraceEvent>>,
 }
 
 impl RunReport {
@@ -157,6 +187,8 @@ pub struct System {
     per_kernel_dispatches: Vec<u64>,
     kernel_switches: u64,
     last_kernel: Option<usize>,
+    /// Shared event sink handed to every CU under [`TraceMode::Full`].
+    trace_buf: Option<EventBuffer>,
 }
 
 impl System {
@@ -179,9 +211,16 @@ impl System {
         let first = kernels.first().ok_or(SystemError::EmptyDispatch)?;
         let mut mem = SharedMemory::new(config.memory_bytes, config.kind.timing());
         mem.set_sharers(u32::from(config.cus));
+        let trace_buf = (config.trace == TraceMode::Full).then(EventBuffer::new);
         let mut cus = Vec::with_capacity(usize::from(config.cus));
-        for _ in 0..config.cus.max(1) {
-            cus.push(ComputeUnit::new(config.cu.clone(), first)?);
+        for ci in 0..config.cus.max(1) {
+            let mut cu = ComputeUnit::new(config.cu.clone(), first)?;
+            match (&trace_buf, config.trace) {
+                (Some(buf), _) => cu.set_tracer(u32::from(ci), Box::new(buf.clone())),
+                (None, TraceMode::Summary) => cu.enable_tracing(u32::from(ci)),
+                (None, _) => {}
+            }
+            cus.push(cu);
         }
         let n = kernels.len();
         let mut sys = System {
@@ -198,6 +237,7 @@ impl System {
             per_kernel_dispatches: vec![0; n],
             kernel_switches: 0,
             last_kernel: None,
+            trace_buf,
         };
         sys.cb0_addr = sys.alloc(64);
         Ok(sys)
@@ -326,6 +366,14 @@ impl System {
             return Err(SystemError::EmptyDispatch);
         }
         let waves_per_wg = (wg_size as usize).div_ceil(WAVEFRONT_SIZE);
+        if let Some(buf) = &mut self.trace_buf {
+            use scratch_trace::Tracer as _;
+            buf.record(&TraceEvent::KernelDispatch {
+                kernel: kernel.name().to_owned(),
+                grid,
+                workgroup_size: wg_size,
+            });
+        }
 
         // OpenCL call values.
         self.mem.write_words(
@@ -373,6 +421,16 @@ impl System {
                         };
                         let tids: Vec<u32> =
                             (0..WAVEFRONT_SIZE as u32).map(|l| lane_base + l).collect();
+                        let mut vgprs = vec![(u32::from(abi::TID_X), tids)];
+                        // v1/v2 carry the work-item Y/Z ids. This
+                        // dispatcher launches 1-D workgroups, so both are
+                        // zero — written explicitly, but only when the
+                        // kernel's VGPR budget covers the register.
+                        for tid in [abi::TID_Y, abi::TID_Z] {
+                            if u32::from(tid) < u32::from(kernel.meta().vgprs) {
+                                vgprs.push((u32::from(tid), vec![0; WAVEFRONT_SIZE]));
+                            }
+                        }
                         cu.start_wave(WaveInit {
                             workgroup: wg,
                             exec,
@@ -397,7 +455,7 @@ impl System {
                                 (u32::from(abi::WG_ID_Y), wg_id[1]),
                                 (u32::from(abi::WG_ID_Z), wg_id[2]),
                             ],
-                            vgprs: vec![(u32::from(abi::TID_X), tids)],
+                            vgprs,
                         })?;
                     }
                 }
@@ -434,6 +492,25 @@ impl System {
         stats.cycles = cu_cycles;
         let seconds = cu_cycles as f64 / self.config.kind.cu_clock_hz()
             + self.host_cycles as f64 / self.config.kind.mb_clock_hz();
+        let mut trace: Option<TraceSummary> = None;
+        for cu in &self.cus {
+            if let Some(s) = cu.trace_summary() {
+                match &mut trace {
+                    Some(merged) => merged.merge(&s),
+                    None => trace = Some(s),
+                }
+            }
+        }
+        if let Some(merged) = &mut trace {
+            // Queueing delay at the shared memory server is a system-level
+            // structural stall: it is not resident on any wavefront
+            // timeline, but it explains where global-memory latency came
+            // from.
+            let queued = self.mem.queue_wait_cycles();
+            if queued > 0 {
+                *merged.stalls.entry(StallReason::MemoryQueue).or_insert(0) += queued;
+            }
+        }
         RunReport {
             cu_cycles,
             host_cycles: self.host_cycles,
@@ -445,6 +522,8 @@ impl System {
             per_kernel_cycles: self.per_kernel_cycles.clone(),
             per_kernel_dispatches: self.per_kernel_dispatches.clone(),
             kernel_switches: self.kernel_switches,
+            trace,
+            trace_events: self.trace_buf.as_ref().map(EventBuffer::snapshot),
         }
     }
 }
@@ -477,9 +556,11 @@ mod tests {
         )
         .unwrap();
         // v1 = gid = s0 + tid
-        b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), abi::TID_X).unwrap();
+        b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), abi::TID_X)
+            .unwrap();
         // v1 = byte offset
-        b.vop2(Opcode::VLshlrevB32, 1, Operand::IntConst(2), 1).unwrap();
+        b.vop2(Opcode::VLshlrevB32, 1, Operand::IntConst(2), 1)
+            .unwrap();
         // v2 = load in[gid]
         b.mubuf(
             Opcode::BufferLoadDword,
@@ -565,8 +646,7 @@ mod tests {
     fn partial_tail_masks_lanes() {
         // 96-item workgroups: second wave has 32 active lanes.
         let kernel = add_one_kernel(96);
-        let mut sys =
-            System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        let mut sys = System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
         let input: Vec<u32> = (0..96).collect();
         let a_in = sys.alloc_words(&input);
         let a_out = sys.alloc(96 * 4 + 64 * 4);
@@ -585,8 +665,7 @@ mod tests {
     #[test]
     fn dispatch_without_args_fails() {
         let kernel = add_one_kernel(64);
-        let mut sys =
-            System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        let mut sys = System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
         assert_eq!(sys.dispatch([1, 1, 1]), Err(SystemError::ArgsNotSet));
         sys.set_args(&[0, 0]);
         assert_eq!(sys.dispatch([0, 1, 1]), Err(SystemError::EmptyDispatch));
@@ -595,14 +674,12 @@ mod tests {
     #[test]
     fn host_work_charged_at_mb_clock() {
         let kernel = add_one_kernel(64);
-        let mut sys =
-            System::new(SystemConfig::preset(SystemKind::Original), &kernel).unwrap();
+        let mut sys = System::new(SystemConfig::preset(SystemKind::Original), &kernel).unwrap();
         sys.host_work(50_000_000); // 1 second at 50 MHz
         let r = sys.report();
         assert!((r.seconds - 1.0).abs() < 1e-9);
 
-        let mut sys2 =
-            System::new(SystemConfig::preset(SystemKind::Dcd), &kernel).unwrap();
+        let mut sys2 = System::new(SystemConfig::preset(SystemKind::Dcd), &kernel).unwrap();
         sys2.host_work(50_000_000); // 0.25 s at 200 MHz
         let r2 = sys2.report();
         assert!((r2.seconds - 0.25).abs() < 1e-9);
@@ -614,5 +691,177 @@ mod tests {
         assert_eq!(r.stats.wavefronts_retired, 2);
         assert!(r.instructions() > 0);
         assert!(r.stats.vector_mem_ops >= 4); // 2 wavefronts x (load+store)
+    }
+
+    /// Kernel that retires immediately, leaving the dispatcher's launch-time
+    /// register state intact for inspection.
+    fn noop_kernel(wg_size: u32) -> Kernel {
+        let mut b = KernelBuilder::new("noop");
+        b.vgprs(4).sgprs(32).workgroup_size(wg_size);
+        b.endpgm().unwrap();
+        b.finish().unwrap()
+    }
+
+    /// Asserts the full launch ABI on one wave: buffer descriptors in
+    /// s[4:7]/s[8:11]/s[12:15], workgroup ids in s16..s18 and work-item ids
+    /// in v0..v2 (see [`abi`]).
+    fn assert_launch_abi(sys: &System, w: usize, wg_id: [u32; 3], lane_base: u32) {
+        let wave = sys.cus[0].wave(w);
+        // s[4:7] IMM_UAV: base 0, unbounded records.
+        for r in 0..4u32 {
+            assert_eq!(wave.sgpr(u32::from(abi::UAV_DESC) + r).unwrap(), 0);
+        }
+        // s[8:11] IMM_CONST_BUFFER0: OpenCL call values.
+        let cb0 = sys.cb0_addr;
+        assert_eq!(wave.sgpr(u32::from(abi::CONST_BUF0)).unwrap(), cb0 as u32);
+        assert_eq!(
+            wave.sgpr(u32::from(abi::CONST_BUF0) + 1).unwrap(),
+            (cb0 >> 32) as u32
+        );
+        assert_eq!(wave.sgpr(u32::from(abi::CONST_BUF0) + 2).unwrap(), 64);
+        assert_eq!(wave.sgpr(u32::from(abi::CONST_BUF0) + 3).unwrap(), 0);
+        // s[12:15] IMM_CONST_BUFFER1: kernel arguments.
+        let args = sys.args_addr.unwrap();
+        assert_eq!(wave.sgpr(u32::from(abi::CONST_BUF1)).unwrap(), args as u32);
+        assert_eq!(
+            wave.sgpr(u32::from(abi::CONST_BUF1) + 1).unwrap(),
+            (args >> 32) as u32
+        );
+        assert_eq!(
+            wave.sgpr(u32::from(abi::CONST_BUF1) + 2).unwrap(),
+            sys.args_len as u32
+        );
+        assert_eq!(wave.sgpr(u32::from(abi::CONST_BUF1) + 3).unwrap(), 0);
+        // s16..s18: workgroup ids.
+        assert_eq!(wave.sgpr(u32::from(abi::WG_ID_X)).unwrap(), wg_id[0]);
+        assert_eq!(wave.sgpr(u32::from(abi::WG_ID_Y)).unwrap(), wg_id[1]);
+        assert_eq!(wave.sgpr(u32::from(abi::WG_ID_Z)).unwrap(), wg_id[2]);
+        // v0..v2: work-item ids (1-D workgroups, so Y/Z are zero).
+        for lane in [0usize, 17, 63] {
+            assert_eq!(
+                wave.vgpr(u32::from(abi::TID_X), lane).unwrap(),
+                lane_base + lane as u32
+            );
+            assert_eq!(wave.vgpr(u32::from(abi::TID_Y), lane).unwrap(), 0);
+            assert_eq!(wave.vgpr(u32::from(abi::TID_Z), lane).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn launch_abi_2d_grid() {
+        let kernel = noop_kernel(64);
+        let mut sys = System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        sys.set_args(&[7, 11, 13]);
+        sys.dispatch([2, 3, 1]).unwrap();
+        assert_eq!(sys.args_len, 12);
+        // Workgroups are enumerated x-fastest; single CU, single batch.
+        let order = [
+            [0, 0, 0],
+            [1, 0, 0],
+            [0, 1, 0],
+            [1, 1, 0],
+            [0, 2, 0],
+            [1, 2, 0],
+        ];
+        for (w, wg_id) in order.into_iter().enumerate() {
+            assert_launch_abi(&sys, w, wg_id, 0);
+        }
+    }
+
+    #[test]
+    fn launch_abi_3d_grid() {
+        let kernel = noop_kernel(64);
+        let mut sys = System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        sys.set_args(&[1]);
+        sys.dispatch([2, 2, 2]).unwrap();
+        let order = [
+            [0, 0, 0],
+            [1, 0, 0],
+            [0, 1, 0],
+            [1, 1, 0],
+            [0, 0, 1],
+            [1, 0, 1],
+            [0, 1, 1],
+            [1, 1, 1],
+        ];
+        for (w, wg_id) in order.into_iter().enumerate() {
+            assert_launch_abi(&sys, w, wg_id, 0);
+        }
+    }
+
+    #[test]
+    fn launch_abi_multi_wave_workgroup() {
+        // 100-item workgroups: two waves, the second with lane_base 64 and a
+        // 36-lane exec tail.
+        let kernel = noop_kernel(100);
+        let mut sys = System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        sys.set_args(&[0]);
+        sys.dispatch([1, 1, 1]).unwrap();
+        assert_launch_abi(&sys, 0, [0, 0, 0], 0);
+        assert_launch_abi(&sys, 1, [0, 0, 0], 64);
+        assert_eq!(sys.cus[0].wave(0).exec, u64::MAX);
+        assert_eq!(sys.cus[0].wave(1).exec, (1u64 << 36) - 1);
+    }
+
+    #[test]
+    fn trace_summary_mode_attributes_system_runs() {
+        let kernel = add_one_kernel(64);
+        let config = SystemConfig::preset(SystemKind::Original).with_trace(TraceMode::Summary);
+        let mut sys = System::new(config, &kernel).unwrap();
+        let input: Vec<u32> = (0..256).collect();
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(256 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        sys.dispatch([4, 1, 1]).unwrap();
+        let r = sys.report();
+        let trace = r.trace.expect("summary mode populates the report");
+        trace.check_invariant().unwrap();
+        assert_eq!(trace.waves.len(), 4);
+        // The Original preset serialises every global access through the
+        // MicroBlaze, so contending waves must queue at the memory server.
+        assert!(
+            trace.stall_cycles(StallReason::MemoryQueue) > 0,
+            "no server queueing recorded: {:?}",
+            trace.stalls
+        );
+        // Summary mode does not buffer per-cycle events.
+        assert!(r.trace_events.is_none());
+    }
+
+    #[test]
+    fn trace_full_mode_buffers_events() {
+        let kernel = add_one_kernel(64);
+        let config = SystemConfig::preset(SystemKind::DcdPm).with_trace(TraceMode::Full);
+        let mut sys = System::new(config, &kernel).unwrap();
+        let input: Vec<u32> = (0..128).collect();
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(128 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        sys.dispatch([2, 1, 1]).unwrap();
+        let r = sys.report();
+        r.trace
+            .expect("full mode also summarises")
+            .check_invariant()
+            .unwrap();
+        let events = r.trace_events.expect("full mode buffers events");
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::KernelDispatch { .. })
+        ));
+        let issues = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Issue { .. }))
+            .count() as u64;
+        assert_eq!(issues, r.stats.instructions);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MemComplete { .. })));
+    }
+
+    #[test]
+    fn trace_off_leaves_report_untouched() {
+        let (_, r) = run_add_one(SystemKind::Dcd, 1, 128, 64);
+        assert!(r.trace.is_none());
+        assert!(r.trace_events.is_none());
     }
 }

@@ -1,0 +1,208 @@
+//! The stall-attribution engine: turns scheduling decisions into an exact
+//! per-wavefront cycle breakdown.
+
+use std::collections::BTreeMap;
+
+use crate::{StallReason, TraceSummary, WaveTimeline};
+
+/// Cycle breakdown of one wavefront's residency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveAttribution {
+    /// CU-local wavefront id within its batch.
+    pub wave: u32,
+    /// First resident cycle.
+    pub start: u64,
+    /// Retirement cycle (`None` while still running).
+    pub end: Option<u64>,
+    /// Cycles in which the wavefront issued an instruction.
+    pub issued: u64,
+    /// Stalled cycles by reason (wave-resident reasons only).
+    pub stalls: BTreeMap<StallReason, u64>,
+}
+
+impl WaveAttribution {
+    fn new(wave: u32, start: u64) -> WaveAttribution {
+        WaveAttribution {
+            wave,
+            start,
+            end: None,
+            issued: 0,
+            stalls: BTreeMap::new(),
+        }
+    }
+
+    /// Total stalled cycles.
+    #[must_use]
+    pub fn stall_total(&self) -> u64 {
+        self.stalls.values().sum()
+    }
+
+    /// Cycles accounted so far (`issued + Σ stalls`).
+    #[must_use]
+    pub fn accounted(&self) -> u64 {
+        self.issued + self.stall_total()
+    }
+}
+
+/// Per-CU attribution state, fed by the pipeline at every scheduling
+/// decision.
+///
+/// The pipeline accounts contiguous intervals: after deciding what issues
+/// at cycle `t0` and computing the next decision point `t1`, every live
+/// wavefront receives exactly `t1 − t0` cycles — one issue cycle (when it
+/// issued; issuing decisions always advance time by one) or `t1 − t0`
+/// stall cycles with a single [`StallReason`]. Because intervals tile
+/// `[start, end)` per wave, the invariant
+/// `issued + Σ stalls == end − start` holds by construction; it is
+/// re-checked from the outside by [`WaveTimeline::check`].
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    waves: Vec<WaveAttribution>,
+    /// Index of the first wavefront of the current batch.
+    base: usize,
+    /// Wave-slot cycles left empty by early retirement (CU-level).
+    pub wavepool_empty: u64,
+}
+
+impl Attribution {
+    /// Fresh engine.
+    #[must_use]
+    pub fn new() -> Attribution {
+        Attribution::default()
+    }
+
+    /// Start a batch of `wave_count` wavefronts resident from `now`.
+    pub fn begin_run(&mut self, wave_count: usize, now: u64) {
+        self.base = self.waves.len();
+        for w in 0..wave_count {
+            self.waves.push(WaveAttribution::new(w as u32, now));
+        }
+    }
+
+    /// Account one issue cycle to batch-local wave `wi`.
+    pub fn issue(&mut self, wi: usize) {
+        self.waves[self.base + wi].issued += 1;
+    }
+
+    /// Account `cycles` stalled cycles with `reason` to wave `wi`.
+    pub fn stall(&mut self, wi: usize, reason: StallReason, cycles: u64) {
+        debug_assert!(reason.is_wave_resident());
+        *self.waves[self.base + wi].stalls.entry(reason).or_insert(0) += cycles;
+    }
+
+    /// Mark wave `wi` retired at cycle `at`.
+    pub fn retire(&mut self, wi: usize, at: u64) {
+        self.waves[self.base + wi].end = Some(at);
+    }
+
+    /// `true` once [`Attribution::retire`] ran for wave `wi` this batch.
+    #[must_use]
+    pub fn is_retired(&self, wi: usize) -> bool {
+        self.waves[self.base + wi].end.is_some()
+    }
+
+    /// Close the batch at cycle `now`: waves that retired earlier
+    /// contribute their idle tail to [`Attribution::wavepool_empty`];
+    /// waves still running (cycle-limit aborts) are closed at `now`.
+    pub fn end_run(&mut self, now: u64) {
+        for w in &mut self.waves[self.base..] {
+            match w.end {
+                Some(end) => self.wavepool_empty += now - end,
+                None => w.end = Some(now),
+            }
+        }
+        self.base = self.waves.len();
+    }
+
+    /// Breakdown of every wavefront seen so far.
+    #[must_use]
+    pub fn waves(&self) -> &[WaveAttribution] {
+        &self.waves
+    }
+
+    /// Fold into a [`TraceSummary`] for compute unit `cu` whose clock
+    /// stands at `cycles`. Functional-unit busy counters are supplied by
+    /// the caller (the CU keeps them in its statistics).
+    #[must_use]
+    pub fn summarize(
+        &self,
+        cu: u32,
+        cycles: u64,
+        fu_busy: &BTreeMap<scratch_isa::FuncUnit, u64>,
+    ) -> TraceSummary {
+        let mut stalls: BTreeMap<StallReason, u64> = BTreeMap::new();
+        let mut issued_cycles = 0;
+        let mut waves = Vec::with_capacity(self.waves.len());
+        for w in &self.waves {
+            issued_cycles += w.issued;
+            for (&r, &c) in &w.stalls {
+                *stalls.entry(r).or_insert(0) += c;
+            }
+            waves.push(WaveTimeline {
+                cu,
+                wave: w.wave,
+                start: w.start,
+                end: w.end.unwrap_or(w.start),
+                issued: w.issued,
+                stalls: w.stalls.clone(),
+            });
+        }
+        if self.wavepool_empty > 0 {
+            stalls.insert(StallReason::WavepoolEmpty, self.wavepool_empty);
+        }
+        TraceSummary {
+            cycles,
+            issued_cycles,
+            stalls,
+            fu_busy: fu_busy.clone(),
+            waves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_tile_residency() {
+        let mut a = Attribution::new();
+        a.begin_run(2, 100);
+        // Wave 0: stalls 4, issues, stalls 2, issues+retires at 107.
+        a.stall(0, StallReason::FetchStarve, 4);
+        a.issue(0);
+        a.stall(0, StallReason::ScoreboardRaw, 2);
+        a.issue(0);
+        a.retire(0, 108);
+        // Wave 1: stalls the whole time, retires at 110.
+        a.stall(1, StallReason::Barrier, 9);
+        a.issue(1);
+        a.retire(1, 110);
+        a.end_run(110);
+
+        let s = a.summarize(0, 110, &BTreeMap::new());
+        s.check_invariant().unwrap();
+        assert_eq!(s.issued_cycles, 3);
+        assert_eq!(s.stalls[&StallReason::Barrier], 9);
+        // Wave 0 retired 2 cycles before the batch end.
+        assert_eq!(s.stalls[&StallReason::WavepoolEmpty], 2);
+    }
+
+    #[test]
+    fn batches_accumulate() {
+        let mut a = Attribution::new();
+        a.begin_run(1, 0);
+        a.issue(0);
+        a.retire(0, 1);
+        a.end_run(1);
+        a.begin_run(1, 1);
+        a.issue(0);
+        a.retire(0, 2);
+        a.end_run(2);
+        assert_eq!(a.waves().len(), 2);
+        assert_eq!(a.waves()[1].start, 1);
+        a.summarize(0, 2, &BTreeMap::new())
+            .check_invariant()
+            .unwrap();
+    }
+}

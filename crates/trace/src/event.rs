@@ -1,0 +1,248 @@
+//! The structured event model emitted by the instrumented simulators.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_isa::{FuncUnit, Opcode};
+
+use crate::StallReason;
+
+/// One simulator event.
+///
+/// Events are externally tagged when serialised
+/// (`{"Issue": {"cu": 0, ...}}`), so JSONL streams are self-describing.
+/// All times are CU cycles (50 MHz in every paper configuration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The dispatcher launched a kernel over a grid of workgroups.
+    KernelDispatch {
+        /// Kernel name.
+        kernel: String,
+        /// Workgroup counts in X, Y, Z.
+        grid: [u32; 3],
+        /// Work-items per workgroup.
+        workgroup_size: u32,
+    },
+    /// A wavefront became resident on a CU at the start of a batch.
+    WaveStart {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Workgroup handle within the batch.
+        workgroup: u32,
+        /// Cycle the batch started.
+        now: u64,
+    },
+    /// Instruction fetched from the instruction memory.
+    Fetch {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Program counter, in words.
+        pc: u32,
+        /// Fetch cycle.
+        now: u64,
+    },
+    /// Instruction decoded (64-bit encodings take two cycles).
+    Decode {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Program counter, in words.
+        pc: u32,
+        /// Decode start cycle.
+        now: u64,
+        /// Decode duration in cycles (the encoding's word count).
+        cycles: u64,
+    },
+    /// Instruction issued to a functional unit.
+    Issue {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Program counter, in words.
+        pc: u32,
+        /// The instruction.
+        opcode: Opcode,
+        /// Functional-unit class it issued to.
+        unit: FuncUnit,
+        /// Issue cycle.
+        now: u64,
+    },
+    /// Functional-unit occupancy interval of an issued instruction.
+    Execute {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Program counter, in words.
+        pc: u32,
+        /// The instruction.
+        opcode: Opcode,
+        /// Functional-unit class.
+        unit: FuncUnit,
+        /// First busy cycle.
+        start: u64,
+        /// First free cycle after the operation.
+        end: u64,
+    },
+    /// Result writeback: dependent instructions may issue from here.
+    Writeback {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Program counter, in words.
+        pc: u32,
+        /// Cycle the result becomes visible to the scoreboard.
+        now: u64,
+    },
+    /// A wavefront executed `s_endpgm`.
+    Retire {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Retirement cycle.
+        now: u64,
+        /// Dynamic instructions the wavefront executed.
+        instructions: u64,
+    },
+    /// A memory request left the LSU.
+    MemStart {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Program counter of the memory instruction.
+        pc: u32,
+        /// Access kind (`ScalarLoad`, `VectorLoad`, `VectorStore`, `Lds`).
+        kind: String,
+        /// Byte address (first lane for vector accesses).
+        addr: u64,
+        /// Active lanes.
+        lanes: u32,
+        /// Cycle the request entered the memory system.
+        now: u64,
+    },
+    /// A memory request completed (its waitcnt event fires).
+    MemComplete {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Access kind.
+        kind: String,
+        /// Byte address.
+        addr: u64,
+        /// Completion cycle.
+        now: u64,
+    },
+    /// A wavefront arrived at `s_barrier`.
+    BarrierArrive {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Workgroup handle.
+        workgroup: u32,
+        /// Arrival cycle.
+        now: u64,
+    },
+    /// The last wavefront arrived; the workgroup's barrier released.
+    BarrierRelease {
+        /// Compute-unit index.
+        cu: u32,
+        /// Workgroup handle.
+        workgroup: u32,
+        /// Release cycle.
+        now: u64,
+    },
+    /// A coalesced stall interval `[from, to)` of one wavefront.
+    Stall {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id.
+        wave: u32,
+        /// Why the wavefront could not issue.
+        reason: StallReason,
+        /// First stalled cycle.
+        from: u64,
+        /// First cycle past the interval.
+        to: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle this event is anchored at (interval events anchor at
+    /// their start).
+    #[must_use]
+    pub fn timestamp(&self) -> u64 {
+        match self {
+            TraceEvent::KernelDispatch { .. } => 0,
+            TraceEvent::WaveStart { now, .. }
+            | TraceEvent::Fetch { now, .. }
+            | TraceEvent::Decode { now, .. }
+            | TraceEvent::Issue { now, .. }
+            | TraceEvent::Writeback { now, .. }
+            | TraceEvent::Retire { now, .. }
+            | TraceEvent::MemStart { now, .. }
+            | TraceEvent::MemComplete { now, .. }
+            | TraceEvent::BarrierArrive { now, .. }
+            | TraceEvent::BarrierRelease { now, .. } => *now,
+            TraceEvent::Execute { start, .. } => *start,
+            TraceEvent::Stall { from, .. } => *from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_serde() {
+        let events = vec![
+            TraceEvent::Issue {
+                cu: 1,
+                wave: 2,
+                pc: 3,
+                opcode: Opcode::VAddI32,
+                unit: FuncUnit::Simd,
+                now: 10,
+            },
+            TraceEvent::Stall {
+                cu: 0,
+                wave: 0,
+                reason: StallReason::ScoreboardRaw,
+                from: 5,
+                to: 9,
+            },
+            TraceEvent::KernelDispatch {
+                kernel: "k".into(),
+                grid: [4, 2, 1],
+                workgroup_size: 64,
+            },
+        ];
+        for e in &events {
+            let v = serde::Serialize::to_sval(e);
+            let back: TraceEvent = serde::Deserialize::from_sval(&v).unwrap();
+            assert_eq!(&back, e);
+        }
+    }
+
+    #[test]
+    fn timestamps_anchor_intervals_at_start() {
+        let e = TraceEvent::Stall {
+            cu: 0,
+            wave: 0,
+            reason: StallReason::Barrier,
+            from: 17,
+            to: 30,
+        };
+        assert_eq!(e.timestamp(), 17);
+    }
+}

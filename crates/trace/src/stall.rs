@@ -1,0 +1,121 @@
+//! The stall taxonomy: why a wavefront-cycle did not issue.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of every non-issuing cycle.
+///
+/// The first six reasons are *wavefront-resident*: together with issue
+/// cycles they partition a wavefront's residency exactly (the attribution
+/// invariant). The last two are structural counters measured outside any
+/// single wavefront's timeline:
+///
+/// * [`StallReason::WavepoolEmpty`] counts CU cycles during which a wave
+///   slot sat empty after its wavefront retired but before the batch
+///   finished — the fetch stage had nothing to pick from that slot;
+/// * [`StallReason::MemoryQueue`] counts cycles requests spent queued
+///   behind the shared MicroBlaze memory server before service began.
+///   These cycles overlap the issuing wave's `s_waitcnt` stall (which is
+///   where the wavefront itself pays for them), so they are reported as a
+///   system-level component rather than double-counted per wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StallReason {
+    /// A source register has a pending write (RAW hazard on the
+    /// per-wavefront scoreboard).
+    ScoreboardRaw,
+    /// No functional-unit instance of the required class was free, or the
+    /// issue arbiter had already started an instruction of this class
+    /// this cycle.
+    StructuralFu,
+    /// Blocked at `s_waitcnt` draining the vector-memory counter (vmcnt).
+    WaitcntVm,
+    /// Blocked at `s_waitcnt` draining the LDS/scalar counter (lgkmcnt).
+    WaitcntLgkm,
+    /// Stopped at `s_barrier` waiting for the rest of the workgroup.
+    Barrier,
+    /// Fetch/decode of the next instruction (including branch refetch)
+    /// has not completed.
+    FetchStarve,
+    /// A CU wave slot was empty (wavefront retired before the batch
+    /// ended). CU-level; not part of any wavefront's residency.
+    WavepoolEmpty,
+    /// Memory requests queued behind the shared memory server.
+    /// System-level; overlaps `WaitcntVm`/`WaitcntLgkm` per wave.
+    MemoryQueue,
+}
+
+impl StallReason {
+    /// The reasons that partition a wavefront's residency (with issue
+    /// cycles). [`StallReason::WavepoolEmpty`] and
+    /// [`StallReason::MemoryQueue`] are deliberately excluded.
+    pub const WAVE_RESIDENT: [StallReason; 6] = [
+        StallReason::ScoreboardRaw,
+        StallReason::StructuralFu,
+        StallReason::WaitcntVm,
+        StallReason::WaitcntLgkm,
+        StallReason::Barrier,
+        StallReason::FetchStarve,
+    ];
+
+    /// Every reason, in display order.
+    pub const ALL: [StallReason; 8] = [
+        StallReason::ScoreboardRaw,
+        StallReason::StructuralFu,
+        StallReason::WaitcntVm,
+        StallReason::WaitcntLgkm,
+        StallReason::Barrier,
+        StallReason::FetchStarve,
+        StallReason::WavepoolEmpty,
+        StallReason::MemoryQueue,
+    ];
+
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallReason::ScoreboardRaw => "scoreboard-raw",
+            StallReason::StructuralFu => "structural-fu",
+            StallReason::WaitcntVm => "waitcnt-vm",
+            StallReason::WaitcntLgkm => "waitcnt-lgkm",
+            StallReason::Barrier => "barrier",
+            StallReason::FetchStarve => "fetch-starve",
+            StallReason::WavepoolEmpty => "wavepool-empty",
+            StallReason::MemoryQueue => "memory-queue",
+        }
+    }
+
+    /// `true` for reasons that belong to a wavefront's own timeline.
+    #[must_use]
+    pub fn is_wave_resident(self) -> bool {
+        !matches!(self, StallReason::WavepoolEmpty | StallReason::MemoryQueue)
+    }
+}
+
+impl std::fmt::Display for StallReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_set_matches_predicate() {
+        for r in StallReason::ALL {
+            assert_eq!(
+                StallReason::WAVE_RESIDENT.contains(&r),
+                r.is_wave_resident(),
+                "{r}"
+            );
+        }
+    }
+
+    #[test]
+    fn serializes_as_tag_string() {
+        let v = serde::Serialize::to_sval(&StallReason::WaitcntVm);
+        assert_eq!(v, serde::Value::Str("WaitcntVm".into()));
+        let back: StallReason = serde::Deserialize::from_sval(&v).unwrap();
+        assert_eq!(back, StallReason::WaitcntVm);
+    }
+}

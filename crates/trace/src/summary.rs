@@ -1,0 +1,317 @@
+//! The in-memory trace sink: per-stage occupancy, per-FU utilisation,
+//! stall breakdown and per-wavefront timelines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use scratch_isa::FuncUnit;
+
+use crate::StallReason;
+
+/// One wavefront's attributed timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaveTimeline {
+    /// Compute-unit index.
+    pub cu: u32,
+    /// CU-local wavefront id within its batch.
+    pub wave: u32,
+    /// First resident cycle.
+    pub start: u64,
+    /// Retirement cycle.
+    pub end: u64,
+    /// Cycles in which the wavefront issued an instruction.
+    pub issued: u64,
+    /// Stalled cycles by reason.
+    pub stalls: BTreeMap<StallReason, u64>,
+}
+
+impl WaveTimeline {
+    /// Cycles between becoming resident and retiring.
+    #[must_use]
+    pub fn resident_cycles(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// `issued + Σ stalls`.
+    #[must_use]
+    pub fn attributed_cycles(&self) -> u64 {
+        self.issued + self.stalls.values().sum::<u64>()
+    }
+
+    /// Verify the attribution invariant for this wavefront.
+    ///
+    /// # Errors
+    ///
+    /// Describes the discrepancy when attributed cycles do not sum to the
+    /// residency.
+    pub fn check(&self) -> Result<(), String> {
+        let resident = self.resident_cycles();
+        let attributed = self.attributed_cycles();
+        if resident == attributed {
+            Ok(())
+        } else {
+            Err(format!(
+                "cu {} wave {}: resident [{}, {}) = {} cycles but attributed {} \
+                 (issued {} + stalls {:?})",
+                self.cu,
+                self.wave,
+                self.start,
+                self.end,
+                resident,
+                attributed,
+                self.issued,
+                self.stalls
+            ))
+        }
+    }
+}
+
+/// Aggregated trace of a run: the compact sink every traced run produces.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// CU cycles covered (max across merged compute units).
+    pub cycles: u64,
+    /// Wavefront-cycles spent issuing.
+    pub issued_cycles: u64,
+    /// Stalled wavefront-cycles by reason, plus the structural
+    /// [`StallReason::WavepoolEmpty`] / [`StallReason::MemoryQueue`]
+    /// counters.
+    pub stalls: BTreeMap<StallReason, u64>,
+    /// Busy cycles per functional-unit class.
+    pub fu_busy: BTreeMap<FuncUnit, u64>,
+    /// Per-wavefront timelines.
+    pub waves: Vec<WaveTimeline>,
+}
+
+impl TraceSummary {
+    /// Merge another compute unit's summary into this one (cycle counts
+    /// take the maximum, everything else accumulates).
+    pub fn merge(&mut self, other: &TraceSummary) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.issued_cycles += other.issued_cycles;
+        for (&r, &c) in &other.stalls {
+            *self.stalls.entry(r).or_insert(0) += c;
+        }
+        for (&u, &c) in &other.fu_busy {
+            *self.fu_busy.entry(u).or_insert(0) += c;
+        }
+        self.waves.extend(other.waves.iter().cloned());
+    }
+
+    /// Stalled cycles attributed to `reason`.
+    #[must_use]
+    pub fn stall_cycles(&self, reason: StallReason) -> u64 {
+        self.stalls.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Total wavefront-resident cycles (Σ over waves of `end − start`).
+    #[must_use]
+    pub fn resident_cycles(&self) -> u64 {
+        self.waves.iter().map(WaveTimeline::resident_cycles).sum()
+    }
+
+    /// Issue-stage occupancy: fraction of wavefront-resident cycles spent
+    /// issuing.
+    #[must_use]
+    pub fn issue_occupancy(&self) -> f64 {
+        let resident = self.resident_cycles();
+        if resident == 0 {
+            0.0
+        } else {
+            self.issued_cycles as f64 / resident as f64
+        }
+    }
+
+    /// Utilisation of each functional-unit class as a percentage of the
+    /// CU cycles covered.
+    #[must_use]
+    pub fn fu_utilisation(&self) -> BTreeMap<FuncUnit, f64> {
+        self.fu_busy
+            .iter()
+            .map(|(&u, &busy)| {
+                let pct = if self.cycles == 0 {
+                    0.0
+                } else {
+                    100.0 * busy as f64 / self.cycles as f64
+                };
+                (u, pct)
+            })
+            .collect()
+    }
+
+    /// Verify the attribution invariant for every wavefront, and that the
+    /// aggregate counters equal the per-wave sums.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first discrepancy found.
+    pub fn check_invariant(&self) -> Result<(), String> {
+        let mut issued = 0;
+        let mut stalls: BTreeMap<StallReason, u64> = BTreeMap::new();
+        for w in &self.waves {
+            w.check()?;
+            issued += w.issued;
+            for (&r, &c) in &w.stalls {
+                if !r.is_wave_resident() {
+                    return Err(format!(
+                        "cu {} wave {}: structural reason {r} in a wave timeline",
+                        w.cu, w.wave
+                    ));
+                }
+                *stalls.entry(r).or_insert(0) += c;
+            }
+        }
+        if issued != self.issued_cycles {
+            return Err(format!(
+                "aggregate issued_cycles {} != per-wave sum {issued}",
+                self.issued_cycles
+            ));
+        }
+        for r in StallReason::WAVE_RESIDENT {
+            let per_wave = stalls.get(&r).copied().unwrap_or(0);
+            if self.stall_cycles(r) != per_wave {
+                return Err(format!(
+                    "aggregate {r} = {} != per-wave sum {per_wave}",
+                    self.stall_cycles(r)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the human-readable summary table printed by
+    /// `scratch-tool trace` and `experiments trace`.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} CU cycles | {} wavefronts | issue occupancy {:5.1} %",
+            self.cycles,
+            self.waves.len(),
+            100.0 * self.issue_occupancy()
+        );
+        let util = self.fu_utilisation();
+        if !util.is_empty() {
+            let parts: Vec<String> = util
+                .iter()
+                .map(|(u, pct)| format!("{} {pct:.1} %", u.label()))
+                .collect();
+            let _ = writeln!(out, "FU utilisation: {}", parts.join(" | "));
+        }
+        let resident = self.resident_cycles();
+        let _ = writeln!(out, "stall breakdown (wavefront-cycles):");
+        let _ = writeln!(
+            out,
+            "  {:16} {:>12} {:>7}",
+            "issue",
+            self.issued_cycles,
+            format!(
+                "{:.1} %",
+                if resident == 0 {
+                    0.0
+                } else {
+                    100.0 * self.issued_cycles as f64 / resident as f64
+                }
+            )
+        );
+        for r in StallReason::ALL {
+            let c = self.stall_cycles(r);
+            if c == 0 {
+                continue;
+            }
+            let pct = if r.is_wave_resident() && resident > 0 {
+                format!("{:.1} %", 100.0 * c as f64 / resident as f64)
+            } else {
+                "-".to_owned()
+            };
+            let _ = writeln!(out, "  {:16} {c:>12} {pct:>7}", r.label());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(cu: u32, id: u32, start: u64, end: u64, issued: u64, stall: u64) -> WaveTimeline {
+        let mut stalls = BTreeMap::new();
+        if stall > 0 {
+            stalls.insert(StallReason::FetchStarve, stall);
+        }
+        WaveTimeline {
+            cu,
+            wave: id,
+            start,
+            end,
+            issued,
+            stalls,
+        }
+    }
+
+    fn summary_of(waves: Vec<WaveTimeline>) -> TraceSummary {
+        let issued_cycles = waves.iter().map(|w| w.issued).sum();
+        let mut stalls: BTreeMap<StallReason, u64> = BTreeMap::new();
+        for w in &waves {
+            for (&r, &c) in &w.stalls {
+                *stalls.entry(r).or_insert(0) += c;
+            }
+        }
+        TraceSummary {
+            cycles: waves.iter().map(|w| w.end).max().unwrap_or(0),
+            issued_cycles,
+            stalls,
+            fu_busy: BTreeMap::new(),
+            waves,
+        }
+    }
+
+    #[test]
+    fn invariant_check_accepts_exact_attribution() {
+        let s = summary_of(vec![wave(0, 0, 10, 20, 4, 6), wave(0, 1, 10, 15, 5, 0)]);
+        s.check_invariant().unwrap();
+        assert!((s.issue_occupancy() - 9.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_check_rejects_gaps() {
+        let s = summary_of(vec![wave(0, 0, 10, 20, 4, 5)]);
+        let err = s.check_invariant().unwrap_err();
+        assert!(err.contains("resident [10, 20) = 10"), "{err}");
+    }
+
+    #[test]
+    fn merge_is_associative_on_summaries() {
+        let a = summary_of(vec![wave(0, 0, 0, 10, 3, 7)]);
+        let b = summary_of(vec![wave(1, 0, 0, 20, 8, 12)]);
+        let c = summary_of(vec![wave(2, 0, 5, 9, 2, 2)]);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        ab_c.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn table_lists_nonzero_reasons() {
+        let s = summary_of(vec![wave(0, 0, 0, 10, 3, 7)]);
+        let t = s.render_table();
+        assert!(t.contains("fetch-starve"));
+        assert!(!t.contains("waitcnt-vm"));
+    }
+
+    #[test]
+    fn summary_roundtrips_through_serde() {
+        let s = summary_of(vec![wave(0, 0, 0, 10, 3, 7)]);
+        let v = serde::Serialize::to_sval(&s);
+        let back: TraceSummary = serde::Deserialize::from_sval(&v).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -63,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:24} {:>14.0} {:>14.0}",
-        "instructions / joule",
-        base.ipj,
-        tuned.ipj
+        "instructions / joule", base.ipj, tuned.ipj
     );
     println!(
         "\nspeedup {:.2}x, energy-efficiency gain {:.2}x (both outputs validated)",

@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trim.removed_units
     );
     for unit in FuncUnit::TRIMMABLE {
-        println!("  {:8} usage: {:5.1} %", unit.label(), trim.usage_percent[&unit]);
+        println!(
+            "  {:8} usage: {:5.1} %",
+            unit.label(),
+            trim.usage_percent[&unit]
+        );
     }
 
     let base = scratch.synthesize(SystemKind::DcdPm, None, ParallelPlan::baseline(true));

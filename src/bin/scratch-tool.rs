@@ -8,6 +8,7 @@
 //! scratch-tool analyze  <file.s>
 //! scratch-tool trim     <file.s>
 //! scratch-tool run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]
+//! scratch-tool trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]
 //! ```
 //!
 //! `run` launches the kernel with one argument: the address of a scratch
@@ -20,7 +21,9 @@ use scratch::asm::{assemble, Kernel};
 use scratch::core::Scratch;
 use scratch::fpga::ParallelPlan;
 use scratch::isa::FuncUnit;
-use scratch::system::{System, SystemConfig, SystemKind};
+use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
+use scratch::system::{RunReport, System, SystemConfig, SystemKind, TraceMode};
+use scratch::trace::chrome_trace;
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -29,6 +32,35 @@ fn load_kernel(path: &str) -> Result<Kernel, String> {
     } else {
         assemble(&text).map_err(|e| format!("{path}: {e}"))
     }
+}
+
+/// A filesystem-safe tag for a system preset.
+fn kind_slug(kind: SystemKind) -> &'static str {
+    match kind {
+        SystemKind::Original => "original",
+        SystemKind::Dcd => "dcd",
+        SystemKind::DcdPm => "dcdpm",
+    }
+}
+
+/// Print the stall-attribution table for one traced run and write its
+/// Chrome `trace_event` document to `<dir>/<label>-<preset>.trace.json`.
+fn write_trace(dir: &str, label: &str, kind: SystemKind, report: &RunReport) -> Result<(), String> {
+    let summary = report
+        .trace
+        .as_ref()
+        .ok_or("tracing was not enabled on this run")?;
+    summary.check_invariant()?;
+    println!("=== {label} on {} ===", kind.label());
+    print!("{}", summary.render_table());
+    let events = report
+        .trace_events
+        .as_ref()
+        .ok_or("full-fidelity events missing from the report")?;
+    let path = format!("{dir}/{label}-{}.trace.json", kind_slug(kind));
+    std::fs::write(&path, chrome_trace(events).to_string()).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path} ({} events)\n", events.len());
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -82,7 +114,11 @@ fn real_main() -> Result<(), String> {
             );
             for (unit, ops) in &analysis.required {
                 let names: Vec<&str> = ops.iter().map(|o| o.mnemonic()).collect();
-                println!("{unit:8} ({:5.1} %): {}", analysis.unit_usage_percent(*unit), names.join(", "));
+                println!(
+                    "{unit:8} ({:5.1} %): {}",
+                    analysis.unit_usage_percent(*unit),
+                    names.join(", ")
+                );
             }
             Ok(())
         }
@@ -98,7 +134,11 @@ fn real_main() -> Result<(), String> {
                 trim.removed_units
             );
             for unit in FuncUnit::TRIMMABLE {
-                println!("  {:8} usage {:5.1} %", unit.label(), trim.usage_percent[&unit]);
+                println!(
+                    "  {:8} usage {:5.1} %",
+                    unit.label(),
+                    trim.usage_percent[&unit]
+                );
             }
             let s = trim.cu_savings_percent(1, u8::from(trim.uses_fp));
             println!(
@@ -147,8 +187,8 @@ fn real_main() -> Result<(), String> {
             let wgs = parse_n("--wgs", 1);
             let out_words = parse_n("--out-words", 16) as usize;
 
-            let mut sys = System::new(SystemConfig::preset(kind), &kernel)
-                .map_err(|e| e.to_string())?;
+            let mut sys =
+                System::new(SystemConfig::preset(kind), &kernel).map_err(|e| e.to_string())?;
             let out = sys.alloc(1 << 20);
             sys.set_args(&[out as u32]);
             sys.dispatch([wgs, 1, 1]).map_err(|e| e.to_string())?;
@@ -164,6 +204,64 @@ fn real_main() -> Result<(), String> {
             println!("out[0..{out_words}] = {:?}", sys.read_words(out, out_words));
             Ok(())
         }
+        "trace" => {
+            let file = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+            let parse_n = |flag: &str, default: u32| -> u32 {
+                args.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| args.get(i + 1))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default)
+            };
+            let kinds = match args
+                .iter()
+                .position(|a| a == "--system")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+            {
+                Some("original") => vec![SystemKind::Original],
+                Some("dcd") => vec![SystemKind::Dcd],
+                Some("dcdpm") => vec![SystemKind::DcdPm],
+                None | Some("all") => {
+                    vec![SystemKind::Original, SystemKind::Dcd, SystemKind::DcdPm]
+                }
+                Some(other) => return Err(format!("unknown system `{other}`")),
+            };
+            let n = parse_n("--n", 32);
+            let out_dir = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| ".".to_owned());
+
+            for &kind in &kinds {
+                if let Some(path) = &file {
+                    let kernel = load_kernel(path)?;
+                    let config = SystemConfig::preset(kind).with_trace(TraceMode::Full);
+                    let mut sys = System::new(config, &kernel).map_err(|e| e.to_string())?;
+                    let out = sys.alloc(1 << 20);
+                    sys.set_args(&[out as u32]);
+                    sys.dispatch([parse_n("--wgs", 1), 1, 1])
+                        .map_err(|e| e.to_string())?;
+                    write_trace(&out_dir, kernel.name(), kind, &sys.report())?;
+                } else {
+                    for fp in [false, true] {
+                        let bench = MatrixAdd::new(n, fp);
+                        let report = bench
+                            .run(SystemConfig::preset(kind).with_trace(TraceMode::Full))
+                            .map_err(|e| format!("{}: {e}", bench.name()))?;
+                        let label = if fp {
+                            "matrix_add_fp"
+                        } else {
+                            "matrix_add_int"
+                        };
+                        write_trace(&out_dir, label, kind, &report)?;
+                    }
+                }
+            }
+            Ok(())
+        }
         _ => {
             println!(
                 "scratch-tool — SCRATCH soft-GPGPU toolchain\n\
@@ -173,7 +271,10 @@ fn real_main() -> Result<(), String> {
                  \x20 disasm   <file>                   disassemble a kernel (.s or .json)\n\
                  \x20 analyze  <file.s>                 per-unit instruction requirements\n\
                  \x20 trim     <file.s>                 run the trimming tool + synthesis model\n\
-                 \x20 run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]"
+                 \x20 run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]\n\
+                 \x20 trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]\n\
+                 \x20                                   cycle-attribution summary + Chrome trace.json\n\
+                 \x20                                   (default workload: Matrix Add INT32 + SP FP)"
             );
             Ok(())
         }

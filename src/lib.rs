@@ -14,7 +14,9 @@
 //!   allocator;
 //! * [`core`] — kernel analysis, architecture trimming and the end-to-end
 //!   pipeline;
-//! * [`kernels`] — the paper's 17-application benchmark suite.
+//! * [`kernels`] — the paper's 17-application benchmark suite;
+//! * [`trace`] — cycle-attribution and event-tracing subsystem (stall
+//!   taxonomy, Chrome `trace_event` export).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -25,3 +27,4 @@ pub use scratch_fpga as fpga;
 pub use scratch_isa as isa;
 pub use scratch_kernels as kernels;
 pub use scratch_system as system;
+pub use scratch_trace as trace;

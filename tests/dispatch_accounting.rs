@@ -20,11 +20,7 @@ fn tiny_kernel(name: &str, adds: usize) -> Kernel {
 #[test]
 fn per_kernel_cycles_attributed_to_the_right_kernel() {
     let kernels = [tiny_kernel("short", 2), tiny_kernel("long", 64)];
-    let mut sys = System::with_kernels(
-        SystemConfig::preset(SystemKind::DcdPm),
-        &kernels,
-    )
-    .unwrap();
+    let mut sys = System::with_kernels(SystemConfig::preset(SystemKind::DcdPm), &kernels).unwrap();
     sys.set_args(&[0]);
 
     sys.dispatch_kernel(0, [1, 1, 1]).unwrap();
@@ -49,11 +45,7 @@ fn per_kernel_cycles_attributed_to_the_right_kernel() {
 #[test]
 fn alternating_dispatches_count_every_switch() {
     let kernels = [tiny_kernel("a", 1), tiny_kernel("b", 1)];
-    let mut sys = System::with_kernels(
-        SystemConfig::preset(SystemKind::DcdPm),
-        &kernels,
-    )
-    .unwrap();
+    let mut sys = System::with_kernels(SystemConfig::preset(SystemKind::DcdPm), &kernels).unwrap();
     sys.set_args(&[0]);
     for i in 0..6 {
         sys.dispatch_kernel(i % 2, [1, 1, 1]).unwrap();
@@ -66,11 +58,7 @@ fn alternating_dispatches_count_every_switch() {
 #[test]
 fn out_of_range_kernel_index_rejected() {
     let kernels = [tiny_kernel("only", 1)];
-    let mut sys = System::with_kernels(
-        SystemConfig::preset(SystemKind::DcdPm),
-        &kernels,
-    )
-    .unwrap();
+    let mut sys = System::with_kernels(SystemConfig::preset(SystemKind::DcdPm), &kernels).unwrap();
     sys.set_args(&[0]);
     assert!(sys.dispatch_kernel(1, [1, 1, 1]).is_err());
     assert!(sys.dispatch_kernel(0, [1, 1, 1]).is_ok());

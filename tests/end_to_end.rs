@@ -125,9 +125,7 @@ fn characterization_matches_trim_requirements() {
     let bench = Conv2d::new(16, 3, false);
     let kernels = bench.kernels().unwrap();
     let trim = trim_kernels(&kernels).unwrap();
-    let report = bench
-        .run(SystemConfig::preset(SystemKind::DcdPm))
-        .unwrap();
+    let report = bench.run(SystemConfig::preset(SystemKind::DcdPm)).unwrap();
     for op in report.stats.executed_opcodes() {
         assert!(
             trim.kept.contains(op),
@@ -168,8 +166,5 @@ fn per_kernel_reconfiguration_analysis_on_cnn() {
     assert!(a.reconfig_seconds > 0.0);
     // The §4.3 trade-off is visible: per-kernel power is lower in at least
     // one phase, and the crossover latency is reported.
-    assert!(a
-        .per_kernel_power_w
-        .iter()
-        .any(|&p| p < a.union_power_w));
+    assert!(a.per_kernel_power_w.iter().any(|&p| p < a.union_power_w));
 }

@@ -56,8 +56,7 @@ fn reference_un(op: Opcode, a: u32) -> u32 {
 
 fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
     let step = prop_oneof![
-        (any::<u8>(), 1u8..6, -16i8..=16, 0u8..6)
-            .prop_map(|(op, d, c, s)| Step::Bin(op, d, c, s)),
+        (any::<u8>(), 1u8..6, -16i8..=16, 0u8..6).prop_map(|(op, d, c, s)| Step::Bin(op, d, c, s)),
         (any::<u8>(), 1u8..6, 0u8..6).prop_map(|(op, d, s)| Step::Un(op, d, s)),
     ];
     prop::collection::vec(step, 1..20)

@@ -1,0 +1,67 @@
+//! End-to-end tracing: full-fidelity traces of real benchmarks under every
+//! system preset must satisfy the attribution invariant and export to a
+//! Chrome-loadable `trace_event` document.
+
+use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
+use scratch::system::{SystemConfig, SystemKind, TraceMode};
+use scratch::trace::{chrome_trace, StallReason, TraceEvent};
+
+#[test]
+fn full_traces_hold_for_int_and_fp_kernels_under_every_preset() {
+    for fp in [false, true] {
+        let bench = MatrixAdd::new(16, fp);
+        for kind in [SystemKind::Original, SystemKind::Dcd, SystemKind::DcdPm] {
+            let config = SystemConfig::preset(kind).with_trace(TraceMode::Full);
+            let report = bench
+                .run(config)
+                .unwrap_or_else(|e| panic!("{} on {kind:?}: {e}", bench.name()));
+
+            // Attribution invariant: every wave's residency tiles exactly.
+            let trace = report
+                .trace
+                .unwrap_or_else(|| panic!("no summary for {kind:?} fp={fp}"));
+            trace
+                .check_invariant()
+                .unwrap_or_else(|e| panic!("{kind:?} fp={fp}: {e}"));
+            assert!(!trace.waves.is_empty());
+
+            // The event stream covers dispatch through retirement.
+            let events = report.trace_events.expect("full mode buffers events");
+            assert!(matches!(
+                events.first(),
+                Some(TraceEvent::KernelDispatch { .. })
+            ));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Retire { .. })));
+
+            // The Chrome export is a JSON object with a traceEvents array.
+            let json = chrome_trace(&events).to_string();
+            assert!(json.starts_with('{'), "not a JSON object: {kind:?}");
+            assert!(json.contains("\"traceEvents\""));
+            assert!(json.contains("\"displayTimeUnit\""));
+            assert!(json.contains("thread_name"));
+        }
+    }
+}
+
+#[test]
+fn presets_shift_the_stall_profile() {
+    // The serialised Original memory path must queue more than DCD+PM,
+    // where prefetch hits bypass the MicroBlaze server entirely.
+    let bench = MatrixAdd::new(32, false);
+    let mut queueing = Vec::new();
+    for kind in [SystemKind::Original, SystemKind::DcdPm] {
+        let config = SystemConfig::preset(kind).with_trace(TraceMode::Summary);
+        let report = bench.run(config).unwrap();
+        let trace = report.trace.unwrap();
+        trace.check_invariant().unwrap();
+        queueing.push(trace.stall_cycles(StallReason::MemoryQueue));
+    }
+    assert!(
+        queueing[0] > queueing[1],
+        "Original queueing {} not above DcdPm {}",
+        queueing[0],
+        queueing[1]
+    );
+}

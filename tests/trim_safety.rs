@@ -74,7 +74,8 @@ fn build(program: &RandomProgram) -> Kernel {
     )
     .unwrap();
     b.waitcnt(None, Some(0)).unwrap();
-    b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 0).unwrap();
+    b.vop2(Opcode::VLshlrevB32, 6, Operand::IntConst(2), 0)
+        .unwrap();
     b.mubuf(Opcode::BufferStoreDword, 5, 6, 4, Operand::Sgpr(20), 0)
         .unwrap();
     b.waitcnt(Some(0), None).unwrap();

@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Implements the group/bench/iter API the workspace's benches use as a
+//! plain wall-clock harness: each `bench_function` runs a short warm-up,
+//! then `sample_size` timed samples, and prints the median per-iteration
+//! time. No statistics beyond that — the goal is that `cargo bench`
+//! compiles, runs, and yields usable relative numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (recorded, reported alongside the timing line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_bench(&name.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A named group; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (prints nothing extra in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; `iter` times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Time `f`, recording one sample per configured sample slot.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: aim for samples of at least ~1ms.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1);
+        self.iters_per_sample = u64::try_from(per_sample).unwrap_or(1).min(1_000_000);
+
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimiser from deleting the workload.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_budget: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let line = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("{name:<40} median {}  ({:.1} Melem/s)", fmt_time(median), n as f64 / median / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("{name:<40} median {}  ({:.1} MiB/s)", fmt_time(median), n as f64 / median / (1024.0 * 1024.0))
+        }
+        None => format!("{name:<40} median {}", fmt_time(median)),
+    };
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Group several bench functions under one harness entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` for `cargo bench`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

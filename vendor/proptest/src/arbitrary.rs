@@ -1,0 +1,73 @@
+//! `any::<T>()` for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::strategy::Strategy;
+
+/// Primitive types drawable from their full value space.
+pub trait ArbPrimitive: Sized + Debug {
+    /// Draw one value uniformly from the type's domain.
+    fn arb(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbPrimitive for $t {
+            fn arb(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbPrimitive for bool {
+    fn arb(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbPrimitive for char {
+    fn arb(rng: &mut StdRng) -> Self {
+        // Mostly ASCII, sometimes the wider BMP (skipping surrogates).
+        let r = rng.next_u64();
+        if r & 3 == 0 {
+            char::from_u32((r >> 8) as u32 % 0xD800).unwrap_or('\u{fffd}')
+        } else {
+            ((r >> 8) as u8 % 0x5F + 0x20) as char
+        }
+    }
+}
+
+impl ArbPrimitive for f32 {
+    fn arb(rng: &mut StdRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl ArbPrimitive for f64 {
+    fn arb(rng: &mut StdRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbPrimitive> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::arb(rng))
+    }
+}
+
+/// Uniform values over the whole domain of a primitive type.
+#[must_use]
+pub fn any<T: ArbPrimitive>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,52 @@
+//! `prop::collection::vec` — sized vectors of generated elements.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Anything usable as a vector-length specification.
+pub trait SizeBound {
+    /// Draw a length.
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeBound for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeBound for Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeBound for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for vectors; see [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeBound> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Vectors whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy, R: SizeBound>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,52 @@
+//! `prop::sample::select` — uniform choice from a fixed list.
+
+use std::fmt::Debug;
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::strategy::Strategy;
+
+/// Strategy over a fixed set of values; see [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<T> {
+        let i = (rng.next_u64() % self.items.len() as u64) as usize;
+        Some(self.items[i].clone())
+    }
+}
+
+/// Sources convertible into the selection list.
+pub trait SelectSource<T> {
+    /// Materialise the candidate list.
+    fn into_items(self) -> Vec<T>;
+}
+
+impl<T> SelectSource<T> for Vec<T> {
+    fn into_items(self) -> Vec<T> {
+        self
+    }
+}
+
+impl<T: Clone> SelectSource<T> for &[T] {
+    fn into_items(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+impl<T: Clone, const N: usize> SelectSource<T> for &[T; N] {
+    fn into_items(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+/// Uniformly select one of `items` (which must be non-empty).
+pub fn select<T: Clone + Debug>(items: impl SelectSource<T>) -> Select<T> {
+    let items = items.into_items();
+    assert!(!items.is_empty(), "sample::select over an empty list");
+    Select { items }
+}

@@ -1,0 +1,274 @@
+//! The `Strategy` trait and combinators (generate-only; no shrinking).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// A generator of test values.
+///
+/// Returning `None` from [`Strategy::gen_value`] signals a local rejection
+/// (e.g. `prop_filter_map` declined the raw draw); the runner retries with
+/// fresh randomness and the case does not count against the budget.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value, or reject this attempt.
+    fn gen_value(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Transform-and-filter: `None` from `f` rejects the draw.
+    fn prop_filter_map<U, F>(self, _whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`.
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Chain into a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe generation interface backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut StdRng) -> Option<T>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<T> {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> Option<U>,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.gen_value(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.gen_value(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<S2::Value> {
+        let mid = self.inner.gen_value(rng)?;
+        (self.f)(mid).gen_value(rng)
+    }
+}
+
+/// Weighted union of boxed strategies — built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Uniformly weighted arms.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Explicitly weighted arms.
+    #[must_use]
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<T> {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.gen_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<f64> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<f32> {
+        Some(rng.gen_range(self.clone()))
+    }
+}
+
+/// `&str` strategies generate strings matching the pattern as a regex.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<String> {
+        Some(crate::string::generate(self, rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                Some(($(self.$n.gen_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 S0)
+    (0 S0, 1 S1)
+    (0 S0, 1 S1, 2 S2)
+    (0 S0, 1 S1, 2 S2, 3 S3)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5, 6 S6)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5, 6 S6, 7 S7)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5, 6 S6, 7 S7, 8 S8)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5, 6 S6, 7 S7, 8 S8, 9 S9)
+}

@@ -1,0 +1,246 @@
+//! Tiny regex-shaped string generator backing `&str` strategies.
+//!
+//! Supports the constructs the workspace's tests use: literals, `.`,
+//! character classes (`[a-z0-9_,\[\]]`, negation unsupported), groups,
+//! alternation, and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+`
+//! (unbounded forms capped at 8 repeats).
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Sequence of alternatives: pick one branch.
+    Alt(Vec<Vec<(Node, u32, u32)>>),
+    Literal(char),
+    /// Any printable character (regex `.`).
+    Dot,
+    /// Character class: list of inclusive ranges.
+    Class(Vec<(char, char)>),
+}
+
+struct RegexParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl RegexParser<'_> {
+    fn fail(&self, msg: &str) -> ! {
+        panic!("proptest stub: unsupported regex {:?}: {msg}", self.pattern)
+    }
+
+    /// Parse alternation until end-of-input or a closing `)`.
+    fn parse_alt(&mut self, top: bool) -> Node {
+        let mut branches = vec![Vec::new()];
+        loop {
+            match self.chars.peek().copied() {
+                None => break,
+                Some(')') if !top => break,
+                Some(')') => self.fail("unbalanced `)`"),
+                Some('|') => {
+                    self.chars.next();
+                    branches.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = self.parse_atom();
+                    let (lo, hi) = self.parse_quantifier();
+                    branches.last_mut().unwrap().push((atom, lo, hi));
+                }
+            }
+        }
+        Node::Alt(branches)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('.') => Node::Dot,
+            Some('(') => {
+                let inner = self.parse_alt(false);
+                match self.chars.next() {
+                    Some(')') => inner,
+                    _ => self.fail("missing `)`"),
+                }
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => match self.chars.next() {
+                Some(c @ ('[' | ']' | '(' | ')' | '{' | '}' | '.' | '|' | '\\' | '*' | '+'
+                | '?' | '-' | '^' | '$')) => Node::Literal(c),
+                Some('n') => Node::Literal('\n'),
+                Some('t') => Node::Literal('\t'),
+                Some('r') => Node::Literal('\r'),
+                Some('d') => Node::Class(vec![('0', '9')]),
+                Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                Some('s') => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+                _ => self.fail("unsupported escape"),
+            },
+            Some(c @ ('{' | '}' | '*' | '+' | '?')) => {
+                self.fail(&format!("dangling quantifier `{c}`"))
+            }
+            Some(c) => Node::Literal(c),
+            None => self.fail("empty atom"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                None => self.fail("unterminated class"),
+                Some(']') => break,
+                Some('\\') => match self.chars.next() {
+                    Some(c @ ('[' | ']' | '\\' | '-' | '^')) => c,
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    _ => self.fail("unsupported class escape"),
+                },
+                Some(c) => c,
+            };
+            if self.chars.peek() == Some(&'-') {
+                // Lookahead: `-` is a range only when not followed by `]`.
+                let mut clone = self.chars.clone();
+                clone.next();
+                if clone.peek() != Some(&']') {
+                    self.chars.next(); // the `-`
+                    let hi = match self.chars.next() {
+                        Some('\\') => self.chars.next().unwrap_or(']'),
+                        Some(h) => h,
+                        None => self.fail("unterminated class range"),
+                    };
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 8)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut lo = String::new();
+                let mut hi = String::new();
+                let mut in_hi = false;
+                let mut saw_comma = false;
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(',') => {
+                            in_hi = true;
+                            saw_comma = true;
+                        }
+                        Some(d) if d.is_ascii_digit() => {
+                            if in_hi {
+                                hi.push(d);
+                            } else {
+                                lo.push(d);
+                            }
+                        }
+                        _ => self.fail("bad `{m,n}` quantifier"),
+                    }
+                }
+                let lo: u32 = lo.parse().unwrap_or(0);
+                let hi: u32 = if !saw_comma {
+                    lo
+                } else if hi.is_empty() {
+                    lo + 8
+                } else {
+                    hi.parse().unwrap_or(lo)
+                };
+                (lo, hi.max(lo))
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let b = (rng.next_u64() % branches.len() as u64) as usize;
+            for (atom, lo, hi) in &branches[b] {
+                let n = if lo == hi {
+                    *lo
+                } else {
+                    lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32
+                };
+                for _ in 0..n {
+                    gen_node(atom, rng, out);
+                }
+            }
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::Dot => {
+            // Printable ASCII, occasionally wider unicode.
+            let r = rng.next_u64();
+            if r % 13 == 0 {
+                out.push(char::from_u32(0xA1 + (r >> 8) as u32 % 0x500).unwrap_or('¿'));
+            } else {
+                out.push(((r >> 8) as u8 % 0x5F + 0x20) as char);
+            }
+        }
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[(rng.next_u64() % ranges.len() as u64) as usize];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + (rng.next_u64() % u64::from(span)) as u32)
+                .unwrap_or(lo);
+            out.push(c);
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+#[must_use]
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut parser = RegexParser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    };
+    let ast = parser.parse_alt(true);
+    let mut out = String::new();
+    gen_node(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_quantifier_group() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate("[a-z_]{1,12}( [a-z0-9_,\\[\\]]{1,10}){0,3}", &mut rng);
+            assert!(!s.is_empty());
+            let head = s.split(' ').next().unwrap();
+            assert!(head.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            assert!(head.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn dot_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = generate(".{0,400}", &mut rng);
+            assert!(s.chars().count() <= 400);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic case runner for `proptest!`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — fails the whole test.
+    Fail(String),
+    /// `prop_assume!` rejection — the case is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives a strategy through `config.cases` successful executions.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Create a runner.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Run the property; returns a failure report on the first failing case.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(report)` when a case fails or rejection retries are
+    /// exhausted.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let cases = self.config.cases;
+        let max_rejects = u64::from(cases) * 256 + 4096;
+        let mut rejects = 0u64;
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        while passed < cases {
+            attempt += 1;
+            let mut rng = StdRng::seed_from_u64(
+                0x7e57_5eed_0000_0000 ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let Some(value) = strategy.gen_value(&mut rng) else {
+                rejects += 1;
+                if rejects > max_rejects {
+                    return Err(format!(
+                        "proptest stub: too many generation rejections ({rejects}) \
+                         after {passed}/{cases} cases"
+                    ));
+                }
+                continue;
+            };
+            let repr = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        return Err(format!(
+                            "proptest stub: too many assumption rejections ({rejects}) \
+                             after {passed}/{cases} cases"
+                        ));
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    return Err(format!(
+                        "proptest case failed (case {passed}, attempt {attempt}): {msg}\n\
+                         input: {repr}"
+                    ));
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                        .unwrap_or_else(|| "<non-string panic>".to_owned());
+                    return Err(format!(
+                        "proptest case panicked (case {passed}, attempt {attempt}): {msg}\n\
+                         input: {repr}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

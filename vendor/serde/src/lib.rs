@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of serde's surface the workspace actually uses, built on a
+//! greatly simplified data model: types convert to and from a single
+//! self-describing [`Value`] tree instead of driving a visitor through a
+//! `Serializer`/`Deserializer` pair.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! companion `serde_derive` crate) generate `to_sval`/`from_sval`
+//! implementations that mirror serde's default representations: structs as
+//! maps, enums externally tagged.
+
+pub mod value;
+
+pub use value::{Map, Value};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Construct an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize: convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the [`Value`] representation of `self`.
+    fn to_sval(&self) -> Value;
+}
+
+/// Deserialize: reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of `v`, or explain why the shape does not fit.
+    fn from_sval(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_sval(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_sval(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64_lossy().ok_or_else(|| {
+                    DeError(format!("expected unsigned integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_sval(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        let n = v
+            .as_u64_lossy()
+            .ok_or_else(|| DeError(format!("expected unsigned integer, got {}", v.kind())))?;
+        usize::try_from(n).map_err(|_| DeError(format!("integer {n} out of range for usize")))
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_sval(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_sval(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64_lossy().ok_or_else(|| {
+                    DeError(format!("expected integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_sval(&self) -> Value {
+        let n = *self as i64;
+        if n >= 0 {
+            Value::U64(n as u64)
+        } else {
+            Value::I64(n)
+        }
+    }
+}
+impl Deserialize for isize {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        let n = v
+            .as_i64_lossy()
+            .ok_or_else(|| DeError(format!("expected integer, got {}", v.kind())))?;
+        isize::try_from(n).map_err(|_| DeError(format!("integer {n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_sval(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        v.as_f64_lossy()
+            .ok_or_else(|| DeError(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_sval(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_sval(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_sval(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_sval(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError(format!("expected single-char string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_sval(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_sval(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string. Only static-str struct fields (e.g. device
+    /// names) hit this path, so the leak is small and bounded.
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        String::from_sval(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_sval(&self) -> Value {
+        (**self).to_sval()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_sval(&self) -> Value {
+        (**self).to_sval()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        T::from_sval(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_sval(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_sval(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_sval(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_sval(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_sval).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_sval).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_sval(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_sval).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_sval(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_sval).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_sval(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_sval(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_sval()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_sval(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let expect = [$(stringify!($n)),+].len();
+                        if items.len() != expect {
+                            return Err(DeError(format!(
+                                "expected tuple of {expect}, got {} elements", items.len())));
+                        }
+                        Ok(($($t::from_sval(&items[$n])?,)+))
+                    }
+                    other => Err(DeError(format!("expected array, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Render a map key through its serialized form (strings pass through, other
+/// scalars use their compact JSON spelling — matching serde_json, which only
+/// allows stringlike keys).
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => value::to_json_compact(other),
+    }
+}
+
+/// Recover a key of type `K` from the object-key string.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_sval(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    // Fall back to the scalar encodings `key_to_string` may have produced.
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_sval(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_sval(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError(format!("cannot reconstruct map key from {s:?}")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_sval(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_sval()), v.to_sval()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_sval(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_sval(&self) -> Value {
+        // BTreeMap intermediary gives deterministic key order.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_sval()), v.to_sval()))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_sval(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_sval(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_sval).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_sval).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_sval(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_sval).collect();
+        items.sort_by_key(value::to_json_compact);
+        Value::Array(items)
+    }
+}
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_sval).collect(),
+            other => Err(DeError(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_sval(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_sval(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Support machinery for the derive macros; not part of the public API.
+pub mod __private {
+    use super::{DeError, Deserialize, Map, Value};
+
+    /// Build the externally-tagged `{variant: content}` object.
+    #[must_use]
+    pub fn newtype_variant(name: &str, content: Value) -> Value {
+        let mut m = Map::new();
+        m.insert(name.to_owned(), content);
+        Value::Object(m)
+    }
+
+    /// View `v` as a sequence of exactly `n` elements.
+    pub fn as_seq(v: &Value, n: usize) -> Result<&[Value], DeError> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(DeError(format!(
+                "expected {n}-element sequence, got {}",
+                items.len()
+            ))),
+            other => Err(DeError(format!("expected sequence, got {}", other.kind()))),
+        }
+    }
+
+    /// View `v` as an object.
+    pub fn as_obj(v: &Value) -> Result<&Map, DeError> {
+        match v {
+            Value::Object(m) => Ok(m),
+            other => Err(DeError(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// Extract field `name` from an object, treating absence as `Null` (so
+    /// `Option` fields may be omitted).
+    pub fn field<T: Deserialize>(m: &Map, ty: &str, name: &str) -> Result<T, DeError> {
+        let v = m.get(name).unwrap_or(&Value::Null);
+        T::from_sval(v).map_err(|e| DeError(format!("{ty}.{name}: {e}")))
+    }
+
+    /// Decompose an externally-tagged enum value into `(tag, content)`.
+    pub fn enum_parts<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), DeError> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), &Value::Null)),
+            Value::Object(m) if m.len() == 1 => {
+                let (k, inner) = m.iter().next().unwrap();
+                Ok((k.as_str(), inner))
+            }
+            other => Err(DeError(format!(
+                "expected externally tagged {ty} enum, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! simplified `to_sval`/`from_sval` data model of the vendored `serde`
+//! stand-in, with serde's default shapes: structs serialize as objects,
+//! enums externally tagged (`"Unit"` / `{"Variant": content}`).
+//!
+//! The parser is hand-rolled over `proc_macro::TokenStream` (no `syn` /
+//! `quote` available offline). It supports non-generic structs and enums —
+//! everything the workspace derives — and fails loudly otherwise.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of one set of fields.
+enum Fields {
+    Unit,
+    /// Tuple fields; the count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip one attribute (`#` already consumed ⇒ consume the `[...]` group).
+fn skip_attr_body(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        other => panic!("serde stub derive: malformed attribute after `#`: {other:?}"),
+    }
+}
+
+/// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                skip_attr_body(iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume tokens up to (not including) a top-level `,`; returns false at
+/// end of stream. Tracks `<...>` nesting so types like `Vec<(A, B)>` work.
+fn skip_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut angle: i32 = 0;
+    loop {
+        match iter.peek() {
+            None => return false,
+            Some(TokenTree::Punct(p)) => {
+                let c = p.as_char();
+                if c == ',' && angle == 0 {
+                    return true;
+                }
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' {
+                    angle -= 1;
+                }
+                iter.next();
+            }
+            Some(_) => {
+                iter.next();
+            }
+        }
+    }
+}
+
+/// Parse `{ name: Type, ... }` named fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => {
+                        panic!("serde stub derive: expected `:` after field name, got {other:?}")
+                    }
+                }
+                if skip_type(&mut iter) {
+                    iter.next(); // consume the comma
+                }
+            }
+            Some(other) => panic!("serde stub derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    names
+}
+
+/// Count tuple fields in `( Type, Type, ... )`.
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if skip_type(&mut iter) {
+            iter.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = g.stream();
+                        iter.next();
+                        Fields::Tuple(parse_tuple_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.stream();
+                        iter.next();
+                        Fields::Named(parse_named_fields(g))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an optional `= discriminant` then the trailing comma.
+                loop {
+                    match iter.next() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            Some(other) => panic!("serde stub derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match iter.next() {
+                None => Fields::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_fields(g.stream()))
+                }
+                other => panic!("serde stub derive: unexpected struct body: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde stub derive: expected enum body, got {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde stub derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_sval(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str("        ::serde::Value::Null\n"),
+                Fields::Tuple(1) => {
+                    out.push_str("        ::serde::Serialize::to_sval(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    out.push_str("        ::serde::Value::Array(::std::vec![\n");
+                    for i in 0..*n {
+                        out.push_str(&format!(
+                            "            ::serde::Serialize::to_sval(&self.{i}),\n"
+                        ));
+                    }
+                    out.push_str("        ])\n");
+                }
+                Fields::Named(names) => {
+                    out.push_str("        let mut __m = ::serde::Map::new();\n");
+                    for f in names {
+                        out.push_str(&format!(
+                            "        __m.insert(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_sval(&self.{f}));\n"
+                        ));
+                    }
+                    out.push_str("        ::serde::Value::Object(__m)\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_sval(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            {name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vn}(__f0) => ::serde::__private::newtype_variant(\"{vn}\", ::serde::Serialize::to_sval(__f0)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_sval({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn}({}) => ::serde::__private::newtype_variant(\"{vn}\", ::serde::Value::Array(::std::vec![{}])),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let mut body = String::from("{ let mut __m = ::serde::Map::new(); ");
+                        for f in names {
+                            body.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_sval({f})); "
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "::serde::__private::newtype_variant(\"{vn}\", ::serde::Value::Object(__m)) }}"
+                        ));
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {binds} }} => {body},\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_sval(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            match fields {
+                Fields::Unit => {
+                    out.push_str(&format!("        ::std::result::Result::Ok({name})\n"));
+                }
+                Fields::Tuple(1) => out.push_str(&format!(
+                    "        ::std::result::Result::Ok({name}(::serde::Deserialize::from_sval(__v)?))\n"
+                )),
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "        let __s = ::serde::__private::as_seq(__v, {n})?;\n"
+                    ));
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_sval(&__s[{i}])?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "        ::std::result::Result::Ok({name}({}))\n",
+                        elems.join(", ")
+                    ));
+                }
+                Fields::Named(names) => {
+                    out.push_str("        let __m = ::serde::__private::as_obj(__v)?;\n");
+                    out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+                    for f in names {
+                        out.push_str(&format!(
+                            "            {f}: ::serde::__private::field(__m, \"{name}\", \"{f}\")?,\n"
+                        ));
+                    }
+                    out.push_str("        })\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_sval(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            out.push_str(&format!(
+                "        let (__tag, __content) = ::serde::__private::enum_parts(__v, \"{name}\")?;\n        let _ = &__content;\n        match __tag {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            \"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            \"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_sval(__content)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_sval(&__s[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            \"{vn}\" => {{ let __s = ::serde::__private::as_seq(__content, {n})?; ::std::result::Result::Ok({name}::{vn}({})) }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let mut body = String::new();
+                        for f in names {
+                            body.push_str(&format!(
+                                "{f}: ::serde::__private::field(__m, \"{name}::{vn}\", \"{f}\")?, "
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "            \"{vn}\" => {{ let __m = ::serde::__private::as_obj(__content)?; ::std::result::Result::Ok({name}::{vn} {{ {body} }}) }}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "            __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown {name} variant {{__other:?}}\"))),\n"
+            ));
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+/// Derive `Serialize` (stub data model: `to_sval`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde stub derive: generated Serialize impl failed to parse")
+}
+
+/// Derive `Deserialize` (stub data model: `from_sval`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde stub derive: generated Deserialize impl failed to parse")
+}
