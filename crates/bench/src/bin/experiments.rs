@@ -2,32 +2,59 @@
 //!
 //! ```text
 //! experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|all]
-//!             [--quick] [--json <path>]
+//!             [--quick] [--jobs N] [--json <path>]
 //! experiments trace [--quick] [--json <path>]
 //! ```
 //!
 //! `--quick` runs CI-sized workloads; the default reproduces the paper's
-//! sizes. `--json` additionally dumps every table as JSON (used to
-//! regenerate `EXPERIMENTS.md`). `trace` (not part of `all`) prints the
-//! stall-attribution profile of Matrix Add under each system preset.
+//! sizes. `--jobs N` fans the §4.1.2 and Fig. 7 batch sweeps out over N
+//! `scratch-engine` workers (default: one per core; the tables are
+//! bit-identical for any N). `--json` additionally dumps every table as
+//! JSON (used to regenerate `EXPERIMENTS.md`). `trace` (not part of
+//! `all`) prints the stall-attribution profile of Matrix Add under each
+//! system preset.
 
 use std::fmt::Write as _;
 
 use scratch_bench::{ablation, fig4, fig6, fig7, headline, sec41, stalls, Scale};
 use scratch_isa::Category;
 
+const USAGE: &str = "\
+usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|trace|ablations|all]
+                   [--quick] [--jobs N] [--json <path>]
+
+  --quick        CI-sized workloads (default: the paper's sizes)
+  --jobs N       run the sec41 and fig7 sweeps on N scratch-engine workers
+                 (default: one per available core; 1 = serial; every table
+                 is bit-identical regardless of N)
+  --json <path>  additionally dump every table as JSON";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = flag_value("--json");
+    let jobs = match flag_value("--jobs").as_deref() {
+        None => 0, // engine default: one worker per core
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs expects a worker count, got `{v}`\n{USAGE}");
+            std::process::exit(2);
+        }),
+    };
+    let flag_values = [json_path.clone(), flag_value("--jobs")];
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .find(|a| !a.starts_with("--") && !flag_values.contains(&Some((*a).clone())))
         .map_or("all", String::as_str);
 
     let mut json = serde_json::Map::new();
@@ -58,7 +85,7 @@ fn main() {
         }
     }
     if run("sec41") {
-        match sec41::speedups(scale) {
+        match sec41::speedups_with_jobs(scale, jobs) {
             Ok(rows) => {
                 print_sec41(&rows);
                 json.insert("sec41".into(), serde_json::to_value(&rows).unwrap());
@@ -72,7 +99,7 @@ fn main() {
         }
     }
     if run("fig7a") || run("fig7b") || run("headline") {
-        match fig7::sweep(scale) {
+        match fig7::sweep_with_jobs(scale, jobs) {
             Ok(points) => {
                 if run("fig7a") {
                     print_fig7(&points, true);

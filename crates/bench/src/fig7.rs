@@ -21,7 +21,7 @@ use scratch_kernels::{
 };
 use scratch_system::SystemKind;
 
-use crate::runner::{full_plan, run_summary, trim_of, Scale};
+use crate::runner::{engine_map, full_plan, run_summary, trim_of, Scale};
 
 /// Gains of one parallel configuration against the two references.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -230,49 +230,68 @@ fn sweep_entries(scale: Scale) -> Vec<SweepEntry> {
     v
 }
 
-/// Run the Fig. 7 sweeps (both panels share the reference runs).
+/// Measure one sweep point: four configured runs plus the trim study.
+fn sweep_point(e: SweepEntry) -> Result<Fig7Point, BenchError> {
+    let scratch = Scratch::new();
+    let bench = e.bench.as_ref();
+    let trim = trim_of(bench)?;
+
+    let orig = run_summary(bench, SystemKind::Original, full_plan(), None)?;
+    let base = run_summary(bench, SystemKind::DcdPm, full_plan(), None)?;
+
+    let mc_plan = if e.int8 {
+        allocate_multicore_bits(&Device::XC7VX690T, &trim.kept_opcodes(), 4, 8)
+    } else {
+        scratch.plan_multicore(&trim, 3)
+    };
+    let mt_plan = scratch.plan_multithread(&trim, 4);
+
+    let mc = run_summary(bench, SystemKind::DcdPm, mc_plan, Some(&trim))?;
+    let mt = run_summary(bench, SystemKind::DcdPm, mt_plan, Some(&trim))?;
+
+    let gains = |s: &scratch_core::RunSummary| GainSet {
+        speedup_vs_original: s.speedup_vs(&orig),
+        speedup_vs_baseline: s.speedup_vs(&base),
+        ipj_vs_original: s.ipj_gain_vs(&orig),
+        ipj_vs_baseline: s.ipj_gain_vs(&base),
+    };
+
+    Ok(Fig7Point {
+        family: e.family.to_string(),
+        param: e.param,
+        fp: bench.uses_fp(),
+        multicore_plan: mc_plan,
+        multicore: gains(&mc),
+        multithread_plan: mt_plan,
+        multithread: gains(&mt),
+    })
+}
+
+/// Run the Fig. 7 sweeps serially (both panels share the reference runs).
 ///
 /// # Errors
 ///
 /// Propagates benchmark failures.
 pub fn sweep(scale: Scale) -> Result<Vec<Fig7Point>, BenchError> {
-    let scratch = Scratch::new();
-    let mut out = Vec::new();
-    for e in sweep_entries(scale) {
-        let bench = e.bench.as_ref();
-        let trim = trim_of(bench)?;
+    sweep_with_jobs(scale, 1)
+}
 
-        let orig = run_summary(bench, SystemKind::Original, full_plan(), None)?;
-        let base = run_summary(bench, SystemKind::DcdPm, full_plan(), None)?;
-
-        let mc_plan = if e.int8 {
-            allocate_multicore_bits(&Device::XC7VX690T, &trim.kept_opcodes(), 4, 8)
-        } else {
-            scratch.plan_multicore(&trim, 3)
-        };
-        let mt_plan = scratch.plan_multithread(&trim, 4);
-
-        let mc = run_summary(bench, SystemKind::DcdPm, mc_plan, Some(&trim))?;
-        let mt = run_summary(bench, SystemKind::DcdPm, mt_plan, Some(&trim))?;
-
-        let gains = |s: &scratch_core::RunSummary| GainSet {
-            speedup_vs_original: s.speedup_vs(&orig),
-            speedup_vs_baseline: s.speedup_vs(&base),
-            ipj_vs_original: s.ipj_gain_vs(&orig),
-            ipj_vs_baseline: s.ipj_gain_vs(&base),
-        };
-
-        out.push(Fig7Point {
-            family: e.family.to_string(),
-            param: e.param,
-            fp: bench.uses_fp(),
-            multicore_plan: mc_plan,
-            multicore: gains(&mc),
-            multithread_plan: mt_plan,
-            multithread: gains(&mt),
-        });
-    }
-    Ok(out)
+/// Run the Fig. 7 sweeps with `jobs` engine workers, each sweep point one
+/// job (`0` = one per core). The points come back in sweep order and are
+/// bit-identical for any job count — every point is an independent
+/// simulation.
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn sweep_with_jobs(scale: Scale, jobs: usize) -> Result<Vec<Fig7Point>, BenchError> {
+    engine_map(
+        jobs,
+        sweep_entries(scale)
+            .into_iter()
+            .map(|e| (format!("fig7 {} {}", e.family, e.param), e)),
+        sweep_point,
+    )
 }
 
 #[cfg(test)]

@@ -29,4 +29,4 @@ pub mod runner;
 pub mod sec41;
 pub mod stalls;
 
-pub use runner::Scale;
+pub use runner::{engine_map, Scale};

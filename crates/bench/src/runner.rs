@@ -1,8 +1,11 @@
 //! Shared experiment plumbing: benchmark sets, trimming, configured runs.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use scratch_core::{configure, trim_kernels, RunSummary, Scratch, TrimReport};
+use scratch_engine::Engine;
 use scratch_fpga::ParallelPlan;
 use scratch_kernels::{
     bitonic::BitonicSort,
@@ -91,6 +94,41 @@ pub fn run_summary(
     Ok(Scratch::new().summarize(kind, trim, plan, &report))
 }
 
+/// Fan a batch of independent experiment legs out over a `scratch-engine`
+/// pool and collect their results in submission order — the output is
+/// identical for any job count. `jobs == 1` runs the legs serially on one
+/// pool worker; `jobs == 0` means one worker per available core.
+///
+/// # Errors
+///
+/// The first failing leg's error (in submission order). A leg lost to a
+/// worker panic surfaces as [`BenchError::Engine`].
+pub fn engine_map<I, T, F>(
+    jobs: usize,
+    items: impl IntoIterator<Item = (String, I)>,
+    work: F,
+) -> Result<Vec<T>, BenchError>
+where
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(I) -> Result<T, BenchError> + Send + Sync + 'static,
+{
+    let work = Arc::new(work);
+    let outcomes = Engine::new(jobs).run_batch(items.into_iter().map(|(label, item)| {
+        let work = Arc::clone(&work);
+        // The job itself always "succeeds"; the leg's own `BenchError`
+        // travels inside the payload so its structure survives the pool.
+        (label, move || Ok(work(item)))
+    }));
+    outcomes
+        .into_iter()
+        .map(|o| match o.result {
+            Ok(leg) => leg,
+            Err(e) => Err(BenchError::Engine(format!("{}: {e}", o.label))),
+        })
+        .collect()
+}
+
 /// The untrimmed single-CU plan used as the paper's "Original"/"Baseline"
 /// reference architecture (one SIMD + one SIMF).
 #[must_use]
@@ -119,6 +157,54 @@ mod tests {
         // instructions.
         assert!(t.kept.contains(scratch_isa::Opcode::VMulLoI32));
         assert!(t.kept.contains(scratch_isa::Opcode::VMax3I32));
+    }
+
+    #[test]
+    fn engine_map_returns_results_in_item_order() {
+        let out = engine_map(
+            4,
+            (0..8u32).map(|i| (format!("item-{i}"), i)),
+            |i| Ok(i * 3),
+        )
+        .expect("all legs succeed");
+        assert_eq!(out, vec![0, 3, 6, 9, 12, 15, 18, 21]);
+    }
+
+    #[test]
+    fn engine_map_surfaces_panics_as_engine_errors() {
+        let err = engine_map(
+            2,
+            [("fine".to_string(), 1u32), ("doomed".to_string(), 2)],
+            |i| {
+                assert!(i != 2, "leg exploded");
+                Ok(i)
+            },
+        )
+        .expect_err("the panicking leg fails the batch");
+        match err {
+            BenchError::Engine(msg) => {
+                assert!(msg.contains("doomed"), "{msg}");
+                assert!(msg.contains("leg exploded"), "{msg}");
+            }
+            other => panic!("expected an engine error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_map_keeps_leg_error_structure() {
+        let err = engine_map(2, [("bad".to_string(), ())], |()| {
+            Err::<u32, _>(BenchError::Mismatch {
+                bench: "probe".into(),
+                index: 7,
+                expected: 1,
+                got: 2,
+            })
+        })
+        .expect_err("the failing leg fails the batch");
+        assert!(
+            matches!(err, BenchError::Mismatch { index: 7, .. }),
+            "leg errors must cross the pool intact, got {err:?}"
+        );
     }
 
     #[test]

@@ -4,10 +4,10 @@
 use serde::{Deserialize, Serialize};
 
 use scratch_fpga::ParallelPlan;
-use scratch_kernels::BenchError;
+use scratch_kernels::{BenchError, Benchmark};
 use scratch_system::SystemKind;
 
-use crate::runner::{fig6_set, full_plan, run_summary, trim_of, Scale};
+use crate::runner::{engine_map, fig6_set, full_plan, run_summary, trim_of, Scale};
 
 /// One benchmark's configuration comparison.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,37 +30,55 @@ pub struct SpeedupRow {
     pub fp: bool,
 }
 
-/// Run the configuration study across the benchmark suite.
+/// Measure one benchmark's row: four configured runs plus the trim study.
+fn speedup_row(bench: Box<dyn Benchmark>) -> Result<SpeedupRow, BenchError> {
+    let orig = run_summary(bench.as_ref(), SystemKind::Original, full_plan(), None)?;
+    let dcd = run_summary(bench.as_ref(), SystemKind::Dcd, full_plan(), None)?;
+    let pm = run_summary(bench.as_ref(), SystemKind::DcdPm, full_plan(), None)?;
+
+    let trim = trim_of(bench.as_ref())?;
+    let trimmed = run_summary(
+        bench.as_ref(),
+        SystemKind::DcdPm,
+        ParallelPlan::baseline(trim.uses_fp),
+        Some(&trim),
+    )?;
+
+    Ok(SpeedupRow {
+        name: bench.name(),
+        dcd_speedup: dcd.speedup_vs(&orig),
+        pm_speedup: pm.speedup_vs(&orig),
+        dcd_ipj_gain: dcd.ipj_gain_vs(&orig),
+        pm_ipj_gain: pm.ipj_gain_vs(&orig),
+        trim_ipj_gain: trimmed.ipj_gain_vs(&pm),
+        fp: bench.uses_fp(),
+    })
+}
+
+/// Run the configuration study serially across the benchmark suite.
 ///
 /// # Errors
 ///
 /// Propagates benchmark failures.
 pub fn speedups(scale: Scale) -> Result<Vec<SpeedupRow>, BenchError> {
-    let mut rows = Vec::new();
-    for bench in fig6_set(scale) {
-        let orig = run_summary(bench.as_ref(), SystemKind::Original, full_plan(), None)?;
-        let dcd = run_summary(bench.as_ref(), SystemKind::Dcd, full_plan(), None)?;
-        let pm = run_summary(bench.as_ref(), SystemKind::DcdPm, full_plan(), None)?;
+    speedups_with_jobs(scale, 1)
+}
 
-        let trim = trim_of(bench.as_ref())?;
-        let trimmed = run_summary(
-            bench.as_ref(),
-            SystemKind::DcdPm,
-            ParallelPlan::baseline(trim.uses_fp),
-            Some(&trim),
-        )?;
-
-        rows.push(SpeedupRow {
-            name: bench.name(),
-            dcd_speedup: dcd.speedup_vs(&orig),
-            pm_speedup: pm.speedup_vs(&orig),
-            dcd_ipj_gain: dcd.ipj_gain_vs(&orig),
-            pm_ipj_gain: pm.ipj_gain_vs(&orig),
-            trim_ipj_gain: trimmed.ipj_gain_vs(&pm),
-            fp: bench.uses_fp(),
-        });
-    }
-    Ok(rows)
+/// Run the configuration study with `jobs` engine workers, one benchmark
+/// per job (`0` = one per core). Rows come back in Fig. 6 column order
+/// and are bit-identical for any job count.
+///
+/// # Errors
+///
+/// Propagates benchmark failures.
+pub fn speedups_with_jobs(scale: Scale, jobs: usize) -> Result<Vec<SpeedupRow>, BenchError> {
+    engine_map(
+        jobs,
+        fig6_set(scale)
+            .into_iter()
+            .map(|b| (format!("sec41 {}", b.name()), b)),
+        speedup_row,
+    )
 }
 
 /// Aggregates quoted in §4.1.2.

@@ -37,6 +37,7 @@ pub fn configure(kind: SystemKind, plan: ParallelPlan, trim: Option<&TrimReport>
     };
     SystemConfig::preset(kind)
         .with_cus(plan.cus)
+        .expect("allocator plans stay within the device capacity bound")
         .with_cu_config(cu)
 }
 

@@ -54,3 +54,14 @@ pub use wavefront::Wavefront;
 // Convenience re-exports so CU users reach the tracing subsystem without a
 // separate dependency on `scratch-trace`.
 pub use scratch_trace::{EventBuffer, NullTracer, StallReason, TraceEvent, TraceSummary, Tracer};
+
+#[cfg(test)]
+mod send_tests {
+    /// The execution engine moves compute units onto worker threads; every
+    /// tracer sink is `Send`, so the whole CU must be too.
+    #[test]
+    fn compute_unit_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<super::ComputeUnit>();
+    }
+}

@@ -1,0 +1,81 @@
+//! Declarative simulator-run jobs: the `(kernel, config, grid)` triple the
+//! engine batches.
+
+use scratch_asm::Kernel;
+use scratch_system::{RunReport, System, SystemConfig, SystemError};
+
+use crate::{Engine, JobError, JobOutcome};
+
+/// One simulator run for the engine's batching layer: build a [`System`]
+/// from `(config, kernel)`, allocate an output scratch buffer whose base
+/// address becomes the first kernel argument, dispatch `grid`, and report.
+///
+/// This is the quickstart convention for kernels written against the
+/// dispatcher ABI (`out[...]` indexed from argument word 0); applications
+/// with richer setup submit their own closures via
+/// [`EngineHandle::submit`](crate::EngineHandle::submit) instead.
+#[derive(Debug, Clone)]
+pub struct KernelJob {
+    /// Display label carried through to the [`JobOutcome`].
+    pub label: String,
+    /// The kernel binary to run.
+    pub kernel: Kernel,
+    /// Full system configuration (preset, CU count, trim, workers, …).
+    pub config: SystemConfig,
+    /// Grid in workgroups, `[x, y, z]`.
+    pub grid: [u32; 3],
+    /// Bytes of output scratch to allocate (256-byte aligned, default
+    /// 1 MiB); its base address is passed as the first argument word.
+    pub scratch_bytes: u64,
+    /// Additional argument words appended after the scratch base address.
+    pub extra_args: Vec<u32>,
+}
+
+impl KernelJob {
+    /// A job with the default 1 MiB scratch buffer and no extra arguments.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        kernel: Kernel,
+        config: SystemConfig,
+        grid: [u32; 3],
+    ) -> KernelJob {
+        KernelJob {
+            label: label.into(),
+            kernel,
+            config,
+            grid,
+            scratch_bytes: 1 << 20,
+            extra_args: Vec::new(),
+        }
+    }
+
+    /// Execute the run synchronously on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures (decode errors, trim violations,
+    /// invalid CU counts, …).
+    pub fn run(self) -> Result<RunReport, SystemError> {
+        let mut sys = System::new(self.config, &self.kernel)?;
+        let out = sys.alloc(self.scratch_bytes.max(4));
+        let mut args = vec![out as u32];
+        args.extend(&self.extra_args);
+        sys.set_args(&args);
+        sys.dispatch(self.grid)?;
+        Ok(sys.report())
+    }
+}
+
+/// Run a batch of [`KernelJob`]s across `workers` pool threads (`0` = one
+/// per core). Outcomes come back in submission order, so a sweep's output
+/// is deterministic no matter how the pool scheduled it.
+pub fn run_kernel_jobs(
+    workers: usize,
+    jobs: impl IntoIterator<Item = KernelJob>,
+) -> Vec<JobOutcome<RunReport>> {
+    Engine::new(workers).run_batch(jobs.into_iter().map(|job| {
+        let label = job.label.clone();
+        (label, move || job.run().map_err(JobError::from))
+    }))
+}

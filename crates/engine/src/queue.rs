@@ -1,0 +1,288 @@
+//! The inter-run batching layer: a persistent worker pool consuming a job
+//! queue and streaming outcomes back over a channel.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scratch_system::SystemError;
+
+use crate::default_workers;
+
+/// Failure of a single job. A failing — even panicking — job never kills
+/// the queue: its outcome carries the error and the workers move on.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobError {
+    /// The job panicked; the payload message was captured.
+    Panicked(String),
+    /// The simulator refused or aborted the run.
+    System(SystemError),
+    /// Any other failure, stringified by the job itself.
+    Failed(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::System(e) => write!(f, "system: {e}"),
+            JobError::Failed(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::System(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SystemError> for JobError {
+    fn from(e: SystemError) -> Self {
+        JobError::System(e)
+    }
+}
+
+/// The completed result of one job: which job it was, what it produced
+/// (or how it failed), and how long it ran on its worker.
+#[derive(Debug)]
+pub struct JobOutcome<T> {
+    /// Submission-order id (0-based), assigned by [`EngineHandle::submit`].
+    pub id: u64,
+    /// The label the job was submitted under.
+    pub label: String,
+    /// What the job produced.
+    pub result: Result<T, JobError>,
+    /// Wall-clock time the job spent executing on its worker.
+    pub wall: Duration,
+}
+
+struct Job<T> {
+    id: u64,
+    label: String,
+    #[allow(clippy::type_complexity)]
+    work: Box<dyn FnOnce() -> Result<T, JobError> + Send>,
+}
+
+struct State<T> {
+    jobs: VecDeque<Job<T>>,
+    shutdown: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+fn worker_loop<T>(shared: &Shared<T>, results: &Sender<JobOutcome<T>>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("engine state lock");
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.available.wait(st).expect("engine state lock");
+            }
+        };
+        let started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(job.work))
+            .unwrap_or_else(|payload| Err(JobError::Panicked(panic_message(payload))));
+        // A send failure means the handle (and its receiver) is gone —
+        // nobody wants the outcome anymore.
+        let _ = results.send(JobOutcome {
+            id: job.id,
+            label: job.label,
+            result,
+            wall: started.elapsed(),
+        });
+    }
+}
+
+/// Engine configuration: how many OS worker threads the pool runs.
+///
+/// The engine provides *inter-run* parallelism — many independent
+/// simulator runs at once. (Intra-run parallelism over a single dispatch's
+/// CUs is the simulator's own `SystemConfig::with_workers` knob; both
+/// layers are deterministic, so composing them never changes results.)
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Engine {
+    /// An engine with `workers` pool threads; `0` means one per available
+    /// core ([`default_workers`]).
+    #[must_use]
+    pub fn new(workers: usize) -> Engine {
+        Engine {
+            workers: if workers == 0 {
+                default_workers()
+            } else {
+                workers
+            },
+        }
+    }
+
+    /// The resolved worker-thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Spin up the worker pool and return the handle jobs are submitted
+    /// through.
+    #[must_use]
+    pub fn start<T: Send + 'static>(&self) -> EngineHandle<T> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let (tx, rx) = channel();
+        let threads = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("scratch-engine-{i}"))
+                    .spawn(move || worker_loop(&shared, &tx))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        EngineHandle {
+            shared,
+            threads,
+            results: rx,
+            submitted: 0,
+            received: 0,
+        }
+    }
+
+    /// Run a whole batch to completion and return the outcomes sorted by
+    /// submission id — deterministic output order regardless of which
+    /// worker finished which job first.
+    pub fn run_batch<T, F, L>(&self, jobs: impl IntoIterator<Item = (L, F)>) -> Vec<JobOutcome<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> Result<T, JobError> + Send + 'static,
+        L: Into<String>,
+    {
+        let mut handle = self.start();
+        for (label, work) in jobs {
+            handle.submit(label, work);
+        }
+        handle.join()
+    }
+}
+
+impl Default for Engine {
+    /// One worker per available core.
+    fn default() -> Engine {
+        Engine::new(0)
+    }
+}
+
+/// A running engine pool: submit jobs, stream their outcomes, join.
+///
+/// Dropping the handle shuts the pool down gracefully — already-queued
+/// jobs still run, their outcomes are discarded, and the worker threads
+/// are joined.
+pub struct EngineHandle<T> {
+    shared: Arc<Shared<T>>,
+    threads: Vec<JoinHandle<()>>,
+    results: Receiver<JobOutcome<T>>,
+    submitted: u64,
+    received: u64,
+}
+
+impl<T: Send + 'static> EngineHandle<T> {
+    /// Queue a job; returns its submission id. Jobs start as soon as a
+    /// worker is free.
+    pub fn submit<F>(&mut self, label: impl Into<String>, work: F) -> u64
+    where
+        F: FnOnce() -> Result<T, JobError> + Send + 'static,
+    {
+        let id = self.submitted;
+        self.submitted += 1;
+        {
+            let mut st = self.shared.state.lock().expect("engine state lock");
+            st.jobs.push_back(Job {
+                id,
+                label: label.into(),
+                work: Box::new(work),
+            });
+        }
+        self.shared.available.notify_one();
+        id
+    }
+
+    /// Receive the next completed outcome, in completion order, blocking
+    /// until one is ready. Returns `None` when every submitted job's
+    /// outcome has already been received.
+    pub fn recv(&mut self) -> Option<JobOutcome<T>> {
+        if self.received >= self.submitted {
+            return None;
+        }
+        let outcome = self
+            .results
+            .recv()
+            .expect("engine workers outlive the handle");
+        self.received += 1;
+        Some(outcome)
+    }
+
+    /// Jobs submitted whose outcomes have not been received yet.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.submitted - self.received
+    }
+
+    /// Drain every outstanding outcome, shut the pool down, and return
+    /// all collected outcomes sorted by submission id.
+    #[must_use]
+    pub fn join(mut self) -> Vec<JobOutcome<T>> {
+        let mut out = Vec::with_capacity(usize::try_from(self.pending()).unwrap_or(0));
+        while let Some(o) = self.recv() {
+            out.push(o);
+        }
+        out.sort_by_key(|o| o.id);
+        out
+        // Drop shuts the (now idle) pool down.
+    }
+}
+
+impl<T> Drop for EngineHandle<T> {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.shared.state.lock() {
+            st.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}

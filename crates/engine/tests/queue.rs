@@ -1,0 +1,116 @@
+//! Engine queue semantics: panic isolation, deterministic batch ordering,
+//! and streaming outcomes.
+
+use std::time::Duration;
+
+use scratch_asm::KernelBuilder;
+use scratch_engine::{default_workers, Engine, JobError, KernelJob};
+use scratch_system::{SystemConfig, SystemError, SystemKind};
+
+fn noop_kernel() -> scratch_asm::Kernel {
+    let mut b = KernelBuilder::new("noop");
+    b.vgprs(4).sgprs(24).workgroup_size(64);
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+#[test]
+fn a_panicking_job_never_kills_the_queue() {
+    let mut handle = Engine::new(2).start::<u32>();
+    for i in 0..5u32 {
+        handle.submit(format!("job-{i}"), move || {
+            if i == 2 {
+                panic!("poisoned job {i}");
+            }
+            Ok(i * 10)
+        });
+    }
+    // The queue survives the panic: jobs submitted afterwards still run.
+    handle.submit("after-the-panic", || Ok(999));
+    let mut outcomes = Vec::new();
+    while let Some(o) = handle.recv() {
+        outcomes.push(o);
+    }
+    outcomes.sort_by_key(|o| o.id);
+    assert_eq!(outcomes.len(), 6);
+    match &outcomes[2].result {
+        Err(JobError::Panicked(msg)) => assert!(msg.contains("poisoned job 2"), "{msg}"),
+        other => panic!("expected a structured panic error, got {other:?}"),
+    }
+    assert_eq!(outcomes[0].result, Ok(0));
+    assert_eq!(outcomes[4].result, Ok(40));
+    assert_eq!(outcomes[5].result, Ok(999));
+}
+
+#[test]
+fn batch_outcomes_come_back_in_submission_order() {
+    // Reverse-staggered sleeps: completion order is the opposite of
+    // submission order, yet run_batch returns submission order.
+    let outcomes = Engine::new(4).run_batch((0..4u64).map(|i| {
+        (format!("sleep-{i}"), move || {
+            std::thread::sleep(Duration::from_millis((4 - i) * 20));
+            Ok(i)
+        })
+    }));
+    let ids: Vec<u64> = outcomes.iter().map(|o| o.id).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+    let labels: Vec<&str> = outcomes.iter().map(|o| o.label.as_str()).collect();
+    assert_eq!(labels, vec!["sleep-0", "sleep-1", "sleep-2", "sleep-3"]);
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.result, Ok(i as u64));
+    }
+}
+
+#[test]
+fn outcomes_stream_as_jobs_complete() {
+    let mut handle = Engine::new(1).start::<&'static str>();
+    assert_eq!(handle.pending(), 0);
+    assert!(handle.recv().is_none(), "no jobs, no blocking");
+    handle.submit("first", || Ok("a"));
+    handle.submit("second", || Ok("b"));
+    assert_eq!(handle.pending(), 2);
+    // One worker runs the queue FIFO, so streaming order is deterministic
+    // here: results arrive one at a time as each job finishes.
+    let first = handle.recv().expect("first outcome streams out");
+    assert_eq!(first.result, Ok("a"));
+    assert_eq!(handle.pending(), 1);
+    let second = handle.recv().expect("second outcome streams out");
+    assert_eq!(second.result, Ok("b"));
+    assert_eq!(handle.pending(), 0);
+    assert!(handle.recv().is_none(), "drained handles return None");
+}
+
+#[test]
+fn kernel_jobs_surface_system_errors_as_job_errors() {
+    let mut config = SystemConfig::preset(SystemKind::DcdPm);
+    config.cus = 0; // unbackable CU count, rejected at System::new
+    let job = KernelJob::new("bad-config", noop_kernel(), config, [1, 1, 1]);
+    let outcomes = scratch_engine::run_kernel_jobs(2, [job]);
+    assert_eq!(outcomes.len(), 1);
+    match &outcomes[0].result {
+        Err(JobError::System(SystemError::InvalidCuCount { requested: 0, .. })) => {}
+        other => panic!("expected InvalidCuCount, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_workers_means_one_per_core() {
+    let engine = Engine::new(0);
+    assert_eq!(engine.workers(), default_workers());
+    assert!(engine.workers() >= 1);
+    // And the pool actually runs jobs.
+    let outcomes = engine.run_batch([("probe", || Ok(7u8))]);
+    assert_eq!(outcomes[0].result, Ok(7));
+}
+
+#[test]
+fn dropping_a_handle_with_queued_jobs_is_graceful() {
+    let mut handle = Engine::new(1).start::<u8>();
+    for _ in 0..8 {
+        handle.submit("queued", || {
+            std::thread::sleep(Duration::from_millis(5));
+            Ok(1)
+        });
+    }
+    drop(handle); // must not hang or panic; queued jobs drain or are dropped
+}

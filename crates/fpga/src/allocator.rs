@@ -93,6 +93,33 @@ pub fn allocate_multicore_bits(
     }
 }
 
+/// The hard ceiling on compute units the allocator will ever place on
+/// `device`: the count at which even the *smallest* allocatable CU — a
+/// maximally trimmed integer core on the narrowest (8-bit) datapath — no
+/// longer fits the routable capacity.
+///
+/// Every [`ParallelPlan`] the allocator produces satisfies
+/// `plan.cus <= cu_capacity_bound(device)`, so the system simulator uses
+/// this bound to validate user-requested CU counts
+/// (`SystemConfig::with_cus`) before building CUs that no allocation
+/// could ever back.
+#[must_use]
+pub fn cu_capacity_bound(device: &Device) -> u8 {
+    // An empty kept-set is the minimal trimmed shape: the fixed fetch /
+    // wavepool / issue fabric plus one integer VALU.
+    let minimal = shape(&[], 1, 0, 8);
+    let mut best = 1u8;
+    for cus in 2..=u8::MAX {
+        let total = system_resources(SystemProfile::DCD_PM, &minimal, cus);
+        if total.fits_in(&device.routable_capacity()) {
+            best = cus;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
 /// Multi-thread allocation: one CU, replicating the vector units the
 /// kernel actually uses (up to MIAOW's limit of four VALUs per CU).
 #[must_use]
@@ -226,6 +253,19 @@ mod tests {
                 mc.cus,
             );
             assert!(total.fits_in(&Device::XC7VX690T.routable_capacity()));
+        }
+    }
+
+    #[test]
+    fn capacity_bound_dominates_every_plan() {
+        let bound = cu_capacity_bound(&Device::XC7VX690T);
+        // The paper reaches 4 CUs for the INT8 NIN, so the ceiling is at
+        // least that; it stays single-digit on this device.
+        assert!(bound >= 4, "bound {bound}");
+        assert!(bound < 16, "bound {bound}");
+        for kept in [int_kernel(), fp_kernel(), Vec::new()] {
+            let plan = allocate_multicore_bits(&Device::XC7VX690T, &kept, u8::MAX, 8);
+            assert!(plan.cus <= bound);
         }
     }
 

@@ -30,7 +30,8 @@ mod power;
 mod resources;
 
 pub use allocator::{
-    allocate_multicore, allocate_multicore_bits, allocate_multithread, ParallelPlan,
+    allocate_multicore, allocate_multicore_bits, allocate_multithread, cu_capacity_bound,
+    ParallelPlan,
 };
 pub use model::{cu_resources, subunit, system_resources, CuShape, SubUnit, SystemProfile};
 pub use power::{power, PowerBreakdown};

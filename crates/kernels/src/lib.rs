@@ -54,6 +54,8 @@ pub enum BenchError {
         /// Device value.
         got: u32,
     },
+    /// The execution engine lost the job (worker panic or pool failure).
+    Engine(String),
 }
 
 impl fmt::Display for BenchError {
@@ -70,6 +72,7 @@ impl fmt::Display for BenchError {
                 f,
                 "{bench}: output[{index}] = {got:#x}, reference says {expected:#x}"
             ),
+            BenchError::Engine(msg) => write!(f, "engine: {msg}"),
         }
     }
 }
@@ -89,7 +92,10 @@ impl From<SystemError> for BenchError {
 }
 
 /// A runnable, self-validating workload.
-pub trait Benchmark {
+///
+/// `Send` so boxed benchmarks can move onto `scratch-engine` pool workers
+/// (every workload is a plain parameter struct).
+pub trait Benchmark: Send {
     /// Display name, e.g. `"2D Conv (INT32)"`.
     fn name(&self) -> String;
 

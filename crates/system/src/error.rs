@@ -29,6 +29,14 @@ pub enum SystemError {
     ArgsNotSet,
     /// A zero-sized grid or workgroup was dispatched.
     EmptyDispatch,
+    /// A CU count outside what the FPGA allocator could ever place.
+    InvalidCuCount {
+        /// CUs requested.
+        requested: u8,
+        /// The device's allocator capacity bound
+        /// ([`scratch_fpga::cu_capacity_bound`]).
+        max: u8,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -54,6 +62,10 @@ impl fmt::Display for SystemError {
             ),
             SystemError::ArgsNotSet => write!(f, "kernel arguments not set before dispatch"),
             SystemError::EmptyDispatch => write!(f, "dispatch with an empty grid or workgroup"),
+            SystemError::InvalidCuCount { requested, max } => write!(
+                f,
+                "{requested} compute units requested, but the device routes at most {max}"
+            ),
         }
     }
 }

@@ -65,7 +65,7 @@ mod memory;
 mod system;
 
 pub use error::SystemError;
-pub use memory::{MemTiming, SharedMemory};
+pub use memory::{EpochDelta, EpochMemory, MemTiming, SharedMemory};
 pub use system::{RunReport, System, SystemConfig, SystemKind, TraceMode};
 
 pub use scratch_trace::{chrome_trace, EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer};

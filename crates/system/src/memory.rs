@@ -297,6 +297,235 @@ impl Memory for SharedMemory {
     }
 }
 
+/// Page granularity of the epoch copy-on-write views.
+const EPOCH_PAGE: usize = 4096;
+
+/// Everything a CU's [`EpochMemory`] view carries back to the shared
+/// memory when its shard of a dispatch completes: dirtied pages, the
+/// final position of the view's private server clock, and the access
+/// counters accumulated by the shard.
+///
+/// Deltas are applied with [`SharedMemory::commit`] in CU-index order,
+/// which makes the post-epoch memory state a pure function of the
+/// epoch-start state regardless of which worker thread ran which CU.
+#[derive(Debug)]
+pub struct EpochDelta {
+    /// Dirty pages, sorted by page index.
+    pages: Vec<(usize, EpochPage)>,
+    server_free: u64,
+    global_accesses: u64,
+    prefetch_hits: u64,
+    queue_wait: u64,
+}
+
+/// One copy-on-write page of an epoch view: the page contents (snapshot
+/// plus this view's writes) and a bitmask of the bytes actually written.
+/// Only masked bytes commit back, so shards interleaving stores within one
+/// page never clobber each other's data.
+#[derive(Debug)]
+struct EpochPage {
+    data: Box<[u8]>,
+    /// 1 bit per byte of `data`.
+    written: Box<[u64]>,
+}
+
+impl EpochPage {
+    fn from_base(base: &[u8]) -> EpochPage {
+        EpochPage {
+            data: base.into(),
+            written: vec![0u64; base.len().div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    fn write(&mut self, off: usize, byte: u8) {
+        self.data[off] = byte;
+        self.written[off / 64] |= 1 << (off % 64);
+    }
+}
+
+/// A copy-on-write view of [`SharedMemory`] scoped to one CU's shard of a
+/// dispatch epoch.
+///
+/// Each view snapshots the epoch-start functional contents (reads fall
+/// through to the base; writes dirty private 4-KiB pages) and decouples
+/// the MicroBlaze server clock: every CU's request stream queues behind a
+/// private `server_free` seeded from the epoch-start value, while the
+/// `sharers` multiplier continues to model the bandwidth division between
+/// CUs. The result is that a shard's timing and functional effects depend
+/// only on `(kernel, workgroups, epoch-start state)` — the invariant that
+/// lets the engine run shards on worker threads and still produce
+/// bit-identical cycle counts to the serial scheduler.
+#[derive(Debug)]
+pub struct EpochMemory<'a> {
+    base: &'a [u8],
+    timing: MemTiming,
+    prefetched: &'a [(u64, u64)],
+    sharers: u32,
+    server_free: u64,
+    /// Dirty pages, sorted by page index.
+    pages: Vec<(usize, EpochPage)>,
+    /// Memo: position in `pages` of the most recently touched page.
+    last: Option<usize>,
+    global_accesses: u64,
+    prefetch_hits: u64,
+    queue_wait: u64,
+}
+
+impl<'a> EpochMemory<'a> {
+    /// Position of page `pidx` in the dirty set, if present.
+    fn find(&self, pidx: usize) -> Option<usize> {
+        if let Some(pos) = self.last {
+            if self.pages.get(pos).is_some_and(|p| p.0 == pidx) {
+                return Some(pos);
+            }
+        }
+        self.pages.binary_search_by_key(&pidx, |p| p.0).ok()
+    }
+
+    fn byte(&mut self, a: usize) -> u8 {
+        let pidx = a / EPOCH_PAGE;
+        match self.find(pidx) {
+            Some(pos) => {
+                self.last = Some(pos);
+                self.pages[pos].1.data[a % EPOCH_PAGE]
+            }
+            None => self.base[a],
+        }
+    }
+
+    /// Dirty page `pidx`, copying it from the base on first touch; returns
+    /// its position in the dirty set.
+    fn dirty_page(&mut self, pidx: usize) -> usize {
+        if let Some(pos) = self.find(pidx) {
+            self.last = Some(pos);
+            return pos;
+        }
+        let start = pidx * EPOCH_PAGE;
+        let end = (start + EPOCH_PAGE).min(self.base.len());
+        let page = EpochPage::from_base(&self.base[start..end]);
+        let pos = self.pages.binary_search_by_key(&pidx, |p| p.0).unwrap_err();
+        self.pages.insert(pos, (pidx, page));
+        self.last = Some(pos);
+        pos
+    }
+
+    fn is_prefetched(&self, addr: u64) -> bool {
+        self.timing.prefetch_hit.is_some()
+            && self.prefetched.iter().any(|&(s, e)| addr >= s && addr < e)
+    }
+
+    /// Consume the view into the delta to [`SharedMemory::commit`].
+    #[must_use]
+    pub fn finish(self) -> EpochDelta {
+        EpochDelta {
+            pages: self.pages,
+            server_free: self.server_free,
+            global_accesses: self.global_accesses,
+            prefetch_hits: self.prefetch_hits,
+            queue_wait: self.queue_wait,
+        }
+    }
+}
+
+impl Memory for EpochMemory<'_> {
+    fn read_u32(&mut self, addr: u64) -> u32 {
+        let a = addr as usize;
+        if a + 4 > self.base.len() {
+            return 0;
+        }
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.byte(a + i);
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        let a = addr as usize;
+        if a + 4 > self.base.len() {
+            return;
+        }
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            let pos = self.dirty_page((a + i) / EPOCH_PAGE);
+            self.pages[pos].1.write((a + i) % EPOCH_PAGE, b);
+        }
+    }
+
+    fn access(&mut self, kind: AccessKind, addr: u64, lanes: u32, now: u64) -> u64 {
+        if self.is_prefetched(addr) {
+            self.prefetch_hits += 1;
+            let beats = u64::from(lanes.div_ceil(16).max(1));
+            return now
+                + self.timing.prefetch_hit.unwrap_or(0)
+                + beats * self.timing.prefetch_per_beat;
+        }
+        self.global_accesses += 1;
+        let service = match kind {
+            AccessKind::ScalarLoad => self.timing.scalar_service,
+            AccessKind::VectorLoad | AccessKind::VectorStore => self.timing.vector_service(lanes),
+        } * u64::from(self.sharers);
+        let start = self.server_free.max(now);
+        self.queue_wait += start - now;
+        let done = start + service;
+        self.server_free = done;
+        done
+    }
+}
+
+impl SharedMemory {
+    /// Open a copy-on-write epoch view over the current contents. Multiple
+    /// views may be live at once (one per CU shard); each sees the same
+    /// epoch-start snapshot and queues behind a private server clock
+    /// seeded from the current `server_free`.
+    #[must_use]
+    pub fn epoch(&self) -> EpochMemory<'_> {
+        EpochMemory {
+            base: &self.data,
+            timing: self.timing,
+            prefetched: &self.prefetched,
+            sharers: self.sharers,
+            server_free: self.server_free,
+            pages: Vec::new(),
+            last: None,
+            global_accesses: 0,
+            prefetch_hits: 0,
+            queue_wait: 0,
+        }
+    }
+
+    /// Apply one shard's epoch delta: copy the bytes the shard wrote back,
+    /// advance the server clock to the latest final position seen so far,
+    /// and fold the access counters in. Call in CU-index order for every
+    /// shard of the epoch — the order later shards' bytes overwrite
+    /// earlier ones is part of the deterministic dispatch semantics.
+    pub fn commit(&mut self, delta: EpochDelta) {
+        for (pidx, page) in delta.pages {
+            let start = pidx * EPOCH_PAGE;
+            for (w, &mask) in page.written.iter().enumerate() {
+                if mask == 0 {
+                    continue;
+                }
+                let woff = w * 64;
+                if mask == u64::MAX {
+                    let n = 64.min(page.data.len() - woff);
+                    self.data[start + woff..start + woff + n]
+                        .copy_from_slice(&page.data[woff..woff + n]);
+                } else {
+                    for b in 0..64 {
+                        if mask & (1 << b) != 0 {
+                            self.data[start + woff + b] = page.data[woff + b];
+                        }
+                    }
+                }
+            }
+        }
+        self.server_free = self.server_free.max(delta.server_free);
+        self.global_accesses += delta.global_accesses;
+        self.prefetch_hits += delta.prefetch_hits;
+        self.queue_wait += delta.queue_wait;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,5 +608,82 @@ mod tests {
         m.write_u32(0, 42);
         assert_eq!(m.read_u32(0), 42);
         assert_eq!(m.read_u32(1000), 0);
+    }
+
+    #[test]
+    fn epoch_views_are_isolated_until_commit() {
+        let mut m = SharedMemory::new(3 * EPOCH_PAGE, MemTiming::original());
+        m.write_words(0, &[1, 2]);
+        let mut a = m.epoch();
+        let mut b = m.epoch();
+        assert_eq!(a.read_u32(0), 1, "views see the epoch-start snapshot");
+        a.write_u32(0, 10);
+        a.write_u32(2 * EPOCH_PAGE as u64, 77);
+        b.write_u32(8, 99); // same page as a's first write
+        assert_eq!(a.read_u32(0), 10, "a view reads its own writes");
+        assert_eq!(b.read_u32(0), 1, "sibling views stay isolated");
+        let (da, db) = (a.finish(), b.finish());
+        assert_eq!(m.read_u32(0), 1, "base unchanged before commit");
+        m.commit(da);
+        m.commit(db);
+        // Only written bytes commit: b dirtied the same page as a, yet a's
+        // writes survive b's later commit.
+        assert_eq!(m.read_words(0, 3), vec![10, 2, 99]);
+        assert_eq!(m.read_u32(2 * EPOCH_PAGE as u64), 77);
+    }
+
+    #[test]
+    fn epoch_timing_matches_direct_access_for_one_cu() {
+        // A single CU's request stream through an epoch view must time out
+        // identically to the same stream hitting SharedMemory directly —
+        // the 1-CU serial/engine equivalence in miniature.
+        let mut direct = SharedMemory::new(8192, MemTiming::dcd_pm());
+        direct.prefetch(0, 1024).unwrap();
+        let mut epoch_base = direct.clone();
+        let mut view = epoch_base.epoch();
+        let stream = [
+            (AccessKind::VectorLoad, 0, 64, 0),
+            (AccessKind::VectorLoad, 4096, 64, 10),
+            (AccessKind::ScalarLoad, 4096, 1, 12),
+            (AccessKind::VectorStore, 100, 32, 500),
+        ];
+        for (kind, addr, lanes, now) in stream {
+            assert_eq!(
+                direct.access(kind, addr, lanes, now),
+                view.access(kind, addr, lanes, now)
+            );
+        }
+        epoch_base.commit(view.finish());
+        assert_eq!(epoch_base.global_accesses(), direct.global_accesses());
+        assert_eq!(epoch_base.prefetch_hits(), direct.prefetch_hits());
+        assert_eq!(epoch_base.queue_wait_cycles(), direct.queue_wait_cycles());
+        assert_eq!(epoch_base.server_free, direct.server_free);
+    }
+
+    #[test]
+    fn epoch_commit_takes_max_server_clock_and_sums_counters() {
+        let mut m = SharedMemory::new(1024, MemTiming::dcd());
+        let mut a = m.epoch();
+        let mut b = m.epoch();
+        a.access(AccessKind::VectorLoad, 0, 64, 0);
+        b.access(AccessKind::ScalarLoad, 0, 1, 0);
+        b.access(AccessKind::ScalarLoad, 0, 1, 0);
+        let (da, db) = (a.finish(), b.finish());
+        let (fa, fb) = (da.server_free, db.server_free);
+        m.commit(da);
+        m.commit(db);
+        assert_eq!(m.global_accesses(), 3);
+        assert_eq!(m.server_free, fa.max(fb));
+    }
+
+    #[test]
+    fn epoch_respects_bounds_like_base_memory() {
+        let mut m = SharedMemory::new(64, MemTiming::original());
+        let mut v = m.epoch();
+        assert_eq!(v.read_u32(1000), 0);
+        v.write_u32(62, 5); // straddles the end: dropped, like the base
+        v.write_u32(60, 9);
+        m.commit(v.finish());
+        assert_eq!(m.read_u32(60), 9);
     }
 }

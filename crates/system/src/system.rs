@@ -1,14 +1,26 @@
 //! The full system: CUs + dispatcher + host bookkeeping.
 
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
 use scratch_asm::Kernel;
 use scratch_cu::{ComputeUnit, CuConfig, CuStats, WaveInit};
+use scratch_fpga::{cu_capacity_bound, Device};
 use scratch_isa::WAVEFRONT_SIZE;
-use scratch_trace::{EventBuffer, StallReason, TraceEvent, TraceSummary};
+use scratch_trace::{EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer as _};
 
-use crate::memory::{MemTiming, SharedMemory};
+use crate::memory::{EpochDelta, EpochMemory, MemTiming, SharedMemory};
 use crate::{abi, SystemError};
+
+/// Allocator capacity bound for the paper's device (cached — the additive
+/// resource model is pure, so the bound never changes within a process).
+fn device_cu_bound() -> u8 {
+    static BOUND: OnceLock<u8> = OnceLock::new();
+    *BOUND.get_or_init(|| cu_capacity_bound(&Device::XC7VX690T))
+}
 
 /// The three system configurations compared throughout the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -90,6 +102,12 @@ pub struct SystemConfig {
     pub auto_prefetch: bool,
     /// Cycle-attribution / event-tracing mode.
     pub trace: TraceMode,
+    /// Worker threads used to run CU shards of a dispatch: `1` is the
+    /// serial scheduler, `0` means one worker per available core. The
+    /// worker count never changes simulated results — dispatches are
+    /// epoch-batched so cycle counts are bit-identical at any setting —
+    /// only host wall-clock time.
+    pub workers: usize,
 }
 
 impl SystemConfig {
@@ -104,6 +122,7 @@ impl SystemConfig {
             memory_bytes: 64 << 20,
             auto_prefetch: true,
             trace: TraceMode::Off,
+            workers: 1,
         }
     }
 
@@ -114,10 +133,33 @@ impl SystemConfig {
         self
     }
 
-    /// Builder-style override of the CU count.
+    /// Builder-style override of the CU count, validated against the FPGA
+    /// allocator's capacity bound for the paper's device
+    /// ([`scratch_fpga::cu_capacity_bound`]): a CU count no allocation
+    /// plan could ever back is rejected up front instead of simulating
+    /// hardware that cannot be placed.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::InvalidCuCount`] when `cus` is zero or exceeds the
+    /// device bound.
+    pub fn with_cus(mut self, cus: u8) -> Result<SystemConfig, SystemError> {
+        let max = device_cu_bound();
+        if cus == 0 || cus > max {
+            return Err(SystemError::InvalidCuCount {
+                requested: cus,
+                max,
+            });
+        }
+        self.cus = cus;
+        Ok(self)
+    }
+
+    /// Builder-style override of the worker-thread count (see
+    /// [`SystemConfig::workers`]).
     #[must_use]
-    pub fn with_cus(mut self, cus: u8) -> SystemConfig {
-        self.cus = cus.max(1);
+    pub fn with_workers(mut self, workers: usize) -> SystemConfig {
+        self.workers = workers;
         self
     }
 
@@ -187,8 +229,13 @@ pub struct System {
     per_kernel_dispatches: Vec<u64>,
     kernel_switches: u64,
     last_kernel: Option<usize>,
-    /// Shared event sink handed to every CU under [`TraceMode::Full`].
+    /// System-level event stream under [`TraceMode::Full`]: per-CU events
+    /// are drained into it in CU order after every dispatch.
     trace_buf: Option<EventBuffer>,
+    /// Private per-CU event sinks ([`TraceMode::Full`] only) — each CU
+    /// records into its own buffer so shards can run on worker threads
+    /// without interleaving the stream nondeterministically.
+    cu_bufs: Vec<EventBuffer>,
 }
 
 impl System {
@@ -206,19 +253,32 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Fails when `kernels` is empty or a binary does not decode.
+    /// Fails when `kernels` is empty, a binary does not decode, or the CU
+    /// count falls outside the device's allocator capacity bound.
     pub fn with_kernels(config: SystemConfig, kernels: &[Kernel]) -> Result<System, SystemError> {
         let first = kernels.first().ok_or(SystemError::EmptyDispatch)?;
+        let max = device_cu_bound();
+        if config.cus == 0 || config.cus > max {
+            return Err(SystemError::InvalidCuCount {
+                requested: config.cus,
+                max,
+            });
+        }
         let mut mem = SharedMemory::new(config.memory_bytes, config.kind.timing());
         mem.set_sharers(u32::from(config.cus));
         let trace_buf = (config.trace == TraceMode::Full).then(EventBuffer::new);
+        let mut cu_bufs = Vec::new();
         let mut cus = Vec::with_capacity(usize::from(config.cus));
-        for ci in 0..config.cus.max(1) {
+        for ci in 0..config.cus {
             let mut cu = ComputeUnit::new(config.cu.clone(), first)?;
-            match (&trace_buf, config.trace) {
-                (Some(buf), _) => cu.set_tracer(u32::from(ci), Box::new(buf.clone())),
-                (None, TraceMode::Summary) => cu.enable_tracing(u32::from(ci)),
-                (None, _) => {}
+            match config.trace {
+                TraceMode::Full => {
+                    let buf = EventBuffer::new();
+                    cu.set_tracer(u32::from(ci), Box::new(buf.clone()));
+                    cu_bufs.push(buf);
+                }
+                TraceMode::Summary => cu.enable_tracing(u32::from(ci)),
+                TraceMode::Off => {}
             }
             cus.push(cu);
         }
@@ -238,6 +298,7 @@ impl System {
             kernel_switches: 0,
             last_kernel: None,
             trace_buf,
+            cu_bufs,
         };
         sys.cb0_addr = sys.alloc(64);
         Ok(sys)
@@ -357,9 +418,6 @@ impl System {
             .get(idx)
             .ok_or(SystemError::EmptyDispatch)?
             .clone();
-        for cu in &mut self.cus {
-            cu.load_kernel(&kernel)?;
-        }
         let wg_size = kernel.meta().workgroup_size;
         let total_wgs = u64::from(grid[0]) * u64::from(grid[1]) * u64::from(grid[2]);
         if total_wgs == 0 || wg_size == 0 {
@@ -367,7 +425,6 @@ impl System {
         }
         let waves_per_wg = (wg_size as usize).div_ceil(WAVEFRONT_SIZE);
         if let Some(buf) = &mut self.trace_buf {
-            use scratch_trace::Tracer as _;
             buf.record(&TraceEvent::KernelDispatch {
                 kernel: kernel.name().to_owned(),
                 grid,
@@ -380,7 +437,14 @@ impl System {
             self.cb0_addr,
             &[grid[0], grid[1], grid[2], wg_size, grid[0] * wg_size],
         );
-        let cb0 = self.cb0_addr;
+        let launch = Launch {
+            kernel,
+            wg_size,
+            waves_per_wg,
+            cb0: self.cb0_addr,
+            args_addr,
+            args_len: self.args_len,
+        };
 
         // Round-robin workgroups over the CUs.
         let n_cus = self.cus.len();
@@ -395,72 +459,57 @@ impl System {
             }
         }
 
-        let mut before = Vec::with_capacity(n_cus);
-        for cu in &self.cus {
-            before.push(cu.now());
-        }
+        let before: Vec<u64> = self.cus.iter().map(ComputeUnit::now).collect();
+        let workers = self.effective_workers().min(n_cus).max(1);
 
-        for (ci, wgs) in assignments.iter().enumerate() {
-            let cu = &mut self.cus[ci];
-            let max_waves = usize::from(cu.config().max_wavefronts);
-            let wgs_per_batch = (max_waves / waves_per_wg).max(1);
-            for batch in wgs.chunks(wgs_per_batch) {
-                cu.clear_waves();
-                for &wg_id in batch {
-                    let wg = cu.add_workgroup();
-                    for w in 0..waves_per_wg {
-                        let lane_base = (w * WAVEFRONT_SIZE) as u32;
-                        let active = (wg_size - lane_base).min(WAVEFRONT_SIZE as u32);
-                        if active == 0 {
-                            break;
-                        }
-                        let exec = if active >= 64 {
-                            u64::MAX
-                        } else {
-                            (1u64 << active) - 1
-                        };
-                        let tids: Vec<u32> =
-                            (0..WAVEFRONT_SIZE as u32).map(|l| lane_base + l).collect();
-                        let mut vgprs = vec![(u32::from(abi::TID_X), tids)];
-                        // v1/v2 carry the work-item Y/Z ids. This
-                        // dispatcher launches 1-D workgroups, so both are
-                        // zero — written explicitly, but only when the
-                        // kernel's VGPR budget covers the register.
-                        for tid in [abi::TID_Y, abi::TID_Z] {
-                            if u32::from(tid) < u32::from(kernel.meta().vgprs) {
-                                vgprs.push((u32::from(tid), vec![0; WAVEFRONT_SIZE]));
-                            }
-                        }
-                        cu.start_wave(WaveInit {
-                            workgroup: wg,
-                            exec,
-                            sgprs: vec![
-                                // IMM_UAV: base 0, unbounded records.
-                                (u32::from(abi::UAV_DESC), 0),
-                                (u32::from(abi::UAV_DESC) + 1, 0),
-                                (u32::from(abi::UAV_DESC) + 2, 0),
-                                (u32::from(abi::UAV_DESC) + 3, 0),
-                                // IMM_CONST_BUFFER0.
-                                (u32::from(abi::CONST_BUF0), cb0 as u32),
-                                (u32::from(abi::CONST_BUF0) + 1, (cb0 >> 32) as u32),
-                                (u32::from(abi::CONST_BUF0) + 2, 64),
-                                (u32::from(abi::CONST_BUF0) + 3, 0),
-                                // IMM_CONST_BUFFER1.
-                                (u32::from(abi::CONST_BUF1), args_addr as u32),
-                                (u32::from(abi::CONST_BUF1) + 1, (args_addr >> 32) as u32),
-                                (u32::from(abi::CONST_BUF1) + 2, self.args_len as u32),
-                                (u32::from(abi::CONST_BUF1) + 3, 0),
-                                // Workgroup ids.
-                                (u32::from(abi::WG_ID_X), wg_id[0]),
-                                (u32::from(abi::WG_ID_Y), wg_id[1]),
-                                (u32::from(abi::WG_ID_Z), wg_id[2]),
-                            ],
-                            vgprs,
-                        })?;
+        // Run every CU's shard against a private epoch view of the shared
+        // memory; no shard observes another's writes or server clock, so
+        // the outcomes are identical whichever scheduler produced them.
+        let mut outcomes: Vec<ShardOutcome> = if workers > 1 {
+            self.run_shards_parallel(&launch, &assignments, workers)
+        } else {
+            let mem = &self.mem;
+            self.cus
+                .iter_mut()
+                .zip(&assignments)
+                .map(|(cu, wgs)| {
+                    let mut view = mem.epoch();
+                    let res = run_cu_share(cu, &launch, wgs, &mut view);
+                    Some((res, view.finish()))
+                })
+                .collect()
+        };
+
+        // Deterministic commit: apply deltas and drain per-CU trace events
+        // in CU-index order, stopping at the first failing CU. Shards at
+        // or past a failure never become visible.
+        let mut failure: Option<SystemError> = None;
+        for (ci, slot) in outcomes.iter_mut().enumerate() {
+            let (res, delta) = slot.take().expect("every shard produces an outcome");
+            if failure.is_some() {
+                continue;
+            }
+            match res {
+                Ok(()) => {
+                    self.mem.commit(delta);
+                    if let Some(buf) = &mut self.trace_buf {
+                        buf.extend(self.cu_bufs[ci].take());
+                        buf.record(&TraceEvent::ShardRun {
+                            cu: ci as u32,
+                            worker: (ci % workers) as u32,
+                            start: before[ci],
+                            end: self.cus[ci].now(),
+                        });
                     }
                 }
-                cu.run_to_completion(&mut self.mem)?;
+                Err(e) => failure = Some(e),
             }
+        }
+        if let Some(e) = failure {
+            for buf in &self.cu_bufs {
+                let _ = buf.take();
+            }
+            return Err(e);
         }
 
         let spent = self
@@ -477,6 +526,56 @@ impl System {
         }
         self.last_kernel = Some(idx);
         Ok(spent)
+    }
+
+    /// Resolve [`SystemConfig::workers`]: `0` means one per available core.
+    fn effective_workers(&self) -> usize {
+        match self.config.workers {
+            0 => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            n => n,
+        }
+    }
+
+    /// Run the dispatch's CU shards on `workers` scoped threads with
+    /// work-stealing over the shard list. Returns one outcome slot per CU,
+    /// in CU-index order.
+    fn run_shards_parallel(
+        &mut self,
+        launch: &Launch,
+        assignments: &[Vec<[u32; 3]>],
+        workers: usize,
+    ) -> Vec<ShardOutcome> {
+        let mem = &self.mem;
+        let shards: Vec<ShardSlot<'_>> = self
+            .cus
+            .iter_mut()
+            .zip(assignments)
+            .enumerate()
+            .map(|(ci, (cu, wgs))| Mutex::new(Some((ci, cu, wgs.as_slice()))))
+            .collect();
+        let outcomes: Vec<Mutex<ShardOutcome>> =
+            (0..shards.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(shards.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = shards.get(i) else { break };
+                    let (ci, cu, wgs) = slot
+                        .lock()
+                        .expect("shard slot lock")
+                        .take()
+                        .expect("each shard is claimed exactly once");
+                    let mut view = mem.epoch();
+                    let res = run_cu_share(cu, launch, wgs, &mut view);
+                    *outcomes[ci].lock().expect("outcome slot lock") = Some((res, view.finish()));
+                });
+            }
+        });
+        outcomes
+            .into_iter()
+            .map(|m| m.into_inner().expect("outcome lock"))
+            .collect()
     }
 
     /// Cumulative measurements since construction.
@@ -526,6 +625,103 @@ impl System {
             trace_events: self.trace_buf.as_ref().map(EventBuffer::snapshot),
         }
     }
+}
+
+/// What one CU shard hands back to the dispatcher: its run result plus the
+/// epoch delta to commit. `None` until the shard has run.
+type ShardOutcome = Option<(Result<(), SystemError>, EpochDelta)>;
+
+/// A claimable shard: one CU and its workgroup share, taken exactly once
+/// by whichever worker gets there first.
+type ShardSlot<'a> = Mutex<Option<(usize, &'a mut ComputeUnit, &'a [[u32; 3]])>>;
+
+/// Everything a CU shard needs to launch its workgroups — immutable, so
+/// worker threads share it by reference.
+struct Launch {
+    kernel: Kernel,
+    wg_size: u32,
+    waves_per_wg: usize,
+    cb0: u64,
+    args_addr: u64,
+    args_len: u64,
+}
+
+/// Run one CU's shard of a dispatch epoch against its private memory view.
+///
+/// This is the unit of work both schedulers share: the serial path calls
+/// it CU by CU, the parallel path hands it to worker threads. Its effects
+/// are a pure function of `(CU state, launch, workgroups, epoch-start
+/// memory)` — the invariant behind the engine's determinism guarantee.
+fn run_cu_share(
+    cu: &mut ComputeUnit,
+    launch: &Launch,
+    wgs: &[[u32; 3]],
+    mem: &mut EpochMemory<'_>,
+) -> Result<(), SystemError> {
+    cu.load_kernel(&launch.kernel)?;
+    let wg_size = launch.wg_size;
+    let max_waves = usize::from(cu.config().max_wavefronts);
+    let wgs_per_batch = (max_waves / launch.waves_per_wg).max(1);
+    for batch in wgs.chunks(wgs_per_batch) {
+        cu.clear_waves();
+        for &wg_id in batch {
+            let wg = cu.add_workgroup();
+            for w in 0..launch.waves_per_wg {
+                let lane_base = (w * WAVEFRONT_SIZE) as u32;
+                let active = (wg_size - lane_base).min(WAVEFRONT_SIZE as u32);
+                if active == 0 {
+                    break;
+                }
+                let exec = if active >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << active) - 1
+                };
+                let tids: Vec<u32> = (0..WAVEFRONT_SIZE as u32).map(|l| lane_base + l).collect();
+                let mut vgprs = vec![(u32::from(abi::TID_X), tids)];
+                // v1/v2 carry the work-item Y/Z ids. This dispatcher
+                // launches 1-D workgroups, so both are zero — written
+                // explicitly, but only when the kernel's VGPR budget
+                // covers the register.
+                for tid in [abi::TID_Y, abi::TID_Z] {
+                    if u32::from(tid) < u32::from(launch.kernel.meta().vgprs) {
+                        vgprs.push((u32::from(tid), vec![0; WAVEFRONT_SIZE]));
+                    }
+                }
+                cu.start_wave(WaveInit {
+                    workgroup: wg,
+                    exec,
+                    sgprs: vec![
+                        // IMM_UAV: base 0, unbounded records.
+                        (u32::from(abi::UAV_DESC), 0),
+                        (u32::from(abi::UAV_DESC) + 1, 0),
+                        (u32::from(abi::UAV_DESC) + 2, 0),
+                        (u32::from(abi::UAV_DESC) + 3, 0),
+                        // IMM_CONST_BUFFER0.
+                        (u32::from(abi::CONST_BUF0), launch.cb0 as u32),
+                        (u32::from(abi::CONST_BUF0) + 1, (launch.cb0 >> 32) as u32),
+                        (u32::from(abi::CONST_BUF0) + 2, 64),
+                        (u32::from(abi::CONST_BUF0) + 3, 0),
+                        // IMM_CONST_BUFFER1.
+                        (u32::from(abi::CONST_BUF1), launch.args_addr as u32),
+                        (
+                            u32::from(abi::CONST_BUF1) + 1,
+                            (launch.args_addr >> 32) as u32,
+                        ),
+                        (u32::from(abi::CONST_BUF1) + 2, launch.args_len as u32),
+                        (u32::from(abi::CONST_BUF1) + 3, 0),
+                        // Workgroup ids.
+                        (u32::from(abi::WG_ID_X), wg_id[0]),
+                        (u32::from(abi::WG_ID_Y), wg_id[1]),
+                        (u32::from(abi::WG_ID_Z), wg_id[2]),
+                    ],
+                    vgprs,
+                })?;
+            }
+        }
+        cu.run_to_completion(mem)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -590,8 +786,22 @@ mod tests {
     }
 
     fn run_add_one(kind: SystemKind, cus: u8, n: u32, wg_size: u32) -> (Vec<u32>, RunReport) {
+        run_add_one_workers(kind, cus, n, wg_size, 1)
+    }
+
+    fn run_add_one_workers(
+        kind: SystemKind,
+        cus: u8,
+        n: u32,
+        wg_size: u32,
+        workers: usize,
+    ) -> (Vec<u32>, RunReport) {
         let kernel = add_one_kernel(wg_size);
-        let mut sys = System::new(SystemConfig::preset(kind).with_cus(cus), &kernel).unwrap();
+        let config = SystemConfig::preset(kind)
+            .with_cus(cus)
+            .unwrap()
+            .with_workers(workers);
+        let mut sys = System::new(config, &kernel).unwrap();
         let input: Vec<u32> = (0..n).map(|i| i * 3).collect();
         let a_in = sys.alloc_words(&input);
         let a_out = sys.alloc(u64::from(n) * 4);
@@ -640,6 +850,100 @@ mod tests {
             "3-CU speedup {speedup:.2} out of expected band"
         );
         assert_eq!(r3.per_cu_cycles.len(), 3);
+    }
+
+    #[test]
+    fn with_cus_rejects_counts_the_allocator_cannot_back() {
+        let max = device_cu_bound();
+        assert_eq!(
+            SystemConfig::preset(SystemKind::DcdPm)
+                .with_cus(0)
+                .unwrap_err(),
+            SystemError::InvalidCuCount { requested: 0, max }
+        );
+        assert_eq!(
+            SystemConfig::preset(SystemKind::DcdPm)
+                .with_cus(max + 1)
+                .unwrap_err(),
+            SystemError::InvalidCuCount {
+                requested: max + 1,
+                max
+            }
+        );
+        assert!(SystemConfig::preset(SystemKind::DcdPm)
+            .with_cus(max)
+            .is_ok());
+        // A hand-built config with an unbackable count fails at system
+        // construction too.
+        let mut config = SystemConfig::preset(SystemKind::DcdPm);
+        config.cus = 0;
+        assert!(matches!(
+            System::new(config, &add_one_kernel(64)),
+            Err(SystemError::InvalidCuCount { requested: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_dispatch_is_bit_identical_to_serial() {
+        // The engine's core guarantee in miniature: the same multi-CU run
+        // scheduled serially and on 4 worker threads yields identical
+        // memory contents and an identical RunReport.
+        for kind in [SystemKind::Original, SystemKind::Dcd, SystemKind::DcdPm] {
+            let (out_s, r_s) = run_add_one_workers(kind, 3, 4096, 64, 1);
+            let (out_p, r_p) = run_add_one_workers(kind, 3, 4096, 64, 4);
+            assert_eq!(out_s, out_p, "{kind:?}: memory diverged");
+            assert_eq!(r_s, r_p, "{kind:?}: reports diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_trace_streams_are_deterministic() {
+        let run = |workers: usize| {
+            let kernel = add_one_kernel(64);
+            let config = SystemConfig::preset(SystemKind::Dcd)
+                .with_cus(3)
+                .unwrap()
+                .with_workers(workers)
+                .with_trace(TraceMode::Full);
+            let mut sys = System::new(config, &kernel).unwrap();
+            let input: Vec<u32> = (0..512).collect();
+            let a_in = sys.alloc_words(&input);
+            let a_out = sys.alloc(512 * 4);
+            sys.set_args(&[a_in as u32, a_out as u32]);
+            sys.dispatch([8, 1, 1]).unwrap();
+            sys.report().trace_events.unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        // Streams match event-for-event; only the ShardRun worker lane
+        // reflects the scheduler (cu % workers).
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            match (a, b) {
+                (
+                    TraceEvent::ShardRun {
+                        cu: ca,
+                        start: sa,
+                        end: ea,
+                        ..
+                    },
+                    TraceEvent::ShardRun {
+                        cu: cb,
+                        start: sb,
+                        end: eb,
+                        ..
+                    },
+                ) => {
+                    assert_eq!((ca, sa, ea), (cb, sb, eb));
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+        let shards = serial
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ShardRun { .. }))
+            .count();
+        assert_eq!(shards, 3, "one ShardRun per CU per dispatch");
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! Layout: one *process* per compute unit; each wavefront gets a pipeline
 //! track (stall slices + issue/retire instants) and a memory track
 //! (request slices), and each functional-unit class gets a track showing
-//! its occupancy slices. One CU cycle is rendered as one microsecond.
+//! its occupancy slices. A separate *engine* process renders one track
+//! per execution-engine worker lane, with a slice per CU shard, so the
+//! parallel schedule of a multi-CU dispatch is visible at a glance. One
+//! CU cycle is rendered as one microsecond.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -95,6 +98,18 @@ fn process_name(pid: u64) -> Value {
     ])
 }
 
+/// Process id of the execution-engine schedule (far above any CU pid).
+const ENGINE_PID: u64 = 9_000_000;
+
+fn engine_process_name() -> Value {
+    obj(&[
+        ("name", s("process_name")),
+        ("ph", s("M")),
+        ("pid", n(ENGINE_PID)),
+        ("args", obj(&[("name", s("engine"))])),
+    ])
+}
+
 /// Outstanding memory requests of one wave: `(kind label, address, start)`.
 type MemFifo = VecDeque<(String, u64, u64)>;
 
@@ -111,14 +126,21 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
     // FIFO of outstanding memory requests per (cu, wave).
     let mut mem_open: HashMap<(u32, u32), MemFifo> = HashMap::new();
 
-    let mut name_track = |out: &mut Vec<Value>, pid: u64, tid: u64, name: String| {
+    fn name_cu_track(
+        out: &mut Vec<Value>,
+        named: &mut BTreeSet<(u64, u64)>,
+        pids: &mut BTreeSet<u64>,
+        pid: u64,
+        tid: u64,
+        name: String,
+    ) {
         if named.insert((pid, tid)) {
             out.push(thread_name(pid, tid, &name));
         }
         if pids.insert(pid) {
             out.push(process_name(pid));
         }
-    };
+    }
 
     for ev in events {
         match ev {
@@ -148,7 +170,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 now,
             } => {
                 let pid = u64::from(*cu);
-                name_track(&mut out, pid, wave_tid(*wave), format!("wave {wave}"));
+                name_cu_track(
+                    &mut out,
+                    &mut named,
+                    &mut pids,
+                    pid,
+                    wave_tid(*wave),
+                    format!("wave {wave}"),
+                );
                 out.push(instant(
                     "wave start",
                     pid,
@@ -169,7 +198,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 ..
             } => {
                 let pid = u64::from(*cu);
-                name_track(&mut out, pid, wave_tid(*wave), format!("wave {wave}"));
+                name_cu_track(
+                    &mut out,
+                    &mut named,
+                    &mut pids,
+                    pid,
+                    wave_tid(*wave),
+                    format!("wave {wave}"),
+                );
                 out.push(instant(
                     opcode.mnemonic(),
                     pid,
@@ -188,7 +224,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 end,
             } => {
                 let pid = u64::from(*cu);
-                name_track(&mut out, pid, fu_tid(*unit), format!("FU {}", unit.label()));
+                name_cu_track(
+                    &mut out,
+                    &mut named,
+                    &mut pids,
+                    pid,
+                    fu_tid(*unit),
+                    format!("FU {}", unit.label()),
+                );
                 out.push(slice(
                     opcode.mnemonic(),
                     pid,
@@ -206,7 +249,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 instructions,
             } => {
                 let pid = u64::from(*cu);
-                name_track(&mut out, pid, wave_tid(*wave), format!("wave {wave}"));
+                name_cu_track(
+                    &mut out,
+                    &mut named,
+                    &mut pids,
+                    pid,
+                    wave_tid(*wave),
+                    format!("wave {wave}"),
+                );
                 out.push(instant(
                     "retire",
                     pid,
@@ -236,7 +286,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                     .and_then(VecDeque::pop_front)
                 {
                     let pid = u64::from(*cu);
-                    name_track(&mut out, pid, mem_tid(*wave), format!("wave {wave} mem"));
+                    name_cu_track(
+                        &mut out,
+                        &mut named,
+                        &mut pids,
+                        pid,
+                        mem_tid(*wave),
+                        format!("wave {wave} mem"),
+                    );
                     out.push(slice(
                         &kind,
                         pid,
@@ -254,7 +311,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 now,
             } => {
                 let pid = u64::from(*cu);
-                name_track(&mut out, pid, wave_tid(*wave), format!("wave {wave}"));
+                name_cu_track(
+                    &mut out,
+                    &mut named,
+                    &mut pids,
+                    pid,
+                    wave_tid(*wave),
+                    format!("wave {wave}"),
+                );
                 out.push(instant(
                     "barrier arrive",
                     pid,
@@ -272,6 +336,28 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                     obj(&[("workgroup", n(u64::from(*workgroup)))]),
                 ));
             }
+            TraceEvent::ShardRun {
+                cu,
+                worker,
+                start,
+                end,
+            } => {
+                let tid = u64::from(*worker);
+                if named.insert((ENGINE_PID, tid)) {
+                    out.push(thread_name(ENGINE_PID, tid, &format!("worker {worker}")));
+                }
+                if pids.insert(ENGINE_PID) {
+                    out.push(engine_process_name());
+                }
+                out.push(slice(
+                    &format!("CU {cu}"),
+                    ENGINE_PID,
+                    tid,
+                    *start,
+                    end.saturating_sub(*start),
+                    obj(&[("cu", n(u64::from(*cu)))]),
+                ));
+            }
             TraceEvent::Stall {
                 cu,
                 wave,
@@ -280,7 +366,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 to,
             } => {
                 let pid = u64::from(*cu);
-                name_track(&mut out, pid, wave_tid(*wave), format!("wave {wave}"));
+                name_cu_track(
+                    &mut out,
+                    &mut named,
+                    &mut pids,
+                    pid,
+                    wave_tid(*wave),
+                    format!("wave {wave}"),
+                );
                 out.push(slice(
                     reason.label(),
                     pid,
@@ -384,6 +477,29 @@ mod tests {
         assert!(json.contains("waitcnt-vm"));
         // Metadata (process + 3 thread names) + 5 renderable events.
         assert!(evs.len() >= 8, "{}", evs.len());
+    }
+
+    #[test]
+    fn shard_runs_render_as_engine_worker_tracks() {
+        let events = vec![
+            TraceEvent::ShardRun {
+                cu: 0,
+                worker: 0,
+                start: 0,
+                end: 500,
+            },
+            TraceEvent::ShardRun {
+                cu: 1,
+                worker: 1,
+                start: 0,
+                end: 480,
+            },
+        ];
+        let json = chrome_trace(&events).to_string();
+        assert!(json.contains("\"engine\""));
+        assert!(json.contains("worker 0"));
+        assert!(json.contains("worker 1"));
+        assert!(json.contains("CU 1"));
     }
 
     #[test]

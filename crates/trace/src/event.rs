@@ -161,6 +161,24 @@ pub enum TraceEvent {
         /// Release cycle.
         now: u64,
     },
+    /// One CU's share of a dispatch, as scheduled by the execution engine:
+    /// the engine lane (worker track) that simulated CU `cu` over the CU's
+    /// local cycle interval `[start, end)`.
+    ///
+    /// The lane is the engine's *deterministic* assignment
+    /// (`cu % workers`), not the OS thread that happened to steal the
+    /// shard, so traces are bit-identical across runs and across
+    /// serial/parallel execution.
+    ShardRun {
+        /// Compute-unit index.
+        cu: u32,
+        /// Engine worker lane (0 for the serial dispatcher).
+        worker: u32,
+        /// First CU-local cycle of the shard.
+        start: u64,
+        /// First CU-local cycle after the shard.
+        end: u64,
+    },
     /// A coalesced stall interval `[from, to)` of one wavefront.
     Stall {
         /// Compute-unit index.
@@ -193,7 +211,7 @@ impl TraceEvent {
             | TraceEvent::MemComplete { now, .. }
             | TraceEvent::BarrierArrive { now, .. }
             | TraceEvent::BarrierRelease { now, .. } => *now,
-            TraceEvent::Execute { start, .. } => *start,
+            TraceEvent::Execute { start, .. } | TraceEvent::ShardRun { start, .. } => *start,
             TraceEvent::Stall { from, .. } => *from,
         }
     }

@@ -34,9 +34,8 @@ mod event;
 mod stall;
 mod summary;
 
-use std::cell::RefCell;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 pub use attribution::{Attribution, WaveAttribution};
 pub use chrome::chrome_trace;
@@ -49,7 +48,11 @@ pub use summary::{TraceSummary, WaveTimeline};
 /// Implementations must be cheap: the pipeline calls [`Tracer::record`]
 /// once per emitted event while tracing is enabled. The trait is
 /// deliberately minimal so sinks compose (buffer, stream, discard).
-pub trait Tracer {
+///
+/// Sinks are `Send` so a traced compute unit can migrate onto an engine
+/// worker thread (`scratch-engine` shards a dispatch's CUs across
+/// workers); each CU's sink is only ever driven by one thread at a time.
+pub trait Tracer: Send {
     /// Consume one event.
     fn record(&mut self, event: &TraceEvent);
 
@@ -86,9 +89,12 @@ impl Tracer for NullTracer {
 ///
 /// Cloning an `EventBuffer` yields a handle onto the *same* buffer, so a
 /// system can hand one handle to each compute unit and keep another to
-/// read the merged stream back after the run.
+/// read the merged stream back after the run. Handles are `Send`: the
+/// parallel dispatcher gives every CU a private buffer, runs the CUs on
+/// worker threads, and drains the buffers in CU order afterwards so the
+/// merged stream is deterministic.
 #[derive(Debug, Clone, Default)]
-pub struct EventBuffer(Rc<RefCell<Vec<TraceEvent>>>);
+pub struct EventBuffer(Arc<Mutex<Vec<TraceEvent>>>);
 
 impl EventBuffer {
     /// Create an empty buffer.
@@ -97,34 +103,48 @@ impl EventBuffer {
         EventBuffer::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        // A panicking recorder cannot leave the vector in a torn state
+        // (pushes are atomic with respect to the lock), so poisoning is
+        // safe to shrug off.
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Number of buffered events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.lock().len()
     }
 
     /// `true` when nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.lock().is_empty()
     }
 
     /// Clone the buffered events out.
     #[must_use]
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.0.borrow().clone()
+        self.lock().clone()
     }
 
     /// Move the buffered events out, leaving the buffer empty.
     #[must_use]
     pub fn take(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut *self.0.borrow_mut())
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Append `events` in order (used to merge per-CU streams).
+    pub fn extend(&self, events: impl IntoIterator<Item = TraceEvent>) {
+        self.lock().extend(events);
     }
 }
 
 impl Tracer for EventBuffer {
     fn record(&mut self, event: &TraceEvent) {
-        self.0.borrow_mut().push(event.clone());
+        self.lock().push(event.clone());
     }
 }
 
@@ -160,7 +180,7 @@ impl<W: Write> JsonlTracer<W> {
     }
 }
 
-impl<W: Write> Tracer for JsonlTracer<W> {
+impl<W: Write + Send> Tracer for JsonlTracer<W> {
     fn record(&mut self, event: &TraceEvent) {
         if self.error.is_some() {
             return;
@@ -176,6 +196,34 @@ impl<W: Write> Tracer for JsonlTracer<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sinks_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<EventBuffer>();
+        assert_send::<NullTracer>();
+        assert_send::<JsonlTracer<Vec<u8>>>();
+        assert_send::<Box<dyn Tracer>>();
+    }
+
+    #[test]
+    fn event_buffer_drains_across_threads() {
+        let buf = EventBuffer::new();
+        let mut handle = buf.clone();
+        std::thread::spawn(move || {
+            handle.record(&TraceEvent::ShardRun {
+                cu: 1,
+                worker: 0,
+                start: 10,
+                end: 20,
+            });
+        })
+        .join()
+        .unwrap();
+        let events = buf.take();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], TraceEvent::ShardRun { cu: 1, .. }));
+    }
 
     #[test]
     fn event_buffer_handles_share_storage() {

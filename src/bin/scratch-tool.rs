@@ -8,12 +8,16 @@
 //! scratch-tool analyze  <file.s>
 //! scratch-tool trim     <file.s>
 //! scratch-tool run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]
+//!                       [--jobs N]
 //! scratch-tool trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]
 //! ```
 //!
 //! `run` launches the kernel with one argument: the address of a scratch
 //! output buffer (the quickstart convention used by the examples), then
-//! prints the first words of that buffer.
+//! prints the first words of that buffer. `--jobs N` shards the dispatch's
+//! compute units across N worker threads (default: one per available
+//! core); the simulated cycle counts and outputs are bit-identical for
+//! any N.
 
 use std::process::ExitCode;
 
@@ -186,9 +190,12 @@ fn real_main() -> Result<(), String> {
             };
             let wgs = parse_n("--wgs", 1);
             let out_words = parse_n("--out-words", 16) as usize;
+            // 0 = one worker per available core (the default); any count
+            // yields bit-identical simulated results.
+            let jobs = parse_n("--jobs", 0) as usize;
 
-            let mut sys =
-                System::new(SystemConfig::preset(kind), &kernel).map_err(|e| e.to_string())?;
+            let config = SystemConfig::preset(kind).with_workers(jobs);
+            let mut sys = System::new(config, &kernel).map_err(|e| e.to_string())?;
             let out = sys.alloc(1 << 20);
             sys.set_args(&[out as u32]);
             sys.dispatch([wgs, 1, 1]).map_err(|e| e.to_string())?;
@@ -272,6 +279,8 @@ fn real_main() -> Result<(), String> {
                  \x20 analyze  <file.s>                 per-unit instruction requirements\n\
                  \x20 trim     <file.s>                 run the trimming tool + synthesis model\n\
                  \x20 run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]\n\
+                 \x20          [--jobs N]        N dispatch worker threads (default: one per\n\
+                 \x20                            core; results are bit-identical for any N)\n\
                  \x20 trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]\n\
                  \x20                                   cycle-attribution summary + Chrome trace.json\n\
                  \x20                                   (default workload: Matrix Add INT32 + SP FP)"

@@ -14,6 +14,8 @@
 //!   allocator;
 //! * [`core`] — kernel analysis, architecture trimming and the end-to-end
 //!   pipeline;
+//! * [`engine`] — parallel multi-CU execution engine and deterministic
+//!   batch scheduler (worker pools, job queues, panic isolation);
 //! * [`kernels`] — the paper's 17-application benchmark suite;
 //! * [`trace`] — cycle-attribution and event-tracing subsystem (stall
 //!   taxonomy, Chrome `trace_event` export).
@@ -23,6 +25,7 @@
 pub use scratch_asm as asm;
 pub use scratch_core as core;
 pub use scratch_cu as cu;
+pub use scratch_engine as engine;
 pub use scratch_fpga as fpga;
 pub use scratch_isa as isa;
 pub use scratch_kernels as kernels;

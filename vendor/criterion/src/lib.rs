@@ -144,10 +144,18 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let median = per_iter[per_iter.len() / 2];
     let line = match throughput {
         Some(Throughput::Elements(n)) => {
-            format!("{name:<40} median {}  ({:.1} Melem/s)", fmt_time(median), n as f64 / median / 1e6)
+            format!(
+                "{name:<40} median {}  ({:.1} Melem/s)",
+                fmt_time(median),
+                n as f64 / median / 1e6
+            )
         }
         Some(Throughput::Bytes(n)) => {
-            format!("{name:<40} median {}  ({:.1} MiB/s)", fmt_time(median), n as f64 / median / (1024.0 * 1024.0))
+            format!(
+                "{name:<40} median {}  ({:.1} MiB/s)",
+                fmt_time(median),
+                n as f64 / median / (1024.0 * 1024.0)
+            )
         }
         None => format!("{name:<40} median {}", fmt_time(median)),
     };

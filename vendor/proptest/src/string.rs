@@ -63,8 +63,10 @@ impl RegexParser<'_> {
             }
             Some('[') => self.parse_class(),
             Some('\\') => match self.chars.next() {
-                Some(c @ ('[' | ']' | '(' | ')' | '{' | '}' | '.' | '|' | '\\' | '*' | '+'
-                | '?' | '-' | '^' | '$')) => Node::Literal(c),
+                Some(
+                    c @ ('[' | ']' | '(' | ')' | '{' | '}' | '.' | '|' | '\\' | '*' | '+' | '?'
+                    | '-' | '^' | '$'),
+                ) => Node::Literal(c),
                 Some('n') => Node::Literal('\n'),
                 Some('t') => Node::Literal('\t'),
                 Some('r') => Node::Literal('\r'),
@@ -198,8 +200,8 @@ fn gen_node(node: &Node, rng: &mut StdRng, out: &mut String) {
         Node::Class(ranges) => {
             let (lo, hi) = ranges[(rng.next_u64() % ranges.len() as u64) as usize];
             let span = hi as u32 - lo as u32 + 1;
-            let c = char::from_u32(lo as u32 + (rng.next_u64() % u64::from(span)) as u32)
-                .unwrap_or(lo);
+            let c =
+                char::from_u32(lo as u32 + (rng.next_u64() % u64::from(span)) as u32).unwrap_or(lo);
             out.push(c);
         }
     }

@@ -175,7 +175,10 @@ impl Deserialize for char {
     fn from_sval(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(DeError(format!("expected single-char string, got {}", other.kind()))),
+            other => Err(DeError(format!(
+                "expected single-char string, got {}",
+                other.kind()
+            ))),
         }
     }
 }

@@ -26,8 +26,14 @@ struct Variant {
 }
 
 enum Input {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Skip one attribute (`#` already consumed ⇒ consume the `[...]` group).
