@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use scratch_isa::{Fields, Instruction, Opcode, Operand, SmrdOffset};
+use scratch_isa::{Fields, Format, Instruction, Opcode, Operand, SmrdOffset};
 
 use crate::{AsmError, Kernel};
 
@@ -52,7 +52,7 @@ pub fn disassemble(kernel: &Kernel) -> Result<String, AsmError> {
     // Collect branch-target word offsets.
     let mut targets = BTreeMap::new();
     for (pos, inst) in &insts {
-        if let (true, Fields::Sopp { simm16 }) = (is_branch(inst.opcode), inst.fields) {
+        if let (true, Fields::Sopp { simm16 }) = (inst.opcode.is_branch(), inst.fields) {
             let target = (*pos as i64 + 1 + i64::from(simm16 as i16)) as usize;
             targets.insert(target, format!("label_{target:04x}"));
         }
@@ -81,26 +81,23 @@ pub fn disassemble(kernel: &Kernel) -> Result<String, AsmError> {
     Ok(out)
 }
 
-fn is_branch(op: Opcode) -> bool {
-    matches!(
-        op,
-        Opcode::SBranch
-            | Opcode::SCbranchScc0
-            | Opcode::SCbranchScc1
-            | Opcode::SCbranchVccz
-            | Opcode::SCbranchVccnz
-            | Opcode::SCbranchExecz
-            | Opcode::SCbranchExecnz
-    )
-}
-
 /// Render one instruction (without address prefix).
 pub(crate) fn format_inst(
     pos: usize,
     inst: &Instruction,
     targets: &BTreeMap<usize, String>,
 ) -> String {
-    let mn = inst.opcode.mnemonic();
+    // VOP3-encoded instructions whose natural encoding is narrower carry
+    // an `_e64` suffix, otherwise their text is indistinguishable from the
+    // narrow form (e.g. a VOP3b `v_cmp` whose sdst happens to be VCC) and
+    // reassembly would silently pick the other encoding.
+    let promoted = matches!(inst.fields, Fields::Vop3a { .. } | Fields::Vop3b { .. })
+        && !matches!(inst.opcode.format(), Format::Vop3a | Format::Vop3b);
+    let mn = if promoted {
+        format!("{}_e64", inst.opcode.mnemonic())
+    } else {
+        inst.opcode.mnemonic().to_string()
+    };
     let dw = inst.opcode.dst_width();
     let sw = inst.opcode.src_width();
     match inst.fields {
@@ -123,6 +120,7 @@ pub(crate) fn format_inst(
             Opcode::SEndpgm | Opcode::SBarrier => mn.to_string(),
             Opcode::SWaitcnt => {
                 let vm = simm16 & 0xf;
+                let exp = (simm16 >> 4) & 0x7;
                 let lgkm = (simm16 >> 8) & 0x1f;
                 let mut parts = Vec::new();
                 if vm != 0xf {
@@ -131,13 +129,16 @@ pub(crate) fn format_inst(
                 if lgkm != 0x1f {
                     parts.push(format!("lgkmcnt({lgkm})"));
                 }
-                if parts.is_empty() {
+                // The counter syntax can only express the canonical
+                // encoding (expcnt left at don't-care, high bits clear);
+                // fall back to the raw immediate for anything else.
+                if parts.is_empty() || exp != 0x7 || simm16 >> 13 != 0 {
                     format!("{mn} {simm16:#x}")
                 } else {
                     format!("{mn} {}", parts.join(" "))
                 }
             }
-            _ if is_branch(inst.opcode) => {
+            _ if inst.opcode.is_branch() => {
                 let target = (pos as i64 + 1 + i64::from(simm16 as i16)) as usize;
                 match targets.get(&target) {
                     Some(l) => format!("{mn} {l}"),

@@ -40,7 +40,7 @@ mod error;
 mod kernel;
 mod parser;
 
-pub use builder::{KernelBuilder, Label};
+pub use builder::{waitcnt_imm, KernelBuilder, Label};
 pub use disasm::disassemble;
 pub use error::AsmError;
 pub use kernel::{Kernel, KernelMeta};

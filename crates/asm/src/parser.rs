@@ -72,16 +72,18 @@ pub fn assemble(text: &str) -> Result<Kernel, AsmError> {
                     }
                 }
                 "sgprs" => {
-                    builder.sgprs(parse_int(val, lineno)? as u8);
+                    builder.sgprs(int_in_range(val, 0..=255, ".sgprs", lineno)? as u8);
                 }
                 "vgprs" => {
-                    builder.vgprs(parse_int(val, lineno)? as u8);
+                    builder.vgprs(int_in_range(val, 0..=255, ".vgprs", lineno)? as u8);
                 }
                 "lds" => {
-                    builder.lds_bytes(parse_int(val, lineno)? as u32);
+                    builder.lds_bytes(int_in_range(val, 0..=0xffff_ffff, ".lds", lineno)? as u32);
                 }
                 "wgsize" => {
-                    builder.workgroup_size(parse_int(val, lineno)? as u32);
+                    builder.workgroup_size(
+                        int_in_range(val, 0..=0xffff_ffff, ".wgsize", lineno)? as u32
+                    );
                 }
                 other => {
                     return Err(AsmError::syntax(
@@ -150,21 +152,26 @@ fn parse_operand(tok: &str, lineno: usize) -> Result<Operand, AsmError> {
         _ => {}
     }
     if let Some(inner) = lower.strip_prefix("lit(").and_then(|s| s.strip_suffix(')')) {
-        return Ok(Operand::Literal(parse_int(inner, lineno)? as u32));
+        let v = int_in_range(inner, i64::from(i32::MIN)..=0xffff_ffff, "literal", lineno)?;
+        return Ok(Operand::Literal(v as u32));
     }
     if let Some(rest) = lower.strip_prefix("s[") {
         let base = rest
             .split(':')
             .next()
             .ok_or_else(|| AsmError::syntax(lineno, format!("bad register group `{t}`")))?;
-        return Ok(Operand::Sgpr(parse_int(base, lineno)? as u8));
+        return Ok(Operand::Sgpr(
+            int_in_range(base, 0..=255, "sgpr index", lineno)? as u8,
+        ));
     }
     if let Some(rest) = lower.strip_prefix("v[") {
         let base = rest
             .split(':')
             .next()
             .ok_or_else(|| AsmError::syntax(lineno, format!("bad register group `{t}`")))?;
-        return Ok(Operand::Vgpr(parse_int(base, lineno)? as u8));
+        return Ok(Operand::Vgpr(
+            int_in_range(base, 0..=255, "vgpr index", lineno)? as u8,
+        ));
     }
     if let Some(n) = lower.strip_prefix('s') {
         if let Ok(i) = n.parse::<u8>() {
@@ -186,7 +193,13 @@ fn parse_operand(tok: &str, lineno: usize) -> Result<Operand, AsmError> {
         || lower.starts_with('-')
         || lower.chars().next().is_some_and(|c| c.is_ascii_digit())
     {
-        return Ok(KernelBuilder::const_u32(parse_int(&lower, lineno)? as u32));
+        let v = int_in_range(
+            &lower,
+            i64::from(i32::MIN)..=0xffff_ffff,
+            "integer constant",
+            lineno,
+        )?;
+        return Ok(KernelBuilder::const_u32(v as u32));
     }
     Err(AsmError::syntax(
         lineno,
@@ -261,6 +274,66 @@ fn parse_mods(tokens: &[&str], lineno: usize) -> Result<Mods, AsmError> {
     Ok(m)
 }
 
+/// Parse `s_waitcnt` operands: `vmcnt(N)` and/or `lgkmcnt(N)` in either
+/// order, a raw immediate, or nothing (wait for everything).
+fn parse_waitcnt(rest: &str, lineno: usize) -> Result<u16, AsmError> {
+    let mut vm = None;
+    let mut lgkm = None;
+    let mut raw = None;
+    for tok in rest.split_whitespace() {
+        let t = tok.to_ascii_lowercase();
+        if let Some(inner) = t.strip_prefix("vmcnt(").and_then(|s| s.strip_suffix(')')) {
+            vm = Some(int_in_range(inner, 0..=0xf, "vmcnt", lineno)? as u8);
+        } else if let Some(inner) = t.strip_prefix("lgkmcnt(").and_then(|s| s.strip_suffix(')')) {
+            lgkm = Some(int_in_range(inner, 0..=0x1f, "lgkmcnt", lineno)? as u8);
+        } else {
+            raw = Some(int_in_range(&t, 0..=0xffff, "waitcnt immediate", lineno)? as u16);
+        }
+    }
+    match (vm, lgkm, raw) {
+        (None, None, Some(r)) => Ok(r),
+        (vm, lgkm, None) => Ok(waitcnt_imm(vm, lgkm)),
+        _ => Err(AsmError::syntax(lineno, "mixed waitcnt forms")),
+    }
+}
+
+/// Range-check an already-parsed optional modifier value (absent → 0).
+fn mod_in_range(
+    v: Option<i64>,
+    range: std::ops::RangeInclusive<i64>,
+    what: &str,
+    lineno: usize,
+) -> Result<i64, AsmError> {
+    let v = v.unwrap_or(0);
+    if range.contains(&v) {
+        Ok(v)
+    } else {
+        Err(AsmError::syntax(
+            lineno,
+            format!("{what} {v} outside {}..={}", range.start(), range.end()),
+        ))
+    }
+}
+
+/// Parse an integer and require it to fit `range` — the checked
+/// alternative to a silently truncating `as` cast.
+fn int_in_range(
+    t: &str,
+    range: std::ops::RangeInclusive<i64>,
+    what: &str,
+    lineno: usize,
+) -> Result<i64, AsmError> {
+    let v = parse_int(t, lineno)?;
+    if range.contains(&v) {
+        Ok(v)
+    } else {
+        Err(AsmError::syntax(
+            lineno,
+            format!("{what} {v} outside {}..={}", range.start(), range.end()),
+        ))
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn parse_instruction(
     body: &str,
@@ -273,8 +346,30 @@ fn parse_instruction(
         Some((m, r)) => (m, r.trim()),
         None => (body, ""),
     };
-    let opcode = Opcode::from_mnemonic(mn)
-        .ok_or_else(|| AsmError::syntax(lineno, format!("unknown mnemonic `{mn}`")))?;
+    // An `_e64` suffix names the VOP3 encoding of an instruction whose
+    // natural encoding is narrower; the suffix forces that encoding.
+    let (opcode, e64) = match Opcode::from_mnemonic(mn) {
+        Some(op) => (op, false),
+        None => match mn.strip_suffix("_e64").and_then(Opcode::from_mnemonic) {
+            Some(op) => (op, true),
+            None => return Err(AsmError::syntax(lineno, format!("unknown mnemonic `{mn}`"))),
+        },
+    };
+    if e64 && !matches!(opcode.format(), Format::Vop2 | Format::Vopc) {
+        return Err(AsmError::syntax(
+            lineno,
+            format!("`_e64` does not apply to {mn}"),
+        ));
+    }
+
+    // `s_waitcnt` counters (`vmcnt(0) lgkmcnt(0)`) are whitespace-separated
+    // and would be misread as trailing flags by the generic modifier split,
+    // so handle the mnemonic before that split runs.
+    if opcode == Opcode::SWaitcnt {
+        let imm = parse_waitcnt(rest, lineno)?;
+        builder.sopp(opcode, imm)?;
+        return Ok(());
+    }
 
     // Split the operand list on commas; trailing modifiers ride on the last
     // comma field (or on `rest` itself when there are no operands).
@@ -316,8 +411,13 @@ fn parse_instruction(
             if ops.len() != 2 {
                 return Err(operr(2));
             }
-            let imm = parse_int(&ops[1], lineno)? as i16;
-            builder.sopk(opcode, op_at(0)?, imm)?;
+            let imm = int_in_range(
+                &ops[1],
+                i64::from(i16::MIN)..=0xffff,
+                "sopk immediate",
+                lineno,
+            )?;
+            builder.sopk(opcode, op_at(0)?, imm as i16)?;
         }
         Format::Sop1 => {
             if ops.len() != 2 {
@@ -335,39 +435,8 @@ fn parse_instruction(
             Opcode::SEndpgm | Opcode::SBarrier => {
                 builder.sopp(opcode, 0)?;
             }
-            Opcode::SWaitcnt => {
-                // `s_waitcnt vmcnt(0) lgkmcnt(0)` or a raw immediate.
-                let mut vm = None;
-                let mut lgkm = None;
-                let mut raw = None;
-                let all: Vec<&str> = rest.split_whitespace().collect();
-                for tok in all {
-                    let t = tok.to_ascii_lowercase();
-                    if let Some(inner) = t.strip_prefix("vmcnt(").and_then(|s| s.strip_suffix(')'))
-                    {
-                        vm = Some(parse_int(inner, lineno)? as u8);
-                    } else if let Some(inner) =
-                        t.strip_prefix("lgkmcnt(").and_then(|s| s.strip_suffix(')'))
-                    {
-                        lgkm = Some(parse_int(inner, lineno)? as u8);
-                    } else {
-                        raw = Some(parse_int(&t, lineno)? as u16);
-                    }
-                }
-                let imm = match (vm, lgkm, raw) {
-                    (None, None, Some(r)) => r,
-                    (vm, lgkm, None) => waitcnt_imm(vm, lgkm),
-                    _ => return Err(AsmError::syntax(lineno, "mixed waitcnt forms")),
-                };
-                builder.sopp(opcode, imm)?;
-            }
-            Opcode::SBranch
-            | Opcode::SCbranchScc0
-            | Opcode::SCbranchScc1
-            | Opcode::SCbranchVccz
-            | Opcode::SCbranchVccnz
-            | Opcode::SCbranchExecz
-            | Opcode::SCbranchExecnz => {
+            Opcode::SWaitcnt => unreachable!("s_waitcnt is handled before operand splitting"),
+            op if op.is_branch() => {
                 let target = rest.trim();
                 if target.is_empty() {
                     return Err(AsmError::syntax(lineno, "branch needs a target label"));
@@ -379,7 +448,7 @@ fn parse_instruction(
                 let imm = if rest.is_empty() {
                     0
                 } else {
-                    parse_int(rest, lineno)? as u16
+                    int_in_range(rest, 0..=0xffff, "sopp immediate", lineno)? as u16
                 };
                 builder.sopp(opcode, imm)?;
             }
@@ -394,7 +463,7 @@ fn parse_instruction(
             let offset = if off_tok.starts_with('s') && !off_tok.starts_with("0x") {
                 SmrdOffset::Sgpr(expect_sgpr(parse_operand(&off_tok, lineno)?, lineno)?)
             } else {
-                SmrdOffset::Imm(parse_int(&off_tok, lineno)? as u8)
+                SmrdOffset::Imm(int_in_range(&off_tok, 0..=255, "smrd offset", lineno)? as u8)
             };
             builder.smrd(opcode, sdst, sbase, offset)?;
         }
@@ -416,7 +485,7 @@ fn parse_instruction(
                 let cout = op_at(1)?;
                 let vsrc1 = expect_vgpr(op_at(3)?, lineno)?;
                 let cin = op_at(4)?;
-                if cout == Operand::VccLo && cin == Operand::VccLo {
+                if cout == Operand::VccLo && cin == Operand::VccLo && !e64 {
                     builder.vop2(opcode, vdst, op_at(2)?, vsrc1)?;
                 } else {
                     builder.vop3b(
@@ -436,7 +505,7 @@ fn parse_instruction(
                 let vdst = expect_vgpr(op_at(0)?, lineno)?;
                 let cout = op_at(1)?;
                 let src1 = op_at(3)?;
-                if cout == Operand::VccLo {
+                if cout == Operand::VccLo && !e64 {
                     if let Some(v1) = src1.vgpr_index() {
                         builder.vop2(opcode, vdst, op_at(2)?, v1)?;
                         return Ok(());
@@ -451,7 +520,13 @@ fn parse_instruction(
                 let src0 = op_at(1)?;
                 let src1 = op_at(2)?;
                 match src1.vgpr_index() {
-                    Some(v1) if mods.abs.is_none() && mods.neg.is_none() && !mods.clamp => {
+                    Some(v1)
+                        if !e64
+                            && mods.abs.is_none()
+                            && mods.neg.is_none()
+                            && mods.omod.is_none()
+                            && !mods.clamp =>
+                    {
                         builder.vop2(opcode, vdst, src0, v1)?;
                     }
                     _ => {
@@ -463,10 +538,10 @@ fn parse_instruction(
                                 src0,
                                 src1,
                                 src2: None,
-                                abs: mods.abs.unwrap_or(0) as u8,
-                                neg: mods.neg.unwrap_or(0) as u8,
+                                abs: mod_in_range(mods.abs, 0..=7, "abs", lineno)? as u8,
+                                neg: mod_in_range(mods.neg, 0..=7, "neg", lineno)? as u8,
                                 clamp: mods.clamp,
-                                omod: mods.omod.unwrap_or(0) as u8,
+                                omod: mod_in_range(mods.omod, 0..=3, "omod", lineno)? as u8,
                             },
                         )?);
                     }
@@ -492,7 +567,7 @@ fn parse_instruction(
             let dst = op_at(0)?;
             let src0 = op_at(1)?;
             let src1 = op_at(2)?;
-            if dst == Operand::VccLo {
+            if dst == Operand::VccLo && !e64 {
                 if let Some(v1) = src1.vgpr_index() {
                     builder.vopc(opcode, src0, v1)?;
                     return Ok(());
@@ -514,10 +589,10 @@ fn parse_instruction(
                     src0: op_at(1)?,
                     src1: op_at(2)?,
                     src2,
-                    abs: mods.abs.unwrap_or(0) as u8,
-                    neg: mods.neg.unwrap_or(0) as u8,
+                    abs: mod_in_range(mods.abs, 0..=7, "abs", lineno)? as u8,
+                    neg: mod_in_range(mods.neg, 0..=7, "neg", lineno)? as u8,
                     clamp: mods.clamp,
-                    omod: mods.omod.unwrap_or(0) as u8,
+                    omod: mod_in_range(mods.omod, 0..=3, "omod", lineno)? as u8,
                 },
             )?);
         }
@@ -567,13 +642,14 @@ fn parse_instruction(
                     0,
                 )
             };
+            let byte = |v: Option<i64>, what| mod_in_range(v, 0..=255, what, lineno);
             let (offset0, offset1) = if two {
                 (
-                    mods.offset0.unwrap_or(0) as u8,
-                    mods.offset1.unwrap_or(0) as u8,
+                    byte(mods.offset0, "offset0")? as u8,
+                    byte(mods.offset1, "offset1")? as u8,
                 )
             } else {
-                (mods.offset.unwrap_or(0) as u8, 0)
+                (byte(mods.offset, "offset")? as u8, 0)
             };
             builder.push(Instruction::new(
                 opcode,
@@ -599,7 +675,7 @@ fn parse_instruction(
                     vaddr: expect_vgpr(op_at(1)?, lineno)?,
                     srsrc: expect_sgpr(op_at(2)?, lineno)?,
                     soffset: op_at(3)?,
-                    offset: mods.offset.unwrap_or(0) as u16,
+                    offset: mod_in_range(mods.offset, 0..=0xfff, "offset", lineno)? as u16,
                     offen: mods.offen,
                     idxen: mods.idxen,
                     glc: mods.glc,
@@ -617,11 +693,11 @@ fn parse_instruction(
                     vaddr: expect_vgpr(op_at(1)?, lineno)?,
                     srsrc: expect_sgpr(op_at(2)?, lineno)?,
                     soffset: op_at(3)?,
-                    offset: mods.offset.unwrap_or(0) as u16,
+                    offset: mod_in_range(mods.offset, 0..=0xfff, "offset", lineno)? as u16,
                     offen: mods.offen,
                     idxen: mods.idxen,
-                    dfmt: mods.dfmt.unwrap_or(4) as u8,
-                    nfmt: mods.nfmt.unwrap_or(4) as u8,
+                    dfmt: mod_in_range(mods.dfmt.or(Some(4)), 0..=0xf, "dfmt", lineno)? as u8,
+                    nfmt: mod_in_range(mods.nfmt.or(Some(4)), 0..=0x7, "nfmt", lineno)? as u8,
                 },
             )?);
         }

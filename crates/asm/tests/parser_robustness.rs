@@ -67,3 +67,100 @@ fn duplicate_text_labels_rejected() {
     let text = "a:\ns_endpgm\na:\n";
     assert!(matches!(assemble(text), Err(AsmError::Syntax { .. })));
 }
+
+/// Every out-of-range immediate is rejected with a syntax error instead of
+/// being silently truncated into a different (valid-looking) encoding.
+#[test]
+fn out_of_range_immediates_rejected() {
+    let cases = [
+        (".sgprs 300\ns_endpgm\n", ".sgprs"),
+        (".vgprs -1\ns_endpgm\n", ".vgprs"),
+        (".lds 0x100000000\ns_endpgm\n", ".lds"),
+        (".wgsize 4294967296\ns_endpgm\n", ".wgsize"),
+        ("s_movk_i32 s0, 65536\ns_endpgm\n", "sopk"),
+        ("s_nop 65536\ns_endpgm\n", "sopp"),
+        ("s_mov_b32 s0, lit(0x1ffffffff)\ns_endpgm\n", "literal"),
+        ("v_add_f32 v1, 4294967296, v0\ns_endpgm\n", "constant"),
+        ("s_buffer_load_dword s8, s[4:7], 256\ns_endpgm\n", "smrd"),
+        ("s_mov_b32 s[999:1000], s0\ns_endpgm\n", "sgpr group"),
+        (
+            "buffer_load_dword v1, v2, s[4:7], 0 offset:4096\ns_endpgm\n",
+            "mubuf offset",
+        ),
+        (
+            "tbuffer_load_format_x v1, v2, s[4:7], 0 dfmt:16\ns_endpgm\n",
+            "dfmt",
+        ),
+        (
+            "tbuffer_load_format_x v1, v2, s[4:7], 0 nfmt:8\ns_endpgm\n",
+            "nfmt",
+        ),
+        ("ds_read_b32 v1, v2 offset:256\ns_endpgm\n", "ds offset"),
+        ("v_mul_f32 v1, v2, v3 abs:8\ns_endpgm\n", "abs"),
+        ("v_mul_f32 v1, v2, v3 omod:4\ns_endpgm\n", "omod"),
+        ("s_waitcnt vmcnt(16)\ns_endpgm\n", "vmcnt"),
+        ("s_waitcnt lgkmcnt(32)\ns_endpgm\n", "lgkmcnt"),
+        ("s_waitcnt 0x10000\ns_endpgm\n", "waitcnt raw"),
+    ];
+    for (text, what) in cases {
+        assert!(
+            matches!(assemble(text), Err(AsmError::Syntax { .. })),
+            "{what}: `{}` should be a syntax error, got {:?}",
+            text.lines().next().unwrap(),
+            assemble(text).map(|k| k.name().to_string())
+        );
+    }
+}
+
+/// Malformed `s_waitcnt` forms error out cleanly.
+#[test]
+fn malformed_waitcnt_rejected() {
+    for text in [
+        "s_waitcnt vmcnt(0) 7\ns_endpgm\n",  // mixed counter + raw
+        "s_waitcnt vmcnt(\ns_endpgm\n",      // unclosed paren
+        "s_waitcnt vmcnt(zero)\ns_endpgm\n", // non-numeric count
+        "s_waitcnt expcnt(0)\ns_endpgm\n",   // unsupported counter
+    ] {
+        assert!(
+            matches!(assemble(text), Err(AsmError::Syntax { .. })),
+            "`{}` should be rejected",
+            text.lines().next().unwrap()
+        );
+    }
+    // ...while the supported forms still parse.
+    for text in [
+        "s_waitcnt vmcnt(0)\ns_endpgm\n",
+        "s_waitcnt lgkmcnt(31)\ns_endpgm\n",
+        "s_waitcnt vmcnt(0) lgkmcnt(0)\ns_endpgm\n",
+        "s_waitcnt lgkmcnt(3) vmcnt(2)\ns_endpgm\n",
+        "s_waitcnt 0x70\ns_endpgm\n",
+    ] {
+        assert!(assemble(text).is_ok(), "`{}` should parse", text);
+    }
+}
+
+/// `_e64` forces the VOP3 encoding of a narrow instruction; it is rejected
+/// on mnemonics whose natural encoding is already VOP3 (or not vector).
+#[test]
+fn e64_suffix_forces_wide_encoding() {
+    let narrow = assemble(".kernel a\nv_xor_b32 v1, v2, v3\ns_endpgm\n").unwrap();
+    let wide = assemble(".kernel a\nv_xor_b32_e64 v1, v2, v3\ns_endpgm\n").unwrap();
+    assert_eq!(narrow.words().len() + 1, wide.words().len());
+    let wide_insts = wide.instructions().unwrap();
+    assert!(matches!(
+        wide_insts[0].1.fields,
+        scratch_isa::Fields::Vop3a { .. }
+    ));
+
+    for text in [
+        "s_mov_b32_e64 s0, s1\ns_endpgm\n",             // scalar op
+        "v_mad_u32_u24_e64 v1, v2, v3, v4\ns_endpgm\n", // already VOP3
+        "v_frobnicate_e64 v1, v2\ns_endpgm\n",          // unknown base mnemonic
+    ] {
+        assert!(
+            matches!(assemble(text), Err(AsmError::Syntax { .. })),
+            "`{}` should be rejected",
+            text.lines().next().unwrap()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Throughput of the differential conformance subsystem: how many
+//! random-kernel cases per second each oracle sustains, and the cost of
+//! minimizing a (deliberately injected) divergence. These numbers size
+//! the CI smoke campaign and the nightly long-form run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use scratch_check::{check_with_bug, minimize, GenKernel, InjectedBug, OracleKind, Outcome};
+
+fn oracle_throughput(c: &mut Criterion) {
+    // A fixed pool of pre-generated kernels, cycled per iteration, so the
+    // timer sees oracle cost rather than generation cost.
+    let pool: Vec<GenKernel> = (0..16).map(GenKernel::generate).collect();
+    let mut group = c.benchmark_group("fuzz_oracle");
+    group.throughput(Throughput::Elements(1));
+    for oracle in OracleKind::ALL {
+        group.bench_function(oracle.name(), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let gk = &pool[i % pool.len()];
+                i += 1;
+                assert!(!check_with_bug(oracle, gk, InjectedBug::None).is_divergence());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_generator");
+    group.throughput(Throughput::Elements(1));
+    let mut seed = 0u64;
+    group.bench_function("generate_and_assemble", |b| {
+        b.iter(|| {
+            seed += 1;
+            GenKernel::generate(seed).build().expect("assembles")
+        });
+    });
+    group.finish();
+}
+
+fn minimizer(c: &mut Criterion) {
+    // Find a seed the injected bug diverges on, once, outside the timer.
+    let bug = InjectedBug::XorFlipsBit0;
+    let gk = (0..256)
+        .map(GenKernel::generate)
+        .find(|gk| {
+            matches!(
+                check_with_bug(OracleKind::Reference, gk, bug),
+                Outcome::Diverge(_)
+            )
+        })
+        .expect("injected bug never diverged in 256 seeds");
+    let mut group = c.benchmark_group("fuzz_minimizer");
+    group.sample_size(10);
+    group.bench_function("minimize_injected_bug", |b| {
+        b.iter(|| minimize(&gk, OracleKind::Reference, bug));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, oracle_throughput, generator, minimizer);
+criterion_main!(benches);

@@ -1,0 +1,1628 @@
+//! Lockstep reference interpreter.
+//!
+//! A deliberately simple model of the Southern Islands *architectural*
+//! state: per-lane registers, a flat sparse memory, and one instruction
+//! retiring completely before the next begins. There is no pipeline, no
+//! issue arbitration, no latency modelling and no wavefront interleaving —
+//! which is exactly what makes it a usable oracle: when the pipelined CU
+//! and this interpreter disagree on final memory, the difference can only
+//! come from the CU's added machinery, never from a shared bug in a common
+//! helper (the interpreter shares no execution code with `scratch-cu`).
+//!
+//! The paper validates the bug-fixed MIAOW CU "in the instruction domain"
+//! against a reference implementation (§2.3); [`RefSystem`] plays that
+//! reference's role for the differential fuzzer, mirroring the dispatcher
+//! ABI of `scratch_system::System` (same allocator layout, same launch
+//! register file image) so the two can run the same kernel on the same
+//! inputs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use scratch_asm::Kernel;
+use scratch_isa::{Fields, FuncUnit, Instruction, Opcode, Operand, SmrdOffset, WAVEFRONT_SIZE};
+
+/// Global memory size mirrored from `SystemConfig::preset` (64 MiB).
+const MEM_BYTES: u64 = 64 << 20;
+
+/// Instruction budget per dispatch — generated kernels retire in a few
+/// thousand instructions, so hitting this means a control-flow bug.
+const STEP_LIMIT: u64 = 50_000_000;
+
+/// Errors the reference interpreter can report. These deliberately mirror
+/// the conditions `scratch-cu` reports so the differential oracles can
+/// treat "both sides faulted" as agreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefError {
+    /// The kernel binary did not decode.
+    Decode(String),
+    /// A register index exceeded the kernel's declared budget.
+    Register {
+        /// `"s"` or `"v"`.
+        what: &'static str,
+        /// The offending index.
+        index: u32,
+    },
+    /// An LDS access fell outside the declared allocation.
+    LdsOutOfRange {
+        /// Byte address of the access.
+        addr: u32,
+        /// Declared LDS size in bytes.
+        size: u32,
+    },
+    /// A branch left the program.
+    PcOutOfRange {
+        /// The offending word offset.
+        pc: usize,
+    },
+    /// The per-dispatch instruction budget was exhausted.
+    StepLimit,
+    /// `dispatch` called before `set_args`.
+    ArgsNotSet,
+    /// A wavefront read a vector register as a scalar operand.
+    VgprAsScalar,
+}
+
+impl fmt::Display for RefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefError::Decode(e) => write!(f, "kernel does not decode: {e}"),
+            RefError::Register { what, index } => {
+                write!(f, "register {what}{index} out of range")
+            }
+            RefError::LdsOutOfRange { addr, size } => {
+                write!(f, "LDS access at {addr:#x} outside {size}-byte allocation")
+            }
+            RefError::PcOutOfRange { pc } => write!(f, "pc {pc} outside the program"),
+            RefError::StepLimit => write!(f, "instruction budget exhausted"),
+            RefError::ArgsNotSet => write!(f, "kernel arguments not set"),
+            RefError::VgprAsScalar => write!(f, "VGPR used as scalar operand"),
+        }
+    }
+}
+
+impl std::error::Error for RefError {}
+
+/// Deliberate semantic mutations for validating the fuzzer itself: with a
+/// bug injected, the reference diverges from the (correct) CU the same way
+/// a buggy CU would diverge from the (correct) reference, so the whole
+/// catch-and-minimize pipeline can be exercised in-tree without patching
+/// `scratch-cu`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectedBug {
+    /// Faithful semantics.
+    #[default]
+    None,
+    /// `v_xor_b32` flips result bit 0 (a classic copy-paste `^ 1`).
+    XorFlipsBit0,
+    /// `v_add_i32` drops the carry-out (always clears the VCC lane bit).
+    AddDropsCarry,
+    /// `v_min_u32` computes max instead.
+    MinIsMax,
+}
+
+/// Sparse byte-addressable memory with the same observable behaviour as
+/// the system's `FixedLatencyMemory`: little-endian, zero-initialised,
+/// out-of-range reads return 0, out-of-range writes are dropped.
+#[derive(Debug, Default)]
+struct RefMemory {
+    words: HashMap<u64, u32>,
+}
+
+impl RefMemory {
+    fn read_u32(&self, addr: u64) -> u32 {
+        if addr.is_multiple_of(4) {
+            if addr + 4 > MEM_BYTES {
+                return 0;
+            }
+            return self.words.get(&(addr / 4)).copied().unwrap_or(0);
+        }
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= u32::from(self.read_u8(addr + i)) << (i * 8);
+        }
+        v
+    }
+
+    fn write_u32(&mut self, addr: u64, value: u32) {
+        if addr.is_multiple_of(4) {
+            if addr + 4 <= MEM_BYTES {
+                self.words.insert(addr / 4, value);
+            }
+            return;
+        }
+        for i in 0..4 {
+            self.write_u8(addr + i, (value >> (i * 8)) as u8);
+        }
+    }
+
+    fn read_u8(&self, addr: u64) -> u8 {
+        if addr >= MEM_BYTES {
+            return 0;
+        }
+        let word = self.words.get(&(addr / 4)).copied().unwrap_or(0);
+        (word >> ((addr % 4) * 8)) as u8
+    }
+
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        if addr >= MEM_BYTES {
+            return;
+        }
+        let slot = self.words.entry(addr / 4).or_insert(0);
+        let shift = (addr % 4) * 8;
+        *slot = (*slot & !(0xff << shift)) | (u32::from(value) << shift);
+    }
+}
+
+/// Architectural state of one reference wavefront.
+struct RefWave {
+    sgprs: Vec<u32>,
+    /// `vgprs[r][lane]`.
+    vgprs: Vec<Vec<u32>>,
+    exec: u64,
+    vcc: u64,
+    scc: bool,
+    m0: u32,
+    pc: usize,
+    done: bool,
+    at_barrier: bool,
+}
+
+impl RefWave {
+    fn new(sgprs: usize, vgprs: usize) -> RefWave {
+        RefWave {
+            sgprs: vec![0; sgprs],
+            vgprs: vec![vec![0; WAVEFRONT_SIZE]; vgprs],
+            exec: u64::MAX,
+            vcc: 0,
+            scc: false,
+            m0: u32::MAX,
+            pc: 0,
+            done: false,
+            at_barrier: false,
+        }
+    }
+
+    fn sgpr(&self, n: u32) -> Result<u32, RefError> {
+        self.sgprs
+            .get(n as usize)
+            .copied()
+            .ok_or(RefError::Register {
+                what: "s",
+                index: n,
+            })
+    }
+
+    fn set_sgpr(&mut self, n: u32, value: u32) -> Result<(), RefError> {
+        match self.sgprs.get_mut(n as usize) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(RefError::Register {
+                what: "s",
+                index: n,
+            }),
+        }
+    }
+
+    fn vgpr(&self, r: u32, lane: usize) -> Result<u32, RefError> {
+        self.vgprs
+            .get(r as usize)
+            .map(|regs| regs[lane])
+            .ok_or(RefError::Register {
+                what: "v",
+                index: r,
+            })
+    }
+
+    fn set_vgpr(&mut self, r: u32, lane: usize, value: u32) -> Result<(), RefError> {
+        match self.vgprs.get_mut(r as usize) {
+            Some(regs) => {
+                regs[lane] = value;
+                Ok(())
+            }
+            None => Err(RefError::Register {
+                what: "v",
+                index: r,
+            }),
+        }
+    }
+
+    fn lane_active(&self, lane: usize) -> bool {
+        self.exec & (1 << lane) != 0
+    }
+
+    /// Scalar-operand read: SGPRs (1- or 2-dword), special registers,
+    /// inline constants (integers sign-extended, floats as IEEE bits) and
+    /// literals.
+    fn read_scalar(&self, op: Operand, width: u8) -> Result<u64, RefError> {
+        Ok(match op {
+            Operand::Sgpr(n) => {
+                let lo = u64::from(self.sgpr(n.into())?);
+                if width >= 2 {
+                    lo | (u64::from(self.sgpr(u32::from(n) + 1)?) << 32)
+                } else {
+                    lo
+                }
+            }
+            Operand::VccLo => {
+                if width >= 2 {
+                    self.vcc
+                } else {
+                    self.vcc & 0xffff_ffff
+                }
+            }
+            Operand::VccHi => self.vcc >> 32,
+            Operand::ExecLo => {
+                if width >= 2 {
+                    self.exec
+                } else {
+                    self.exec & 0xffff_ffff
+                }
+            }
+            Operand::ExecHi => self.exec >> 32,
+            Operand::M0 => u64::from(self.m0),
+            Operand::Scc => u64::from(self.scc),
+            Operand::Vccz => u64::from(self.vcc == 0),
+            Operand::Execz => u64::from(self.exec == 0),
+            Operand::IntConst(v) => {
+                if width >= 2 {
+                    i64::from(v) as u64
+                } else {
+                    u64::from(i32::from(v) as u32)
+                }
+            }
+            Operand::FloatConst(f) => u64::from(f.to_bits()),
+            Operand::Literal(v) => u64::from(v),
+            Operand::Vgpr(_) => return Err(RefError::VgprAsScalar),
+        })
+    }
+
+    fn write_scalar(&mut self, dst: Operand, width: u8, value: u64) -> Result<(), RefError> {
+        match dst {
+            Operand::Sgpr(n) => {
+                self.set_sgpr(n.into(), value as u32)?;
+                if width >= 2 {
+                    self.set_sgpr(u32::from(n) + 1, (value >> 32) as u32)?;
+                }
+            }
+            Operand::VccLo => {
+                if width >= 2 {
+                    self.vcc = value;
+                } else {
+                    self.vcc = (self.vcc & !0xffff_ffff) | (value & 0xffff_ffff);
+                }
+            }
+            Operand::VccHi => {
+                self.vcc = (self.vcc & 0xffff_ffff) | (value << 32);
+            }
+            Operand::ExecLo => {
+                if width >= 2 {
+                    self.exec = value;
+                } else {
+                    self.exec = (self.exec & !0xffff_ffff) | (value & 0xffff_ffff);
+                }
+            }
+            Operand::ExecHi => {
+                self.exec = (self.exec & 0xffff_ffff) | (value << 32);
+            }
+            Operand::M0 => self.m0 = value as u32,
+            _ => return Err(RefError::VgprAsScalar),
+        }
+        Ok(())
+    }
+
+    fn read_lane(&self, op: Operand, lane: usize) -> Result<u32, RefError> {
+        match op {
+            Operand::Vgpr(r) => self.vgpr(r.into(), lane),
+            other => Ok(self.read_scalar(other, 1)? as u32),
+        }
+    }
+}
+
+/// The reference system: one kernel, a flat memory, and the same
+/// host-side allocator / launch ABI as `scratch_system::System`.
+pub struct RefSystem {
+    insts: Vec<(usize, Instruction)>,
+    /// Word offset → index into `insts` (branch targets land here).
+    by_pos: HashMap<usize, usize>,
+    meta: scratch_asm::KernelMeta,
+    mem: RefMemory,
+    bump: u64,
+    cb0: u64,
+    args: Option<(u64, u64)>,
+    /// Semantic mutation under test (see [`InjectedBug`]).
+    pub bug: InjectedBug,
+}
+
+impl RefSystem {
+    /// Build a reference system for `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// [`RefError::Decode`] when the binary does not decode.
+    pub fn new(kernel: &Kernel) -> Result<RefSystem, RefError> {
+        let insts = kernel
+            .instructions()
+            .map_err(|e| RefError::Decode(e.to_string()))?;
+        let by_pos = insts
+            .iter()
+            .enumerate()
+            .map(|(i, &(pos, _))| (pos, i))
+            .collect();
+        let mut sys = RefSystem {
+            insts,
+            by_pos,
+            meta: *kernel.meta(),
+            mem: RefMemory::default(),
+            bump: 0x1000,
+            cb0: 0,
+            args: None,
+            bug: InjectedBug::None,
+        };
+        sys.cb0 = sys.alloc(64);
+        Ok(sys)
+    }
+
+    /// Allocate `bytes` of global memory (256-byte aligned, same bump
+    /// allocator as the system under test).
+    ///
+    /// # Panics
+    ///
+    /// Panics when global memory is exhausted (host-program bug).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let addr = self.bump;
+        let size = bytes.div_ceil(256) * 256;
+        assert!(addr + size <= MEM_BYTES, "reference out of global memory");
+        self.bump += size;
+        addr
+    }
+
+    /// Allocate and fill a buffer.
+    pub fn alloc_words(&mut self, words: &[u32]) -> u64 {
+        let addr = self.alloc(words.len() as u64 * 4);
+        self.write_words(addr, words);
+        addr
+    }
+
+    /// Host-side write of words.
+    pub fn write_words(&mut self, addr: u64, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.mem.write_u32(addr + i as u64 * 4, w);
+        }
+    }
+
+    /// Host-side read of words.
+    #[must_use]
+    pub fn read_words(&self, addr: u64, count: usize) -> Vec<u32> {
+        (0..count)
+            .map(|i| self.mem.read_u32(addr + i as u64 * 4))
+            .collect()
+    }
+
+    /// Set the kernel argument words.
+    pub fn set_args(&mut self, args: &[u32]) {
+        let addr = self.alloc(args.len().max(1) as u64 * 4);
+        self.write_words(addr, args);
+        self.args = Some((addr, args.len() as u64 * 4));
+    }
+
+    /// Run `grid` workgroups to completion, workgroups enumerated
+    /// z-outer / x-inner as the dispatcher does, waves within a workgroup
+    /// round-robin between barriers.
+    ///
+    /// # Errors
+    ///
+    /// Architectural faults ([`RefError`]) — decode problems, register or
+    /// LDS range violations, runaway control flow.
+    pub fn dispatch(&mut self, grid: [u32; 3]) -> Result<(), RefError> {
+        let (args_addr, args_len) = self.args.ok_or(RefError::ArgsNotSet)?;
+        let wg_size = self.meta.workgroup_size;
+        let cb0 = self.cb0;
+        self.write_words(
+            cb0,
+            &[grid[0], grid[1], grid[2], wg_size, grid[0] * wg_size],
+        );
+        let waves_per_wg = (wg_size as usize).div_ceil(WAVEFRONT_SIZE);
+        let mut steps = 0u64;
+        for z in 0..grid[2] {
+            for y in 0..grid[1] {
+                for x in 0..grid[0] {
+                    self.run_workgroup([x, y, z], args_addr, args_len, waves_per_wg, &mut steps)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn init_wave(&self, wg_id: [u32; 3], lane_base: u32, args_addr: u64, args_len: u64) -> RefWave {
+        use scratch_system::abi;
+        let wg_size = self.meta.workgroup_size;
+        let mut w = RefWave::new(usize::from(self.meta.sgprs), usize::from(self.meta.vgprs));
+        let active = (wg_size - lane_base).min(WAVEFRONT_SIZE as u32);
+        w.exec = if active >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << active) - 1
+        };
+        let sgpr_image: [(u8, u32); 15] = [
+            (abi::UAV_DESC, 0),
+            (abi::UAV_DESC + 1, 0),
+            (abi::UAV_DESC + 2, 0),
+            (abi::UAV_DESC + 3, 0),
+            (abi::CONST_BUF0, self.cb0 as u32),
+            (abi::CONST_BUF0 + 1, (self.cb0 >> 32) as u32),
+            (abi::CONST_BUF0 + 2, 64),
+            (abi::CONST_BUF0 + 3, 0),
+            (abi::CONST_BUF1, args_addr as u32),
+            (abi::CONST_BUF1 + 1, (args_addr >> 32) as u32),
+            (abi::CONST_BUF1 + 2, args_len as u32),
+            (abi::CONST_BUF1 + 3, 0),
+            (abi::WG_ID_X, wg_id[0]),
+            (abi::WG_ID_Y, wg_id[1]),
+            (abi::WG_ID_Z, wg_id[2]),
+        ];
+        for (r, v) in sgpr_image {
+            let _ = w.set_sgpr(u32::from(r), v);
+        }
+        for lane in 0..WAVEFRONT_SIZE {
+            let _ = w.set_vgpr(u32::from(abi::TID_X), lane, lane_base + lane as u32);
+        }
+        for tid in [abi::TID_Y, abi::TID_Z] {
+            if tid < self.meta.vgprs {
+                for lane in 0..WAVEFRONT_SIZE {
+                    let _ = w.set_vgpr(u32::from(tid), lane, 0);
+                }
+            }
+        }
+        w
+    }
+
+    fn run_workgroup(
+        &mut self,
+        wg_id: [u32; 3],
+        args_addr: u64,
+        args_len: u64,
+        waves_per_wg: usize,
+        steps: &mut u64,
+    ) -> Result<(), RefError> {
+        let wg_size = self.meta.workgroup_size;
+        let mut lds = vec![0u32; (self.meta.lds_bytes as usize).div_ceil(4)];
+        let mut waves: Vec<RefWave> = (0..waves_per_wg)
+            .filter_map(|wi| {
+                let lane_base = (wi * WAVEFRONT_SIZE) as u32;
+                (lane_base < wg_size).then(|| self.init_wave(wg_id, lane_base, args_addr, args_len))
+            })
+            .collect();
+        // Round-robin between barriers: each pass runs every live wave up
+        // to its next barrier (or retirement); when all live waves are
+        // parked at the barrier, release them together.
+        loop {
+            let mut progressed = false;
+            for w in &mut waves {
+                if w.done || w.at_barrier {
+                    continue;
+                }
+                progressed = true;
+                self.run_wave_segment(w, &mut lds, steps)?;
+            }
+            if waves.iter().all(|w| w.done) {
+                return Ok(());
+            }
+            if !progressed {
+                // Everyone alive is at a barrier: release.
+                for w in &mut waves {
+                    w.at_barrier = false;
+                }
+            }
+        }
+    }
+
+    /// Run one wave until it retires or parks at a barrier.
+    fn run_wave_segment(
+        &mut self,
+        w: &mut RefWave,
+        lds: &mut [u32],
+        steps: &mut u64,
+    ) -> Result<(), RefError> {
+        loop {
+            *steps += 1;
+            if *steps > STEP_LIMIT {
+                return Err(RefError::StepLimit);
+            }
+            let &idx = self
+                .by_pos
+                .get(&w.pc)
+                .ok_or(RefError::PcOutOfRange { pc: w.pc })?;
+            let (_, inst) = self.insts[idx];
+            let next_pc = w.pc + inst.size_words();
+            let out = step(&inst, next_pc, w, lds, &mut self.mem, self.bug)?;
+            w.pc = out.new_pc.unwrap_or(next_pc);
+            if out.end {
+                w.done = true;
+                return Ok(());
+            }
+            if out.barrier {
+                w.at_barrier = true;
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct StepOutcome {
+    new_pc: Option<usize>,
+    end: bool,
+    barrier: bool,
+}
+
+#[inline]
+fn fb(x: u32) -> f32 {
+    f32::from_bits(x)
+}
+
+#[inline]
+fn tb(x: f32) -> u32 {
+    x.to_bits()
+}
+
+#[inline]
+fn sext24(x: u32) -> i64 {
+    i64::from((x << 8) as i32 >> 8)
+}
+
+fn step(
+    inst: &Instruction,
+    next_pc: usize,
+    w: &mut RefWave,
+    lds: &mut [u32],
+    mem: &mut RefMemory,
+    bug: InjectedBug,
+) -> Result<StepOutcome, RefError> {
+    match inst.fields {
+        Fields::Sop2 { sdst, ssrc0, ssrc1 } => {
+            step_sop2(inst.opcode, w, sdst, ssrc0, ssrc1)?;
+            Ok(StepOutcome::default())
+        }
+        Fields::Sopk { sdst, simm16 } => {
+            step_sopk(inst.opcode, w, sdst, simm16)?;
+            Ok(StepOutcome::default())
+        }
+        Fields::Sop1 { sdst, ssrc0 } => {
+            step_sop1(inst.opcode, w, sdst, ssrc0)?;
+            Ok(StepOutcome::default())
+        }
+        Fields::Sopc { ssrc0, ssrc1 } => {
+            step_sopc(inst.opcode, w, ssrc0, ssrc1)?;
+            Ok(StepOutcome::default())
+        }
+        Fields::Sopp { simm16 } => step_sopp(inst.opcode, w, simm16, next_pc),
+        Fields::Smrd {
+            sdst,
+            sbase,
+            offset,
+        } => {
+            step_smrd(inst.opcode, w, sdst, sbase, offset, mem)?;
+            Ok(StepOutcome::default())
+        }
+        Fields::Vop2 { .. }
+        | Fields::Vop1 { .. }
+        | Fields::Vopc { .. }
+        | Fields::Vop3a { .. }
+        | Fields::Vop3b { .. } => {
+            step_vector(inst, w, bug)?;
+            Ok(StepOutcome::default())
+        }
+        Fields::Ds { .. } => {
+            step_ds(inst, w, lds)?;
+            Ok(StepOutcome::default())
+        }
+        Fields::Mubuf { .. } | Fields::Mtbuf { .. } => {
+            step_buffer(inst, w, mem)?;
+            Ok(StepOutcome::default())
+        }
+    }
+}
+
+fn step_sop2(
+    op: Opcode,
+    w: &mut RefWave,
+    sdst: Operand,
+    ssrc0: Operand,
+    ssrc1: Operand,
+) -> Result<(), RefError> {
+    use Opcode::*;
+    let width = op.src_width();
+    let s0 = w.read_scalar(ssrc0, width)?;
+    let s1 = w.read_scalar(ssrc1, width)?;
+    let (a, b) = (s0 as u32, s1 as u32);
+    let (ai, bi) = (a as i32, b as i32);
+    let (value, scc): (u64, Option<bool>) = match op {
+        SAddU32 => {
+            let (v, c) = a.overflowing_add(b);
+            (v.into(), Some(c))
+        }
+        SSubU32 => {
+            let (v, c) = a.overflowing_sub(b);
+            (v.into(), Some(c))
+        }
+        SAddI32 => {
+            let (v, o) = ai.overflowing_add(bi);
+            (u64::from(v as u32), Some(o))
+        }
+        SSubI32 => {
+            let (v, o) = ai.overflowing_sub(bi);
+            (u64::from(v as u32), Some(o))
+        }
+        SAddcU32 => {
+            let full = u64::from(a) + u64::from(b) + u64::from(w.scc);
+            (full & 0xffff_ffff, Some(full > 0xffff_ffff))
+        }
+        SSubbU32 => {
+            let full = i64::from(a) - i64::from(b) - i64::from(w.scc);
+            (u64::from(full as u32), Some(full < 0))
+        }
+        SMinI32 => ((ai.min(bi) as u32).into(), Some(ai <= bi)),
+        SMinU32 => (a.min(b).into(), Some(a <= b)),
+        SMaxI32 => ((ai.max(bi) as u32).into(), Some(ai >= bi)),
+        SMaxU32 => (a.max(b).into(), Some(a >= b)),
+        SCselectB32 => (if w.scc { s0 } else { s1 }, None),
+        SAndB32 | SAndB64 => {
+            let v = s0 & s1;
+            (v, Some(v != 0))
+        }
+        SOrB32 | SOrB64 => {
+            let v = s0 | s1;
+            (v, Some(v != 0))
+        }
+        SXorB32 | SXorB64 => {
+            let v = s0 ^ s1;
+            (v, Some(v != 0))
+        }
+        SAndn2B64 => {
+            let v = s0 & !s1;
+            (v, Some(v != 0))
+        }
+        SOrn2B64 => {
+            let v = s0 | !s1;
+            (v, Some(v != 0))
+        }
+        SNandB64 => {
+            let v = !(s0 & s1);
+            (v, Some(v != 0))
+        }
+        SNorB64 => {
+            let v = !(s0 | s1);
+            (v, Some(v != 0))
+        }
+        SXnorB64 => {
+            let v = !(s0 ^ s1);
+            (v, Some(v != 0))
+        }
+        SLshlB32 => {
+            let v = a << (b & 31);
+            (v.into(), Some(v != 0))
+        }
+        SLshrB32 => {
+            let v = a >> (b & 31);
+            (v.into(), Some(v != 0))
+        }
+        SAshrI32 => {
+            let v = (ai >> (b & 31)) as u32;
+            (v.into(), Some(v != 0))
+        }
+        SBfmB32 => {
+            let v = ((1u64 << (a & 31)) - 1) as u32;
+            ((v << (b & 31)).into(), None)
+        }
+        SMulI32 => ((ai.wrapping_mul(bi) as u32).into(), None),
+        SBfeU32 => {
+            let offset = b & 31;
+            let width = (b >> 16) & 0x7f;
+            let v = if width == 0 {
+                0
+            } else if width >= 32 {
+                a >> offset
+            } else {
+                (a >> offset) & ((1u32 << width) - 1)
+            };
+            (v.into(), Some(v != 0))
+        }
+        SBfeI32 => {
+            let offset = b & 31;
+            let width = (b >> 16) & 0x7f;
+            let v = if width == 0 {
+                0
+            } else if width >= 32 {
+                ((ai >> offset) as u32).into()
+            } else {
+                let raw = (a >> offset) & ((1u32 << width) - 1);
+                let shift = 32 - width;
+                u64::from((((raw << shift) as i32) >> shift) as u32)
+            };
+            (v, Some(v != 0))
+        }
+        other => unreachable!("non-SOP2 opcode {other:?}"),
+    };
+    w.write_scalar(sdst, op.dst_width(), value)?;
+    if let Some(s) = scc {
+        w.scc = s;
+    }
+    Ok(())
+}
+
+fn step_sopk(op: Opcode, w: &mut RefWave, sdst: Operand, simm16: i16) -> Result<(), RefError> {
+    use Opcode::*;
+    let imm = i64::from(simm16);
+    match op {
+        SMovkI32 => w.write_scalar(sdst, 1, u64::from(imm as u32))?,
+        SCmpkEqI32 | SCmpkLgI32 | SCmpkGtI32 | SCmpkGeI32 | SCmpkLtI32 | SCmpkLeI32 => {
+            let v = i64::from(w.read_scalar(sdst, 1)? as u32 as i32);
+            w.scc = match op {
+                SCmpkEqI32 => v == imm,
+                SCmpkLgI32 => v != imm,
+                SCmpkGtI32 => v > imm,
+                SCmpkGeI32 => v >= imm,
+                SCmpkLtI32 => v < imm,
+                SCmpkLeI32 => v <= imm,
+                _ => unreachable!(),
+            };
+        }
+        SAddkI32 => {
+            let v = w.read_scalar(sdst, 1)? as u32 as i32;
+            let (r, o) = v.overflowing_add(imm as i32);
+            w.write_scalar(sdst, 1, u64::from(r as u32))?;
+            w.scc = o;
+        }
+        SMulkI32 => {
+            let v = w.read_scalar(sdst, 1)? as u32 as i32;
+            w.write_scalar(sdst, 1, u64::from(v.wrapping_mul(imm as i32) as u32))?;
+        }
+        other => unreachable!("non-SOPK opcode {other:?}"),
+    }
+    Ok(())
+}
+
+fn step_sop1(op: Opcode, w: &mut RefWave, sdst: Operand, ssrc0: Operand) -> Result<(), RefError> {
+    use Opcode::*;
+    let s0 = w.read_scalar(ssrc0, op.src_width())?;
+    let a = s0 as u32;
+    let (value, scc): (u64, Option<bool>) = match op {
+        SMovB32 | SMovB64 => (s0, None),
+        SCmovB32 => {
+            if w.scc {
+                (s0, None)
+            } else {
+                (w.read_scalar(sdst, 1)?, None)
+            }
+        }
+        SNotB32 => {
+            let v = u64::from(!a);
+            (v, Some(v != 0))
+        }
+        SNotB64 => {
+            let v = !s0;
+            (v, Some(v != 0))
+        }
+        SWqmB64 => {
+            let mut v = 0u64;
+            for q in 0..16 {
+                if (s0 >> (q * 4)) & 0xf != 0 {
+                    v |= 0xf << (q * 4);
+                }
+            }
+            (v, Some(v != 0))
+        }
+        SBrevB32 => (u64::from(a.reverse_bits()), None),
+        SBcnt0I32B32 => {
+            let v = u64::from(a.count_zeros());
+            (v, Some(v != 0))
+        }
+        SBcnt1I32B32 => {
+            let v = u64::from(a.count_ones());
+            (v, Some(v != 0))
+        }
+        SFf0I32B32 => {
+            let v = if a == u32::MAX {
+                u32::MAX
+            } else {
+                (!a).trailing_zeros()
+            };
+            (u64::from(v), None)
+        }
+        SFf1I32B32 => {
+            let v = if a == 0 { u32::MAX } else { a.trailing_zeros() };
+            (u64::from(v), None)
+        }
+        SFlbitI32B32 => {
+            let v = if a == 0 { u32::MAX } else { a.leading_zeros() };
+            (u64::from(v), None)
+        }
+        SSextI32I8 => (u64::from(i32::from(a as u8 as i8) as u32), None),
+        SSextI32I16 => (u64::from(i32::from(a as u16 as i16) as u32), None),
+        SBitset0B32 => {
+            let d = w.read_scalar(sdst, 1)? as u32;
+            (u64::from(d & !(1 << (a & 31))), None)
+        }
+        SBitset1B32 => {
+            let d = w.read_scalar(sdst, 1)? as u32;
+            (u64::from(d | (1 << (a & 31))), None)
+        }
+        SAndSaveexecB64 | SOrSaveexecB64 | SXorSaveexecB64 | SAndn2SaveexecB64 => {
+            let saved = w.exec;
+            let new_exec = match op {
+                SAndSaveexecB64 => s0 & saved,
+                SOrSaveexecB64 => s0 | saved,
+                SXorSaveexecB64 => s0 ^ saved,
+                SAndn2SaveexecB64 => s0 & !saved,
+                _ => unreachable!(),
+            };
+            w.exec = new_exec;
+            (saved, Some(new_exec != 0))
+        }
+        other => unreachable!("non-SOP1 opcode {other:?}"),
+    };
+    w.write_scalar(sdst, op.dst_width(), value)?;
+    if let Some(s) = scc {
+        w.scc = s;
+    }
+    Ok(())
+}
+
+fn step_sopc(op: Opcode, w: &mut RefWave, ssrc0: Operand, ssrc1: Operand) -> Result<(), RefError> {
+    use Opcode::*;
+    let a = w.read_scalar(ssrc0, 1)? as u32;
+    let b = w.read_scalar(ssrc1, 1)? as u32;
+    let (ai, bi) = (a as i32, b as i32);
+    w.scc = match op {
+        SCmpEqI32 => ai == bi,
+        SCmpLgI32 => ai != bi,
+        SCmpGtI32 => ai > bi,
+        SCmpGeI32 => ai >= bi,
+        SCmpLtI32 => ai < bi,
+        SCmpLeI32 => ai <= bi,
+        SCmpEqU32 => a == b,
+        SCmpLgU32 => a != b,
+        SCmpGtU32 => a > b,
+        SCmpGeU32 => a >= b,
+        SCmpLtU32 => a < b,
+        SCmpLeU32 => a <= b,
+        other => unreachable!("non-SOPC opcode {other:?}"),
+    };
+    Ok(())
+}
+
+fn step_sopp(
+    op: Opcode,
+    w: &mut RefWave,
+    simm16: u16,
+    next_pc: usize,
+) -> Result<StepOutcome, RefError> {
+    use Opcode::*;
+    let mut out = StepOutcome::default();
+    let target = || {
+        let t = next_pc as i64 + i64::from(simm16 as i16);
+        usize::try_from(t).map_err(|_| RefError::PcOutOfRange { pc: 0 })
+    };
+    match op {
+        SNop | SWaitcnt => {}
+        SEndpgm => out.end = true,
+        SBarrier => out.barrier = true,
+        SBranch => out.new_pc = Some(target()?),
+        SCbranchScc0 if !w.scc => out.new_pc = Some(target()?),
+        SCbranchScc1 if w.scc => out.new_pc = Some(target()?),
+        SCbranchVccz if w.vcc == 0 => out.new_pc = Some(target()?),
+        SCbranchVccnz if w.vcc != 0 => out.new_pc = Some(target()?),
+        SCbranchExecz if w.exec == 0 => out.new_pc = Some(target()?),
+        SCbranchExecnz if w.exec != 0 => out.new_pc = Some(target()?),
+        SCbranchScc0 | SCbranchScc1 | SCbranchVccz | SCbranchVccnz | SCbranchExecz
+        | SCbranchExecnz => {}
+        other => unreachable!("non-SOPP opcode {other:?}"),
+    }
+    Ok(out)
+}
+
+fn step_smrd(
+    op: Opcode,
+    w: &mut RefWave,
+    sdst: Operand,
+    sbase: u8,
+    offset: SmrdOffset,
+    mem: &RefMemory,
+) -> Result<(), RefError> {
+    let base = w.read_scalar(Operand::Sgpr(sbase), 2)? & 0xffff_ffff_ffff;
+    let off = match offset {
+        SmrdOffset::Imm(i) => u64::from(i) * 4,
+        SmrdOffset::Sgpr(s) => u64::from(w.sgpr(s.into())?),
+    };
+    let addr = base.wrapping_add(off);
+    let first = match sdst {
+        Operand::Sgpr(s) => u32::from(s),
+        other => {
+            let v = mem.read_u32(addr);
+            w.write_scalar(other, 1, u64::from(v))?;
+            return Ok(());
+        }
+    };
+    for i in 0..u32::from(op.dst_width()) {
+        let v = mem.read_u32(addr + u64::from(i) * 4);
+        w.set_sgpr(first + i, v)?;
+    }
+    Ok(())
+}
+
+/// Canonical operand view of the five vector encodings (mirrors the shape
+/// the hardware decoder produces, reimplemented independently).
+struct VecView {
+    vdst: u8,
+    src: [Operand; 3],
+    sdst: Option<Operand>,
+    mask_src: Option<Operand>,
+    abs: u8,
+    neg: u8,
+    clamp: bool,
+    omod: u8,
+}
+
+fn vec_view(inst: &Instruction) -> VecView {
+    let zero = Operand::IntConst(0);
+    match inst.fields {
+        Fields::Vop2 { vdst, src0, vsrc1 } => VecView {
+            vdst,
+            src: [src0, Operand::Vgpr(vsrc1), zero],
+            sdst: None,
+            mask_src: None,
+            abs: 0,
+            neg: 0,
+            clamp: false,
+            omod: 0,
+        },
+        Fields::Vop1 { vdst, src0 } => VecView {
+            vdst,
+            src: [src0, zero, zero],
+            sdst: None,
+            mask_src: None,
+            abs: 0,
+            neg: 0,
+            clamp: false,
+            omod: 0,
+        },
+        Fields::Vopc { src0, vsrc1 } => VecView {
+            vdst: 0,
+            src: [src0, Operand::Vgpr(vsrc1), zero],
+            sdst: None,
+            mask_src: None,
+            abs: 0,
+            neg: 0,
+            clamp: false,
+            omod: 0,
+        },
+        Fields::Vop3a {
+            vdst,
+            src0,
+            src1,
+            src2,
+            abs,
+            neg,
+            clamp,
+            omod,
+        } => VecView {
+            vdst,
+            src: [src0, src1, src2.unwrap_or(zero)],
+            sdst: None,
+            mask_src: src2,
+            abs,
+            neg,
+            clamp,
+            omod,
+        },
+        Fields::Vop3b {
+            vdst,
+            sdst,
+            src0,
+            src1,
+            src2,
+        } => VecView {
+            vdst,
+            src: [src0, src1, src2.unwrap_or(zero)],
+            sdst: Some(sdst),
+            mask_src: src2,
+            abs: 0,
+            neg: 0,
+            clamp: false,
+            omod: 0,
+        },
+        _ => unreachable!("non-vector fields"),
+    }
+}
+
+fn in_mods(bits: u32, idx: u8, abs: u8, neg: u8) -> u32 {
+    let mut v = bits;
+    if abs & (1 << idx) != 0 {
+        v &= 0x7fff_ffff;
+    }
+    if neg & (1 << idx) != 0 {
+        v ^= 0x8000_0000;
+    }
+    v
+}
+
+fn out_mods(bits: u32, clamp: bool, omod: u8) -> u32 {
+    let mut f = fb(bits);
+    match omod {
+        1 => f *= 2.0,
+        2 => f *= 4.0,
+        3 => f /= 2.0,
+        _ => {}
+    }
+    if clamp {
+        f = f.clamp(0.0, 1.0);
+    }
+    tb(f)
+}
+
+fn step_vector(inst: &Instruction, w: &mut RefWave, bug: InjectedBug) -> Result<(), RefError> {
+    use Opcode::*;
+    let op = inst.opcode;
+    let v = vec_view(inst);
+    let is_float = op.unit() == FuncUnit::Simf;
+
+    if op == VReadfirstlaneB32 {
+        let lane = (0..WAVEFRONT_SIZE).find(|&l| w.lane_active(l)).unwrap_or(0);
+        let val = w.read_lane(v.src[0], lane)?;
+        w.set_sgpr(v.vdst.into(), val)?;
+        return Ok(());
+    }
+
+    if op.is_vector_compare() {
+        let mut mask_set = 0u64;
+        let mut mask_clr = 0u64;
+        for lane in 0..WAVEFRONT_SIZE {
+            if !w.lane_active(lane) {
+                continue;
+            }
+            let a = w.read_lane(v.src[0], lane)?;
+            let b = w.read_lane(v.src[1], lane)?;
+            if compare(op, a, b) {
+                mask_set |= 1 << lane;
+            } else {
+                mask_clr |= 1 << lane;
+            }
+        }
+        let dst = v.sdst.unwrap_or(Operand::VccLo);
+        let old = w.read_scalar(dst, 2)?;
+        w.write_scalar(dst, 2, (old | mask_set) & !mask_clr)?;
+        return Ok(());
+    }
+
+    if op.writes_vcc_implicitly() {
+        let cin_mask = if op.reads_vcc_implicitly() {
+            match v.mask_src {
+                Some(m) => w.read_scalar(m, 2)?,
+                None => w.vcc,
+            }
+        } else {
+            0
+        };
+        let mut cout_set = 0u64;
+        let mut cout_clr = 0u64;
+        for lane in 0..WAVEFRONT_SIZE {
+            if !w.lane_active(lane) {
+                continue;
+            }
+            let a = u64::from(w.read_lane(v.src[0], lane)?);
+            let b = u64::from(w.read_lane(v.src[1], lane)?);
+            let c = cin_mask >> lane & 1;
+            let full: i128 = match op {
+                VAddI32 => (a + b) as i128,
+                VSubI32 => a as i128 - b as i128,
+                VSubrevI32 => b as i128 - a as i128,
+                VAddcU32 => (a + b + c) as i128,
+                VSubbU32 => a as i128 - b as i128 - c as i128,
+                other => unreachable!("non-carry opcode {other:?}"),
+            };
+            let mut carry = !(0..=0xffff_ffff).contains(&full);
+            if bug == InjectedBug::AddDropsCarry && op == VAddI32 {
+                carry = false;
+            }
+            if carry {
+                cout_set |= 1 << lane;
+            } else {
+                cout_clr |= 1 << lane;
+            }
+            w.set_vgpr(v.vdst.into(), lane, full as u32)?;
+        }
+        let dst = v.sdst.unwrap_or(Operand::VccLo);
+        let old = w.read_scalar(dst, 2)?;
+        w.write_scalar(dst, 2, (old | cout_set) & !cout_clr)?;
+        return Ok(());
+    }
+
+    if op == VCndmaskB32 {
+        let mask = match v.mask_src {
+            Some(m) => w.read_scalar(m, 2)?,
+            None => w.vcc,
+        };
+        for lane in 0..WAVEFRONT_SIZE {
+            if !w.lane_active(lane) {
+                continue;
+            }
+            let a = w.read_lane(v.src[0], lane)?;
+            let b = w.read_lane(v.src[1], lane)?;
+            let r = if mask >> lane & 1 != 0 { b } else { a };
+            w.set_vgpr(v.vdst.into(), lane, r)?;
+        }
+        return Ok(());
+    }
+
+    let nsrc = op.src_count() as usize;
+    for lane in 0..WAVEFRONT_SIZE {
+        if !w.lane_active(lane) {
+            continue;
+        }
+        let mut s = [0u32; 3];
+        for (i, slot) in s.iter_mut().enumerate().take(nsrc.max(1)) {
+            let raw = w.read_lane(v.src[i], lane)?;
+            *slot = if is_float {
+                in_mods(raw, i as u8, v.abs, v.neg)
+            } else {
+                raw
+            };
+        }
+        let acc = if op == VMacF32 {
+            w.vgpr(v.vdst.into(), lane)?
+        } else {
+            0
+        };
+        let mut r = lanewise(op, s, acc, bug);
+        if is_float {
+            r = out_mods(r, v.clamp, v.omod);
+        }
+        w.set_vgpr(v.vdst.into(), lane, r)?;
+    }
+    Ok(())
+}
+
+fn compare(op: Opcode, a: u32, b: u32) -> bool {
+    use Opcode::*;
+    let (fa, fbv) = (fb(a), fb(b));
+    let (ia, ib) = (a as i32, b as i32);
+    match op {
+        VCmpLtF32 => fa < fbv,
+        VCmpEqF32 => fa == fbv,
+        VCmpLeF32 => fa <= fbv,
+        VCmpGtF32 => fa > fbv,
+        VCmpLgF32 => fa != fbv && !fa.is_nan() && !fbv.is_nan(),
+        VCmpGeF32 => fa >= fbv,
+        VCmpNeqF32 => !(fa == fbv),
+        VCmpLtI32 => ia < ib,
+        VCmpEqI32 => ia == ib,
+        VCmpLeI32 => ia <= ib,
+        VCmpGtI32 => ia > ib,
+        VCmpNeI32 => ia != ib,
+        VCmpGeI32 => ia >= ib,
+        VCmpLtU32 => a < b,
+        VCmpEqU32 => a == b,
+        VCmpLeU32 => a <= b,
+        VCmpGtU32 => a > b,
+        VCmpNeU32 => a != b,
+        VCmpGeU32 => a >= b,
+        other => unreachable!("non-compare opcode {other:?}"),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn lanewise(op: Opcode, s: [u32; 3], acc: u32, bug: InjectedBug) -> u32 {
+    use Opcode::*;
+    let [a, b, c] = s;
+    let (ai, bi) = (a as i32, b as i32);
+    let (fa, fbv, fc) = (fb(a), fb(b), fb(c));
+    match op {
+        VAddF32 => tb(fa + fbv),
+        VSubF32 => tb(fa - fbv),
+        VSubrevF32 => tb(fbv - fa),
+        VMulF32 => tb(fa * fbv),
+        VMulI32I24 => (sext24(a).wrapping_mul(sext24(b))) as u32,
+        VMulU32U24 => ((u64::from(a & 0xff_ffff)) * u64::from(b & 0xff_ffff)) as u32,
+        VMinF32 => tb(fa.min(fbv)),
+        VMaxF32 => tb(fa.max(fbv)),
+        VMinI32 => ai.min(bi) as u32,
+        VMaxI32 => ai.max(bi) as u32,
+        VMinU32 => {
+            if bug == InjectedBug::MinIsMax {
+                a.max(b)
+            } else {
+                a.min(b)
+            }
+        }
+        VMaxU32 => a.max(b),
+        VLshrB32 => a >> (b & 31),
+        VLshrrevB32 => b >> (a & 31),
+        VAshrI32 => (ai >> (b & 31)) as u32,
+        VAshrrevI32 => (bi >> (a & 31)) as u32,
+        VLshlB32 => a << (b & 31),
+        VLshlrevB32 => b << (a & 31),
+        VAndB32 => a & b,
+        VOrB32 => a | b,
+        VXorB32 => {
+            let r = a ^ b;
+            if bug == InjectedBug::XorFlipsBit0 {
+                r ^ 1
+            } else {
+                r
+            }
+        }
+        VMacF32 => tb(fa.mul_add(fbv, fb(acc))),
+        VNop => 0,
+        VMovB32 => a,
+        VCvtF32I32 => tb(ai as f32),
+        VCvtF32U32 => tb(a as f32),
+        VCvtU32F32 => {
+            if fa.is_nan() || fa <= -1.0 {
+                0
+            } else if fa >= u32::MAX as f32 {
+                u32::MAX
+            } else {
+                fa as u32
+            }
+        }
+        VCvtI32F32 => {
+            if fa.is_nan() {
+                0
+            } else if fa >= i32::MAX as f32 {
+                i32::MAX as u32
+            } else if fa <= i32::MIN as f32 {
+                i32::MIN as u32
+            } else {
+                (fa as i32) as u32
+            }
+        }
+        VFractF32 => tb(fa - fa.floor()),
+        VTruncF32 => tb(fa.trunc()),
+        VCeilF32 => tb(fa.ceil()),
+        VRndneF32 => {
+            let r = fa.round();
+            let v = if (fa - fa.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                r - fa.signum()
+            } else {
+                r
+            };
+            tb(v)
+        }
+        VFloorF32 => tb(fa.floor()),
+        VExpF32 => tb(fa.exp2()),
+        VLogF32 => tb(fa.log2()),
+        VRcpF32 => tb(1.0 / fa),
+        VRsqF32 => tb(1.0 / fa.sqrt()),
+        VSqrtF32 => tb(fa.sqrt()),
+        VSinF32 => tb((fa * std::f32::consts::TAU).sin()),
+        VCosF32 => tb((fa * std::f32::consts::TAU).cos()),
+        VNotB32 => !a,
+        VBfrevB32 => a.reverse_bits(),
+        VFfbhU32 => {
+            if a == 0 {
+                u32::MAX
+            } else {
+                a.leading_zeros()
+            }
+        }
+        VFfblB32 => {
+            if a == 0 {
+                u32::MAX
+            } else {
+                a.trailing_zeros()
+            }
+        }
+        VMadF32 => tb(fa * fbv + fc),
+        VMadI32I24 => {
+            (sext24(a)
+                .wrapping_mul(sext24(b))
+                .wrapping_add(i64::from(c as i32))) as u32
+        }
+        VMadU32U24 => {
+            ((u64::from(a & 0xff_ffff) * u64::from(b & 0xff_ffff)).wrapping_add(u64::from(c)))
+                as u32
+        }
+        VBfeU32 => {
+            let offset = b & 31;
+            let width = c & 31;
+            if width == 0 {
+                0
+            } else {
+                (a >> offset) & ((1u64 << width) - 1) as u32
+            }
+        }
+        VBfeI32 => {
+            let offset = b & 31;
+            let width = c & 31;
+            if width == 0 {
+                0
+            } else {
+                let raw = (a >> offset) & ((1u64 << width) - 1) as u32;
+                let shift = 32 - width;
+                (((raw << shift) as i32) >> shift) as u32
+            }
+        }
+        VBfiB32 => (a & b) | (!a & c),
+        VFmaF32 => tb(fa.mul_add(fbv, fc)),
+        VAlignbitB32 => (((u64::from(b) << 32) | u64::from(a)) >> (c & 31)) as u32,
+        VMin3F32 => tb(fa.min(fbv).min(fc)),
+        VMin3I32 => ai.min(bi).min(c as i32) as u32,
+        VMin3U32 => a.min(b).min(c),
+        VMax3F32 => tb(fa.max(fbv).max(fc)),
+        VMax3I32 => ai.max(bi).max(c as i32) as u32,
+        VMax3U32 => a.max(b).max(c),
+        VMed3F32 => {
+            // NaN-safe median: f32::clamp panics when a bound is NaN, and
+            // lo/hi are NaN whenever src0 or src1 is. min/max propagate the
+            // non-NaN operand instead, matching the SI ALU's behaviour.
+            let (lo, hi) = (fa.min(fbv), fa.max(fbv));
+            tb(lo.max(hi.min(fc)))
+        }
+        VMed3I32 => {
+            let ci = c as i32;
+            let (lo, hi) = (ai.min(bi), ai.max(bi));
+            ci.clamp(lo, hi) as u32
+        }
+        VMed3U32 => {
+            let (lo, hi) = (a.min(b), a.max(b));
+            c.clamp(lo, hi)
+        }
+        VMulLoU32 => a.wrapping_mul(b),
+        VMulHiU32 => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        VMulLoI32 => ai.wrapping_mul(bi) as u32,
+        VMulHiI32 => ((i64::from(ai) * i64::from(bi)) >> 32) as u32,
+        other => unreachable!("unhandled lanewise opcode {other:?}"),
+    }
+}
+
+fn step_ds(inst: &Instruction, w: &mut RefWave, lds: &mut [u32]) -> Result<(), RefError> {
+    use Opcode::*;
+    let op = inst.opcode;
+    let Fields::Ds {
+        vdst,
+        addr,
+        data0,
+        data1,
+        offset0,
+        offset1,
+        ..
+    } = inst.fields
+    else {
+        unreachable!("non-DS fields");
+    };
+    let size_bytes = (lds.len() * 4) as u32;
+    let index = |byte_addr: u32| -> Result<usize, RefError> {
+        if byte_addr + 4 > size_bytes {
+            Err(RefError::LdsOutOfRange {
+                addr: byte_addr,
+                size: size_bytes,
+            })
+        } else {
+            Ok((byte_addr / 4) as usize)
+        }
+    };
+    for lane in 0..WAVEFRONT_SIZE {
+        if !w.lane_active(lane) {
+            continue;
+        }
+        let base = w.vgpr(addr.into(), lane)?;
+        match op {
+            DsReadB32 => {
+                let v = lds[index(base.wrapping_add(offset0.into()))?];
+                w.set_vgpr(vdst.into(), lane, v)?;
+            }
+            DsRead2B32 => {
+                let v0 = lds[index(base.wrapping_add(u32::from(offset0) * 4))?];
+                let v1 = lds[index(base.wrapping_add(u32::from(offset1) * 4))?];
+                w.set_vgpr(vdst.into(), lane, v0)?;
+                w.set_vgpr(u32::from(vdst) + 1, lane, v1)?;
+            }
+            DsWriteB32 => {
+                let v = w.vgpr(data0.into(), lane)?;
+                lds[index(base.wrapping_add(offset0.into()))?] = v;
+            }
+            DsWrite2B32 => {
+                let v0 = w.vgpr(data0.into(), lane)?;
+                let v1 = w.vgpr(data1.into(), lane)?;
+                lds[index(base.wrapping_add(u32::from(offset0) * 4))?] = v0;
+                lds[index(base.wrapping_add(u32::from(offset1) * 4))?] = v1;
+            }
+            DsAddU32 | DsSubU32 | DsMinI32 | DsMaxI32 | DsMinU32 | DsMaxU32 | DsAndB32
+            | DsOrB32 | DsXorB32 => {
+                let idx = index(base.wrapping_add(offset0.into()))?;
+                let d = w.vgpr(data0.into(), lane)?;
+                let old = lds[idx];
+                lds[idx] = match op {
+                    DsAddU32 => old.wrapping_add(d),
+                    DsSubU32 => old.wrapping_sub(d),
+                    DsMinI32 => (old as i32).min(d as i32) as u32,
+                    DsMaxI32 => (old as i32).max(d as i32) as u32,
+                    DsMinU32 => old.min(d),
+                    DsMaxU32 => old.max(d),
+                    DsAndB32 => old & d,
+                    DsOrB32 => old | d,
+                    DsXorB32 => old ^ d,
+                    _ => unreachable!(),
+                };
+            }
+            other => unreachable!("non-DS opcode {other:?}"),
+        }
+    }
+    Ok(())
+}
+
+fn step_buffer(inst: &Instruction, w: &mut RefWave, mem: &mut RefMemory) -> Result<(), RefError> {
+    use Opcode::*;
+    let op = inst.opcode;
+    let (vdata, vaddr, srsrc, soffset, imm_offset, offen) = match inst.fields {
+        Fields::Mubuf {
+            vdata,
+            vaddr,
+            srsrc,
+            soffset,
+            offset,
+            offen,
+            ..
+        }
+        | Fields::Mtbuf {
+            vdata,
+            vaddr,
+            srsrc,
+            soffset,
+            offset,
+            offen,
+            ..
+        } => (vdata, vaddr, srsrc, soffset, offset, offen),
+        _ => unreachable!("non-buffer fields"),
+    };
+    let base = w.read_scalar(Operand::Sgpr(srsrc), 2)? & 0xffff_ffff_ffff;
+    let num_records = w.sgpr(u32::from(srsrc) + 2)?;
+    let soff = w.read_scalar(soffset, 1)? as u32;
+    let width = u32::from(op.dst_width());
+    for lane in 0..WAVEFRONT_SIZE {
+        if !w.lane_active(lane) {
+            continue;
+        }
+        let lane_off = if offen {
+            w.vgpr(vaddr.into(), lane)?
+        } else {
+            0
+        };
+        let offset = u64::from(soff) + u64::from(imm_offset) + u64::from(lane_off);
+        let bytes = match op {
+            BufferLoadUbyte | BufferLoadSbyte | BufferStoreByte => 1,
+            _ => 4 * width,
+        };
+        let in_bounds = num_records == 0 || offset + u64::from(bytes) <= u64::from(num_records);
+        let addr = base.wrapping_add(offset);
+        match op {
+            BufferLoadUbyte => {
+                let v = if in_bounds {
+                    u32::from(mem.read_u8(addr))
+                } else {
+                    0
+                };
+                w.set_vgpr(vdata.into(), lane, v)?;
+            }
+            BufferLoadSbyte => {
+                let v = if in_bounds {
+                    i32::from(mem.read_u8(addr) as i8) as u32
+                } else {
+                    0
+                };
+                w.set_vgpr(vdata.into(), lane, v)?;
+            }
+            BufferLoadDword
+            | BufferLoadDwordx2
+            | BufferLoadDwordx4
+            | TbufferLoadFormatX
+            | TbufferLoadFormatXy
+            | TbufferLoadFormatXyz
+            | TbufferLoadFormatXyzw => {
+                for i in 0..width {
+                    let v = if in_bounds {
+                        mem.read_u32(addr + u64::from(i) * 4)
+                    } else {
+                        0
+                    };
+                    w.set_vgpr(u32::from(vdata) + i, lane, v)?;
+                }
+            }
+            BufferStoreByte => {
+                if in_bounds {
+                    let v = w.vgpr(vdata.into(), lane)?;
+                    mem.write_u8(addr, v as u8);
+                }
+            }
+            BufferStoreDword
+            | BufferStoreDwordx2
+            | BufferStoreDwordx4
+            | TbufferStoreFormatX
+            | TbufferStoreFormatXy
+            | TbufferStoreFormatXyz
+            | TbufferStoreFormatXyzw => {
+                if in_bounds {
+                    for i in 0..width {
+                        let v = w.vgpr(u32::from(vdata) + i, lane)?;
+                        mem.write_u32(addr + u64::from(i) * 4, v);
+                    }
+                }
+            }
+            other => unreachable!("non-buffer opcode {other:?}"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_asm::KernelBuilder;
+
+    /// out[tid] = in[tid] * 2 + 1 over one 64-lane workgroup.
+    fn mul2_add1() -> Kernel {
+        let mut b = KernelBuilder::new("mul2_add1");
+        b.sgprs(32).vgprs(8).workgroup_size(64);
+        b.smrd(
+            Opcode::SBufferLoadDwordx2,
+            Operand::Sgpr(20),
+            scratch_system::abi::CONST_BUF1,
+            SmrdOffset::Imm(0),
+        )
+        .unwrap();
+        b.waitcnt(None, Some(0)).unwrap();
+        b.vop2(Opcode::VLshlrevB32, 1, Operand::IntConst(2), 0)
+            .unwrap();
+        b.mubuf(Opcode::BufferLoadDword, 2, 1, 4, Operand::Sgpr(21), 0)
+            .unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        b.vop2(Opcode::VLshlrevB32, 2, Operand::IntConst(1), 2)
+            .unwrap();
+        b.vop2(Opcode::VAddI32, 2, Operand::IntConst(1), 2).unwrap();
+        b.mubuf(Opcode::BufferStoreDword, 2, 1, 4, Operand::Sgpr(20), 0)
+            .unwrap();
+        b.endpgm().unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn reference_runs_a_simple_kernel() {
+        let kernel = mul2_add1();
+        let mut sys = RefSystem::new(&kernel).unwrap();
+        let out = sys.alloc(64 * 4);
+        let input: Vec<u32> = (0..64).collect();
+        let inp = sys.alloc_words(&input);
+        sys.set_args(&[out as u32, inp as u32]);
+        sys.dispatch([1, 1, 1]).unwrap();
+        let got = sys.read_words(out, 64);
+        for (i, &v) in got.iter().enumerate() {
+            assert_eq!(v, i as u32 * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn dispatch_requires_args() {
+        let kernel = mul2_add1();
+        let mut sys = RefSystem::new(&kernel).unwrap();
+        assert_eq!(sys.dispatch([1, 1, 1]), Err(RefError::ArgsNotSet));
+    }
+
+    #[test]
+    fn memory_is_little_endian_and_byte_addressable() {
+        let mut m = RefMemory::default();
+        m.write_u32(0x100, 0xaabb_ccdd);
+        assert_eq!(m.read_u8(0x100), 0xdd);
+        assert_eq!(m.read_u8(0x103), 0xaa);
+        m.write_u8(0x101, 0x11);
+        assert_eq!(m.read_u32(0x100), 0xaabb_11dd);
+        // Unaligned read composes bytes.
+        assert_eq!(m.read_u32(0x101), 0x00aa_bb11);
+        // Out-of-range: reads 0, writes dropped.
+        assert_eq!(m.read_u32(MEM_BYTES), 0);
+        m.write_u32(MEM_BYTES, 7);
+        assert_eq!(m.read_u32(MEM_BYTES), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! # scratch-check
+//!
+//! Differential conformance and fuzzing for the SCRATCH toolchain.
+//!
+//! The paper validates its bug-fixed MIAOW CU "in the instruction domain"
+//! against a reference implementation (§2.3) — a one-time manual
+//! campaign. This crate mechanizes that idea and extends it across the
+//! whole toolchain:
+//!
+//! * [`GenKernel`] — a seeded random Southern-Islands kernel generator.
+//!   Programs are trees of straight-line ops, bounded loops, scalar
+//!   skip-branches and exec-masked regions, always structurally valid,
+//!   with loads reading a generated input image and stores confined to a
+//!   per-workgroup output page;
+//! * [`RefSystem`] — a lockstep reference interpreter: per-lane
+//!   architectural state, one instruction at a time, no pipeline, sharing
+//!   no execution code with `scratch-cu`;
+//! * [`OracleKind`] — four differential oracles: CU vs reference, trimmed
+//!   vs untrimmed CU, serial vs multi-worker system, and
+//!   assembler/disassembler round-trip;
+//! * [`minimize`] — tree-based shrinking of any divergence to a small
+//!   self-contained repro ([`Divergence`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use scratch_check::{fuzz, FuzzConfig, OracleKind};
+//!
+//! let report = fuzz(&FuzzConfig {
+//!     seed: 42,
+//!     cases: 4,
+//!     oracles: vec![OracleKind::Roundtrip],
+//!     ..FuzzConfig::default()
+//! });
+//! assert_eq!(report.cases, 4);
+//! assert!(report.divergences.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod interp;
+pub mod minimize;
+pub mod oracle;
+pub mod report;
+
+pub use gen::{minimal_instruction, GenKernel, Item};
+pub use interp::{InjectedBug, RefError, RefSystem};
+pub use minimize::minimize;
+pub use oracle::{check, check_with_bug, OracleKind, Outcome};
+pub use report::Divergence;
+
+/// Configuration for a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Base seed; case `i` uses seed `base + i`.
+    pub seed: u64,
+    /// Number of kernels to generate and check.
+    pub cases: u64,
+    /// Oracles to run on every case.
+    pub oracles: Vec<OracleKind>,
+    /// Deliberate semantic mutation injected into the reference
+    /// interpreter — [`InjectedBug::None`] for real campaigns; anything
+    /// else turns the fuzzer on itself to prove it catches bugs.
+    pub bug: InjectedBug,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0,
+            cases: 100,
+            oracles: OracleKind::ALL.to_vec(),
+            bug: InjectedBug::None,
+        }
+    }
+}
+
+/// Outcome of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases actually run.
+    pub cases: u64,
+    /// Oracle checks performed (cases × oracles, minus skips).
+    pub checks: u64,
+    /// Cases skipped because the kernel did not assemble (generator bug;
+    /// should stay zero).
+    pub skipped: u64,
+    /// Minimized reports, one per (case, oracle) divergence.
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cases, {} checks, {} skipped, {} divergences",
+            self.cases,
+            self.checks,
+            self.skipped,
+            self.divergences.len()
+        )
+    }
+}
+
+/// Run a fuzzing campaign: generate `cases` kernels, run every oracle on
+/// each, and minimize whatever diverges.
+#[must_use]
+pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport {
+        cases: 0,
+        checks: 0,
+        skipped: 0,
+        divergences: Vec::new(),
+    };
+    for i in 0..config.cases {
+        let gk = GenKernel::generate(config.seed.wrapping_add(i));
+        report.cases += 1;
+        for &oracle in &config.oracles {
+            match check_with_bug(oracle, &gk, config.bug) {
+                Outcome::Agree => report.checks += 1,
+                Outcome::Skip(_) => report.skipped += 1,
+                Outcome::Diverge(detail) => {
+                    report.checks += 1;
+                    let minimized = minimize(&gk, oracle, config.bug);
+                    report
+                        .divergences
+                        .push(Divergence::new(&gk, &minimized, oracle, detail));
+                }
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,152 @@
+//! Divergence minimization.
+//!
+//! Given a kernel that makes an oracle disagree, shrink its program tree
+//! until no single reduction keeps the disagreement alive. Two reductions
+//! apply at every tree position: *delete* the item (with its whole
+//! subtree), or *unwrap* a control-flow block, splicing its body in place
+//! of the block. Both always yield a structurally valid kernel — the
+//! point of generating programs as trees instead of flat word lists —
+//! so minimization never wanders outside the assembler's domain.
+//!
+//! The loop is greedy-to-fixpoint: scan positions outermost-first, adopt
+//! the first reduction that still diverges, restart. Worst case is
+//! quadratic in tree size, and generated bodies are ≤ ~35 nodes, so each
+//! minimization costs at most a few hundred oracle runs.
+
+use crate::gen::{GenKernel, Item};
+use crate::interp::InjectedBug;
+use crate::oracle::{check_with_bug, OracleKind};
+
+/// Shrink `gk` while `oracle` keeps reporting a divergence. Returns the
+/// minimized kernel; if `gk` does not diverge in the first place it is
+/// returned unchanged.
+#[must_use]
+pub fn minimize(gk: &GenKernel, oracle: OracleKind, bug: InjectedBug) -> GenKernel {
+    let mut current = gk.clone();
+    if !check_with_bug(oracle, &current, bug).is_divergence() {
+        return current;
+    }
+    loop {
+        let mut improved = false;
+        for path in paths(&current.body) {
+            for reduction in [Reduction::Delete, Reduction::Unwrap] {
+                let mut candidate = current.clone();
+                if !apply(&mut candidate.body, &path, reduction) {
+                    continue;
+                }
+                if check_with_bug(oracle, &candidate, bug).is_divergence() {
+                    current = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if improved {
+                break; // paths into the old tree are stale; re-enumerate
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Reduction {
+    /// Remove the item and its subtree.
+    Delete,
+    /// Replace a block item with its body (no-op on leaves).
+    Unwrap,
+}
+
+/// All positions in the tree, as child-index paths, outermost (shortest)
+/// first so whole regions are tried before their contents.
+fn paths(items: &[Item]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    walk(items, &mut prefix, &mut out);
+    out.sort_by_key(Vec::len);
+    out
+}
+
+fn walk(items: &[Item], prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    for (i, item) in items.iter().enumerate() {
+        prefix.push(i);
+        out.push(prefix.clone());
+        if let Item::Skip { body, .. } | Item::Loop { body, .. } | Item::Exec { body, .. } = item {
+            walk(body, prefix, out);
+        }
+        prefix.pop();
+    }
+}
+
+/// Apply `reduction` at `path`; `false` when it does not apply (unwrap on
+/// a leaf) so the caller can skip the oracle run.
+fn apply(items: &mut Vec<Item>, path: &[usize], reduction: Reduction) -> bool {
+    let (&idx, rest) = path.split_first().expect("paths are non-empty");
+    if rest.is_empty() {
+        return match reduction {
+            Reduction::Delete => {
+                items.remove(idx);
+                true
+            }
+            Reduction::Unwrap => match items[idx].clone() {
+                Item::Op(_) => false,
+                Item::Skip { body, .. } | Item::Loop { body, .. } | Item::Exec { body, .. } => {
+                    items.splice(idx..=idx, body);
+                    true
+                }
+            },
+        };
+    }
+    match &mut items[idx] {
+        Item::Skip { body, .. } | Item::Loop { body, .. } | Item::Exec { body, .. } => {
+            apply(body, rest, reduction)
+        }
+        Item::Op(_) => unreachable!("paths only descend into blocks"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scratch_isa::{Instruction, Opcode, Operand};
+
+    fn op() -> Item {
+        Item::Op(
+            Instruction::new(
+                Opcode::VMovB32,
+                scratch_isa::Fields::Vop1 {
+                    vdst: 1,
+                    src0: Operand::Vgpr(2),
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn paths_enumerate_outermost_first() {
+        let items = vec![
+            op(),
+            Item::Loop {
+                trips: 2,
+                body: vec![op(), op()],
+            },
+        ];
+        let ps = paths(&items);
+        assert_eq!(ps, vec![vec![0], vec![1], vec![1, 0], vec![1, 1]],);
+    }
+
+    #[test]
+    fn delete_and_unwrap_reshape_the_tree() {
+        let mut items = vec![Item::Loop {
+            trips: 2,
+            body: vec![op(), op()],
+        }];
+        assert!(apply(&mut items, &[0, 1], Reduction::Delete));
+        assert_eq!(items[0].op_count(), 1);
+        assert!(apply(&mut items, &[0], Reduction::Unwrap));
+        assert!(matches!(items[0], Item::Op(_)));
+        assert!(!apply(&mut items, &[0], Reduction::Unwrap));
+    }
+}

@@ -1,0 +1,130 @@
+//! Self-contained divergence reports.
+//!
+//! A report carries everything needed to reproduce and debug a divergence
+//! away from the fuzzer that found it: the seed, the oracle, the first
+//! observed difference, the *minimized* kernel as SI assembly, and a
+//! cycle-attribution trace of the CU run (what the CU was doing when it
+//! went wrong, in the terms of the `scratch-trace` subsystem).
+
+use std::fmt::Write as _;
+
+use scratch_system::{System, SystemConfig, SystemKind, TraceMode};
+
+use crate::gen::GenKernel;
+use crate::oracle::OracleKind;
+
+/// A reproducible description of one divergence.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Generator seed that reproduces the original kernel.
+    pub seed: u64,
+    /// The oracle that disagreed.
+    pub oracle: OracleKind,
+    /// First observed difference (from the *original* kernel).
+    pub detail: String,
+    /// Op-leaf count of the original kernel body.
+    pub original_ops: usize,
+    /// Op-leaf count after minimization.
+    pub minimized_ops: usize,
+    /// Minimized kernel as SI assembly (empty if it fails to print —
+    /// itself a roundtrip bug the report will already describe).
+    pub assembly: String,
+    /// Stall-attribution lines from a traced CU run of the minimized
+    /// kernel, when the kernel still executes.
+    pub trace_lines: Vec<String>,
+}
+
+impl Divergence {
+    /// Assemble a report from the original and minimized kernels.
+    #[must_use]
+    pub fn new(
+        original: &GenKernel,
+        minimized: &GenKernel,
+        oracle: OracleKind,
+        detail: String,
+    ) -> Divergence {
+        let assembly = minimized
+            .build()
+            .ok()
+            .and_then(|k| k.disassemble().ok())
+            .unwrap_or_default();
+        Divergence {
+            seed: original.seed,
+            oracle,
+            detail,
+            original_ops: original.op_count(),
+            minimized_ops: minimized.op_count(),
+            assembly,
+            trace_lines: trace_of(minimized),
+        }
+    }
+
+    /// Render the report as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "divergence: oracle `{}` seed {:#018x}",
+            self.oracle, self.seed
+        );
+        let _ = writeln!(s, "  first difference: {}", self.detail);
+        let _ = writeln!(
+            s,
+            "  minimized: {} -> {} body ops",
+            self.original_ops, self.minimized_ops
+        );
+        let _ = writeln!(
+            s,
+            "  reproduce: scratch-tool fuzz --seed {:#x} --cases 1 --oracle {}",
+            self.seed, self.oracle
+        );
+        if !self.trace_lines.is_empty() {
+            let _ = writeln!(s, "  cu trace (minimized kernel):");
+            for line in &self.trace_lines {
+                let _ = writeln!(s, "    {line}");
+            }
+        }
+        if self.assembly.is_empty() {
+            let _ = writeln!(s, "  minimized kernel: <does not print>");
+        } else {
+            let _ = writeln!(s, "  minimized kernel:");
+            for line in self.assembly.lines() {
+                let _ = writeln!(s, "    {line}");
+            }
+        }
+        s
+    }
+}
+
+/// Run the minimized kernel once with summary tracing and return
+/// cycle-attribution lines; empty when the kernel no longer runs (the
+/// divergence may be a fault, which is fine — the report says so).
+fn trace_of(gk: &GenKernel) -> Vec<String> {
+    let Ok(kernel) = gk.build() else {
+        return Vec::new();
+    };
+    let config = SystemConfig::preset(SystemKind::DcdPm).with_trace(TraceMode::Summary);
+    let Ok(mut sys) = System::new(config, &kernel) else {
+        return Vec::new();
+    };
+    let out = sys.alloc(gk.out_bytes());
+    let inp = sys.alloc_words(&gk.image);
+    sys.set_args(&[out as u32, inp as u32]);
+    if sys.dispatch([gk.wgs, 1, 1]).is_err() {
+        return Vec::new();
+    }
+    let Some(trace) = sys.report().trace else {
+        return Vec::new();
+    };
+    let mut lines = vec![format!(
+        "cycles {} issued {}",
+        trace.cycles, trace.issued_cycles
+    )];
+    for (reason, cycles) in &trace.stalls {
+        if *cycles > 0 {
+            lines.push(format!("stall {}: {cycles}", reason.label()));
+        }
+    }
+    lines
+}

@@ -888,8 +888,11 @@ fn lanewise(op: Opcode, s: [u32; 3], acc: u32) -> u32 {
         VMax3I32 => ai.max(bi).max(c as i32) as u32,
         VMax3U32 => a.max(b).max(c),
         VMed3F32 => {
+            // NaN-safe median: f32::clamp panics when a bound is NaN, and
+            // lo/hi are NaN whenever src0 or src1 is. min/max propagate the
+            // non-NaN operand instead, matching the SI ALU's behaviour.
             let (lo, hi) = (fa.min(fbv), fa.max(fbv));
-            tb(fc.clamp(lo, hi))
+            tb(lo.max(hi.min(fc)))
         }
         VMed3I32 => {
             let ci = c as i32;

@@ -392,6 +392,23 @@ impl Opcode {
         self.format() == Format::Vopc
     }
 
+    /// `true` for `s_branch` and the conditional branches — the SOPP
+    /// opcodes whose `simm16` is a signed instruction-word displacement
+    /// rather than a plain immediate.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::SBranch
+                | Opcode::SCbranchScc0
+                | Opcode::SCbranchScc1
+                | Opcode::SCbranchVccz
+                | Opcode::SCbranchVccnz
+                | Opcode::SCbranchExecz
+                | Opcode::SCbranchExecnz
+        )
+    }
+
     /// Width, in 32-bit words, of the *scalar destination* register group
     /// (1 for most, 2 for `B64` results and `dwordx2`, 4 for `dwordx4`).
     #[must_use]

@@ -10,6 +10,7 @@
 //! scratch-tool run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]
 //!                       [--jobs N]
 //! scratch-tool trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]
+//! scratch-tool fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|all]
 //! ```
 //!
 //! `run` launches the kernel with one argument: the address of a scratch
@@ -18,10 +19,19 @@
 //! compute units across N worker threads (default: one per available
 //! core); the simulated cycle counts and outputs are bit-identical for
 //! any N.
+//!
+//! `fuzz` runs the differential conformance campaign from `scratch-check`:
+//! seeded random kernels checked by four oracles (CU vs lockstep reference
+//! interpreter, trimmed vs untrimmed CU, serial vs multi-worker dispatch,
+//! assembler/disassembler round-trip). Any divergence is minimized and
+//! printed as a self-contained repro; the exit code is non-zero if any
+//! oracle disagrees. `--seed` accepts decimal or `0x...` hex, so the
+//! `reproduce:` line of a report can be pasted back verbatim.
 
 use std::process::ExitCode;
 
 use scratch::asm::{assemble, Kernel};
+use scratch::check::{fuzz, FuzzConfig, OracleKind};
 use scratch::core::Scratch;
 use scratch::fpga::ParallelPlan;
 use scratch::isa::FuncUnit;
@@ -269,6 +279,53 @@ fn real_main() -> Result<(), String> {
             }
             Ok(())
         }
+        "fuzz" => {
+            let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
+                match args
+                    .iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| args.get(i + 1))
+                {
+                    None => Ok(default),
+                    Some(v) => {
+                        let parsed = match v.strip_prefix("0x") {
+                            Some(hex) => u64::from_str_radix(hex, 16),
+                            None => v.parse(),
+                        };
+                        parsed.map_err(|_| format!("{flag}: `{v}` is not a number"))
+                    }
+                }
+            };
+            let seed = parse_u64("--seed", 0)?;
+            let cases = parse_u64("--cases", 100)?;
+            let oracles = match args
+                .iter()
+                .position(|a| a == "--oracle")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+            {
+                None | Some("all") => OracleKind::ALL.to_vec(),
+                Some(name) => vec![OracleKind::parse(name)
+                    .ok_or_else(|| format!("unknown oracle `{name}` (see `scratch-tool help`)"))?],
+            };
+            let report = fuzz(&FuzzConfig {
+                seed,
+                cases,
+                oracles,
+                ..FuzzConfig::default()
+            });
+            println!("{}", report.summary());
+            for d in &report.divergences {
+                println!("\n{}", d.render());
+            }
+            if report.skipped > 0 {
+                return Err(format!("{} cases failed to assemble", report.skipped));
+            }
+            if !report.divergences.is_empty() {
+                return Err(format!("{} divergences found", report.divergences.len()));
+            }
+            Ok(())
+        }
         _ => {
             println!(
                 "scratch-tool — SCRATCH soft-GPGPU toolchain\n\
@@ -283,7 +340,10 @@ fn real_main() -> Result<(), String> {
                  \x20                            core; results are bit-identical for any N)\n\
                  \x20 trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]\n\
                  \x20                                   cycle-attribution summary + Chrome trace.json\n\
-                 \x20                                   (default workload: Matrix Add INT32 + SP FP)"
+                 \x20                                   (default workload: Matrix Add INT32 + SP FP)\n\
+                 \x20 fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|all]\n\
+                 \x20                                   differential conformance campaign; prints a\n\
+                 \x20                                   minimized repro for any divergence"
             );
             Ok(())
         }

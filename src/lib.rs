@@ -17,12 +17,16 @@
 //! * [`engine`] — parallel multi-CU execution engine and deterministic
 //!   batch scheduler (worker pools, job queues, panic isolation);
 //! * [`kernels`] — the paper's 17-application benchmark suite;
+//! * [`check`] — differential conformance and fuzzing (random-kernel
+//!   generator, lockstep reference interpreter, cross-configuration
+//!   oracles, divergence minimizer);
 //! * [`trace`] — cycle-attribution and event-tracing subsystem (stall
 //!   taxonomy, Chrome `trace_event` export).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
 pub use scratch_asm as asm;
+pub use scratch_check as check;
 pub use scratch_core as core;
 pub use scratch_cu as cu;
 pub use scratch_engine as engine;

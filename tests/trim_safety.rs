@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use scratch::asm::{Kernel, KernelBuilder};
 use scratch::core::{configure, trim_kernel};
-use scratch::fpga::ParallelPlan;
+use scratch::fpga::{cu_resources, CuShape, ParallelPlan};
 use scratch::isa::{Opcode, Operand};
 use scratch::system::{System, SystemConfig, SystemKind};
 
@@ -146,6 +146,46 @@ proptest! {
         prop_assert!(
             err.contains("trimmed") || err.contains("unit"),
             "unexpected error: {}", err
+        );
+    }
+
+    /// Trimming is monotone: adding instructions to a kernel never shrinks
+    /// the trim set, and never shrinks the modelled FPGA resource cost of
+    /// the trimmed CU. (If this broke, growing an application could
+    /// silently drop hardware it still needs.)
+    #[test]
+    fn trimming_is_monotone(base in arb_program(), extra in arb_program()) {
+        let mut extended = base.clone();
+        extended.steps.extend(extra.steps.iter().cloned());
+
+        let small = trim_kernel(&build(&base)).unwrap();
+        let large = trim_kernel(&build(&extended)).unwrap();
+
+        // Trim-set monotonicity: everything the base kernel keeps, the
+        // extended kernel keeps too.
+        for op in small.kept.iter() {
+            prop_assert!(
+                large.kept.contains(op),
+                "extending the kernel dropped {} from the trim set",
+                op.mnemonic()
+            );
+        }
+
+        // Resource-cost monotonicity, component-wise on the additive model.
+        let shape = |kept: Vec<Opcode>, fp: bool| CuShape {
+            kept,
+            int_valus: 1,
+            fp_valus: u8::from(fp),
+            datapath_bits: 32,
+        };
+        let small_cost = cu_resources(&shape(small.kept.iter().collect(), small.uses_fp));
+        let large_cost = cu_resources(&shape(large.kept.iter().collect(), large.uses_fp));
+        prop_assert!(
+            small_cost.ff <= large_cost.ff
+                && small_cost.lut <= large_cost.lut
+                && small_cost.dsp <= large_cost.dsp
+                && small_cost.bram <= large_cost.bram,
+            "resource cost shrank: {small_cost:?} -> {large_cost:?}"
         );
     }
 
