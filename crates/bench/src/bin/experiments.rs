@@ -16,11 +16,11 @@
 
 use std::fmt::Write as _;
 
-use scratch_bench::{ablation, fig4, fig6, fig7, headline, sec41, stalls, Scale};
+use scratch_bench::{ablation, fig4, fig6, fig7, headline, sec41, stalls, util, Scale};
 use scratch_isa::Category;
 
 const USAGE: &str = "\
-usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|trace|ablations|all]
+usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|trace|ablations|all]
                    [--quick] [--jobs N] [--json <path>]
 
   --quick        CI-sized workloads (default: the paper's sizes)
@@ -115,6 +115,16 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("fig7 failed: {e}"),
+        }
+    }
+
+    if run("util") {
+        match util::utilization(scale) {
+            Ok(rows) => {
+                print_util(&rows);
+                json.insert("util".into(), serde_json::to_value(&rows).unwrap());
+            }
+            Err(e) => eprintln!("util failed: {e}"),
         }
     }
 
@@ -251,6 +261,29 @@ fn print_stalls(rows: &[stalls::StallRow]) {
         );
         for r in StallReason::ALL {
             write!(line, "{:>15}", row.stall_cycles(r)).unwrap();
+        }
+        println!("{line}");
+    }
+}
+
+fn print_util(rows: &[util::UtilRow]) {
+    use scratch_isa::FuncUnit;
+    hr("Per-kernel utilisation — DCD+PM baseline (metrics-plane aggregates)");
+    let mut head = format!(
+        "{:30} {:>10} {:>12} {:>7} {:>8}",
+        "benchmark", "cycles", "instrs", "IPC", "mem/cyc"
+    );
+    for u in FuncUnit::ALL {
+        write!(head, "{:>8}%", u.label()).unwrap();
+    }
+    println!("{head}");
+    for row in rows {
+        let mut line = format!(
+            "{:30} {:>10} {:>12} {:>7.3} {:>8.4}",
+            row.name, row.cycles, row.instructions, row.ipc, row.mem_ops_per_cycle
+        );
+        for p in &row.occupancy_percent {
+            write!(line, "{p:>9.1}").unwrap();
         }
         println!("{line}");
     }

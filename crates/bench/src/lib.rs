@@ -13,6 +13,7 @@
 //! | [`headline`] | Abstract — aggregate speedup / IPJ gains |
 //! | [`ablation`] | Design-choice studies: occupancy, VALU scaling, prefetch capacity, bit-width, per-kernel reconfiguration (§4.3) |
 //! | [`stalls`] | Cycle-attribution profiles from the `scratch-trace` subsystem |
+//! | [`util`] | Per-kernel utilisation (IPC, FU occupancy, memory pressure) from the metrics plane |
 //!
 //! The `experiments` binary prints each as an aligned text table and can
 //! emit JSON for regeneration of `EXPERIMENTS.md`.
@@ -28,5 +29,6 @@ pub mod headline;
 pub mod runner;
 pub mod sec41;
 pub mod stalls;
+pub mod util;
 
 pub use runner::{engine_map, Scale};

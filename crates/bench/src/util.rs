@@ -1,0 +1,139 @@
+//! Per-kernel utilisation report: IPC, functional-unit occupancy and
+//! memory pressure of every evaluated benchmark under the paper's DCD+PM
+//! baseline.
+//!
+//! This is the table the always-on metrics plane summarises one run at a
+//! time (`scratch-tool run --metrics`); here the same aggregates are
+//! collected for the whole Fig. 6/7 benchmark set so utilisation can be
+//! compared across kernels — the application-awareness argument of the
+//! paper in instrument form: kernels that never touch a unit (occupancy
+//! 0%) are exactly the trimming opportunities of §3.
+//!
+//! The occupancy denominator counts every instance of a unit class
+//! (`cycles × instances`), so a 4-iVALU configuration at 25% has the same
+//! busy-cycle volume as a 1-iVALU configuration at 100%.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_isa::FuncUnit;
+use scratch_kernels::BenchError;
+use scratch_system::{CuStats, SystemConfig, SystemKind};
+
+use crate::runner::{fig6_set, Scale};
+
+/// Utilisation of one benchmark under one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UtilRow {
+    /// Benchmark name.
+    pub name: String,
+    /// CU cycles of the run.
+    pub cycles: u64,
+    /// Dynamic instructions issued.
+    pub instructions: u64,
+    /// Instructions per cycle (wavefront granularity).
+    pub ipc: f64,
+    /// Memory operations (vector + scalar) per cycle.
+    pub mem_ops_per_cycle: f64,
+    /// Busy percentage per functional-unit class, in [`FuncUnit::ALL`]
+    /// order, over all instances of the class.
+    pub occupancy_percent: Vec<f64>,
+}
+
+impl UtilRow {
+    /// Occupancy percentage of `unit` (0 when the class was never busy).
+    #[must_use]
+    pub fn occupancy(&self, unit: FuncUnit) -> f64 {
+        let idx = FuncUnit::ALL
+            .iter()
+            .position(|&u| u == unit)
+            .expect("FuncUnit::ALL is exhaustive");
+        self.occupancy_percent.get(idx).copied().unwrap_or(0.0)
+    }
+}
+
+/// Busy percentage of every unit class from merged statistics, given the
+/// configuration that produced them (for the instance counts).
+#[must_use]
+pub fn occupancy_percent(stats: &CuStats, config: &SystemConfig) -> Vec<f64> {
+    FuncUnit::ALL
+        .iter()
+        .map(|&u| {
+            let per_cu = match u {
+                FuncUnit::Simd => u64::from(config.cu.int_valus),
+                FuncUnit::Simf => u64::from(config.cu.fp_valus),
+                FuncUnit::Salu | FuncUnit::Lsu | FuncUnit::Branch => 1,
+            };
+            let denom = stats.cycles * per_cu * u64::from(config.cus);
+            let busy = stats.fu_busy.get(&u).copied().unwrap_or(0);
+            if denom == 0 {
+                0.0
+            } else {
+                busy as f64 / denom as f64 * 100.0
+            }
+        })
+        .collect()
+}
+
+/// Run every Fig. 6 benchmark under the DCD+PM baseline and report its
+/// utilisation.
+///
+/// # Errors
+///
+/// Propagates kernel-construction and simulation failures.
+pub fn utilization(scale: Scale) -> Result<Vec<UtilRow>, BenchError> {
+    let benches = fig6_set(scale);
+    let mut rows = Vec::with_capacity(benches.len());
+    for bench in &benches {
+        let config = SystemConfig::preset(SystemKind::DcdPm);
+        let report = bench.run(config.clone())?;
+        rows.push(UtilRow {
+            name: bench.name(),
+            cycles: report.stats.cycles,
+            instructions: report.stats.instructions,
+            ipc: report.stats.ipc(),
+            mem_ops_per_cycle: report.stats.mem_ops_per_cycle(),
+            occupancy_percent: occupancy_percent(&report.stats, &config),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_covers_the_fig6_set() {
+        let rows = utilization(Scale::Quick).unwrap();
+        assert_eq!(rows.len(), 17);
+        for row in &rows {
+            assert!(row.cycles > 0, "{}", row.name);
+            assert!(
+                row.ipc > 0.0 && row.ipc <= 4.0,
+                "{}: ipc {}",
+                row.name,
+                row.ipc
+            );
+            assert_eq!(row.occupancy_percent.len(), FuncUnit::ALL.len());
+            for (&u, &p) in FuncUnit::ALL.iter().zip(&row.occupancy_percent) {
+                assert!(
+                    (0.0..=100.0).contains(&p),
+                    "{}: {} occupancy {p}%",
+                    row.name,
+                    u.label()
+                );
+            }
+            // Every kernel at least fetches and retires through the branch
+            // unit (s_endpgm) and issues some work.
+            assert!(row.instructions > 0, "{}", row.name);
+        }
+        // The integer Matrix Add never touches the FP pipeline — a
+        // trimming opportunity the occupancy column makes visible.
+        let int_add = rows
+            .iter()
+            .find(|r| r.name.contains("Matrix Add") && r.name.contains("INT32"))
+            .expect("the fig6 set contains the INT32 Matrix Add");
+        assert_eq!(int_add.occupancy(FuncUnit::Simf), 0.0);
+        assert!(int_add.occupancy(FuncUnit::Simd) > 0.0);
+    }
+}

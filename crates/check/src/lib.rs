@@ -109,6 +109,20 @@ impl FuzzReport {
 /// each, and minimize whatever diverges.
 #[must_use]
 pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
+    let registry = scratch_metrics::global();
+    let m_cases = registry.counter("scratch_check_cases_total", "Fuzz cases generated");
+    let m_checks = registry.counter(
+        "scratch_check_oracle_checks_total",
+        "Oracle checks performed",
+    );
+    let m_skipped = registry.counter(
+        "scratch_check_skipped_total",
+        "Fuzz cases skipped (kernel did not assemble)",
+    );
+    let m_divergences = registry.counter(
+        "scratch_check_divergences_total",
+        "Divergences found between the simulator and an oracle",
+    );
     let mut report = FuzzReport {
         cases: 0,
         checks: 0,
@@ -118,12 +132,21 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
     for i in 0..config.cases {
         let gk = GenKernel::generate(config.seed.wrapping_add(i));
         report.cases += 1;
+        m_cases.inc();
         for &oracle in &config.oracles {
             match check_with_bug(oracle, &gk, config.bug) {
-                Outcome::Agree => report.checks += 1,
-                Outcome::Skip(_) => report.skipped += 1,
+                Outcome::Agree => {
+                    report.checks += 1;
+                    m_checks.inc();
+                }
+                Outcome::Skip(_) => {
+                    report.skipped += 1;
+                    m_skipped.inc();
+                }
                 Outcome::Diverge(detail) => {
                     report.checks += 1;
+                    m_checks.inc();
+                    m_divergences.inc();
                     let minimized = minimize(&gk, oracle, config.bug);
                     report
                         .divergences

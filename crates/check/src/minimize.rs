@@ -22,6 +22,10 @@ use crate::oracle::{check_with_bug, OracleKind};
 /// returned unchanged.
 #[must_use]
 pub fn minimize(gk: &GenKernel, oracle: OracleKind, bug: InjectedBug) -> GenKernel {
+    let steps = scratch_metrics::global().counter(
+        "scratch_check_minimizer_steps_total",
+        "Candidate oracle runs performed while minimizing divergences",
+    );
     let mut current = gk.clone();
     if !check_with_bug(oracle, &current, bug).is_divergence() {
         return current;
@@ -34,6 +38,7 @@ pub fn minimize(gk: &GenKernel, oracle: OracleKind, bug: InjectedBug) -> GenKern
                 if !apply(&mut candidate.body, &path, reduction) {
                     continue;
                 }
+                steps.inc();
                 if check_with_bug(oracle, &candidate, bug).is_divergence() {
                     current = candidate;
                     improved = true;

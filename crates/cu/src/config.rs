@@ -96,6 +96,11 @@ pub struct CuConfig {
     pub trim: Option<TrimSet>,
     /// Upper bound on simulated cycles (deadlock/runaway protection).
     pub cycle_limit: u64,
+    /// Keep the always-on metrics aggregates (stall-reason cycle counters
+    /// feeding [`CuStats::stall_cycles`](crate::CuStats)). On by default —
+    /// the accounting is a few array adds per scheduling decision — and
+    /// only turned off by the overhead benchmarks that measure that cost.
+    pub metrics: bool,
 }
 
 impl Default for CuConfig {
@@ -108,6 +113,7 @@ impl Default for CuConfig {
             latencies: Latencies::default(),
             trim: None,
             cycle_limit: 4_000_000_000,
+            metrics: true,
         }
     }
 }

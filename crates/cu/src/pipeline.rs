@@ -301,6 +301,14 @@ pub struct ComputeUnit {
     stats: CuStats,
     /// Tracing state; `None` keeps the scheduler on its untraced fast path.
     trace: Option<Box<CuTrace>>,
+    /// Waves that issued this scheduling decision (the arbiter starts at
+    /// most one instruction per issue class per cycle, hence 4 slots).
+    /// Maintained only when `config.metrics` is on.
+    issued_now: [usize; 4],
+    issued_count: u8,
+    /// Always-on stall aggregation, indexed by `StallReason as usize`;
+    /// folded into [`CuStats::stall_cycles`] when a batch completes.
+    stall_acc: [u64; StallReason::ALL.len()],
 }
 
 impl ComputeUnit {
@@ -332,6 +340,9 @@ impl ComputeUnit {
             now: 0,
             stats: CuStats::default(),
             trace: None,
+            issued_now: [0; 4],
+            issued_count: 0,
+            stall_acc: [0; StallReason::ALL.len()],
         })
     }
 
@@ -513,6 +524,9 @@ impl ComputeUnit {
             if self.trace.is_some() {
                 self.attribute_interval(t0, t1);
             }
+            if self.config.metrics {
+                self.account_stalls(t0, t1);
+            }
             self.now = t1;
         }
         if let Some(tr) = &mut self.trace {
@@ -521,8 +535,41 @@ impl ComputeUnit {
             }
             tr.attr.end_run(self.now);
         }
+        for (i, &reason) in StallReason::ALL.iter().enumerate() {
+            if self.stall_acc[i] > 0 {
+                *self.stats.stall_cycles.entry(reason).or_default() += self.stall_acc[i];
+                self.stall_acc[i] = 0;
+            }
+        }
         self.stats.cycles = self.now;
         Ok(self.now - start)
+    }
+
+    /// The always-on counterpart of [`ComputeUnit::attribute_interval`]:
+    /// charge the decision interval `[t0, t1)` to a fixed per-reason
+    /// accumulator instead of per-wave timelines. Same reason priority,
+    /// no allocation, no event assembly — cheap enough to stay enabled
+    /// (`CuConfig::metrics`). Early-retired waves' idle slot cycles count
+    /// as [`StallReason::WavepoolEmpty`], matching the attribution
+    /// engine's batch-end accounting.
+    fn account_stalls(&mut self, t0: u64, t1: u64) {
+        let dt = t1 - t0;
+        let issued = &self.issued_now[..usize::from(self.issued_count)];
+        for (wi, w) in self.waves.iter().enumerate() {
+            if issued.contains(&wi) {
+                continue; // the issue cycle is not a stall
+            }
+            let reason = if w.state == WaveState::Done {
+                StallReason::WavepoolEmpty
+            } else if w.state == WaveState::AtBarrier {
+                StallReason::Barrier
+            } else if w.next_ready > t0 {
+                w.wait_reason
+            } else {
+                StallReason::StructuralFu
+            };
+            self.stall_acc[reason as usize] += dt;
+        }
     }
 
     /// Charge the decision interval `[t0, t1)` to every live wavefront:
@@ -586,6 +633,7 @@ impl ComputeUnit {
         if let Some(tr) = &mut self.trace {
             tr.issued_now.clear();
         }
+        self.issued_count = 0;
         // Structured events are only worth assembling with a sink attached.
         let emit = self.trace.as_ref().is_some_and(|tr| tr.sink.is_some());
         for i in 0..n {
@@ -638,7 +686,7 @@ impl ComputeUnit {
                 let lgkm_target = u32::from((simm16 >> 8) & 0x1f);
                 let ready = self.waves[wi].waitcnt_ready_at(vm_target, lgkm_target);
                 if ready > self.now {
-                    if self.trace.is_some() {
+                    if self.trace.is_some() || self.config.metrics {
                         // Which counter gates the wait? Query each alone
                         // (the other target relaxed to "any") and blame
                         // the one that matches the combined ready time.
@@ -684,6 +732,10 @@ impl ComputeUnit {
             self.rr = (wi + 1) % n;
             if let Some(tr) = &mut self.trace {
                 tr.issued_now.push(wi);
+            }
+            if self.config.metrics {
+                self.issued_now[usize::from(self.issued_count)] = wi;
+                self.issued_count += 1;
             }
             let beats = self.config.vector_beats();
             // SIMD datapaths are pipelined (one beat per cycle); the SIMF

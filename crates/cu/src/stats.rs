@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use scratch_isa::{Category, DataType, FuncUnit, Opcode};
+use scratch_trace::StallReason;
 
 /// Dynamic per-opcode execution counts.
 pub type OpcodeHistogram = BTreeMap<Opcode, u64>;
@@ -40,6 +41,12 @@ pub struct CuStats {
     pub barriers: u64,
     /// Wavefronts that ran to `s_endpgm`.
     pub wavefronts_retired: u64,
+    /// Wavefront-cycles that did not issue, by reason — the cheap
+    /// always-on aggregate of the trace crate's stall taxonomy. Collected
+    /// whenever [`CuConfig::metrics`](crate::CuConfig) is on (the
+    /// default); empty otherwise. Unlike a full trace this keeps no
+    /// per-wave timeline, just totals.
+    pub stall_cycles: BTreeMap<StallReason, u64>,
 }
 
 impl CuStats {
@@ -79,6 +86,36 @@ impl CuStats {
         self.lds_ops += other.lds_ops;
         self.barriers += other.barriers;
         self.wavefronts_retired += other.wavefronts_retired;
+        for (&r, &n) in &other.stall_cycles {
+            *self.stall_cycles.entry(r).or_default() += n;
+        }
+    }
+
+    /// Instructions per cycle (wavefront granularity); zero before any
+    /// cycle has been simulated.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Memory operations (vector + scalar) per cycle.
+    #[must_use]
+    pub fn mem_ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.vector_mem_ops + self.scalar_mem_ops) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total stalled wavefront-cycles across every reason.
+    #[must_use]
+    pub fn stall_total(&self) -> u64 {
+        self.stall_cycles.values().sum()
     }
 
     /// Dynamic instruction counts grouped by `(unit, category, data type)`.
@@ -146,12 +183,15 @@ mod tests {
         a.record_busy(FuncUnit::Simd, 4);
         a.cycles = 120;
         a.branches_taken = 3;
+        a.stall_cycles.insert(StallReason::FetchStarve, 10);
         let mut b = CuStats::default();
         b.record_issue(Opcode::VAddI32, 32);
         b.record_busy(FuncUnit::Simd, 8);
         b.record_busy(FuncUnit::Salu, 1);
         b.cycles = 90;
         b.vector_mem_ops = 7;
+        b.stall_cycles.insert(StallReason::FetchStarve, 5);
+        b.stall_cycles.insert(StallReason::Barrier, 2);
         let mut c = CuStats::default();
         c.record_issue(Opcode::VMulF32, 16);
         c.record_busy(FuncUnit::Simf, 40);
@@ -179,6 +219,10 @@ mod tests {
         assert_eq!(ab_c.fu_busy[&FuncUnit::Simf], 40);
         assert_eq!(ab_c.cycles, 200);
         assert_eq!(ab_c.work_item_ops, 64 + 1 + 32 + 16);
+        // Stall aggregates accumulate per reason.
+        assert_eq!(ab_c.stall_cycles[&StallReason::FetchStarve], 15);
+        assert_eq!(ab_c.stall_cycles[&StallReason::Barrier], 2);
+        assert_eq!(ab_c.stall_total(), 17);
     }
 
     #[test]

@@ -138,6 +138,33 @@ proptest! {
         prop_assert_eq!(resident + tail, waves as u64 * cu.now());
     }
 
+    /// The always-on metrics aggregates (`CuStats::stall_cycles`) are a
+    /// cheap re-derivation of what the attribution engine computes
+    /// exactly: per CU-resident reason the two must agree to the cycle.
+    #[test]
+    fn metrics_aggregates_match_trace_attribution(
+        steps in arb_steps(),
+        waves in 1usize..6,
+        int_valus in 1u8..4,
+        latency in prop::sample::select(vec![0u64, 3, 50, 300]),
+    ) {
+        let kernel = build_kernel(&steps);
+        let config = CuConfig { int_valus, ..CuConfig::default() };
+        let cu = run(&kernel, &config, waves, latency, Sink::Summary);
+        let summary = cu.trace_summary().expect("tracing was enabled");
+        for r in StallReason::ALL {
+            if r == StallReason::MemoryQueue {
+                continue; // accounted at the system's memory server, not per CU
+            }
+            prop_assert_eq!(
+                cu.stats().stall_cycles.get(&r).copied().unwrap_or(0),
+                summary.stall_cycles(r),
+                "stall reason {}",
+                r
+            );
+        }
+    }
+
     #[test]
     fn tracer_does_not_change_simulation(
         steps in arb_steps(),

@@ -4,11 +4,13 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use scratch_metrics::{Counter, Gauge, Histogram, Registry};
 use scratch_system::SystemError;
 
 use crate::default_workers;
@@ -51,6 +53,35 @@ impl From<SystemError> for JobError {
     }
 }
 
+/// When a job passed through the pool, stamped from the engine's logical
+/// clock — a shared monotonic counter that ticks once per queue event, not
+/// wall time, so stamps stay meaningful under any scheduler and never make
+/// batch results depend on host speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Tick at which the job was submitted to the queue.
+    pub enqueued: u64,
+    /// Tick at which a worker picked the job up.
+    pub started: u64,
+    /// Tick at which the job's work returned (or its panic was caught).
+    pub finished: u64,
+}
+
+impl JobTiming {
+    /// Ticks the job sat queued before a worker picked it up.
+    #[must_use]
+    pub fn wait_ticks(&self) -> u64 {
+        self.started - self.enqueued
+    }
+
+    /// Ticks between pickup and completion (queue events that happened
+    /// while the job ran — a congestion measure, not a duration).
+    #[must_use]
+    pub fn run_ticks(&self) -> u64 {
+        self.finished - self.started
+    }
+}
+
 /// The completed result of one job: which job it was, what it produced
 /// (or how it failed), and how long it ran on its worker.
 #[derive(Debug)]
@@ -63,11 +94,14 @@ pub struct JobOutcome<T> {
     pub result: Result<T, JobError>,
     /// Wall-clock time the job spent executing on its worker.
     pub wall: Duration,
+    /// Logical-clock stamps of the job's path through the queue.
+    pub timing: JobTiming,
 }
 
 struct Job<T> {
     id: u64,
     label: String,
+    enqueued: u64,
     #[allow(clippy::type_complexity)]
     work: Box<dyn FnOnce() -> Result<T, JobError> + Send>,
 }
@@ -80,6 +114,61 @@ struct State<T> {
 struct Shared<T> {
     state: Mutex<State<T>>,
     available: Condvar,
+    /// The pool's logical clock: ticks once per queue event (submit,
+    /// pickup, completion). See [`JobTiming`].
+    clock: AtomicU64,
+    /// Registry handles; `None` when the engine's metrics plane is off.
+    metrics: Option<EngineMetrics>,
+}
+
+impl<T> Shared<T> {
+    /// Advance the logical clock and return the new stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// The pool's handles into its metrics registry.
+struct EngineMetrics {
+    submitted: Counter,
+    completed: Counter,
+    panicked: Counter,
+    queue_depth: Gauge,
+    busy_workers: Gauge,
+    wait_ticks: Histogram,
+    run_ticks: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            submitted: registry.counter("scratch_engine_jobs_submitted_total", "Jobs queued"),
+            completed: registry.counter(
+                "scratch_engine_jobs_completed_total",
+                "Jobs whose outcome was produced (including failures)",
+            ),
+            panicked: registry.counter(
+                "scratch_engine_jobs_panicked_total",
+                "Jobs that panicked and were isolated by the pool",
+            ),
+            queue_depth: registry.gauge(
+                "scratch_engine_queue_depth",
+                "Jobs waiting in the queue right now",
+            ),
+            busy_workers: registry.gauge(
+                "scratch_engine_busy_workers",
+                "Workers currently executing a job",
+            ),
+            wait_ticks: registry.histogram(
+                "scratch_engine_job_wait_ticks",
+                "Logical-clock ticks jobs sat queued before pickup",
+            ),
+            run_ticks: registry.histogram(
+                "scratch_engine_job_run_ticks",
+                "Logical-clock ticks between job pickup and completion",
+            ),
+        }
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -106,9 +195,24 @@ fn worker_loop<T>(shared: &Shared<T>, results: &Sender<JobOutcome<T>>) {
                 st = shared.available.wait(st).expect("engine state lock");
             }
         };
+        let started_tick = shared.tick();
+        if let Some(m) = &shared.metrics {
+            m.queue_depth.dec();
+            m.busy_workers.inc();
+            m.wait_ticks.observe(started_tick - job.enqueued);
+        }
         let started = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(job.work))
             .unwrap_or_else(|payload| Err(JobError::Panicked(panic_message(payload))));
+        let finished_tick = shared.tick();
+        if let Some(m) = &shared.metrics {
+            m.busy_workers.dec();
+            m.completed.inc();
+            if matches!(result, Err(JobError::Panicked(_))) {
+                m.panicked.inc();
+            }
+            m.run_ticks.observe(finished_tick - started_tick);
+        }
         // A send failure means the handle (and its receiver) is gone —
         // nobody wants the outcome anymore.
         let _ = results.send(JobOutcome {
@@ -116,6 +220,11 @@ fn worker_loop<T>(shared: &Shared<T>, results: &Sender<JobOutcome<T>>) {
             label: job.label,
             result,
             wall: started.elapsed(),
+            timing: JobTiming {
+                enqueued: job.enqueued,
+                started: started_tick,
+                finished: finished_tick,
+            },
         });
     }
 }
@@ -126,14 +235,17 @@ fn worker_loop<T>(shared: &Shared<T>, results: &Sender<JobOutcome<T>>) {
 /// simulator runs at once. (Intra-run parallelism over a single dispatch's
 /// CUs is the simulator's own `SystemConfig::with_workers` knob; both
 /// layers are deterministic, so composing them never changes results.)
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     workers: usize,
+    metrics: bool,
+    registry: Option<Registry>,
 }
 
 impl Engine {
     /// An engine with `workers` pool threads; `0` means one per available
-    /// core ([`default_workers`]).
+    /// core ([`default_workers`]). The metrics plane is on, publishing to
+    /// the process-global registry.
     #[must_use]
     pub fn new(workers: usize) -> Engine {
         Engine {
@@ -142,6 +254,8 @@ impl Engine {
             } else {
                 workers
             },
+            metrics: true,
+            registry: None,
         }
     }
 
@@ -151,16 +265,42 @@ impl Engine {
         self.workers
     }
 
+    /// Builder-style switch for the pool's metrics (queue-depth and
+    /// busy-worker gauges, job counters, wait/run histograms). On by
+    /// default.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: bool) -> Engine {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Publish into `registry` instead of the process-global
+    /// [`scratch_metrics::global`] registry (hermetic tests).
+    #[must_use]
+    pub fn with_registry(mut self, registry: Registry) -> Engine {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Spin up the worker pool and return the handle jobs are submitted
     /// through.
     #[must_use]
     pub fn start<T: Send + 'static>(&self) -> EngineHandle<T> {
+        let metrics = self.metrics.then(|| {
+            let registry = self
+                .registry
+                .clone()
+                .unwrap_or_else(|| scratch_metrics::global().clone());
+            EngineMetrics::new(&registry)
+        });
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             available: Condvar::new(),
+            clock: AtomicU64::new(0),
+            metrics,
         });
         let (tx, rx) = channel();
         let threads = (0..self.workers)
@@ -228,11 +368,17 @@ impl<T: Send + 'static> EngineHandle<T> {
     {
         let id = self.submitted;
         self.submitted += 1;
+        let enqueued = self.shared.tick();
+        if let Some(m) = &self.shared.metrics {
+            m.submitted.inc();
+            m.queue_depth.inc();
+        }
         {
             let mut st = self.shared.state.lock().expect("engine state lock");
             st.jobs.push_back(Job {
                 id,
                 label: label.into(),
+                enqueued,
                 work: Box::new(work),
             });
         }

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use scratch_asm::KernelBuilder;
 use scratch_engine::{default_workers, Engine, JobError, KernelJob};
+use scratch_metrics::Registry;
 use scratch_system::{SystemConfig, SystemError, SystemKind};
 
 fn noop_kernel() -> scratch_asm::Kernel {
@@ -101,6 +102,74 @@ fn zero_workers_means_one_per_core() {
     // And the pool actually runs jobs.
     let outcomes = engine.run_batch([("probe", || Ok(7u8))]);
     assert_eq!(outcomes[0].result, Ok(7));
+}
+
+#[test]
+fn job_timing_stamps_are_ordered_and_distinct() {
+    // One worker, FIFO queue: every job's stamps are strictly ordered on
+    // the pool's logical clock, and the second job is enqueued before the
+    // first finishes (it waits in the queue).
+    let outcomes = Engine::new(1).run_batch((0..3u64).map(|i| (format!("t-{i}"), move || Ok(i))));
+    for o in &outcomes {
+        assert!(o.timing.enqueued < o.timing.started, "{:?}", o.timing);
+        assert!(o.timing.started < o.timing.finished, "{:?}", o.timing);
+        assert_eq!(
+            o.timing.wait_ticks() + o.timing.run_ticks(),
+            o.timing.finished - o.timing.enqueued
+        );
+    }
+    // FIFO on one worker: pickup order matches submission order.
+    assert!(outcomes[0].timing.started < outcomes[1].timing.started);
+    assert!(outcomes[1].timing.started < outcomes[2].timing.started);
+    // Jobs 1 and 2 were queued while job 0 ran, so they waited.
+    assert!(outcomes[2].timing.wait_ticks() > 0);
+}
+
+#[test]
+fn pool_metrics_count_jobs_and_panics() {
+    let registry = Registry::new();
+    let outcomes = Engine::new(2)
+        .with_registry(registry.clone())
+        .run_batch((0..5u32).map(|i| {
+            (format!("m-{i}"), move || {
+                if i == 3 {
+                    panic!("boom {i}");
+                }
+                Ok(i)
+            })
+        }));
+    assert_eq!(outcomes.len(), 5);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("scratch_engine_jobs_submitted_total", &[]),
+        Some(5)
+    );
+    assert_eq!(
+        snap.counter("scratch_engine_jobs_completed_total", &[]),
+        Some(5)
+    );
+    assert_eq!(
+        snap.counter("scratch_engine_jobs_panicked_total", &[]),
+        Some(1)
+    );
+    // The batch drained: both gauges are back to zero.
+    assert_eq!(snap.gauge("scratch_engine_queue_depth", &[]), Some(0.0));
+    assert_eq!(snap.gauge("scratch_engine_busy_workers", &[]), Some(0.0));
+    let wait = snap
+        .histogram("scratch_engine_job_wait_ticks", &[])
+        .expect("wait histogram registered");
+    assert_eq!(wait.count(), 5);
+}
+
+#[test]
+fn metrics_off_registers_nothing() {
+    let registry = Registry::new();
+    let outcomes = Engine::new(1)
+        .with_registry(registry.clone())
+        .with_metrics(false)
+        .run_batch([("quiet", || Ok(1u8))]);
+    assert_eq!(outcomes[0].result, Ok(1));
+    assert_eq!(registry.snapshot().families.len(), 0);
 }
 
 #[test]

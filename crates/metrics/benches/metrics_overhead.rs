@@ -1,0 +1,101 @@
+//! Cycle-loop overhead of the always-on metrics plane.
+//!
+//! The whole point of `scratch-metrics` is that it never gets turned
+//! off, so the cost of the per-decision stall accounting in the CU
+//! scheduler (plus the per-dispatch registry flush) must be in the
+//! noise: the tentpole acceptance bar is <2% versus the same run with
+//! `SystemConfig::with_metrics(false)`. CI runs this in quick mode and
+//! enforces a 5% ceiling via the `overhead_gate` test.
+//!
+//! Two workloads bracket the space: a dependency-light pure-ALU kernel
+//! (worst case — almost every cycle is an issue decision, so the
+//! accounting loop runs at peak frequency relative to useful work) and
+//! the Matrix Add benchmark (realistic memory-bound mix). A third group
+//! measures the raw instruments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use scratch_asm::KernelBuilder;
+use scratch_isa::{Opcode, Operand};
+use scratch_kernels::{vec_ops::MatrixAdd, Benchmark};
+use scratch_metrics::{Histogram, Registry};
+use scratch_system::{System, SystemConfig, SystemKind};
+
+/// Straight-line integer ALU kernel: long enough that the issue loop
+/// dominates, dependency-free so it issues every cycle.
+fn alu_kernel() -> scratch_asm::Kernel {
+    let mut b = KernelBuilder::new("alu_spin");
+    b.vgprs(8).sgprs(24);
+    for i in 0..200u16 {
+        let dst = 1 + (i % 6) as u8;
+        b.vop3a(
+            Opcode::VMulLoI32,
+            dst,
+            Operand::Vgpr(0),
+            Operand::IntConst(3),
+            None,
+        )
+        .unwrap();
+    }
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+fn run_alu(metrics: bool) -> u64 {
+    let kernel = alu_kernel();
+    let config = SystemConfig::preset(SystemKind::DcdPm)
+        .with_workers(1)
+        .with_metrics(metrics);
+    let mut sys = System::new(config, &kernel).unwrap();
+    let out = sys.alloc(1 << 16);
+    sys.set_args(&[out as u32]);
+    sys.dispatch([4, 1, 1]).unwrap();
+    sys.report().cu_cycles
+}
+
+fn run_matrix_add(metrics: bool) -> u64 {
+    let config = SystemConfig::preset(SystemKind::DcdPm)
+        .with_workers(1)
+        .with_metrics(metrics);
+    MatrixAdd::new(32, false).run(config).unwrap().cu_cycles
+}
+
+fn cycle_loop_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_loop");
+    group.sample_size(20);
+    group.bench_function("alu_metrics_on", |b| b.iter(|| black_box(run_alu(true))));
+    group.bench_function("alu_metrics_off", |b| b.iter(|| black_box(run_alu(false))));
+    group.bench_function("matrix_add_metrics_on", |b| {
+        b.iter(|| black_box(run_matrix_add(true)))
+    });
+    group.bench_function("matrix_add_metrics_off", |b| {
+        b.iter(|| black_box(run_matrix_add(false)))
+    });
+    group.finish();
+}
+
+fn instruments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instruments");
+    group.sample_size(50).throughput(Throughput::Elements(1000));
+    let registry = Registry::new();
+    let counter = registry.counter("bench_counter_total", "bench");
+    group.bench_function("counter_inc_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                counter.inc();
+            }
+        });
+    });
+    let histogram = Histogram::new();
+    group.bench_function("histogram_observe_x1000", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                histogram.observe(black_box(i * 37));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cycle_loop_overhead, instruments);
+criterion_main!(benches);

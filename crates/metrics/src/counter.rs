@@ -1,0 +1,176 @@
+//! Sharded monotonic counters and settable gauges.
+//!
+//! Counters are the hot-path instrument: engine workers bump them from
+//! many threads at once, so the count is striped over [`SHARDS`]
+//! cache-line-aligned atomics and each thread writes its own stripe.
+//! Reads sum the stripes — reading is rare (scrapes), writing is not.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of stripes a [`Counter`] is sharded over.
+pub const SHARDS: usize = 16;
+
+/// One cache line worth of counter stripe; the alignment keeps two
+/// threads' stripes from false-sharing a line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+/// Round-robin shard assignment: each thread gets a home stripe the first
+/// time it touches any counter.
+fn home_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static HOME: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    HOME.with(|h| *h)
+}
+
+/// A monotonically increasing counter.
+///
+/// Cloning is cheap and shares the underlying stripes, so the registry
+/// can hand the same counter to many owners.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    shards: Arc<[Shard; SHARDS]>,
+}
+
+impl Counter {
+    /// New counter at zero.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.shards[home_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total (sum over stripes).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0, u64::wrapping_add)
+    }
+}
+
+/// An instantaneous value (queue depth, IPC, occupancy percentage).
+///
+/// Stored as `f64` bits in one atomic: metrics like IPC are fractional,
+/// and integral gauges lose nothing below 2^53.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    #[must_use]
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative).
+    pub fn add(&self, d: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_sums_over_threads() {
+        let c = Counter::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn counter_clones_share_state() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    fn gauge_set_add_roundtrip() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.add(0.25);
+        assert_eq!(g.get(), 2.75);
+        g.dec();
+        assert_eq!(g.get(), 1.75);
+    }
+
+    #[test]
+    fn gauge_concurrent_incs_balance_decs() {
+        let g = Gauge::new();
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let g = g.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        g.inc();
+                        g.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Log-bucketed latency histograms.
+//!
+//! Values land in power-of-two buckets: bucket 0 holds exactly `0`,
+//! bucket `i ≥ 1` holds `[2^(i-1), 2^i − 1]`. Sixty-five buckets cover
+//! the whole `u64` range, every sample lands in exactly one bucket
+//! (the counts *tile* the sample set — the same exactness discipline the
+//! trace crate's attribution engine property-tests), and merging two
+//! histograms is plain element-wise addition, so counts are preserved
+//! exactly no matter how shards are combined.
+//!
+//! Quantiles are answered from the bucket containing the nearest-rank
+//! order statistic; the estimate is the bucket's upper bound, which by
+//! construction lies in the same bucket as the true quantile — "within
+//! one bucket boundary" is the accuracy contract.
+
+use serde::{Deserialize, Serialize};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Largest value bucket `i` holds.
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A concurrent log-bucketed histogram.
+///
+/// Clones share the underlying buckets. Observation is two relaxed
+/// `fetch_add`s; reading produces an immutable [`HistogramSnapshot`].
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Immutable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data image of a [`Histogram`]: per-bucket counts plus the exact
+/// sample sum. The serde form is what lands in JSONL snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Sample counts, one per bucket ([`BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples (sum of bucket counts — exact by the tiling
+    /// invariant).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of the observed values, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum as f64 / n as f64)
+    }
+
+    /// Fold `other` into `self`: element-wise bucket addition. Counts are
+    /// preserved exactly, which makes the merge associative and
+    /// commutative (property-tested in `tests/histogram_prop.rs`).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.buckets.resize(BUCKETS, 0);
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Nearest-rank quantile estimate for `q ∈ [0, 1]`; `None` when
+    /// empty. The estimate is the upper bound of the bucket holding the
+    /// rank-`⌈q·n⌉` order statistic, so it shares a bucket with the true
+    /// quantile.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        None
+    }
+
+    /// Median estimate.
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn observe_count_sum() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 7, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum, 1009);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[10], 1); // 1000 ∈ [512, 1023]
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // True p50 is 50 (bucket [32,63]); the estimate is that bucket's
+        // upper bound.
+        assert_eq!(s.p50(), Some(63));
+        assert_eq!(s.p99(), Some(127)); // 99 ∈ [64,127]
+        assert_eq!(s.quantile(0.0), Some(1));
+        assert_eq!(s.quantile(1.0), Some(127));
+        assert_eq!(HistogramSnapshot::default().p50(), None);
+    }
+
+    #[test]
+    fn merge_preserves_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(5);
+        a.observe(9);
+        b.observe(0);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum, 14);
+    }
+}

@@ -1,0 +1,67 @@
+//! JSONL snapshot export: one [`MetricsSnapshot`] per line, appended to a
+//! file, for offline diffing of runs (`jq`-friendly, like the trace
+//! crate's event sink).
+
+use std::fs::OpenOptions;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::MetricsSnapshot;
+
+/// Append one snapshot as a single JSON line, creating the file if
+/// needed.
+///
+/// # Errors
+///
+/// File-system errors; serialization failures surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn append_snapshot(path: &Path, snapshot: &MetricsSnapshot) -> io::Result<()> {
+    let line = serde_json::to_string(snapshot)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{line}")
+}
+
+/// Read every snapshot from a JSONL file written by [`append_snapshot`].
+///
+/// # Errors
+///
+/// File-system errors; malformed lines surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_snapshots(path: &Path) -> io::Result<Vec<MetricsSnapshot>> {
+    let file = std::fs::File::open(path)?;
+    BufReader::new(file)
+        .lines()
+        .map(|line| {
+            serde_json::from_str(&line?)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn snapshots_round_trip_through_jsonl() {
+        let registry = Registry::new();
+        registry.counter("runs_total", "Runs").inc();
+        registry.histogram("lat", "Latency").observe(17);
+        let first = registry.snapshot();
+        registry.counter("runs_total", "Runs").inc();
+        let second = registry.snapshot();
+
+        let dir = std::env::temp_dir().join("scratch-metrics-jsonl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("snap-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_snapshot(&path, &first).unwrap();
+        append_snapshot(&path, &second).unwrap();
+
+        let back = read_snapshots(&path).unwrap();
+        assert_eq!(back, vec![first, second]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

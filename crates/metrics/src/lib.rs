@@ -1,0 +1,70 @@
+//! # scratch-metrics
+//!
+//! Always-on aggregate counters for the SCRATCH simulators, with a
+//! Prometheus/JSON exposition layer.
+//!
+//! The paper's whole evaluation (§4, Figs. 4/7) is driven by aggregate
+//! hardware counters — instruction mixes, cycles, functional-unit
+//! occupancy — and MIAOW-class soft GPUs are characterised in exactly
+//! those terms. `scratch-trace` (the event-granular attribution engine)
+//! answers *why* a particular run behaved as it did, but is far too heavy
+//! to leave enabled under sustained load. This crate is the complementary
+//! plane: cheap enough that it never gets turned off.
+//!
+//! * [`Counter`] — monotonic, sharded across cache lines so concurrent
+//!   engine workers never contend on one atomic;
+//! * [`Gauge`] — a settable instantaneous value (queue depths, IPC);
+//! * [`Histogram`] — power-of-two log-bucketed latency distribution with
+//!   an exact-count-preserving merge and p50/p95/p99 queries;
+//! * [`Registry`] — labeled families of the above, snapshotting into the
+//!   serde-modelled [`MetricsSnapshot`];
+//! * [`render`](prometheus::render) — Prometheus text exposition v0.0.4;
+//! * [`MetricsServer`] — a `std::net::TcpListener` scrape endpoint;
+//! * [`append_snapshot`](jsonl::append_snapshot) — JSONL snapshots for
+//!   offline diffing.
+//!
+//! # Examples
+//!
+//! ```
+//! use scratch_metrics::Registry;
+//!
+//! let registry = Registry::new();
+//! let dispatches = registry.counter("demo_dispatches_total", "Kernels dispatched");
+//! let latency = registry.histogram("demo_latency_cycles", "Dispatch latency");
+//! dispatches.inc();
+//! latency.observe(420);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("demo_dispatches_total", &[]), Some(1));
+//! let text = scratch_metrics::prometheus::render(&snap);
+//! assert!(text.contains("# TYPE demo_dispatches_total counter"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod jsonl;
+pub mod prometheus;
+pub mod registry;
+pub mod server;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{
+    FamilySnapshot, Labels, MetricKind, MetricsSnapshot, Registry, SampleValue, SeriesSnapshot,
+};
+pub use server::MetricsServer;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. Runtime layers (engine, system, CU
+/// aggregates) register here by default so one scrape endpoint sees the
+/// whole process; tests that need isolation construct their own
+/// [`Registry`].
+#[must_use]
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}

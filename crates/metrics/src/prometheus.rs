@@ -1,0 +1,171 @@
+//! Prometheus text exposition format v0.0.4.
+//!
+//! One `# HELP` / `# TYPE` pair per family, one sample line per series;
+//! histograms expand to cumulative `_bucket{le=...}` lines plus `_sum`
+//! and `_count`, exactly as the format specifies. Escaping follows the
+//! spec: `\\`, `\n` (and `\"` inside label values).
+
+use crate::registry::Labels;
+use crate::{bucket_upper_bound, HistogramSnapshot, MetricsSnapshot, SampleValue};
+
+/// MIME type scrapers expect for this payload.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a `# HELP` text: backslash and newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslash, double-quote and newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format a gauge value. Prometheus values are floats; integral values
+/// print without a fractional part, non-finite ones by their spec names.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render `{a="x",b="y"}`, with `extra` appended last (used for `le`).
+/// Empty label sets render as nothing.
+fn fmt_labels(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &Labels, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    let top = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    for (i, &c) in h.buckets.iter().enumerate().take(top) {
+        cumulative += c;
+        let le = fmt_labels(labels, Some(("le", &bucket_upper_bound(i).to_string())));
+        out.push_str(&format!("{name}_bucket{le} {cumulative}\n"));
+    }
+    let inf = fmt_labels(labels, Some(("le", "+Inf")));
+    out.push_str(&format!("{name}_bucket{inf} {}\n", h.count()));
+    out.push_str(&format!(
+        "{name}_sum{} {}\n",
+        fmt_labels(labels, None),
+        h.sum
+    ));
+    out.push_str(&format!(
+        "{name}_count{} {}\n",
+        fmt_labels(labels, None),
+        h.count()
+    ));
+}
+
+/// Render a whole snapshot as Prometheus text exposition v0.0.4.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.families {
+        out.push_str(&format!(
+            "# HELP {} {}\n",
+            family.name,
+            escape_help(&family.help)
+        ));
+        out.push_str(&format!(
+            "# TYPE {} {}\n",
+            family.name,
+            family.kind.as_str()
+        ));
+        for series in &family.series {
+            match &series.value {
+                SampleValue::Counter(n) => {
+                    out.push_str(&format!(
+                        "{}{} {n}\n",
+                        family.name,
+                        fmt_labels(&series.labels, None)
+                    ));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        family.name,
+                        fmt_labels(&series.labels, None),
+                        fmt_f64(*v)
+                    ));
+                }
+                SampleValue::Histogram(h) => {
+                    render_histogram(&mut out, &family.name, &series.labels, h);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn counters_and_gauges_render_flat() {
+        let r = Registry::new();
+        r.counter_with("jobs_total", "Jobs run", &[("pool", "a")])
+            .add(3);
+        r.gauge("depth", "Queue depth").set(2.0);
+        let text = render(&r.snapshot());
+        assert!(text.contains("# HELP jobs_total Jobs run\n"));
+        assert!(text.contains("# TYPE jobs_total counter\n"));
+        assert!(text.contains("jobs_total{pool=\"a\"} 3\n"));
+        assert!(text.contains("# TYPE depth gauge\n"));
+        assert!(text.contains("depth 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "Latency");
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 1
+        h.observe(3); // bucket 2
+        let text = render(&r.snapshot());
+        assert!(text.contains("lat_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum 4\n"));
+        assert!(text.contains("lat_count 3\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("c_total", "c", &[("k", "a\"b\\c\nd")]).inc();
+        let text = render(&r.snapshot());
+        assert!(text.contains("c_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn special_floats_use_spec_names() {
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(7.0), "7");
+    }
+}

@@ -1,0 +1,337 @@
+//! The metric registry: labeled families of counters, gauges and
+//! histograms, and the plain-data [`MetricsSnapshot`] they export to.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Label set of one series: `(name, value)` pairs, kept sorted by name.
+pub type Labels = Vec<(String, String)>;
+
+/// Which instrument a metric family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonic count.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Log-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Instrument::Counter(_) => MetricKind::Counter,
+            Instrument::Gauge(_) => MetricKind::Gauge,
+            Instrument::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<Labels, Instrument>,
+}
+
+/// A collection of metric families. Cloning shares the underlying store;
+/// registration is idempotent — asking for an existing `(name, labels)`
+/// series returns a handle to the same instrument.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.inner.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("families", &families.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels
+        .iter()
+        .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+        .collect();
+    out.sort();
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+impl Registry {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: Instrument,
+    ) -> Instrument {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let mut families = self.inner.lock().expect("registry poisoned");
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind: make.kind(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == make.kind(),
+            "metric {name:?} registered as {} and {}",
+            family.kind.as_str(),
+            make.kind().as_str()
+        );
+        family
+            .series
+            .entry(owned_labels(labels))
+            .or_insert(make)
+            .clone()
+    }
+
+    /// Counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Histogram with no labels.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Histogram with labels.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, labels, Instrument::Histogram(Histogram::new())) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Consistent point-in-time copy of every registered series.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.inner.lock().expect("registry poisoned");
+        MetricsSnapshot {
+            families: families
+                .iter()
+                .map(|(name, fam)| FamilySnapshot {
+                    name: name.clone(),
+                    help: fam.help.clone(),
+                    kind: fam.kind,
+                    series: fam
+                        .series
+                        .iter()
+                        .map(|(labels, inst)| SeriesSnapshot {
+                            labels: labels.clone(),
+                            value: match inst {
+                                Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                                Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                                Instrument::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One exported series: its labels and current value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Sorted `(name, value)` label pairs.
+    pub labels: Labels,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// A sampled metric value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SampleValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Instantaneous value.
+    Gauge(f64),
+    /// Distribution snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// One exported family: name, help, kind, and every series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilySnapshot {
+    /// Metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Human help line.
+    pub help: String,
+    /// Instrument kind.
+    pub kind: MetricKind,
+    /// All series of this family, sorted by labels.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// Point-in-time image of a whole [`Registry`] — the serde model behind
+/// both exporters.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Families sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of series `(name, labels)`, if present. Label order is
+    /// irrelevant.
+    #[must_use]
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SampleValue> {
+        let want = owned_labels(labels);
+        self.families
+            .iter()
+            .find(|f| f.name == name)?
+            .series
+            .iter()
+            .find(|s| s.labels == want)
+            .map(|s| &s.value)
+    }
+
+    /// Counter value of `(name, labels)`.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels)? {
+            SampleValue::Counter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Gauge value of `(name, labels)`.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.get(name, labels)? {
+            SampleValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram snapshot of `(name, labels)`.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match self.get(name, labels)? {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter_with("requests_total", "Requests", &[("kind", "x")]);
+        let b = r.counter_with("requests_total", "Requests", &[("kind", "x")]);
+        a.inc();
+        b.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("requests_total", &[("kind", "x")]), Some(2));
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = Registry::new();
+        let a = r.counter_with("m_total", "m", &[("a", "1"), ("b", "2")]);
+        let b = r.counter_with("m_total", "m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(
+            r.snapshot().counter("m_total", &[("b", "2"), ("a", "1")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter and gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m_total", "m");
+        let _ = r.gauge("m_total", "m");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        let _ = Registry::new().counter("0bad name", "m");
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let r = Registry::new();
+        r.counter("c_total", "c").add(7);
+        r.gauge("g", "g").set(1.5);
+        r.histogram("h", "h").observe(42);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c_total", &[]), Some(7));
+        assert_eq!(snap.gauge("g", &[]), Some(1.5));
+        assert_eq!(snap.histogram("h", &[]).unwrap().count(), 1);
+        assert_eq!(snap.families.len(), 3);
+    }
+}

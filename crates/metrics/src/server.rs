@@ -1,0 +1,176 @@
+//! A minimal scrape endpoint over `std::net::TcpListener`.
+//!
+//! Serves `GET /metrics` (Prometheus text exposition v0.0.4) and
+//! `GET /metrics.json` (the [`MetricsSnapshot`](crate::MetricsSnapshot)
+//! serde model). One accept loop on a background thread, one request per
+//! connection — scrapers poll at second granularity, so there is nothing
+//! to be gained from a real HTTP stack here.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::{prometheus, Registry};
+
+/// A running scrape endpoint. Dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
+    /// serve `registry` until shut down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve(addr: impl ToSocketAddrs, registry: Registry) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = thread::Builder::new()
+            .name("scratch-metrics-server".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // A misbehaving client must not wedge the loop.
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = handle(stream, &registry);
+                    }
+                }
+            })
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock `accept` with one last connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Read the request head and answer it.
+fn handle(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
+    let mut buf = [0u8; 1024];
+    let mut len = 0;
+    // Read until the end of the header block (or the buffer fills — any
+    // real scrape request head fits comfortably).
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_owned(),
+        )
+    } else {
+        match path {
+            "/metrics" | "/" => (
+                "200 OK",
+                prometheus::CONTENT_TYPE,
+                prometheus::render(&registry.snapshot()),
+            ),
+            "/metrics.json" => (
+                "200 OK",
+                "application/json",
+                serde_json::to_string(&registry.snapshot())
+                    .map(|mut s| {
+                        s.push('\n');
+                        s
+                    })
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}\n")),
+            ),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+        }
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_text_json_and_404() {
+        let registry = Registry::new();
+        registry.counter("pings_total", "Pings").add(2);
+        let server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+        let addr = server.addr();
+
+        let text = get(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("text/plain; version=0.0.4"));
+        assert!(text.contains("pings_total 2\n"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("pings_total"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+}

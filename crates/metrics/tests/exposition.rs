@@ -1,0 +1,109 @@
+//! Golden-fixture test for the Prometheus text exposition and serde
+//! round-trips of the snapshot model.
+//!
+//! The registry snapshots deterministically (families sorted by name,
+//! series by label set), so the rendered exposition of a fixed workload
+//! is byte-stable and can be pinned as a golden document.
+
+use scratch_metrics::{prometheus, MetricsSnapshot, Registry};
+
+/// A small registry exercising every metric kind, label escaping and the
+/// cumulative-bucket expansion.
+fn fixture() -> Registry {
+    let r = Registry::new();
+    r.counter_with("demo_jobs_total", "Jobs run", &[("pool", "dispatch")])
+        .add(7);
+    r.counter_with("demo_jobs_total", "Jobs run", &[("pool", "fuzz")])
+        .add(2);
+    r.gauge("demo_queue_depth", "Jobs waiting right now")
+        .set(1.5);
+    r.gauge_with(
+        "demo_occupancy_ratio",
+        "Busy fraction",
+        &[("unit", "iVALU")],
+    )
+    .set(0.25);
+    let h = r.histogram("demo_latency_cycles", "Dispatch latency");
+    h.observe(0);
+    h.observe(1);
+    h.observe(3);
+    h.observe(900);
+    r.counter_with(
+        "demo_escape_total",
+        "Help with \\ and\nnewline",
+        &[("k", "a\"b")],
+    )
+    .inc();
+    r
+}
+
+const GOLDEN: &str = "\
+# HELP demo_escape_total Help with \\\\ and\\nnewline
+# TYPE demo_escape_total counter
+demo_escape_total{k=\"a\\\"b\"} 1
+# HELP demo_jobs_total Jobs run
+# TYPE demo_jobs_total counter
+demo_jobs_total{pool=\"dispatch\"} 7
+demo_jobs_total{pool=\"fuzz\"} 2
+# HELP demo_latency_cycles Dispatch latency
+# TYPE demo_latency_cycles histogram
+demo_latency_cycles_bucket{le=\"0\"} 1
+demo_latency_cycles_bucket{le=\"1\"} 2
+demo_latency_cycles_bucket{le=\"3\"} 3
+demo_latency_cycles_bucket{le=\"7\"} 3
+demo_latency_cycles_bucket{le=\"15\"} 3
+demo_latency_cycles_bucket{le=\"31\"} 3
+demo_latency_cycles_bucket{le=\"63\"} 3
+demo_latency_cycles_bucket{le=\"127\"} 3
+demo_latency_cycles_bucket{le=\"255\"} 3
+demo_latency_cycles_bucket{le=\"511\"} 3
+demo_latency_cycles_bucket{le=\"1023\"} 4
+demo_latency_cycles_bucket{le=\"+Inf\"} 4
+demo_latency_cycles_sum 904
+demo_latency_cycles_count 4
+# HELP demo_occupancy_ratio Busy fraction
+# TYPE demo_occupancy_ratio gauge
+demo_occupancy_ratio{unit=\"iVALU\"} 0.25
+# HELP demo_queue_depth Jobs waiting right now
+# TYPE demo_queue_depth gauge
+demo_queue_depth 1.5
+";
+
+#[test]
+fn exposition_matches_the_golden_document() {
+    let rendered = prometheus::render(&fixture().snapshot());
+    // Compare line-by-line first for a readable failure, then the whole
+    // document so no extra lines slip through.
+    for (i, (got, want)) in rendered.lines().zip(GOLDEN.lines()).enumerate() {
+        assert_eq!(got, want, "line {}", i + 1);
+    }
+    assert_eq!(rendered, GOLDEN);
+}
+
+#[test]
+fn exposition_is_deterministic() {
+    let a = prometheus::render(&fixture().snapshot());
+    let b = prometheus::render(&fixture().snapshot());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let snap = fixture().snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+    // The round-tripped snapshot renders the identical exposition.
+    assert_eq!(prometheus::render(&back), GOLDEN);
+    // Lookup helpers still work on the deserialized form.
+    assert_eq!(
+        back.counter("demo_jobs_total", &[("pool", "fuzz")]),
+        Some(2)
+    );
+    assert_eq!(back.gauge("demo_queue_depth", &[]), Some(1.5));
+    assert_eq!(
+        back.histogram("demo_latency_cycles", &[])
+            .map(|h| h.count()),
+        Some(4)
+    );
+}

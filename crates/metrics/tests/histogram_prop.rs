@@ -1,0 +1,114 @@
+//! Property tests for the log-bucketed histogram: the buckets tile the
+//! `u64` sample space exactly, merging is associative and commutative,
+//! and quantile estimates always share a bucket with the true
+//! order-statistic they approximate.
+
+use proptest::prelude::*;
+
+use scratch_metrics::histogram::{bucket_index, bucket_upper_bound, Histogram, BUCKETS};
+use scratch_metrics::HistogramSnapshot;
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix small latencies (the common case) with arbitrary u64s so both
+    // ends of the bucket range are exercised.
+    let sample = prop_oneof![0u64..64, 0u64..100_000, any::<u64>()];
+    prop::collection::vec(sample, 0..64)
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every value lands in exactly one bucket, and that bucket's range
+    /// contains it: the bucket counts *tile* the sample set, so the
+    /// total count is exact (no sample dropped, none double-counted).
+    #[test]
+    fn buckets_tile_the_sample_space(samples in arb_samples()) {
+        for &v in &samples {
+            let i = bucket_index(v);
+            prop_assert!(i < BUCKETS, "{v} -> bucket {i}");
+            prop_assert!(v <= bucket_upper_bound(i), "{v} above bucket {i}");
+            if i > 0 {
+                prop_assert!(
+                    v > bucket_upper_bound(i - 1),
+                    "{v} also fits bucket {}", i - 1
+                );
+            }
+        }
+        let snap = snapshot_of(&samples);
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(
+            snap.sum,
+            samples.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+        );
+    }
+
+    /// Merging snapshots is element-wise addition, hence commutative and
+    /// associative — shard-merge order can never change the result.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ab;
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // The merged snapshot equals observing the concatenation.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    /// The quantile estimate is the upper bound of the bucket holding the
+    /// nearest-rank order statistic — i.e. it is within one bucket
+    /// boundary of the true quantile.
+    #[test]
+    fn quantile_shares_a_bucket_with_the_true_order_statistic(
+        samples in prop::collection::vec(prop_oneof![0u64..64, any::<u64>()], 1..64),
+        q in (0u32..=1000).prop_map(|permille| f64::from(permille) / 1000.0),
+    ) {
+        let snap = snapshot_of(&samples);
+        let est = snap.quantile(q).expect("non-empty");
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+
+        prop_assert_eq!(
+            bucket_index(est),
+            bucket_index(truth),
+            "estimate {} and true quantile {} in different buckets", est, truth
+        );
+        prop_assert_eq!(est, bucket_upper_bound(bucket_index(truth)));
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let snap = Histogram::new().snapshot();
+    assert_eq!(snap.count(), 0);
+    assert_eq!(snap.p50(), None);
+    assert_eq!(snap.mean(), None);
+}

@@ -1,0 +1,86 @@
+//! The CI overhead gate: the always-on metrics plane must cost < 5% of
+//! the simulator's cycle loop (the design target is < 2%; the gate
+//! leaves headroom for shared-runner noise).
+//!
+//! `#[ignore]`d by default — wall-clock assertions do not belong in the
+//! default test run. The `metrics-overhead` CI job executes it with
+//! `cargo test -p scratch-metrics --release -- --ignored overhead`.
+
+use std::time::Instant;
+
+use scratch_asm::KernelBuilder;
+use scratch_isa::{Opcode, Operand};
+use scratch_system::{System, SystemConfig, SystemKind};
+
+/// Dependency-free integer ALU kernel — the worst case for metrics
+/// overhead because nearly every cycle is an issue decision.
+fn alu_kernel() -> scratch_asm::Kernel {
+    let mut b = KernelBuilder::new("alu_spin");
+    b.vgprs(8).sgprs(24);
+    for i in 0..200u16 {
+        let dst = 1 + (i % 6) as u8;
+        b.vop3a(
+            Opcode::VMulLoI32,
+            dst,
+            Operand::Vgpr(0),
+            Operand::IntConst(3),
+            None,
+        )
+        .unwrap();
+    }
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+fn run_once(kernel: &scratch_asm::Kernel, metrics: bool) -> u64 {
+    let config = SystemConfig::preset(SystemKind::DcdPm)
+        .with_workers(1)
+        .with_metrics(metrics);
+    let mut sys = System::new(config, kernel).unwrap();
+    let out = sys.alloc(1 << 16);
+    sys.set_args(&[out as u32]);
+    sys.dispatch([8, 1, 1]).unwrap();
+    sys.report().cu_cycles
+}
+
+/// Median wall time of `reps` runs, in nanoseconds.
+fn median_nanos(kernel: &scratch_asm::Kernel, metrics: bool, reps: usize) -> u128 {
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(run_once(kernel, metrics));
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+#[test]
+#[ignore = "wall-clock gate; run by the metrics-overhead CI job"]
+fn overhead_stays_under_the_gate() {
+    let kernel = alu_kernel();
+    // Warm up allocators and caches on both paths.
+    run_once(&kernel, true);
+    run_once(&kernel, false);
+
+    let reps = 15;
+    let on = median_nanos(&kernel, true, reps);
+    let off = median_nanos(&kernel, false, reps);
+    let overhead = on as f64 / off as f64 - 1.0;
+    println!(
+        "metrics on {on} ns, off {off} ns, overhead {:.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "metrics overhead {:.2}% exceeds the 5% gate (on {on} ns vs off {off} ns)",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn metrics_do_not_change_simulated_cycles() {
+    let kernel = alu_kernel();
+    assert_eq!(run_once(&kernel, true), run_once(&kernel, false));
+}

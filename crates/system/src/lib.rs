@@ -68,4 +68,5 @@ pub use error::SystemError;
 pub use memory::{EpochDelta, EpochMemory, MemTiming, SharedMemory};
 pub use system::{RunReport, System, SystemConfig, SystemKind, TraceMode};
 
+pub use scratch_cu::CuStats;
 pub use scratch_trace::{chrome_trace, EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer};

@@ -98,8 +98,20 @@ pub struct SharedMemory {
     /// Counters.
     pub(crate) global_accesses: u64,
     pub(crate) prefetch_hits: u64,
+    /// Bytes served out of the prefetch buffer (4 per scalar access, 4 per
+    /// active lane of a vector access).
+    pub(crate) prefetch_hit_bytes: u64,
     /// Cycles requests spent queued behind the server before service began.
     pub(crate) queue_wait: u64,
+}
+
+/// Bytes an access moves: one word per active lane for vector operations,
+/// a single word for scalar loads.
+fn access_bytes(kind: AccessKind, lanes: u32) -> u64 {
+    match kind {
+        AccessKind::ScalarLoad => 4,
+        AccessKind::VectorLoad | AccessKind::VectorStore => u64::from(lanes) * 4,
+    }
 }
 
 impl SharedMemory {
@@ -115,6 +127,7 @@ impl SharedMemory {
             sharers: 1,
             global_accesses: 0,
             prefetch_hits: 0,
+            prefetch_hit_bytes: 0,
             queue_wait: 0,
         }
     }
@@ -148,6 +161,7 @@ impl SharedMemory {
         self.server_free = 0;
         self.global_accesses = 0;
         self.prefetch_hits = 0;
+        self.prefetch_hit_bytes = 0;
         self.queue_wait = 0;
     }
 
@@ -222,6 +236,13 @@ impl SharedMemory {
         self.prefetch_hits
     }
 
+    /// Bytes served by the prefetch buffer (the BRAM bandwidth the PM path
+    /// absorbed instead of the global server).
+    #[must_use]
+    pub fn prefetch_hit_bytes(&self) -> u64 {
+        self.prefetch_hit_bytes
+    }
+
     /// Cycles requests spent queued behind the shared server before their
     /// service began (the memory-server congestion component of the stall
     /// taxonomy).
@@ -278,6 +299,7 @@ impl Memory for SharedMemory {
     fn access(&mut self, kind: AccessKind, addr: u64, lanes: u32, now: u64) -> u64 {
         if self.is_prefetched(addr) {
             self.prefetch_hits += 1;
+            self.prefetch_hit_bytes += access_bytes(kind, lanes);
             let beats = u64::from(lanes.div_ceil(16).max(1));
             // BRAM path: short, pipelined, no shared server.
             return now
@@ -315,6 +337,7 @@ pub struct EpochDelta {
     server_free: u64,
     global_accesses: u64,
     prefetch_hits: u64,
+    prefetch_hit_bytes: u64,
     queue_wait: u64,
 }
 
@@ -368,6 +391,7 @@ pub struct EpochMemory<'a> {
     last: Option<usize>,
     global_accesses: u64,
     prefetch_hits: u64,
+    prefetch_hit_bytes: u64,
     queue_wait: u64,
 }
 
@@ -422,6 +446,7 @@ impl<'a> EpochMemory<'a> {
             server_free: self.server_free,
             global_accesses: self.global_accesses,
             prefetch_hits: self.prefetch_hits,
+            prefetch_hit_bytes: self.prefetch_hit_bytes,
             queue_wait: self.queue_wait,
         }
     }
@@ -454,6 +479,7 @@ impl Memory for EpochMemory<'_> {
     fn access(&mut self, kind: AccessKind, addr: u64, lanes: u32, now: u64) -> u64 {
         if self.is_prefetched(addr) {
             self.prefetch_hits += 1;
+            self.prefetch_hit_bytes += access_bytes(kind, lanes);
             let beats = u64::from(lanes.div_ceil(16).max(1));
             return now
                 + self.timing.prefetch_hit.unwrap_or(0)
@@ -489,6 +515,7 @@ impl SharedMemory {
             last: None,
             global_accesses: 0,
             prefetch_hits: 0,
+            prefetch_hit_bytes: 0,
             queue_wait: 0,
         }
     }
@@ -522,6 +549,7 @@ impl SharedMemory {
         self.server_free = self.server_free.max(delta.server_free);
         self.global_accesses += delta.global_accesses;
         self.prefetch_hits += delta.prefetch_hits;
+        self.prefetch_hit_bytes += delta.prefetch_hit_bytes;
         self.queue_wait += delta.queue_wait;
     }
 }
@@ -563,6 +591,7 @@ mod tests {
         let t2 = m.access(AccessKind::VectorLoad, 64, 64, 0);
         assert_eq!(t1, t2, "BRAM accesses do not queue behind each other");
         assert_eq!(m.prefetch_hits(), 2);
+        assert_eq!(m.prefetch_hit_bytes(), 2 * 64 * 4);
     }
 
     #[test]
@@ -656,6 +685,7 @@ mod tests {
         epoch_base.commit(view.finish());
         assert_eq!(epoch_base.global_accesses(), direct.global_accesses());
         assert_eq!(epoch_base.prefetch_hits(), direct.prefetch_hits());
+        assert_eq!(epoch_base.prefetch_hit_bytes(), direct.prefetch_hit_bytes());
         assert_eq!(epoch_base.queue_wait_cycles(), direct.queue_wait_cycles());
         assert_eq!(epoch_base.server_free, direct.server_free);
     }

@@ -9,7 +9,8 @@ use serde::{Deserialize, Serialize};
 use scratch_asm::Kernel;
 use scratch_cu::{ComputeUnit, CuConfig, CuStats, WaveInit};
 use scratch_fpga::{cu_capacity_bound, Device};
-use scratch_isa::WAVEFRONT_SIZE;
+use scratch_isa::{FuncUnit, WAVEFRONT_SIZE};
+use scratch_metrics::{Counter, Gauge, Histogram, Registry};
 use scratch_trace::{EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer as _};
 
 use crate::memory::{EpochDelta, EpochMemory, MemTiming, SharedMemory};
@@ -108,6 +109,15 @@ pub struct SystemConfig {
     /// epoch-batched so cycle counts are bit-identical at any setting —
     /// only host wall-clock time.
     pub workers: usize,
+    /// Publish always-on aggregates (dispatch counters, latency
+    /// histograms, IPC / occupancy gauges) into a metrics registry, and
+    /// keep the CUs' cheap stall accounting. On by default; the overhead
+    /// benchmarks turn it off to measure the cost of having it on.
+    pub metrics: bool,
+    /// Registry the system publishes into; `None` means the process-global
+    /// [`scratch_metrics::global`] registry. Hermetic tests inject a
+    /// private one via [`SystemConfig::with_registry`].
+    pub registry: Option<Registry>,
 }
 
 impl SystemConfig {
@@ -123,6 +133,8 @@ impl SystemConfig {
             auto_prefetch: true,
             trace: TraceMode::Off,
             workers: 1,
+            metrics: true,
+            registry: None,
         }
     }
 
@@ -167,6 +179,25 @@ impl SystemConfig {
     #[must_use]
     pub fn with_cu_config(mut self, cu: CuConfig) -> SystemConfig {
         self.cu = cu;
+        self
+    }
+
+    /// Builder-style override of the metrics plane (see
+    /// [`SystemConfig::metrics`]). Also propagates to the per-CU stall
+    /// accounting so `with_metrics(false)` measures the true untracked
+    /// fast path.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: bool) -> SystemConfig {
+        self.metrics = metrics;
+        self.cu.metrics = metrics;
+        self
+    }
+
+    /// Builder-style override of the registry the system publishes into
+    /// (see [`SystemConfig::registry`]).
+    #[must_use]
+    pub fn with_registry(mut self, registry: Registry) -> SystemConfig {
+        self.registry = Some(registry);
         self
     }
 }
@@ -236,6 +267,9 @@ pub struct System {
     /// records into its own buffer so shards can run on worker threads
     /// without interleaving the stream nondeterministically.
     cu_bufs: Vec<EventBuffer>,
+    /// Registry handles + baselines of the metrics plane; `None` when
+    /// [`SystemConfig::metrics`] is off.
+    metrics: Option<SysMetrics>,
 }
 
 impl System {
@@ -267,10 +301,16 @@ impl System {
         let mut mem = SharedMemory::new(config.memory_bytes, config.kind.timing());
         mem.set_sharers(u32::from(config.cus));
         let trace_buf = (config.trace == TraceMode::Full).then(EventBuffer::new);
+        let metrics = config.metrics.then(|| SysMetrics::new(&config));
+        // The system-level switch also governs the per-CU accounting: with
+        // the plane off nothing reads `CuStats::stall_cycles`, so the CUs
+        // skip collecting it.
+        let mut cu_cfg = config.cu.clone();
+        cu_cfg.metrics = cu_cfg.metrics && config.metrics;
         let mut cu_bufs = Vec::new();
         let mut cus = Vec::with_capacity(usize::from(config.cus));
         for ci in 0..config.cus {
-            let mut cu = ComputeUnit::new(config.cu.clone(), first)?;
+            let mut cu = ComputeUnit::new(cu_cfg.clone(), first)?;
             match config.trace {
                 TraceMode::Full => {
                     let buf = EventBuffer::new();
@@ -299,6 +339,7 @@ impl System {
             last_kernel: None,
             trace_buf,
             cu_bufs,
+            metrics,
         };
         sys.cb0_addr = sys.alloc(64);
         Ok(sys)
@@ -525,6 +566,18 @@ impl System {
             self.kernel_switches += 1;
         }
         self.last_kernel = Some(idx);
+        if let Some(m) = &mut self.metrics {
+            let mut instructions = 0;
+            let mut stalls = [0u64; StallReason::ALL.len()];
+            for cu in &self.cus {
+                let s = cu.stats();
+                instructions += s.instructions;
+                for (&r, &n) in &s.stall_cycles {
+                    stalls[r as usize] += n;
+                }
+            }
+            m.flush_dispatch(spent, instructions, &stalls, &self.mem);
+        }
         Ok(spent)
     }
 
@@ -589,6 +642,21 @@ impl System {
         }
         let cu_cycles = per_cu.iter().copied().max().unwrap_or(0);
         stats.cycles = cu_cycles;
+        if self.config.metrics {
+            // Queueing at the shared memory server is the one stall the CUs
+            // cannot see; fold it into the always-on aggregate the same way
+            // the trace summary gets it below.
+            let queued = self.mem.queue_wait_cycles();
+            if queued > 0 {
+                *stats
+                    .stall_cycles
+                    .entry(StallReason::MemoryQueue)
+                    .or_insert(0) += queued;
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.set_gauges(&stats, &self.config);
+        }
         let seconds = cu_cycles as f64 / self.config.kind.cu_clock_hz()
             + self.host_cycles as f64 / self.config.kind.mb_clock_hz();
         let mut trace: Option<TraceSummary> = None;
@@ -623,6 +691,173 @@ impl System {
             kernel_switches: self.kernel_switches,
             trace,
             trace_events: self.trace_buf.as_ref().map(EventBuffer::snapshot),
+        }
+    }
+}
+
+/// The system's handles into its metrics registry, plus baselines of the
+/// simulator's cumulative counters so each dispatch publishes only its own
+/// delta (registry counters are process-cumulative across systems).
+#[derive(Debug)]
+struct SysMetrics {
+    dispatches: Counter,
+    cu_cycles: Counter,
+    instructions: Counter,
+    global_accesses: Counter,
+    prefetch_hits: Counter,
+    prefetch_hit_bytes: Counter,
+    queue_wait: Counter,
+    /// Stall-cycle counters, indexed by `StallReason as usize`.
+    stalls: Vec<Counter>,
+    dispatch_cycles: Histogram,
+    ipc: Gauge,
+    mem_ops_per_cycle: Gauge,
+    occupancy: Vec<(FuncUnit, Gauge)>,
+    prev: Baselines,
+}
+
+/// Cumulative counter values already published, per instrument.
+#[derive(Debug, Default)]
+struct Baselines {
+    instructions: u64,
+    global_accesses: u64,
+    prefetch_hits: u64,
+    prefetch_hit_bytes: u64,
+    queue_wait: u64,
+    stalls: [u64; StallReason::ALL.len()],
+}
+
+impl SysMetrics {
+    fn new(config: &SystemConfig) -> SysMetrics {
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| scratch_metrics::global().clone());
+        let sys = config.kind.label();
+        let labels: &[(&str, &str)] = &[("system", sys)];
+        let counter = |name: &str, help: &str| registry.counter_with(name, help, labels);
+        SysMetrics {
+            dispatches: counter(
+                "scratch_system_dispatches_total",
+                "Kernel dispatches completed",
+            ),
+            cu_cycles: counter(
+                "scratch_system_cu_cycles_total",
+                "CU cycles simulated (max across CUs per dispatch)",
+            ),
+            instructions: counter(
+                "scratch_system_instructions_total",
+                "Dynamic instructions issued",
+            ),
+            global_accesses: counter(
+                "scratch_system_global_accesses_total",
+                "Accesses down the global (MicroBlaze) memory path",
+            ),
+            prefetch_hits: counter(
+                "scratch_system_prefetch_hits_total",
+                "Accesses serviced by the prefetch buffer",
+            ),
+            prefetch_hit_bytes: counter(
+                "scratch_system_prefetch_hit_bytes_total",
+                "Bytes served by the prefetch buffer",
+            ),
+            queue_wait: counter(
+                "scratch_system_memory_queue_wait_cycles_total",
+                "Cycles requests queued behind the shared memory server",
+            ),
+            stalls: StallReason::ALL
+                .iter()
+                .map(|r| {
+                    registry.counter_with(
+                        "scratch_system_stall_cycles_total",
+                        "Wavefront-cycles that did not issue, by reason",
+                        &[("system", sys), ("reason", r.label())],
+                    )
+                })
+                .collect(),
+            dispatch_cycles: registry.histogram_with(
+                "scratch_system_dispatch_cycles",
+                "CU cycles per kernel dispatch",
+                labels,
+            ),
+            ipc: registry.gauge_with(
+                "scratch_system_ipc",
+                "Instructions per cycle (wavefront granularity) over the run",
+                labels,
+            ),
+            mem_ops_per_cycle: registry.gauge_with(
+                "scratch_system_mem_ops_per_cycle",
+                "Memory operations (vector + scalar) per cycle over the run",
+                labels,
+            ),
+            occupancy: FuncUnit::ALL
+                .iter()
+                .map(|&u| {
+                    (
+                        u,
+                        registry.gauge_with(
+                            "scratch_system_fu_occupancy_ratio",
+                            "Busy fraction of a functional-unit class, over all instances",
+                            &[("system", sys), ("unit", u.label())],
+                        ),
+                    )
+                })
+                .collect(),
+            prev: Baselines::default(),
+        }
+    }
+
+    /// Publish one dispatch: bump the dispatch counter and histogram, and
+    /// push each cumulative simulator counter's delta since the last flush.
+    fn flush_dispatch(
+        &mut self,
+        spent: u64,
+        instructions: u64,
+        stalls: &[u64; StallReason::ALL.len()],
+        mem: &SharedMemory,
+    ) {
+        self.dispatches.inc();
+        self.cu_cycles.add(spent);
+        self.dispatch_cycles.observe(spent);
+        self.instructions.add(instructions - self.prev.instructions);
+        self.prev.instructions = instructions;
+        self.global_accesses
+            .add(mem.global_accesses() - self.prev.global_accesses);
+        self.prev.global_accesses = mem.global_accesses();
+        self.prefetch_hits
+            .add(mem.prefetch_hits() - self.prev.prefetch_hits);
+        self.prev.prefetch_hits = mem.prefetch_hits();
+        self.prefetch_hit_bytes
+            .add(mem.prefetch_hit_bytes() - self.prev.prefetch_hit_bytes);
+        self.prev.prefetch_hit_bytes = mem.prefetch_hit_bytes();
+        self.queue_wait
+            .add(mem.queue_wait_cycles() - self.prev.queue_wait);
+        self.prev.queue_wait = mem.queue_wait_cycles();
+        for (i, counter) in self.stalls.iter().enumerate() {
+            counter.add(stalls[i] - self.prev.stalls[i]);
+            self.prev.stalls[i] = stalls[i];
+        }
+    }
+
+    /// Refresh the run-level gauges from the merged statistics. Idempotent
+    /// (gauges are set, not accumulated), so calling `report()` repeatedly
+    /// is fine.
+    fn set_gauges(&self, stats: &CuStats, config: &SystemConfig) {
+        self.ipc.set(stats.ipc());
+        self.mem_ops_per_cycle.set(stats.mem_ops_per_cycle());
+        for (unit, gauge) in &self.occupancy {
+            let per_cu = match unit {
+                FuncUnit::Simd => u64::from(config.cu.int_valus),
+                FuncUnit::Simf => u64::from(config.cu.fp_valus),
+                FuncUnit::Salu | FuncUnit::Lsu | FuncUnit::Branch => 1,
+            };
+            let denom = stats.cycles * per_cu * u64::from(config.cus);
+            let busy = stats.fu_busy.get(unit).copied().unwrap_or(0);
+            gauge.set(if denom == 0 {
+                0.0
+            } else {
+                busy as f64 / denom as f64
+            });
         }
     }
 }

@@ -8,9 +8,11 @@
 //! scratch-tool analyze  <file.s>
 //! scratch-tool trim     <file.s>
 //! scratch-tool run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]
-//!                       [--jobs N]
+//!                       [--jobs N] [--metrics] [--metrics-out FILE]
 //! scratch-tool trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]
 //! scratch-tool fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|all]
+//!                       [--metrics-addr HOST:PORT]
+//! scratch-tool serve-metrics [--addr HOST:PORT] [--once]
 //! ```
 //!
 //! `run` launches the kernel with one argument: the address of a scratch
@@ -19,6 +21,14 @@
 //! compute units across N worker threads (default: one per available
 //! core); the simulated cycle counts and outputs are bit-identical for
 //! any N.
+//!
+//! `run --metrics` adds a one-line utilisation summary (IPC, per-unit
+//! occupancy, memory pressure) and appends a snapshot of the process
+//! metrics registry to a JSONL file. `serve-metrics` runs a small warmup
+//! batch through the engine + system simulators so every layer's counters
+//! are populated, then serves the registry as Prometheus text exposition
+//! (`/metrics`) and JSON (`/metrics.json`); `--once` prints the exposition
+//! to stdout instead of serving.
 //!
 //! `fuzz` runs the differential conformance campaign from `scratch-check`:
 //! seeded random kernels checked by four oracles (CU vs lockstep reference
@@ -33,10 +43,12 @@ use std::process::ExitCode;
 use scratch::asm::{assemble, Kernel};
 use scratch::check::{fuzz, FuzzConfig, OracleKind};
 use scratch::core::Scratch;
+use scratch::engine::{Engine, JobError};
 use scratch::fpga::ParallelPlan;
 use scratch::isa::FuncUnit;
 use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
-use scratch::system::{RunReport, System, SystemConfig, SystemKind, TraceMode};
+use scratch::metrics::{jsonl, prometheus, MetricsServer};
+use scratch::system::{CuStats, RunReport, System, SystemConfig, SystemKind, TraceMode};
 use scratch::trace::chrome_trace;
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -74,6 +86,52 @@ fn write_trace(dir: &str, label: &str, kind: SystemKind, report: &RunReport) -> 
     let path = format!("{dir}/{label}-{}.trace.json", kind_slug(kind));
     std::fs::write(&path, chrome_trace(events).to_string()).map_err(|e| format!("{path}: {e}"))?;
     println!("wrote {path} ({} events)\n", events.len());
+    Ok(())
+}
+
+/// The one-line utilisation summary `run --metrics` prints: IPC, busy
+/// percentage per functional-unit class (over all instances), and memory
+/// operations per cycle — the same aggregates the registry gauges carry.
+fn metrics_summary(stats: &CuStats, config: &SystemConfig) -> String {
+    let mut line = format!("metrics: IPC {:.3} | occupancy", stats.ipc());
+    for u in FuncUnit::ALL {
+        let per_cu = match u {
+            FuncUnit::Simd => u64::from(config.cu.int_valus),
+            FuncUnit::Simf => u64::from(config.cu.fp_valus),
+            _ => 1,
+        };
+        let denom = stats.cycles * per_cu * u64::from(config.cus);
+        let busy = stats.fu_busy.get(&u).copied().unwrap_or(0);
+        let pct = if denom == 0 {
+            0.0
+        } else {
+            busy as f64 / denom as f64 * 100.0
+        };
+        line.push_str(&format!(" {} {pct:.1}%", u.label()));
+    }
+    line.push_str(&format!(
+        " | mem-ops/cycle {:.4}",
+        stats.mem_ops_per_cycle()
+    ));
+    line
+}
+
+/// Run a tiny Matrix Add batch through the engine so every layer's
+/// counters (engine queue, system dispatch, CU aggregates) are populated
+/// in the process-global registry.
+fn metrics_warmup() -> Result<(), String> {
+    let outcomes = Engine::new(2).run_batch([false, true].into_iter().map(|fp| {
+        let label = if fp { "warmup-fp" } else { "warmup-int" };
+        (label, move || {
+            MatrixAdd::new(16, fp)
+                .run(SystemConfig::preset(SystemKind::DcdPm))
+                .map(|_| ())
+                .map_err(|e| JobError::Failed(e.to_string()))
+        })
+    }));
+    for o in outcomes {
+        o.result.map_err(|e| format!("{}: {e}", o.label))?;
+    }
     Ok(())
 }
 
@@ -219,6 +277,19 @@ fn real_main() -> Result<(), String> {
                 kind.label()
             );
             println!("out[0..{out_words}] = {:?}", sys.read_words(out, out_words));
+            if args.iter().any(|a| a == "--metrics") {
+                println!("{}", metrics_summary(&report.stats, sys.config()));
+                let out_path = args
+                    .iter()
+                    .position(|a| a == "--metrics-out")
+                    .and_then(|i| args.get(i + 1))
+                    .cloned()
+                    .unwrap_or_else(|| "scratch-metrics.jsonl".to_owned());
+                let snapshot = scratch::metrics::global().snapshot();
+                jsonl::append_snapshot(std::path::Path::new(&out_path), &snapshot)
+                    .map_err(|e| format!("{out_path}: {e}"))?;
+                println!("appended metrics snapshot to {out_path}");
+            }
             Ok(())
         }
         "trace" => {
@@ -308,12 +379,32 @@ fn real_main() -> Result<(), String> {
                 Some(name) => vec![OracleKind::parse(name)
                     .ok_or_else(|| format!("unknown oracle `{name}` (see `scratch-tool help`)"))?],
             };
+            let server = match args
+                .iter()
+                .position(|a| a == "--metrics-addr")
+                .and_then(|i| args.get(i + 1))
+            {
+                None => None,
+                Some(addr) => {
+                    let server =
+                        MetricsServer::serve(addr.as_str(), scratch::metrics::global().clone())
+                            .map_err(|e| format!("{addr}: {e}"))?;
+                    println!(
+                        "serving campaign metrics on http://{}/metrics",
+                        server.addr()
+                    );
+                    Some(server)
+                }
+            };
             let report = fuzz(&FuzzConfig {
                 seed,
                 cases,
                 oracles,
                 ..FuzzConfig::default()
             });
+            if let Some(server) = server {
+                server.shutdown();
+            }
             println!("{}", report.summary());
             for d in &report.divergences {
                 println!("\n{}", d.render());
@@ -325,6 +416,30 @@ fn real_main() -> Result<(), String> {
                 return Err(format!("{} divergences found", report.divergences.len()));
             }
             Ok(())
+        }
+        "serve-metrics" => {
+            metrics_warmup()?;
+            let registry = scratch::metrics::global().clone();
+            if args.iter().any(|a| a == "--once") {
+                print!("{}", prometheus::render(&registry.snapshot()));
+                return Ok(());
+            }
+            let addr = args
+                .iter()
+                .position(|a| a == "--addr")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:9184".to_owned());
+            let server = MetricsServer::serve(addr.as_str(), registry)
+                .map_err(|e| format!("{addr}: {e}"))?;
+            println!(
+                "serving http://{0}/metrics (Prometheus) and http://{0}/metrics.json",
+                server.addr()
+            );
+            println!("press Ctrl-C to stop");
+            loop {
+                std::thread::park();
+            }
         }
         _ => {
             println!(
@@ -338,12 +453,20 @@ fn real_main() -> Result<(), String> {
                  \x20 run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]\n\
                  \x20          [--jobs N]        N dispatch worker threads (default: one per\n\
                  \x20                            core; results are bit-identical for any N)\n\
+                 \x20          [--metrics]       print an IPC/occupancy summary and append a\n\
+                 \x20                            registry snapshot to --metrics-out FILE\n\
+                 \x20                            (default scratch-metrics.jsonl)\n\
                  \x20 trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]\n\
                  \x20                                   cycle-attribution summary + Chrome trace.json\n\
                  \x20                                   (default workload: Matrix Add INT32 + SP FP)\n\
                  \x20 fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|all]\n\
                  \x20                                   differential conformance campaign; prints a\n\
-                 \x20                                   minimized repro for any divergence"
+                 \x20                                   minimized repro for any divergence\n\
+                 \x20          [--metrics-addr HOST:PORT]  scrape campaign counters live\n\
+                 \x20 serve-metrics [--addr HOST:PORT] [--once]\n\
+                 \x20                                   warm up the simulators, then serve the\n\
+                 \x20                                   metrics registry as Prometheus text and\n\
+                 \x20                                   JSON (--once: print to stdout and exit)"
             );
             Ok(())
         }

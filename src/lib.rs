@@ -21,7 +21,9 @@
 //!   generator, lockstep reference interpreter, cross-configuration
 //!   oracles, divergence minimizer);
 //! * [`trace`] — cycle-attribution and event-tracing subsystem (stall
-//!   taxonomy, Chrome `trace_event` export).
+//!   taxonomy, Chrome `trace_event` export);
+//! * [`metrics`] — always-on counters, latency histograms and the
+//!   Prometheus/JSON exposition layer.
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -33,5 +35,6 @@ pub use scratch_engine as engine;
 pub use scratch_fpga as fpga;
 pub use scratch_isa as isa;
 pub use scratch_kernels as kernels;
+pub use scratch_metrics as metrics;
 pub use scratch_system as system;
 pub use scratch_trace as trace;
