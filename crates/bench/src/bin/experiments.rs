@@ -16,11 +16,11 @@
 
 use std::fmt::Write as _;
 
-use scratch_bench::{ablation, fig4, fig6, fig7, headline, sec41, stalls, util, Scale};
+use scratch_bench::{ablation, fig4, fig6, fig7, headline, resilience, sec41, stalls, util, Scale};
 use scratch_isa::Category;
 
 const USAGE: &str = "\
-usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|trace|ablations|all]
+usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|resilience|trace|ablations|all]
                    [--quick] [--jobs N] [--json <path>]
 
   --quick        CI-sized workloads (default: the paper's sizes)
@@ -125,6 +125,16 @@ fn main() {
                 json.insert("util".into(), serde_json::to_value(&rows).unwrap());
             }
             Err(e) => eprintln!("util failed: {e}"),
+        }
+    }
+
+    if run("resilience") {
+        match resilience::campaign_table(scale, jobs) {
+            Ok(rows) => {
+                print_resilience(&rows);
+                json.insert("resilience".into(), serde_json::to_value(&rows).unwrap());
+            }
+            Err(e) => eprintln!("resilience failed: {e}"),
         }
     }
 
@@ -241,6 +251,36 @@ fn ablation_tables(scale: Scale) -> Result<serde_json::Value, scratch_kernels::B
 
 fn hr(title: &str) {
     println!("\n=== {title} ===");
+}
+
+fn print_resilience(rows: &[resilience::ResilienceRow]) {
+    hr("Resilience — seeded fault campaigns per detection mode");
+    println!(
+        "{:6} {:6} {:>8} {:>7} {:>9} {:>10} {:>7} {:>9} {:>9}",
+        "mode",
+        "class",
+        "injected",
+        "masked",
+        "detected",
+        "recovered",
+        "silent",
+        "coverage",
+        "overhead"
+    );
+    for row in rows {
+        println!(
+            "{:6} {:6} {:>8} {:>7} {:>9} {:>10} {:>7} {:>8.1}% {:>8.2}x",
+            row.mode,
+            row.class,
+            row.stats.injected,
+            row.stats.masked,
+            row.stats.detected,
+            row.stats.recovered,
+            row.stats.silent,
+            row.coverage_pct,
+            row.overhead
+        );
+    }
 }
 
 fn print_stalls(rows: &[stalls::StallRow]) {

@@ -26,6 +26,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod headline;
+pub mod resilience;
 pub mod runner;
 pub mod sec41;
 pub mod stalls;

@@ -221,6 +221,7 @@ mod tests {
             kernel_switches: switches,
             trace: None,
             trace_events: None,
+            fault_records: vec![],
         }
     }
 

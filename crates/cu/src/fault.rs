@@ -1,0 +1,297 @@
+//! Fault-injection hooks for the compute-unit pipeline.
+//!
+//! The SCRATCH CU runs on an FPGA, where single-event upsets in register
+//! files, LDS block RAMs and functional-unit datapaths are real failure
+//! modes. This module gives the simulator a deterministic model of them:
+//! a [`FaultHook`] installed on a [`ComputeUnit`](crate::ComputeUnit) is
+//! called once after every issued instruction's architectural effects have
+//! applied, and may corrupt the issuing wavefront's registers or its
+//! workgroup's LDS.
+//!
+//! Determinism is the design constraint. Faults trigger on the CU's
+//! *cumulative issue index* — the Nth instruction this CU issued, across
+//! all resident waves — which is identical however the host scheduled the
+//! simulation (serial or multi-worker dispatch), so an injected campaign
+//! reproduces bit-for-bit from its seed. Raw cycle numbers would not work:
+//! the scheduler skips idle cycles.
+//!
+//! With no hook installed the pipeline takes its untouched fast path (one
+//! `Option` check per issue), preserving the zero-overhead-when-off
+//! invariant the tracing and metrics planes already follow.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::wavefront::Wavefront;
+
+/// Where a scheduled upset lands inside the CU.
+///
+/// Register and lane indices are taken modulo the kernel's actual budgets
+/// when the fault fires, so every scheduled fault is applicable to every
+/// kernel — a plan generated once stays valid across kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// Flip one bit of a scalar register of the issuing wave.
+    Sgpr {
+        /// Register index (modulo the wave's SGPR count).
+        reg: u32,
+        /// Bit position (modulo 32).
+        bit: u8,
+    },
+    /// Flip one bit of a vector register lane of the issuing wave.
+    Vgpr {
+        /// Register index (modulo the wave's VGPR count).
+        reg: u32,
+        /// Lane (modulo the wavefront size).
+        lane: u8,
+        /// Bit position (modulo 32).
+        bit: u8,
+    },
+    /// Flip one bit of the issuing wave's workgroup LDS.
+    Lds {
+        /// Word index (modulo the LDS size; no-op when the kernel has no
+        /// LDS allocation).
+        word: u32,
+        /// Bit position (modulo 32).
+        bit: u8,
+    },
+    /// Transient functional-unit error: flip one bit of the condition-code
+    /// output path (the wave's VCC mask) right after an instruction
+    /// retires its result.
+    FuTransient {
+        /// Bit position (modulo 64).
+        bit: u8,
+    },
+}
+
+impl FaultTarget {
+    /// Short class label (`sgpr`, `vgpr`, `lds`, `fu`).
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            FaultTarget::Sgpr { .. } => "sgpr",
+            FaultTarget::Vgpr { .. } => "vgpr",
+            FaultTarget::Lds { .. } => "lds",
+            FaultTarget::FuTransient { .. } => "fu",
+        }
+    }
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::Sgpr { reg, bit } => write!(f, "sgpr s{reg} bit {bit}"),
+            FaultTarget::Vgpr { reg, lane, bit } => {
+                write!(f, "vgpr v{reg} lane {lane} bit {bit}")
+            }
+            FaultTarget::Lds { word, bit } => write!(f, "lds word {word} bit {bit}"),
+            FaultTarget::FuTransient { bit } => write!(f, "fu vcc bit {bit}"),
+        }
+    }
+}
+
+/// One scheduled upset: fires after the `at_issue`-th instruction issued
+/// by its CU (cumulative across waves), corrupting the issuing wavefront.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuFault {
+    /// Cumulative issue index the fault triggers at (1-based: `1` fires on
+    /// the first issued instruction).
+    pub at_issue: u64,
+    /// What the upset corrupts.
+    pub target: FaultTarget,
+}
+
+/// A fault that actually fired, as recorded by [`ScheduledFaults`] and
+/// reported through `RunReport` by the system simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Compute unit the fault fired on.
+    pub cu: u32,
+    /// Cumulative issue index at which it fired.
+    pub at_issue: u64,
+    /// CU cycle at which it fired.
+    pub now: u64,
+    /// Wavefront that was corrupted.
+    pub wave: u32,
+    /// The upset, with indices as scheduled (pre-modulo).
+    pub target: FaultTarget,
+}
+
+/// Pipeline fault hook: called once per issued instruction, after its
+/// architectural effects have applied, with mutable access to the issuing
+/// wavefront and its workgroup's LDS.
+///
+/// `Send` because the system dispatcher moves CUs onto worker threads;
+/// `Debug` because the CU itself is.
+pub trait FaultHook: fmt::Debug + Send {
+    /// Inject whatever this hook schedules at cumulative issue index
+    /// `issued` (1-based) and cycle `now`.
+    fn post_issue(&mut self, now: u64, issued: u64, wave: &mut Wavefront, lds: &mut [u32]);
+
+    /// Drain the records of faults applied so far.
+    fn drain_records(&mut self) -> Vec<FaultRecord> {
+        Vec::new()
+    }
+}
+
+/// The standard [`FaultHook`]: a list of [`CuFault`]s applied
+/// deterministically at their scheduled issue indices, each recorded as a
+/// [`FaultRecord`].
+#[derive(Debug)]
+pub struct ScheduledFaults {
+    cu: u32,
+    /// Sorted by `at_issue`; `next` indexes the first unfired fault.
+    faults: Vec<CuFault>,
+    next: usize,
+    records: Vec<FaultRecord>,
+}
+
+impl ScheduledFaults {
+    /// A hook for CU `cu` applying `faults` (sorted internally).
+    #[must_use]
+    pub fn new(cu: u32, mut faults: Vec<CuFault>) -> ScheduledFaults {
+        faults.sort_by_key(|f| f.at_issue);
+        ScheduledFaults {
+            cu,
+            faults,
+            next: 0,
+            records: Vec::new(),
+        }
+    }
+
+    fn apply(target: FaultTarget, wave: &mut Wavefront, lds: &mut [u32]) {
+        match target {
+            FaultTarget::Sgpr { reg, bit } => {
+                let r = reg % wave.sgpr_count().max(1) as u32;
+                let v = wave.sgpr(r).unwrap_or(0) ^ (1 << (bit % 32));
+                let _ = wave.set_sgpr(r, v);
+            }
+            FaultTarget::Vgpr { reg, lane, bit } => {
+                let r = reg % wave.vgpr_count().max(1) as u32;
+                let lane = usize::from(lane) % scratch_isa::WAVEFRONT_SIZE;
+                let v = wave.vgpr(r, lane).unwrap_or(0) ^ (1 << (bit % 32));
+                let _ = wave.set_vgpr(r, lane, v);
+            }
+            FaultTarget::Lds { word, bit } => {
+                if !lds.is_empty() {
+                    let w = word as usize % lds.len();
+                    lds[w] ^= 1 << (bit % 32);
+                }
+            }
+            FaultTarget::FuTransient { bit } => {
+                wave.vcc ^= 1 << (bit % 64);
+            }
+        }
+    }
+}
+
+impl FaultHook for ScheduledFaults {
+    fn post_issue(&mut self, now: u64, issued: u64, wave: &mut Wavefront, lds: &mut [u32]) {
+        while let Some(f) = self.faults.get(self.next) {
+            if f.at_issue > issued {
+                break;
+            }
+            ScheduledFaults::apply(f.target, wave, lds);
+            self.records.push(FaultRecord {
+                cu: self.cu,
+                at_issue: f.at_issue,
+                now,
+                wave: wave.id as u32,
+                target: f.target,
+            });
+            self.next += 1;
+        }
+    }
+
+    fn drain_records(&mut self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave() -> Wavefront {
+        Wavefront::new(0, 0, 16, 8)
+    }
+
+    #[test]
+    fn sgpr_flip_toggles_exactly_one_bit() {
+        let mut w = wave();
+        w.set_sgpr(3, 0b1010).unwrap();
+        let mut lds = [0u32; 4];
+        let mut hook = ScheduledFaults::new(
+            0,
+            vec![CuFault {
+                at_issue: 1,
+                target: FaultTarget::Sgpr { reg: 3, bit: 1 },
+            }],
+        );
+        hook.post_issue(7, 1, &mut w, &mut lds);
+        assert_eq!(w.sgpr(3).unwrap(), 0b1000);
+        let recs = hook.drain_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].now, 7);
+        assert!(hook.drain_records().is_empty());
+    }
+
+    #[test]
+    fn fault_waits_for_its_issue_index() {
+        let mut w = wave();
+        let mut lds = [0u32; 1];
+        let mut hook = ScheduledFaults::new(
+            0,
+            vec![CuFault {
+                at_issue: 5,
+                target: FaultTarget::Lds { word: 9, bit: 0 },
+            }],
+        );
+        hook.post_issue(0, 4, &mut w, &mut lds);
+        assert_eq!(lds[0], 0);
+        hook.post_issue(1, 5, &mut w, &mut lds);
+        assert_eq!(lds[0], 1); // word 9 % len 1 == 0
+    }
+
+    #[test]
+    fn indices_clamp_by_modulo() {
+        let mut w = wave();
+        let mut lds: [u32; 0] = [];
+        let mut hook = ScheduledFaults::new(
+            2,
+            vec![
+                CuFault {
+                    at_issue: 1,
+                    target: FaultTarget::Vgpr {
+                        reg: 1000,
+                        lane: 200,
+                        bit: 40,
+                    },
+                },
+                CuFault {
+                    at_issue: 1,
+                    target: FaultTarget::Lds { word: 3, bit: 3 },
+                },
+            ],
+        );
+        // Out-of-range targets never panic; empty LDS is a no-op.
+        hook.post_issue(0, 1, &mut w, &mut lds);
+        assert_eq!(hook.drain_records().len(), 2);
+    }
+
+    #[test]
+    fn targets_roundtrip_through_serde() {
+        let f = CuFault {
+            at_issue: 42,
+            target: FaultTarget::Vgpr {
+                reg: 3,
+                lane: 17,
+                bit: 31,
+            },
+        };
+        let v = serde::Serialize::to_sval(&f);
+        let back: CuFault = serde::Deserialize::from_sval(&v).unwrap();
+        assert_eq!(back, f);
+    }
+}

@@ -37,6 +37,7 @@
 mod config;
 mod error;
 mod exec;
+mod fault;
 mod memory;
 mod pipeline;
 mod stats;
@@ -45,6 +46,7 @@ mod wavefront;
 
 pub use config::{CuConfig, Latencies};
 pub use error::CuError;
+pub use fault::{CuFault, FaultHook, FaultRecord, FaultTarget, ScheduledFaults};
 pub use memory::{AccessKind, FixedLatencyMemory, Memory};
 pub use pipeline::{ComputeUnit, WaveInit};
 pub use stats::{CuStats, OpcodeHistogram};

@@ -8,6 +8,7 @@ use scratch_isa::{Fields, FuncUnit, Instruction, Opcode, Operand};
 use scratch_trace::{Attribution, StallReason, TraceEvent, TraceSummary, Tracer};
 
 use crate::exec::{execute, MemEvent};
+use crate::fault::FaultHook;
 use crate::memory::Memory;
 use crate::wavefront::{WaveState, Wavefront};
 use crate::{CuConfig, CuError, CuStats};
@@ -309,6 +310,17 @@ pub struct ComputeUnit {
     /// Always-on stall aggregation, indexed by `StallReason as usize`;
     /// folded into [`CuStats::stall_cycles`] when a batch completes.
     stall_acc: [u64; StallReason::ALL.len()],
+    /// Fault-injection state; `None` keeps the issue loop on its
+    /// uninstrumented fast path (zero overhead when off).
+    fault: Option<Box<FaultState>>,
+}
+
+/// Fault-injection plumbing: the installed hook plus the CU's cumulative
+/// issue counter the hook triggers on.
+#[derive(Debug)]
+struct FaultState {
+    issued: u64,
+    hook: Box<dyn FaultHook>,
 }
 
 impl ComputeUnit {
@@ -343,6 +355,7 @@ impl ComputeUnit {
             issued_now: [0; 4],
             issued_count: 0,
             stall_acc: [0; StallReason::ALL.len()],
+            fault: None,
         })
     }
 
@@ -373,6 +386,28 @@ impl ComputeUnit {
     #[must_use]
     pub fn tracing_enabled(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Install a fault-injection hook (replaces any previous one). The
+    /// hook runs after every issued instruction's architectural effects
+    /// apply; see [`FaultHook`].
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.fault = Some(Box::new(FaultState { issued: 0, hook }));
+    }
+
+    /// `true` when a fault hook is installed.
+    #[must_use]
+    pub fn fault_injection_enabled(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Drain the records of faults the installed hook has applied so far
+    /// (empty without a hook).
+    pub fn drain_fault_records(&mut self) -> Vec<crate::FaultRecord> {
+        self.fault
+            .as_mut()
+            .map(|fs| fs.hook.drain_records())
+            .unwrap_or_default()
     }
 
     /// Fold the attribution collected so far into a [`TraceSummary`]
@@ -816,6 +851,19 @@ impl ComputeUnit {
                 None => {}
             }
             self.waves[wi].retire_mem_events(self.now);
+
+            // Fault injection fires after the instruction's architectural
+            // effects apply, keyed on the CU's cumulative issue index so a
+            // campaign reproduces identically under any host scheduling.
+            if let Some(fs) = &mut self.fault {
+                fs.issued += 1;
+                fs.hook.post_issue(
+                    self.now,
+                    fs.issued,
+                    &mut self.waves[wi],
+                    &mut self.workgroups[lds_ptr].lds,
+                );
+            }
 
             if emit {
                 if let Some(tr) = &mut self.trace {

@@ -2,7 +2,7 @@
 //! engine batches.
 
 use scratch_asm::Kernel;
-use scratch_system::{RunReport, System, SystemConfig, SystemError};
+use scratch_system::{CuError, RunReport, System, SystemConfig, SystemError};
 
 use crate::{Engine, JobError, JobOutcome};
 
@@ -65,17 +65,51 @@ impl KernelJob {
         sys.dispatch(self.grid)?;
         Ok(sys.report())
     }
+
+    /// Execute the run under a cycle-budget watchdog: the per-CU cycle
+    /// limit is capped at `budget`, and exhausting it resolves to
+    /// [`JobError::Watchdog`] — a non-terminating kernel yields a typed
+    /// outcome instead of hanging its worker (and the pool's `join`).
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Watchdog`] when the budget is exhausted; any other
+    /// simulator failure as [`JobError::System`].
+    pub fn run_with_budget(mut self, budget: u64) -> Result<RunReport, JobError> {
+        let effective = self.config.cu.cycle_limit.min(budget.max(1));
+        self.config.cu.cycle_limit = effective;
+        self.run().map_err(|e| match e {
+            SystemError::Cu(CuError::CycleLimit { .. }) => JobError::Watchdog { budget: effective },
+            other => JobError::System(other),
+        })
+    }
+}
+
+impl Engine {
+    /// Run a batch of [`KernelJob`]s under this engine's cycle-budget
+    /// watchdog ([`Engine::with_watchdog`]). Outcomes come back in
+    /// submission order; every job resolves — a runaway kernel yields
+    /// [`JobError::Watchdog`] instead of blocking the pool.
+    pub fn run_kernel_jobs(
+        &self,
+        jobs: impl IntoIterator<Item = KernelJob>,
+    ) -> Vec<JobOutcome<RunReport>> {
+        let budget = self.watchdog();
+        self.run_batch(jobs.into_iter().map(move |job| {
+            let label = job.label.clone();
+            (label, move || job.run_with_budget(budget))
+        }))
+    }
 }
 
 /// Run a batch of [`KernelJob`]s across `workers` pool threads (`0` = one
 /// per core). Outcomes come back in submission order, so a sweep's output
-/// is deterministic no matter how the pool scheduled it.
+/// is deterministic no matter how the pool scheduled it. Jobs run under
+/// the engine's default watchdog
+/// ([`DEFAULT_WATCHDOG_CYCLES`](crate::DEFAULT_WATCHDOG_CYCLES)).
 pub fn run_kernel_jobs(
     workers: usize,
     jobs: impl IntoIterator<Item = KernelJob>,
 ) -> Vec<JobOutcome<RunReport>> {
-    Engine::new(workers).run_batch(jobs.into_iter().map(|job| {
-        let label = job.label.clone();
-        (label, move || job.run().map_err(JobError::from))
-    }))
+    Engine::new(workers).run_kernel_jobs(jobs)
 }

@@ -52,7 +52,7 @@ mod job;
 mod queue;
 
 pub use job::{run_kernel_jobs, KernelJob};
-pub use queue::{Engine, EngineHandle, JobError, JobOutcome, JobTiming};
+pub use queue::{Engine, EngineHandle, JobError, JobOutcome, JobTiming, DEFAULT_WATCHDOG_CYCLES};
 
 /// One worker per core the OS reports as available (the `--jobs` default
 /// of the CLI tools).

@@ -24,6 +24,13 @@ pub enum JobError {
     Panicked(String),
     /// The simulator refused or aborted the run.
     System(SystemError),
+    /// The job exceeded its cycle budget and was stopped by the engine's
+    /// watchdog — a non-terminating (or merely runaway) kernel resolves to
+    /// this outcome instead of hanging [`EngineHandle::join`] forever.
+    Watchdog {
+        /// The cycle budget that was exhausted.
+        budget: u64,
+    },
     /// Any other failure, stringified by the job itself.
     Failed(String),
 }
@@ -33,6 +40,9 @@ impl fmt::Display for JobError {
         match self {
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             JobError::System(e) => write!(f, "system: {e}"),
+            JobError::Watchdog { budget } => {
+                write!(f, "watchdog: job exceeded its {budget}-cycle budget")
+            }
             JobError::Failed(msg) => write!(f, "job failed: {msg}"),
         }
     }
@@ -133,6 +143,7 @@ struct EngineMetrics {
     submitted: Counter,
     completed: Counter,
     panicked: Counter,
+    watchdog: Counter,
     queue_depth: Gauge,
     busy_workers: Gauge,
     wait_ticks: Histogram,
@@ -150,6 +161,10 @@ impl EngineMetrics {
             panicked: registry.counter(
                 "scratch_engine_jobs_panicked_total",
                 "Jobs that panicked and were isolated by the pool",
+            ),
+            watchdog: registry.counter(
+                "scratch_engine_watchdog_trips_total",
+                "Jobs stopped by the cycle-budget watchdog",
             ),
             queue_depth: registry.gauge(
                 "scratch_engine_queue_depth",
@@ -211,6 +226,9 @@ fn worker_loop<T>(shared: &Shared<T>, results: &Sender<JobOutcome<T>>) {
             if matches!(result, Err(JobError::Panicked(_))) {
                 m.panicked.inc();
             }
+            if matches!(result, Err(JobError::Watchdog { .. })) {
+                m.watchdog.inc();
+            }
             m.run_ticks.observe(finished_tick - started_tick);
         }
         // A send failure means the handle (and its receiver) is gone —
@@ -240,7 +258,13 @@ pub struct Engine {
     workers: usize,
     metrics: bool,
     registry: Option<Registry>,
+    watchdog: u64,
 }
+
+/// Default per-job cycle budget: matches `CuConfig`'s default cycle limit,
+/// so a [`KernelJob`](crate::KernelJob) that would previously run (nearly)
+/// forever now resolves to [`JobError::Watchdog`] instead.
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 4_000_000_000;
 
 impl Engine {
     /// An engine with `workers` pool threads; `0` means one per available
@@ -256,6 +280,7 @@ impl Engine {
             },
             metrics: true,
             registry: None,
+            watchdog: DEFAULT_WATCHDOG_CYCLES,
         }
     }
 
@@ -263,6 +288,26 @@ impl Engine {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Builder-style override of the per-job cycle-budget watchdog applied
+    /// to [`KernelJob`](crate::KernelJob) batches: a job whose simulation
+    /// exceeds `cycles` CU cycles resolves to [`JobError::Watchdog`]
+    /// instead of blocking the pool (and [`EngineHandle::join`]) forever.
+    ///
+    /// The budget bounds *simulated* cycles, which is what runs away on an
+    /// infinite-loop kernel; closures submitted directly through
+    /// [`EngineHandle::submit`] manage their own budgets.
+    #[must_use]
+    pub fn with_watchdog(mut self, cycles: u64) -> Engine {
+        self.watchdog = cycles.max(1);
+        self
+    }
+
+    /// The per-job cycle budget.
+    #[must_use]
+    pub fn watchdog(&self) -> u64 {
+        self.watchdog
     }
 
     /// Builder-style switch for the pool's metrics (queue-depth and
@@ -360,6 +405,27 @@ pub struct EngineHandle<T> {
 }
 
 impl<T: Send + 'static> EngineHandle<T> {
+    /// Queue a job that is re-dispatched up to `attempts` times until it
+    /// succeeds (bounded retry): `work` receives the 0-based attempt
+    /// number, and the outcome carries the first success or the last
+    /// error. Panics are not retried — a panicking job is a bug, not a
+    /// transient fault.
+    pub fn submit_retrying<F>(&mut self, label: impl Into<String>, attempts: u32, work: F) -> u64
+    where
+        F: Fn(u32) -> Result<T, JobError> + Send + 'static,
+    {
+        self.submit(label, move || {
+            let mut last = None;
+            for attempt in 0..attempts.max(1) {
+                match work(attempt) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => last = Some(e),
+                }
+            }
+            Err(last.expect("at least one attempt ran"))
+        })
+    }
+
     /// Queue a job; returns its submission id. Jobs start as soon as a
     /// worker is free.
     pub fn submit<F>(&mut self, label: impl Into<String>, work: F) -> u64

@@ -1,0 +1,69 @@
+//! Regression: a kernel that never terminates must come back as
+//! [`JobError::Watchdog`] instead of hanging [`EngineHandle::join`]
+//! forever.
+
+use scratch_asm::{Kernel, KernelBuilder};
+use scratch_engine::{Engine, JobError, KernelJob, DEFAULT_WATCHDOG_CYCLES};
+use scratch_isa::Opcode;
+use scratch_system::{SystemConfig, SystemKind};
+
+/// `spin: s_branch spin` — the minimal runaway kernel.
+fn infinite_loop_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("spin");
+    b.vgprs(8).sgprs(32).workgroup_size(64);
+    let top = b.new_label();
+    b.bind(top).unwrap();
+    b.branch(Opcode::SBranch, top);
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::preset(SystemKind::DcdPm).with_metrics(false)
+}
+
+#[test]
+fn infinite_loop_trips_the_watchdog_instead_of_hanging_join() {
+    let engine = Engine::new(2).with_watchdog(50_000);
+    let jobs = vec![
+        KernelJob::new("spin-0", infinite_loop_kernel(), config(), [1, 1, 1]),
+        KernelJob::new("spin-1", infinite_loop_kernel(), config(), [1, 1, 1]),
+    ];
+    let outcomes = engine.run_kernel_jobs(jobs);
+    assert_eq!(outcomes.len(), 2);
+    for o in outcomes {
+        match o.result {
+            Err(JobError::Watchdog { budget }) => assert_eq!(budget, 50_000),
+            other => panic!("{}: expected watchdog trip, got {other:?}", o.label),
+        }
+    }
+}
+
+#[test]
+fn watchdog_budget_does_not_clip_well_behaved_jobs() {
+    let mut b = KernelBuilder::new("quick");
+    b.vgprs(8).sgprs(32).workgroup_size(64);
+    b.endpgm().unwrap();
+    let kernel = b.finish().unwrap();
+
+    let engine = Engine::new(1).with_watchdog(50_000);
+    let outcomes =
+        engine.run_kernel_jobs(vec![KernelJob::new("quick", kernel, config(), [1, 1, 1])]);
+    assert!(outcomes[0].result.is_ok(), "{:?}", outcomes[0].result);
+}
+
+#[test]
+fn default_watchdog_is_the_cycle_limit_scale() {
+    // The default budget must stay at the simulator's own cycle-limit
+    // magnitude so it never masks CuError::CycleLimit semantics.
+    assert_eq!(Engine::new(1).watchdog(), DEFAULT_WATCHDOG_CYCLES);
+    assert_eq!(Engine::new(1).with_watchdog(0).watchdog(), 1);
+}
+
+#[test]
+fn watchdog_error_formats_and_chains() {
+    let e = JobError::Watchdog { budget: 123 };
+    assert_eq!(e.to_string(), "watchdog: job exceeded its 123-cycle budget");
+    let dyn_err: &dyn std::error::Error = &e;
+    assert!(dyn_err.source().is_none());
+}

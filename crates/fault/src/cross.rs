@@ -1,0 +1,66 @@
+//! Fuzz-integrated cross-validation: every generated kernel runs once
+//! per fault class with an injected fault, and the reference interpreter
+//! acts as the detection oracle.
+//!
+//! This is the `scratch-tool fuzz --inject` backend: unlike a campaign
+//! (which measures a deployment-shaped detector), the fuzzer's oracle
+//! sees the full golden output, so a fault that slips past it *silently*
+//! is a subsystem bug, reported as a failure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FaultError;
+use crate::inject::{CaseContext, Classification, Mode};
+use crate::plan::{FaultClass, FaultPlan};
+
+/// Result of one fuzz-with-injection sweep.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrossReport {
+    /// Kernels exercised.
+    pub cases: u32,
+    /// Faults injected (cases × classes).
+    pub injected: u64,
+    /// Faults the kernel absorbed (golden output regardless).
+    pub masked: u64,
+    /// Faults the oracle caught (including those recovery then repaired).
+    pub caught: u64,
+    /// Faults that produced wrong output the oracle missed — always a
+    /// bug, listed in `failures`.
+    pub silent: u64,
+    /// Human-readable descriptions of every silent escape.
+    pub failures: Vec<String>,
+}
+
+/// Run `cases` generated kernels (seeds `seed..seed+cases`), injecting
+/// one fault of every class into each, and validate that the reference
+/// oracle classifies every one as masked or caught.
+///
+/// # Errors
+///
+/// Propagates kernels whose golden output cannot be established.
+pub fn cross_validate(seed: u64, cases: u32) -> Result<CrossReport, FaultError> {
+    let mut report = CrossReport {
+        cases,
+        ..CrossReport::default()
+    };
+    for i in 0..u64::from(cases) {
+        let ctx = CaseContext::new(seed + i)?;
+        let plan = FaultPlan::generate(seed + i, &[ctx.profile], &FaultClass::ALL, 1);
+        for fault in &plan.faults {
+            let outcome = ctx.inject(fault, Mode::Crc);
+            report.injected += 1;
+            match outcome.classification {
+                Classification::Masked => report.masked += 1,
+                Classification::Detected | Classification::Recovered => report.caught += 1,
+                Classification::Silent => {
+                    report.silent += 1;
+                    report.failures.push(format!(
+                        "kernel seed {} fault #{} ({}): wrong output, oracle silent",
+                        fault.kernel_seed, fault.id, fault.class
+                    ));
+                }
+            }
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,86 @@
+//! Typed errors of the fault-injection subsystem.
+
+use std::fmt;
+
+use scratch_asm::AsmError;
+use scratch_check::RefError;
+use scratch_system::SystemError;
+
+/// Failure of the fault-injection machinery itself (as opposed to an
+/// *injected* fault, which is an expected outcome and classified, not
+/// propagated).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The simulator under test failed outside any injected fault (e.g.
+    /// during the fault-free profiling run).
+    System(SystemError),
+    /// The reference interpreter failed while producing the golden output.
+    Ref(RefError),
+    /// The generated kernel did not assemble.
+    Asm(AsmError),
+    /// No golden output could be established for a kernel seed.
+    Golden {
+        /// The kernel seed.
+        seed: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The campaign configuration schedules nothing (no kernels, classes
+    /// or faults).
+    EmptyCampaign,
+    /// A campaign worker job failed (panicked or was rejected by the
+    /// engine pool).
+    Job {
+        /// The job's engine label.
+        label: String,
+        /// The underlying job error, rendered.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::System(e) => write!(f, "fault-free run failed: {e}"),
+            FaultError::Ref(e) => write!(f, "reference interpreter: {e}"),
+            FaultError::Asm(e) => write!(f, "kernel: {e}"),
+            FaultError::Golden { seed, detail } => {
+                write!(f, "no golden output for kernel seed {seed}: {detail}")
+            }
+            FaultError::EmptyCampaign => write!(f, "campaign schedules no faults"),
+            FaultError::Job { label, detail } => {
+                write!(f, "campaign job {label} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaultError::System(e) => Some(e),
+            FaultError::Ref(e) => Some(e),
+            FaultError::Asm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SystemError> for FaultError {
+    fn from(e: SystemError) -> Self {
+        FaultError::System(e)
+    }
+}
+
+impl From<RefError> for FaultError {
+    fn from(e: RefError) -> Self {
+        FaultError::Ref(e)
+    }
+}
+
+impl From<AsmError> for FaultError {
+    fn from(e: AsmError) -> Self {
+        FaultError::Asm(e)
+    }
+}

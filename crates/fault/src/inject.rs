@@ -1,0 +1,400 @@
+//! The injection runner: execute one planned fault against one kernel,
+//! detect the corruption, recover, and classify the outcome.
+//!
+//! Every fault ends in exactly one of four classes:
+//!
+//! * **masked** — the corrupted run still produced golden output (the
+//!   flipped state was dead, overwritten, or semantically absorbed);
+//! * **detected** — a detector fired (simulator hard fault, watchdog,
+//!   CRC mismatch against the reference interpreter, or a DMR replica
+//!   vote) but recovery did not restore golden output within its bounded
+//!   attempts;
+//! * **recovered** — a detector fired and a recovery action (untrimmed
+//!   fallback for trim violations, clean re-dispatch for transients)
+//!   restored golden output;
+//! * **silent** — the run completed with wrong output and no detector
+//!   fired. This is the outcome the subsystem exists to rule out: it can
+//!   only happen in [`Mode::Plain`], which runs without detection
+//!   precisely to measure how often corruption would otherwise slip
+//!   through.
+
+use serde::{Deserialize, Serialize};
+
+use scratch_asm::Kernel;
+use scratch_check::{GenKernel, RefSystem};
+use scratch_core::trim_kernel;
+use scratch_cu::{CuConfig, CuError, TrimSet};
+use scratch_system::{CuUpset, FaultSpec, MemUpset, System, SystemConfig, SystemError, SystemKind};
+use scratch_trace::TraceEvent;
+
+use crate::crc32;
+use crate::error::FaultError;
+use crate::plan::{FaultPayload, KernelProfile, PlannedFault};
+
+/// Detection mode a campaign runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Output CRC compared against the `scratch-check` reference
+    /// interpreter's golden output.
+    Crc,
+    /// Dual-modular redundancy: run twice (the transient fault hits only
+    /// the first replica), compare outputs word-for-word, re-run on
+    /// mismatch.
+    Dmr,
+    /// No detection — measures the silent-corruption rate the detectors
+    /// exist to eliminate.
+    Plain,
+}
+
+impl Mode {
+    /// Stable command-line name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Crc => "crc",
+            Mode::Dmr => "dmr",
+            Mode::Plain => "plain",
+        }
+    }
+
+    /// Parse a command-line name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Mode> {
+        [Mode::Crc, Mode::Dmr, Mode::Plain]
+            .into_iter()
+            .find(|m| m.name() == s)
+    }
+
+    /// `true` when the mode runs a detector (a silent outcome would be a
+    /// subsystem bug rather than a measurement).
+    #[must_use]
+    pub fn detects(self) -> bool {
+        !matches!(self, Mode::Plain)
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Final classification of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Classification {
+    /// Output matched golden despite the fault.
+    Masked,
+    /// A detector fired; recovery did not restore golden output.
+    Detected,
+    /// A detector fired and recovery restored golden output.
+    Recovered,
+    /// Wrong output, no detector fired.
+    Silent,
+}
+
+impl Classification {
+    /// Stable reporting name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Classification::Masked => "masked",
+            Classification::Detected => "detected",
+            Classification::Recovered => "recovered",
+            Classification::Silent => "silent",
+        }
+    }
+}
+
+/// Everything recorded about one injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionOutcome {
+    /// The fault that was injected.
+    pub fault: PlannedFault,
+    /// How it ended.
+    pub classification: Classification,
+    /// Which detector fired (`error`, `watchdog`, `crc`, `dmr`), if any.
+    pub detector: Option<String>,
+    /// Which recovery action succeeded (`untrimmed-fallback`, `retry`),
+    /// if any.
+    pub recovery: Option<String>,
+    /// Simulator runs this fault cost beyond the single faulty run
+    /// (DMR replicas, fallback and retry dispatches) — the recovery
+    /// overhead numerator.
+    pub extra_runs: u32,
+}
+
+impl InjectionOutcome {
+    /// Detection/recovery trace events for this outcome (injection events
+    /// themselves are emitted by the system simulator as the fault fires).
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let label = format!("k{}-f{}", self.fault.kernel_seed, self.fault.id);
+        let mut events = Vec::new();
+        if let Some(d) = &self.detector {
+            events.push(TraceEvent::FaultDetected {
+                label: label.clone(),
+                detector: d.clone(),
+                now: self.fault.id,
+            });
+        }
+        if let Some(r) = &self.recovery {
+            events.push(TraceEvent::FaultRecovered {
+                label,
+                action: r.clone(),
+                now: self.fault.id,
+            });
+        }
+        events
+    }
+}
+
+/// One kernel prepared for injection: the generated program, its golden
+/// output from the reference interpreter, its trim set, and the dynamic
+/// profile the planner schedules against.
+#[derive(Debug, Clone)]
+pub struct CaseContext {
+    /// The generated kernel.
+    pub gk: GenKernel,
+    /// Its assembled binary.
+    pub kernel: Kernel,
+    /// Golden output words from the reference interpreter.
+    pub golden: Vec<u32>,
+    /// CRC-32 of the golden output.
+    pub golden_crc: u32,
+    /// The kernel's own trim set (the SCRATCH deployment configuration);
+    /// `None` when the kernel does not trim.
+    pub trim: Option<TrimSet>,
+    /// Static + dynamic shape for the planner.
+    pub profile: KernelProfile,
+}
+
+/// Cycle budget for faulty runs: a corrupted loop counter can turn a
+/// bounded loop infinite, so every injected run is watchdogged at a
+/// multiple of the fault-free cycle count.
+const BUDGET_FACTOR: u64 = 16;
+const BUDGET_FLOOR: u64 = 100_000;
+
+impl CaseContext {
+    /// Prepare kernel `seed`: build it, compute the reference golden
+    /// output, trim it, and profile a fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::Golden`] when the kernel does not assemble or the
+    /// reference interpreter cannot run it.
+    pub fn new(seed: u64) -> Result<CaseContext, FaultError> {
+        let gk = GenKernel::generate(seed);
+        let kernel = gk.build().map_err(|e| FaultError::Golden {
+            seed,
+            detail: format!("build: {e}"),
+        })?;
+
+        // Golden output from the reference interpreter (shares no
+        // execution code with the CU pipeline).
+        let mut rsys = RefSystem::new(&kernel).map_err(|e| FaultError::Golden {
+            seed,
+            detail: format!("reference: {e}"),
+        })?;
+        let out = rsys.alloc(gk.out_bytes());
+        let inp = rsys.alloc_words(&gk.image);
+        rsys.set_args(&[out as u32, inp as u32]);
+        rsys.dispatch([gk.wgs, 1, 1])
+            .map_err(|e| FaultError::Golden {
+                seed,
+                detail: format!("reference: {e}"),
+            })?;
+        let golden = rsys.read_words(out, (gk.out_bytes() / 4) as usize);
+        let golden_crc = crc32(&golden);
+
+        let trim = trim_kernel(&kernel).ok().map(|r| r.kept);
+
+        // Fault-free profiling run: issue count bounds `at_issue`, cycle
+        // count calibrates the watchdog budget.
+        let mut sys = System::new(base_config(None, u64::MAX), &kernel)?;
+        let out = sys.alloc(gk.out_bytes());
+        let inp = sys.alloc_words(&gk.image);
+        sys.set_args(&[out as u32, inp as u32]);
+        let cycles = sys.dispatch([gk.wgs, 1, 1])?;
+        let report = sys.report();
+
+        let profile = KernelProfile {
+            seed,
+            words: kernel.words().len() as u32,
+            image_words: gk.image.len() as u32,
+            issues: report.stats.instructions.max(1),
+            cycles,
+        };
+        Ok(CaseContext {
+            gk,
+            kernel,
+            golden,
+            golden_crc,
+            trim,
+            profile,
+        })
+    }
+
+    /// The watchdog budget injected runs execute under.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        (self.profile.cycles * BUDGET_FACTOR).max(BUDGET_FLOOR)
+    }
+
+    /// Run the kernel once. `cu_faults`/`mem_fault` schedule the injected
+    /// upsets (empty/`None` for clean replicas); `trim` picks the CU
+    /// preset (the trimmed deployment configuration or the untrimmed
+    /// fallback).
+    fn run_once(
+        &self,
+        kernel: &Kernel,
+        cu_faults: Vec<CuUpset>,
+        mem_fault: Option<(u32, u8)>,
+        trim: Option<&TrimSet>,
+    ) -> Result<Vec<u32>, SystemError> {
+        let spec = FaultSpec {
+            cu: cu_faults,
+            mem: Vec::new(),
+        };
+        let config = base_config(trim.cloned(), self.budget()).with_faults(spec);
+        let mut sys = System::new(config, kernel)?;
+        let out = sys.alloc(self.gk.out_bytes());
+        let inp = sys.alloc_words(&self.gk.image);
+        if let Some((word, bit)) = mem_fault {
+            // Resolve the image-relative upset to its absolute byte now
+            // that the allocator has placed the image.
+            let addr = inp + u64::from(word) * 4 + u64::from(bit / 8);
+            sys.schedule_mem_upset(MemUpset {
+                dispatch: 0,
+                addr,
+                bit: bit % 8,
+            });
+        }
+        sys.set_args(&[out as u32, inp as u32]);
+        sys.dispatch([self.gk.wgs, 1, 1])?;
+        Ok(sys.read_words(out, (self.gk.out_bytes() / 4) as usize))
+    }
+
+    /// Inject one planned fault under `mode`, run detection and bounded
+    /// recovery, and classify the outcome.
+    #[must_use]
+    pub fn inject(&self, fault: &PlannedFault, mode: Mode) -> InjectionOutcome {
+        let (kernel, cu_faults, mem_fault) = self.materialize(fault);
+        let trimmed = self.trim.as_ref();
+        let mut extra_runs = 0u32;
+
+        let faulty = self.run_once(&kernel, cu_faults.clone(), mem_fault, trimmed);
+
+        // ---- detection ----
+        let detector: Option<String> = match &faulty {
+            Err(SystemError::Cu(CuError::CycleLimit { .. })) => Some("watchdog".to_owned()),
+            Err(_) => Some("error".to_owned()),
+            Ok(out) => match mode {
+                Mode::Crc => (crc32(out) != self.golden_crc).then(|| "crc".to_owned()),
+                Mode::Dmr => {
+                    // Second replica, fault-free (the transient hit only
+                    // the first execution); any disagreement is a vote.
+                    extra_runs += 1;
+                    match self.run_once(&self.kernel, Vec::new(), None, trimmed) {
+                        Ok(replica) => (out != &replica).then(|| "dmr".to_owned()),
+                        Err(_) => Some("dmr".to_owned()),
+                    }
+                }
+                Mode::Plain => None,
+            },
+        };
+
+        let Some(detector) = detector else {
+            // No detector fired: golden output is masked, anything else
+            // slipped through silently.
+            let classification = match &faulty {
+                Ok(out) if crc32(out) == self.golden_crc => Classification::Masked,
+                Ok(_) => Classification::Silent,
+                // Unreachable: errors always set a detector.
+                Err(_) => Classification::Detected,
+            };
+            return InjectionOutcome {
+                fault: *fault,
+                classification,
+                detector: None,
+                recovery: None,
+                extra_runs,
+            };
+        };
+
+        // ---- bounded recovery ----
+        // Trim violations degrade gracefully first: the corrupted binary
+        // re-dispatches on the untrimmed CU preset (the hardware still
+        // exists there), which recovers faults whose corruption is
+        // architecturally invisible in the output.
+        if matches!(
+            faulty,
+            Err(SystemError::Cu(CuError::Trimmed { .. }))
+                | Err(SystemError::Cu(CuError::MissingUnit { .. }))
+        ) && trimmed.is_some()
+        {
+            extra_runs += 1;
+            if let Ok(out) = self.run_once(&kernel, cu_faults.clone(), mem_fault, None) {
+                if crc32(&out) == self.golden_crc {
+                    return InjectionOutcome {
+                        fault: *fault,
+                        classification: Classification::Recovered,
+                        detector: Some(detector),
+                        recovery: Some("untrimmed-fallback".to_owned()),
+                        extra_runs,
+                    };
+                }
+            }
+        }
+
+        // Clean re-dispatch: the injected fault is transient, so a retry
+        // without it must restore golden output.
+        extra_runs += 1;
+        let recovered = matches!(
+            self.run_once(&self.kernel, Vec::new(), None, trimmed),
+            Ok(out) if crc32(&out) == self.golden_crc
+        );
+        InjectionOutcome {
+            fault: *fault,
+            classification: if recovered {
+                Classification::Recovered
+            } else {
+                Classification::Detected
+            },
+            detector: Some(detector),
+            recovery: recovered.then(|| "retry".to_owned()),
+            extra_runs,
+        }
+    }
+
+    /// Resolve a planned fault into the concrete run inputs: the (possibly
+    /// corrupted) kernel binary, the CU fault list, and the memory upset.
+    fn materialize(&self, fault: &PlannedFault) -> (Kernel, Vec<CuUpset>, Option<(u32, u8)>) {
+        match fault.payload {
+            FaultPayload::Cu(upset) => (self.kernel.clone(), vec![upset], None),
+            FaultPayload::Mem { word, bit } => (self.kernel.clone(), Vec::new(), Some((word, bit))),
+            FaultPayload::Inst { word, bit } => {
+                let mut words = self.kernel.words().to_vec();
+                if !words.is_empty() {
+                    let w = word as usize % words.len();
+                    words[w] ^= 1 << (bit % 32);
+                }
+                let corrupted = Kernel::from_words(self.kernel.name(), words, *self.kernel.meta());
+                (corrupted, Vec::new(), None)
+            }
+        }
+    }
+}
+
+/// The campaign's system configuration: the paper's DCD+PM baseline, one
+/// CU, metrics off (the fault subsystem publishes its own counters), and
+/// the given trim set + cycle budget on the CU.
+fn base_config(trim: Option<TrimSet>, cycle_limit: u64) -> SystemConfig {
+    let cu = CuConfig {
+        trim,
+        cycle_limit,
+        ..CuConfig::default()
+    };
+    SystemConfig::preset(SystemKind::DcdPm)
+        .with_cu_config(cu)
+        .with_metrics(false)
+}

@@ -1,0 +1,255 @@
+//! Seeded fault plans: what gets corrupted, where, and when.
+//!
+//! A [`FaultPlan`] is the reproducibility unit of the subsystem: generated
+//! from a seed against a set of kernel profiles, serde round-trippable, and
+//! executed fault-by-fault by the injection runner. Two runs of the same
+//! plan produce bit-identical campaigns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use scratch_system::{CuFault, CuUpset, FaultTarget};
+
+/// The injected fault taxonomy (the failure modes of §6's FPGA
+/// deployment argument: SEUs in register files, LDS and DRAM, corrupted
+/// instruction words, and transient datapath errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Bit-flip in a scalar register.
+    Sgpr,
+    /// Bit-flip in a vector register lane.
+    Vgpr,
+    /// Bit-flip in workgroup LDS.
+    Lds,
+    /// Bit-flip in global memory (the kernel's input image).
+    Mem,
+    /// Bit-flip in an instruction word of the kernel binary.
+    Inst,
+    /// Transient functional-unit error (condition-code output path).
+    Fu,
+}
+
+impl FaultClass {
+    /// Every class, in reporting order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::Sgpr,
+        FaultClass::Vgpr,
+        FaultClass::Lds,
+        FaultClass::Mem,
+        FaultClass::Inst,
+        FaultClass::Fu,
+    ];
+
+    /// Stable command-line name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Sgpr => "sgpr",
+            FaultClass::Vgpr => "vgpr",
+            FaultClass::Lds => "lds",
+            FaultClass::Mem => "mem",
+            FaultClass::Inst => "inst",
+            FaultClass::Fu => "fu",
+        }
+    }
+
+    /// Parse a command-line name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where one planned fault lands, in kernel-relative coordinates so a plan
+/// stays meaningful for any kernel it is resolved against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultPayload {
+    /// A pipeline upset executed by the CU's fault hook.
+    Cu(CuUpset),
+    /// A global-memory upset: word index into the kernel's input image
+    /// (resolved to an absolute address at run time) and bit position.
+    Mem {
+        /// Word offset into the input image.
+        word: u32,
+        /// Bit within the word.
+        bit: u8,
+    },
+    /// Corruption of one instruction word of the kernel binary, applied
+    /// before the program loads.
+    Inst {
+        /// Word index into the kernel binary (modulo its length).
+        word: u32,
+        /// Bit within the word.
+        bit: u8,
+    },
+}
+
+/// One scheduled fault of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedFault {
+    /// Position in the plan (stable id for reports).
+    pub id: u64,
+    /// The fault class the payload belongs to.
+    pub class: FaultClass,
+    /// Seed of the generated kernel the fault is injected into.
+    pub kernel_seed: u64,
+    /// The upset itself.
+    pub payload: FaultPayload,
+}
+
+/// What the planner needs to know about a kernel to schedule applicable
+/// faults: its static shape plus the dynamic issue count of a fault-free
+/// run (so `at_issue` always lands inside the execution window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Generator seed.
+    pub seed: u64,
+    /// Kernel binary length in words.
+    pub words: u32,
+    /// Input image length in words.
+    pub image_words: u32,
+    /// Dynamic instructions a fault-free run issues.
+    pub issues: u64,
+    /// Cycles the fault-free run took (the watchdog budget baseline).
+    pub cycles: u64,
+}
+
+/// A complete, reproducible fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from.
+    pub seed: u64,
+    /// Every scheduled fault.
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// Generate a plan: `per_cell` faults for every (kernel, class) pair,
+    /// deterministically from `seed`.
+    #[must_use]
+    pub fn generate(
+        seed: u64,
+        profiles: &[KernelProfile],
+        classes: &[FaultClass],
+        per_cell: u32,
+    ) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        let mut id = 0u64;
+        for profile in profiles {
+            for &class in classes {
+                for _ in 0..per_cell {
+                    let payload = plan_one(&mut rng, class, profile);
+                    faults.push(PlannedFault {
+                        id,
+                        class,
+                        kernel_seed: profile.seed,
+                        payload,
+                    });
+                    id += 1;
+                }
+            }
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// Faults scheduled against `kernel_seed`.
+    pub fn for_kernel(&self, kernel_seed: u64) -> impl Iterator<Item = &PlannedFault> {
+        self.faults
+            .iter()
+            .filter(move |f| f.kernel_seed == kernel_seed)
+    }
+}
+
+/// One planned fault of `class` against `profile`, drawn from `rng`.
+fn plan_one(rng: &mut StdRng, class: FaultClass, profile: &KernelProfile) -> FaultPayload {
+    let at_issue = rng.gen_range(1..=profile.issues.max(1));
+    let cu_target = |target: FaultTarget| {
+        FaultPayload::Cu(CuUpset {
+            cu: 0,
+            fault: CuFault { at_issue, target },
+        })
+    };
+    match class {
+        FaultClass::Sgpr => cu_target(FaultTarget::Sgpr {
+            reg: rng.gen_range(0..64u32),
+            bit: rng.gen_range(0..32u32) as u8,
+        }),
+        FaultClass::Vgpr => cu_target(FaultTarget::Vgpr {
+            reg: rng.gen_range(0..64u32),
+            lane: rng.gen_range(0..64u32) as u8,
+            bit: rng.gen_range(0..32u32) as u8,
+        }),
+        FaultClass::Lds => cu_target(FaultTarget::Lds {
+            word: rng.gen_range(0..1024u32),
+            bit: rng.gen_range(0..32u32) as u8,
+        }),
+        FaultClass::Fu => cu_target(FaultTarget::FuTransient {
+            bit: rng.gen_range(0..64u32) as u8,
+        }),
+        // Biased to the low 1024 words: generated kernels address the
+        // image through 12-bit instruction offsets, so that window is the
+        // live working set (upsets elsewhere are trivially masked).
+        FaultClass::Mem => FaultPayload::Mem {
+            word: rng.gen_range(0..profile.image_words.clamp(1, 1024)),
+            bit: rng.gen_range(0..32u32) as u8,
+        },
+        FaultClass::Inst => FaultPayload::Inst {
+            word: rng.gen_range(0..profile.words.max(1)),
+            bit: rng.gen_range(0..32u32) as u8,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> KernelProfile {
+        KernelProfile {
+            seed: 7,
+            words: 40,
+            image_words: 4096,
+            issues: 500,
+            cycles: 2000,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = [profile()];
+        let a = FaultPlan::generate(42, &p, &FaultClass::ALL, 5);
+        let b = FaultPlan::generate(42, &p, &FaultClass::ALL, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 6 * 5);
+        let c = FaultPlan::generate(43, &p, &FaultClass::ALL, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn at_issue_lands_inside_the_execution_window() {
+        let p = [profile()];
+        let plan = FaultPlan::generate(1, &p, &[FaultClass::Sgpr, FaultClass::Fu], 50);
+        for f in &plan.faults {
+            let FaultPayload::Cu(u) = f.payload else {
+                panic!("cu classes plan cu payloads")
+            };
+            assert!(u.fault.at_issue >= 1 && u.fault.at_issue <= 500);
+        }
+    }
+
+    #[test]
+    fn class_names_roundtrip() {
+        for c in FaultClass::ALL {
+            assert_eq!(FaultClass::parse(c.name()), Some(c));
+        }
+        assert_eq!(FaultClass::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the fault-injection invariants:
+//!
+//! * an empty (or armed-but-never-firing) fault schedule perturbs
+//!   nothing — output and cycle counts are bit-identical to a run with no
+//!   injection machinery at all;
+//! * DMR with no injected faults never votes mismatch (the simulator is
+//!   deterministic, so a replica disagreement always means a fault).
+
+use proptest::prelude::*;
+
+use scratch_check::GenKernel;
+use scratch_cu::CuConfig;
+use scratch_fault::{CuFault, CuUpset, FaultSpec, FaultTarget};
+use scratch_system::{System, SystemConfig, SystemKind};
+
+/// Run a generated kernel, returning (output words, cycles).
+fn run(seed: u64, spec: FaultSpec) -> (Vec<u32>, u64) {
+    let gk = GenKernel::generate(seed);
+    let kernel = gk.build().expect("generated kernels assemble");
+    let cfg = SystemConfig::preset(SystemKind::DcdPm)
+        .with_cu_config(CuConfig::default())
+        .with_metrics(false)
+        .with_faults(spec);
+    let mut sys = System::new(cfg, &kernel).expect("kernel decodes");
+    let out = sys.alloc(gk.out_bytes());
+    let inp = sys.alloc_words(&gk.image);
+    sys.set_args(&[out as u32, inp as u32]);
+    let cycles = sys
+        .dispatch([gk.wgs, 1, 1])
+        .expect("fault-free runs complete");
+    (sys.read_words(out, (gk.out_bytes() / 4) as usize), cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Empty `FaultSpec` and a hook armed with a fault that never fires
+    /// are both bit-identical (output *and* timing) to no injection.
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_injection(seed in 0u64..500) {
+        let plain = run(seed, FaultSpec::default());
+        let empty = run(seed, FaultSpec { cu: Vec::new(), mem: Vec::new() });
+        prop_assert_eq!(&plain, &empty);
+
+        // Hook installed but scheduled past the end of execution: the
+        // injection machinery itself must not perturb the run.
+        let armed = FaultSpec {
+            cu: vec![CuUpset {
+                cu: 0,
+                fault: CuFault {
+                    at_issue: u64::MAX,
+                    target: FaultTarget::Sgpr { reg: 0, bit: 0 },
+                },
+            }],
+            mem: Vec::new(),
+        };
+        prop_assert_eq!(&plain, &run(seed, armed));
+    }
+
+    /// DMR with no faults never mismatches: two clean executions of the
+    /// same kernel agree word-for-word.
+    #[test]
+    fn dmr_with_no_faults_never_mismatches(seed in 0u64..500) {
+        let a = run(seed, FaultSpec::default());
+        let b = run(seed, FaultSpec::default());
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn error_sources_chain_end_to_end() {
+    use std::error::Error;
+
+    use scratch_engine::JobError;
+    use scratch_fault::FaultError;
+    use scratch_system::{CuError, SystemError};
+
+    // CuError -> SystemError -> FaultError, walkable via source().
+    let cu = CuError::CycleLimit { limit: 7 };
+    let sys = SystemError::Cu(cu.clone());
+    let fault = FaultError::from(sys.clone());
+    let level1 = fault.source().expect("FaultError::System chains");
+    assert_eq!(level1.to_string(), sys.to_string());
+    let level2 = level1.source().expect("SystemError::Cu chains");
+    assert_eq!(level2.to_string(), cu.to_string());
+    assert!(level2.source().is_none());
+
+    // SystemError -> JobError likewise.
+    let job = JobError::System(sys.clone());
+    assert_eq!(
+        job.source().expect("JobError::System chains").to_string(),
+        sys.to_string()
+    );
+}

@@ -1,0 +1,95 @@
+//! System-level fault-injection specification.
+//!
+//! A [`FaultSpec`] attached to a
+//! [`SystemConfig`](crate::SystemConfig) schedules deterministic upsets
+//! for a run: per-CU pipeline faults (register/LDS/functional-unit
+//! upsets, executed by `scratch-cu`'s [`ScheduledFaults`] hook) and
+//! global-memory bit-flips applied host-side at dispatch boundaries.
+//!
+//! Memory upsets materialise *between* dispatches — before the epoch
+//! views of a dispatch are created — never in the middle of one. This is
+//! what keeps the dispatcher's serial-vs-parallel bit-identity invariant
+//! intact: every CU shard of a dispatch observes the same (possibly
+//! upset) memory image regardless of host scheduling, exactly as it would
+//! on the FPGA where an SEU that lands mid-kernel is indistinguishable
+//! from one that landed at the preceding launch edge for any location the
+//! kernel has not yet read.
+
+use serde::{Deserialize, Serialize};
+
+pub use scratch_cu::{CuFault, FaultHook, FaultRecord, FaultTarget, ScheduledFaults};
+
+/// A per-CU pipeline fault: which CU, and what fires inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CuUpset {
+    /// Compute-unit index the fault is installed on (modulo the CU count).
+    pub cu: u8,
+    /// The scheduled pipeline fault.
+    pub fault: CuFault,
+}
+
+/// A single global-memory upset, applied host-side at a dispatch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemUpset {
+    /// 0-based dispatch sequence number; the upset materialises right
+    /// before this dispatch runs.
+    pub dispatch: u64,
+    /// Byte address (modulo the memory size).
+    pub addr: u64,
+    /// Bit within the byte (modulo 8).
+    pub bit: u8,
+}
+
+/// Scheduled fault injection for a whole system run. Empty (the default)
+/// means injection is off and the simulator takes its untouched fast
+/// paths.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Pipeline faults, grouped per CU at system construction.
+    pub cu: Vec<CuUpset>,
+    /// Global-memory upsets, applied at dispatch boundaries.
+    pub mem: Vec<MemUpset>,
+}
+
+impl FaultSpec {
+    /// `true` when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cu.is_empty() && self.mem.is_empty()
+    }
+
+    /// Total scheduled upsets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cu.len() + self.mem.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_serde() {
+        let spec = FaultSpec {
+            cu: vec![CuUpset {
+                cu: 1,
+                fault: CuFault {
+                    at_issue: 9,
+                    target: FaultTarget::Sgpr { reg: 4, bit: 12 },
+                },
+            }],
+            mem: vec![MemUpset {
+                dispatch: 0,
+                addr: 0x2000,
+                bit: 7,
+            }],
+        };
+        let v = serde::Serialize::to_sval(&spec);
+        let back: FaultSpec = serde::Deserialize::from_sval(&v).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(spec.len(), 2);
+        assert!(!spec.is_empty());
+        assert!(FaultSpec::default().is_empty());
+    }
+}

@@ -61,12 +61,14 @@
 
 pub mod abi;
 mod error;
+pub mod fault;
 mod memory;
 mod system;
 
 pub use error::SystemError;
+pub use fault::{CuUpset, FaultSpec, MemUpset};
 pub use memory::{EpochDelta, EpochMemory, MemTiming, SharedMemory};
 pub use system::{RunReport, System, SystemConfig, SystemKind, TraceMode};
 
-pub use scratch_cu::CuStats;
+pub use scratch_cu::{CuError, CuFault, CuStats, FaultRecord, FaultTarget};
 pub use scratch_trace::{chrome_trace, EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer};

@@ -263,6 +263,17 @@ impl SharedMemory {
         }
     }
 
+    /// Flip one bit of a memory byte (host-side upset injection; no
+    /// timing). The address wraps modulo the memory size and the bit
+    /// modulo 8, so any scheduled upset is applicable.
+    pub fn flip_bit(&mut self, addr: u64, bit: u8) {
+        if self.data.is_empty() {
+            return;
+        }
+        let a = (addr % self.data.len() as u64) as usize;
+        self.data[a] ^= 1 << (bit % 8);
+    }
+
     /// Read words back (host-side read; no timing).
     ///
     /// # Panics

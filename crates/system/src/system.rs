@@ -13,6 +13,7 @@ use scratch_isa::{FuncUnit, WAVEFRONT_SIZE};
 use scratch_metrics::{Counter, Gauge, Histogram, Registry};
 use scratch_trace::{EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer as _};
 
+use crate::fault::{CuFault, FaultRecord, FaultSpec, ScheduledFaults};
 use crate::memory::{EpochDelta, EpochMemory, MemTiming, SharedMemory};
 use crate::{abi, SystemError};
 
@@ -118,6 +119,10 @@ pub struct SystemConfig {
     /// [`scratch_metrics::global`] registry. Hermetic tests inject a
     /// private one via [`SystemConfig::with_registry`].
     pub registry: Option<Registry>,
+    /// Scheduled fault injection (per-CU pipeline upsets + global-memory
+    /// bit-flips at dispatch boundaries). Empty by default: injection off,
+    /// untouched fast paths.
+    pub faults: FaultSpec,
 }
 
 impl SystemConfig {
@@ -135,6 +140,7 @@ impl SystemConfig {
             workers: 1,
             metrics: true,
             registry: None,
+            faults: FaultSpec::default(),
         }
     }
 
@@ -200,6 +206,14 @@ impl SystemConfig {
         self.registry = Some(registry);
         self
     }
+
+    /// Builder-style override of the scheduled fault injection (see
+    /// [`SystemConfig::faults`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> SystemConfig {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Cumulative measurements of a system run.
@@ -233,6 +247,9 @@ pub struct RunReport {
     pub trace: Option<TraceSummary>,
     /// The structured event stream ([`TraceMode::Full`] only).
     pub trace_events: Option<Vec<TraceEvent>>,
+    /// Pipeline faults that actually fired ([`SystemConfig::faults`];
+    /// empty when injection is off).
+    pub fault_records: Vec<FaultRecord>,
 }
 
 impl RunReport {
@@ -270,6 +287,10 @@ pub struct System {
     /// Registry handles + baselines of the metrics plane; `None` when
     /// [`SystemConfig::metrics`] is off.
     metrics: Option<SysMetrics>,
+    /// 0-based dispatch sequence number, for [`MemUpset`] scheduling.
+    dispatch_seq: u64,
+    /// Pipeline faults drained from the CUs after each dispatch.
+    fault_log: Vec<FaultRecord>,
 }
 
 impl System {
@@ -320,6 +341,18 @@ impl System {
                 TraceMode::Summary => cu.enable_tracing(u32::from(ci)),
                 TraceMode::Off => {}
             }
+            // Scheduled pipeline faults targeting this CU (indices taken
+            // modulo the CU count so plans stay valid across topologies).
+            let scheduled: Vec<CuFault> = config
+                .faults
+                .cu
+                .iter()
+                .filter(|u| u.cu % config.cus == ci)
+                .map(|u| u.fault)
+                .collect();
+            if !scheduled.is_empty() {
+                cu.set_fault_hook(Box::new(ScheduledFaults::new(u32::from(ci), scheduled)));
+            }
             cus.push(cu);
         }
         let n = kernels.len();
@@ -340,6 +373,8 @@ impl System {
             trace_buf,
             cu_bufs,
             metrics,
+            dispatch_seq: 0,
+            fault_log: Vec::new(),
         };
         sys.cb0_addr = sys.alloc(64);
         Ok(sys)
@@ -349,6 +384,14 @@ impl System {
     #[must_use]
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Schedule an additional global-memory upset after construction —
+    /// used when the target address is only known once the allocator has
+    /// placed the buffers. Applies at the same dispatch boundary as
+    /// upsets from [`SystemConfig::with_faults`].
+    pub fn schedule_mem_upset(&mut self, upset: crate::fault::MemUpset) {
+        self.config.faults.mem.push(upset);
     }
 
     /// The first loaded kernel.
@@ -473,6 +516,34 @@ impl System {
             });
         }
 
+        // Scheduled global-memory upsets materialise at the dispatch
+        // boundary, before any epoch view of this dispatch is created —
+        // every CU shard sees the same upset image whichever scheduler
+        // runs it (the serial-vs-parallel bit-identity invariant).
+        let seq = self.dispatch_seq;
+        self.dispatch_seq += 1;
+        if !self.config.faults.mem.is_empty() {
+            let now = self.cus.iter().map(ComputeUnit::now).max().unwrap_or(0);
+            for i in 0..self.config.faults.mem.len() {
+                let u = self.config.faults.mem[i];
+                if u.dispatch == seq {
+                    self.mem.flip_bit(u.addr, u.bit);
+                    if let Some(buf) = &mut self.trace_buf {
+                        buf.record(&TraceEvent::FaultInjected {
+                            cu: 0,
+                            wave: 0,
+                            class: "mem".to_owned(),
+                            detail: format!(
+                                "global byte {:#x} bit {} (dispatch {seq})",
+                                u.addr, u.bit
+                            ),
+                            now,
+                        });
+                    }
+                }
+            }
+        }
+
         // OpenCL call values.
         self.mem.write_words(
             self.cb0_addr,
@@ -551,6 +622,25 @@ impl System {
                 let _ = buf.take();
             }
             return Err(e);
+        }
+
+        // Drain pipeline-fault records in CU-index order (deterministic)
+        // and mirror them into the trace stream.
+        if !self.config.faults.cu.is_empty() {
+            for cu in &mut self.cus {
+                for rec in cu.drain_fault_records() {
+                    if let Some(buf) = &mut self.trace_buf {
+                        buf.record(&TraceEvent::FaultInjected {
+                            cu: rec.cu,
+                            wave: rec.wave,
+                            class: rec.target.class().to_owned(),
+                            detail: rec.target.to_string(),
+                            now: rec.now,
+                        });
+                    }
+                    self.fault_log.push(rec);
+                }
+            }
         }
 
         let spent = self
@@ -691,7 +781,15 @@ impl System {
             kernel_switches: self.kernel_switches,
             trace,
             trace_events: self.trace_buf.as_ref().map(EventBuffer::snapshot),
+            fault_records: self.fault_log.clone(),
         }
+    }
+
+    /// Pipeline faults that have fired so far (in CU-index order within
+    /// each dispatch; empty when injection is off).
+    #[must_use]
+    pub fn fault_records(&self) -> &[FaultRecord] {
+        &self.fault_log
     }
 }
 

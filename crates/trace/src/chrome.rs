@@ -358,6 +358,54 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                     obj(&[("cu", n(u64::from(*cu)))]),
                 ));
             }
+            TraceEvent::FaultInjected {
+                cu,
+                wave,
+                class,
+                detail,
+                now,
+            } => {
+                let pid = u64::from(*cu);
+                name_cu_track(
+                    &mut out,
+                    &mut named,
+                    &mut pids,
+                    pid,
+                    wave_tid(*wave),
+                    format!("wave {wave}"),
+                );
+                out.push(instant(
+                    &format!("fault[{class}]"),
+                    pid,
+                    wave_tid(*wave),
+                    *now,
+                    obj(&[("detail", s(detail))]),
+                ));
+            }
+            // Detection/recovery are campaign-level events: render them on
+            // the dispatcher track (pid 0) like kernel dispatches.
+            TraceEvent::FaultDetected {
+                label,
+                detector,
+                now,
+            } => {
+                out.push(instant(
+                    &format!("detected[{detector}]"),
+                    0,
+                    0,
+                    *now,
+                    obj(&[("label", s(label))]),
+                ));
+            }
+            TraceEvent::FaultRecovered { label, action, now } => {
+                out.push(instant(
+                    &format!("recovered[{action}]"),
+                    0,
+                    0,
+                    *now,
+                    obj(&[("label", s(label))]),
+                ));
+            }
             TraceEvent::Stall {
                 cu,
                 wave,

@@ -179,6 +179,39 @@ pub enum TraceEvent {
         /// First CU-local cycle after the shard.
         end: u64,
     },
+    /// A scheduled fault fired inside a CU (fault-injection campaigns;
+    /// see the `scratch-fault` crate).
+    FaultInjected {
+        /// Compute-unit index.
+        cu: u32,
+        /// CU-local wavefront id that was corrupted.
+        wave: u32,
+        /// Fault class (`sgpr`, `vgpr`, `lds`, `mem`, `inst`, `fu`).
+        class: String,
+        /// Human-readable description of the upset.
+        detail: String,
+        /// Cycle the fault fired.
+        now: u64,
+    },
+    /// A detector (CRC comparison, DMR vote, simulator error) flagged a
+    /// faulty run.
+    FaultDetected {
+        /// Run label the detection belongs to.
+        label: String,
+        /// Which detector fired (`crc`, `dmr`, `error`).
+        detector: String,
+        /// Cycle (or logical time) of the detection.
+        now: u64,
+    },
+    /// A recovery action resolved a detected fault.
+    FaultRecovered {
+        /// Run label the recovery belongs to.
+        label: String,
+        /// The action taken (`retry`, `untrimmed-fallback`, `rerun`).
+        action: String,
+        /// Cycle (or logical time) of the recovery.
+        now: u64,
+    },
     /// A coalesced stall interval `[from, to)` of one wavefront.
     Stall {
         /// Compute-unit index.
@@ -210,7 +243,10 @@ impl TraceEvent {
             | TraceEvent::MemStart { now, .. }
             | TraceEvent::MemComplete { now, .. }
             | TraceEvent::BarrierArrive { now, .. }
-            | TraceEvent::BarrierRelease { now, .. } => *now,
+            | TraceEvent::BarrierRelease { now, .. }
+            | TraceEvent::FaultInjected { now, .. }
+            | TraceEvent::FaultDetected { now, .. }
+            | TraceEvent::FaultRecovered { now, .. } => *now,
             TraceEvent::Execute { start, .. } | TraceEvent::ShardRun { start, .. } => *start,
             TraceEvent::Stall { from, .. } => *from,
         }

@@ -44,6 +44,10 @@ use scratch::asm::{assemble, Kernel};
 use scratch::check::{fuzz, FuzzConfig, OracleKind};
 use scratch::core::Scratch;
 use scratch::engine::{Engine, JobError};
+use scratch::fault::{
+    build_contexts, cross_validate, run_plan, FaultClass, FaultPlan, KernelProfile,
+    Mode as FaultMode,
+};
 use scratch::fpga::ParallelPlan;
 use scratch::isa::FuncUnit;
 use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
@@ -133,6 +137,31 @@ fn metrics_warmup() -> Result<(), String> {
         o.result.map_err(|e| format!("{}: {e}", o.label))?;
     }
     Ok(())
+}
+
+/// Parse `<flag> N` (decimal or `0x` hex) from the argument list.
+fn flag_u64(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match args
+        .iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+    {
+        None => Ok(default),
+        Some(v) => {
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.map_err(|_| format!("{flag}: `{v}` is not a number"))
+        }
+    }
+}
+
+/// Value of `<flag> VALUE` from the argument list, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
 }
 
 fn main() -> ExitCode {
@@ -351,24 +380,27 @@ fn real_main() -> Result<(), String> {
             Ok(())
         }
         "fuzz" => {
-            let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
-                match args
-                    .iter()
-                    .position(|a| a == flag)
-                    .and_then(|i| args.get(i + 1))
-                {
-                    None => Ok(default),
-                    Some(v) => {
-                        let parsed = match v.strip_prefix("0x") {
-                            Some(hex) => u64::from_str_radix(hex, 16),
-                            None => v.parse(),
-                        };
-                        parsed.map_err(|_| format!("{flag}: `{v}` is not a number"))
-                    }
+            let seed = flag_u64(&args, "--seed", 0)?;
+            let cases = flag_u64(&args, "--cases", 100)?;
+            if args.iter().any(|a| a == "--inject") {
+                // Injection cross-validation: every case runs once per
+                // fault class with a seeded fault, the reference
+                // interpreter acting as the oracle. A silent escape (wrong
+                // output the oracle missed) fails the sweep.
+                let report = cross_validate(seed, u32::try_from(cases).unwrap_or(u32::MAX))
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "inject sweep: {} kernels, {} faults — {} masked, {} caught, {} silent",
+                    report.cases, report.injected, report.masked, report.caught, report.silent
+                );
+                for f in &report.failures {
+                    println!("  SILENT: {f}");
                 }
-            };
-            let seed = parse_u64("--seed", 0)?;
-            let cases = parse_u64("--cases", 100)?;
+                if report.silent > 0 {
+                    return Err(format!("{} silent corruptions", report.silent));
+                }
+                return Ok(());
+            }
             let oracles = match args
                 .iter()
                 .position(|a| a == "--oracle")
@@ -414,6 +446,78 @@ fn real_main() -> Result<(), String> {
             }
             if !report.divergences.is_empty() {
                 return Err(format!("{} divergences found", report.divergences.len()));
+            }
+            Ok(())
+        }
+        "inject" => {
+            let seed = flag_u64(&args, "--seed", 1)?;
+            let kernels = flag_u64(&args, "--kernels", 4)?;
+            let per = flag_u64(&args, "--per", 4)?;
+            let jobs = flag_u64(&args, "--jobs", 1)?;
+            let mode = match flag_value(&args, "--mode").map(String::as_str) {
+                None => FaultMode::Crc,
+                Some(name) => FaultMode::parse(name)
+                    .ok_or_else(|| format!("unknown mode `{name}` (crc|dmr|plain)"))?,
+            };
+            let classes: Vec<FaultClass> = match flag_value(&args, "--classes").map(String::as_str)
+            {
+                None | Some("all") => FaultClass::ALL.to_vec(),
+                Some(list) => list
+                    .split(',')
+                    .map(|name| {
+                        FaultClass::parse(name)
+                            .ok_or_else(|| format!("unknown fault class `{name}`"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+
+            // The plan either loads from --plan (replaying a recorded
+            // campaign bit-for-bit) or generates from the seed.
+            let (plan, contexts) = match flag_value(&args, "--plan") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    let plan: FaultPlan =
+                        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+                    let mut seeds: Vec<u64> = Vec::new();
+                    for f in &plan.faults {
+                        if !seeds.contains(&f.kernel_seed) {
+                            seeds.push(f.kernel_seed);
+                        }
+                    }
+                    let contexts = build_contexts(&seeds).map_err(|e| e.to_string())?;
+                    (plan, contexts)
+                }
+                None => {
+                    let seeds: Vec<u64> = (0..kernels).map(|i| seed + i).collect();
+                    let contexts = build_contexts(&seeds).map_err(|e| e.to_string())?;
+                    let profiles: Vec<KernelProfile> = contexts.iter().map(|c| c.profile).collect();
+                    let plan = FaultPlan::generate(
+                        seed,
+                        &profiles,
+                        &classes,
+                        u32::try_from(per).unwrap_or(u32::MAX),
+                    );
+                    (plan, contexts)
+                }
+            };
+            if let Some(path) = flag_value(&args, "--plan-out") {
+                std::fs::write(path, serde_json::to_string_pretty(&plan).unwrap())
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote {} planned faults to {path}", plan.faults.len());
+            }
+
+            let report = run_plan(&plan, contexts, mode, usize::try_from(jobs).unwrap_or(1))
+                .map_err(|e| e.to_string())?;
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", serde_json::to_string_pretty(&report).unwrap());
+            } else {
+                print!("{}", report.table());
+            }
+            if mode.detects() && report.totals.silent > 0 {
+                return Err(format!(
+                    "{} silent corruptions under detecting mode {mode}",
+                    report.totals.silent
+                ));
             }
             Ok(())
         }
@@ -463,6 +567,14 @@ fn real_main() -> Result<(), String> {
                  \x20                                   differential conformance campaign; prints a\n\
                  \x20                                   minimized repro for any divergence\n\
                  \x20          [--metrics-addr HOST:PORT]  scrape campaign counters live\n\
+                 \x20          [--inject]        cross-validate fault detection: one fault per\n\
+                 \x20                            class per case, reference oracle as detector\n\
+                 \x20 inject   [--seed S] [--kernels N] [--per N] [--classes sgpr,vgpr,lds,mem,inst,fu]\n\
+                 \x20          [--mode crc|dmr|plain] [--jobs N] [--json]\n\
+                 \x20          [--plan FILE] [--plan-out FILE]\n\
+                 \x20                            seeded fault-injection campaign; prints the\n\
+                 \x20                            masked/detected/recovered/silent table and\n\
+                 \x20                            fails on any silent corruption\n\
                  \x20 serve-metrics [--addr HOST:PORT] [--once]\n\
                  \x20                                   warm up the simulators, then serve the\n\
                  \x20                                   metrics registry as Prometheus text and\n\

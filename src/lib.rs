@@ -23,7 +23,10 @@
 //! * [`trace`] — cycle-attribution and event-tracing subsystem (stall
 //!   taxonomy, Chrome `trace_event` export);
 //! * [`metrics`] — always-on counters, latency histograms and the
-//!   Prometheus/JSON exposition layer.
+//!   Prometheus/JSON exposition layer;
+//! * [`fault`] — seeded fault injection, watchdog supervision and
+//!   redundant-execution recovery (bit-flip/instruction/transient fault
+//!   plans, CRC and DMR detection, resilience campaigns).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -32,6 +35,7 @@ pub use scratch_check as check;
 pub use scratch_core as core;
 pub use scratch_cu as cu;
 pub use scratch_engine as engine;
+pub use scratch_fault as fault;
 pub use scratch_fpga as fpga;
 pub use scratch_isa as isa;
 pub use scratch_kernels as kernels;
