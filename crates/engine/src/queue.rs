@@ -4,7 +4,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -127,6 +127,12 @@ struct Shared<T> {
     /// The pool's logical clock: ticks once per queue event (submit,
     /// pickup, completion). See [`JobTiming`].
     clock: AtomicU64,
+    /// Submission-id counter (also the total number of jobs submitted).
+    submitted: AtomicU64,
+    /// Outcomes produced so far (including failures).
+    completed: AtomicU64,
+    /// Jobs a worker has picked up but not yet finished.
+    in_flight: AtomicUsize,
     /// Registry handles; `None` when the engine's metrics plane is off.
     metrics: Option<EngineMetrics>,
 }
@@ -211,6 +217,7 @@ fn worker_loop<T>(shared: &Shared<T>, results: &Sender<JobOutcome<T>>) {
             }
         };
         let started_tick = shared.tick();
+        shared.in_flight.fetch_add(1, Ordering::Release);
         if let Some(m) = &shared.metrics {
             m.queue_depth.dec();
             m.busy_workers.inc();
@@ -244,6 +251,11 @@ fn worker_loop<T>(shared: &Shared<T>, results: &Sender<JobOutcome<T>>) {
                 finished: finished_tick,
             },
         });
+        // Ordered after the send: once `completed_count() == submitted_count()`
+        // holds, every outcome has also been routed — the invariant the
+        // serving layer's graceful drain waits on.
+        shared.in_flight.fetch_sub(1, Ordering::Release);
+        shared.completed.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -345,6 +357,9 @@ impl Engine {
             }),
             available: Condvar::new(),
             clock: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
             metrics,
         });
         let (tx, rx) = channel();
@@ -361,9 +376,8 @@ impl Engine {
         EngineHandle {
             shared,
             threads,
-            results: rx,
-            submitted: 0,
-            received: 0,
+            results: Mutex::new(rx),
+            received: AtomicU64::new(0),
         }
     }
 
@@ -376,7 +390,7 @@ impl Engine {
         F: FnOnce() -> Result<T, JobError> + Send + 'static,
         L: Into<String>,
     {
-        let mut handle = self.start();
+        let handle = self.start();
         for (label, work) in jobs {
             handle.submit(label, work);
         }
@@ -393,15 +407,18 @@ impl Default for Engine {
 
 /// A running engine pool: submit jobs, stream their outcomes, join.
 ///
+/// Submission takes `&self` and the handle is `Sync`, so many threads can
+/// push jobs into one shared pool concurrently (e.g. the serving layer's
+/// connection handlers); ids still come out strictly in submission order.
+///
 /// Dropping the handle shuts the pool down gracefully — already-queued
 /// jobs still run, their outcomes are discarded, and the worker threads
 /// are joined.
 pub struct EngineHandle<T> {
     shared: Arc<Shared<T>>,
     threads: Vec<JoinHandle<()>>,
-    results: Receiver<JobOutcome<T>>,
-    submitted: u64,
-    received: u64,
+    results: Mutex<Receiver<JobOutcome<T>>>,
+    received: AtomicU64,
 }
 
 impl<T: Send + 'static> EngineHandle<T> {
@@ -410,7 +427,7 @@ impl<T: Send + 'static> EngineHandle<T> {
     /// number, and the outcome carries the first success or the last
     /// error. Panics are not retried — a panicking job is a bug, not a
     /// transient fault.
-    pub fn submit_retrying<F>(&mut self, label: impl Into<String>, attempts: u32, work: F) -> u64
+    pub fn submit_retrying<F>(&self, label: impl Into<String>, attempts: u32, work: F) -> u64
     where
         F: Fn(u32) -> Result<T, JobError> + Send + 'static,
     {
@@ -428,12 +445,11 @@ impl<T: Send + 'static> EngineHandle<T> {
 
     /// Queue a job; returns its submission id. Jobs start as soon as a
     /// worker is free.
-    pub fn submit<F>(&mut self, label: impl Into<String>, work: F) -> u64
+    pub fn submit<F>(&self, label: impl Into<String>, work: F) -> u64
     where
         F: FnOnce() -> Result<T, JobError> + Send + 'static,
     {
-        let id = self.submitted;
-        self.submitted += 1;
+        let id = self.shared.submitted.fetch_add(1, Ordering::AcqRel);
         let enqueued = self.shared.tick();
         if let Some(m) = &self.shared.metrics {
             m.submitted.inc();
@@ -456,21 +472,66 @@ impl<T: Send + 'static> EngineHandle<T> {
     /// until one is ready. Returns `None` when every submitted job's
     /// outcome has already been received.
     pub fn recv(&mut self) -> Option<JobOutcome<T>> {
-        if self.received >= self.submitted {
+        let rx = self.results.lock().expect("engine results lock");
+        if self.received.load(Ordering::Acquire) >= self.submitted_count() {
             return None;
         }
-        let outcome = self
-            .results
-            .recv()
-            .expect("engine workers outlive the handle");
-        self.received += 1;
+        let outcome = rx.recv().expect("engine workers outlive the handle");
+        self.received.fetch_add(1, Ordering::AcqRel);
+        Some(outcome)
+    }
+
+    /// Receive the next completed outcome if one is already waiting,
+    /// without blocking (and without contending — if another thread holds
+    /// the receive side, this just reports nothing ready). Lets a caller
+    /// that routes results elsewhere (e.g. a serving layer whose job
+    /// closures answer clients directly) drain the outcome channel
+    /// opportunistically so records never pile up.
+    pub fn try_recv(&self) -> Option<JobOutcome<T>> {
+        let rx = self.results.try_lock().ok()?;
+        let outcome = rx.try_recv().ok()?;
+        self.received.fetch_add(1, Ordering::AcqRel);
         Some(outcome)
     }
 
     /// Jobs submitted whose outcomes have not been received yet.
     #[must_use]
     pub fn pending(&self) -> u64 {
-        self.submitted - self.received
+        self.submitted_count() - self.received.load(Ordering::Acquire)
+    }
+
+    /// Total jobs submitted to the pool so far.
+    #[must_use]
+    pub fn submitted_count(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Acquire)
+    }
+
+    /// Outcomes the pool has produced so far (successes and failures
+    /// alike). Once this equals [`submitted_count`](Self::submitted_count)
+    /// the pool is idle and every outcome has been routed — the invariant
+    /// a graceful drain waits on.
+    #[must_use]
+    pub fn completed_count(&self) -> u64 {
+        self.shared.completed.load(Ordering::Acquire)
+    }
+
+    /// Jobs sitting in the queue right now, not yet picked up by a worker.
+    /// Together with [`in_flight`](Self::in_flight) this is the backlog an
+    /// admission controller bounds.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state lock")
+            .jobs
+            .len()
+    }
+
+    /// Jobs a worker is executing right now.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
     }
 
     /// Drain every outstanding outcome, shut the pool down, and return

@@ -87,27 +87,35 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Read the request head and answer it.
+/// Read the request head and answer it. Every path through here answers
+/// with a well-formed HTTP response and returns — a malformed, truncated,
+/// oversized or slow-trickling request can close the connection early or
+/// earn a 4xx, but never panics the accept loop.
 fn handle(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
-    let mut buf = [0u8; 1024];
-    let mut len = 0;
-    // Read until the end of the header block (or the buffer fills — any
-    // real scrape request head fits comfortably).
-    while len < buf.len() {
-        let n = stream.read(&mut buf[len..])?;
-        if n == 0 {
-            break;
+    let head = match read_head(&mut stream) {
+        Ok(head) => head,
+        Err(HeadError::TooLarge) => {
+            return respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "text/plain",
+                "request head too large\n",
+            )
         }
-        len += n;
-        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&buf[..len]);
+        // The peer vanished mid-request (or trickled past the read
+        // timeout) — nothing left to answer.
+        Err(HeadError::Io(e)) => return Err(e),
+    };
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = if method != "GET" {
+    let (status, content_type, body) = if method.is_empty() || path.is_empty() {
+        (
+            "400 Bad Request",
+            "text/plain",
+            "malformed request line\n".to_owned(),
+        )
+    } else if method != "GET" {
         (
             "405 Method Not Allowed",
             "text/plain",
@@ -133,11 +141,53 @@ fn handle(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
             _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
         }
     };
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    respond(&mut stream, status, content_type, &body)
+}
+
+/// Why the request head could not be read.
+enum HeadError {
+    /// The head outgrew the buffer without a `\r\n\r\n` terminator.
+    TooLarge,
+    /// The socket failed (peer closed mid-request, read timeout, …).
+    Io(io::Error),
+}
+
+/// Read until the end of the header block. Short reads are the norm here
+/// — a client may deliver the head one byte at a time across many TCP
+/// segments — so keep reading until the terminator, EOF, or the cap.
+fn read_head(stream: &mut TcpStream) -> Result<String, HeadError> {
+    let mut buf = [0u8; 1024];
+    let mut len = 0;
+    loop {
+        if len == buf.len() {
+            return Err(HeadError::TooLarge);
+        }
+        let n = match stream.read(&mut buf[len..]) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HeadError::Io(e)),
+        };
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf[..len]).into_owned())
+}
+
+/// Write a complete response, looping over short writes (`write_all`
+/// retries partial writes and `Interrupted` internally).
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
-    )
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
 }
 
 #[cfg(test)]
@@ -171,6 +221,83 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        server.shutdown();
+    }
+
+    /// A request head trickling in one byte per write still parses: the
+    /// read loop must tolerate arbitrarily short reads.
+    #[test]
+    fn partial_reads_still_answered() {
+        let registry = Registry::new();
+        registry.counter("pings_total", "Pings").inc();
+        let server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        for b in b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n" {
+            s.write_all(&[*b]).unwrap();
+            s.flush().unwrap();
+        }
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.contains("pings_total 1\n"));
+
+        server.shutdown();
+    }
+
+    /// A malformed request line earns a 400 (and the server survives to
+    /// answer the next request); a non-GET method earns a 405.
+    #[test]
+    fn malformed_request_line_is_a_400() {
+        let registry = Registry::new();
+        let server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+        let addr = server.addr();
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET\r\n\r\n").unwrap(); // method, no path
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"\x00\xff\x00garbage\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        // One junk token parses as a method with no path.
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+
+        // Still alive afterwards.
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200"));
+        server.shutdown();
+    }
+
+    /// A head that never terminates within the buffer earns a 431 instead
+    /// of being parsed as garbage (or wedging the loop).
+    #[test]
+    fn oversized_head_is_a_431() {
+        let registry = Registry::new();
+        let server = MetricsServer::serve("127.0.0.1:0", registry).unwrap();
+        let addr = server.addr();
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Exactly the buffer size, no terminator: the server consumes it
+        // all, then refuses (nothing left unread, so we get a clean FIN).
+        let mut long = b"GET /".to_vec();
+        long.resize(1024, b'x');
+        s.write_all(&long).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 431"), "{out}");
+
+        // A peer that connects and immediately hangs up is also survivable.
+        drop(TcpStream::connect(addr).unwrap());
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200"));
         server.shutdown();
     }
 }

@@ -1,0 +1,101 @@
+//! Serving-layer overhead: submit→Done round trips through a real daemon
+//! on loopback, against the two paths a client can hit — a full execution
+//! round trip, and the pure admission/shed path (no engine work at all).
+//! The shed path bounds the serving tax: protocol parse + admission
+//! decision + response, no simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use scratch_check::GenKernel;
+use scratch_metrics::Registry;
+use scratch_serve::{ServeClient, ServeConfig, Server, SubmitRequest};
+
+fn workload(seed: u64) -> GenKernel {
+    let mut s = seed;
+    loop {
+        let gk = GenKernel::generate(s);
+        if gk.build().is_ok() {
+            return gk;
+        }
+        s = s.wrapping_add(1);
+    }
+}
+
+fn submit_of(gk: &GenKernel, tenant: &str) -> SubmitRequest {
+    SubmitRequest {
+        tenant: tenant.to_owned(),
+        label: "bench".to_owned(),
+        kernel: gk.build().expect("buildable"),
+        input: gk.image.clone(),
+        grid: [gk.wgs, 1, 1],
+        out_bytes: gk.out_bytes(),
+        system: None,
+        return_output: false,
+    }
+}
+
+fn serve_roundtrip(c: &mut Criterion) {
+    let gk = workload(1);
+
+    let mut group = c.benchmark_group("serve_roundtrip");
+    group.sample_size(10).throughput(Throughput::Elements(1));
+
+    // Full path: admission + engine execution + Done.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    group.bench_function("submit_exec_done", |b| {
+        b.iter(|| {
+            client
+                .submit(submit_of(&gk, "bench"))
+                .expect("protocol")
+                .expect("admits");
+            let done = client.recv_done().expect("completes");
+            assert!(done.ok);
+        });
+    });
+
+    // Ping: one protocol round trip, no admission, no execution — the
+    // floor set by JSON + TCP + the connection's reader/writer threads.
+    group.bench_function("ping", |b| {
+        b.iter(|| assert!(client.ping().expect("pong")));
+    });
+    drop(client);
+    server.shutdown();
+
+    // Shed path: tenant_cap 0 rejects instantly, measuring protocol +
+    // admission bookkeeping alone.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            tenant_cap: 0,
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    group.bench_function("submit_shed", |b| {
+        b.iter(|| {
+            client
+                .submit(submit_of(&gk, "bench"))
+                .expect("protocol")
+                .expect_err("tenant_cap 0 always sheds");
+        });
+    });
+    drop(client);
+    server.shutdown();
+
+    group.finish();
+}
+
+criterion_group!(benches, serve_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,300 @@
+//! Closed-loop load harness: drive a serve daemon with hundreds of
+//! concurrent synthetic clients and measure its saturation curve.
+//!
+//! Each client is *closed-loop*: it keeps exactly one job outstanding,
+//! submitting the next only after the previous one's `Done` (or after the
+//! backoff a `Rejected` suggests). Offered load therefore scales with the
+//! client count, and the curve of completed throughput and latency
+//! quantiles against client count is the classic saturation plot: flat
+//! latency while capacity lasts, then a knee where queueing dominates and
+//! admission control starts shedding.
+//!
+//! Traffic is mixed seeded kernels from `scratch-check`'s generator, so
+//! the daemon sees the same adversarial programs the differential fuzzer
+//! uses — and every reported digest is reproducible from the seed.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use scratch_asm::Kernel;
+use scratch_check::GenKernel;
+
+use crate::client::ServeClient;
+use crate::protocol::SubmitRequest;
+
+/// What to drive at the daemon.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Daemon address, e.g. `127.0.0.1:7070`.
+    pub addr: String,
+    /// Client counts, one load step per entry (e.g. `[1, 2, 4, 8, 16]`).
+    pub steps: Vec<usize>,
+    /// How long each step runs.
+    pub duration_ms: u64,
+    /// Base seed for kernel generation.
+    pub seed: u64,
+    /// Distinct kernels in the traffic mix.
+    pub kernels: usize,
+    /// Distinct tenants the clients bill against (round-robin).
+    pub tenants: usize,
+}
+
+impl Default for LoadPlan {
+    fn default() -> LoadPlan {
+        LoadPlan {
+            addr: "127.0.0.1:7070".to_owned(),
+            steps: vec![1, 2, 4, 8, 16, 32],
+            duration_ms: 2000,
+            seed: 1,
+            kernels: 8,
+            tenants: 4,
+        }
+    }
+}
+
+/// Measurements of one load step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Concurrent closed-loop clients in this step.
+    pub clients: u64,
+    /// Step duration in milliseconds (wall clock, measured).
+    pub duration_ms: u64,
+    /// Submissions attempted (accepted + shed).
+    pub attempted: u64,
+    /// Submissions the daemon admitted.
+    pub accepted: u64,
+    /// Submissions the daemon shed (typed rejections).
+    pub shed: u64,
+    /// Completions whose run failed server-side.
+    pub failed: u64,
+    /// Jobs that completed during the step.
+    pub completed: u64,
+    /// Attempted submissions per second (offered load).
+    pub offered_per_sec: f64,
+    /// Completed jobs per second (goodput).
+    pub completed_per_sec: f64,
+    /// Simulated instructions retired by completed jobs.
+    pub instructions: u64,
+    /// Simulated instructions per wall-clock second (aggregate engine
+    /// throughput as seen through the service).
+    pub instr_per_sec: f64,
+    /// End-to-end client-side latency quantiles, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: u64,
+}
+
+/// The full saturation curve: one [`StepReport`] per client count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Base seed the kernel mix was generated from.
+    pub seed: u64,
+    /// Distinct kernels in the mix.
+    pub kernels: u64,
+    /// Distinct tenants.
+    pub tenants: u64,
+    /// One entry per load step, in plan order.
+    pub steps: Vec<StepReport>,
+}
+
+/// One pre-built kernel of the traffic mix.
+struct Workload {
+    kernel: Kernel,
+    image: Vec<u32>,
+    grid: [u32; 3],
+    out_bytes: u64,
+}
+
+/// Pre-generate `count` buildable kernels starting at `seed` (seeds whose
+/// generated program fails to assemble are skipped, as the fuzzer does).
+fn build_mix(seed: u64, count: usize) -> Vec<Workload> {
+    let mut mix = Vec::with_capacity(count);
+    let mut s = seed;
+    while mix.len() < count {
+        let gk = GenKernel::generate(s);
+        s = s.wrapping_add(1);
+        let Ok(kernel) = gk.build() else { continue };
+        mix.push(Workload {
+            kernel,
+            image: gk.image.clone(),
+            grid: [gk.wgs, 1, 1],
+            out_bytes: gk.out_bytes(),
+        });
+    }
+    mix
+}
+
+/// Shared per-step tallies.
+#[derive(Default)]
+struct Tally {
+    attempted: AtomicU64,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    completed: AtomicU64,
+    instructions: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+/// Run the plan against a live daemon and return the saturation curve.
+///
+/// # Errors
+///
+/// Failure to connect or a protocol violation; admission rejections are
+/// data, not errors.
+pub fn run_load(plan: &LoadPlan) -> io::Result<LoadReport> {
+    // A connect probe up front turns "no daemon there" into one clean
+    // error instead of a failure per client thread.
+    ServeClient::connect(&plan.addr)?.ping()?;
+    let mix = build_mix(plan.seed, plan.kernels.max(1));
+    let tenants = plan.tenants.max(1);
+
+    let mut steps = Vec::with_capacity(plan.steps.len());
+    for &clients in &plan.steps {
+        let clients = clients.max(1);
+        let tally = Tally::default();
+        let started = Instant::now();
+        let deadline = started + Duration::from_millis(plan.duration_ms.max(1));
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let tenant = format!("t{}", c % tenants);
+                let tally = &tally;
+                let mix = &mix;
+                let addr = &plan.addr;
+                scope.spawn(move || {
+                    client_loop(addr, &tenant, c, mix, deadline, tally);
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let mut lat = tally.latencies_us.into_inner().expect("latency lock");
+        lat.sort_unstable();
+        let q = |p: f64| {
+            if lat.is_empty() {
+                0
+            } else {
+                let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+                lat[idx.min(lat.len() - 1)]
+            }
+        };
+        let mean = if lat.is_empty() {
+            0
+        } else {
+            lat.iter().sum::<u64>() / lat.len() as u64
+        };
+        let attempted = tally.attempted.load(Ordering::Acquire);
+        let completed = tally.completed.load(Ordering::Acquire);
+        let instructions = tally.instructions.load(Ordering::Acquire);
+        steps.push(StepReport {
+            clients: clients as u64,
+            duration_ms: elapsed.as_millis().try_into().unwrap_or(u64::MAX),
+            attempted,
+            accepted: tally.accepted.load(Ordering::Acquire),
+            shed: tally.shed.load(Ordering::Acquire),
+            failed: tally.failed.load(Ordering::Acquire),
+            completed,
+            offered_per_sec: attempted as f64 / secs,
+            completed_per_sec: completed as f64 / secs,
+            instructions,
+            instr_per_sec: instructions as f64 / secs,
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+            mean_us: mean,
+        });
+    }
+    Ok(LoadReport {
+        seed: plan.seed,
+        kernels: mix.len() as u64,
+        tenants: tenants as u64,
+        steps,
+    })
+}
+
+/// One closed-loop client: submit, await the outcome, repeat until the
+/// deadline; on rejection honour the server's backoff hint.
+fn client_loop(
+    addr: &str,
+    tenant: &str,
+    client_idx: usize,
+    mix: &[Workload],
+    deadline: Instant,
+    tally: &Tally,
+) {
+    let Ok(mut client) = ServeClient::connect(addr) else {
+        return;
+    };
+    let mut i = client_idx; // stagger the mix across clients
+    while Instant::now() < deadline {
+        let w = &mix[i % mix.len()];
+        i = i.wrapping_add(1);
+        let begun = Instant::now();
+        let request = SubmitRequest {
+            tenant: tenant.to_owned(),
+            label: format!("load-{client_idx}-{i}"),
+            kernel: w.kernel.clone(),
+            input: w.image.clone(),
+            grid: w.grid,
+            out_bytes: w.out_bytes,
+            system: None,
+            return_output: false,
+        };
+        tally.attempted.fetch_add(1, Ordering::AcqRel);
+        match client.submit(request) {
+            Ok(Ok(_job)) => {
+                tally.accepted.fetch_add(1, Ordering::AcqRel);
+                // Closed loop: wait for this job's outcome before the
+                // next submission. Accepted jobs always complete, so
+                // this cannot wedge past the engine watchdog.
+                match client.recv_done() {
+                    Ok(done) => {
+                        tally.completed.fetch_add(1, Ordering::AcqRel);
+                        tally
+                            .instructions
+                            .fetch_add(done.instructions, Ordering::AcqRel);
+                        if !done.ok {
+                            tally.failed.fetch_add(1, Ordering::AcqRel);
+                        }
+                        let us = u64::try_from(begun.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        tally.latencies_us.lock().expect("latency lock").push(us);
+                    }
+                    Err(_) => return, // connection died mid-job
+                }
+            }
+            Ok(Err(rejection)) => {
+                tally.shed.fetch_add(1, Ordering::AcqRel);
+                let backoff = rejection
+                    .retry_after_ms
+                    .map_or(Duration::from_millis(5), Duration::from_millis)
+                    .min(Duration::from_millis(50));
+                std::thread::sleep(backoff);
+            }
+            Err(_) => return, // connection died
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_skips_unbuildable_seeds_and_fills_count() {
+        let mix = build_mix(7, 5);
+        assert_eq!(mix.len(), 5);
+        for w in &mix {
+            assert!(w.out_bytes >= 8192);
+            assert_eq!(w.grid[1], 1);
+            assert!(!w.image.is_empty());
+        }
+    }
+}

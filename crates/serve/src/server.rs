@@ -1,0 +1,714 @@
+//! The daemon: TCP accept loop, per-connection protocol handling,
+//! admission control, engine execution, and graceful drain.
+//!
+//! ## Threading model
+//!
+//! One accept thread; two threads per connection (a reader that parses
+//! request lines and makes admission decisions, and a writer that owns
+//! the socket's send side, fed by an mpsc channel); one shared
+//! `scratch-engine` pool executing the admitted jobs. A job's completion
+//! closure serializes its own [`Response::Done`] into the originating
+//! connection's channel, so results stream back without any central
+//! router — and a disconnected client simply makes the send a no-op
+//! (the job itself always runs to completion; accepted work is never
+//! dropped).
+//!
+//! ## Admission control
+//!
+//! A submission passes four gates, in order: the server is not draining;
+//! the request is well-formed and within size limits; the shared engine
+//! queue has room (`queue_cap`) and the tenant is below its own bound
+//! (`tenant_cap`); and the tenant's token bucket has a token. Each gate
+//! sheds with its own typed [`RejectReason`] so clients can tell "back
+//! off" from "give up".
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scratch_engine::{Engine, EngineHandle};
+use scratch_metrics::{Counter, Gauge, Histogram, Registry};
+use scratch_system::{CuError, System, SystemConfig, SystemError};
+
+use crate::protocol::{
+    fnv1a, JobDone, RejectReason, Rejection, Request, Response, StatsReply, SubmitRequest,
+    TenantStats,
+};
+use crate::quota::TokenBucket;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Engine pool workers (`0` = one per available core).
+    pub workers: usize,
+    /// Maximum jobs waiting in the shared engine queue; beyond this every
+    /// tenant is shed with [`RejectReason::Overloaded`].
+    pub queue_cap: usize,
+    /// Maximum jobs one tenant may have queued or running; beyond it the
+    /// tenant is shed with [`RejectReason::TenantQueueFull`].
+    pub tenant_cap: usize,
+    /// Token-bucket refill rate per tenant, jobs/second (`0` disables
+    /// rate limiting).
+    pub rate: f64,
+    /// Token-bucket capacity per tenant (burst allowance).
+    pub burst: f64,
+    /// Per-job simulated-cycle budget; a kernel that exceeds it resolves
+    /// to a failed [`JobDone`] instead of wedging a worker.
+    pub watchdog_cycles: u64,
+    /// Largest accepted input buffer, in words.
+    pub max_input_words: usize,
+    /// Largest accepted output allocation, in bytes.
+    pub max_out_bytes: u64,
+    /// Registry the serving metrics publish into (`None` = the
+    /// process-global registry).
+    pub registry: Option<Registry>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_cap: 256,
+            tenant_cap: 64,
+            rate: 0.0,
+            burst: 32.0,
+            watchdog_cycles: scratch_engine::DEFAULT_WATCHDOG_CYCLES,
+            max_input_words: 1 << 20,
+            max_out_bytes: 64 << 20,
+            registry: None,
+        }
+    }
+}
+
+/// Registry handles for the serving layer's counters.
+struct ServeMetrics {
+    submitted: Counter,
+    accepted: Counter,
+    completed: Counter,
+    failed: Counter,
+    shed: [(RejectReason, Counter); 6],
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    connections: Gauge,
+    queue_us: Histogram,
+}
+
+impl ServeMetrics {
+    fn new(r: &Registry) -> ServeMetrics {
+        let shed_counter = |reason: RejectReason| {
+            (
+                reason,
+                r.counter_with(
+                    "scratch_serve_shed_total",
+                    "Submissions shed by admission control",
+                    &[("reason", reason.name())],
+                ),
+            )
+        };
+        ServeMetrics {
+            submitted: r.counter(
+                "scratch_serve_submitted_total",
+                "Submissions received (admitted + shed)",
+            ),
+            accepted: r.counter(
+                "scratch_serve_accepted_total",
+                "Submissions admitted to the engine queue",
+            ),
+            completed: r.counter(
+                "scratch_serve_completed_total",
+                "Accepted jobs that produced a Done (ok or failed)",
+            ),
+            failed: r.counter(
+                "scratch_serve_failed_total",
+                "Completed jobs whose run failed (simulator error or watchdog)",
+            ),
+            shed: [
+                shed_counter(RejectReason::RateLimited),
+                shed_counter(RejectReason::TenantQueueFull),
+                shed_counter(RejectReason::Overloaded),
+                shed_counter(RejectReason::Draining),
+                shed_counter(RejectReason::TooLarge),
+                shed_counter(RejectReason::Invalid),
+            ],
+            queue_depth: r.gauge(
+                "scratch_serve_queue_depth",
+                "Admitted jobs waiting for an engine worker",
+            ),
+            in_flight: r.gauge(
+                "scratch_serve_in_flight",
+                "Admitted jobs executing right now",
+            ),
+            connections: r.gauge("scratch_serve_connections", "Open client connections"),
+            queue_us: r.histogram(
+                "scratch_serve_queue_micros",
+                "Microseconds admitted jobs waited for an engine worker",
+            ),
+        }
+    }
+
+    fn shed(&self, reason: RejectReason) -> &Counter {
+        &self
+            .shed
+            .iter()
+            .find(|(r, _)| *r == reason)
+            .expect("every reason has a counter")
+            .1
+    }
+}
+
+/// Per-tenant serving state. The registry handles double as the stats
+/// source, so counters exist in exactly one place.
+struct Tenant {
+    bucket: TokenBucket,
+    /// Jobs queued or running (the `tenant_cap` gate).
+    in_flight: Arc<AtomicU64>,
+    accepted: Counter,
+    completed: Counter,
+    shed: Counter,
+    /// End-to-end latency, admission → Done, in microseconds.
+    latency_us: Histogram,
+}
+
+/// State shared by the accept loop, connection threads and job closures.
+struct Inner {
+    config: ServeConfig,
+    registry: Registry,
+    engine: EngineHandle<()>,
+    metrics: ServeMetrics,
+    tenants: Mutex<BTreeMap<String, Tenant>>,
+    jobs: AtomicU64,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    /// Signalled on every job completion and on drain requests; the value
+    /// is `true` once a drain has been requested.
+    progress: (Mutex<bool>, Condvar),
+}
+
+impl Inner {
+    fn tenant_metrics(&self, registry: &Registry, name: &str) -> Tenant {
+        Tenant {
+            bucket: TokenBucket::new(self.config.rate, self.config.burst, Instant::now()),
+            in_flight: Arc::new(AtomicU64::new(0)),
+            accepted: registry.counter_with(
+                "scratch_serve_tenant_accepted_total",
+                "Submissions admitted, per tenant",
+                &[("tenant", name)],
+            ),
+            completed: registry.counter_with(
+                "scratch_serve_tenant_completed_total",
+                "Jobs completed, per tenant",
+                &[("tenant", name)],
+            ),
+            shed: registry.counter_with(
+                "scratch_serve_tenant_shed_total",
+                "Submissions shed, per tenant",
+                &[("tenant", name)],
+            ),
+            latency_us: registry.histogram_with(
+                "scratch_serve_latency_micros",
+                "End-to-end job latency (admission to completion), per tenant",
+                &[("tenant", name)],
+            ),
+        }
+    }
+
+    /// Update the backlog gauges from engine introspection.
+    fn publish_backlog(&self) {
+        self.metrics
+            .queue_depth
+            .set(self.engine.queue_depth() as f64);
+        self.metrics.in_flight.set(self.engine.in_flight() as f64);
+    }
+
+    /// Opportunistically drain the engine's (unused) outcome channel so
+    /// records never accumulate: the serving layer routes results through
+    /// the job closures themselves.
+    fn reap_outcomes(&self) {
+        while self.engine.try_recv().is_some() {}
+    }
+
+    /// Jobs admitted but not yet completed.
+    fn pending(&self) -> u64 {
+        self.metrics.accepted.get() - self.metrics.completed.get()
+    }
+
+    /// The admission decision for one submission. Returns the response to
+    /// send immediately; on acceptance the job has already been queued
+    /// (its `Done` will follow through `tx`).
+    fn admit(self: &Arc<Inner>, req: SubmitRequest, tx: &Sender<String>) -> Response {
+        self.metrics.submitted.inc();
+        self.reap_outcomes();
+        if self.draining.load(Ordering::Acquire) {
+            return self.reject(
+                &req.tenant,
+                RejectReason::Draining,
+                None,
+                "server is draining",
+            );
+        }
+        let kind = match req.system_kind() {
+            Ok(kind) => kind,
+            Err(msg) => return self.reject(&req.tenant, RejectReason::Invalid, None, &msg),
+        };
+        if req.input.len() > self.config.max_input_words {
+            let msg = format!(
+                "input of {} words exceeds the {}-word limit",
+                req.input.len(),
+                self.config.max_input_words
+            );
+            return self.reject(&req.tenant, RejectReason::TooLarge, None, &msg);
+        }
+        if req.out_bytes > self.config.max_out_bytes {
+            let msg = format!(
+                "out_bytes {} exceeds the {}-byte limit",
+                req.out_bytes, self.config.max_out_bytes
+            );
+            return self.reject(&req.tenant, RejectReason::TooLarge, None, &msg);
+        }
+
+        // Tenant-table gates. The lock covers the bucket mutation and the
+        // in-flight reservation, so two racing submissions cannot both
+        // squeeze through the last slot.
+        let (tenant_in_flight, tenant_completed, tenant_latency) = {
+            let mut tenants = self.tenants.lock().expect("tenant table lock");
+            if !tenants.contains_key(&req.tenant) {
+                let t = self.tenant_metrics(&self.registry, &req.tenant);
+                tenants.insert(req.tenant.clone(), t);
+            }
+            let t = tenants.get_mut(&req.tenant).expect("just inserted");
+
+            if t.in_flight.load(Ordering::Acquire) >= self.config.tenant_cap as u64 {
+                t.shed.inc();
+                let msg = format!(
+                    "tenant has {} jobs queued or running (cap {})",
+                    t.in_flight.load(Ordering::Acquire),
+                    self.config.tenant_cap
+                );
+                return self.reject(&req.tenant, RejectReason::TenantQueueFull, None, &msg);
+            }
+            if self.engine.queue_depth() >= self.config.queue_cap {
+                t.shed.inc();
+                let msg = format!("engine queue at capacity ({} jobs)", self.config.queue_cap);
+                return self.reject(&req.tenant, RejectReason::Overloaded, None, &msg);
+            }
+            if let Err(wait) = t.bucket.try_take(Instant::now()) {
+                t.shed.inc();
+                let ms = wait.as_millis().try_into().unwrap_or(u64::MAX).max(1);
+                let msg = format!("tenant over its {}/s rate quota", self.config.rate);
+                return self.reject(&req.tenant, RejectReason::RateLimited, Some(ms), &msg);
+            }
+
+            t.in_flight.fetch_add(1, Ordering::AcqRel);
+            t.accepted.inc();
+            (
+                Arc::clone(&t.in_flight),
+                t.completed.clone(),
+                t.latency_us.clone(),
+            )
+        };
+
+        let job = self.jobs.fetch_add(1, Ordering::AcqRel);
+        self.metrics.accepted.inc();
+
+        let inner = Arc::clone(self);
+        let tx = tx.clone();
+        let admitted = Instant::now();
+        let label = format!("{}/{}", req.tenant, req.label);
+        self.engine.submit(label, move || {
+            let queue_us = micros(admitted.elapsed());
+            inner.metrics.queue_us.observe(queue_us);
+            inner.publish_backlog();
+            let exec_start = Instant::now();
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                execute(&req, kind, &inner.registry, inner.config.watchdog_cycles)
+            }))
+            .unwrap_or_else(|_| Err("job panicked inside the simulator".to_owned()));
+            let exec_us = micros(exec_start.elapsed());
+
+            let done = match run {
+                Ok((report_cycles, instructions, words)) => JobDone {
+                    job,
+                    tenant: req.tenant.clone(),
+                    label: req.label.clone(),
+                    ok: true,
+                    error: None,
+                    cycles: report_cycles,
+                    instructions,
+                    digest: fnv1a(&words),
+                    output: req.return_output.then_some(words),
+                    queue_us,
+                    exec_us,
+                },
+                Err(msg) => JobDone {
+                    job,
+                    tenant: req.tenant.clone(),
+                    label: req.label.clone(),
+                    ok: false,
+                    error: Some(msg),
+                    cycles: 0,
+                    instructions: 0,
+                    digest: fnv1a(&[]),
+                    output: None,
+                    queue_us,
+                    exec_us,
+                },
+            };
+            let failed = !done.ok;
+
+            // Route the result. A gone client makes this a no-op; the
+            // accounting below still runs, so drains never wedge and the
+            // job is never "accepted then dropped" server-side.
+            let line =
+                serde_json::to_string(&Response::Done(done)).expect("JobDone always serializes");
+            let _ = tx.send(line);
+
+            tenant_latency.observe(micros(admitted.elapsed()));
+            tenant_completed.inc();
+            tenant_in_flight.fetch_sub(1, Ordering::AcqRel);
+            inner.metrics.completed.inc();
+            if failed {
+                inner.metrics.failed.inc();
+            }
+            inner.publish_backlog();
+            // Wake anyone waiting on drain progress.
+            let (lock, cv) = &inner.progress;
+            let _guard = lock.lock().expect("progress lock");
+            cv.notify_all();
+            Ok(())
+        });
+        self.publish_backlog();
+        Response::Accepted { job }
+    }
+
+    fn reject(
+        &self,
+        tenant: &str,
+        reason: RejectReason,
+        retry_after_ms: Option<u64>,
+        message: &str,
+    ) -> Response {
+        self.metrics.shed(reason).inc();
+        Response::Rejected(Rejection {
+            reason,
+            tenant: tenant.to_owned(),
+            retry_after_ms,
+            message: message.to_owned(),
+        })
+    }
+
+    fn stats(&self) -> StatsReply {
+        let tenants = self.tenants.lock().expect("tenant table lock");
+        let mut out = Vec::with_capacity(tenants.len());
+        for (name, t) in tenants.iter() {
+            let snap = t.latency_us.snapshot();
+            let q = |p: f64| snap.quantile(p).unwrap_or(0);
+            out.push(TenantStats {
+                tenant: name.clone(),
+                accepted: t.accepted.get(),
+                shed: t.shed.get(),
+                completed: t.completed.get(),
+                in_flight: t.in_flight.load(Ordering::Acquire),
+                latency_us: [q(0.50), q(0.95), q(0.99)],
+            });
+        }
+        let m = &self.metrics;
+        StatsReply {
+            submitted: m.submitted.get(),
+            accepted: m.accepted.get(),
+            shed: m.shed.iter().map(|(_, c)| c.get()).sum(),
+            completed: m.completed.get(),
+            failed: m.failed.get(),
+            queue_depth: self.engine.queue_depth() as u64,
+            in_flight: self.engine.in_flight() as u64,
+            connections: m.connections.get() as u64,
+            draining: self.draining.load(Ordering::Acquire),
+            tenants: out,
+        }
+    }
+
+    /// Handle one parsed request; returns the immediate response.
+    fn dispatch(self: &Arc<Inner>, req: Request, tx: &Sender<String>) -> Response {
+        match req {
+            Request::Submit(submit) => self.admit(submit, tx),
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Ping => Response::Pong,
+            Request::Drain => {
+                self.draining.store(true, Ordering::Release);
+                let (lock, cv) = &self.progress;
+                let mut requested = lock.lock().expect("progress lock");
+                *requested = true;
+                cv.notify_all();
+                Response::Draining {
+                    pending: self.pending(),
+                }
+            }
+        }
+    }
+}
+
+fn micros(d: Duration) -> u64 {
+    d.as_micros().try_into().unwrap_or(u64::MAX)
+}
+
+/// Execute one admitted submission on the calling engine worker. Mirrors
+/// a direct `scratch-system` run exactly (same allocation order, same
+/// argument convention), which is what makes served results bit-identical
+/// to offline execution.
+fn execute(
+    req: &SubmitRequest,
+    kind: scratch_system::SystemKind,
+    registry: &Registry,
+    watchdog: u64,
+) -> Result<(u64, u64, Vec<u32>), String> {
+    let mut config = SystemConfig::preset(kind).with_registry(registry.clone());
+    config.cu.cycle_limit = config.cu.cycle_limit.min(watchdog.max(1));
+    let mut sys = System::new(config, &req.kernel).map_err(|e| e.to_string())?;
+    let out = sys.alloc(req.out_bytes.max(4));
+    let mut args = vec![u32::try_from(out).unwrap_or(0)];
+    if !req.input.is_empty() {
+        let inp = sys.alloc_words(&req.input);
+        args.push(u32::try_from(inp).unwrap_or(0));
+    }
+    sys.set_args(&args);
+    sys.dispatch(req.grid).map_err(|e| match e {
+        SystemError::Cu(CuError::CycleLimit { .. }) => {
+            format!("watchdog: job exceeded its {watchdog}-cycle budget")
+        }
+        other => other.to_string(),
+    })?;
+    let report = sys.report();
+    let words = sys.read_words(out, usize::try_from(req.out_bytes.max(4) / 4).unwrap_or(0));
+    Ok((report.cu_cycles, report.instructions(), words))
+}
+
+/// A running serve daemon. [`Server::shutdown`] (or a client's
+/// [`Request::Drain`] followed by [`Server::wait_drain`] +
+/// [`Server::shutdown`]) drains gracefully: admission stops, every
+/// accepted job completes and is answered, then the listener and all
+/// threads wind down.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (port 0 picks a free port) and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| scratch_metrics::global().clone());
+        let engine = Engine::new(config.workers)
+            .with_registry(registry.clone())
+            .with_watchdog(config.watchdog_cycles)
+            .start();
+        let inner = Arc::new(Inner {
+            metrics: ServeMetrics::new(&registry),
+            config,
+            registry,
+            engine,
+            tenants: Mutex::new(BTreeMap::new()),
+            jobs: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            progress: (Mutex::new(false), Condvar::new()),
+        });
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept_inner = Arc::clone(&inner);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = std::thread::Builder::new()
+            .name("scratch-serve-accept".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_inner.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_inner = Arc::clone(&accept_inner);
+                    let handle = std::thread::Builder::new()
+                        .name("scratch-serve-conn".to_owned())
+                        .spawn(move || connection(&conn_inner, stream))
+                        .expect("spawn connection thread");
+                    accept_conns.lock().expect("conns lock").push(handle);
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(Server {
+            inner,
+            addr,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving statistics.
+    #[must_use]
+    pub fn stats(&self) -> StatsReply {
+        self.inner.stats()
+    }
+
+    /// Block until some client requests a drain ([`Request::Drain`]).
+    /// The daemon's main loop parks here, then calls [`Server::shutdown`].
+    pub fn wait_drain(&self) {
+        let (lock, cv) = &self.inner.progress;
+        let mut requested = lock.lock().expect("progress lock");
+        while !*requested {
+            requested = cv.wait(requested).expect("progress lock");
+        }
+    }
+
+    /// Drain and stop: reject new submissions, wait for every accepted
+    /// job to complete and be answered, then tear the listener, the
+    /// connection threads and the engine pool down. Returns the final
+    /// statistics.
+    pub fn shutdown(mut self) -> StatsReply {
+        self.inner.draining.store(true, Ordering::Release);
+        // Wait for the backlog to drain. Completion closures signal the
+        // condvar; the timeout makes the loop robust to missed wakeups.
+        {
+            let (lock, cv) = &self.inner.progress;
+            let mut guard = lock.lock().expect("progress lock");
+            while self.inner.pending() > 0 {
+                let (g, _) = cv
+                    .wait_timeout(guard, Duration::from_millis(50))
+                    .expect("progress lock");
+                guard = g;
+            }
+        }
+        let stats = self.inner.stats();
+
+        // Stop the accept loop (one last self-connection unblocks it) and
+        // the connection readers (they poll `stop` on their read timeout).
+        self.inner.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.conns.lock().expect("conns lock").drain(..) {
+            let _ = t.join();
+        }
+        self.inner.reap_outcomes();
+        stats
+        // Dropping `inner` (last Arc) drops the EngineHandle, which joins
+        // the now-idle pool workers.
+    }
+}
+
+/// Cap on one request line; a line that exceeds it earns a protocol error
+/// (64 MiB comfortably fits the largest legal kernel + input).
+const MAX_LINE_BYTES: usize = 64 << 20;
+
+/// One connection: reader side. Parses request lines, answers through the
+/// writer channel, and exits on EOF, socket error, or server stop.
+fn connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    inner.metrics.connections.inc();
+
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("scratch-serve-write".to_owned())
+        .spawn(move || {
+            let mut stream = write_half;
+            while let Ok(line) = rx.recv() {
+                if stream.write_all(line.as_bytes()).is_err()
+                    || stream.write_all(b"\n").is_err()
+                    || stream.flush().is_err()
+                {
+                    break; // client gone; drain silently until senders drop
+                }
+            }
+        })
+        .expect("spawn writer thread");
+
+    read_loop(inner, stream, &tx);
+
+    inner.metrics.connections.dec();
+    drop(tx);
+    // The writer exits once every sender is gone — ours just dropped, and
+    // job closures drop theirs at completion (a drain has already waited
+    // for those by the time the server joins us).
+    let _ = writer.join();
+}
+
+/// Read request lines, tolerating arbitrarily short reads, and dispatch
+/// them. Malformed lines answer [`Response::Error`] and keep the
+/// connection open.
+fn read_loop(inner: &Arc<Inner>, mut stream: TcpStream, tx: &Sender<String>) {
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        acc.extend_from_slice(&chunk[..n]);
+        if acc.len() > MAX_LINE_BYTES {
+            respond(
+                tx,
+                &Response::Error {
+                    message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                },
+            );
+            return;
+        }
+        // Process every complete line in the accumulator.
+        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = acc.drain(..=pos).collect();
+            let line = &line[..line.len() - 1]; // strip the newline
+            let line = std::str::from_utf8(line).unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = match serde_json::from_str::<Request>(line) {
+                Ok(req) => inner.dispatch(req, tx),
+                Err(e) => Response::Error {
+                    message: format!("malformed request: {e}"),
+                },
+            };
+            respond(tx, &response);
+        }
+    }
+}
+
+fn respond(tx: &Sender<String>, response: &Response) {
+    let line = serde_json::to_string(response).expect("responses always serialize");
+    let _ = tx.send(line);
+}

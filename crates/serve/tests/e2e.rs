@@ -1,0 +1,417 @@
+//! Hermetic end-to-end tests: a real daemon on an ephemeral port, real
+//! TCP clients, and the three properties the serving layer promises —
+//! bit-identical results, typed shedding with zero accepted-then-dropped
+//! jobs, and a graceful drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use scratch_check::GenKernel;
+use scratch_metrics::Registry;
+use scratch_serve::{fnv1a, RejectReason, ServeClient, ServeConfig, Server, SubmitRequest};
+use scratch_system::{System, SystemConfig, SystemKind};
+
+/// A buildable generated kernel (skipping seeds that fail to assemble,
+/// as the fuzzer does), with `wgs` scaled to stretch its runtime.
+fn workload(seed: u64, wgs: u32) -> GenKernel {
+    let mut s = seed;
+    loop {
+        let mut gk = GenKernel::generate(s);
+        gk.wgs = wgs;
+        if gk.build().is_ok() {
+            return gk;
+        }
+        s = s.wrapping_add(1);
+    }
+}
+
+fn submit_of(gk: &GenKernel, tenant: &str, label: &str, return_output: bool) -> SubmitRequest {
+    SubmitRequest {
+        tenant: tenant.to_owned(),
+        label: label.to_owned(),
+        kernel: gk.build().expect("workload() returns buildable kernels"),
+        input: gk.image.clone(),
+        grid: [gk.wgs, 1, 1],
+        out_bytes: gk.out_bytes(),
+        system: None,
+        return_output,
+    }
+}
+
+/// Mirror of the server's execution path, run directly in-process: the
+/// ground truth served results must be bit-identical to.
+fn direct_run(gk: &GenKernel) -> (u64, Vec<u32>) {
+    let kernel = gk.build().expect("buildable");
+    let config = SystemConfig::preset(SystemKind::DcdPm);
+    let mut sys = System::new(config, &kernel).expect("system");
+    let out = sys.alloc(gk.out_bytes().max(4));
+    let inp = sys.alloc_words(&gk.image);
+    sys.set_args(&[out as u32, inp as u32]);
+    sys.dispatch([gk.wgs, 1, 1]).expect("generated kernels run");
+    let report = sys.report();
+    let words = sys.read_words(out, (gk.out_bytes().max(4) / 4) as usize);
+    (report.cu_cycles, words)
+}
+
+#[test]
+fn served_results_bit_identical_to_direct_runs() {
+    let registry = Registry::new();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            registry: Some(registry.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // N kernels × M tenants, each submitted once with the full output
+    // requested, checked word-for-word against a direct run.
+    let kernels: Vec<GenKernel> = (0..4).map(|i| workload(100 + i, 2)).collect();
+    let tenants = ["alpha", "beta", "gamma"];
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    assert!(client.ping().expect("ping"));
+
+    let mut submitted = Vec::new();
+    for (k, gk) in kernels.iter().enumerate() {
+        for tenant in &tenants {
+            let label = format!("job-{tenant}-{k}");
+            let job = client
+                .submit(submit_of(gk, tenant, &label, true))
+                .expect("protocol")
+                .expect("no load, nothing sheds");
+            submitted.push((job, k));
+        }
+    }
+
+    let mut done = std::collections::BTreeMap::new();
+    for _ in 0..submitted.len() {
+        let d = client.recv_done().expect("every accepted job completes");
+        done.insert(d.job, d);
+    }
+
+    for (job, k) in submitted {
+        let d = done.get(&job).expect("one Done per accepted job");
+        assert!(d.ok, "job {job} failed: {:?}", d.error);
+        let (cycles, words) = direct_run(&kernels[k]);
+        let served = d.output.as_ref().expect("return_output was set");
+        assert_eq!(served, &words, "served output differs from direct run");
+        assert_eq!(d.digest, fnv1a(&words), "digest mismatch");
+        assert_eq!(d.cycles, cycles, "cycle count differs from direct run");
+        assert!(d.instructions > 0);
+    }
+
+    // The observability wiring actually observed all of it.
+    let snap = registry.snapshot();
+    let n = submitted_count(&done);
+    assert_eq!(
+        snap.counter("scratch_serve_accepted_total", &[]),
+        Some(n),
+        "accepted counter"
+    );
+    assert_eq!(
+        snap.counter("scratch_serve_completed_total", &[]),
+        Some(n),
+        "completed counter"
+    );
+    assert_eq!(
+        snap.counter(
+            "scratch_serve_tenant_accepted_total",
+            &[("tenant", "alpha")]
+        ),
+        Some(4),
+        "per-tenant accepted counter"
+    );
+    assert!(
+        snap.histogram("scratch_serve_latency_micros", &[("tenant", "alpha")])
+            .is_some_and(|h| h.count() > 0),
+        "per-tenant latency histogram populated"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, stats.completed);
+    assert_eq!(stats.failed, 0);
+}
+
+fn submitted_count(done: &std::collections::BTreeMap<u64, scratch_serve::JobDone>) -> u64 {
+    done.len() as u64
+}
+
+#[test]
+fn overload_sheds_typed_and_never_drops_accepted_jobs() {
+    // One worker, tiny queues: a burst from 6 open-loop submitters is far
+    // beyond 2× capacity, so admission control must shed — and still
+    // answer every accepted job.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_cap: 3,
+            tenant_cap: 2,
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let gk = workload(7, 4); // stretched runtime: the queue actually fills
+
+    let accepted = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let (gk, accepted, shed, completed) = (&gk, &accepted, &shed, &completed);
+            scope.spawn(move || {
+                let tenant = format!("t{}", t % 3);
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut my_accepted = 0u64;
+                // Open loop: fire the whole burst without waiting.
+                for i in 0..25 {
+                    let req = submit_of(gk, &tenant, &format!("burst-{t}-{i}"), false);
+                    match client.submit(req).expect("every submission is answered") {
+                        Ok(_job) => {
+                            my_accepted += 1;
+                            accepted.fetch_add(1, Ordering::AcqRel);
+                        }
+                        Err(rejection) => {
+                            shed.fetch_add(1, Ordering::AcqRel);
+                            assert!(
+                                matches!(
+                                    rejection.reason,
+                                    RejectReason::TenantQueueFull | RejectReason::Overloaded
+                                ),
+                                "unexpected shed reason: {:?}",
+                                rejection.reason
+                            );
+                            assert_eq!(rejection.tenant, tenant);
+                            assert!(!rejection.message.is_empty());
+                        }
+                    }
+                }
+                // Every accepted job must produce exactly one Done on
+                // this connection — zero accepted-then-dropped.
+                for _ in 0..my_accepted {
+                    let done = client.recv_done().expect("accepted job completes");
+                    assert_eq!(done.tenant, tenant);
+                    completed.fetch_add(1, Ordering::AcqRel);
+                }
+            });
+        }
+    });
+
+    let accepted = accepted.load(Ordering::Acquire);
+    let shed = shed.load(Ordering::Acquire);
+    assert_eq!(accepted + shed, 6 * 25, "every submission got an answer");
+    assert!(shed > 0, "a 2×-capacity burst must shed");
+    assert!(accepted > 0, "admission must not starve entirely");
+    assert_eq!(
+        completed.load(Ordering::Acquire),
+        accepted,
+        "one Done per accepted job"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, accepted);
+    assert_eq!(stats.completed, accepted, "server-side: nothing dropped");
+    assert_eq!(stats.shed, shed);
+}
+
+#[test]
+fn rate_limit_sheds_with_retry_hint() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            rate: 2.0,
+            burst: 1.0,
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let gk = workload(11, 2);
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    // The single-token burst admits once; the immediate retry is shed
+    // with a computed backoff hint.
+    client
+        .submit(submit_of(&gk, "acme", "first", false))
+        .expect("protocol")
+        .expect("burst token admits");
+    let rejection = client
+        .submit(submit_of(&gk, "acme", "second", false))
+        .expect("protocol")
+        .expect_err("empty bucket sheds");
+    assert_eq!(rejection.reason, RejectReason::RateLimited);
+    let hint = rejection.retry_after_ms.expect("rate limit carries a hint");
+    assert!(hint >= 1 && hint <= 1000, "hint {hint}ms vs 2/s refill");
+
+    // A different tenant has its own bucket.
+    client
+        .submit(submit_of(&gk, "other", "first", false))
+        .expect("protocol")
+        .expect("per-tenant buckets are independent");
+
+    client.recv_done().expect("accepted job 1 completes");
+    client.recv_done().expect("accepted job 2 completes");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_and_invalid_submissions_shed_without_queueing() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            max_input_words: 8,
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let gk = workload(13, 2);
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    let too_big = client
+        .submit(submit_of(&gk, "acme", "big", false)) // image is 4096 words
+        .expect("protocol")
+        .expect_err("input beyond max_input_words sheds");
+    assert_eq!(too_big.reason, RejectReason::TooLarge);
+
+    let mut bad = submit_of(&gk, "acme", "bad", false);
+    bad.input = Vec::new();
+    bad.system = Some("warp9".to_owned());
+    let invalid = client
+        .submit(bad)
+        .expect("protocol")
+        .expect_err("unknown preset sheds");
+    assert_eq!(invalid.reason, RejectReason::Invalid);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 0, "nothing was queued");
+    assert_eq!(stats.shed, 2);
+}
+
+#[test]
+fn drain_rejects_new_work_and_completes_accepted() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let gk = workload(17, 4);
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    // Queue a couple of jobs, then drain while they may still be running.
+    for i in 0..3 {
+        client
+            .submit(submit_of(&gk, "acme", &format!("pre-{i}"), false))
+            .expect("protocol")
+            .expect("admits before drain");
+    }
+    client.drain().expect("drain acknowledged");
+
+    let rejection = client
+        .submit(submit_of(&gk, "acme", "late", false))
+        .expect("protocol")
+        .expect_err("draining server admits nothing");
+    assert_eq!(rejection.reason, RejectReason::Draining);
+
+    // The daemon loop would park in wait_drain(); it must return now.
+    server.wait_drain();
+
+    // Every pre-drain job still completes and is answered.
+    for _ in 0..3 {
+        let done = client.recv_done().expect("accepted jobs survive a drain");
+        assert!(done.ok);
+    }
+
+    let stats = server.shutdown();
+    assert!(stats.draining);
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.completed, 3);
+}
+
+#[test]
+fn load_harness_produces_a_saturation_curve() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let plan = scratch_serve::LoadPlan {
+        addr: server.addr().to_string(),
+        steps: vec![1, 4],
+        duration_ms: 300,
+        seed: 21,
+        kernels: 3,
+        tenants: 2,
+    };
+    let report = scratch_serve::run_load(&plan).expect("harness runs");
+    assert_eq!(report.steps.len(), 2);
+    for step in &report.steps {
+        assert!(step.attempted > 0, "closed loop always submits");
+        assert_eq!(step.attempted, step.accepted + step.shed);
+        assert!(step.completed > 0, "some jobs complete within the step");
+        assert!(step.p50_us > 0 && step.p50_us <= step.p95_us);
+        assert!(step.p95_us <= step.p99_us);
+        assert!(step.offered_per_sec > 0.0);
+    }
+    // The curve serializes (what `scratch-tool load` writes to disk).
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: scratch_serve::LoadReport = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back, report);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, stats.completed, "drain left nothing behind");
+}
+
+#[test]
+fn malformed_lines_answer_error_and_keep_the_connection() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let ping = serde_json::to_string(&scratch_serve::Request::Ping).unwrap();
+    raw.write_all(format!("this is not json\n{ping}\n").as_bytes())
+        .unwrap();
+    raw.flush().unwrap();
+
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("Error") && line.contains("malformed request"),
+        "garbage line answers a protocol error, got: {line}"
+    );
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("Pong"),
+        "connection survives a malformed line, got: {line}"
+    );
+
+    server.shutdown();
+}

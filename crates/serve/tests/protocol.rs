@@ -1,0 +1,151 @@
+//! Serde round-trips of every protocol message — both directions of the
+//! wire format, via the exact `serde_json` path the server and client use.
+
+use scratch_asm::KernelBuilder;
+use scratch_serve::{
+    JobDone, RejectReason, Rejection, Request, Response, StatsReply, SubmitRequest, TenantStats,
+};
+
+fn tiny_kernel() -> scratch_asm::Kernel {
+    let mut b = KernelBuilder::new("proto");
+    b.vgprs(4).sgprs(24).workgroup_size(64);
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+fn roundtrip_request(req: &Request) {
+    let line = serde_json::to_string(req).expect("serialize");
+    assert!(!line.contains('\n'), "wire format must be one line");
+    let back: Request = serde_json::from_str(&line).expect("deserialize");
+    assert_eq!(*req, back, "request round-trip changed the message");
+}
+
+fn roundtrip_response(resp: &Response) {
+    let line = serde_json::to_string(resp).expect("serialize");
+    assert!(!line.contains('\n'), "wire format must be one line");
+    let back: Response = serde_json::from_str(&line).expect("deserialize");
+    assert_eq!(*resp, back, "response round-trip changed the message");
+}
+
+fn sample_submit() -> SubmitRequest {
+    SubmitRequest {
+        tenant: "acme".to_owned(),
+        label: "job-1".to_owned(),
+        kernel: tiny_kernel(),
+        input: vec![1, 2, 3, 0xdead_beef],
+        grid: [2, 1, 1],
+        out_bytes: 16384,
+        system: Some("dcdpm".to_owned()),
+        return_output: true,
+    }
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    roundtrip_request(&Request::Submit(sample_submit()));
+    roundtrip_request(&Request::Submit(SubmitRequest {
+        system: None, // the omittable field, in its omitted state
+        input: Vec::new(),
+        return_output: false,
+        ..sample_submit()
+    }));
+    roundtrip_request(&Request::Stats);
+    roundtrip_request(&Request::Ping);
+    roundtrip_request(&Request::Drain);
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    roundtrip_response(&Response::Accepted { job: 42 });
+    for reason in [
+        RejectReason::RateLimited,
+        RejectReason::TenantQueueFull,
+        RejectReason::Overloaded,
+        RejectReason::Draining,
+        RejectReason::TooLarge,
+        RejectReason::Invalid,
+    ] {
+        roundtrip_response(&Response::Rejected(Rejection {
+            reason,
+            tenant: "acme".to_owned(),
+            retry_after_ms: (reason == RejectReason::RateLimited).then_some(125),
+            message: format!("shed: {reason}"),
+        }));
+    }
+    roundtrip_response(&Response::Done(JobDone {
+        job: 42,
+        tenant: "acme".to_owned(),
+        label: "job-1".to_owned(),
+        ok: true,
+        error: None,
+        cycles: 123_456,
+        instructions: 7890,
+        digest: 0xcbf2_9ce4_8422_2325,
+        output: Some(vec![0, 1, u32::MAX]),
+        queue_us: 12,
+        exec_us: 3400,
+    }));
+    roundtrip_response(&Response::Done(JobDone {
+        job: 43,
+        tenant: "acme".to_owned(),
+        label: "job-2".to_owned(),
+        ok: false,
+        error: Some("watchdog: job exceeded its 1000-cycle budget".to_owned()),
+        cycles: 0,
+        instructions: 0,
+        digest: 0xcbf2_9ce4_8422_2325,
+        output: None,
+        queue_us: 12,
+        exec_us: 50,
+    }));
+    roundtrip_response(&Response::Pong);
+    roundtrip_response(&Response::Stats(StatsReply {
+        submitted: 10,
+        accepted: 8,
+        shed: 2,
+        completed: 7,
+        failed: 1,
+        queue_depth: 1,
+        in_flight: 0,
+        connections: 3,
+        draining: false,
+        tenants: vec![TenantStats {
+            tenant: "acme".to_owned(),
+            accepted: 8,
+            shed: 2,
+            completed: 7,
+            in_flight: 1,
+            latency_us: [150, 900, 2100],
+        }],
+    }));
+    roundtrip_response(&Response::Draining { pending: 3 });
+    roundtrip_response(&Response::Error {
+        message: "malformed request: expected value".to_owned(),
+    });
+}
+
+#[test]
+fn submit_accepts_omitted_optional_fields() {
+    // A hand-written client may omit `system` entirely; the vendored
+    // serde treats missing fields as null, which `Option` absorbs.
+    let kernel_json = serde_json::to_string(&tiny_kernel()).unwrap();
+    let line = format!(
+        "{{\"Submit\":{{\"tenant\":\"t\",\"label\":\"l\",\"kernel\":{kernel_json},\
+         \"input\":[],\"grid\":[1,1,1],\"out_bytes\":4096,\"return_output\":false}}}}"
+    );
+    let req: Request = serde_json::from_str(&line).expect("omitted system still parses");
+    let Request::Submit(s) = req else {
+        panic!("expected Submit")
+    };
+    assert_eq!(s.system, None);
+    assert!(s.system_kind().is_ok(), "None defaults to dcdpm");
+}
+
+#[test]
+fn unknown_system_preset_is_invalid() {
+    let s = SubmitRequest {
+        system: Some("warp9".to_owned()),
+        ..sample_submit()
+    };
+    assert!(s.system_kind().is_err());
+}

@@ -13,6 +13,11 @@
 //! scratch-tool fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|all]
 //!                       [--metrics-addr HOST:PORT]
 //! scratch-tool serve-metrics [--addr HOST:PORT] [--once]
+//! scratch-tool serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--tenant-cap N]
+//!                       [--rate R] [--burst B] [--metrics-addr HOST:PORT]
+//! scratch-tool load     [--addr HOST:PORT] [--clients 1,2,4,...] [--duration-ms N]
+//!                       [--seed S] [--kernels N] [--tenants N] [--out FILE]
+//! scratch-tool ctl      ping|stats|drain [--addr HOST:PORT]
 //! ```
 //!
 //! `run` launches the kernel with one argument: the address of a scratch
@@ -52,6 +57,7 @@ use scratch::fpga::ParallelPlan;
 use scratch::isa::FuncUnit;
 use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
 use scratch::metrics::{jsonl, prometheus, MetricsServer};
+use scratch::serve::{LoadPlan, ServeClient, ServeConfig, Server};
 use scratch::system::{CuStats, RunReport, System, SystemConfig, SystemKind, TraceMode};
 use scratch::trace::chrome_trace;
 
@@ -521,6 +527,137 @@ fn real_main() -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => {
+            let addr = flag_value(&args, "--addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7070".to_owned());
+            let config = ServeConfig {
+                workers: usize::try_from(flag_u64(&args, "--workers", 0)?).unwrap_or(0),
+                queue_cap: usize::try_from(flag_u64(&args, "--queue-cap", 256)?).unwrap_or(256),
+                tenant_cap: usize::try_from(flag_u64(&args, "--tenant-cap", 64)?).unwrap_or(64),
+                rate: flag_value(&args, "--rate")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| format!("--rate: `{v}` is not a number"))
+                    })
+                    .transpose()?
+                    .unwrap_or(0.0),
+                burst: flag_value(&args, "--burst")
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| format!("--burst: `{v}` is not a number"))
+                    })
+                    .transpose()?
+                    .unwrap_or(32.0),
+                ..ServeConfig::default()
+            };
+            // Optional Prometheus sidecar on the same registry, so
+            // `curl :9184/metrics` sees the serving counters live.
+            let metrics = match flag_value(&args, "--metrics-addr") {
+                None => None,
+                Some(addr) => {
+                    let server =
+                        MetricsServer::serve(addr.as_str(), scratch::metrics::global().clone())
+                            .map_err(|e| format!("{addr}: {e}"))?;
+                    println!("metrics on http://{}/metrics", server.addr());
+                    Some(server)
+                }
+            };
+            let server = Server::bind(addr.as_str(), config).map_err(|e| format!("{addr}: {e}"))?;
+            println!("scratch-serve listening on {}", server.addr());
+            println!(
+                "drain with: scratch-tool ctl drain --addr {}",
+                server.addr()
+            );
+            server.wait_drain();
+            println!("drain requested; finishing accepted jobs…");
+            let stats = server.shutdown();
+            if let Some(metrics) = metrics {
+                metrics.shutdown();
+            }
+            println!(
+                "served {} jobs ({} shed, {} failed); goodbye",
+                stats.completed, stats.shed, stats.failed
+            );
+            Ok(())
+        }
+        "load" => {
+            let addr = flag_value(&args, "--addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7070".to_owned());
+            let steps: Vec<usize> = match flag_value(&args, "--clients") {
+                None => vec![1, 2, 4, 8, 16, 32],
+                Some(list) => list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse()
+                            .map_err(|_| format!("--clients: `{v}` is not a number"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            let plan = LoadPlan {
+                addr,
+                steps,
+                duration_ms: flag_u64(&args, "--duration-ms", 2000)?,
+                seed: flag_u64(&args, "--seed", 1)?,
+                kernels: usize::try_from(flag_u64(&args, "--kernels", 8)?).unwrap_or(8),
+                tenants: usize::try_from(flag_u64(&args, "--tenants", 4)?).unwrap_or(4),
+            };
+            let report = scratch::serve::run_load(&plan).map_err(|e| e.to_string())?;
+            println!(
+                "{:>8} {:>10} {:>10} {:>8} {:>12} {:>10} {:>10} {:>10}",
+                "clients", "offered/s", "done/s", "shed", "completed", "p50 us", "p95 us", "p99 us"
+            );
+            for s in &report.steps {
+                println!(
+                    "{:>8} {:>10.1} {:>10.1} {:>8} {:>12} {:>10} {:>10} {:>10}",
+                    s.clients,
+                    s.offered_per_sec,
+                    s.completed_per_sec,
+                    s.shed,
+                    s.completed,
+                    s.p50_us,
+                    s.p95_us,
+                    s.p99_us
+                );
+            }
+            if let Some(path) = flag_value(&args, "--out") {
+                std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("wrote saturation curve to {path}");
+            }
+            Ok(())
+        }
+        "ctl" => {
+            let verb = args
+                .get(1)
+                .map(String::as_str)
+                .ok_or("usage: scratch-tool ctl ping|stats|drain [--addr HOST:PORT]")?;
+            let addr = flag_value(&args, "--addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7070".to_owned());
+            let mut client =
+                ServeClient::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+            match verb {
+                "ping" => {
+                    client.ping().map_err(|e| e.to_string())?;
+                    println!("pong");
+                    Ok(())
+                }
+                "stats" => {
+                    let stats = client.stats().map_err(|e| e.to_string())?;
+                    println!("{}", serde_json::to_string_pretty(&stats).unwrap());
+                    Ok(())
+                }
+                "drain" => {
+                    let pending = client.drain().map_err(|e| e.to_string())?;
+                    println!("draining; {pending} jobs pending");
+                    Ok(())
+                }
+                other => Err(format!("unknown ctl verb `{other}` (ping|stats|drain)")),
+            }
+        }
         "serve-metrics" => {
             metrics_warmup()?;
             let registry = scratch::metrics::global().clone();
@@ -575,6 +712,18 @@ fn real_main() -> Result<(), String> {
                  \x20                            seeded fault-injection campaign; prints the\n\
                  \x20                            masked/detected/recovered/silent table and\n\
                  \x20                            fails on any silent corruption\n\
+                 \x20 serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--tenant-cap N]\n\
+                 \x20          [--rate R] [--burst B] [--metrics-addr HOST:PORT]\n\
+                 \x20                            multi-tenant kernel-execution daemon (JSONL/TCP,\n\
+                 \x20                            token-bucket quotas, typed load shedding);\n\
+                 \x20                            exits 0 after a graceful drain\n\
+                 \x20 load     [--addr HOST:PORT] [--clients 1,2,4,...] [--duration-ms N]\n\
+                 \x20          [--seed S] [--kernels N] [--tenants N] [--out FILE]\n\
+                 \x20                            closed-loop load harness: drives the daemon with\n\
+                 \x20                            seeded kernel traffic and prints/writes the\n\
+                 \x20                            saturation curve (p50/p95/p99 per step)\n\
+                 \x20 ctl      ping|stats|drain [--addr HOST:PORT]\n\
+                 \x20                            probe, inspect or gracefully drain a daemon\n\
                  \x20 serve-metrics [--addr HOST:PORT] [--once]\n\
                  \x20                                   warm up the simulators, then serve the\n\
                  \x20                                   metrics registry as Prometheus text and\n\

@@ -26,7 +26,10 @@
 //!   Prometheus/JSON exposition layer;
 //! * [`fault`] — seeded fault injection, watchdog supervision and
 //!   redundant-execution recovery (bit-flip/instruction/transient fault
-//!   plans, CRC and DMR detection, resilience campaigns).
+//!   plans, CRC and DMR detection, resilience campaigns);
+//! * [`serve`] — multi-tenant kernel-execution service (JSONL-over-TCP
+//!   protocol, token-bucket quotas, admission control with typed load
+//!   shedding, graceful drain, closed-loop load harness).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -40,5 +43,6 @@ pub use scratch_fpga as fpga;
 pub use scratch_isa as isa;
 pub use scratch_kernels as kernels;
 pub use scratch_metrics as metrics;
+pub use scratch_serve as serve;
 pub use scratch_system as system;
 pub use scratch_trace as trace;
