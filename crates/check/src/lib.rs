@@ -15,9 +15,10 @@
 //! * [`RefSystem`] — a lockstep reference interpreter: per-lane
 //!   architectural state, one instruction at a time, no pipeline, sharing
 //!   no execution code with `scratch-cu`;
-//! * [`OracleKind`] — four differential oracles: CU vs reference, trimmed
-//!   vs untrimmed CU, serial vs multi-worker system, and
-//!   assembler/disassembler round-trip;
+//! * [`OracleKind`] — five differential oracles: CU vs reference, trimmed
+//!   vs untrimmed CU, serial vs multi-worker system,
+//!   assembler/disassembler round-trip, and uninterrupted vs
+//!   checkpoint/restored preemptible dispatch;
 //! * [`minimize`] — tree-based shrinking of any divergence to a small
 //!   self-contained repro ([`Divergence`]).
 //!

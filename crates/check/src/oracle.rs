@@ -13,7 +13,7 @@ use scratch_asm::assemble;
 use scratch_core::trim_kernel;
 use scratch_cu::CuConfig;
 use scratch_isa::Opcode;
-use scratch_system::{System, SystemConfig, SystemKind};
+use scratch_system::{DispatchProgress, System, SystemCheckpoint, SystemConfig, SystemKind};
 
 use crate::gen::{GenKernel, OUT_PAGE_BYTES};
 use crate::interp::{InjectedBug, RefSystem};
@@ -22,7 +22,7 @@ use crate::minimal_instruction;
 /// Number of workgroups the parallel oracle launches (spread over 4 CUs).
 const PAR_WGS: u32 = 8;
 
-/// The four differential oracles.
+/// The five differential oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Pipelined CU vs the lockstep reference interpreter: final output
@@ -36,15 +36,20 @@ pub enum OracleKind {
     Parallel,
     /// Assemble → disassemble → reassemble must be bit-exact, twice.
     Roundtrip,
+    /// Uninterrupted dispatch vs a preemptible dispatch whose checkpoint
+    /// is serialised, decoded and restored between every quantum:
+    /// identical memory *and* identical cycle counts.
+    Checkpoint,
 }
 
 impl OracleKind {
     /// All oracles, in reporting order.
-    pub const ALL: [OracleKind; 4] = [
+    pub const ALL: [OracleKind; 5] = [
         OracleKind::Reference,
         OracleKind::Trim,
         OracleKind::Parallel,
         OracleKind::Roundtrip,
+        OracleKind::Checkpoint,
     ];
 
     /// Stable command-line name.
@@ -55,6 +60,7 @@ impl OracleKind {
             OracleKind::Trim => "trim",
             OracleKind::Parallel => "parallel",
             OracleKind::Roundtrip => "roundtrip",
+            OracleKind::Checkpoint => "checkpoint",
         }
     }
 
@@ -107,6 +113,7 @@ pub fn check_with_bug(oracle: OracleKind, gk: &GenKernel, bug: InjectedBug) -> O
         OracleKind::Trim => trim(gk),
         OracleKind::Parallel => parallel(gk),
         OracleKind::Roundtrip => roundtrip(gk),
+        OracleKind::Checkpoint => checkpoint(gk),
     }
 }
 
@@ -327,4 +334,84 @@ fn roundtrip(gk: &GenKernel) -> Outcome {
         };
     }
     Outcome::Agree
+}
+
+/// Run the kernel as a preemptible dispatch in `quantum`-cycle slices.
+/// Between every pair of quanta the whole machine is checkpointed, pushed
+/// through *both* wire formats (the snap binary codec, then JSON), the
+/// live [`System`] is dropped, and a fresh one is rebuilt from the decoded
+/// checkpoint — so any state the serialisers lose shows up as a
+/// divergence. Returns the output words and the total cycle count.
+fn run_checkpointed(gk: &GenKernel, quantum: u64) -> Result<(Vec<u32>, u64), String> {
+    let kernel = gk.build().map_err(|e| format!("build: {e}"))?;
+    let config = SystemConfig::preset(SystemKind::DcdPm);
+    let mut sys = System::new(config, &kernel).map_err(|e| e.to_string())?;
+    let out = sys.alloc(gk.out_bytes());
+    let inp = sys.alloc_words(&gk.image);
+    sys.set_args(&[out as u32, inp as u32]);
+    let mut progress = sys
+        .dispatch_preemptible([gk.wgs, 1, 1], quantum)
+        .map_err(|e| e.to_string())?;
+    loop {
+        match progress {
+            DispatchProgress::Complete { cycles } => {
+                return Ok((sys.read_words(out, (gk.out_bytes() / 4) as usize), cycles));
+            }
+            DispatchProgress::Paused => {
+                let ck = sys.checkpoint().map_err(|e| e.to_string())?;
+                drop(sys);
+                let bytes = scratch_snap::to_bytes(&ck);
+                let decoded: SystemCheckpoint =
+                    scratch_snap::from_bytes(&bytes).map_err(|e| format!("snap decode: {e}"))?;
+                let json =
+                    serde_json::to_string(&decoded).map_err(|e| format!("json encode: {e}"))?;
+                let decoded: SystemCheckpoint =
+                    serde_json::from_str(&json).map_err(|e| format!("json decode: {e}"))?;
+                sys = System::restore(&decoded, None).map_err(|e| e.to_string())?;
+                progress = sys.resume_dispatch(quantum).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+}
+
+fn checkpoint(gk: &GenKernel) -> Outcome {
+    if gk.build().is_err() {
+        return Outcome::Skip("kernel does not assemble".into());
+    }
+    let uninterrupted = run_system(
+        gk,
+        SystemConfig::preset(SystemKind::DcdPm),
+        gk.wgs,
+        gk.out_bytes(),
+    );
+    let (ref_words, ref_cycles) = match uninterrupted {
+        Ok(r) => r,
+        Err(e) => {
+            // A kernel the system rejects must be rejected by the
+            // preemptible path too, whatever the slicing.
+            return match run_checkpointed(gk, 1024) {
+                Err(_) => Outcome::Agree,
+                Ok(_) => Outcome::Diverge(format!("uninterrupted faulted, checkpointed ran: {e}")),
+            };
+        }
+    };
+    // A third of the uninterrupted run per slice forces at least two
+    // checkpoint/restore round-trips through both serialisation formats.
+    let quantum = (ref_cycles / 3).max(1);
+    match run_checkpointed(gk, quantum) {
+        Err(e) => Outcome::Diverge(format!("uninterrupted ran, checkpointed faulted: {e}")),
+        Ok((words, cycles)) => {
+            if let Some((i, uv, cv)) = first_mismatch(&ref_words, &words) {
+                return Outcome::Diverge(format!(
+                    "out[{i}]: uninterrupted={uv:#010x} checkpointed={cv:#010x}"
+                ));
+            }
+            if cycles != ref_cycles {
+                return Outcome::Diverge(format!(
+                    "cycle counts differ: uninterrupted {ref_cycles} checkpointed {cycles}"
+                ));
+            }
+            Outcome::Agree
+        }
+    }
 }

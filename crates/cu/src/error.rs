@@ -55,6 +55,11 @@ pub enum CuError {
         /// The configured limit.
         limit: u64,
     },
+    /// A checkpoint could not be restored onto this configuration/kernel.
+    Snapshot {
+        /// What failed to match or decode.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CuError {
@@ -88,6 +93,7 @@ impl fmt::Display for CuError {
                 write!(f, "no wavefront can make progress (cycle {cycle})")
             }
             CuError::CycleLimit { limit } => write!(f, "simulation exceeded {limit} cycles"),
+            CuError::Snapshot { reason } => write!(f, "snapshot restore failed: {reason}"),
         }
     }
 }

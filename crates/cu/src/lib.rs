@@ -48,7 +48,7 @@ pub use config::{CuConfig, Latencies};
 pub use error::CuError;
 pub use fault::{CuFault, FaultHook, FaultRecord, FaultTarget, ScheduledFaults};
 pub use memory::{AccessKind, FixedLatencyMemory, Memory};
-pub use pipeline::{ComputeUnit, WaveInit};
+pub use pipeline::{ComputeUnit, RunStatus, WaveInit};
 pub use stats::{CuStats, OpcodeHistogram};
 pub use trimset::TrimSet;
 pub use wavefront::Wavefront;
@@ -56,6 +56,10 @@ pub use wavefront::Wavefront;
 // Convenience re-exports so CU users reach the tracing subsystem without a
 // separate dependency on `scratch-trace`.
 pub use scratch_trace::{EventBuffer, NullTracer, StallReason, TraceEvent, TraceSummary, Tracer};
+
+// Snapshot types a checkpointing caller needs alongside
+// [`ComputeUnit::snapshot`] / [`ComputeUnit::restore`].
+pub use scratch_snap::{CuSnapshot, WaveSnapshot, WorkgroupSnapshot};
 
 #[cfg(test)]
 mod send_tests {

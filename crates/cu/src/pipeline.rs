@@ -4,8 +4,10 @@
 use std::collections::HashMap;
 
 use scratch_asm::{Kernel, KernelMeta};
-use scratch_isa::{Fields, FuncUnit, Instruction, Opcode, Operand};
+use scratch_isa::{Fields, FuncUnit, Instruction, Opcode, Operand, WAVEFRONT_SIZE};
+use scratch_snap::{CuSnapshot, WaveSnapshot, WorkgroupSnapshot};
 use scratch_trace::{Attribution, StallReason, TraceEvent, TraceSummary, Tracer};
+use serde::{Deserialize, Serialize};
 
 use crate::exec::{execute, MemEvent};
 use crate::fault::FaultHook;
@@ -22,6 +24,32 @@ enum RegKey {
     Exec,
     Scc,
     M0,
+}
+
+impl RegKey {
+    /// Stable integer encoding used by [`CuSnapshot`] scoreboard entries.
+    fn code(self) -> u32 {
+        match self {
+            RegKey::S(n) => u32::from(n),
+            RegKey::V(n) => 0x100 + u32::from(n),
+            RegKey::Vcc => 0x200,
+            RegKey::Exec => 0x201,
+            RegKey::Scc => 0x202,
+            RegKey::M0 => 0x203,
+        }
+    }
+
+    fn from_code(code: u32) -> Option<RegKey> {
+        Some(match code {
+            0..=0xff => RegKey::S(code as u8),
+            0x100..=0x1ff => RegKey::V((code - 0x100) as u8),
+            0x200 => RegKey::Vcc,
+            0x201 => RegKey::Exec,
+            0x202 => RegKey::Scc,
+            0x203 => RegKey::M0,
+            _ => return None,
+        })
+    }
 }
 
 fn scalar_key(op: Operand) -> Option<RegKey> {
@@ -195,6 +223,17 @@ pub struct WaveInit {
     pub vgprs: Vec<(u32, Vec<u32>)>,
 }
 
+/// Outcome of a budgeted [`ComputeUnit::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every resident wavefront retired; the value is the cycles the whole
+    /// logical run took (summed across any pauses).
+    Done(u64),
+    /// The cycle budget ran out at an instruction boundary; the CU can be
+    /// checkpointed or resumed with another `run_until` call.
+    Paused,
+}
+
 #[derive(Debug)]
 struct Workgroup {
     lds: Vec<u32>,
@@ -299,6 +338,10 @@ pub struct ComputeUnit {
     fus: FuPool,
     rr: usize,
     now: u64,
+    /// Clock value at which the current (logically single) run began;
+    /// persists across [`ComputeUnit::run_until`] pauses so the cycle
+    /// limit spans the whole run, and clears when the run completes.
+    run_start: Option<u64>,
     stats: CuStats,
     /// Tracing state; `None` keeps the scheduler on its untraced fast path.
     trace: Option<Box<CuTrace>>,
@@ -350,6 +393,7 @@ impl ComputeUnit {
             workgroups: Vec::new(),
             rr: 0,
             now: 0,
+            run_start: None,
             stats: CuStats::default(),
             trace: None,
             issued_now: [0; 4],
@@ -499,6 +543,7 @@ impl ComputeUnit {
         self.pending.clear();
         self.workgroups.clear();
         self.rr = 0;
+        self.run_start = None;
     }
 
     /// Replace the loaded program with another kernel (the dispatcher
@@ -529,19 +574,41 @@ impl ComputeUnit {
     /// Trim violations, missing units, register/LDS range errors, barrier
     /// deadlock, or exceeding the configured cycle limit.
     pub fn run_to_completion(&mut self, mem: &mut dyn Memory) -> Result<u64, CuError> {
-        let start = self.now;
-        if let Some(tr) = &mut self.trace {
-            tr.attr.begin_run(self.waves.len(), start);
-            tr.open.clear();
-            tr.open.resize(self.waves.len(), None);
-            for w in &self.waves {
-                let ev = TraceEvent::WaveStart {
-                    cu: tr.id,
-                    wave: w.id as u32,
-                    workgroup: w.workgroup as u32,
-                    now: start,
-                };
-                tr.emit(&ev);
+        match self.run_until(mem, u64::MAX)? {
+            RunStatus::Done(cycles) => Ok(cycles),
+            RunStatus::Paused => unreachable!("an unbounded budget cannot pause"),
+        }
+    }
+
+    /// Run for at most `budget` cycles, pausing at an instruction boundary
+    /// when the budget runs out. A paused CU is at a checkpointable state:
+    /// [`ComputeUnit::snapshot`] captures it exactly, and further
+    /// `run_until` calls continue the same logical run (the configured
+    /// cycle limit spans the whole run, across pauses). Tracing sinks are
+    /// not resumable; use the preemptible path untraced.
+    ///
+    /// # Errors
+    ///
+    /// Same failures as [`ComputeUnit::run_to_completion`].
+    pub fn run_until(&mut self, mem: &mut dyn Memory, budget: u64) -> Result<RunStatus, CuError> {
+        let entry = self.now;
+        let fresh = self.run_start.is_none();
+        let start = *self.run_start.get_or_insert(entry);
+        let deadline = entry.saturating_add(budget);
+        if fresh {
+            if let Some(tr) = &mut self.trace {
+                tr.attr.begin_run(self.waves.len(), start);
+                tr.open.clear();
+                tr.open.resize(self.waves.len(), None);
+                for w in &self.waves {
+                    let ev = TraceEvent::WaveStart {
+                        cu: tr.id,
+                        wave: w.id as u32,
+                        workgroup: w.workgroup as u32,
+                        now: start,
+                    };
+                    tr.emit(&ev);
+                }
             }
         }
         while self.waves.iter().any(|w| w.state != WaveState::Done) {
@@ -549,6 +616,9 @@ impl ComputeUnit {
                 return Err(CuError::CycleLimit {
                     limit: self.config.cycle_limit,
                 });
+            }
+            if self.now >= deadline {
+                return Ok(RunStatus::Paused);
             }
             let t0 = self.now;
             let t1 = if self.try_issue(mem)? {
@@ -577,7 +647,8 @@ impl ComputeUnit {
             }
         }
         self.stats.cycles = self.now;
-        Ok(self.now - start)
+        self.run_start = None;
+        Ok(RunStatus::Done(self.now - start))
     }
 
     /// The always-on counterpart of [`ComputeUnit::attribute_interval`]:
@@ -1021,6 +1092,175 @@ impl ComputeUnit {
         }
         best
     }
+
+    /// Capture the CU's full architectural state at the current
+    /// instruction boundary (i.e. between [`ComputeUnit::run_until`]
+    /// calls). The snapshot plus the same [`CuConfig`] and kernel is
+    /// sufficient for [`ComputeUnit::restore`] to continue the run
+    /// bit-identically — same outputs, same cycle counts.
+    #[must_use]
+    pub fn snapshot(&self) -> CuSnapshot {
+        let waves = self
+            .waves
+            .iter()
+            .zip(&self.pending)
+            .map(|(w, pend)| {
+                let mut pending: Vec<(u32, u64)> =
+                    pend.iter().map(|(&k, &t)| (k.code(), t)).collect();
+                pending.sort_unstable();
+                WaveSnapshot {
+                    id: w.id as u64,
+                    workgroup: w.workgroup as u64,
+                    pc: w.pc as u64,
+                    exec: w.exec,
+                    vcc: w.vcc,
+                    scc: w.scc,
+                    m0: w.m0,
+                    sgprs: w.sgprs_raw().to_vec(),
+                    vgprs: w.vgprs_raw().iter().map(|row| row.to_vec()).collect(),
+                    next_ready: w.next_ready,
+                    wait_reason: stall_code(w.wait_reason),
+                    vm_events: w.vm_events.clone(),
+                    lgkm_events: w.lgkm_events.clone(),
+                    state: match w.state {
+                        WaveState::Ready => 0,
+                        WaveState::AtBarrier => 1,
+                        WaveState::Done => 2,
+                    },
+                    retired: w.retired,
+                    pending,
+                }
+            })
+            .collect();
+        CuSnapshot {
+            now: self.now,
+            rr: self.rr as u64,
+            run_start: self.run_start,
+            waves,
+            workgroups: self
+                .workgroups
+                .iter()
+                .map(|wg| WorkgroupSnapshot {
+                    lds: wg.lds.clone(),
+                    waves: wg.waves.iter().map(|&i| i as u64).collect(),
+                    arrived: wg.arrived as u64,
+                })
+                .collect(),
+            salu_busy: self.fus.salu_busy,
+            lsu_busy: self.fus.lsu_busy,
+            simd_busy: self.fus.simd_busy.clone(),
+            simf_busy: self.fus.simf_busy.clone(),
+            stall_acc: self.stall_acc.to_vec(),
+            stats: self.stats.to_sval(),
+        }
+    }
+
+    /// Rebuild a CU from a snapshot taken by [`ComputeUnit::snapshot`],
+    /// given the same configuration and kernel the snapshotted CU ran.
+    /// Tracing and fault hooks are *not* part of a snapshot; reattach them
+    /// afterwards if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CuError::Snapshot`] when the snapshot does not fit `config` or
+    /// the kernel's register/unit budgets, plus any kernel decode error.
+    pub fn restore(
+        config: CuConfig,
+        kernel: &Kernel,
+        snap: &CuSnapshot,
+    ) -> Result<ComputeUnit, CuError> {
+        let bad = |reason: &str| CuError::Snapshot {
+            reason: reason.to_owned(),
+        };
+        let mut cu = ComputeUnit::new(config, kernel)?;
+        if snap.simd_busy.len() != cu.fus.simd_busy.len()
+            || snap.simf_busy.len() != cu.fus.simf_busy.len()
+        {
+            return Err(bad("vector-unit count differs from the configuration"));
+        }
+        if snap.stall_acc.len() != cu.stall_acc.len() {
+            return Err(bad("stall-accumulator table size mismatch"));
+        }
+        cu.now = snap.now;
+        cu.rr = usize::try_from(snap.rr).map_err(|_| bad("rr out of range"))?;
+        cu.run_start = snap.run_start;
+        cu.fus.salu_busy = snap.salu_busy;
+        cu.fus.lsu_busy = snap.lsu_busy;
+        cu.fus.simd_busy.copy_from_slice(&snap.simd_busy);
+        cu.fus.simf_busy.copy_from_slice(&snap.simf_busy);
+        cu.stall_acc.copy_from_slice(&snap.stall_acc);
+        cu.stats = CuStats::from_sval(&snap.stats)
+            .map_err(|e| bad(&format!("stats do not decode: {}", e.0)))?;
+        for wgs in &snap.workgroups {
+            cu.workgroups.push(Workgroup {
+                lds: wgs.lds.clone(),
+                waves: wgs
+                    .waves
+                    .iter()
+                    .map(|&i| usize::try_from(i).map_err(|_| bad("wave index out of range")))
+                    .collect::<Result<_, _>>()?,
+                arrived: usize::try_from(wgs.arrived).map_err(|_| bad("arrived out of range"))?,
+            });
+        }
+        for ws in &snap.waves {
+            let workgroup =
+                usize::try_from(ws.workgroup).map_err(|_| bad("workgroup out of range"))?;
+            if workgroup >= cu.workgroups.len() {
+                return Err(bad("wave references a missing workgroup"));
+            }
+            let mut w = Wavefront::new(
+                usize::try_from(ws.id).map_err(|_| bad("wave id out of range"))?,
+                workgroup,
+                usize::from(cu.meta.sgprs),
+                usize::from(cu.meta.vgprs),
+            );
+            if ws.sgprs.len() != w.sgpr_count() || ws.vgprs.len() != w.vgpr_count() {
+                return Err(bad("register-file shape differs from the kernel budgets"));
+            }
+            w.pc = usize::try_from(ws.pc).map_err(|_| bad("pc out of range"))?;
+            w.exec = ws.exec;
+            w.vcc = ws.vcc;
+            w.scc = ws.scc;
+            w.m0 = ws.m0;
+            w.sgprs_mut().copy_from_slice(&ws.sgprs);
+            for (row, src) in w.vgprs_mut().iter_mut().zip(&ws.vgprs) {
+                if src.len() != WAVEFRONT_SIZE {
+                    return Err(bad("vgpr row is not wavefront-sized"));
+                }
+                row.copy_from_slice(src);
+            }
+            w.next_ready = ws.next_ready;
+            w.wait_reason = *StallReason::ALL
+                .get(usize::from(ws.wait_reason))
+                .ok_or_else(|| bad("unknown stall reason"))?;
+            w.vm_events = ws.vm_events.clone();
+            w.lgkm_events = ws.lgkm_events.clone();
+            w.state = match ws.state {
+                0 => WaveState::Ready,
+                1 => WaveState::AtBarrier,
+                2 => WaveState::Done,
+                _ => return Err(bad("unknown wave state")),
+            };
+            w.retired = ws.retired;
+            let mut pending = HashMap::with_capacity(ws.pending.len());
+            for &(code, t) in &ws.pending {
+                let key = RegKey::from_code(code).ok_or_else(|| bad("unknown register key"))?;
+                pending.insert(key, t);
+            }
+            cu.waves.push(w);
+            cu.pending.push(pending);
+        }
+        Ok(cu)
+    }
+}
+
+/// Stable snapshot code for a stall reason (its index in
+/// [`StallReason::ALL`]).
+fn stall_code(reason: StallReason) -> u8 {
+    StallReason::ALL
+        .iter()
+        .position(|&r| r == reason)
+        .unwrap_or(0) as u8
 }
 
 #[cfg(test)]
@@ -1312,6 +1552,77 @@ mod tests {
         assert_eq!(cu.wave(w).sgpr(1).unwrap(), 10);
         assert_eq!(cu.wave(w).sgpr(0).unwrap(), 0);
         assert_eq!(cu.stats().branches_taken, 9);
+    }
+
+    #[test]
+    fn preempted_run_with_snapshots_is_bit_identical() {
+        // Uninterrupted reference.
+        let kernel = alu_kernel();
+        let mut reference = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+        let wg = reference.add_workgroup();
+        for _ in 0..4 {
+            reference.start_wave(tid_init(wg)).unwrap();
+        }
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        let ref_cycles = reference.run_to_completion(&mut mem).unwrap();
+
+        // Same run, preempted every cycle with a snapshot/restore (and a
+        // binary serde round trip) between quanta.
+        let mut cu = ComputeUnit::new(CuConfig::default(), &kernel).unwrap();
+        let wg = cu.add_workgroup();
+        for _ in 0..4 {
+            cu.start_wave(tid_init(wg)).unwrap();
+        }
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        let mut pauses = 0;
+        let cycles = loop {
+            match cu.run_until(&mut mem, 1).unwrap() {
+                RunStatus::Done(cycles) => break cycles,
+                RunStatus::Paused => {
+                    pauses += 1;
+                    let bytes = scratch_snap::to_bytes(&cu.snapshot());
+                    let snap: CuSnapshot = scratch_snap::from_bytes(&bytes).unwrap();
+                    cu = ComputeUnit::restore(CuConfig::default(), &kernel, &snap).unwrap();
+                }
+            }
+        };
+        assert!(pauses > 1, "budget of 1 cycle must actually preempt");
+        assert_eq!(cycles, ref_cycles);
+        assert_eq!(cu.now(), reference.now());
+        assert_eq!(cu.stats(), reference.stats());
+        for w in 0..4 {
+            for lane in 0..64 {
+                assert_eq!(
+                    cu.wave(w).vgpr(1, lane).unwrap(),
+                    reference.wave(w).vgpr(1, lane).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_limit_spans_pauses() {
+        let kernel = alu_kernel();
+        let config = CuConfig {
+            cycle_limit: 4,
+            ..CuConfig::default()
+        };
+        let mut cu = ComputeUnit::new(config, &kernel).unwrap();
+        let wg = cu.add_workgroup();
+        for _ in 0..16 {
+            cu.start_wave(tid_init(wg)).unwrap();
+        }
+        let mut mem = FixedLatencyMemory::new(0, 0);
+        let mut steps = 0;
+        let err = loop {
+            match cu.run_until(&mut mem, 1) {
+                Ok(RunStatus::Paused) => steps += 1,
+                Ok(RunStatus::Done(_)) => panic!("16 waves cannot finish in 4 cycles"),
+                Err(e) => break e,
+            }
+            assert!(steps < 100, "cycle limit never tripped");
+        };
+        assert_eq!(err, CuError::CycleLimit { limit: 4 });
     }
 
     #[test]

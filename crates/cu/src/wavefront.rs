@@ -154,6 +154,26 @@ impl Wavefront {
         }
     }
 
+    /// Full scalar register file (for checkpointing).
+    pub(crate) fn sgprs_raw(&self) -> &[u32] {
+        &self.sgprs
+    }
+
+    /// Full vector register file (for checkpointing).
+    pub(crate) fn vgprs_raw(&self) -> &[[u32; WAVEFRONT_SIZE]] {
+        &self.vgprs
+    }
+
+    /// Mutable scalar register file (for snapshot restore).
+    pub(crate) fn sgprs_mut(&mut self) -> &mut [u32] {
+        &mut self.sgprs
+    }
+
+    /// Mutable vector register file (for snapshot restore).
+    pub(crate) fn vgprs_mut(&mut self) -> &mut [[u32; WAVEFRONT_SIZE]] {
+        &mut self.vgprs
+    }
+
     /// `true` when `lane` is enabled by the execute mask.
     #[must_use]
     pub fn lane_active(&self, lane: usize) -> bool {

@@ -49,9 +49,11 @@
 #![warn(missing_docs)]
 
 mod job;
+mod preempt;
 mod queue;
 
 pub use job::{run_kernel_jobs, KernelJob};
+pub use preempt::{PreemptiveEngine, PreemptiveHandle, Slice};
 pub use queue::{Engine, EngineHandle, JobError, JobOutcome, JobTiming, DEFAULT_WATCHDOG_CYCLES};
 
 /// One worker per core the OS reports as available (the `--jobs` default

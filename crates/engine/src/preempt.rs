@@ -1,0 +1,662 @@
+//! The preemptive scheduling layer: jobs execute in *slices* (quanta) on a
+//! small worker pool, with per-tenant round-robin between slices and
+//! best-effort cancellation at quantum boundaries.
+//!
+//! Where [`Engine`](crate::Engine) runs each job to completion on the
+//! worker that picked it, [`PreemptiveEngine`] hands a job's closure back
+//! to the scheduler after every slice: a long-running job cannot monopolise
+//! a worker, tenants share the pool fairly whatever their queue depths,
+//! and a cancelled job stops at its next quantum boundary instead of
+//! running to the end. The slice closure owns whatever state it needs to
+//! continue — the serving layer's jobs carry a serialized
+//! `scratch_system::SystemCheckpoint` between quanta.
+
+use std::collections::{HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scratch_metrics::{Counter, Registry};
+
+use crate::default_workers;
+use crate::queue::{JobError, JobOutcome, JobTiming};
+
+/// What one execution slice of a preemptible job reports back.
+pub enum Slice<T> {
+    /// The quantum is spent but the job has more work; the scheduler will
+    /// run another slice after other tenants have had their turn.
+    Yield,
+    /// The job finished with this result.
+    Done(Result<T, JobError>),
+}
+
+type SliceFn<T> = Box<dyn FnMut(u64) -> Slice<T> + Send>;
+
+/// A preemptible job parked between slices.
+struct PJob<T> {
+    id: u64,
+    label: String,
+    tenant: String,
+    enqueued: u64,
+    /// Slices run so far (the 0-based index passed to the next slice).
+    slices: u64,
+    /// Logical tick of the first pickup.
+    started: Option<u64>,
+    /// Accumulated wall-clock execution time across slices.
+    wall: Duration,
+    work: SliceFn<T>,
+}
+
+/// Scheduler state: one FIFO per tenant (in first-seen order) with a
+/// round-robin cursor between them.
+struct PSched<T> {
+    queues: Vec<(String, VecDeque<PJob<T>>)>,
+    rr: usize,
+    /// Ids whose cancellation was requested but not yet delivered.
+    cancelled: HashSet<u64>,
+    /// Ids submitted whose outcome has not been produced yet.
+    live: HashSet<u64>,
+    shutdown: bool,
+}
+
+impl<T> PSched<T> {
+    /// Pop the next runnable job, tenant round-robin: starting from the
+    /// cursor, the first tenant with queued work gets one job picked, and
+    /// the cursor moves past it.
+    fn pick(&mut self) -> Option<PJob<T>> {
+        let n = self.queues.len();
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if let Some(job) = self.queues[i].1.pop_front() {
+                self.rr = (i + 1) % n;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Queue a job at the back of its tenant's FIFO, creating the
+    /// tenant's queue on first sight.
+    fn enqueue(&mut self, job: PJob<T>) {
+        match self.queues.iter().position(|(t, _)| *t == job.tenant) {
+            Some(i) => self.queues[i].1.push_back(job),
+            None => {
+                let tenant = job.tenant.clone();
+                self.queues.push((tenant, VecDeque::from([job])));
+            }
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.queues.iter().map(|(_, q)| q.len()).sum()
+    }
+}
+
+/// Counters of the preemptive scheduler's metrics plane.
+struct PreemptMetrics {
+    quanta: Counter,
+    preemptions: Counter,
+    cancelled: Counter,
+}
+
+impl PreemptMetrics {
+    fn new(registry: &Registry) -> PreemptMetrics {
+        PreemptMetrics {
+            quanta: registry.counter(
+                "scratch_preempt_quanta_total",
+                "Execution quanta (job slices) run by the preemptive pool",
+            ),
+            preemptions: registry.counter(
+                "scratch_preempt_preemptions_total",
+                "Times a job was preempted at a quantum boundary",
+            ),
+            cancelled: registry.counter(
+                "scratch_preempt_cancelled_total",
+                "Jobs cancelled before completion (queued or mid-flight)",
+            ),
+        }
+    }
+}
+
+struct PShared<T> {
+    sched: Mutex<PSched<T>>,
+    available: Condvar,
+    /// Logical clock, ticking once per scheduler event (see
+    /// [`JobTiming`]).
+    clock: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    /// Jobs currently executing a slice on some worker.
+    in_flight: AtomicUsize,
+    metrics: Option<PreemptMetrics>,
+}
+
+impl<T> PShared<T> {
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Produce a job's outcome: clear its cancellation/liveness bookkeeping,
+/// send the outcome, then bump the completion counter — ordered so that
+/// `completed == submitted` implies every outcome was also routed (the
+/// drain invariant the serving layer waits on).
+fn finish<T>(
+    shared: &PShared<T>,
+    results: &Sender<JobOutcome<T>>,
+    job: PJob<T>,
+    result: Result<T, JobError>,
+) {
+    let finished_tick = shared.tick();
+    {
+        let mut st = shared.sched.lock().expect("preemptive sched lock");
+        st.cancelled.remove(&job.id);
+        st.live.remove(&job.id);
+    }
+    if let Some(m) = &shared.metrics {
+        if matches!(result, Err(JobError::Cancelled)) {
+            m.cancelled.inc();
+        }
+    }
+    let _ = results.send(JobOutcome {
+        id: job.id,
+        label: job.label,
+        result,
+        wall: job.wall,
+        timing: JobTiming {
+            enqueued: job.enqueued,
+            started: job.started.unwrap_or(finished_tick),
+            finished: finished_tick,
+        },
+    });
+    shared.completed.fetch_add(1, Ordering::Release);
+}
+
+fn preemptive_worker<T>(shared: &PShared<T>, results: &Sender<JobOutcome<T>>) {
+    loop {
+        // Pick the next slice to run; `was_cancelled` covers jobs whose
+        // cancellation arrived while they sat queued.
+        let (mut job, was_cancelled) = {
+            let mut st = shared.sched.lock().expect("preemptive sched lock");
+            loop {
+                if let Some(job) = st.pick() {
+                    let cancelled = st.cancelled.contains(&job.id);
+                    break (job, cancelled);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.available.wait(st).expect("preemptive sched lock");
+            }
+        };
+        if was_cancelled {
+            finish(shared, results, job, Err(JobError::Cancelled));
+            continue;
+        }
+        if job.started.is_none() {
+            job.started = Some(shared.tick());
+        }
+        shared.in_flight.fetch_add(1, Ordering::Release);
+        let slice_start = Instant::now();
+        let index = job.slices;
+        let slice = catch_unwind(AssertUnwindSafe(|| (job.work)(index)));
+        job.wall += slice_start.elapsed();
+        job.slices += 1;
+        shared.in_flight.fetch_sub(1, Ordering::Release);
+        if let Some(m) = &shared.metrics {
+            m.quanta.inc();
+        }
+        match slice {
+            Err(payload) => {
+                finish(
+                    shared,
+                    results,
+                    job,
+                    Err(JobError::Panicked(panic_message(payload))),
+                );
+            }
+            Ok(Slice::Done(result)) => finish(shared, results, job, result),
+            Ok(Slice::Yield) => {
+                if let Some(m) = &shared.metrics {
+                    m.preemptions.inc();
+                }
+                // Cancellation requested while the slice ran wins over
+                // requeueing: the job stops at this quantum boundary.
+                let cancelled = {
+                    let st = shared.sched.lock().expect("preemptive sched lock");
+                    st.cancelled.contains(&job.id)
+                };
+                if cancelled {
+                    finish(shared, results, job, Err(JobError::Cancelled));
+                } else {
+                    let mut st = shared.sched.lock().expect("preemptive sched lock");
+                    st.enqueue(job);
+                    drop(st);
+                    shared.available.notify_one();
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of a preemptive worker pool (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PreemptiveEngine {
+    workers: usize,
+    metrics: bool,
+    registry: Option<Registry>,
+}
+
+impl PreemptiveEngine {
+    /// An engine with `workers` pool threads; `0` means one per available
+    /// core. The metrics plane is on, publishing to the process-global
+    /// registry.
+    #[must_use]
+    pub fn new(workers: usize) -> PreemptiveEngine {
+        PreemptiveEngine {
+            workers: if workers == 0 {
+                default_workers()
+            } else {
+                workers
+            },
+            metrics: true,
+            registry: None,
+        }
+    }
+
+    /// The resolved worker-thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Builder-style switch for the scheduler's metrics (quantum,
+    /// preemption and cancellation counters). On by default.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: bool) -> PreemptiveEngine {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Publish into `registry` instead of the process-global
+    /// [`scratch_metrics::global`] registry (hermetic tests).
+    #[must_use]
+    pub fn with_registry(mut self, registry: Registry) -> PreemptiveEngine {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Spin up the pool and return the submission handle.
+    #[must_use]
+    pub fn start<T: Send + 'static>(&self) -> PreemptiveHandle<T> {
+        let metrics = self.metrics.then(|| {
+            let registry = self
+                .registry
+                .clone()
+                .unwrap_or_else(|| scratch_metrics::global().clone());
+            PreemptMetrics::new(&registry)
+        });
+        let shared = Arc::new(PShared {
+            sched: Mutex::new(PSched {
+                queues: Vec::new(),
+                rr: 0,
+                cancelled: HashSet::new(),
+                live: HashSet::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            clock: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            metrics,
+        });
+        let (tx, rx) = channel();
+        let threads = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("scratch-preempt-{i}"))
+                    .spawn(move || preemptive_worker(&shared, &tx))
+                    .expect("spawn preemptive worker")
+            })
+            .collect();
+        PreemptiveHandle {
+            shared,
+            threads,
+            results: Mutex::new(rx),
+            received: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for PreemptiveEngine {
+    /// One worker per available core.
+    fn default() -> PreemptiveEngine {
+        PreemptiveEngine::new(0)
+    }
+}
+
+/// A running preemptive pool: submit sliced jobs under a tenant, cancel
+/// them, stream their outcomes.
+///
+/// Dropping the handle shuts the pool down gracefully: already-queued
+/// jobs still run (slice by slice) and the workers are joined. A job that
+/// yields forever would hang that shutdown — slice closures are expected
+/// to bound their own total work, as the serving layer's watchdog-limited
+/// checkpoint slices do.
+pub struct PreemptiveHandle<T> {
+    shared: Arc<PShared<T>>,
+    threads: Vec<JoinHandle<()>>,
+    results: Mutex<Receiver<JobOutcome<T>>>,
+    received: AtomicU64,
+}
+
+impl<T: Send + 'static> PreemptiveHandle<T> {
+    /// Queue a preemptible job under `tenant`; returns its submission id.
+    ///
+    /// `work` is called once per quantum with the 0-based slice index; it
+    /// returns [`Slice::Yield`] to be rescheduled after other tenants'
+    /// turns, or [`Slice::Done`] with the job's result.
+    pub fn submit<F>(&self, tenant: impl Into<String>, label: impl Into<String>, work: F) -> u64
+    where
+        F: FnMut(u64) -> Slice<T> + Send + 'static,
+    {
+        let id = self.shared.submitted.fetch_add(1, Ordering::AcqRel);
+        let enqueued = self.shared.tick();
+        {
+            let mut st = self.shared.sched.lock().expect("preemptive sched lock");
+            st.live.insert(id);
+            st.enqueue(PJob {
+                id,
+                label: label.into(),
+                tenant: tenant.into(),
+                enqueued,
+                slices: 0,
+                started: None,
+                wall: Duration::ZERO,
+                work: Box::new(work),
+            });
+        }
+        self.shared.available.notify_one();
+        id
+    }
+
+    /// Request cancellation of job `id`. Best-effort and asynchronous:
+    /// a queued job is reaped at its next pickup, a running job at its
+    /// next quantum boundary; either way its outcome arrives as
+    /// [`JobError::Cancelled`]. Returns `false` when the job is unknown
+    /// or its outcome was already produced (too late to cancel).
+    pub fn cancel(&self, id: u64) -> bool {
+        let live = {
+            let mut st = self.shared.sched.lock().expect("preemptive sched lock");
+            if !st.live.contains(&id) {
+                return false;
+            }
+            st.cancelled.insert(id);
+            true
+        };
+        // Wake the pool so idle workers reap queued cancellations promptly.
+        self.shared.available.notify_all();
+        live
+    }
+
+    /// Receive the next completed outcome, blocking until one is ready.
+    /// Returns `None` once every submitted job's outcome was received.
+    pub fn recv(&mut self) -> Option<JobOutcome<T>> {
+        let rx = self.results.lock().expect("preemptive results lock");
+        if self.received.load(Ordering::Acquire) >= self.submitted_count() {
+            return None;
+        }
+        let outcome = rx.recv().expect("preemptive workers outlive the handle");
+        self.received.fetch_add(1, Ordering::AcqRel);
+        Some(outcome)
+    }
+
+    /// Receive the next completed outcome, waiting at most `timeout`.
+    /// Returns `None` on timeout (or if another thread holds the receive
+    /// side) — the router-loop primitive of the serving layer.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<JobOutcome<T>> {
+        let rx = self.results.try_lock().ok()?;
+        let outcome = rx.recv_timeout(timeout).ok()?;
+        self.received.fetch_add(1, Ordering::AcqRel);
+        Some(outcome)
+    }
+
+    /// Receive the next completed outcome if one is already waiting,
+    /// without blocking.
+    pub fn try_recv(&self) -> Option<JobOutcome<T>> {
+        let rx = self.results.try_lock().ok()?;
+        let outcome = rx.try_recv().ok()?;
+        self.received.fetch_add(1, Ordering::AcqRel);
+        Some(outcome)
+    }
+
+    /// Jobs submitted whose outcomes have not been received yet.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.submitted_count() - self.received.load(Ordering::Acquire)
+    }
+
+    /// Total jobs submitted to the pool so far.
+    #[must_use]
+    pub fn submitted_count(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Acquire)
+    }
+
+    /// Outcomes the pool has produced so far (successes, failures and
+    /// cancellations alike). Once this equals
+    /// [`submitted_count`](Self::submitted_count), every outcome has also
+    /// been routed — the drain invariant.
+    #[must_use]
+    pub fn completed_count(&self) -> u64 {
+        self.shared.completed.load(Ordering::Acquire)
+    }
+
+    /// Jobs parked in tenant queues right now (between slices or not yet
+    /// started).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .sched
+            .lock()
+            .expect("preemptive sched lock")
+            .queued()
+    }
+
+    /// Jobs currently executing a slice on some worker.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Drain every outstanding outcome, shut the pool down, and return
+    /// all collected outcomes sorted by submission id.
+    #[must_use]
+    pub fn join(mut self) -> Vec<JobOutcome<T>> {
+        let mut out = Vec::with_capacity(usize::try_from(self.pending()).unwrap_or(0));
+        while let Some(o) = self.recv() {
+            out.push(o);
+        }
+        out.sort_by_key(|o| o.id);
+        out
+    }
+}
+
+impl<T> Drop for PreemptiveHandle<T> {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.shared.sched.lock() {
+            st.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn slices_interleave_tenants_round_robin() {
+        // One worker, two tenants. Both jobs idle-yield until released,
+        // then log three real slices each: the scheduler must alternate
+        // tenants strictly once both are queued.
+        let engine = PreemptiveEngine::new(1).with_metrics(false);
+        let handle: PreemptiveHandle<Vec<&'static str>> = engine.start();
+        let go = Arc::new(AtomicBool::new(false));
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        for tenant in ["alice", "bob"] {
+            let go = Arc::clone(&go);
+            let log = Arc::clone(&log);
+            let mut ran = 0u32;
+            handle.submit(tenant, tenant, move |_| {
+                if !go.load(Ordering::Acquire) {
+                    return Slice::Yield;
+                }
+                log.lock().unwrap().push(tenant);
+                ran += 1;
+                if ran < 3 {
+                    Slice::Yield
+                } else {
+                    Slice::Done(Ok(Vec::new()))
+                }
+            });
+        }
+        go.store(true, Ordering::Release);
+        let outcomes = handle.join();
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.result.is_ok(), "{:?}", o.result);
+        }
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.iter().filter(|t| **t == "alice").count(), 3);
+        // Collapse the log into maximal same-tenant runs. Strict
+        // alternation holds in the middle; the edges may legitimately
+        // run twice — the release can land between a pick made while
+        // only one tenant was queued and that slice's gate check, and
+        // once one job completes the survivor runs back-to-back.
+        let mut runs: Vec<(&str, usize)> = Vec::new();
+        for t in log.iter() {
+            match runs.last_mut() {
+                Some((last, n)) if last == t => *n += 1,
+                _ => runs.push((t, 1)),
+            }
+        }
+        let (first, rest) = runs.split_first().expect("non-empty log");
+        assert!(first.1 <= 2, "first run too long: {log:?}");
+        let (last, middle) = rest.split_last().unwrap_or((first, &[]));
+        assert!(last.1 <= 2, "last run too long: {log:?}");
+        for (_, n) in middle {
+            assert_eq!(*n, 1, "tenants must alternate mid-stream: {log:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_reaps_queued_and_running_jobs() {
+        let engine = PreemptiveEngine::new(1).with_metrics(false);
+        let handle: PreemptiveHandle<u32> = engine.start();
+        // A long job that yields at every quantum (bounded as a safety
+        // net, far beyond what the test needs).
+        let long = handle.submit("t", "long", move |i| {
+            std::thread::sleep(Duration::from_millis(1));
+            if i > 10_000 {
+                Slice::Done(Err(JobError::Failed("ran away".into())))
+            } else {
+                Slice::Yield
+            }
+        });
+        // Queued behind it on the single worker.
+        let queued = handle.submit("t", "queued", |_| Slice::Done(Ok(7)));
+        assert!(handle.cancel(queued), "queued job is cancellable");
+        assert!(handle.cancel(long), "running job is cancellable");
+        assert!(!handle.cancel(999), "unknown ids are not");
+        let outcomes = handle.join();
+        for o in outcomes {
+            assert_eq!(
+                o.result.unwrap_err(),
+                JobError::Cancelled,
+                "job {} must be cancelled",
+                o.id
+            );
+            assert!(o.id == long || o.id == queued);
+        }
+    }
+
+    #[test]
+    fn completed_jobs_are_not_cancellable() {
+        let engine = PreemptiveEngine::new(1).with_metrics(false);
+        let handle: PreemptiveHandle<u32> = engine.start();
+        let id = handle.submit("t", "quick", |_| Slice::Done(Ok(1)));
+        while handle.completed_count() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!handle.cancel(id), "outcome already produced");
+        let outcomes = handle.join();
+        assert_eq!(outcomes[0].result.as_ref().unwrap(), &1);
+    }
+
+    #[test]
+    fn metrics_count_quanta_preemptions_and_cancellations() {
+        let registry = Registry::new();
+        let engine = PreemptiveEngine::new(1).with_registry(registry.clone());
+        let handle: PreemptiveHandle<u32> = engine.start();
+        handle.submit("t", "three-slices", |i| {
+            if i < 2 {
+                Slice::Yield
+            } else {
+                Slice::Done(Ok(0))
+            }
+        });
+        let victim = handle.submit("t", "victim", |_| Slice::Yield);
+        assert!(handle.cancel(victim));
+        let _ = handle.join();
+        let quanta = registry.counter("scratch_preempt_quanta_total", "").get();
+        let preemptions = registry
+            .counter("scratch_preempt_preemptions_total", "")
+            .get();
+        let cancelled = registry
+            .counter("scratch_preempt_cancelled_total", "")
+            .get();
+        assert!(quanta >= 3, "quanta {quanta}");
+        assert!(preemptions >= 2, "preemptions {preemptions}");
+        assert_eq!(cancelled, 1);
+    }
+
+    #[test]
+    fn panicking_slice_is_isolated() {
+        let engine = PreemptiveEngine::new(2).with_metrics(false);
+        let handle: PreemptiveHandle<u32> = engine.start();
+        handle.submit("t", "bad", |i| {
+            if i == 1 {
+                panic!("slice two exploded");
+            }
+            Slice::Yield
+        });
+        handle.submit("t", "good", |_| Slice::Done(Ok(42)));
+        let outcomes = handle.join();
+        assert_eq!(outcomes.len(), 2);
+        assert!(
+            matches!(&outcomes[0].result, Err(JobError::Panicked(m)) if m.contains("exploded"))
+        );
+        assert_eq!(outcomes[1].result.as_ref().unwrap(), &42);
+    }
+}

@@ -31,6 +31,10 @@ pub enum JobError {
         /// The cycle budget that was exhausted.
         budget: u64,
     },
+    /// The job was cancelled — either while still queued or mid-flight at
+    /// a preemption boundary ([`PreemptiveHandle::cancel`]
+    /// (crate::PreemptiveHandle::cancel)).
+    Cancelled,
     /// Any other failure, stringified by the job itself.
     Failed(String),
 }
@@ -43,6 +47,7 @@ impl fmt::Display for JobError {
             JobError::Watchdog { budget } => {
                 write!(f, "watchdog: job exceeded its {budget}-cycle budget")
             }
+            JobError::Cancelled => write!(f, "job cancelled"),
             JobError::Failed(msg) => write!(f, "job failed: {msg}"),
         }
     }

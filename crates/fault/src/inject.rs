@@ -9,9 +9,10 @@
 //!   CRC mismatch against the reference interpreter, or a DMR replica
 //!   vote) but recovery did not restore golden output within its bounded
 //!   attempts;
-//! * **recovered** — a detector fired and a recovery action (untrimmed
-//!   fallback for trim violations, clean re-dispatch for transients)
-//!   restored golden output;
+//! * **recovered** — a detector fired and a recovery action (resume from
+//!   the last pre-fault checkpoint for CU transients, untrimmed fallback
+//!   for trim violations, clean re-dispatch otherwise) restored golden
+//!   output;
 //! * **silent** — the run completed with wrong output and no detector
 //!   fired. This is the outcome the subsystem exists to rule out: it can
 //!   only happen in [`Mode::Plain`], which runs without detection
@@ -24,12 +25,20 @@ use scratch_asm::Kernel;
 use scratch_check::{GenKernel, RefSystem};
 use scratch_core::trim_kernel;
 use scratch_cu::{CuConfig, CuError, TrimSet};
-use scratch_system::{CuUpset, FaultSpec, MemUpset, System, SystemConfig, SystemError, SystemKind};
+use scratch_system::{
+    CuUpset, DispatchProgress, FaultSpec, MemUpset, System, SystemCheckpoint, SystemConfig,
+    SystemError, SystemKind,
+};
 use scratch_trace::TraceEvent;
 
 use crate::crc32;
 use crate::error::FaultError;
 use crate::plan::{FaultPayload, KernelProfile, PlannedFault};
+
+/// A checkpoint taken while every CU was still short of its scheduled
+/// fault's issue point, plus the output base address the resumed run
+/// must read.
+type CleanCheckpoint = (SystemCheckpoint, u64);
 
 /// Detection mode a campaign runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,12 +123,13 @@ pub struct InjectionOutcome {
     pub classification: Classification,
     /// Which detector fired (`error`, `watchdog`, `crc`, `dmr`), if any.
     pub detector: Option<String>,
-    /// Which recovery action succeeded (`untrimmed-fallback`, `retry`),
-    /// if any.
+    /// Which recovery action succeeded (`checkpoint-resume`,
+    /// `untrimmed-fallback`, `retry`), if any.
     pub recovery: Option<String>,
     /// Simulator runs this fault cost beyond the single faulty run
-    /// (DMR replicas, fallback and retry dispatches) — the recovery
-    /// overhead numerator.
+    /// (DMR replicas, checkpoint resumes, fallback and retry dispatches)
+    /// — the recovery overhead numerator. A checkpoint resume counts as
+    /// one run even though it re-executes only the tail.
     pub extra_runs: u32,
 }
 
@@ -274,6 +284,82 @@ impl CaseContext {
         Ok(sys.read_words(out, (self.gk.out_bytes() / 4) as usize))
     }
 
+    /// Checkpoint quantum for preemptible faulty runs: enough pauses per
+    /// run that a pre-fault checkpoint usually exists, cheap enough that
+    /// the campaign's cost stays dominated by execution.
+    fn quantum(&self) -> u64 {
+        (self.profile.cycles / 8).max(1)
+    }
+
+    /// Run a CU-transient faulty run preemptibly, keeping the most recent
+    /// in-memory checkpoint taken while every CU was still short of its
+    /// scheduled fault's issue point (architecturally clean state). The
+    /// checkpoint comes back with the output base address the resumed run
+    /// must read.
+    fn run_faulty_checkpointed(
+        &self,
+        kernel: &Kernel,
+        cu_faults: Vec<CuUpset>,
+        trim: Option<&TrimSet>,
+    ) -> (Result<Vec<u32>, SystemError>, Option<CleanCheckpoint>) {
+        // Per-CU earliest issue point, resolved through the same modulo
+        // the fault installer applies.
+        let config = base_config(trim.cloned(), self.budget()).with_faults(FaultSpec {
+            cu: cu_faults.clone(),
+            mem: Vec::new(),
+        });
+        let mut last_clean = None;
+        let quantum = self.quantum();
+        let result = (|| {
+            let mut sys = System::new(config, kernel)?;
+            let cus = sys.per_cu_instructions().len();
+            let mut first_issue = vec![u64::MAX; cus];
+            for u in &cu_faults {
+                let ci = u.cu as usize % cus.max(1);
+                first_issue[ci] = first_issue[ci].min(u.fault.at_issue);
+            }
+            let out = sys.alloc(self.gk.out_bytes());
+            let inp = sys.alloc_words(&self.gk.image);
+            sys.set_args(&[out as u32, inp as u32]);
+            let mut progress = sys.dispatch_preemptible([self.gk.wgs, 1, 1], quantum)?;
+            loop {
+                match progress {
+                    DispatchProgress::Complete { .. } => {
+                        return Ok(sys.read_words(out, (self.gk.out_bytes() / 4) as usize));
+                    }
+                    DispatchProgress::Paused => {
+                        // A fault fires once its CU's issue count reaches
+                        // `at_issue`, so strictly-below means unfired.
+                        let clean = sys
+                            .per_cu_instructions()
+                            .iter()
+                            .zip(&first_issue)
+                            .all(|(&n, &at)| n < at);
+                        if clean {
+                            last_clean = Some((sys.checkpoint()?, out));
+                        }
+                        progress = sys.resume_dispatch(quantum)?;
+                    }
+                }
+            }
+        })();
+        (result, last_clean)
+    }
+
+    /// Resume a pre-fault checkpoint to completion and read the output.
+    /// The checkpoint round-trips through its serialized binary form
+    /// first, so this exercises exactly what a persisted-checkpoint
+    /// recovery would. Restored systems carry no fault hooks: the resumed
+    /// tail is fault-free by construction.
+    fn resume_from_checkpoint(&self, ck: &SystemCheckpoint, out: u64) -> Option<Vec<u32>> {
+        let bytes = scratch_snap::to_bytes(ck);
+        let ck: SystemCheckpoint = scratch_snap::from_bytes(&bytes).ok()?;
+        let mut sys = System::restore(&ck, None).ok()?;
+        let quantum = self.quantum();
+        while sys.resume_dispatch(quantum).ok()? == DispatchProgress::Paused {}
+        Some(sys.read_words(out, (self.gk.out_bytes() / 4) as usize))
+    }
+
     /// Inject one planned fault under `mode`, run detection and bounded
     /// recovery, and classify the outcome.
     #[must_use]
@@ -282,7 +368,18 @@ impl CaseContext {
         let trimmed = self.trim.as_ref();
         let mut extra_runs = 0u32;
 
-        let faulty = self.run_once(&kernel, cu_faults.clone(), mem_fault, trimmed);
+        // CU transients run preemptibly so a pre-fault checkpoint exists
+        // to resume from; instruction/memory corruption keeps the plain
+        // path (their corruption is present from cycle zero, so no
+        // checkpoint of the faulty run is ever clean).
+        let (faulty, clean_ck) = if !cu_faults.is_empty() && mem_fault.is_none() {
+            self.run_faulty_checkpointed(&kernel, cu_faults.clone(), trimmed)
+        } else {
+            (
+                self.run_once(&kernel, cu_faults.clone(), mem_fault, trimmed),
+                None,
+            )
+        };
 
         // ---- detection ----
         let detector: Option<String> = match &faulty {
@@ -322,6 +419,25 @@ impl CaseContext {
         };
 
         // ---- bounded recovery ----
+        // Resume-from-checkpoint first: the last pre-fault checkpoint is
+        // bit-identical to a clean run's state at that boundary, and a
+        // restored system drops the fault hooks, so resuming re-executes
+        // only the tail of the run fault-free.
+        if let Some((ck, out_addr)) = &clean_ck {
+            extra_runs += 1;
+            if let Some(out) = self.resume_from_checkpoint(ck, *out_addr) {
+                if crc32(&out) == self.golden_crc {
+                    return InjectionOutcome {
+                        fault: *fault,
+                        classification: Classification::Recovered,
+                        detector: Some(detector),
+                        recovery: Some("checkpoint-resume".to_owned()),
+                        extra_runs,
+                    };
+                }
+            }
+        }
+
         // Trim violations degrade gracefully first: the corrupted binary
         // re-dispatches on the untrimmed CU preset (the hardware still
         // exists there), which recovers faults whose corruption is

@@ -151,6 +151,22 @@ impl ServeClient {
         })
     }
 
+    /// Request cancellation of an accepted job; `true` if the job was
+    /// still live and the cancellation was delivered. The job's `Done`
+    /// (with `ok: false`, error `"cancelled"`) still follows via
+    /// [`recv_done`](Self::recv_done).
+    ///
+    /// # Errors
+    ///
+    /// Socket or protocol failure.
+    pub fn cancel(&mut self, job: u64) -> io::Result<bool> {
+        self.send(&Request::Cancel { job })?;
+        self.recv_until(|r| match r {
+            Response::Cancelled { job: j, cancelled } if j == job => Ok(cancelled),
+            other => Err(Box::new(other)),
+        })
+    }
+
     /// Request a graceful drain; returns the number of jobs still pending
     /// at the time of the request.
     ///

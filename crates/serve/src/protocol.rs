@@ -34,6 +34,15 @@ pub enum Request {
     /// Ask the server to drain: stop admitting, finish every accepted
     /// job, then shut down. The daemon's `serve` loop exits afterwards.
     Drain,
+    /// Request cancellation of a previously accepted job. Best-effort:
+    /// a queued job is reaped before it starts, a running one stops at
+    /// its next preemption quantum boundary. The job's [`Response::Done`]
+    /// still arrives (with `ok: false` and error `"cancelled"`), so
+    /// accepted jobs always produce exactly one `Done` either way.
+    Cancel {
+        /// The job id from the matching [`Response::Accepted`].
+        job: u64,
+    },
 }
 
 /// The payload of a [`Request::Submit`].
@@ -102,6 +111,15 @@ pub enum Response {
     Draining {
         /// Jobs still queued or running at the time of the request.
         pending: u64,
+    },
+    /// Answer to [`Request::Cancel`].
+    Cancelled {
+        /// The job id the cancellation targeted.
+        job: u64,
+        /// `true` if the job was still live and cancellation was
+        /// delivered; `false` when the id is unknown or the job already
+        /// completed (its `Done` was produced — too late to cancel).
+        cancelled: bool,
     },
     /// The request line could not be parsed or violated the protocol.
     /// The connection stays open.
@@ -227,6 +245,9 @@ pub struct StatsReply {
     pub completed: u64,
     /// Completed jobs that failed (simulator error or watchdog).
     pub failed: u64,
+    /// Completed jobs that ended via [`Request::Cancel`] (a subset of
+    /// `failed`).
+    pub cancelled: u64,
     /// Jobs waiting in the engine queue right now.
     pub queue_depth: u64,
     /// Jobs executing on engine workers right now.

@@ -6,12 +6,27 @@
 //! One accept thread; two threads per connection (a reader that parses
 //! request lines and makes admission decisions, and a writer that owns
 //! the socket's send side, fed by an mpsc channel); one shared
-//! `scratch-engine` pool executing the admitted jobs. A job's completion
-//! closure serializes its own [`Response::Done`] into the originating
-//! connection's channel, so results stream back without any central
-//! router — and a disconnected client simply makes the send a no-op
-//! (the job itself always runs to completion; accepted work is never
-//! dropped).
+//! *preemptive* `scratch-engine` pool executing the admitted jobs in
+//! checkpointed slices; and one router thread that consumes the pool's
+//! outcome stream and serializes each [`Response::Done`] into the
+//! originating connection's channel. A disconnected client simply makes
+//! that send a no-op (the job itself always completes; accepted work is
+//! never dropped).
+//!
+//! ## Preemptive execution
+//!
+//! A job does not own a worker for its whole run. Each admitted kernel
+//! executes in quanta of [`ServeConfig::quantum_cycles`] simulated
+//! cycles: when a quantum expires the simulator pauses at an instruction
+//! boundary, the full architectural state is captured as a
+//! `scratch_system::SystemCheckpoint`, serialized to the compact
+//! `scratch-snap` binary form, and the `System` is dropped; the next
+//! slice rebuilds it from those bytes and resumes. Checkpoint/restore is
+//! bit-identical (outputs *and* cycle counts), so sliced served results
+//! match offline runs exactly. Between slices the scheduler round-robins
+//! across tenants, and a [`Request::Cancel`] takes effect at the next
+//! quantum boundary — long kernels can be stopped mid-flight without
+//! wedging a worker or blocking a drain.
 //!
 //! ## Admission control
 //!
@@ -22,19 +37,20 @@
 //! sheds with its own typed [`RejectReason`] so clients can tell "back
 //! off" from "give up".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use scratch_engine::{Engine, EngineHandle};
+use scratch_engine::{JobError, JobOutcome, PreemptiveEngine, PreemptiveHandle, Slice};
 use scratch_metrics::{Counter, Gauge, Histogram, Registry};
-use scratch_system::{CuError, System, SystemConfig, SystemError};
+use scratch_system::{
+    CuError, DispatchProgress, System, SystemCheckpoint, SystemConfig, SystemError, SystemKind,
+};
 
 use crate::protocol::{
     fnv1a, JobDone, RejectReason, Rejection, Request, Response, StatsReply, SubmitRequest,
@@ -61,6 +77,11 @@ pub struct ServeConfig {
     /// Per-job simulated-cycle budget; a kernel that exceeds it resolves
     /// to a failed [`JobDone`] instead of wedging a worker.
     pub watchdog_cycles: u64,
+    /// Simulated cycles one execution slice may run before the job is
+    /// checkpointed and the worker moves to the next tenant's work.
+    /// Smaller quanta mean fairer scheduling and faster cancellation at
+    /// the cost of more checkpoint/restore round-trips.
+    pub quantum_cycles: u64,
     /// Largest accepted input buffer, in words.
     pub max_input_words: usize,
     /// Largest accepted output allocation, in bytes.
@@ -79,6 +100,7 @@ impl Default for ServeConfig {
             rate: 0.0,
             burst: 32.0,
             watchdog_cycles: scratch_engine::DEFAULT_WATCHDOG_CYCLES,
+            quantum_cycles: 200_000,
             max_input_words: 1 << 20,
             max_out_bytes: 64 << 20,
             registry: None,
@@ -92,11 +114,39 @@ struct ServeMetrics {
     accepted: Counter,
     completed: Counter,
     failed: Counter,
+    cancelled: Counter,
     shed: [(RejectReason, Counter); 6],
     queue_depth: Gauge,
     in_flight: Gauge,
     connections: Gauge,
     queue_us: Histogram,
+}
+
+/// Registry handles for the checkpoint/restore plane of preemptive
+/// execution.
+struct SnapMetrics {
+    checkpoints: Counter,
+    checkpoint_bytes: Counter,
+    resume_us: Histogram,
+}
+
+impl SnapMetrics {
+    fn new(r: &Registry) -> SnapMetrics {
+        SnapMetrics {
+            checkpoints: r.counter(
+                "scratch_snap_checkpoints_total",
+                "System checkpoints captured at preemption boundaries",
+            ),
+            checkpoint_bytes: r.counter(
+                "scratch_snap_checkpoint_bytes_total",
+                "Serialized checkpoint bytes produced",
+            ),
+            resume_us: r.histogram(
+                "scratch_snap_resume_micros",
+                "Microseconds to decode a checkpoint and rebuild the system",
+            ),
+        }
+    }
 }
 
 impl ServeMetrics {
@@ -127,6 +177,10 @@ impl ServeMetrics {
             failed: r.counter(
                 "scratch_serve_failed_total",
                 "Completed jobs whose run failed (simulator error or watchdog)",
+            ),
+            cancelled: r.counter(
+                "scratch_serve_cancelled_total",
+                "Completed jobs that ended via client cancellation",
             ),
             shed: [
                 shed_counter(RejectReason::RateLimited),
@@ -175,14 +229,36 @@ struct Tenant {
     latency_us: Histogram,
 }
 
-/// State shared by the accept loop, connection threads and job closures.
+/// What a slice job resolves to: the run's `(cycles, instructions,
+/// output-words)` or a failure description. Cancellation and panics
+/// arrive as the outer [`JobError`] instead.
+type JobResult = Result<(u64, u64, Vec<u32>), String>;
+
+/// Everything the router needs to answer and account for one admitted
+/// job once its outcome arrives, keyed by engine job id.
+struct PendingJob {
+    tx: Sender<String>,
+    tenant: String,
+    label: String,
+    return_output: bool,
+    admitted: Instant,
+    tenant_in_flight: Arc<AtomicU64>,
+    tenant_completed: Counter,
+    tenant_latency: Histogram,
+}
+
+/// State shared by the accept loop, connection threads and the router.
 struct Inner {
     config: ServeConfig,
     registry: Registry,
-    engine: EngineHandle<()>,
+    engine: PreemptiveHandle<JobResult>,
     metrics: ServeMetrics,
+    snap: SnapMetrics,
     tenants: Mutex<BTreeMap<String, Tenant>>,
-    jobs: AtomicU64,
+    /// Admitted jobs whose outcome the router has not yet routed. The
+    /// admission path holds this lock *across* the engine submit, so the
+    /// router can never observe an outcome before its entry exists.
+    pending_jobs: Mutex<HashMap<u64, PendingJob>>,
     draining: AtomicBool,
     stop: AtomicBool,
     /// Signalled on every job completion and on drain requests; the value
@@ -226,16 +302,88 @@ impl Inner {
         self.metrics.in_flight.set(self.engine.in_flight() as f64);
     }
 
-    /// Opportunistically drain the engine's (unused) outcome channel so
-    /// records never accumulate: the serving layer routes results through
-    /// the job closures themselves.
-    fn reap_outcomes(&self) {
-        while self.engine.try_recv().is_some() {}
-    }
-
     /// Jobs admitted but not yet completed.
     fn pending(&self) -> u64 {
         self.metrics.accepted.get() - self.metrics.completed.get()
+    }
+
+    /// Route one engine outcome: build the [`JobDone`], send it down the
+    /// originating connection's channel, and settle all accounting. Runs
+    /// on the router thread.
+    fn route(&self, outcome: JobOutcome<JobResult>) {
+        let Some(p) = self
+            .pending_jobs
+            .lock()
+            .expect("pending jobs lock")
+            .remove(&outcome.id)
+        else {
+            return; // unreachable: admission registers before submitting
+        };
+        let exec_us = micros(outcome.wall);
+        let total_us = micros(p.admitted.elapsed());
+        // With sliced execution "queue time" is every moment the job was
+        // admitted but not on a worker — initial wait plus between-slice
+        // parking.
+        let queue_us = total_us.saturating_sub(exec_us);
+        self.metrics.queue_us.observe(queue_us);
+        let cancelled = matches!(outcome.result, Err(JobError::Cancelled));
+        let (ok, error, cycles, instructions, digest, output) = match outcome.result {
+            Ok(Ok((cycles, instructions, words))) => (
+                true,
+                None,
+                cycles,
+                instructions,
+                fnv1a(&words),
+                p.return_output.then_some(words),
+            ),
+            Ok(Err(msg)) => (false, Some(msg), 0, 0, fnv1a(&[]), None),
+            Err(JobError::Cancelled) => {
+                (false, Some("cancelled".to_owned()), 0, 0, fnv1a(&[]), None)
+            }
+            Err(JobError::Panicked(_)) => (
+                false,
+                Some("job panicked inside the simulator".to_owned()),
+                0,
+                0,
+                fnv1a(&[]),
+                None,
+            ),
+            Err(other) => (false, Some(other.to_string()), 0, 0, fnv1a(&[]), None),
+        };
+        let done = JobDone {
+            job: outcome.id,
+            tenant: p.tenant,
+            label: p.label,
+            ok,
+            error,
+            cycles,
+            instructions,
+            digest,
+            output,
+            queue_us,
+            exec_us,
+        };
+        // A gone client makes this a no-op; the accounting below still
+        // runs, so drains never wedge and accepted work is never dropped
+        // server-side.
+        let line = serde_json::to_string(&Response::Done(done)).expect("JobDone always serializes");
+        let _ = p.tx.send(line);
+
+        p.tenant_latency.observe(total_us);
+        p.tenant_completed.inc();
+        p.tenant_in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.metrics.completed.inc();
+        if !ok {
+            self.metrics.failed.inc();
+        }
+        if cancelled {
+            self.metrics.cancelled.inc();
+        }
+        self.publish_backlog();
+        // Wake anyone waiting on drain progress.
+        let (lock, cv) = &self.progress;
+        let _guard = lock.lock().expect("progress lock");
+        cv.notify_all();
     }
 
     /// The admission decision for one submission. Returns the response to
@@ -243,7 +391,6 @@ impl Inner {
     /// (its `Done` will follow through `tx`).
     fn admit(self: &Arc<Inner>, req: SubmitRequest, tx: &Sender<String>) -> Response {
         self.metrics.submitted.inc();
-        self.reap_outcomes();
         if self.draining.load(Ordering::Acquire) {
             return self.reject(
                 &req.tenant,
@@ -313,75 +460,64 @@ impl Inner {
             )
         };
 
-        let job = self.jobs.fetch_add(1, Ordering::AcqRel);
         self.metrics.accepted.inc();
 
         let inner = Arc::clone(self);
-        let tx = tx.clone();
         let admitted = Instant::now();
-        let label = format!("{}/{}", req.tenant, req.label);
-        self.engine.submit(label, move || {
-            let queue_us = micros(admitted.elapsed());
-            inner.metrics.queue_us.observe(queue_us);
-            inner.publish_backlog();
-            let exec_start = Instant::now();
-            let run = catch_unwind(AssertUnwindSafe(|| {
-                execute(&req, kind, &inner.registry, inner.config.watchdog_cycles)
-            }))
-            .unwrap_or_else(|_| Err("job panicked inside the simulator".to_owned()));
-            let exec_us = micros(exec_start.elapsed());
-
-            let done = match run {
-                Ok((report_cycles, instructions, words)) => JobDone {
-                    job,
-                    tenant: req.tenant.clone(),
-                    label: req.label.clone(),
-                    ok: true,
-                    error: None,
-                    cycles: report_cycles,
+        let engine_label = format!("{}/{}", req.tenant, req.label);
+        let tenant = req.tenant.clone();
+        let label = req.label.clone();
+        let return_output = req.return_output;
+        let watchdog = self.config.watchdog_cycles;
+        let quantum = self.config.quantum_cycles.max(1);
+        // Checkpoint bytes carried between slices, plus the output base
+        // the first slice allocated (the restored system re-derives
+        // everything else from the checkpoint).
+        let mut carried: Option<Vec<u8>> = None;
+        let mut out_addr = 0u64;
+        let work = move |_slice: u64| -> Slice<JobResult> {
+            match run_slice(
+                &req,
+                kind,
+                &inner.registry,
+                watchdog,
+                quantum,
+                carried.take(),
+                &mut out_addr,
+                &inner.snap,
+            ) {
+                Ok(SliceStep::Paused(bytes)) => {
+                    carried = Some(bytes);
+                    Slice::Yield
+                }
+                Ok(SliceStep::Finished {
+                    cycles,
                     instructions,
-                    digest: fnv1a(&words),
-                    output: req.return_output.then_some(words),
-                    queue_us,
-                    exec_us,
-                },
-                Err(msg) => JobDone {
-                    job,
-                    tenant: req.tenant.clone(),
-                    label: req.label.clone(),
-                    ok: false,
-                    error: Some(msg),
-                    cycles: 0,
-                    instructions: 0,
-                    digest: fnv1a(&[]),
-                    output: None,
-                    queue_us,
-                    exec_us,
-                },
-            };
-            let failed = !done.ok;
-
-            // Route the result. A gone client makes this a no-op; the
-            // accounting below still runs, so drains never wedge and the
-            // job is never "accepted then dropped" server-side.
-            let line =
-                serde_json::to_string(&Response::Done(done)).expect("JobDone always serializes");
-            let _ = tx.send(line);
-
-            tenant_latency.observe(micros(admitted.elapsed()));
-            tenant_completed.inc();
-            tenant_in_flight.fetch_sub(1, Ordering::AcqRel);
-            inner.metrics.completed.inc();
-            if failed {
-                inner.metrics.failed.inc();
+                    words,
+                }) => Slice::Done(Ok(Ok((cycles, instructions, words)))),
+                Err(msg) => Slice::Done(Ok(Err(msg))),
             }
-            inner.publish_backlog();
-            // Wake anyone waiting on drain progress.
-            let (lock, cv) = &inner.progress;
-            let _guard = lock.lock().expect("progress lock");
-            cv.notify_all();
-            Ok(())
-        });
+        };
+        // Register the pending entry under the same critical section as
+        // the submit, so the router can't race us to the outcome.
+        let job = {
+            let mut pending = self.pending_jobs.lock().expect("pending jobs lock");
+            let id = self.engine.submit(tenant.clone(), engine_label, work);
+            pending.insert(
+                id,
+                PendingJob {
+                    tx: tx.clone(),
+                    tenant,
+                    label,
+                    return_output,
+                    admitted,
+                    tenant_in_flight,
+                    tenant_completed,
+                    tenant_latency,
+                },
+            );
+            id
+        };
         self.publish_backlog();
         Response::Accepted { job }
     }
@@ -424,6 +560,7 @@ impl Inner {
             shed: m.shed.iter().map(|(_, c)| c.get()).sum(),
             completed: m.completed.get(),
             failed: m.failed.get(),
+            cancelled: m.cancelled.get(),
             queue_depth: self.engine.queue_depth() as u64,
             in_flight: self.engine.in_flight() as u64,
             connections: m.connections.get() as u64,
@@ -448,6 +585,10 @@ impl Inner {
                     pending: self.pending(),
                 }
             }
+            Request::Cancel { job } => Response::Cancelled {
+                job,
+                cancelled: self.engine.cancel(job),
+            },
         }
     }
 }
@@ -456,35 +597,108 @@ fn micros(d: Duration) -> u64 {
     d.as_micros().try_into().unwrap_or(u64::MAX)
 }
 
-/// Execute one admitted submission on the calling engine worker. Mirrors
-/// a direct `scratch-system` run exactly (same allocation order, same
-/// argument convention), which is what makes served results bit-identical
-/// to offline execution.
-fn execute(
+/// What one execution slice produced.
+enum SliceStep {
+    /// The quantum expired; the serialized checkpoint resumes the run.
+    Paused(Vec<u8>),
+    /// The kernel completed.
+    Finished {
+        cycles: u64,
+        instructions: u64,
+        words: Vec<u32>,
+    },
+}
+
+/// Run one quantum of an admitted submission on the calling engine
+/// worker. The first slice builds the system and mirrors a direct
+/// `scratch-system` run exactly (same allocation order, same argument
+/// convention); later slices rebuild it from the carried checkpoint
+/// bytes. Checkpoint/restore is bit-identical, so sliced served results
+/// match offline execution.
+#[allow(clippy::too_many_arguments)]
+fn run_slice(
     req: &SubmitRequest,
-    kind: scratch_system::SystemKind,
+    kind: SystemKind,
     registry: &Registry,
     watchdog: u64,
-) -> Result<(u64, u64, Vec<u32>), String> {
-    let mut config = SystemConfig::preset(kind).with_registry(registry.clone());
-    config.cu.cycle_limit = config.cu.cycle_limit.min(watchdog.max(1));
-    let mut sys = System::new(config, &req.kernel).map_err(|e| e.to_string())?;
-    let out = sys.alloc(req.out_bytes.max(4));
-    let mut args = vec![u32::try_from(out).unwrap_or(0)];
-    if !req.input.is_empty() {
-        let inp = sys.alloc_words(&req.input);
-        args.push(u32::try_from(inp).unwrap_or(0));
-    }
-    sys.set_args(&args);
-    sys.dispatch(req.grid).map_err(|e| match e {
+    quantum: u64,
+    carried: Option<Vec<u8>>,
+    out_addr: &mut u64,
+    snap: &SnapMetrics,
+) -> Result<SliceStep, String> {
+    let map_err = |e: SystemError| match e {
         SystemError::Cu(CuError::CycleLimit { .. }) => {
             format!("watchdog: job exceeded its {watchdog}-cycle budget")
         }
         other => other.to_string(),
-    })?;
-    let report = sys.report();
-    let words = sys.read_words(out, usize::try_from(req.out_bytes.max(4) / 4).unwrap_or(0));
-    Ok((report.cu_cycles, report.instructions(), words))
+    };
+    let mut sys;
+    let progress = match carried {
+        Some(bytes) => {
+            let resume_start = Instant::now();
+            let ck: SystemCheckpoint = scratch_snap::from_bytes(&bytes)
+                .map_err(|e| format!("checkpoint decode failed: {e}"))?;
+            sys = System::restore(&ck, Some(registry.clone())).map_err(map_err)?;
+            snap.resume_us.observe(micros(resume_start.elapsed()));
+            sys.resume_dispatch(quantum).map_err(map_err)?
+        }
+        None => {
+            let mut config = SystemConfig::preset(kind).with_registry(registry.clone());
+            config.cu.cycle_limit = config.cu.cycle_limit.min(watchdog.max(1));
+            sys = System::new(config, &req.kernel).map_err(map_err)?;
+            let out = sys.alloc(req.out_bytes.max(4));
+            let mut args = vec![u32::try_from(out).unwrap_or(0)];
+            if !req.input.is_empty() {
+                let inp = sys.alloc_words(&req.input);
+                args.push(u32::try_from(inp).unwrap_or(0));
+            }
+            sys.set_args(&args);
+            *out_addr = out;
+            sys.dispatch_preemptible(req.grid, quantum)
+                .map_err(map_err)?
+        }
+    };
+    match progress {
+        DispatchProgress::Paused => {
+            let ck = sys.checkpoint().map_err(map_err)?;
+            let bytes = scratch_snap::to_bytes(&ck);
+            snap.checkpoints.inc();
+            snap.checkpoint_bytes.add(bytes.len() as u64);
+            Ok(SliceStep::Paused(bytes))
+        }
+        DispatchProgress::Complete { .. } => {
+            let report = sys.report();
+            let words = sys.read_words(
+                *out_addr,
+                usize::try_from(req.out_bytes.max(4) / 4).unwrap_or(0),
+            );
+            Ok(SliceStep::Finished {
+                cycles: report.cu_cycles,
+                instructions: report.instructions(),
+                words,
+            })
+        }
+    }
+}
+
+/// The router loop: consume engine outcomes and answer/settle each one.
+/// Exits once the server is stopping and nothing is pending.
+fn router(inner: &Arc<Inner>) {
+    loop {
+        if let Some(outcome) = inner.engine.recv_timeout(Duration::from_millis(100)) {
+            inner.route(outcome);
+            continue;
+        }
+        if inner.stop.load(Ordering::Acquire)
+            && inner
+                .pending_jobs
+                .lock()
+                .expect("pending jobs lock")
+                .is_empty()
+        {
+            return;
+        }
+    }
 }
 
 /// A running serve daemon. [`Server::shutdown`] (or a client's
@@ -496,6 +710,7 @@ pub struct Server {
     inner: Arc<Inner>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    router_thread: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -512,21 +727,26 @@ impl Server {
             .registry
             .clone()
             .unwrap_or_else(|| scratch_metrics::global().clone());
-        let engine = Engine::new(config.workers)
+        let engine = PreemptiveEngine::new(config.workers)
             .with_registry(registry.clone())
-            .with_watchdog(config.watchdog_cycles)
             .start();
         let inner = Arc::new(Inner {
             metrics: ServeMetrics::new(&registry),
+            snap: SnapMetrics::new(&registry),
             config,
             registry,
             engine,
             tenants: Mutex::new(BTreeMap::new()),
-            jobs: AtomicU64::new(0),
+            pending_jobs: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             progress: (Mutex::new(false), Condvar::new()),
         });
+        let router_inner = Arc::clone(&inner);
+        let router_thread = std::thread::Builder::new()
+            .name("scratch-serve-route".to_owned())
+            .spawn(move || router(&router_inner))
+            .expect("spawn router thread");
         let conns = Arc::new(Mutex::new(Vec::new()));
         let accept_inner = Arc::clone(&inner);
         let accept_conns = Arc::clone(&conns);
@@ -551,6 +771,7 @@ impl Server {
             inner,
             addr,
             accept_thread: Some(accept_thread),
+            router_thread: Some(router_thread),
             conns,
         })
     }
@@ -607,10 +828,13 @@ impl Server {
         for t in self.conns.lock().expect("conns lock").drain(..) {
             let _ = t.join();
         }
-        self.inner.reap_outcomes();
+        // The router exits once `stop` is set and no job is pending.
+        if let Some(t) = self.router_thread.take() {
+            let _ = t.join();
+        }
         stats
-        // Dropping `inner` (last Arc) drops the EngineHandle, which joins
-        // the now-idle pool workers.
+        // Dropping `inner` (last Arc) drops the PreemptiveHandle, which
+        // shuts down and joins the now-idle pool workers.
     }
 }
 

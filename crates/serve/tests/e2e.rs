@@ -382,6 +382,156 @@ fn load_harness_produces_a_saturation_curve() {
 }
 
 #[test]
+fn preempted_jobs_checkpoint_and_match_direct_runs() {
+    // Pick a quantum well below the kernel's runtime so every served job
+    // is forced through multiple checkpoint/restore round-trips, then
+    // demand bit-identity with an uninterrupted direct run anyway.
+    let gk = workload(301, 4);
+    let (ref_cycles, ref_words) = direct_run(&gk);
+    let quantum = (ref_cycles / 4).max(1);
+    assert!(ref_cycles > quantum, "workload outlives one quantum");
+
+    let registry = Registry::new();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            quantum_cycles: quantum,
+            registry: Some(registry.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    for tenant in ["alpha", "beta"] {
+        client
+            .submit(submit_of(&gk, tenant, "sliced", true))
+            .expect("protocol")
+            .expect("no load, nothing sheds");
+    }
+    for _ in 0..2 {
+        let d = client.recv_done().expect("sliced jobs complete");
+        assert!(d.ok, "sliced job failed: {:?}", d.error);
+        assert_eq!(
+            d.output.as_ref().expect("return_output"),
+            &ref_words,
+            "preempted served output differs from direct run"
+        );
+        assert_eq!(d.cycles, ref_cycles, "preemption changed the cycle count");
+    }
+
+    // The checkpoint plane actually ran: captures, bytes, and restores.
+    let snap = registry.snapshot();
+    let checkpoints = snap
+        .counter("scratch_snap_checkpoints_total", &[])
+        .unwrap_or(0);
+    assert!(checkpoints >= 2, "each job checkpoints at least once");
+    assert!(
+        snap.counter("scratch_snap_checkpoint_bytes_total", &[])
+            .unwrap_or(0)
+            > 0,
+        "checkpoint bytes accounted"
+    );
+    assert!(
+        snap.histogram("scratch_snap_resume_micros", &[])
+            .is_some_and(|h| h.count() > 0),
+        "resume latency observed"
+    );
+    assert!(
+        snap.counter("scratch_preempt_quanta_total", &[])
+            .unwrap_or(0)
+            > 0,
+        "scheduler quanta counted"
+    );
+    assert!(
+        snap.counter("scratch_preempt_preemptions_total", &[])
+            .unwrap_or(0)
+            > 0,
+        "preemptions counted"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn cancel_stops_midflight_job_without_blocking_drain() {
+    // A deliberately long kernel sliced into many short quanta: cancel it
+    // mid-flight, watch the Done arrive as `cancelled`, and prove the
+    // worker (and a subsequent drain) never wedge on it.
+    let gk = workload(401, 16);
+    let (ref_cycles, _) = direct_run(&gk);
+    let quantum = (ref_cycles / 50).max(1);
+
+    let registry = Registry::new();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            quantum_cycles: quantum,
+            registry: Some(registry.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    let victim = client
+        .submit(submit_of(&gk, "acme", "victim", false))
+        .expect("protocol")
+        .expect("admits");
+    assert!(
+        client.cancel(victim).expect("protocol"),
+        "live job is cancellable"
+    );
+    let done = client.recv_done().expect("cancelled job still answers");
+    assert_eq!(done.job, victim);
+    assert!(!done.ok, "cancelled job must not report success");
+    assert_eq!(done.error.as_deref(), Some("cancelled"));
+
+    // Too late now: its outcome was already produced.
+    assert!(!client.cancel(victim).expect("protocol"));
+    // Unknown ids are not cancellable either.
+    assert!(!client.cancel(victim + 1000).expect("protocol"));
+
+    // The worker is free again: new work completes normally…
+    let after = workload(402, 2);
+    let (after_cycles, after_words) = direct_run(&after);
+    client
+        .submit(submit_of(&after, "acme", "after", true))
+        .expect("protocol")
+        .expect("admits after a cancellation");
+    let d = client.recv_done().expect("completes");
+    assert!(d.ok, "{:?}", d.error);
+    assert_eq!(d.cycles, after_cycles);
+    assert_eq!(d.output.as_ref().expect("return_output"), &after_words);
+
+    // …and a drain exits promptly instead of waiting on the victim.
+    client.drain().expect("drain acknowledged");
+    server.wait_drain();
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("scratch_serve_cancelled_total", &[]),
+        Some(1),
+        "serve-side cancellation accounted"
+    );
+    assert_eq!(
+        snap.counter("scratch_preempt_cancelled_total", &[]),
+        Some(1),
+        "engine-side cancellation accounted"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.completed, 2, "cancelled jobs still complete");
+    assert_eq!(stats.failed, 1, "the cancelled job counts as failed");
+    assert_eq!(stats.cancelled, 1);
+}
+
+#[test]
 fn malformed_lines_answer_error_and_keep_the_connection() {
     let server = Server::bind(
         "127.0.0.1:0",

@@ -52,6 +52,7 @@ fn every_request_variant_round_trips() {
     roundtrip_request(&Request::Stats);
     roundtrip_request(&Request::Ping);
     roundtrip_request(&Request::Drain);
+    roundtrip_request(&Request::Cancel { job: 42 });
 }
 
 #[test]
@@ -105,6 +106,7 @@ fn every_response_variant_round_trips() {
         shed: 2,
         completed: 7,
         failed: 1,
+        cancelled: 1,
         queue_depth: 1,
         in_flight: 0,
         connections: 3,
@@ -119,6 +121,10 @@ fn every_response_variant_round_trips() {
         }],
     }));
     roundtrip_response(&Response::Draining { pending: 3 });
+    roundtrip_response(&Response::Cancelled {
+        job: 42,
+        cancelled: true,
+    });
     roundtrip_response(&Response::Error {
         message: "malformed request: expected value".to_owned(),
     });

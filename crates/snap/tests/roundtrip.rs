@@ -1,0 +1,163 @@
+//! Property tests: a randomly populated snapshot survives both the
+//! compact binary codec and JSON, bit-for-bit.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scratch_snap::{
+    from_bytes, to_bytes, CuSnapshot, ImagePage, MemoryImage, WaveSnapshot, WorkgroupSnapshot,
+};
+use serde::{Map, Value};
+
+fn random_stats(rng: &mut StdRng) -> Value {
+    let mut map = Map::new();
+    map.insert("cycles".to_owned(), Value::U64(rng.gen_range(0..1 << 40)));
+    map.insert(
+        "instructions".to_owned(),
+        Value::U64(rng.gen_range(0..1 << 30)),
+    );
+    map.insert(
+        "histogram".to_owned(),
+        Value::Array(
+            (0..rng.gen_range(0..6usize))
+                .map(|_| Value::U64(rng.gen_range(0..1000)))
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+fn random_wave(rng: &mut StdRng, id: u64) -> WaveSnapshot {
+    let sgprs = rng.gen_range(4..32usize);
+    let vgprs = rng.gen_range(1..8usize);
+    WaveSnapshot {
+        id,
+        workgroup: rng.gen_range(0..4),
+        pc: rng.gen_range(0..4096),
+        exec: rng.gen_range(0..u64::MAX),
+        vcc: rng.gen_range(0..u64::MAX),
+        scc: rng.gen_range(0..2u32) == 1,
+        m0: rng.gen_range(0..u32::MAX),
+        sgprs: (0..sgprs).map(|_| rng.gen_range(0..u32::MAX)).collect(),
+        vgprs: (0..vgprs)
+            .map(|_| (0..64).map(|_| rng.gen_range(0..u32::MAX)).collect())
+            .collect(),
+        next_ready: rng.gen_range(0..1 << 40),
+        wait_reason: rng.gen_range(0..8u32) as u8,
+        vm_events: (0..rng.gen_range(0..4usize))
+            .map(|_| rng.gen_range(0..1 << 40))
+            .collect(),
+        lgkm_events: (0..rng.gen_range(0..4usize))
+            .map(|_| rng.gen_range(0..1 << 40))
+            .collect(),
+        state: rng.gen_range(0..3u32) as u8,
+        retired: rng.gen_range(0..1 << 30),
+        pending: (0..rng.gen_range(0..6usize))
+            .map(|_| (rng.gen_range(0..0x204u32), rng.gen_range(0..1 << 40)))
+            .collect(),
+    }
+}
+
+fn random_snapshot(seed: u64) -> CuSnapshot {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    let waves = rng.gen_range(1..6usize);
+    CuSnapshot {
+        now: rng.gen_range(0..1 << 40),
+        rr: rng.gen_range(0..8),
+        run_start: if rng.gen_range(0..2u32) == 1 {
+            Some(rng.gen_range(0..1 << 40))
+        } else {
+            None
+        },
+        waves: (0..waves).map(|i| random_wave(rng, i as u64)).collect(),
+        workgroups: (0..rng.gen_range(1..3usize))
+            .map(|_| WorkgroupSnapshot {
+                lds: (0..rng.gen_range(0..64usize))
+                    .map(|_| rng.gen_range(0..u32::MAX))
+                    .collect(),
+                waves: (0..waves).map(|i| i as u64).collect(),
+                arrived: rng.gen_range(0..waves as u64 + 1),
+            })
+            .collect(),
+        salu_busy: rng.gen_range(0..1 << 40),
+        lsu_busy: rng.gen_range(0..1 << 40),
+        simd_busy: (0..rng.gen_range(1..5usize))
+            .map(|_| rng.gen_range(0..1 << 40))
+            .collect(),
+        simf_busy: (0..rng.gen_range(1..5usize))
+            .map(|_| rng.gen_range(0..1 << 40))
+            .collect(),
+        stall_acc: (0..8).map(|_| rng.gen_range(0..1 << 40)).collect(),
+        stats: random_stats(rng),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn binary_round_trip(seed in 0u64..10_000) {
+        let snap = random_snapshot(seed);
+        let bytes = to_bytes(&snap);
+        let back: CuSnapshot = from_bytes(&bytes).expect("binary decode");
+        prop_assert_eq!(&back, &snap);
+    }
+
+    #[test]
+    fn json_round_trip(seed in 0u64..10_000) {
+        let snap = random_snapshot(seed);
+        let json = serde_json::to_string(&snap).expect("json encode");
+        let back: CuSnapshot = serde_json::from_str(&json).expect("json decode");
+        prop_assert_eq!(&back, &snap);
+    }
+
+    #[test]
+    fn memory_image_round_trip(seed in 0u64..10_000) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0..3 * 4096 + 17usize);
+        let mut data = vec![0u8; len];
+        // Sparse writes so zero pages actually occur.
+        for _ in 0..rng.gen_range(0..32u32) {
+            if len > 0 {
+                let at = rng.gen_range(0..len);
+                data[at] = rng.gen_range(0..256u32) as u8;
+            }
+        }
+        let image = MemoryImage::capture(&data);
+        prop_assert_eq!(image.restore(), data.clone());
+        let bytes = to_bytes(&image);
+        let back: MemoryImage = from_bytes(&bytes).expect("binary decode");
+        prop_assert_eq!(back.restore(), data);
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let snap = random_snapshot(42);
+    let mut bytes = to_bytes(&snap);
+    bytes[4..8].copy_from_slice(&(scratch_snap::FORMAT_VERSION + 3).to_le_bytes());
+    match from_bytes::<CuSnapshot>(&bytes) {
+        Err(scratch_snap::SnapError::Version { found, expected }) => {
+            assert_eq!(found, scratch_snap::FORMAT_VERSION + 3);
+            assert_eq!(expected, scratch_snap::FORMAT_VERSION);
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+}
+
+#[test]
+fn sparse_pages_keep_snapshots_compact() {
+    let mut data = vec![0u8; 1 << 20];
+    data[123] = 7;
+    let image = MemoryImage::capture(&data);
+    let bytes = to_bytes(&image);
+    assert!(
+        bytes.len() < 2 * 4096,
+        "1 MiB image with one touched page encoded to {} bytes",
+        bytes.len()
+    );
+    let _ = ImagePage {
+        index: 0,
+        data: vec![],
+    };
+}

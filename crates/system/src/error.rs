@@ -37,6 +37,12 @@ pub enum SystemError {
         /// ([`scratch_fpga::cu_capacity_bound`]).
         max: u8,
     },
+    /// A preemptible-dispatch operation was used out of sequence, or a
+    /// checkpoint did not match the system it was restored onto.
+    Preemption {
+        /// What was violated.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -66,6 +72,7 @@ impl fmt::Display for SystemError {
                 f,
                 "{requested} compute units requested, but the device routes at most {max}"
             ),
+            SystemError::Preemption { reason } => write!(f, "preemption: {reason}"),
         }
     }
 }

@@ -67,8 +67,10 @@ mod system;
 
 pub use error::SystemError;
 pub use fault::{CuUpset, FaultSpec, MemUpset};
-pub use memory::{EpochDelta, EpochMemory, MemTiming, SharedMemory};
-pub use system::{RunReport, System, SystemConfig, SystemKind, TraceMode};
+pub use memory::{EpochDelta, EpochMemory, EpochState, MemTiming, MemoryState, SharedMemory};
+pub use system::{
+    DispatchProgress, RunReport, System, SystemCheckpoint, SystemConfig, SystemKind, TraceMode,
+};
 
 pub use scratch_cu::{CuError, CuFault, CuStats, FaultRecord, FaultTarget};
 pub use scratch_trace::{chrome_trace, EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer};

@@ -1,5 +1,6 @@
 //! The shared global memory with configuration-dependent timing.
 
+use scratch_snap::MemoryImage;
 use serde::{Deserialize, Serialize};
 
 use scratch_cu::{AccessKind, Memory};
@@ -461,6 +462,79 @@ impl<'a> EpochMemory<'a> {
             queue_wait: self.queue_wait,
         }
     }
+
+    /// Detach the view into an owned, serializable [`EpochState`] so a
+    /// paused dispatch can drop its borrow of the shared memory (and be
+    /// checkpointed); [`SharedMemory::epoch_resume`] reattaches it.
+    #[must_use]
+    pub fn suspend(self) -> EpochState {
+        EpochState {
+            pages: self
+                .pages
+                .into_iter()
+                .map(|(pidx, page)| EpochPageState {
+                    index: pidx as u64,
+                    data: page.data.into_vec(),
+                    written: page.written.into_vec(),
+                })
+                .collect(),
+            server_free: self.server_free,
+            global_accesses: self.global_accesses,
+            prefetch_hits: self.prefetch_hits,
+            prefetch_hit_bytes: self.prefetch_hit_bytes,
+            queue_wait: self.queue_wait,
+        }
+    }
+}
+
+/// Owned form of a detached [`EpochMemory`] view: the dirty copy-on-write
+/// pages (with their written-byte masks) plus the view's private server
+/// clock and access counters. Serializable, so it rides inside a system
+/// checkpoint; convertible back to a live view over the *same* epoch base
+/// with [`SharedMemory::epoch_resume`], or straight to an [`EpochDelta`]
+/// when its shard has finished and only the commit remains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochState {
+    pages: Vec<EpochPageState>,
+    server_free: u64,
+    global_accesses: u64,
+    prefetch_hits: u64,
+    prefetch_hit_bytes: u64,
+    queue_wait: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EpochPageState {
+    index: u64,
+    data: Vec<u8>,
+    written: Vec<u64>,
+}
+
+impl EpochState {
+    /// Convert into the delta form [`SharedMemory::commit`] applies.
+    #[must_use]
+    pub fn into_delta(self) -> EpochDelta {
+        EpochDelta {
+            pages: self
+                .pages
+                .into_iter()
+                .map(|p| {
+                    (
+                        usize::try_from(p.index).unwrap_or(usize::MAX),
+                        EpochPage {
+                            data: p.data.into_boxed_slice(),
+                            written: p.written.into_boxed_slice(),
+                        },
+                    )
+                })
+                .collect(),
+            server_free: self.server_free,
+            global_accesses: self.global_accesses,
+            prefetch_hits: self.prefetch_hits,
+            prefetch_hit_bytes: self.prefetch_hit_bytes,
+            queue_wait: self.queue_wait,
+        }
+    }
 }
 
 impl Memory for EpochMemory<'_> {
@@ -563,6 +637,91 @@ impl SharedMemory {
         self.prefetch_hit_bytes += delta.prefetch_hit_bytes;
         self.queue_wait += delta.queue_wait;
     }
+
+    /// Reattach a suspended epoch view over the current contents. The
+    /// base must be the same epoch-start state the view was opened over
+    /// (a checkpointed dispatch restores the memory before resuming its
+    /// views, which guarantees this).
+    #[must_use]
+    pub fn epoch_resume(&self, state: EpochState) -> EpochMemory<'_> {
+        EpochMemory {
+            base: &self.data,
+            timing: self.timing,
+            prefetched: &self.prefetched,
+            sharers: self.sharers,
+            server_free: state.server_free,
+            pages: state
+                .pages
+                .into_iter()
+                .map(|p| {
+                    (
+                        usize::try_from(p.index).unwrap_or(usize::MAX),
+                        EpochPage {
+                            data: p.data.into_boxed_slice(),
+                            written: p.written.into_boxed_slice(),
+                        },
+                    )
+                })
+                .collect(),
+            last: None,
+            global_accesses: state.global_accesses,
+            prefetch_hits: state.prefetch_hits,
+            prefetch_hit_bytes: state.prefetch_hit_bytes,
+            queue_wait: state.queue_wait,
+        }
+    }
+
+    /// Capture the memory's complete state (functional contents as a
+    /// sparse image, timing model, prefetch residency, server clock and
+    /// counters) for a system checkpoint.
+    #[must_use]
+    pub fn checkpoint_state(&self) -> MemoryState {
+        MemoryState {
+            image: MemoryImage::capture(&self.data),
+            timing: self.timing,
+            prefetched: self.prefetched.clone(),
+            prefetched_bytes: self.prefetched_bytes,
+            server_free: self.server_free,
+            sharers: self.sharers,
+            global_accesses: self.global_accesses,
+            prefetch_hits: self.prefetch_hits,
+            prefetch_hit_bytes: self.prefetch_hit_bytes,
+            queue_wait: self.queue_wait,
+        }
+    }
+
+    /// Rebuild a memory from [`SharedMemory::checkpoint_state`] output.
+    #[must_use]
+    pub fn restore_state(state: &MemoryState) -> SharedMemory {
+        SharedMemory {
+            data: state.image.restore(),
+            timing: state.timing,
+            prefetched: state.prefetched.clone(),
+            prefetched_bytes: state.prefetched_bytes,
+            server_free: state.server_free,
+            sharers: state.sharers,
+            global_accesses: state.global_accesses,
+            prefetch_hits: state.prefetch_hits,
+            prefetch_hit_bytes: state.prefetch_hit_bytes,
+            queue_wait: state.queue_wait,
+        }
+    }
+}
+
+/// Serializable complete state of a [`SharedMemory`], as captured by
+/// [`SharedMemory::checkpoint_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryState {
+    image: MemoryImage,
+    timing: MemTiming,
+    prefetched: Vec<(u64, u64)>,
+    prefetched_bytes: u64,
+    server_free: u64,
+    sharers: u32,
+    global_accesses: u64,
+    prefetch_hits: u64,
+    prefetch_hit_bytes: u64,
+    queue_wait: u64,
 }
 
 #[cfg(test)]
@@ -715,6 +874,66 @@ mod tests {
         m.commit(db);
         assert_eq!(m.global_accesses(), 3);
         assert_eq!(m.server_free, fa.max(fb));
+    }
+
+    #[test]
+    fn suspended_epoch_view_resumes_identically() {
+        let mut m = SharedMemory::new(2 * EPOCH_PAGE, MemTiming::dcd_pm());
+        m.prefetch(0, 256).unwrap();
+        m.write_words(0, &[5, 6]);
+
+        // Reference: one continuous view.
+        let mut direct = m.epoch();
+        direct.write_u32(0, 11);
+        direct.access(AccessKind::VectorLoad, 0, 64, 0);
+        direct.write_u32(EPOCH_PAGE as u64, 22);
+        let t_direct = direct.access(AccessKind::VectorLoad, 4000, 64, 10);
+
+        // Same stream with a suspend (+ serde round trip) in the middle.
+        let mut view = m.epoch();
+        view.write_u32(0, 11);
+        view.access(AccessKind::VectorLoad, 0, 64, 0);
+        let bytes = scratch_snap::to_bytes(&view.suspend());
+        let state: EpochState = scratch_snap::from_bytes(&bytes).unwrap();
+        let mut view = m.epoch_resume(state);
+        view.write_u32(EPOCH_PAGE as u64, 22);
+        let t_resumed = view.access(AccessKind::VectorLoad, 4000, 64, 10);
+
+        assert_eq!(t_direct, t_resumed);
+        let d_direct = direct.finish();
+        let d_resumed = view.suspend().into_delta();
+        let mut a = m.clone();
+        let mut b = m;
+        a.commit(d_direct);
+        b.commit(d_resumed);
+        assert_eq!(a.read_words(0, 2), b.read_words(0, 2));
+        assert_eq!(a.read_u32(EPOCH_PAGE as u64), b.read_u32(EPOCH_PAGE as u64));
+        assert_eq!(a.server_free, b.server_free);
+        assert_eq!(a.global_accesses(), b.global_accesses());
+        assert_eq!(a.queue_wait_cycles(), b.queue_wait_cycles());
+    }
+
+    #[test]
+    fn memory_checkpoint_state_round_trips() {
+        let mut m = SharedMemory::new(3 * EPOCH_PAGE, MemTiming::dcd_pm());
+        m.set_sharers(2);
+        m.prefetch(0, 512).unwrap();
+        m.write_words(8, &[1, 2, 3]);
+        m.access(AccessKind::VectorLoad, 4096, 64, 0);
+        let bytes = scratch_snap::to_bytes(&m.checkpoint_state());
+        let state: MemoryState = scratch_snap::from_bytes(&bytes).unwrap();
+        let mut r = SharedMemory::restore_state(&state);
+        assert_eq!(r.read_words(8, 3), vec![1, 2, 3]);
+        assert_eq!(r.len(), m.len());
+        assert_eq!(r.server_free, m.server_free);
+        assert_eq!(r.global_accesses(), m.global_accesses());
+        assert_eq!(r.prefetched_bytes(), m.prefetched_bytes());
+        assert!(r.is_prefetched(100));
+        // Timing continues identically after restore.
+        assert_eq!(
+            m.access(AccessKind::ScalarLoad, 4096, 1, 5),
+            r.access(AccessKind::ScalarLoad, 4096, 1, 5)
+        );
     }
 
     #[test]

@@ -7,14 +7,15 @@ use std::sync::{Mutex, OnceLock};
 use serde::{Deserialize, Serialize};
 
 use scratch_asm::Kernel;
-use scratch_cu::{ComputeUnit, CuConfig, CuStats, WaveInit};
+use scratch_cu::{ComputeUnit, CuConfig, CuStats, RunStatus, WaveInit};
 use scratch_fpga::{cu_capacity_bound, Device};
 use scratch_isa::{FuncUnit, WAVEFRONT_SIZE};
 use scratch_metrics::{Counter, Gauge, Histogram, Registry};
+use scratch_snap::CuSnapshot;
 use scratch_trace::{EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer as _};
 
 use crate::fault::{CuFault, FaultRecord, FaultSpec, ScheduledFaults};
-use crate::memory::{EpochDelta, EpochMemory, MemTiming, SharedMemory};
+use crate::memory::{EpochDelta, EpochMemory, EpochState, MemTiming, MemoryState, SharedMemory};
 use crate::{abi, SystemError};
 
 /// Allocator capacity bound for the paper's device (cached — the additive
@@ -291,6 +292,9 @@ pub struct System {
     dispatch_seq: u64,
     /// Pipeline faults drained from the CUs after each dispatch.
     fault_log: Vec<FaultRecord>,
+    /// In-flight preemptible dispatch, between quanta. `None` when no
+    /// dispatch is paused.
+    paused: Option<PausedDispatch>,
 }
 
 impl System {
@@ -375,6 +379,7 @@ impl System {
             metrics,
             dispatch_seq: 0,
             fault_log: Vec::new(),
+            paused: None,
         };
         sys.cb0_addr = sys.alloc(64);
         Ok(sys)
@@ -496,6 +501,76 @@ impl System {
     /// As [`System::dispatch`]; additionally panics are avoided by treating
     /// an out-of-range index as an empty dispatch error.
     pub fn dispatch_kernel(&mut self, idx: usize, grid: [u32; 3]) -> Result<u64, SystemError> {
+        if self.paused.is_some() {
+            return Err(preemption("a paused preemptible dispatch is in flight"));
+        }
+        let (launch, assignments) = self.plan_dispatch(idx, grid)?;
+        let n_cus = self.cus.len();
+        let before: Vec<u64> = self.cus.iter().map(ComputeUnit::now).collect();
+        let workers = self.effective_workers().min(n_cus).max(1);
+
+        // Run every CU's shard against a private epoch view of the shared
+        // memory; no shard observes another's writes or server clock, so
+        // the outcomes are identical whichever scheduler produced them.
+        let mut outcomes: Vec<ShardOutcome> = if workers > 1 {
+            self.run_shards_parallel(&launch, &assignments, workers)
+        } else {
+            let mem = &self.mem;
+            self.cus
+                .iter_mut()
+                .zip(&assignments)
+                .map(|(cu, wgs)| {
+                    let mut view = mem.epoch();
+                    let res = run_cu_share(cu, &launch, wgs, &mut view);
+                    Some((res, view.finish()))
+                })
+                .collect()
+        };
+
+        // Deterministic commit: apply deltas and drain per-CU trace events
+        // in CU-index order, stopping at the first failing CU. Shards at
+        // or past a failure never become visible.
+        let mut failure: Option<SystemError> = None;
+        for (ci, slot) in outcomes.iter_mut().enumerate() {
+            let (res, delta) = slot.take().expect("every shard produces an outcome");
+            if failure.is_some() {
+                continue;
+            }
+            match res {
+                Ok(()) => {
+                    self.mem.commit(delta);
+                    if let Some(buf) = &mut self.trace_buf {
+                        buf.extend(self.cu_bufs[ci].take());
+                        buf.record(&TraceEvent::ShardRun {
+                            cu: ci as u32,
+                            worker: (ci % workers) as u32,
+                            start: before[ci],
+                            end: self.cus[ci].now(),
+                        });
+                    }
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        if let Some(e) = failure {
+            for buf in &self.cu_bufs {
+                let _ = buf.take();
+            }
+            return Err(e);
+        }
+
+        Ok(self.finish_dispatch(idx, &before))
+    }
+
+    /// Shared prologue of the run-to-completion and preemptible dispatch
+    /// paths: validate the launch, materialise scheduled memory upsets at
+    /// the dispatch boundary, publish the OpenCL call values, and
+    /// round-robin the grid's workgroups over the CUs.
+    fn plan_dispatch(
+        &mut self,
+        idx: usize,
+        grid: [u32; 3],
+    ) -> Result<(Launch, CuAssignments), SystemError> {
         let args_addr = self.args_addr.ok_or(SystemError::ArgsNotSet)?;
         let kernel = self
             .kernels
@@ -560,7 +635,7 @@ impl System {
 
         // Round-robin workgroups over the CUs.
         let n_cus = self.cus.len();
-        let mut assignments: Vec<Vec<[u32; 3]>> = vec![Vec::new(); n_cus];
+        let mut assignments: CuAssignments = vec![Vec::new(); n_cus];
         let mut i = 0usize;
         for z in 0..grid[2] {
             for y in 0..grid[1] {
@@ -570,62 +645,14 @@ impl System {
                 }
             }
         }
+        Ok((launch, assignments))
+    }
 
-        let before: Vec<u64> = self.cus.iter().map(ComputeUnit::now).collect();
-        let workers = self.effective_workers().min(n_cus).max(1);
-
-        // Run every CU's shard against a private epoch view of the shared
-        // memory; no shard observes another's writes or server clock, so
-        // the outcomes are identical whichever scheduler produced them.
-        let mut outcomes: Vec<ShardOutcome> = if workers > 1 {
-            self.run_shards_parallel(&launch, &assignments, workers)
-        } else {
-            let mem = &self.mem;
-            self.cus
-                .iter_mut()
-                .zip(&assignments)
-                .map(|(cu, wgs)| {
-                    let mut view = mem.epoch();
-                    let res = run_cu_share(cu, &launch, wgs, &mut view);
-                    Some((res, view.finish()))
-                })
-                .collect()
-        };
-
-        // Deterministic commit: apply deltas and drain per-CU trace events
-        // in CU-index order, stopping at the first failing CU. Shards at
-        // or past a failure never become visible.
-        let mut failure: Option<SystemError> = None;
-        for (ci, slot) in outcomes.iter_mut().enumerate() {
-            let (res, delta) = slot.take().expect("every shard produces an outcome");
-            if failure.is_some() {
-                continue;
-            }
-            match res {
-                Ok(()) => {
-                    self.mem.commit(delta);
-                    if let Some(buf) = &mut self.trace_buf {
-                        buf.extend(self.cu_bufs[ci].take());
-                        buf.record(&TraceEvent::ShardRun {
-                            cu: ci as u32,
-                            worker: (ci % workers) as u32,
-                            start: before[ci],
-                            end: self.cus[ci].now(),
-                        });
-                    }
-                }
-                Err(e) => failure = Some(e),
-            }
-        }
-        if let Some(e) = failure {
-            for buf in &self.cu_bufs {
-                let _ = buf.take();
-            }
-            return Err(e);
-        }
-
-        // Drain pipeline-fault records in CU-index order (deterministic)
-        // and mirror them into the trace stream.
+    /// Shared epilogue of both dispatch paths, run once every shard has
+    /// committed: drain pipeline-fault records in CU-index order, account
+    /// the dispatch to its kernel, and flush the metrics plane. Returns
+    /// the CU cycles the dispatch took (max across CUs).
+    fn finish_dispatch(&mut self, idx: usize, before: &[u64]) -> u64 {
         if !self.config.faults.cu.is_empty() {
             for cu in &mut self.cus {
                 for rec in cu.drain_fault_records() {
@@ -647,7 +674,7 @@ impl System {
             .cus
             .iter()
             .zip(before)
-            .map(|(cu, b)| cu.now() - b)
+            .map(|(cu, &b)| cu.now() - b)
             .max()
             .unwrap_or(0);
         self.per_kernel_cycles[idx] += spent;
@@ -668,7 +695,322 @@ impl System {
             }
             m.flush_dispatch(spent, instructions, &stalls, &self.mem);
         }
-        Ok(spent)
+        spent
+    }
+
+    /// Begin a *preemptible* launch of `grid` workgroups of the first
+    /// loaded kernel and run its first quantum immediately. The dispatch
+    /// executes in `quantum`-cycle slices: each call runs every
+    /// still-unfinished CU shard for up to `quantum` CU cycles, then
+    /// yields [`DispatchProgress::Paused`] until [`System::resume_dispatch`]
+    /// continues it. While paused, [`System::checkpoint`] serialises the
+    /// whole machine so the dispatch can resume in another process.
+    ///
+    /// The preempted execution is bit-identical to an uninterrupted
+    /// [`System::dispatch`] — same memory contents, same cycle counts —
+    /// whatever the quantum: shards keep private epoch views across
+    /// pauses and deltas commit in CU order only at completion.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::dispatch`]; additionally fails when a paused dispatch
+    /// is already in flight or tracing is enabled (preemptible dispatch
+    /// requires [`TraceMode::Off`]). A CU failure mid-quantum aborts the
+    /// whole dispatch: no shard's writes become visible.
+    pub fn dispatch_preemptible(
+        &mut self,
+        grid: [u32; 3],
+        quantum: u64,
+    ) -> Result<DispatchProgress, SystemError> {
+        self.dispatch_kernel_preemptible(0, grid, quantum)
+    }
+
+    /// As [`System::dispatch_preemptible`], for kernel `idx`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::dispatch_preemptible`].
+    pub fn dispatch_kernel_preemptible(
+        &mut self,
+        idx: usize,
+        grid: [u32; 3],
+        quantum: u64,
+    ) -> Result<DispatchProgress, SystemError> {
+        if self.paused.is_some() {
+            return Err(preemption("a paused preemptible dispatch is in flight"));
+        }
+        if self.config.trace != TraceMode::Off {
+            return Err(preemption("preemptible dispatch requires TraceMode::Off"));
+        }
+        let (launch, assignments) = self.plan_dispatch(idx, grid)?;
+        // Load the kernel and clear retired waves on every CU up front
+        // (the run-to-completion path does this lazily per batch) so a
+        // checkpoint only ever holds waves of the in-flight kernel.
+        for cu in &mut self.cus {
+            cu.load_kernel(&launch.kernel)?;
+            cu.clear_waves();
+        }
+        let before: Vec<u64> = self.cus.iter().map(ComputeUnit::now).collect();
+        // Every shard's epoch view is seeded from the same pre-dispatch
+        // base, exactly as the run-to-completion schedulers see it.
+        let epochs: Vec<Option<EpochState>> = self
+            .cus
+            .iter()
+            .map(|_| Some(self.mem.epoch().suspend()))
+            .collect();
+        let cursors = vec![
+            ShareCursor {
+                loaded: true,
+                next_wg: 0,
+                mid_batch: false,
+            };
+            self.cus.len()
+        ];
+        self.paused = Some(PausedDispatch {
+            kernel_idx: idx,
+            grid,
+            launch,
+            assignments,
+            cursors,
+            epochs,
+            before,
+        });
+        self.dispatch_step(quantum)
+    }
+
+    /// Run one more quantum of the paused preemptible dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no dispatch is paused; propagates CU failures, which
+    /// abort the dispatch (no shard's writes become visible).
+    pub fn resume_dispatch(&mut self, quantum: u64) -> Result<DispatchProgress, SystemError> {
+        if self.paused.is_none() {
+            return Err(preemption("no paused dispatch to resume"));
+        }
+        self.dispatch_step(quantum)
+    }
+
+    /// A preemptible dispatch is currently paused between quanta.
+    #[must_use]
+    pub fn is_paused(&self) -> bool {
+        self.paused.is_some()
+    }
+
+    /// Dynamic instructions issued so far, per CU. Fault-injection
+    /// campaigns compare these against their scheduled upsets' `at_issue`
+    /// indices (which count the same per-CU issue stream) to decide
+    /// whether a checkpoint predates every fault.
+    #[must_use]
+    pub fn per_cu_instructions(&self) -> Vec<u64> {
+        self.cus.iter().map(|cu| cu.stats().instructions).collect()
+    }
+
+    /// One quantum: advance every unfinished shard by up to `quantum` CU
+    /// cycles against its private epoch view, then either park the
+    /// dispatch again or commit and finish it.
+    fn dispatch_step(&mut self, quantum: u64) -> Result<DispatchProgress, SystemError> {
+        let quantum = quantum.max(1);
+        let mut p = self
+            .paused
+            .take()
+            .expect("callers ensure a paused dispatch");
+        let mut all_done = true;
+        for (ci, cu) in self.cus.iter_mut().enumerate() {
+            let wgs = p.assignments[ci].as_slice();
+            if p.cursors[ci].finished(wgs.len()) {
+                continue;
+            }
+            let state = p.epochs[ci]
+                .take()
+                .expect("unfinished shards keep an epoch");
+            let mut view = self.mem.epoch_resume(state);
+            // A `?` here aborts the whole dispatch: the paused state was
+            // taken, so no shard's writes ever become visible.
+            let done =
+                run_cu_share_slice(cu, &p.launch, wgs, &mut view, &mut p.cursors[ci], quantum)?;
+            p.epochs[ci] = Some(view.suspend());
+            all_done &= done;
+        }
+        if !all_done {
+            self.paused = Some(p);
+            return Ok(DispatchProgress::Paused);
+        }
+        // Deterministic commit in CU-index order — the same order the
+        // run-to-completion scheduler applies deltas.
+        for slot in &mut p.epochs {
+            let state = slot
+                .take()
+                .expect("every shard holds an epoch at completion");
+            self.mem.commit(state.into_delta());
+        }
+        let spent = self.finish_dispatch(p.kernel_idx, &p.before);
+        Ok(DispatchProgress::Complete { cycles: spent })
+    }
+
+    /// Serialise the entire machine — memory image, CU architectural
+    /// state, dispatch bookkeeping, and the paused dispatch's progress —
+    /// into a [`SystemCheckpoint`]. Only callable while a preemptible
+    /// dispatch is paused (the only point where CU state is at an
+    /// instruction boundary on every CU).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no dispatch is paused.
+    pub fn checkpoint(&self) -> Result<SystemCheckpoint, SystemError> {
+        let p = self
+            .paused
+            .as_ref()
+            .ok_or_else(|| preemption("checkpoints are taken while a dispatch is paused"))?;
+        Ok(SystemCheckpoint {
+            kind: self.config.kind,
+            cus: self.config.cus,
+            cu: self.config.cu.clone(),
+            memory_bytes: self.config.memory_bytes as u64,
+            auto_prefetch: self.config.auto_prefetch,
+            metrics: self.config.metrics,
+            kernels: self.kernels.clone(),
+            memory: self.mem.checkpoint_state(),
+            bump: self.bump,
+            args_addr: self.args_addr,
+            args_len: self.args_len,
+            cb0_addr: self.cb0_addr,
+            host_cycles: self.host_cycles,
+            per_kernel_cycles: self.per_kernel_cycles.clone(),
+            per_kernel_dispatches: self.per_kernel_dispatches.clone(),
+            kernel_switches: self.kernel_switches,
+            last_kernel: self.last_kernel.map(|i| i as u64),
+            dispatch_seq: self.dispatch_seq,
+            cu_state: self.cus.iter().map(ComputeUnit::snapshot).collect(),
+            paused: PausedState {
+                kernel_idx: p.kernel_idx as u64,
+                grid: (p.grid[0], p.grid[1], p.grid[2]),
+                assignments: p
+                    .assignments
+                    .iter()
+                    .map(|wgs| wgs.iter().map(|w| (w[0], w[1], w[2])).collect())
+                    .collect(),
+                cursors: p.cursors.clone(),
+                epochs: p.epochs.clone(),
+                before: p.before.clone(),
+            },
+        })
+    }
+
+    /// Rebuild a paused system from a [`SystemCheckpoint`], ready for
+    /// [`System::resume_dispatch`]. The restored system publishes into
+    /// `registry` when given one (otherwise the process-global registry),
+    /// always runs untraced with the serial scheduler, and carries **no**
+    /// fault hooks — resuming from a checkpoint taken before an injected
+    /// fault fired replays the execution fault-free, which is exactly
+    /// what checkpoint-based recovery wants.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the checkpoint's shard tables are inconsistent or a CU
+    /// snapshot does not validate against the configuration and kernel it
+    /// claims ([`SystemError::Preemption`], [`SystemError::Cu`]).
+    pub fn restore(
+        ck: &SystemCheckpoint,
+        registry: Option<Registry>,
+    ) -> Result<System, SystemError> {
+        let n = usize::from(ck.cus);
+        if ck.cu_state.len() != n
+            || ck.paused.cursors.len() != n
+            || ck.paused.epochs.len() != n
+            || ck.paused.before.len() != n
+            || ck.paused.assignments.len() != n
+        {
+            return Err(preemption(
+                "checkpoint shard tables do not match its CU count",
+            ));
+        }
+        if ck.per_kernel_cycles.len() != ck.kernels.len()
+            || ck.per_kernel_dispatches.len() != ck.kernels.len()
+        {
+            return Err(preemption(
+                "checkpoint per-kernel tables do not match its kernels",
+            ));
+        }
+        let kidx = ck.paused.kernel_idx as usize;
+        if kidx >= ck.kernels.len() {
+            return Err(preemption("checkpoint paused on an unknown kernel index"));
+        }
+        let args_addr = ck.args_addr.ok_or(SystemError::ArgsNotSet)?;
+        let mut config = SystemConfig::preset(ck.kind);
+        config.cus = ck.cus;
+        config.cu = ck.cu.clone();
+        config.memory_bytes = ck.memory_bytes as usize;
+        config.auto_prefetch = ck.auto_prefetch;
+        config.metrics = ck.metrics;
+        config.registry = registry;
+        let mut sys = System::with_kernels(config, &ck.kernels)?;
+        let kernel = sys.kernels[kidx].clone();
+        // The CUs' effective configuration (metrics switch folded in) is
+        // whatever `with_kernels` just built them with.
+        let cu_cfg = sys.cus[0].config().clone();
+        sys.cus = ck
+            .cu_state
+            .iter()
+            .map(|snap| ComputeUnit::restore(cu_cfg.clone(), &kernel, snap))
+            .collect::<Result<Vec<_>, _>>()?;
+        sys.mem = SharedMemory::restore_state(&ck.memory);
+        sys.bump = ck.bump;
+        sys.args_addr = ck.args_addr;
+        sys.args_len = ck.args_len;
+        sys.cb0_addr = ck.cb0_addr;
+        sys.host_cycles = ck.host_cycles;
+        sys.per_kernel_cycles = ck.per_kernel_cycles.clone();
+        sys.per_kernel_dispatches = ck.per_kernel_dispatches.clone();
+        sys.kernel_switches = ck.kernel_switches;
+        sys.last_kernel = ck.last_kernel.map(|i| i as usize);
+        sys.dispatch_seq = ck.dispatch_seq;
+        let wg_size = kernel.meta().workgroup_size;
+        let waves_per_wg = (wg_size as usize).div_ceil(WAVEFRONT_SIZE);
+        sys.paused = Some(PausedDispatch {
+            kernel_idx: kidx,
+            grid: [ck.paused.grid.0, ck.paused.grid.1, ck.paused.grid.2],
+            launch: Launch {
+                kernel,
+                wg_size,
+                waves_per_wg,
+                cb0: ck.cb0_addr,
+                args_addr,
+                args_len: ck.args_len,
+            },
+            assignments: ck
+                .paused
+                .assignments
+                .iter()
+                .map(|wgs| wgs.iter().map(|&(x, y, z)| [x, y, z]).collect())
+                .collect(),
+            cursors: ck.paused.cursors.clone(),
+            epochs: ck.paused.epochs.clone(),
+            before: ck.paused.before.clone(),
+        });
+        // Registry counters are process-cumulative while the restored
+        // simulator counters carry the whole run's history: seed the
+        // baselines so the next flush publishes only post-restore deltas.
+        if let Some(m) = &mut sys.metrics {
+            let mut instructions = 0;
+            let mut stalls = [0u64; StallReason::ALL.len()];
+            for cu in &sys.cus {
+                let s = cu.stats();
+                instructions += s.instructions;
+                for (&r, &cnt) in &s.stall_cycles {
+                    stalls[r as usize] += cnt;
+                }
+            }
+            m.prev = Baselines {
+                instructions,
+                global_accesses: sys.mem.global_accesses(),
+                prefetch_hits: sys.mem.prefetch_hits(),
+                prefetch_hit_bytes: sys.mem.prefetch_hit_bytes(),
+                queue_wait: sys.mem.queue_wait_cycles(),
+                stalls,
+            };
+        }
+        Ok(sys)
     }
 
     /// Resolve [`SystemConfig::workers`]: `0` means one per available core.
@@ -970,6 +1312,7 @@ type ShardSlot<'a> = Mutex<Option<(usize, &'a mut ComputeUnit, &'a [[u32; 3]])>>
 
 /// Everything a CU shard needs to launch its workgroups — immutable, so
 /// worker threads share it by reference.
+#[derive(Debug, Clone)]
 struct Launch {
     kernel: Kernel,
     wg_size: u32,
@@ -979,81 +1322,247 @@ struct Launch {
     args_len: u64,
 }
 
+/// Build [`SystemError::Preemption`] from a static description.
+fn preemption(reason: &str) -> SystemError {
+    SystemError::Preemption {
+        reason: reason.to_owned(),
+    }
+}
+
+/// Outcome of one preemptible dispatch quantum
+/// ([`System::dispatch_preemptible`] / [`System::resume_dispatch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchProgress {
+    /// The dispatch ran to completion.
+    Complete {
+        /// CU cycles the whole dispatch took (max across CUs), as
+        /// [`System::dispatch`] would have returned.
+        cycles: u64,
+    },
+    /// The quantum expired with shards still outstanding; resume with
+    /// [`System::resume_dispatch`] or serialise via [`System::checkpoint`].
+    Paused,
+}
+
+/// Per-CU progress through its shard of a preemptible dispatch: enough to
+/// continue exactly where the previous quantum stopped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct ShareCursor {
+    /// The CU's instruction memory holds this dispatch's kernel.
+    loaded: bool,
+    /// Index of the next unlaunched workgroup in the CU's share.
+    next_wg: u64,
+    /// A loaded batch is still running (the pause landed mid-batch).
+    mid_batch: bool,
+}
+
+impl ShareCursor {
+    /// The shard has launched and retired every workgroup of its share.
+    fn finished(&self, share: usize) -> bool {
+        self.loaded && !self.mid_batch && self.next_wg as usize >= share
+    }
+}
+
+/// Per-CU workgroup shares: `assignments[cu]` lists the workgroup ids
+/// round-robined onto that CU, in launch order.
+type CuAssignments = Vec<Vec<[u32; 3]>>;
+
+/// An in-flight preemptible dispatch, parked between quanta.
+#[derive(Debug)]
+struct PausedDispatch {
+    kernel_idx: usize,
+    grid: [u32; 3],
+    launch: Launch,
+    assignments: CuAssignments,
+    cursors: Vec<ShareCursor>,
+    /// Suspended epoch views, one per CU; `None` only transiently while a
+    /// shard's slice runs.
+    epochs: Vec<Option<EpochState>>,
+    /// Per-CU cycle counters at dispatch entry.
+    before: Vec<u64>,
+}
+
+/// Serializable form of [`PausedDispatch`]: the launch is rebuilt from
+/// the checkpointed kernel list on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PausedState {
+    kernel_idx: u64,
+    grid: (u32, u32, u32),
+    assignments: Vec<Vec<(u32, u32, u32)>>,
+    cursors: Vec<ShareCursor>,
+    epochs: Vec<Option<EpochState>>,
+    before: Vec<u64>,
+}
+
+/// A serializable image of an entire paused [`System`] — global memory,
+/// every CU's architectural state, host/dispatch bookkeeping, and the
+/// paused dispatch's progress cursors and epoch views. Produced by
+/// [`System::checkpoint`], consumed by [`System::restore`]; round-trips
+/// through `scratch_snap::to_bytes` / `from_bytes` for on-wire or on-disk
+/// checkpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemCheckpoint {
+    kind: SystemKind,
+    cus: u8,
+    cu: CuConfig,
+    memory_bytes: u64,
+    auto_prefetch: bool,
+    metrics: bool,
+    kernels: Vec<Kernel>,
+    memory: MemoryState,
+    bump: u64,
+    args_addr: Option<u64>,
+    args_len: u64,
+    cb0_addr: u64,
+    host_cycles: u64,
+    per_kernel_cycles: Vec<u64>,
+    per_kernel_dispatches: Vec<u64>,
+    kernel_switches: u64,
+    last_kernel: Option<u64>,
+    dispatch_seq: u64,
+    cu_state: Vec<CuSnapshot>,
+    paused: PausedState,
+}
+
+impl SystemCheckpoint {
+    /// Compute-unit cycle counters at the checkpoint (per CU) — the
+    /// resume point on each CU's timeline.
+    #[must_use]
+    pub fn cu_cycles(&self) -> Vec<u64> {
+        self.cu_state.iter().map(|s| s.now).collect()
+    }
+}
+
+/// Clear the CU's retired waves and launch one batch of workgroups,
+/// writing the full launch ABI (buffer descriptors, workgroup and
+/// work-item ids) into every wave.
+fn load_batch(
+    cu: &mut ComputeUnit,
+    launch: &Launch,
+    batch: &[[u32; 3]],
+) -> Result<(), SystemError> {
+    let wg_size = launch.wg_size;
+    cu.clear_waves();
+    for &wg_id in batch {
+        let wg = cu.add_workgroup();
+        for w in 0..launch.waves_per_wg {
+            let lane_base = (w * WAVEFRONT_SIZE) as u32;
+            let active = (wg_size - lane_base).min(WAVEFRONT_SIZE as u32);
+            if active == 0 {
+                break;
+            }
+            let exec = if active >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << active) - 1
+            };
+            let tids: Vec<u32> = (0..WAVEFRONT_SIZE as u32).map(|l| lane_base + l).collect();
+            let mut vgprs = vec![(u32::from(abi::TID_X), tids)];
+            // v1/v2 carry the work-item Y/Z ids. This dispatcher
+            // launches 1-D workgroups, so both are zero — written
+            // explicitly, but only when the kernel's VGPR budget
+            // covers the register.
+            for tid in [abi::TID_Y, abi::TID_Z] {
+                if u32::from(tid) < u32::from(launch.kernel.meta().vgprs) {
+                    vgprs.push((u32::from(tid), vec![0; WAVEFRONT_SIZE]));
+                }
+            }
+            cu.start_wave(WaveInit {
+                workgroup: wg,
+                exec,
+                sgprs: vec![
+                    // IMM_UAV: base 0, unbounded records.
+                    (u32::from(abi::UAV_DESC), 0),
+                    (u32::from(abi::UAV_DESC) + 1, 0),
+                    (u32::from(abi::UAV_DESC) + 2, 0),
+                    (u32::from(abi::UAV_DESC) + 3, 0),
+                    // IMM_CONST_BUFFER0.
+                    (u32::from(abi::CONST_BUF0), launch.cb0 as u32),
+                    (u32::from(abi::CONST_BUF0) + 1, (launch.cb0 >> 32) as u32),
+                    (u32::from(abi::CONST_BUF0) + 2, 64),
+                    (u32::from(abi::CONST_BUF0) + 3, 0),
+                    // IMM_CONST_BUFFER1.
+                    (u32::from(abi::CONST_BUF1), launch.args_addr as u32),
+                    (
+                        u32::from(abi::CONST_BUF1) + 1,
+                        (launch.args_addr >> 32) as u32,
+                    ),
+                    (u32::from(abi::CONST_BUF1) + 2, launch.args_len as u32),
+                    (u32::from(abi::CONST_BUF1) + 3, 0),
+                    // Workgroup ids.
+                    (u32::from(abi::WG_ID_X), wg_id[0]),
+                    (u32::from(abi::WG_ID_Y), wg_id[1]),
+                    (u32::from(abi::WG_ID_Z), wg_id[2]),
+                ],
+                vgprs,
+            })?;
+        }
+    }
+    Ok(())
+}
+
+/// Run — or continue — one CU's shard for at most `budget` CU cycles
+/// against its epoch view, advancing `cursor`. Returns `true` when the
+/// shard has fully completed, `false` when the budget expired mid-shard
+/// (call again with a fresh budget to continue).
+fn run_cu_share_slice(
+    cu: &mut ComputeUnit,
+    launch: &Launch,
+    wgs: &[[u32; 3]],
+    mem: &mut EpochMemory<'_>,
+    cursor: &mut ShareCursor,
+    budget: u64,
+) -> Result<bool, SystemError> {
+    if !cursor.loaded {
+        cu.load_kernel(&launch.kernel)?;
+        cursor.loaded = true;
+    }
+    let max_waves = usize::from(cu.config().max_wavefronts);
+    let wgs_per_batch = (max_waves / launch.waves_per_wg).max(1);
+    let entry = cu.now();
+    loop {
+        if !cursor.mid_batch {
+            let next = cursor.next_wg as usize;
+            if next >= wgs.len() {
+                return Ok(true);
+            }
+            let end = (next + wgs_per_batch).min(wgs.len());
+            load_batch(cu, launch, &wgs[next..end])?;
+            cursor.next_wg = end as u64;
+            cursor.mid_batch = true;
+        }
+        let spent = cu.now() - entry;
+        if spent >= budget {
+            return Ok(false);
+        }
+        match cu.run_until(mem, budget - spent)? {
+            RunStatus::Done(_) => cursor.mid_batch = false,
+            RunStatus::Paused => return Ok(false),
+        }
+    }
+}
+
 /// Run one CU's shard of a dispatch epoch against its private memory view.
 ///
 /// This is the unit of work both schedulers share: the serial path calls
 /// it CU by CU, the parallel path hands it to worker threads. Its effects
 /// are a pure function of `(CU state, launch, workgroups, epoch-start
 /// memory)` — the invariant behind the engine's determinism guarantee.
+/// It is the unbounded-budget special case of [`run_cu_share_slice`],
+/// which the preemptible dispatcher drives quantum by quantum.
 fn run_cu_share(
     cu: &mut ComputeUnit,
     launch: &Launch,
     wgs: &[[u32; 3]],
     mem: &mut EpochMemory<'_>,
 ) -> Result<(), SystemError> {
-    cu.load_kernel(&launch.kernel)?;
-    let wg_size = launch.wg_size;
-    let max_waves = usize::from(cu.config().max_wavefronts);
-    let wgs_per_batch = (max_waves / launch.waves_per_wg).max(1);
-    for batch in wgs.chunks(wgs_per_batch) {
-        cu.clear_waves();
-        for &wg_id in batch {
-            let wg = cu.add_workgroup();
-            for w in 0..launch.waves_per_wg {
-                let lane_base = (w * WAVEFRONT_SIZE) as u32;
-                let active = (wg_size - lane_base).min(WAVEFRONT_SIZE as u32);
-                if active == 0 {
-                    break;
-                }
-                let exec = if active >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << active) - 1
-                };
-                let tids: Vec<u32> = (0..WAVEFRONT_SIZE as u32).map(|l| lane_base + l).collect();
-                let mut vgprs = vec![(u32::from(abi::TID_X), tids)];
-                // v1/v2 carry the work-item Y/Z ids. This dispatcher
-                // launches 1-D workgroups, so both are zero — written
-                // explicitly, but only when the kernel's VGPR budget
-                // covers the register.
-                for tid in [abi::TID_Y, abi::TID_Z] {
-                    if u32::from(tid) < u32::from(launch.kernel.meta().vgprs) {
-                        vgprs.push((u32::from(tid), vec![0; WAVEFRONT_SIZE]));
-                    }
-                }
-                cu.start_wave(WaveInit {
-                    workgroup: wg,
-                    exec,
-                    sgprs: vec![
-                        // IMM_UAV: base 0, unbounded records.
-                        (u32::from(abi::UAV_DESC), 0),
-                        (u32::from(abi::UAV_DESC) + 1, 0),
-                        (u32::from(abi::UAV_DESC) + 2, 0),
-                        (u32::from(abi::UAV_DESC) + 3, 0),
-                        // IMM_CONST_BUFFER0.
-                        (u32::from(abi::CONST_BUF0), launch.cb0 as u32),
-                        (u32::from(abi::CONST_BUF0) + 1, (launch.cb0 >> 32) as u32),
-                        (u32::from(abi::CONST_BUF0) + 2, 64),
-                        (u32::from(abi::CONST_BUF0) + 3, 0),
-                        // IMM_CONST_BUFFER1.
-                        (u32::from(abi::CONST_BUF1), launch.args_addr as u32),
-                        (
-                            u32::from(abi::CONST_BUF1) + 1,
-                            (launch.args_addr >> 32) as u32,
-                        ),
-                        (u32::from(abi::CONST_BUF1) + 2, launch.args_len as u32),
-                        (u32::from(abi::CONST_BUF1) + 3, 0),
-                        // Workgroup ids.
-                        (u32::from(abi::WG_ID_X), wg_id[0]),
-                        (u32::from(abi::WG_ID_Y), wg_id[1]),
-                        (u32::from(abi::WG_ID_Z), wg_id[2]),
-                    ],
-                    vgprs,
-                })?;
-            }
-        }
-        cu.run_to_completion(mem)?;
-    }
+    let mut cursor = ShareCursor {
+        loaded: false,
+        next_wg: 0,
+        mid_batch: false,
+    };
+    let done = run_cu_share_slice(cu, launch, wgs, mem, &mut cursor, u64::MAX)?;
+    debug_assert!(done, "an unbounded budget always completes the shard");
     Ok(())
 }
 
@@ -1493,6 +2002,113 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, TraceEvent::MemComplete { .. })));
+    }
+
+    #[test]
+    fn preempted_dispatch_is_bit_identical_across_serde_checkpoints() {
+        // The tentpole property at system level: a dispatch sliced into
+        // small quanta — with the machine serialised to bytes, dropped,
+        // and restored from the checkpoint before *every* resume — ends
+        // bit-identical to an uninterrupted run, in both memory contents
+        // and cycle accounting.
+        let kernel = add_one_kernel(64);
+        let n = 2048u32;
+        let build = |kernel: &Kernel| {
+            let config = SystemConfig::preset(SystemKind::DcdPm).with_cus(3).unwrap();
+            let mut sys = System::new(config, kernel).unwrap();
+            let input: Vec<u32> = (0..n).map(|i| i.wrapping_mul(7)).collect();
+            let a_in = sys.alloc_words(&input);
+            let a_out = sys.alloc(u64::from(n) * 4);
+            sys.set_args(&[a_in as u32, a_out as u32]);
+            (sys, a_out)
+        };
+        let (mut reference, ref_out) = build(&kernel);
+        let ref_cycles = reference.dispatch([n / 64, 1, 1]).unwrap();
+        let ref_words = reference.read_words(ref_out, n as usize);
+        let ref_report = reference.report();
+
+        let (mut sys, a_out) = build(&kernel);
+        let mut progress = sys.dispatch_preemptible([n / 64, 1, 1], 20).unwrap();
+        let mut pauses = 0u32;
+        let cycles = loop {
+            match progress {
+                DispatchProgress::Complete { cycles } => break cycles,
+                DispatchProgress::Paused => {
+                    pauses += 1;
+                    assert!(sys.is_paused());
+                    let ck = sys.checkpoint().unwrap();
+                    let bytes = scratch_snap::to_bytes(&ck);
+                    drop(sys);
+                    let decoded: SystemCheckpoint = scratch_snap::from_bytes(&bytes).unwrap();
+                    assert_eq!(decoded, ck);
+                    sys = System::restore(&decoded, None).unwrap();
+                    progress = sys.resume_dispatch(20).unwrap();
+                }
+            }
+        };
+        assert!(pauses > 1, "quantum too coarse to exercise preemption");
+        assert_eq!(cycles, ref_cycles);
+        assert_eq!(sys.read_words(a_out, n as usize), ref_words);
+        let report = sys.report();
+        assert_eq!(report.cu_cycles, ref_report.cu_cycles);
+        assert_eq!(report.stats, ref_report.stats);
+        assert_eq!(report.per_cu_cycles, ref_report.per_cu_cycles);
+        assert_eq!(report.per_kernel_cycles, ref_report.per_kernel_cycles);
+        assert_eq!(report.global_accesses, ref_report.global_accesses);
+        assert_eq!(report.prefetch_hits, ref_report.prefetch_hits);
+    }
+
+    #[test]
+    fn preemption_api_enforces_sequencing() {
+        let kernel = add_one_kernel(64);
+        let mut sys = System::new(SystemConfig::preset(SystemKind::DcdPm), &kernel).unwrap();
+        // No paused dispatch yet: resume and checkpoint are refused.
+        assert!(matches!(
+            sys.resume_dispatch(100),
+            Err(SystemError::Preemption { .. })
+        ));
+        assert!(matches!(
+            sys.checkpoint(),
+            Err(SystemError::Preemption { .. })
+        ));
+        let input: Vec<u32> = (0..1024).collect();
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(1024 * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        assert_eq!(
+            sys.dispatch_preemptible([16, 1, 1], 50).unwrap(),
+            DispatchProgress::Paused
+        );
+        // While paused, regular and fresh preemptible dispatches are
+        // refused — they would break the paused shards' epoch isolation.
+        assert!(matches!(
+            sys.dispatch([16, 1, 1]),
+            Err(SystemError::Preemption { .. })
+        ));
+        assert!(matches!(
+            sys.dispatch_preemptible([16, 1, 1], 50),
+            Err(SystemError::Preemption { .. })
+        ));
+        // Drive it to completion; the machine is usable again after.
+        while sys.resume_dispatch(50).unwrap() == DispatchProgress::Paused {}
+        assert!(!sys.is_paused());
+        let out = sys.read_words(a_out, 1024);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u32 + 1);
+        }
+        sys.dispatch([16, 1, 1]).unwrap();
+    }
+
+    #[test]
+    fn preemptible_dispatch_requires_trace_off() {
+        let kernel = add_one_kernel(64);
+        let config = SystemConfig::preset(SystemKind::DcdPm).with_trace(TraceMode::Summary);
+        let mut sys = System::new(config, &kernel).unwrap();
+        sys.set_args(&[0, 0]);
+        assert!(matches!(
+            sys.dispatch_preemptible([1, 1, 1], 100),
+            Err(SystemError::Preemption { .. })
+        ));
     }
 
     #[test]

@@ -10,14 +10,14 @@
 //! scratch-tool run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]
 //!                       [--jobs N] [--metrics] [--metrics-out FILE]
 //! scratch-tool trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]
-//! scratch-tool fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|all]
+//! scratch-tool fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|checkpoint|all]
 //!                       [--metrics-addr HOST:PORT]
 //! scratch-tool serve-metrics [--addr HOST:PORT] [--once]
 //! scratch-tool serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--tenant-cap N]
-//!                       [--rate R] [--burst B] [--metrics-addr HOST:PORT]
+//!                       [--rate R] [--burst B] [--quantum CYCLES] [--metrics-addr HOST:PORT]
 //! scratch-tool load     [--addr HOST:PORT] [--clients 1,2,4,...] [--duration-ms N]
 //!                       [--seed S] [--kernels N] [--tenants N] [--out FILE]
-//! scratch-tool ctl      ping|stats|drain [--addr HOST:PORT]
+//! scratch-tool ctl      ping|stats|drain|cancel <job> [--addr HOST:PORT]
 //! ```
 //!
 //! `run` launches the kernel with one argument: the address of a scratch
@@ -549,6 +549,12 @@ fn real_main() -> Result<(), String> {
                     })
                     .transpose()?
                     .unwrap_or(32.0),
+                quantum_cycles: flag_u64(
+                    &args,
+                    "--quantum",
+                    ServeConfig::default().quantum_cycles,
+                )?
+                .max(1),
                 ..ServeConfig::default()
             };
             // Optional Prometheus sidecar on the same registry, so
@@ -630,10 +636,9 @@ fn real_main() -> Result<(), String> {
             Ok(())
         }
         "ctl" => {
-            let verb = args
-                .get(1)
-                .map(String::as_str)
-                .ok_or("usage: scratch-tool ctl ping|stats|drain [--addr HOST:PORT]")?;
+            let verb = args.get(1).map(String::as_str).ok_or(
+                "usage: scratch-tool ctl ping|stats|drain|cancel <job> [--addr HOST:PORT]",
+            )?;
             let addr = flag_value(&args, "--addr")
                 .cloned()
                 .unwrap_or_else(|| "127.0.0.1:7070".to_owned());
@@ -655,7 +660,24 @@ fn real_main() -> Result<(), String> {
                     println!("draining; {pending} jobs pending");
                     Ok(())
                 }
-                other => Err(format!("unknown ctl verb `{other}` (ping|stats|drain)")),
+                "cancel" => {
+                    let job: u64 = args
+                        .get(2)
+                        .filter(|a| !a.starts_with("--"))
+                        .ok_or("usage: scratch-tool ctl cancel <job> [--addr HOST:PORT]")?
+                        .parse()
+                        .map_err(|_| "ctl cancel: <job> must be a job id".to_owned())?;
+                    let cancelled = client.cancel(job).map_err(|e| e.to_string())?;
+                    if cancelled {
+                        println!("job {job} cancelled (stops at its next quantum boundary)");
+                        Ok(())
+                    } else {
+                        Err(format!("job {job} is unknown or already completed"))
+                    }
+                }
+                other => Err(format!(
+                    "unknown ctl verb `{other}` (ping|stats|drain|cancel)"
+                )),
             }
         }
         "serve-metrics" => {
@@ -700,7 +722,7 @@ fn real_main() -> Result<(), String> {
                  \x20 trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]\n\
                  \x20                                   cycle-attribution summary + Chrome trace.json\n\
                  \x20                                   (default workload: Matrix Add INT32 + SP FP)\n\
-                 \x20 fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|all]\n\
+                 \x20 fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|checkpoint|all]\n\
                  \x20                                   differential conformance campaign; prints a\n\
                  \x20                                   minimized repro for any divergence\n\
                  \x20          [--metrics-addr HOST:PORT]  scrape campaign counters live\n\
@@ -713,17 +735,21 @@ fn real_main() -> Result<(), String> {
                  \x20                            masked/detected/recovered/silent table and\n\
                  \x20                            fails on any silent corruption\n\
                  \x20 serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--tenant-cap N]\n\
-                 \x20          [--rate R] [--burst B] [--metrics-addr HOST:PORT]\n\
+                 \x20          [--rate R] [--burst B] [--quantum CYCLES]\n\
+                 \x20          [--metrics-addr HOST:PORT]\n\
                  \x20                            multi-tenant kernel-execution daemon (JSONL/TCP,\n\
-                 \x20                            token-bucket quotas, typed load shedding);\n\
+                 \x20                            token-bucket quotas, typed load shedding,\n\
+                 \x20                            preemptive execution in --quantum-cycle slices\n\
+                 \x20                            with checkpoint/restore between quanta);\n\
                  \x20                            exits 0 after a graceful drain\n\
                  \x20 load     [--addr HOST:PORT] [--clients 1,2,4,...] [--duration-ms N]\n\
                  \x20          [--seed S] [--kernels N] [--tenants N] [--out FILE]\n\
                  \x20                            closed-loop load harness: drives the daemon with\n\
                  \x20                            seeded kernel traffic and prints/writes the\n\
                  \x20                            saturation curve (p50/p95/p99 per step)\n\
-                 \x20 ctl      ping|stats|drain [--addr HOST:PORT]\n\
-                 \x20                            probe, inspect or gracefully drain a daemon\n\
+                 \x20 ctl      ping|stats|drain|cancel <job> [--addr HOST:PORT]\n\
+                 \x20                            probe, inspect, gracefully drain, or cancel a\n\
+                 \x20                            mid-flight job on a daemon\n\
                  \x20 serve-metrics [--addr HOST:PORT] [--once]\n\
                  \x20                                   warm up the simulators, then serve the\n\
                  \x20                                   metrics registry as Prometheus text and\n\

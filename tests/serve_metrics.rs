@@ -7,7 +7,7 @@
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
 
-use scratch::engine::{Engine, JobError};
+use scratch::engine::{Engine, JobError, PreemptiveEngine, Slice};
 use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
 use scratch::metrics::{MetricsServer, Registry};
 use scratch::system::{SystemConfig, SystemKind};
@@ -98,6 +98,75 @@ fn scraping_after_a_dispatch_sees_every_layer() {
     assert!(status.contains("404"), "{status}");
     let (status, _) = scrape(addr, "/metrics");
     assert!(status.contains("200"), "{status}");
+
+    server.shutdown();
+}
+
+#[test]
+fn preemptive_slicing_publishes_to_the_scrape_path() {
+    let registry = Registry::new();
+    let engine = PreemptiveEngine::new(1)
+        .with_registry(registry.clone())
+        .start();
+
+    // One job sliced into three quanta (two yields, then done) and one
+    // that never finishes on its own — cancellation stops it at a
+    // quantum boundary. Together they drive all three preempt counters.
+    let mut left = 2u32;
+    let sliced = engine.submit("acme".to_owned(), "sliced".to_owned(), move |_| {
+        if left == 0 {
+            Slice::Done(Ok(7u32))
+        } else {
+            left -= 1;
+            Slice::Yield
+        }
+    });
+    let victim = engine.submit("acme".to_owned(), "victim".to_owned(), |_| {
+        Slice::<u32>::Yield
+    });
+    assert!(engine.cancel(victim), "victim must be cancellable");
+    let mut outcomes = Vec::new();
+    while outcomes.len() < 2 {
+        outcomes.extend(engine.recv_timeout(std::time::Duration::from_secs(30)));
+    }
+    for o in &outcomes {
+        if o.id == sliced {
+            assert_eq!(o.result.as_ref().ok(), Some(&7));
+        } else {
+            assert!(matches!(o.result, Err(JobError::Cancelled)), "{o:?}");
+        }
+    }
+    let drained = engine.join();
+    assert!(drained.is_empty(), "all outcomes were already received");
+
+    let server =
+        MetricsServer::serve("127.0.0.1:0", registry.clone()).expect("bind ephemeral port");
+    let (status, body) = scrape(server.addr(), "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("scratch_preempt_quanta_total"), "{body}");
+    assert!(body.contains("scratch_preempt_preemptions_total"), "{body}");
+    assert!(
+        body.contains("scratch_preempt_cancelled_total 1\n"),
+        "{body}"
+    );
+
+    // Exact floors via the typed snapshot: the sliced job alone runs 3
+    // quanta and yields twice.
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("scratch_preempt_quanta_total", &[])
+            .unwrap_or(0)
+            >= 3
+    );
+    assert!(
+        snap.counter("scratch_preempt_preemptions_total", &[])
+            .unwrap_or(0)
+            >= 2
+    );
+    assert_eq!(
+        snap.counter("scratch_preempt_cancelled_total", &[]),
+        Some(1)
+    );
 
     server.shutdown();
 }
