@@ -1,0 +1,64 @@
+//! Criterion benchmark for the execution tiers: the block-compiled fast
+//! tier ([`ExecMode::Fast`]) against the cycle-accurate pipeline on the
+//! Fig. 7 kernel set. Every run still validates its output against the
+//! CPU reference, so the speedup is measured on proven-correct results.
+//!
+//! After the criterion groups it prints a wall-clock `instr/s` table —
+//! the numbers committed as `BENCH_fastpath.json`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scratch_kernels::{conv2d::Conv2d, matmul::MatrixMul, vec_ops::MatrixAdd, Benchmark};
+use scratch_system::{ExecMode, SystemConfig, SystemKind};
+
+fn workloads() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(MatrixAdd::new(128, false)),
+        Box::new(MatrixMul::new(64, false)),
+        Box::new(Conv2d::new(32, 5, false)),
+    ]
+}
+
+fn config(exec: ExecMode) -> SystemConfig {
+    SystemConfig::preset(SystemKind::DcdPm).with_exec(exec)
+}
+
+fn fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath");
+    group.sample_size(10);
+    for bench in workloads() {
+        let name = bench.name().replace(' ', "_").to_lowercase();
+        for (tier, exec) in [("cycle", ExecMode::Cycle), ("fast", ExecMode::Fast)] {
+            group.bench_function(format!("{tier}/{name}"), |b| {
+                b.iter(|| bench.run(config(exec)).expect("validated run"));
+            });
+        }
+    }
+    group.finish();
+
+    // Wall-clock instr/s table (the BENCH_fastpath.json source). One warm
+    // measurement per tier per workload keeps `--test` mode quick.
+    println!("\nworkload, cycle_instr_per_s, fast_instr_per_s, speedup");
+    for bench in workloads() {
+        let measure = |exec: ExecMode| {
+            bench.run(config(exec)).expect("warmup");
+            let start = Instant::now();
+            let report = bench.run(config(exec)).expect("validated run");
+            report.stats.instructions as f64 / start.elapsed().as_secs_f64()
+        };
+        let cycle = measure(ExecMode::Cycle);
+        let fast = measure(ExecMode::Fast);
+        println!(
+            "{}, {:.0}, {:.0}, {:.2}x",
+            bench.name(),
+            cycle,
+            fast,
+            fast / cycle
+        );
+    }
+}
+
+criterion_group!(benches, fastpath);
+criterion_main!(benches);

@@ -15,10 +15,11 @@
 //! * [`RefSystem`] — a lockstep reference interpreter: per-lane
 //!   architectural state, one instruction at a time, no pipeline, sharing
 //!   no execution code with `scratch-cu`;
-//! * [`OracleKind`] — five differential oracles: CU vs reference, trimmed
+//! * [`OracleKind`] — six differential oracles: CU vs reference, trimmed
 //!   vs untrimmed CU, serial vs multi-worker system,
-//!   assembler/disassembler round-trip, and uninterrupted vs
-//!   checkpoint/restored preemptible dispatch;
+//!   assembler/disassembler round-trip, uninterrupted vs
+//!   checkpoint/restored preemptible dispatch, and cycle pipeline vs the
+//!   block-compiled fast execution tier;
 //! * [`minimize`] — tree-based shrinking of any divergence to a small
 //!   self-contained repro ([`Divergence`]).
 //!
@@ -78,6 +79,17 @@ impl Default for FuzzConfig {
     }
 }
 
+/// Per-oracle tallies of a fuzzing campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleTally {
+    /// Checks this oracle performed (skips excluded).
+    pub checks: u64,
+    /// Cases this oracle skipped.
+    pub skipped: u64,
+    /// Divergences this oracle found.
+    pub divergences: u64,
+}
+
 /// Outcome of a fuzzing campaign.
 #[derive(Debug, Clone)]
 pub struct FuzzReport {
@@ -90,19 +102,34 @@ pub struct FuzzReport {
     pub skipped: u64,
     /// Minimized reports, one per (case, oracle) divergence.
     pub divergences: Vec<Divergence>,
+    /// Per-oracle breakdown, in the campaign's oracle order — a
+    /// multi-oracle summary that only aggregated would hide *which*
+    /// oracle diverged.
+    pub per_oracle: Vec<(OracleKind, OracleTally)>,
 }
 
 impl FuzzReport {
-    /// One-line human summary.
+    /// One-line human summary. Multi-oracle campaigns append a
+    /// per-oracle `name checks/divergences` breakdown so a divergence is
+    /// attributable at a glance.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} cases, {} checks, {} skipped, {} divergences",
             self.cases,
             self.checks,
             self.skipped,
             self.divergences.len()
-        )
+        );
+        if self.per_oracle.len() > 1 {
+            let parts: Vec<String> = self
+                .per_oracle
+                .iter()
+                .map(|(o, t)| format!("{o} {}/{}", t.checks, t.divergences))
+                .collect();
+            line.push_str(&format!(" [{}]", parts.join(", ")));
+        }
+        line
     }
 }
 
@@ -129,23 +156,33 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         checks: 0,
         skipped: 0,
         divergences: Vec::new(),
+        per_oracle: config
+            .oracles
+            .iter()
+            .map(|&o| (o, OracleTally::default()))
+            .collect(),
     };
     for i in 0..config.cases {
         let gk = GenKernel::generate(config.seed.wrapping_add(i));
         report.cases += 1;
         m_cases.inc();
-        for &oracle in &config.oracles {
+        for (oi, &oracle) in config.oracles.iter().enumerate() {
+            let tally = &mut report.per_oracle[oi].1;
             match check_with_bug(oracle, &gk, config.bug) {
                 Outcome::Agree => {
                     report.checks += 1;
+                    tally.checks += 1;
                     m_checks.inc();
                 }
                 Outcome::Skip(_) => {
                     report.skipped += 1;
+                    tally.skipped += 1;
                     m_skipped.inc();
                 }
                 Outcome::Diverge(detail) => {
                     report.checks += 1;
+                    tally.checks += 1;
+                    tally.divergences += 1;
                     m_checks.inc();
                     m_divergences.inc();
                     let minimized = minimize(&gk, oracle, config.bug);
@@ -157,4 +194,80 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         }
     }
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_breaks_out_multi_oracle_campaigns() {
+        let report = FuzzReport {
+            cases: 2,
+            checks: 3,
+            skipped: 1,
+            divergences: Vec::new(),
+            per_oracle: vec![
+                (
+                    OracleKind::Reference,
+                    OracleTally {
+                        checks: 2,
+                        skipped: 0,
+                        divergences: 0,
+                    },
+                ),
+                (
+                    OracleKind::Fastpath,
+                    OracleTally {
+                        checks: 1,
+                        skipped: 1,
+                        divergences: 0,
+                    },
+                ),
+            ],
+        };
+        assert_eq!(
+            report.summary(),
+            "2 cases, 3 checks, 1 skipped, 0 divergences [reference 2/0, fastpath 1/0]"
+        );
+    }
+
+    #[test]
+    fn summary_stays_aggregate_for_single_oracle_campaigns() {
+        let report = FuzzReport {
+            cases: 1,
+            checks: 1,
+            skipped: 0,
+            divergences: Vec::new(),
+            per_oracle: vec![(
+                OracleKind::Roundtrip,
+                OracleTally {
+                    checks: 1,
+                    ..OracleTally::default()
+                },
+            )],
+        };
+        assert_eq!(
+            report.summary(),
+            "1 cases, 1 checks, 0 skipped, 0 divergences"
+        );
+    }
+
+    #[test]
+    fn fuzz_tallies_per_oracle() {
+        let report = fuzz(&FuzzConfig {
+            seed: 7,
+            cases: 3,
+            oracles: vec![OracleKind::Roundtrip, OracleKind::Fastpath],
+            ..FuzzConfig::default()
+        });
+        assert_eq!(report.per_oracle.len(), 2);
+        let total: u64 = report
+            .per_oracle
+            .iter()
+            .map(|(_, t)| t.checks + t.skipped)
+            .sum();
+        assert_eq!(total, report.checks + report.skipped);
+        assert!(report.divergences.is_empty(), "{}", report.summary());
+    }
 }

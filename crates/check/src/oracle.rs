@@ -13,7 +13,9 @@ use scratch_asm::assemble;
 use scratch_core::trim_kernel;
 use scratch_cu::CuConfig;
 use scratch_isa::Opcode;
-use scratch_system::{DispatchProgress, System, SystemCheckpoint, SystemConfig, SystemKind};
+use scratch_system::{
+    DispatchProgress, ExecMode, System, SystemCheckpoint, SystemConfig, SystemKind,
+};
 
 use crate::gen::{GenKernel, OUT_PAGE_BYTES};
 use crate::interp::{InjectedBug, RefSystem};
@@ -22,7 +24,7 @@ use crate::minimal_instruction;
 /// Number of workgroups the parallel oracle launches (spread over 4 CUs).
 const PAR_WGS: u32 = 8;
 
-/// The five differential oracles.
+/// The six differential oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Pipelined CU vs the lockstep reference interpreter: final output
@@ -40,16 +42,23 @@ pub enum OracleKind {
     /// is serialised, decoded and restored between every quantum:
     /// identical memory *and* identical cycle counts.
     Checkpoint,
+    /// Cycle pipeline vs the block-compiled fast tier
+    /// ([`ExecMode::Fast`]) vs the self-checking shadow tier
+    /// ([`ExecMode::FastWithTiming`]): identical output words across all
+    /// three, and the shadow tier's cycle count must equal the pure cycle
+    /// run's.
+    Fastpath,
 }
 
 impl OracleKind {
     /// All oracles, in reporting order.
-    pub const ALL: [OracleKind; 5] = [
+    pub const ALL: [OracleKind; 6] = [
         OracleKind::Reference,
         OracleKind::Trim,
         OracleKind::Parallel,
         OracleKind::Roundtrip,
         OracleKind::Checkpoint,
+        OracleKind::Fastpath,
     ];
 
     /// Stable command-line name.
@@ -61,6 +70,7 @@ impl OracleKind {
             OracleKind::Parallel => "parallel",
             OracleKind::Roundtrip => "roundtrip",
             OracleKind::Checkpoint => "checkpoint",
+            OracleKind::Fastpath => "fastpath",
         }
     }
 
@@ -114,6 +124,7 @@ pub fn check_with_bug(oracle: OracleKind, gk: &GenKernel, bug: InjectedBug) -> O
         OracleKind::Parallel => parallel(gk),
         OracleKind::Roundtrip => roundtrip(gk),
         OracleKind::Checkpoint => checkpoint(gk),
+        OracleKind::Fastpath => fastpath(gk),
     }
 }
 
@@ -334,6 +345,52 @@ fn roundtrip(gk: &GenKernel) -> Outcome {
         };
     }
     Outcome::Agree
+}
+
+/// Same kernel through all three execution tiers: the cycle pipeline,
+/// the block-compiled fast tier, and the self-checking shadow tier (which
+/// runs both and cross-verifies every written byte internally). Output
+/// words must be identical everywhere; the shadow tier must reproduce the
+/// pure cycle run's cycle count exactly.
+fn fastpath(gk: &GenKernel) -> Outcome {
+    if gk.build().is_err() {
+        return Outcome::Skip("kernel does not assemble".into());
+    }
+    let config = |exec| SystemConfig::preset(SystemKind::DcdPm).with_exec(exec);
+    let cycle = run_system(gk, config(ExecMode::Cycle), gk.wgs, gk.out_bytes());
+    let fast = run_system(gk, config(ExecMode::Fast), gk.wgs, gk.out_bytes());
+    let shadow = run_system(gk, config(ExecMode::FastWithTiming), gk.wgs, gk.out_bytes());
+    match (cycle, fast, shadow) {
+        (Ok((cw, cc)), Ok((fw, _)), Ok((sw, sc))) => {
+            if let Some((i, cv, fv)) = first_mismatch(&cw, &fw) {
+                return Outcome::Diverge(format!("out[{i}]: cycle={cv:#010x} fast={fv:#010x}"));
+            }
+            if let Some((i, cv, sv)) = first_mismatch(&cw, &sw) {
+                return Outcome::Diverge(format!(
+                    "out[{i}]: cycle={cv:#010x} fast-timing={sv:#010x}"
+                ));
+            }
+            if cc != sc {
+                return Outcome::Diverge(format!(
+                    "cycle counts differ: cycle {cc} fast-timing {sc}"
+                ));
+            }
+            Outcome::Agree
+        }
+        (Err(_), Err(_), Err(_)) => Outcome::Agree,
+        (c, f, s) => {
+            let describe = |name: &str, r: &Result<(Vec<u32>, u64), String>| match r {
+                Ok(_) => format!("{name} ran"),
+                Err(e) => format!("{name} faulted: {e}"),
+            };
+            Outcome::Diverge(format!(
+                "fault behaviour differs across tiers: {}; {}; {}",
+                describe("cycle", &c),
+                describe("fast", &f),
+                describe("fast-timing", &s)
+            ))
+        }
+    }
 }
 
 /// Run the kernel as a preemptible dispatch in `quantum`-cycle slices.

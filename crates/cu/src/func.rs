@@ -1,4 +1,5 @@
-//! Functional execution of every supported instruction.
+//! Functional execution of every supported instruction, independent of the
+//! timing model.
 //!
 //! Semantics follow the Southern Islands ISA manual; §2.3 of the paper
 //! validated the same behaviours instruction-by-instruction on the FPGA.
@@ -6,6 +7,14 @@
 //! SI) and `v_sin_f32`/`v_cos_f32` take the SI-normalised argument (input
 //! pre-multiplied by 1/2π), both implemented with `f32` host arithmetic
 //! rather than the FPGA's table-driven approximations.
+//!
+//! This module is the *functional* half of the functional/timing split: the
+//! cycle pipeline ([`crate::ComputeUnit`]) calls [`execute`] when an
+//! instruction issues and charges its cost separately, while the
+//! `scratch-fastpath` block-compiled executor calls the same entry points
+//! (plus the [`lanewise`]/[`compare`] primitives for its specialised
+//! closures) without any timing machinery. Both tiers therefore share one
+//! source of truth for architectural state transitions.
 
 use scratch_isa::{Fields, Instruction, Opcode, Operand, SmrdOffset, WAVEFRONT_SIZE};
 
@@ -15,7 +24,7 @@ use crate::CuError;
 
 /// Memory activity produced by one instruction (used for timing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum MemEvent {
+pub enum MemEvent {
     /// SMRD access (counted by `lgkmcnt`).
     Scalar {
         /// Address of the access.
@@ -36,7 +45,7 @@ pub(crate) enum MemEvent {
 
 /// Side effects of executing one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub(crate) struct Outcome {
+pub struct Outcome {
     /// Taken branch target (word offset).
     pub new_pc: Option<usize>,
     /// `s_endpgm` executed.
@@ -64,7 +73,7 @@ fn sext24(x: u32) -> i64 {
 
 /// Execute `inst` for `wave`. `next_pc` is the word offset of the following
 /// instruction (branch offsets are relative to it).
-pub(crate) fn execute(
+pub fn execute(
     inst: &Instruction,
     next_pc: usize,
     wave: &mut Wavefront,
@@ -486,20 +495,32 @@ fn exec_smrd(
 // ----------------------------------------------------------------- vector
 
 /// Canonical operand view of the five vector encodings.
-struct VecOps {
-    vdst: u8,
-    src: [Operand; 3],
+/// Canonical operand view of a vector instruction: the five vector
+/// encodings (VOP1/VOP2/VOPC/VOP3a/VOP3b) collapsed into one shape so
+/// executors need a single code path per semantic class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VecOps {
+    /// Destination VGPR (or SGPR number for `v_readfirstlane_b32`).
+    pub vdst: u8,
+    /// Up to three sources; unused slots hold `IntConst(0)`.
+    pub src: [Operand; 3],
     /// Explicit scalar destination (VOP3b) — carry-out / compare mask.
-    sdst: Option<Operand>,
+    pub sdst: Option<Operand>,
     /// Explicit mask / carry-in source (VOP3 forms), otherwise VCC.
-    mask_src: Option<Operand>,
-    abs: u8,
-    neg: u8,
-    clamp: bool,
-    omod: u8,
+    pub mask_src: Option<Operand>,
+    /// VOP3a per-source absolute-value modifier bits.
+    pub abs: u8,
+    /// VOP3a per-source negate modifier bits.
+    pub neg: u8,
+    /// VOP3a output clamp to `[0, 1]`.
+    pub clamp: bool,
+    /// VOP3a output multiplier (1 → ×2, 2 → ×4, 3 → ÷2).
+    pub omod: u8,
 }
 
-fn vec_ops(inst: &Instruction) -> VecOps {
+/// Collapse a vector instruction's fields into the canonical [`VecOps`]
+/// shape. Panics if `inst` is not one of the five vector encodings.
+pub fn vec_ops(inst: &Instruction) -> VecOps {
     let zero = Operand::IntConst(0);
     match inst.fields {
         Fields::Vop2 { vdst, src0, vsrc1 } => VecOps {
@@ -572,7 +593,7 @@ fn vec_ops(inst: &Instruction) -> VecOps {
 }
 
 /// Apply VOP3 input modifiers to a float source.
-fn in_mods(bits: u32, idx: u8, abs: u8, neg: u8) -> u32 {
+pub fn in_mods(bits: u32, idx: u8, abs: u8, neg: u8) -> u32 {
     let mut v = bits;
     if abs & (1 << idx) != 0 {
         v &= 0x7fff_ffff;
@@ -584,7 +605,7 @@ fn in_mods(bits: u32, idx: u8, abs: u8, neg: u8) -> u32 {
 }
 
 /// Apply VOP3 output modifiers to a float result.
-fn out_mods(bits: u32, clamp: bool, omod: u8) -> u32 {
+pub fn out_mods(bits: u32, clamp: bool, omod: u8) -> u32 {
     let mut f = fb(bits);
     match omod {
         1 => f *= 2.0,
@@ -726,7 +747,11 @@ fn exec_vector(inst: &Instruction, wave: &mut Wavefront) -> Result<(), CuError> 
     Ok(())
 }
 
-fn compare(op: Opcode, a: u32, b: u32) -> bool {
+/// Evaluate one vector-compare opcode on a pair of lane values.
+///
+/// Only meaningful for opcodes where `Opcode::is_vector_compare()` holds;
+/// any other opcode panics (callers pre-classify at translation/decode).
+pub fn compare(op: Opcode, a: u32, b: u32) -> bool {
     use Opcode::*;
     let (fa, fab) = (fb(a), fb(b));
     let (ia, ib) = (a as i32, b as i32);
@@ -755,8 +780,13 @@ fn compare(op: Opcode, a: u32, b: u32) -> bool {
 }
 
 /// Pure lanewise semantics (no carries, masks or accumulators besides MAC).
+///
+/// `s` holds up to three source values (already modifier-adjusted for float
+/// ops); `acc` is the destination's prior value, consumed only by
+/// `v_mac_f32`. Panics on opcodes that are not pure lanewise functions
+/// (carry ops, compares, `v_cndmask_b32` — callers pre-classify).
 #[allow(clippy::too_many_lines)]
-fn lanewise(op: Opcode, s: [u32; 3], acc: u32) -> u32 {
+pub fn lanewise(op: Opcode, s: [u32; 3], acc: u32) -> u32 {
     use Opcode::*;
     let [a, b, c] = s;
     let (ai, bi) = (a as i32, b as i32);

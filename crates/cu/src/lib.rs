@@ -36,8 +36,10 @@
 
 mod config;
 mod error;
-mod exec;
 mod fault;
+/// Timing-free functional execution (shared by the cycle pipeline and the
+/// `scratch-fastpath` block-compiled executor).
+pub mod func;
 mod memory;
 mod pipeline;
 mod stats;

@@ -9,8 +9,8 @@ use scratch_snap::{CuSnapshot, WaveSnapshot, WorkgroupSnapshot};
 use scratch_trace::{Attribution, StallReason, TraceEvent, TraceSummary, Tracer};
 use serde::{Deserialize, Serialize};
 
-use crate::exec::{execute, MemEvent};
 use crate::fault::FaultHook;
+use crate::func::{execute, MemEvent};
 use crate::memory::Memory;
 use crate::wavefront::{WaveState, Wavefront};
 use crate::{CuConfig, CuError, CuStats};

@@ -2,7 +2,7 @@
 //! engine batches.
 
 use scratch_asm::Kernel;
-use scratch_system::{CuError, RunReport, System, SystemConfig, SystemError};
+use scratch_system::{CuError, ExecMode, RunReport, System, SystemConfig, SystemError};
 
 use crate::{Engine, JobError, JobOutcome};
 
@@ -48,6 +48,16 @@ impl KernelJob {
             scratch_bytes: 1 << 20,
             extra_args: Vec::new(),
         }
+    }
+
+    /// Run this job on the block-compiled fast tier ([`ExecMode::Fast`]):
+    /// jobs that only need output words — sweeps, conformance batches,
+    /// anything not reading cycle counts — skip the cycle scheduler
+    /// entirely and report zero cycles.
+    #[must_use]
+    pub fn functional_only(mut self) -> KernelJob {
+        self.config.exec = ExecMode::Fast;
+        self
     }
 
     /// Execute the run synchronously on the calling thread.

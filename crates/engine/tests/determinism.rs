@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use scratch_asm::{Kernel, KernelBuilder};
 use scratch_isa::{Opcode, Operand, SmrdOffset};
-use scratch_system::{abi, RunReport, System, SystemConfig, SystemKind};
+use scratch_system::{abi, ExecMode, FastStats, RunReport, System, SystemConfig, SystemKind};
 
 const WG_SIZE: u32 = 64;
 
@@ -85,18 +85,32 @@ fn run(
     workers: usize,
     wgs: u32,
 ) -> (Vec<u32>, RunReport) {
+    let (words, report, _) = run_exec(kernel, kind, cus, workers, wgs, ExecMode::Cycle);
+    (words, report)
+}
+
+fn run_exec(
+    kernel: &Kernel,
+    kind: SystemKind,
+    cus: u8,
+    workers: usize,
+    wgs: u32,
+    exec: ExecMode,
+) -> (Vec<u32>, RunReport, Option<FastStats>) {
     let n = wgs * WG_SIZE;
     let config = SystemConfig::preset(kind)
         .with_cus(cus)
         .unwrap()
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_exec(exec);
     let mut sys = System::new(config, kernel).unwrap();
     let input: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2_654_435_761)).collect();
     let a_in = sys.alloc_words(&input);
     let a_out = sys.alloc(u64::from(n) * 4);
     sys.set_args(&[a_in as u32, a_out as u32]);
     sys.dispatch([wgs, 1, 1]).unwrap();
-    (sys.read_words(a_out, n as usize), sys.report())
+    let stats = sys.fast_stats(0).cloned();
+    (sys.read_words(a_out, n as usize), sys.report(), stats)
 }
 
 proptest! {
@@ -132,6 +146,38 @@ proptest! {
                 wgs
             );
         }
+    }
+
+    /// The block-compiled fast tier is scheduler-independent too: under
+    /// `--jobs 4` it is bit-identical to serial (words, report, and
+    /// per-block dispatch counts), and its output words match the cycle
+    /// pipeline's.
+    #[test]
+    fn fast_tier_is_scheduler_independent_and_matches_cycle(
+        steps in prop::collection::vec(
+            (any::<u8>(), 0u8..5, -16i8..=16, 0u8..5),
+            0..10,
+        ),
+        cus in 1u8..=4,
+        wgs in 1u32..=8,
+    ) {
+        let kernel = build_kernel(&steps);
+        let kind = SystemKind::DcdPm;
+        let (fast_serial, rep_serial, stats_serial) =
+            run_exec(&kernel, kind, cus, 1, wgs, ExecMode::Fast);
+        let (fast_parallel, rep_parallel, stats_parallel) =
+            run_exec(&kernel, kind, cus, 4, wgs, ExecMode::Fast);
+        prop_assert_eq!(
+            &fast_serial, &fast_parallel,
+            "fast tier output diverged across schedulers (cus={}, wgs={})", cus, wgs
+        );
+        prop_assert_eq!(&rep_serial, &rep_parallel, "fast tier RunReport diverged");
+        prop_assert_eq!(
+            &stats_serial, &stats_parallel,
+            "fast tier block-dispatch counts diverged across schedulers"
+        );
+        let (cycle, _, _) = run_exec(&kernel, kind, cus, 1, wgs, ExecMode::Cycle);
+        prop_assert_eq!(&fast_serial, &cycle, "fast tier diverged from the cycle pipeline");
     }
 }
 

@@ -1,0 +1,50 @@
+//! # scratch-fastpath
+//!
+//! A block-compiled *functional* execution tier for SCRATCH kernels — the
+//! fast half of the functional/timing split.
+//!
+//! The cycle simulator (`scratch-cu`) interprets every instruction inside a
+//! full pipeline model: fetch arbitration, scoreboards, functional-unit
+//! occupancy, `s_waitcnt` counters. That fidelity is the point of the
+//! paper's timing experiments, but it caps throughput for callers that only
+//! need architectural results (differential fuzzing, serving jobs without
+//! cycle budgets, output-only batch runs).
+//!
+//! This crate pre-translates a kernel **once** into basic blocks of
+//! straight-line Rust closures:
+//!
+//! * [`translate`] decodes the binary, finds block leaders (branch targets,
+//!   fall-throughs, post-barrier/post-endpgm successors) and compiles every
+//!   instruction into a boxed closure over `(Wavefront, LDS, Memory)`.
+//!   Pure lanewise vector ALU ops and vector compares get specialised
+//!   closures with their operand shape ([`scratch_cu::func::VecOps`])
+//!   resolved at translation time; everything else falls back to the shared
+//!   interpreter entry point [`scratch_cu::func::execute`], so both tiers
+//!   execute identical semantics by construction.
+//! * [`run_workgroup`] drives the compiled [`Program`] per wavefront over
+//!   the wave's architectural state (exec-mask aware — inactive lanes are
+//!   skipped exactly as the interpreter skips them), round-robining the
+//!   workgroup's waves between barriers like the reference interpreter.
+//!
+//! Trimmed-architecture enforcement is preserved: opcodes outside the
+//! configured [`scratch_cu::TrimSet`] (or needing a functional unit the
+//! configuration does not instantiate) compile into *error closures* that
+//! raise [`CuError::Trimmed`] / [`CuError::MissingUnit`] only when actually
+//! executed — the same issue-time semantics as the pipeline.
+//!
+//! The tier is *functional only*: it reports dynamic instruction counts
+//! (identical to the pipeline's, since both issue the same dynamic stream)
+//! but no cycles. `scratch-system` wires it up behind
+//! `ExecMode::{Fast, FastWithTiming}` and falls back to the cycle pipeline
+//! for traced or fault-injected runs, which need the pipeline's machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod run;
+mod translate;
+
+pub use run::{run_workgroup, FastStats, Fuel, WaveSlot};
+pub use translate::{translate, Program};
+
+pub use scratch_cu::CuError;

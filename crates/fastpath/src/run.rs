@@ -1,0 +1,225 @@
+//! The block-dispatch executor.
+//!
+//! Runs a translated [`Program`] per wavefront: each wave executes whole
+//! basic blocks (straight-line closure runs) and only re-enters the
+//! dispatch loop at block boundaries. Workgroups round-robin their waves
+//! between barriers exactly like the reference interpreter: each pass runs
+//! every live wave up to its next barrier (or retirement), and when all
+//! live waves are parked the barrier releases them together.
+
+use scratch_cu::{CuError, Memory, Wavefront};
+
+use crate::translate::{Target, Terminator};
+use crate::Program;
+
+/// Execution counters of the fast tier.
+///
+/// `instructions` counts the dynamic instruction stream (identical to the
+/// cycle pipeline's issue count for the same dispatch); `compiled_ops` /
+/// `fallback_ops` split it by closure tier; `block_dispatches[b]` counts
+/// entries into block `b` — a deterministic fingerprint of control flow
+/// used by the re-translation property tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FastStats {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Instructions run by specialised closures.
+    pub compiled_ops: u64,
+    /// Instructions run through the interpreter fallback.
+    pub fallback_ops: u64,
+    /// Dispatch count per basic block.
+    pub block_dispatches: Vec<u64>,
+}
+
+impl FastStats {
+    /// Zeroed counters shaped for `program`'s dispatch table.
+    #[must_use]
+    pub fn for_program(program: &Program) -> FastStats {
+        FastStats {
+            block_dispatches: vec![0; program.block_count()],
+            ..FastStats::default()
+        }
+    }
+
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, other: &FastStats) {
+        self.instructions += other.instructions;
+        self.compiled_ops += other.compiled_ops;
+        self.fallback_ops += other.fallback_ops;
+        if self.block_dispatches.len() < other.block_dispatches.len() {
+            self.block_dispatches
+                .resize(other.block_dispatches.len(), 0);
+        }
+        for (a, b) in self
+            .block_dispatches
+            .iter_mut()
+            .zip(&other.block_dispatches)
+        {
+            *a += b;
+        }
+    }
+}
+
+/// Instruction budget of a fast run — the functional tier's watchdog,
+/// mirroring the pipeline's cycle limit (every instruction costs at least
+/// one cycle, so a `limit`-instruction budget can only trip at or before
+/// the cycle model's own limit would).
+#[derive(Debug, Clone, Copy)]
+pub struct Fuel {
+    left: u64,
+    limit: u64,
+}
+
+impl Fuel {
+    /// A budget of `limit` instructions.
+    #[must_use]
+    pub fn new(limit: u64) -> Fuel {
+        Fuel { left: limit, limit }
+    }
+
+    fn spend(&mut self) -> Result<(), CuError> {
+        if self.left == 0 {
+            return Err(CuError::CycleLimit { limit: self.limit });
+        }
+        self.left -= 1;
+        Ok(())
+    }
+}
+
+/// One wavefront's scheduling state in the fast tier.
+#[derive(Debug)]
+pub struct WaveSlot {
+    /// The wave's architectural state.
+    pub wave: Wavefront,
+    /// Next control-flow edge to dispatch.
+    at: Target,
+    done: bool,
+    at_barrier: bool,
+}
+
+impl WaveSlot {
+    /// Park `wave` at `program`'s entry.
+    #[must_use]
+    pub fn new(program: &Program, wave: Wavefront) -> WaveSlot {
+        WaveSlot {
+            wave,
+            at: program.entry,
+            done: false,
+            at_barrier: false,
+        }
+    }
+
+    /// The wave executed `s_endpgm`.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Charge and count a terminator instruction, raising its issue-time
+/// trim/unit error if the translator recorded one.
+fn issue_term(
+    err: &Option<CuError>,
+    stats: &mut FastStats,
+    fuel: &mut Fuel,
+) -> Result<(), CuError> {
+    fuel.spend()?;
+    if let Some(e) = err {
+        return Err(e.clone());
+    }
+    stats.instructions += 1;
+    stats.compiled_ops += 1;
+    Ok(())
+}
+
+/// Run one wave until it retires or parks at a barrier.
+fn run_wave(
+    program: &Program,
+    slot: &mut WaveSlot,
+    lds: &mut [u32],
+    mem: &mut dyn Memory,
+    stats: &mut FastStats,
+    fuel: &mut Fuel,
+) -> Result<(), CuError> {
+    loop {
+        let b = match slot.at {
+            Target::Block(b) => b,
+            Target::Invalid(pc) => return Err(CuError::PcOutOfRange { pc }),
+        };
+        stats.block_dispatches[b] += 1;
+        let block = &program.blocks[b];
+        for op in &block.ops {
+            fuel.spend()?;
+            stats.instructions += 1;
+            if op.compiled {
+                stats.compiled_ops += 1;
+            } else {
+                stats.fallback_ops += 1;
+            }
+            (op.run)(&mut slot.wave, lds, mem)?;
+        }
+        match &block.term {
+            Terminator::Fall(t) => slot.at = *t,
+            Terminator::Jump(t) => {
+                issue_term(&block.term_err, stats, fuel)?;
+                slot.at = *t;
+            }
+            Terminator::Branch { cond, taken, fall } => {
+                issue_term(&block.term_err, stats, fuel)?;
+                slot.at = if cond.eval(&slot.wave) { *taken } else { *fall };
+            }
+            Terminator::Barrier(t) => {
+                issue_term(&block.term_err, stats, fuel)?;
+                slot.at = *t;
+                slot.at_barrier = true;
+                return Ok(());
+            }
+            Terminator::End => {
+                issue_term(&block.term_err, stats, fuel)?;
+                slot.done = true;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Run one workgroup's waves to retirement over a shared LDS image.
+///
+/// Waves round-robin between barriers: each pass runs every live wave to
+/// its next barrier or retirement, then a fully-parked workgroup releases
+/// the barrier together — the reference interpreter's schedule, which the
+/// `reference` oracle already holds the cycle pipeline to.
+///
+/// # Errors
+///
+/// Propagates the first failing instruction (trim/unit violations, wild
+/// control flow, register/LDS range errors) and raises
+/// [`CuError::CycleLimit`] when `fuel` runs dry.
+pub fn run_workgroup(
+    program: &Program,
+    slots: &mut [WaveSlot],
+    lds: &mut [u32],
+    mem: &mut dyn Memory,
+    stats: &mut FastStats,
+    fuel: &mut Fuel,
+) -> Result<(), CuError> {
+    loop {
+        let mut progressed = false;
+        for slot in slots.iter_mut() {
+            if slot.done || slot.at_barrier {
+                continue;
+            }
+            progressed = true;
+            run_wave(program, slot, lds, mem, stats, fuel)?;
+        }
+        if slots.iter().all(|s| s.done) {
+            return Ok(());
+        }
+        if !progressed {
+            // Every live wave is parked at the barrier: release together.
+            for slot in slots.iter_mut() {
+                slot.at_barrier = false;
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@ fn submit_of(gk: &GenKernel, tenant: &str) -> SubmitRequest {
         out_bytes: gk.out_bytes(),
         system: None,
         return_output: false,
+        exec: None,
     }
 }
 

@@ -247,6 +247,7 @@ fn client_loop(
             out_bytes: w.out_bytes,
             system: None,
             return_output: false,
+            exec: None,
         };
         tally.attempted.fetch_add(1, Ordering::AcqRel);
         match client.submit(request) {

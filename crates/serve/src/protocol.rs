@@ -20,7 +20,7 @@
 use serde::{Deserialize, Serialize};
 
 use scratch_asm::Kernel;
-use scratch_system::SystemKind;
+use scratch_system::{ExecMode, SystemKind};
 
 /// One client → server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,6 +70,11 @@ pub struct SubmitRequest {
     /// `false` returns only its [FNV-1a digest](fnv1a) (load-test mode —
     /// the digest still proves bit-identity cheaply).
     pub return_output: bool,
+    /// Execution tier: `"cycle"` (cycle-accurate pipeline, the default),
+    /// `"fast"` (block-compiled functional tier — jobs that don't read
+    /// cycle counts skip the cycle scheduler and report zero cycles), or
+    /// `"fast-timing"` (both tiers, cross-checked byte for byte).
+    pub exec: Option<String>,
 }
 
 impl SubmitRequest {
@@ -84,6 +89,20 @@ impl SubmitRequest {
             Some("dcd") => Ok(SystemKind::Dcd),
             Some("original") => Ok(SystemKind::Original),
             Some(other) => Err(format!("unknown system preset `{other}`")),
+        }
+    }
+
+    /// Resolve the requested execution tier.
+    ///
+    /// # Errors
+    ///
+    /// An unknown tier name.
+    pub fn exec_mode(&self) -> Result<ExecMode, String> {
+        match self.exec.as_deref() {
+            None | Some("cycle") => Ok(ExecMode::Cycle),
+            Some("fast") => Ok(ExecMode::Fast),
+            Some("fast-timing") => Ok(ExecMode::FastWithTiming),
+            Some(other) => Err(format!("unknown exec mode `{other}`")),
         }
     }
 }

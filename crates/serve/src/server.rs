@@ -49,7 +49,8 @@ use std::time::{Duration, Instant};
 use scratch_engine::{JobError, JobOutcome, PreemptiveEngine, PreemptiveHandle, Slice};
 use scratch_metrics::{Counter, Gauge, Histogram, Registry};
 use scratch_system::{
-    CuError, DispatchProgress, System, SystemCheckpoint, SystemConfig, SystemError, SystemKind,
+    CuError, DispatchProgress, ExecMode, System, SystemCheckpoint, SystemConfig, SystemError,
+    SystemKind,
 };
 
 use crate::protocol::{
@@ -403,6 +404,9 @@ impl Inner {
             Ok(kind) => kind,
             Err(msg) => return self.reject(&req.tenant, RejectReason::Invalid, None, &msg),
         };
+        if let Err(msg) = req.exec_mode() {
+            return self.reject(&req.tenant, RejectReason::Invalid, None, &msg);
+        }
         if req.input.len() > self.config.max_input_words {
             let msg = format!(
                 "input of {} words exceeds the {}-word limit",
@@ -632,6 +636,37 @@ fn run_slice(
         }
         other => other.to_string(),
     };
+    let exec = req.exec_mode().map_err(|e| e.to_string())?;
+    if exec != ExecMode::Cycle {
+        // Fast tiers have no cycle-accurate state to checkpoint
+        // (`SnapError::UnsupportedExecMode`), so jobs that don't need
+        // cycle counts run whole in a single slice with a plain dispatch
+        // instead of the preemptible quantum loop.
+        let mut config = SystemConfig::preset(kind)
+            .with_registry(registry.clone())
+            .with_exec(exec);
+        config.cu.cycle_limit = config.cu.cycle_limit.min(watchdog.max(1));
+        let mut sys = System::new(config, &req.kernel).map_err(map_err)?;
+        let out = sys.alloc(req.out_bytes.max(4));
+        let mut args = vec![u32::try_from(out).unwrap_or(0)];
+        if !req.input.is_empty() {
+            let inp = sys.alloc_words(&req.input);
+            args.push(u32::try_from(inp).unwrap_or(0));
+        }
+        sys.set_args(&args);
+        *out_addr = out;
+        sys.dispatch(req.grid).map_err(map_err)?;
+        let report = sys.report();
+        let words = sys.read_words(
+            *out_addr,
+            usize::try_from(req.out_bytes.max(4) / 4).unwrap_or(0),
+        );
+        return Ok(SliceStep::Finished {
+            cycles: report.cu_cycles,
+            instructions: report.instructions(),
+            words,
+        });
+    }
     let mut sys;
     let progress = match carried {
         Some(bytes) => {

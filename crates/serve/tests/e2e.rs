@@ -37,7 +37,46 @@ fn submit_of(gk: &GenKernel, tenant: &str, label: &str, return_output: bool) -> 
         out_bytes: gk.out_bytes(),
         system: None,
         return_output,
+        exec: None,
     }
+}
+
+/// Fast-tier and self-checking jobs ride the same wire: identical output
+/// words, zero cycles for `fast`, the cycle pipeline's count for
+/// `fast-timing`, and an unknown tier is a typed Invalid rejection.
+#[test]
+fn fast_exec_jobs_serve_identical_words() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+    let gk = workload(7, 2);
+    let (cycles, words) = direct_run(&gk);
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    for (exec, want_cycles) in [("fast", 0), ("fast-timing", cycles)] {
+        let mut req = submit_of(&gk, "tenant", exec, true);
+        req.exec = Some(exec.to_owned());
+        let job = client.submit(req).expect("protocol").expect("admitted");
+        let d = client.recv_done().expect("job completes");
+        assert_eq!(d.job, job);
+        assert!(d.ok, "{exec} job failed: {:?}", d.error);
+        assert_eq!(
+            d.output.as_ref().expect("return_output"),
+            &words,
+            "{exec} served words differ from the cycle tier's"
+        );
+        assert_eq!(d.cycles, want_cycles, "{exec} cycle count");
+        assert!(d.instructions > 0, "{exec} instruction count");
+    }
+
+    let mut bad = submit_of(&gk, "tenant", "bad-exec", false);
+    bad.exec = Some("warp-speed".to_owned());
+    let rejection = client
+        .submit(bad)
+        .expect("protocol")
+        .expect_err("unknown exec mode is shed, not queued");
+    assert_eq!(rejection.reason, RejectReason::Invalid);
+
+    server.shutdown();
 }
 
 /// Mirror of the server's execution path, run directly in-process: the

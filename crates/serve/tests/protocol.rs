@@ -37,6 +37,7 @@ fn sample_submit() -> SubmitRequest {
         out_bytes: 16384,
         system: Some("dcdpm".to_owned()),
         return_output: true,
+        exec: Some("cycle".to_owned()),
     }
 }
 
@@ -44,7 +45,8 @@ fn sample_submit() -> SubmitRequest {
 fn every_request_variant_round_trips() {
     roundtrip_request(&Request::Submit(sample_submit()));
     roundtrip_request(&Request::Submit(SubmitRequest {
-        system: None, // the omittable field, in its omitted state
+        system: None, // the omittable fields, in their omitted state
+        exec: None,
         input: Vec::new(),
         return_output: false,
         ..sample_submit()
@@ -145,6 +147,8 @@ fn submit_accepts_omitted_optional_fields() {
     };
     assert_eq!(s.system, None);
     assert!(s.system_kind().is_ok(), "None defaults to dcdpm");
+    assert_eq!(s.exec, None);
+    assert!(s.exec_mode().is_ok(), "None defaults to the cycle tier");
 }
 
 #[test]

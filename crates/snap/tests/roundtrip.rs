@@ -161,3 +161,52 @@ fn sparse_pages_keep_snapshots_compact() {
         data: vec![],
     };
 }
+
+/// The fast functional tier has no cycle-accurate state to capture, so a
+/// preemptible dispatch on it must fail with the typed
+/// [`SnapError::UnsupportedExecMode`] — never a silent wrong-cycle
+/// checkpoint. Cycle-tier dispatches stay preemptible as before.
+#[test]
+fn preemptible_dispatch_requires_the_cycle_tier() {
+    use scratch_asm::KernelBuilder;
+    use scratch_system::{ExecMode, System, SystemConfig, SystemError, SystemKind};
+
+    let kernel = {
+        let mut b = KernelBuilder::new("snap_exec_guard");
+        b.vgprs(4).sgprs(24).workgroup_size(64);
+        b.endpgm().unwrap();
+        b.finish().unwrap()
+    };
+    let system = |exec: ExecMode| {
+        let config = SystemConfig::preset(SystemKind::DcdPm).with_exec(exec);
+        let mut sys = System::new(config, &kernel).unwrap();
+        let out = sys.alloc(4096);
+        sys.set_args(&[out as u32]);
+        sys
+    };
+
+    for exec in [ExecMode::Fast, ExecMode::FastWithTiming] {
+        let err = system(exec)
+            .dispatch_preemptible([1, 1, 1], 100)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SystemError::Snap(scratch_snap::SnapError::UnsupportedExecMode),
+            "{exec:?} must be rejected with the typed snap error"
+        );
+        assert!(
+            err.to_string().contains("cycle execution tier"),
+            "error should tell the caller which tier is required: {err}"
+        );
+    }
+
+    // The guard must not break the supported path.
+    use scratch_system::DispatchProgress;
+    let progress = system(ExecMode::Cycle)
+        .dispatch_preemptible([1, 1, 1], 100)
+        .unwrap();
+    assert!(
+        matches!(progress, DispatchProgress::Complete { .. }),
+        "an endpgm kernel finishes in one quantum"
+    );
+}

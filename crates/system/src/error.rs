@@ -43,6 +43,16 @@ pub enum SystemError {
         /// What was violated.
         reason: String,
     },
+    /// Snapshot-codec failure, including requesting checkpoints of an
+    /// execution tier that cannot take them
+    /// ([`scratch_snap::SnapError::UnsupportedExecMode`]).
+    Snap(scratch_snap::SnapError),
+    /// The self-checking `ExecMode::FastWithTiming` tier found the fast
+    /// path's memory writes diverging from the cycle pipeline's.
+    FastDivergence {
+        /// What diverged.
+        what: String,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -73,6 +83,10 @@ impl fmt::Display for SystemError {
                 "{requested} compute units requested, but the device routes at most {max}"
             ),
             SystemError::Preemption { reason } => write!(f, "preemption: {reason}"),
+            SystemError::Snap(e) => write!(f, "snapshot: {e}"),
+            SystemError::FastDivergence { what } => {
+                write!(f, "fast tier diverged from the cycle pipeline: {what}")
+            }
         }
     }
 }
@@ -82,6 +96,7 @@ impl std::error::Error for SystemError {
         match self {
             SystemError::Cu(e) => Some(e),
             SystemError::Asm(e) => Some(e),
+            SystemError::Snap(e) => Some(e),
             _ => None,
         }
     }

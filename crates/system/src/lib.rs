@@ -69,8 +69,10 @@ pub use error::SystemError;
 pub use fault::{CuUpset, FaultSpec, MemUpset};
 pub use memory::{EpochDelta, EpochMemory, EpochState, MemTiming, MemoryState, SharedMemory};
 pub use system::{
-    DispatchProgress, RunReport, System, SystemCheckpoint, SystemConfig, SystemKind, TraceMode,
+    DispatchProgress, ExecMode, RunReport, System, SystemCheckpoint, SystemConfig, SystemKind,
+    TraceMode,
 };
 
 pub use scratch_cu::{CuError, CuFault, CuStats, FaultRecord, FaultTarget};
+pub use scratch_fastpath::FastStats;
 pub use scratch_trace::{chrome_trace, EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer};

@@ -638,6 +638,40 @@ impl SharedMemory {
         self.queue_wait += delta.queue_wait;
     }
 
+    /// First byte recorded in `delta` whose value differs from this
+    /// memory's *current* contents, as `(address, delta value, memory
+    /// value)`. The `ExecMode::FastWithTiming` self-check runs the fast
+    /// tier against throwaway epoch views, commits the cycle pipeline's
+    /// shards normally, then requires every byte the fast tier wrote to
+    /// match the committed state.
+    #[must_use]
+    pub fn first_delta_mismatch(&self, delta: &EpochDelta) -> Option<(u64, u8, u8)> {
+        for (pidx, page) in &delta.pages {
+            let start = pidx * EPOCH_PAGE;
+            for (w, &mask) in page.written.iter().enumerate() {
+                if mask == 0 {
+                    continue;
+                }
+                for b in 0..64 {
+                    if mask & (1 << b) == 0 {
+                        continue;
+                    }
+                    let off = w * 64 + b;
+                    if off >= page.data.len() {
+                        break;
+                    }
+                    let addr = start + off;
+                    let want = page.data[off];
+                    let got = self.data.get(addr).copied().unwrap_or(0);
+                    if want != got {
+                        return Some((addr as u64, want, got));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// Reattach a suspended epoch view over the current contents. The
     /// base must be the same epoch-start state the view was opened over
     /// (a checkpointed dispatch restores the memory before resuming its

@@ -2,16 +2,17 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
 use scratch_asm::Kernel;
-use scratch_cu::{ComputeUnit, CuConfig, CuStats, RunStatus, WaveInit};
+use scratch_cu::{ComputeUnit, CuConfig, CuError, CuStats, RunStatus, WaveInit, Wavefront};
+use scratch_fastpath::{run_workgroup, translate, FastStats, Fuel, Program, WaveSlot};
 use scratch_fpga::{cu_capacity_bound, Device};
 use scratch_isa::{FuncUnit, WAVEFRONT_SIZE};
 use scratch_metrics::{Counter, Gauge, Histogram, Registry};
-use scratch_snap::CuSnapshot;
+use scratch_snap::{CuSnapshot, SnapError};
 use scratch_trace::{EventBuffer, StallReason, TraceEvent, TraceSummary, Tracer as _};
 
 use crate::fault::{CuFault, FaultRecord, FaultSpec, ScheduledFaults};
@@ -89,6 +90,26 @@ pub enum TraceMode {
     Full,
 }
 
+/// Which execution tier runs dispatches (the functional/timing split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// The cycle-accurate pipeline model — full timing fidelity, the tier
+    /// every paper experiment uses.
+    #[default]
+    Cycle,
+    /// The block-compiled functional tier (`scratch-fastpath`): identical
+    /// architectural results, no cycle modelling (dispatches report zero
+    /// cycles). Traced or pipeline-fault-injected runs fall back to
+    /// [`ExecMode::Cycle`] — those features live in the pipeline.
+    Fast,
+    /// Self-checking mode: every dispatch runs the fast tier against a
+    /// throwaway memory view *and* the cycle pipeline, then verifies that
+    /// each byte the fast tier wrote matches the committed cycle-model
+    /// memory. Reports the cycle model's timing; a mismatch fails the
+    /// dispatch with [`SystemError::FastDivergence`].
+    FastWithTiming,
+}
+
 /// Configuration of a [`System`].
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -124,6 +145,8 @@ pub struct SystemConfig {
     /// bit-flips at dispatch boundaries). Empty by default: injection off,
     /// untouched fast paths.
     pub faults: FaultSpec,
+    /// Execution tier for dispatches (see [`ExecMode`]).
+    pub exec: ExecMode,
 }
 
 impl SystemConfig {
@@ -142,6 +165,7 @@ impl SystemConfig {
             metrics: true,
             registry: None,
             faults: FaultSpec::default(),
+            exec: ExecMode::Cycle,
         }
     }
 
@@ -213,6 +237,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultSpec) -> SystemConfig {
         self.faults = faults;
+        self
+    }
+
+    /// Builder-style override of the execution tier (see [`ExecMode`]).
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecMode) -> SystemConfig {
+        self.exec = exec;
         self
     }
 }
@@ -295,6 +326,20 @@ pub struct System {
     /// In-flight preemptible dispatch, between quanta. `None` when no
     /// dispatch is paused.
     paused: Option<PausedDispatch>,
+    /// Lazily translated fast-tier programs plus accumulated fast-tier
+    /// counters, one slot per loaded kernel.
+    fast: Vec<Option<FastSlot>>,
+    /// Dynamic instructions executed by the fast tier (pure
+    /// [`ExecMode::Fast`] dispatches — `FastWithTiming` counts through
+    /// the cycle pipeline it also runs).
+    fast_instructions: u64,
+}
+
+/// One kernel's translated fast-tier program and its accumulated counters.
+#[derive(Debug)]
+struct FastSlot {
+    prog: Arc<Program>,
+    stats: FastStats,
 }
 
 impl System {
@@ -380,6 +425,8 @@ impl System {
             dispatch_seq: 0,
             fault_log: Vec::new(),
             paused: None,
+            fast: (0..n).map(|_| None).collect(),
+            fast_instructions: 0,
         };
         sys.cb0_addr = sys.alloc(64);
         Ok(sys)
@@ -504,24 +551,55 @@ impl System {
         if self.paused.is_some() {
             return Err(preemption("a paused preemptible dispatch is in flight"));
         }
+        match self.exec_tier() {
+            ExecMode::Cycle => self.dispatch_cycle(idx, grid),
+            ExecMode::Fast => self.dispatch_fast(idx, grid),
+            ExecMode::FastWithTiming => self.dispatch_fast_timing(idx, grid),
+        }
+    }
+
+    /// The tier a dispatch actually runs on: traced and pipeline-fault-
+    /// injected runs always take the cycle pipeline (the fast tier models
+    /// neither), otherwise whatever [`SystemConfig::exec`] selected.
+    fn exec_tier(&self) -> ExecMode {
+        if self.config.trace != TraceMode::Off || !self.config.faults.cu.is_empty() {
+            ExecMode::Cycle
+        } else {
+            self.config.exec
+        }
+    }
+
+    /// Run-to-completion dispatch on the cycle-accurate pipeline.
+    fn dispatch_cycle(&mut self, idx: usize, grid: [u32; 3]) -> Result<u64, SystemError> {
         let (launch, assignments) = self.plan_dispatch(idx, grid)?;
-        let n_cus = self.cus.len();
         let before: Vec<u64> = self.cus.iter().map(ComputeUnit::now).collect();
+        self.run_cycle_epoch(&launch, &assignments, &before)?;
+        Ok(self.finish_dispatch(idx, &before))
+    }
+
+    /// Run one planned dispatch epoch on the cycle pipeline and commit it.
+    fn run_cycle_epoch(
+        &mut self,
+        launch: &Launch,
+        assignments: &CuAssignments,
+        before: &[u64],
+    ) -> Result<(), SystemError> {
+        let n_cus = self.cus.len();
         let workers = self.effective_workers().min(n_cus).max(1);
 
         // Run every CU's shard against a private epoch view of the shared
         // memory; no shard observes another's writes or server clock, so
         // the outcomes are identical whichever scheduler produced them.
         let mut outcomes: Vec<ShardOutcome> = if workers > 1 {
-            self.run_shards_parallel(&launch, &assignments, workers)
+            self.run_shards_parallel(launch, assignments, workers)
         } else {
             let mem = &self.mem;
             self.cus
                 .iter_mut()
-                .zip(&assignments)
+                .zip(assignments)
                 .map(|(cu, wgs)| {
                     let mut view = mem.epoch();
-                    let res = run_cu_share(cu, &launch, wgs, &mut view);
+                    let res = run_cu_share(cu, launch, wgs, &mut view);
                     Some((res, view.finish()))
                 })
                 .collect()
@@ -558,8 +636,194 @@ impl System {
             }
             return Err(e);
         }
+        Ok(())
+    }
 
+    /// Run-to-completion dispatch on the block-compiled fast tier: the
+    /// same plan, workgroup shares, launch ABI, epoch views, and CU-order
+    /// commit as [`System::dispatch_cycle`], but each share is executed by
+    /// the translated program instead of the cycle pipeline. Returns 0
+    /// cycles — the fast tier is functional-only.
+    fn dispatch_fast(&mut self, idx: usize, grid: [u32; 3]) -> Result<u64, SystemError> {
+        let (launch, assignments) = self.plan_dispatch(idx, grid)?;
+        let prog = self.fast_program(idx)?;
+        let outcomes = self.run_fast_shards(&prog, &launch, &assignments);
+        let mut failure: Option<SystemError> = None;
+        let mut stats = FastStats::for_program(&prog);
+        for slot in outcomes {
+            let (res, delta) = slot.expect("every fast shard produces an outcome");
+            if failure.is_some() {
+                continue;
+            }
+            match res {
+                Ok(s) => {
+                    self.mem.commit(delta);
+                    stats.merge(&s);
+                }
+                Err(e) => failure = Some(e),
+            }
+        }
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        self.fast_instructions += stats.instructions;
+        if let Some(slot) = &mut self.fast[idx] {
+            slot.stats.merge(&stats);
+        }
+        self.finish_fast_dispatch(idx);
+        Ok(0)
+    }
+
+    /// Self-checking dispatch: run the fast tier against throwaway views
+    /// of the pre-dispatch memory, run (and commit) the cycle pipeline as
+    /// usual, then verify every byte the fast tier wrote against the
+    /// committed image. Returns the cycle pipeline's cycle count.
+    fn dispatch_fast_timing(&mut self, idx: usize, grid: [u32; 3]) -> Result<u64, SystemError> {
+        let (launch, assignments) = self.plan_dispatch(idx, grid)?;
+        let prog = self.fast_program(idx)?;
+        // Fast tier first, over views seeded from the same pre-dispatch
+        // base the cycle shards will see. Its deltas are never committed.
+        let fast_outcomes = self.run_fast_shards(&prog, &launch, &assignments);
+        let before: Vec<u64> = self.cus.iter().map(ComputeUnit::now).collect();
+        let cycle_res = self.run_cycle_epoch(&launch, &assignments, &before);
+        let mut fast_err: Option<SystemError> = None;
+        let mut stats = FastStats::for_program(&prog);
+        let mut deltas = Vec::new();
+        for slot in fast_outcomes {
+            let (res, delta) = slot.expect("every fast shard produces an outcome");
+            match res {
+                Ok(s) => {
+                    stats.merge(&s);
+                    deltas.push(delta);
+                }
+                Err(e) => {
+                    if fast_err.is_none() {
+                        fast_err = Some(e);
+                    }
+                }
+            }
+        }
+        match (cycle_res, fast_err) {
+            // The cycle pipeline is authoritative: its failure is the
+            // dispatch's failure whatever the fast tier thought.
+            (Err(e), _) => return Err(e),
+            (Ok(()), Some(e)) => {
+                return Err(SystemError::FastDivergence {
+                    what: format!("fast tier failed where the cycle pipeline succeeded: {e}"),
+                });
+            }
+            (Ok(()), None) => {}
+        }
+        for delta in &deltas {
+            if let Some((addr, want, got)) = self.mem.first_delta_mismatch(delta) {
+                return Err(SystemError::FastDivergence {
+                    what: format!(
+                        "byte {addr:#x}: fast tier wrote {want:#04x}, cycle pipeline has {got:#04x}"
+                    ),
+                });
+            }
+        }
+        // The cycle pipeline already counted this dispatch's instructions;
+        // only the per-kernel fast counters record the shadow run.
+        if let Some(slot) = &mut self.fast[idx] {
+            slot.stats.merge(&stats);
+        }
         Ok(self.finish_dispatch(idx, &before))
+    }
+
+    /// Translate kernel `idx` for the fast tier (cached after the first
+    /// dispatch) and hand back its program.
+    fn fast_program(&mut self, idx: usize) -> Result<Arc<Program>, SystemError> {
+        if self.fast[idx].is_none() {
+            let prog = translate(&self.kernels[idx], self.cus[0].config())?;
+            let stats = FastStats::for_program(&prog);
+            self.fast[idx] = Some(FastSlot {
+                prog: Arc::new(prog),
+                stats,
+            });
+        }
+        Ok(Arc::clone(
+            &self.fast[idx].as_ref().expect("slot just filled").prog,
+        ))
+    }
+
+    /// Run every CU share of a fast-tier dispatch against private epoch
+    /// views, serially or on scoped worker threads exactly like the cycle
+    /// schedulers. Returns one outcome slot per CU, in CU-index order.
+    fn run_fast_shards(
+        &self,
+        prog: &Program,
+        launch: &Launch,
+        assignments: &CuAssignments,
+    ) -> Vec<FastShardOutcome> {
+        let cfg = self.cus[0].config();
+        let workers = self.effective_workers().min(assignments.len()).max(1);
+        let mem = &self.mem;
+        if workers > 1 {
+            let outcomes: Vec<Mutex<FastShardOutcome>> =
+                (0..assignments.len()).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers.min(assignments.len()) {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(wgs) = assignments.get(i) else { break };
+                        let mut view = mem.epoch();
+                        let res = run_fast_share(prog, launch, wgs, &mut view, cfg);
+                        *outcomes[i].lock().expect("outcome slot lock") =
+                            Some((res, view.finish()));
+                    });
+                }
+            });
+            outcomes
+                .into_iter()
+                .map(|m| m.into_inner().expect("outcome lock"))
+                .collect()
+        } else {
+            assignments
+                .iter()
+                .map(|wgs| {
+                    let mut view = mem.epoch();
+                    let res = run_fast_share(prog, launch, wgs, &mut view, cfg);
+                    Some((res, view.finish()))
+                })
+                .collect()
+        }
+    }
+
+    /// Fast-tier dispatch epilogue: the same per-kernel accounting and
+    /// metrics flush as [`System::finish_dispatch`], with zero cycles
+    /// spent (the fast tier has no clock).
+    fn finish_fast_dispatch(&mut self, idx: usize) {
+        self.per_kernel_dispatches[idx] += 1;
+        if self.last_kernel.is_some_and(|prev| prev != idx) {
+            self.kernel_switches += 1;
+        }
+        self.last_kernel = Some(idx);
+        if let Some(m) = &mut self.metrics {
+            let mut instructions = self.fast_instructions;
+            let mut stalls = [0u64; StallReason::ALL.len()];
+            for cu in &self.cus {
+                let s = cu.stats();
+                instructions += s.instructions;
+                for (&r, &n) in &s.stall_cycles {
+                    stalls[r as usize] += n;
+                }
+            }
+            m.flush_dispatch(0, instructions, &stalls, &self.mem);
+        }
+    }
+
+    /// Accumulated fast-tier statistics for kernel `idx`: dynamic
+    /// instruction and per-block dispatch counts over every fast or
+    /// self-checking dispatch so far. `None` until the kernel's first
+    /// fast-tier dispatch (or for an out-of-range index).
+    #[must_use]
+    pub fn fast_stats(&self, idx: usize) -> Option<&FastStats> {
+        self.fast
+            .get(idx)
+            .and_then(|s| s.as_ref())
+            .map(|s| &s.stats)
     }
 
     /// Shared prologue of the run-to-completion and preemptible dispatch
@@ -684,7 +948,9 @@ impl System {
         }
         self.last_kernel = Some(idx);
         if let Some(m) = &mut self.metrics {
-            let mut instructions = 0;
+            // Include the fast tier's running total so mixed-mode flushes
+            // diff against a monotonic cumulative count.
+            let mut instructions = self.fast_instructions;
             let mut stalls = [0u64; StallReason::ALL.len()];
             for cu in &self.cus {
                 let s = cu.stats();
@@ -741,6 +1007,12 @@ impl System {
         }
         if self.config.trace != TraceMode::Off {
             return Err(preemption("preemptible dispatch requires TraceMode::Off"));
+        }
+        // Checkpoints serialise cycle-accurate pipeline state; the fast
+        // tier has none, so refuse up front rather than silently taking
+        // wrong-cycle checkpoints.
+        if self.config.exec != ExecMode::Cycle {
+            return Err(SystemError::Snap(SnapError::UnsupportedExecMode));
         }
         let (launch, assignments) = self.plan_dispatch(idx, grid)?;
         // Load the kernel and clear retired waves on every CU up front
@@ -1072,6 +1344,9 @@ impl System {
             stats.merge(cu.stats());
             per_cu.push(cu.now());
         }
+        // Fast-tier dispatches retire instructions without touching any
+        // CU's counters; fold their running total into the aggregate.
+        stats.instructions += self.fast_instructions;
         let cu_cycles = per_cu.iter().copied().max().unwrap_or(0);
         stats.cycles = cu_cycles;
         if self.config.metrics {
@@ -1305,6 +1580,10 @@ impl SysMetrics {
 /// What one CU shard hands back to the dispatcher: its run result plus the
 /// epoch delta to commit. `None` until the shard has run.
 type ShardOutcome = Option<(Result<(), SystemError>, EpochDelta)>;
+
+/// One fast-tier share's outcome: its statistics (or failure) plus the
+/// epoch delta it produced.
+type FastShardOutcome = Option<(Result<FastStats, SystemError>, EpochDelta)>;
 
 /// A claimable shard: one CU and its workgroup share, taken exactly once
 /// by whichever worker gets there first.
@@ -1566,6 +1845,86 @@ fn run_cu_share(
     Ok(())
 }
 
+/// Run one CU's shard of a fast-tier dispatch: the same workgroup share
+/// and launch ABI as [`run_cu_share`] — identical register images, exec
+/// masks, and per-workgroup LDS — executed by the block-compiled program
+/// instead of the cycle pipeline. `cfg` supplies the CU's wavefront and
+/// fuel limits so the fast tier refuses exactly what the pipeline would.
+fn run_fast_share(
+    prog: &Program,
+    launch: &Launch,
+    wgs: &[[u32; 3]],
+    mem: &mut EpochMemory<'_>,
+    cfg: &CuConfig,
+) -> Result<FastStats, SystemError> {
+    let meta = *launch.kernel.meta();
+    let mut stats = FastStats::for_program(prog);
+    let mut fuel = Fuel::new(cfg.cycle_limit);
+    let mut lds = vec![0u32; prog.lds_words()];
+    for &wg_id in wgs {
+        lds.fill(0);
+        let mut slots: Vec<WaveSlot> = Vec::new();
+        for w in 0..launch.waves_per_wg {
+            let lane_base = (w * WAVEFRONT_SIZE) as u32;
+            let active = (launch.wg_size - lane_base).min(WAVEFRONT_SIZE as u32);
+            if active == 0 {
+                break;
+            }
+            if slots.len() >= usize::from(cfg.max_wavefronts) {
+                return Err(CuError::TooManyWavefronts.into());
+            }
+            let exec = if active >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << active) - 1
+            };
+            let mut wave = Wavefront::new(w, 0, usize::from(meta.sgprs), usize::from(meta.vgprs));
+            wave.exec = exec;
+            for (r, v) in [
+                // IMM_UAV: base 0, unbounded records.
+                (u32::from(abi::UAV_DESC), 0),
+                (u32::from(abi::UAV_DESC) + 1, 0),
+                (u32::from(abi::UAV_DESC) + 2, 0),
+                (u32::from(abi::UAV_DESC) + 3, 0),
+                // IMM_CONST_BUFFER0.
+                (u32::from(abi::CONST_BUF0), launch.cb0 as u32),
+                (u32::from(abi::CONST_BUF0) + 1, (launch.cb0 >> 32) as u32),
+                (u32::from(abi::CONST_BUF0) + 2, 64),
+                (u32::from(abi::CONST_BUF0) + 3, 0),
+                // IMM_CONST_BUFFER1.
+                (u32::from(abi::CONST_BUF1), launch.args_addr as u32),
+                (
+                    u32::from(abi::CONST_BUF1) + 1,
+                    (launch.args_addr >> 32) as u32,
+                ),
+                (u32::from(abi::CONST_BUF1) + 2, launch.args_len as u32),
+                (u32::from(abi::CONST_BUF1) + 3, 0),
+                // Workgroup ids.
+                (u32::from(abi::WG_ID_X), wg_id[0]),
+                (u32::from(abi::WG_ID_Y), wg_id[1]),
+                (u32::from(abi::WG_ID_Z), wg_id[2]),
+            ] {
+                wave.set_sgpr(r, v)?;
+            }
+            for lane in 0..WAVEFRONT_SIZE {
+                wave.set_vgpr(u32::from(abi::TID_X), lane, lane_base + lane as u32)?;
+            }
+            // 1-D workgroups: Y/Z work-item ids are zero, written only when
+            // the kernel's VGPR budget covers the register.
+            for tid in [abi::TID_Y, abi::TID_Z] {
+                if u32::from(tid) < u32::from(meta.vgprs) {
+                    for lane in 0..WAVEFRONT_SIZE {
+                        wave.set_vgpr(u32::from(tid), lane, 0)?;
+                    }
+                }
+            }
+            slots.push(WaveSlot::new(prog, wave));
+        }
+        run_workgroup(prog, &mut slots, &mut lds, mem, &mut stats, &mut fuel)?;
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1650,6 +2009,97 @@ mod tests {
         sys.set_args(&[a_in as u32, a_out as u32]);
         sys.dispatch([n / wg_size, 1, 1]).unwrap();
         (sys.read_words(a_out, n as usize), sys.report())
+    }
+
+    fn run_add_one_exec(
+        exec: ExecMode,
+        cus: u8,
+        n: u32,
+        wg_size: u32,
+        workers: usize,
+    ) -> (Vec<u32>, u64, RunReport, Option<FastStats>) {
+        let kernel = add_one_kernel(wg_size);
+        let config = SystemConfig::preset(SystemKind::DcdPm)
+            .with_cus(cus)
+            .unwrap()
+            .with_workers(workers)
+            .with_exec(exec);
+        let mut sys = System::new(config, &kernel).unwrap();
+        let input: Vec<u32> = (0..n).map(|i| i * 3).collect();
+        let a_in = sys.alloc_words(&input);
+        let a_out = sys.alloc(u64::from(n) * 4);
+        sys.set_args(&[a_in as u32, a_out as u32]);
+        let cycles = sys.dispatch([n / wg_size, 1, 1]).unwrap();
+        let stats = sys.fast_stats(0).cloned();
+        (
+            sys.read_words(a_out, n as usize),
+            cycles,
+            sys.report(),
+            stats,
+        )
+    }
+
+    #[test]
+    fn fast_mode_matches_cycle_output() {
+        for (cus, wg_size) in [(1u8, 64u32), (3, 64), (1, 192)] {
+            let n = 768;
+            let (cyc_out, cyc_cycles, cyc_report, _) =
+                run_add_one_exec(ExecMode::Cycle, cus, n, wg_size, 1);
+            let (fast_out, fast_cycles, fast_report, fast_stats) =
+                run_add_one_exec(ExecMode::Fast, cus, n, wg_size, 1);
+            assert_eq!(cyc_out, fast_out, "cus={cus} wg_size={wg_size}");
+            assert!(cyc_cycles > 0);
+            assert_eq!(fast_cycles, 0, "the fast tier is functional-only");
+            // Same dynamic instruction stream, counted by different tiers.
+            assert_eq!(
+                cyc_report.stats.instructions, fast_report.stats.instructions,
+                "cus={cus} wg_size={wg_size}"
+            );
+            let stats = fast_stats.expect("fast dispatch populates the kernel's slot");
+            assert_eq!(stats.instructions, fast_report.stats.instructions);
+            assert!(stats.block_dispatches.iter().sum::<u64>() > 0);
+        }
+    }
+
+    #[test]
+    fn fast_parallel_is_bit_identical_to_serial() {
+        let (serial, _, _, s1) = run_add_one_exec(ExecMode::Fast, 4, 2048, 64, 1);
+        let (parallel, _, _, s4) = run_add_one_exec(ExecMode::Fast, 4, 2048, 64, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(s1, s4, "fast-tier counters are scheduler-independent");
+    }
+
+    #[test]
+    fn fast_with_timing_self_checks_and_keeps_cycle_counts() {
+        let (cyc_out, cyc_cycles, _, _) = run_add_one_exec(ExecMode::Cycle, 2, 512, 64, 1);
+        let (chk_out, chk_cycles, chk_report, chk_stats) =
+            run_add_one_exec(ExecMode::FastWithTiming, 2, 512, 64, 1);
+        assert_eq!(cyc_out, chk_out);
+        assert_eq!(
+            cyc_cycles, chk_cycles,
+            "timing comes from the cycle pipeline"
+        );
+        // The shadow fast run must not double-count instructions.
+        assert_eq!(
+            chk_report.stats.instructions,
+            chk_stats
+                .expect("shadow run populates the slot")
+                .instructions
+        );
+    }
+
+    #[test]
+    fn preemptible_dispatch_rejects_fast_tiers() {
+        for exec in [ExecMode::Fast, ExecMode::FastWithTiming] {
+            let kernel = add_one_kernel(64);
+            let config = SystemConfig::preset(SystemKind::DcdPm).with_exec(exec);
+            let mut sys = System::new(config, &kernel).unwrap();
+            let a_in = sys.alloc(64 * 4);
+            let a_out = sys.alloc(64 * 4);
+            sys.set_args(&[a_in as u32, a_out as u32]);
+            let err = sys.dispatch_preemptible([1, 1, 1], 100).unwrap_err();
+            assert_eq!(err, SystemError::Snap(SnapError::UnsupportedExecMode));
+        }
     }
 
     #[test]

@@ -1,0 +1,15 @@
+.kernel affine
+.sgprs 32
+.vgprs 8
+.lds 0
+.wgsize 64
+  0x000000 s_buffer_load_dword s20, s[12:13], 0x0
+  0x000004 s_waitcnt lgkmcnt(0)
+  0x000008 s_mul_i32 s0, s16, lit(0x40)
+  0x000010 v_add_i32 v1, vcc, s0, v0
+  0x000014 v_mul_lo_i32 v2, v1, 3
+  0x00001C v_add_i32 v2, vcc, 7, v2
+  0x000020 v_lshlrev_b32 v1, 2, v1
+  0x000024 buffer_store_dword v2, v1, s[4:7], s20 offen offset:0
+  0x00002C s_waitcnt vmcnt(0)
+  0x000030 s_endpgm

@@ -1,0 +1,31 @@
+.kernel lds_reverse
+.sgprs 40
+.vgprs 8
+.lds 256
+.wgsize 64
+  0x000000 s_buffer_load_dword s20, s[12:13], 0x0
+  0x000004 s_waitcnt lgkmcnt(0)
+  0x000008 s_mul_i32 s0, s16, lit(0x40)
+  0x000010 v_add_i32 v1, vcc, s0, v0
+  0x000014 v_mul_lo_i32 v2, v1, 5
+  0x00001C v_lshlrev_b32 v4, 2, v0
+  0x000020 ds_write_b32 v4, v2 offset:0
+  0x000028 s_waitcnt lgkmcnt(0)
+  0x00002C s_barrier
+  0x000030 v_sub_i32 v5, vcc, lit(0x3f), v0
+  0x000038 v_lshlrev_b32 v5, 2, v5
+  0x00003C ds_read_b32 v6, v5 offset:0
+  0x000044 s_waitcnt lgkmcnt(0)
+  0x000048 v_cmp_gt_u32 vcc, lit(0x20), v0
+  0x000050 s_and_saveexec_b64 s[34:35], vcc
+  0x000054 v_add_i32 v6, vcc, lit(0x3e8), v6
+  0x00005C s_mov_b64 exec, s[34:35]
+  0x000060 s_and_b32 s1, s16, 1
+  0x000064 s_cmp_eq_u32 s1, 0
+  0x000068 s_cbranch_scc1 label_001c
+  0x00006C v_add_i32 v6, vcc, 7, v6
+label_001c:
+  0x000070 v_lshlrev_b32 v1, 2, v1
+  0x000074 buffer_store_dword v6, v1, s[4:7], s20 offen offset:0
+  0x00007C s_waitcnt vmcnt(0)
+  0x000080 s_endpgm

@@ -8,9 +8,10 @@
 //! scratch-tool analyze  <file.s>
 //! scratch-tool trim     <file.s>
 //! scratch-tool run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]
-//!                       [--jobs N] [--metrics] [--metrics-out FILE]
+//!                       [--jobs N] [--exec cycle|fast|fast-timing] [--metrics] [--metrics-out FILE]
 //! scratch-tool trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]
-//! scratch-tool fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|checkpoint|all]
+//! scratch-tool fuzz     [--seed S] [--cases N]
+//!                       [--oracle reference|trim|parallel|roundtrip|checkpoint|fastpath|all]
 //!                       [--metrics-addr HOST:PORT]
 //! scratch-tool serve-metrics [--addr HOST:PORT] [--once]
 //! scratch-tool serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--tenant-cap N]
@@ -25,7 +26,9 @@
 //! prints the first words of that buffer. `--jobs N` shards the dispatch's
 //! compute units across N worker threads (default: one per available
 //! core); the simulated cycle counts and outputs are bit-identical for
-//! any N.
+//! any N. `--exec fast` runs the block-compiled functional tier (no cycle
+//! counts, identical output words); `--exec fast-timing` runs both tiers
+//! and fails loudly if they disagree on any written byte.
 //!
 //! `run --metrics` adds a one-line utilisation summary (IPC, per-unit
 //! occupancy, memory pressure) and appends a snapshot of the process
@@ -36,12 +39,14 @@
 //! to stdout instead of serving.
 //!
 //! `fuzz` runs the differential conformance campaign from `scratch-check`:
-//! seeded random kernels checked by four oracles (CU vs lockstep reference
+//! seeded random kernels checked by six oracles (CU vs lockstep reference
 //! interpreter, trimmed vs untrimmed CU, serial vs multi-worker dispatch,
-//! assembler/disassembler round-trip). Any divergence is minimized and
-//! printed as a self-contained repro; the exit code is non-zero if any
-//! oracle disagrees. `--seed` accepts decimal or `0x...` hex, so the
-//! `reproduce:` line of a report can be pasted back verbatim.
+//! assembler/disassembler round-trip, checkpoint/restore preemption, and
+//! cycle pipeline vs the block-compiled fast tier). Any divergence is
+//! minimized and printed as a self-contained repro; the exit code is
+//! non-zero if any oracle disagrees, and multi-oracle campaigns break the
+//! summary line out per oracle. `--seed` accepts decimal or `0x...` hex,
+//! so the `reproduce:` line of a report can be pasted back verbatim.
 
 use std::process::ExitCode;
 
@@ -58,7 +63,7 @@ use scratch::isa::FuncUnit;
 use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
 use scratch::metrics::{jsonl, prometheus, MetricsServer};
 use scratch::serve::{LoadPlan, ServeClient, ServeConfig, Server};
-use scratch::system::{CuStats, RunReport, System, SystemConfig, SystemKind, TraceMode};
+use scratch::system::{CuStats, ExecMode, RunReport, System, SystemConfig, SystemKind, TraceMode};
 use scratch::trace::chrome_trace;
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
@@ -296,21 +301,43 @@ fn real_main() -> Result<(), String> {
             // 0 = one worker per available core (the default); any count
             // yields bit-identical simulated results.
             let jobs = parse_n("--jobs", 0) as usize;
+            let exec = match args
+                .iter()
+                .position(|a| a == "--exec")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+            {
+                None | Some("cycle") => ExecMode::Cycle,
+                Some("fast") => ExecMode::Fast,
+                Some("fast-timing") => ExecMode::FastWithTiming,
+                Some(other) => return Err(format!("unknown exec mode `{other}`")),
+            };
 
-            let config = SystemConfig::preset(kind).with_workers(jobs);
+            let config = SystemConfig::preset(kind)
+                .with_workers(jobs)
+                .with_exec(exec);
             let mut sys = System::new(config, &kernel).map_err(|e| e.to_string())?;
             let out = sys.alloc(1 << 20);
             sys.set_args(&[out as u32]);
             sys.dispatch([wgs, 1, 1]).map_err(|e| e.to_string())?;
             let report = sys.report();
-            println!(
-                "{}: {} CU cycles, {} instructions, {:.3} ms on {}",
-                kernel.name(),
-                report.cu_cycles,
-                report.instructions(),
-                report.seconds * 1e3,
-                kind.label()
-            );
+            if exec == ExecMode::Fast {
+                println!(
+                    "{}: {} instructions (fast tier, no cycle model) on {}",
+                    kernel.name(),
+                    report.instructions(),
+                    kind.label()
+                );
+            } else {
+                println!(
+                    "{}: {} CU cycles, {} instructions, {:.3} ms on {}",
+                    kernel.name(),
+                    report.cu_cycles,
+                    report.instructions(),
+                    report.seconds * 1e3,
+                    kind.label()
+                );
+            }
             println!("out[0..{out_words}] = {:?}", sys.read_words(out, out_words));
             if args.iter().any(|a| a == "--metrics") {
                 println!("{}", metrics_summary(&report.stats, sys.config()));
@@ -716,13 +743,18 @@ fn real_main() -> Result<(), String> {
                  \x20 run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]\n\
                  \x20          [--jobs N]        N dispatch worker threads (default: one per\n\
                  \x20                            core; results are bit-identical for any N)\n\
+                 \x20          [--exec cycle|fast|fast-timing]\n\
+                 \x20                            execution tier: cycle-accurate pipeline\n\
+                 \x20                            (default), block-compiled fast tier (identical\n\
+                 \x20                            words, no cycle counts), or both cross-checked\n\
                  \x20          [--metrics]       print an IPC/occupancy summary and append a\n\
                  \x20                            registry snapshot to --metrics-out FILE\n\
                  \x20                            (default scratch-metrics.jsonl)\n\
                  \x20 trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]\n\
                  \x20                                   cycle-attribution summary + Chrome trace.json\n\
                  \x20                                   (default workload: Matrix Add INT32 + SP FP)\n\
-                 \x20 fuzz     [--seed S] [--cases N] [--oracle reference|trim|parallel|roundtrip|checkpoint|all]\n\
+                 \x20 fuzz     [--seed S] [--cases N]\n\
+                 \x20          [--oracle reference|trim|parallel|roundtrip|checkpoint|fastpath|all]\n\
                  \x20                                   differential conformance campaign; prints a\n\
                  \x20                                   minimized repro for any divergence\n\
                  \x20          [--metrics-addr HOST:PORT]  scrape campaign counters live\n\

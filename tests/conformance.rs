@@ -1,4 +1,4 @@
-//! Differential conformance suite: the five `scratch-check` oracles over
+//! Differential conformance suite: the six `scratch-check` oracles over
 //! proptest-driven seeds, plus the fuzzer-proves-itself tests — inject a
 //! deliberate semantic bug into the reference interpreter and demand the
 //! campaign both *catches* it and *minimizes* it to a tiny repro.

@@ -1,0 +1,312 @@
+//! Fast-tier conformance: the block-compiled wavefront executor must be
+//! word-identical to the cycle pipeline. Three layers of proof:
+//!
+//! 1. a pinned-seed 300-case fuzz campaign through the `fastpath` oracle
+//!    (the same shape the `fastpath-smoke` CI job runs);
+//! 2. directed kernels for every fallback trigger — exec-mask-all-zero
+//!    regions, LDS traffic across a barrier, scc skip branches, and
+//!    per-workgroup output pages — each diffed word for word between
+//!    `ExecMode::Cycle` and `ExecMode::Fast`;
+//! 3. a determinism property: translating and executing the same kernel
+//!    twice on fresh systems yields the same words *and* the same
+//!    block-dispatch counters.
+
+use proptest::prelude::*;
+
+use scratch::asm::{Kernel, KernelBuilder};
+use scratch::check::{fuzz, FuzzConfig, OracleKind};
+use scratch::isa::{Opcode, Operand, SmrdOffset};
+use scratch::system::{abi, ExecMode, FastStats, System, SystemConfig, SystemKind};
+
+/// Run `kernel` on a fresh system in `exec` mode with `input` preloaded;
+/// args are `[in, out]`. Returns the first `n` output words plus the fast
+/// tier's counters (populated only for the fast modes).
+fn run(
+    kernel: &Kernel,
+    exec: ExecMode,
+    grid: [u32; 3],
+    n: u32,
+    input: &[u32],
+) -> (Vec<u32>, Option<FastStats>) {
+    let config = SystemConfig::preset(SystemKind::DcdPm).with_exec(exec);
+    let mut sys = System::new(config, kernel).unwrap();
+    let a_in = sys.alloc_words(input);
+    let a_out = sys.alloc(u64::from(n.max(1)) * 4);
+    sys.set_args(&[a_in as u32, a_out as u32]);
+    sys.dispatch(grid).unwrap();
+    let stats = sys.fast_stats(0).cloned();
+    (sys.read_words(a_out, n as usize), stats)
+}
+
+/// Assert the fast tier reproduces the cycle pipeline bit for bit on one
+/// directed kernel, and return the matching words for further checks.
+fn assert_tiers_agree(kernel: &Kernel, grid: [u32; 3], n: u32, input: &[u32]) -> Vec<u32> {
+    let (cycle, none) = run(kernel, ExecMode::Cycle, grid, n, input);
+    assert!(none.is_none(), "cycle dispatches never touch the fast slot");
+    let (fast, stats) = run(kernel, ExecMode::Fast, grid, n, input);
+    assert_eq!(cycle, fast, "fast tier diverged from the cycle pipeline");
+    let stats = stats.expect("fast dispatch populates the kernel slot");
+    assert!(stats.instructions > 0);
+    let (shadow, _) = run(kernel, ExecMode::FastWithTiming, grid, n, input);
+    assert_eq!(cycle, shadow, "shadow-checked run diverged");
+    cycle
+}
+
+/// Common prologue: `s20 = in base`, `s21 = out base`, `v1 = gid << 2`.
+fn prologue(b: &mut KernelBuilder, wg_size: u32) {
+    b.smrd(
+        Opcode::SBufferLoadDwordx2,
+        Operand::Sgpr(20),
+        abi::CONST_BUF1,
+        SmrdOffset::Imm(0),
+    )
+    .unwrap();
+    b.waitcnt(None, Some(0)).unwrap();
+    b.sop2(
+        Opcode::SMulI32,
+        Operand::Sgpr(0),
+        Operand::Sgpr(abi::WG_ID_X),
+        Operand::Literal(wg_size),
+    )
+    .unwrap();
+    b.vop2(Opcode::VAddI32, 1, Operand::Sgpr(0), abi::TID_X)
+        .unwrap();
+    b.vop2(Opcode::VLshlrevB32, 1, Operand::IntConst(2), 1)
+        .unwrap();
+}
+
+/// Epilogue: store `v(data)` to `out[gid]` and end the program.
+fn store_and_end(b: &mut KernelBuilder, data: u8) {
+    b.mubuf(
+        Opcode::BufferStoreDword,
+        data,
+        1,
+        abi::UAV_DESC,
+        Operand::Sgpr(21),
+        0,
+    )
+    .unwrap();
+    b.waitcnt(Some(0), None).unwrap();
+    b.endpgm().unwrap();
+}
+
+/// An `s_and_saveexec_b64` region whose mask is all-zero: the guarded
+/// store must execute for no lane in either tier.
+#[test]
+fn exec_mask_all_zero_region_is_skipped_identically() {
+    let mut b = KernelBuilder::new("exec_zero");
+    b.vgprs(8).sgprs(40).workgroup_size(64);
+    prologue(&mut b, 64);
+    // v2 = poison, v3 = gid (the honest answer).
+    b.vop1(Opcode::VMovB32, 2, Operand::Literal(0xdead_beef))
+        .unwrap();
+    b.vop2(Opcode::VAddI32, 3, Operand::Sgpr(0), abi::TID_X)
+        .unwrap();
+    // vcc = 0, exec &= vcc — every lane is masked off.
+    b.sop1(Opcode::SMovB64, Operand::VccLo, Operand::IntConst(0))
+        .unwrap();
+    b.sop1(Opcode::SAndSaveexecB64, Operand::Sgpr(34), Operand::VccLo)
+        .unwrap();
+    // Under the empty mask: poison the result and the output buffer.
+    b.vop1(Opcode::VMovB32, 3, Operand::Literal(0xdead_beef))
+        .unwrap();
+    b.mubuf(
+        Opcode::BufferStoreDword,
+        2,
+        1,
+        abi::UAV_DESC,
+        Operand::Sgpr(21),
+        0,
+    )
+    .unwrap();
+    b.waitcnt(Some(0), None).unwrap();
+    // Restore exec and store the honest answer.
+    b.sop1(Opcode::SMovB64, Operand::ExecLo, Operand::Sgpr(34))
+        .unwrap();
+    store_and_end(&mut b, 3);
+    let kernel = b.finish().unwrap();
+
+    let words = assert_tiers_agree(&kernel, [2, 1, 1], 128, &[0; 128]);
+    for (i, &w) in words.iter().enumerate() {
+        assert_eq!(w, i as u32, "masked-off region leaked into lane {i}");
+    }
+}
+
+/// LDS write → barrier → reversed LDS read: both tiers must order the
+/// workgroup's waves around the barrier the same way.
+#[test]
+fn lds_barrier_reversal_matches() {
+    let wg_size = 64;
+    let mut b = KernelBuilder::new("lds_rev");
+    b.vgprs(8).sgprs(40).workgroup_size(wg_size).lds_bytes(256);
+    prologue(&mut b, wg_size);
+    // LDS[tid*4] = in[gid]
+    b.mubuf(
+        Opcode::BufferLoadDword,
+        2,
+        1,
+        abi::UAV_DESC,
+        Operand::Sgpr(20),
+        0,
+    )
+    .unwrap();
+    b.waitcnt(Some(0), None).unwrap();
+    b.vop2(Opcode::VLshlrevB32, 4, Operand::IntConst(2), abi::TID_X)
+        .unwrap();
+    b.ds_write(Opcode::DsWriteB32, 4, 2, 0).unwrap();
+    b.waitcnt(None, Some(0)).unwrap();
+    b.sopp(Opcode::SBarrier, 0).unwrap();
+    // v5 = (wg_size-1 - tid) * 4; v6 = LDS[v5]
+    b.vop2(
+        Opcode::VSubI32,
+        5,
+        Operand::Literal(wg_size - 1),
+        abi::TID_X,
+    )
+    .unwrap();
+    b.vop2(Opcode::VLshlrevB32, 5, Operand::IntConst(2), 5)
+        .unwrap();
+    b.ds_read(Opcode::DsReadB32, 6, 5, 0).unwrap();
+    b.waitcnt(None, Some(0)).unwrap();
+    store_and_end(&mut b, 6);
+    let kernel = b.finish().unwrap();
+
+    let n = 2 * wg_size;
+    let input: Vec<u32> = (0..n).map(|i| i * 7 + 3).collect();
+    let words = assert_tiers_agree(&kernel, [2, 1, 1], n, &input);
+    for wg in 0..2u32 {
+        for tid in 0..wg_size {
+            let got = words[(wg * wg_size + tid) as usize];
+            let want = input[(wg * wg_size + (wg_size - 1 - tid)) as usize];
+            assert_eq!(got, want, "wg {wg} lane {tid}");
+        }
+    }
+}
+
+/// An scc-conditional forward branch: even workgroups skip the `+100`,
+/// odd ones take it. Both tiers must resolve the skip identically.
+#[test]
+fn scc_skip_branch_matches() {
+    let mut b = KernelBuilder::new("skip");
+    b.vgprs(8).sgprs(40).workgroup_size(64);
+    prologue(&mut b, 64);
+    b.vop2(Opcode::VAddI32, 2, Operand::Sgpr(0), abi::TID_X)
+        .unwrap();
+    // s1 = wg_id & 1; skip the bump when it is zero.
+    b.sop2(
+        Opcode::SAndB32,
+        Operand::Sgpr(1),
+        Operand::Sgpr(abi::WG_ID_X),
+        Operand::IntConst(1),
+    )
+    .unwrap();
+    b.sopc(Opcode::SCmpEqU32, Operand::Sgpr(1), Operand::IntConst(0))
+        .unwrap();
+    let skip = b.new_label();
+    b.branch(Opcode::SCbranchScc1, skip);
+    b.vop2(Opcode::VAddI32, 2, Operand::Literal(100), 2)
+        .unwrap();
+    b.bind(skip).unwrap();
+    store_and_end(&mut b, 2);
+    let kernel = b.finish().unwrap();
+
+    let words = assert_tiers_agree(&kernel, [4, 1, 1], 256, &[0; 256]);
+    for (i, &w) in words.iter().enumerate() {
+        let bump = if (i / 64) % 2 == 1 { 100 } else { 0 };
+        assert_eq!(w, i as u32 + bump, "lane {i}");
+    }
+}
+
+/// Per-workgroup output pages: each workgroup owns a disjoint page of the
+/// output buffer, across more workgroups than CUs so assignment wraps.
+#[test]
+fn per_workgroup_output_pages_match() {
+    let mut b = KernelBuilder::new("wg_pages");
+    b.vgprs(8).sgprs(40).workgroup_size(64);
+    prologue(&mut b, 64);
+    // v2 = wg_id * 1000 + tid
+    b.sop2(
+        Opcode::SMulI32,
+        Operand::Sgpr(1),
+        Operand::Sgpr(abi::WG_ID_X),
+        Operand::Literal(1000),
+    )
+    .unwrap();
+    b.vop2(Opcode::VAddI32, 2, Operand::Sgpr(1), abi::TID_X)
+        .unwrap();
+    store_and_end(&mut b, 2);
+    let kernel = b.finish().unwrap();
+
+    let wgs = 7u32; // odd on purpose: wraps unevenly over the CUs
+    let words = assert_tiers_agree(&kernel, [wgs, 1, 1], wgs * 64, &[0; 8]);
+    for wg in 0..wgs {
+        for tid in 0..64 {
+            assert_eq!(
+                words[(wg * 64 + tid) as usize],
+                wg * 1000 + tid,
+                "wg {wg} lane {tid}"
+            );
+        }
+    }
+}
+
+/// The acceptance campaign: 300 pinned-seed cases through the `fastpath`
+/// oracle — every generated kernel (LDS traffic, exec regions, loops,
+/// skip branches, …) must agree across all three execution tiers.
+#[test]
+fn pinned_fastpath_campaign_is_clean() {
+    let report = fuzz(&FuzzConfig {
+        seed: 0,
+        cases: 300,
+        oracles: vec![OracleKind::Fastpath],
+        ..FuzzConfig::default()
+    });
+    assert_eq!(report.cases, 300);
+    assert_eq!(
+        report.skipped, 0,
+        "generator produced unassemblable kernels"
+    );
+    assert_eq!(report.checks, 300, "the fastpath oracle was skipped");
+    assert!(
+        report.divergences.is_empty(),
+        "fast tier diverged from the cycle pipeline:\n{}",
+        report.divergences[0].render()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Translate/execute/re-translate/re-execute is deterministic: two
+    /// fresh systems over the same kernel produce the same words and the
+    /// same per-block dispatch counters.
+    #[test]
+    fn translation_and_execution_are_deterministic(
+        wgs in 1u32..5,
+        seed in any::<u32>(),
+    ) {
+        let mut b = KernelBuilder::new("det");
+        b.vgprs(8).sgprs(40).workgroup_size(64);
+        prologue(&mut b, 64);
+        b.mubuf(Opcode::BufferLoadDword, 2, 1, abi::UAV_DESC, Operand::Sgpr(20), 0).unwrap();
+        b.waitcnt(Some(0), None).unwrap();
+        b.vop2(Opcode::VXorB32, 2, Operand::Literal(seed), 2).unwrap();
+        store_and_end(&mut b, 2);
+        let kernel = b.finish().unwrap();
+
+        let n = wgs * 64;
+        let input: Vec<u32> = (0..n).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let (w1, s1) = run(&kernel, ExecMode::Fast, [wgs, 1, 1], n, &input);
+        let (w2, s2) = run(&kernel, ExecMode::Fast, [wgs, 1, 1], n, &input);
+        prop_assert_eq!(&w1, &w2, "re-execution changed the output");
+        let (s1, s2) = (s1.unwrap(), s2.unwrap());
+        prop_assert_eq!(
+            &s1.block_dispatches, &s2.block_dispatches,
+            "re-translation changed the block dispatch profile"
+        );
+        prop_assert_eq!(s1, s2);
+        // And the fast tier still matches the cycle pipeline.
+        let (wc, _) = run(&kernel, ExecMode::Cycle, [wgs, 1, 1], n, &input);
+        prop_assert_eq!(w1, wc);
+    }
+}
