@@ -1,7 +1,7 @@
 //! Regenerate the SCRATCH paper's tables and figures.
 //!
 //! ```text
-//! experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|all]
+//! experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|profile|resilience|ablations|all]
 //!             [--quick] [--jobs N] [--json <path>]
 //! experiments trace [--quick] [--json <path>]
 //! ```
@@ -16,11 +16,13 @@
 
 use std::fmt::Write as _;
 
-use scratch_bench::{ablation, fig4, fig6, fig7, headline, resilience, sec41, stalls, util, Scale};
+use scratch_bench::{
+    ablation, fig4, fig6, fig7, headline, profile, resilience, sec41, stalls, util, Scale,
+};
 use scratch_isa::Category;
 
 const USAGE: &str = "\
-usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|resilience|trace|ablations|all]
+usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|profile|resilience|trace|ablations|all]
                    [--quick] [--jobs N] [--json <path>]
 
   --quick        CI-sized workloads (default: the paper's sizes)
@@ -125,6 +127,16 @@ fn main() {
                 json.insert("util".into(), serde_json::to_value(&rows).unwrap());
             }
             Err(e) => eprintln!("util failed: {e}"),
+        }
+    }
+
+    if run("profile") {
+        match profile::signatures(scale) {
+            Ok(rows) => {
+                print_profile(&rows);
+                json.insert("profile".into(), serde_json::to_value(&rows).unwrap());
+            }
+            Err(e) => eprintln!("profile failed: {e}"),
         }
     }
 
@@ -326,6 +338,28 @@ fn print_util(rows: &[util::UtilRow]) {
             write!(line, "{p:>9.1}").unwrap();
         }
         println!("{line}");
+    }
+}
+
+fn print_profile(rows: &[profile::SignatureRow]) {
+    hr("Instruction signatures — per-PC retire profile and minimal covering trim preset");
+    println!(
+        "{:30} {:>12} {:>8} {:24} {:>22} {:>7} {:>9}  preset",
+        "benchmark", "instrs", "opcodes", "units", "top class", "top %", "kept/all"
+    );
+    for r in rows {
+        println!(
+            "{:30} {:>12} {:>8} {:24} {:>22} {:>7.1} {:>5}/{:<3}  {}",
+            r.name,
+            r.instructions,
+            r.distinct_opcodes,
+            r.units,
+            r.top_class,
+            r.top_class_percent,
+            r.kept_opcodes,
+            r.total_opcodes,
+            r.preset
+        );
     }
 }
 

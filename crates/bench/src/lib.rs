@@ -14,6 +14,7 @@
 //! | [`ablation`] | Design-choice studies: occupancy, VALU scaling, prefetch capacity, bit-width, per-kernel reconfiguration (§4.3) |
 //! | [`stalls`] | Cycle-attribution profiles from the `scratch-trace` subsystem |
 //! | [`util`] | Per-kernel utilisation (IPC, FU occupancy, memory pressure) from the metrics plane |
+//! | [`profile`] | Per-kernel instruction signatures and minimal covering trim presets from the execution profiler |
 //!
 //! The `experiments` binary prints each as an aligned text table and can
 //! emit JSON for regeneration of `EXPERIMENTS.md`.
@@ -26,6 +27,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod headline;
+pub mod profile;
 pub mod resilience;
 pub mod runner;
 pub mod sec41;

@@ -1,0 +1,133 @@
+//! Per-application instruction signatures: what each evaluated benchmark
+//! *actually executes*, measured by the cycle tier's per-PC retire
+//! profiler, and the minimal trim preset covering it.
+//!
+//! Where [`util`](crate::util) asks how busy each functional unit was,
+//! this table asks which opcodes ran at all — the signature is the
+//! observed-traffic key the trimming tool needs: a kernel whose signature
+//! never touches a unit can run on a soft-GPGPU with that unit removed,
+//! and two kernels with the same signature can share one trimmed bitstream
+//! (the trim-cache argument of the online-reconfiguration roadmap item).
+
+use serde::{Deserialize, Serialize};
+
+use scratch_fastpath::translate;
+use scratch_isa::Opcode;
+use scratch_kernels::BenchError;
+use scratch_profile::InstrSignature;
+use scratch_system::{SystemConfig, SystemKind};
+
+use crate::runner::{fig6_set, Scale};
+
+/// One benchmark's measured instruction signature, condensed to a row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignatureRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Dynamic instructions the profiler attributed (all kernels).
+    pub instructions: u64,
+    /// Distinct opcodes that retired at least once.
+    pub distinct_opcodes: u64,
+    /// Functional-unit classes the signature touches, `+`-joined.
+    pub units: String,
+    /// Dominant opcode class (`unit/category/type`) and its share.
+    pub top_class: String,
+    /// Share of `instructions` in the dominant class, percent.
+    pub top_class_percent: f64,
+    /// Minimal covering trim preset (`full` when every unit is used).
+    pub preset: String,
+    /// Opcodes the minimal preset keeps.
+    pub kept_opcodes: u64,
+    /// Total opcodes in the ISA model.
+    pub total_opcodes: u64,
+}
+
+/// Profile every Fig. 6 benchmark under the DCD+PM baseline and condense
+/// each aggregated [`InstrSignature`] to a table row.
+///
+/// # Errors
+///
+/// Kernel construction, simulation, or block-translation failures.
+pub fn signatures(scale: Scale) -> Result<Vec<SignatureRow>, BenchError> {
+    let benches = fig6_set(scale);
+    let mut rows = Vec::with_capacity(benches.len());
+    for bench in &benches {
+        let config = SystemConfig::preset(SystemKind::DcdPm).with_profile(true);
+        let report = bench.run(config.clone())?;
+        let kernels = bench.kernels().map_err(BenchError::Asm)?;
+        let mut sig = InstrSignature::default();
+        for (idx, kernel) in kernels.iter().enumerate() {
+            let prog = translate(kernel, &config.cu).map_err(|e| {
+                BenchError::Engine(format!("{}: block translation: {e}", bench.name()))
+            })?;
+            let counts = report.pc_profiles.get(idx).map_or(&[][..], Vec::as_slice);
+            sig.merge(&InstrSignature::from_pc_counts(
+                kernel.name(),
+                &prog.block_profiles(),
+                counts,
+            ));
+        }
+        let (preset, trim) = sig.minimal_preset();
+        let instructions = sig.instructions();
+        let (top_class, top_count) = sig
+            .classes()
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .unwrap_or_default();
+        let units: Vec<&str> = sig.units_used().iter().map(|u| u.label()).collect();
+        rows.push(SignatureRow {
+            name: bench.name(),
+            instructions,
+            distinct_opcodes: sig.opcodes.len() as u64,
+            units: units.join("+"),
+            top_class,
+            top_class_percent: if instructions == 0 {
+                0.0
+            } else {
+                top_count as f64 / instructions as f64 * 100.0
+            },
+            preset,
+            kept_opcodes: trim.len() as u64,
+            total_opcodes: Opcode::ALL.len() as u64,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_cover_the_fig6_set() {
+        let rows = signatures(Scale::Quick).unwrap();
+        assert_eq!(rows.len(), 17);
+        for row in &rows {
+            assert!(row.instructions > 0, "{}", row.name);
+            assert!(row.distinct_opcodes > 0, "{}", row.name);
+            assert!(!row.units.is_empty(), "{}", row.name);
+            assert!(!row.preset.is_empty(), "{}", row.name);
+            assert!(
+                row.kept_opcodes <= row.total_opcodes,
+                "{}: kept {} of {}",
+                row.name,
+                row.kept_opcodes,
+                row.total_opcodes
+            );
+            // A covering preset keeps at least the distinct opcodes seen.
+            assert!(
+                row.kept_opcodes >= row.distinct_opcodes,
+                "{}: preset keeps {} < {} observed",
+                row.name,
+                row.kept_opcodes,
+                row.distinct_opcodes
+            );
+        }
+        // Integer-only benchmarks never need the FP VALU, so at least one
+        // row must trim below `full` — the application-awareness argument.
+        assert!(
+            rows.iter().any(|r| r.preset != "full"),
+            "no benchmark produced a sub-full covering preset"
+        );
+    }
+}

@@ -222,6 +222,7 @@ mod tests {
             trace: None,
             trace_events: None,
             fault_records: vec![],
+            pc_profiles: vec![],
         }
     }
 

@@ -101,6 +101,10 @@ pub struct CuConfig {
     /// the accounting is a few array adds per scheduling decision — and
     /// only turned off by the overhead benchmarks that measure that cost.
     pub metrics: bool,
+    /// Keep per-PC retire counters (the continuous-profiler feed behind
+    /// `scratch-profile`'s `InstrSignature` aggregation). Off by default:
+    /// unlike `metrics` this buys nothing unless someone reads them out.
+    pub profile: bool,
 }
 
 impl Default for CuConfig {
@@ -114,6 +118,7 @@ impl Default for CuConfig {
             trim: None,
             cycle_limit: 4_000_000_000,
             metrics: true,
+            profile: false,
         }
     }
 }

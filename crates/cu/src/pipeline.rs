@@ -356,6 +356,10 @@ pub struct ComputeUnit {
     /// Fault-injection state; `None` keeps the issue loop on its
     /// uninstrumented fast path (zero overhead when off).
     fault: Option<Box<FaultState>>,
+    /// Per-PC retire counters, indexed by word offset; maintained only
+    /// when `config.profile` is on (empty otherwise) and grown lazily to
+    /// the highest retired pc.
+    pc_counts: Vec<u64>,
 }
 
 /// Fault-injection plumbing: the installed hook plus the CU's cumulative
@@ -400,6 +404,7 @@ impl ComputeUnit {
             issued_count: 0,
             stall_acc: [0; StallReason::ALL.len()],
             fault: None,
+            pc_counts: Vec::new(),
         })
     }
 
@@ -561,8 +566,23 @@ impl ComputeUnit {
         }
         self.program = program;
         self.meta = *kernel.meta();
+        self.pc_counts.clear();
         self.clear_waves();
         Ok(())
+    }
+
+    /// Per-PC retire counters of the current kernel, indexed by word
+    /// offset (empty unless [`CuConfig::profile`] is on). Entries past the
+    /// highest retired pc are absent, not zero.
+    #[must_use]
+    pub fn pc_counts(&self) -> &[u64] {
+        &self.pc_counts
+    }
+
+    /// Drain the per-PC retire counters, leaving them zeroed for the next
+    /// kernel (the dispatcher's per-kernel aggregation hook).
+    pub fn take_pc_counts(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pc_counts)
     }
 
     /// Run until every resident wavefront has executed `s_endpgm`.
@@ -870,6 +890,12 @@ impl ComputeUnit {
             let outcome = execute(&inst, next_pc, wave, &mut self.workgroups[lds_ptr].lds, mem)?;
             wave.retired += 1;
             self.stats.record_issue(op, lanes);
+            if self.config.profile {
+                if self.pc_counts.len() <= pc {
+                    self.pc_counts.resize(pc + 1, 0);
+                }
+                self.pc_counts[pc] += 1;
+            }
 
             // Result latency for the scoreboard.
             let latency = self.config.latencies.of(op) + if is_vector { beats - 1 } else { 0 };
@@ -1152,6 +1178,7 @@ impl ComputeUnit {
             simf_busy: self.fus.simf_busy.clone(),
             stall_acc: self.stall_acc.to_vec(),
             stats: self.stats.to_sval(),
+            pc_counts: self.pc_counts.clone(),
         }
     }
 
@@ -1191,6 +1218,7 @@ impl ComputeUnit {
         cu.stall_acc.copy_from_slice(&snap.stall_acc);
         cu.stats = CuStats::from_sval(&snap.stats)
             .map_err(|e| bad(&format!("stats do not decode: {}", e.0)))?;
+        cu.pc_counts = snap.pc_counts.clone();
         for wgs in &snap.workgroups {
             cu.workgroups.push(Workgroup {
                 lds: wgs.lds.clone(),

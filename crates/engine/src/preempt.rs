@@ -372,9 +372,25 @@ impl<T: Send + 'static> PreemptiveHandle<T> {
     /// `work` is called once per quantum with the 0-based slice index; it
     /// returns [`Slice::Yield`] to be rescheduled after other tenants'
     /// turns, or [`Slice::Done`] with the job's result.
-    pub fn submit<F>(&self, tenant: impl Into<String>, label: impl Into<String>, work: F) -> u64
+    pub fn submit<F>(&self, tenant: impl Into<String>, label: impl Into<String>, mut work: F) -> u64
     where
         F: FnMut(u64) -> Slice<T> + Send + 'static,
+    {
+        self.submit_with_id(tenant, label, move |_id, slice| work(slice))
+    }
+
+    /// [`submit`](Self::submit), but `work` also receives the job's own
+    /// submission id as its first argument — the correlation key a slice
+    /// needs to stamp downstream artifacts (trace events, span timelines)
+    /// before the submit call has even returned the id to the caller.
+    pub fn submit_with_id<F>(
+        &self,
+        tenant: impl Into<String>,
+        label: impl Into<String>,
+        mut work: F,
+    ) -> u64
+    where
+        F: FnMut(u64, u64) -> Slice<T> + Send + 'static,
     {
         let id = self.shared.submitted.fetch_add(1, Ordering::AcqRel);
         let enqueued = self.shared.tick();
@@ -389,7 +405,7 @@ impl<T: Send + 'static> PreemptiveHandle<T> {
                 slices: 0,
                 started: None,
                 wall: Duration::ZERO,
-                work: Box::new(work),
+                work: Box::new(move |slice| work(id, slice)),
             });
         }
         self.shared.available.notify_one();
@@ -482,6 +498,19 @@ impl<T: Send + 'static> PreemptiveHandle<T> {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Parked jobs per tenant queue, in first-seen tenant order — the
+    /// live-introspection feed behind `scratch-tool ctl top`. Tenants
+    /// whose queue is currently empty still appear (with 0).
+    #[must_use]
+    pub fn tenant_queue_depths(&self) -> Vec<(String, usize)> {
+        let sched = self.shared.sched.lock().expect("preemptive sched lock");
+        sched
+            .queues
+            .iter()
+            .map(|(tenant, q)| (tenant.clone(), q.len()))
+            .collect()
     }
 
     /// Drain every outstanding outcome, shut the pool down, and return

@@ -174,7 +174,7 @@ fn metrics_off_registers_nothing() {
 
 #[test]
 fn dropping_a_handle_with_queued_jobs_is_graceful() {
-    let mut handle = Engine::new(1).start::<u8>();
+    let handle = Engine::new(1).start::<u8>();
     for _ in 0..8 {
         handle.submit("queued", || {
             std::thread::sleep(Duration::from_millis(5));

@@ -45,6 +45,6 @@ mod run;
 mod translate;
 
 pub use run::{run_workgroup, FastStats, Fuel, WaveSlot};
-pub use translate::{translate, Program};
+pub use translate::{translate, BlockProfile, Program};
 
 pub use scratch_cu::CuError;

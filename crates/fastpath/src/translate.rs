@@ -80,15 +80,45 @@ pub(crate) enum Terminator {
 
 /// One basic block: straight-line compiled ops plus a terminator.
 pub(crate) struct Block {
-    /// Word offset of the first instruction (diagnostics only).
-    #[allow(dead_code)]
+    /// Word offset of the first instruction.
     pub(crate) start: usize,
     pub(crate) ops: Vec<Op>,
+    /// (word offset, opcode) of each body op, in `ops` order — the static
+    /// view the continuous profiler multiplies by dispatch counts.
+    pub(crate) op_meta: Vec<(u32, Opcode)>,
     pub(crate) term: Terminator,
+    /// (word offset, opcode) of the terminator *instruction* (absent for
+    /// [`Terminator::Fall`], which has none).
+    pub(crate) term_meta: Option<(u32, Opcode)>,
     /// Issue-time trim/unit error of the terminator *instruction* (absent
     /// for [`Terminator::Fall`], which has no instruction). Raised when
     /// the terminator executes, like every other issue-time check.
     pub(crate) term_err: Option<CuError>,
+}
+
+/// Static profile of one translated basic block: its leader offset plus
+/// the (pc, opcode) pairs of every instruction one dispatch issues.
+///
+/// Multiplying by [`FastStats::block_dispatches`](crate::FastStats) turns
+/// the fast tier's block counters into the same per-PC retire histogram
+/// the cycle pipeline collects directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProfile {
+    /// Word offset of the block's first instruction.
+    pub start: u32,
+    /// (word offset, opcode) of each straight-line body instruction.
+    pub ops: Vec<(u32, Opcode)>,
+    /// (word offset, opcode) of the terminator instruction; `None` for
+    /// instruction-free fall-through blocks.
+    pub term: Option<(u32, Opcode)>,
+}
+
+impl BlockProfile {
+    /// Instructions one dispatch of this block issues.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.ops.len() as u64 + u64::from(self.term.is_some())
+    }
 }
 
 /// A kernel translated into dispatchable basic blocks.
@@ -121,6 +151,20 @@ impl Program {
     #[must_use]
     pub fn lds_words(&self) -> usize {
         (self.meta.lds_bytes as usize).div_ceil(4)
+    }
+
+    /// Static per-block instruction profiles, indexed like
+    /// [`FastStats::block_dispatches`](crate::FastStats).
+    #[must_use]
+    pub fn block_profiles(&self) -> Vec<BlockProfile> {
+        self.blocks
+            .iter()
+            .map(|b| BlockProfile {
+                start: b.start as u32,
+                ops: b.op_meta.clone(),
+                term: b.term_meta,
+            })
+            .collect()
     }
 }
 
@@ -346,8 +390,9 @@ pub fn translate(kernel: &Kernel, config: &CuConfig) -> Result<Program, CuError>
     let mut blocks = Vec::with_capacity(starts.len());
     for &start in &starts {
         let mut ops = Vec::new();
+        let mut op_meta = Vec::new();
         let mut pc = start;
-        let (term, term_err) = loop {
+        let (term, term_meta, term_err) = loop {
             let i = at[pc].expect("blocks begin and continue on instruction starts");
             let (_, inst) = decoded[i];
             let next = pc + inst.size_words();
@@ -382,20 +427,23 @@ pub fn translate(kernel: &Kernel, config: &CuConfig) -> Result<Program, CuError>
                         fall: resolve(next),
                     },
                 };
-                break (term, err);
+                break (term, Some((pc as u32, inst.opcode)), err);
             }
             ops.push(body_op(inst, next, config));
+            op_meta.push((pc as u32, inst.opcode));
             if next >= n_words || leader[next] {
                 // Successor is a branch target (or the binary's end):
                 // close the block with an instruction-free fall-through.
-                break (Terminator::Fall(resolve(next)), None);
+                break (Terminator::Fall(resolve(next)), None, None);
             }
             pc = next;
         };
         blocks.push(Block {
             start,
             ops,
+            op_meta,
             term,
+            term_meta,
             term_err,
         });
     }

@@ -145,6 +145,7 @@ impl InjectionOutcome {
                 label: label.clone(),
                 detector: d.clone(),
                 now: self.fault.id,
+                job: self.fault.id,
             });
         }
         if let Some(r) = &self.recovery {
@@ -152,6 +153,7 @@ impl InjectionOutcome {
                 label,
                 action: r.clone(),
                 now: self.fault.id,
+                job: self.fault.id,
             });
         }
         events

@@ -138,6 +138,9 @@ fn handle(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
                     })
                     .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}\n")),
             ),
+            // Liveness probe: the accept loop answering at all is the
+            // health signal, so a constant body is the honest answer.
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_owned()),
             _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
         }
     };
@@ -217,6 +220,10 @@ mod tests {
         let json = get(addr, "/metrics.json");
         assert!(json.contains("application/json"));
         assert!(json.contains("pings_total"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(health.ends_with("ok\n"));
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));

@@ -84,3 +84,64 @@ fn metrics_do_not_change_simulated_cycles() {
     let kernel = alu_kernel();
     assert_eq!(run_once(&kernel, true), run_once(&kernel, false));
 }
+
+fn run_once_profiled(kernel: &scratch_asm::Kernel, profile: bool) -> u64 {
+    let config = SystemConfig::preset(SystemKind::DcdPm)
+        .with_workers(1)
+        .with_profile(profile);
+    let mut sys = System::new(config, kernel).unwrap();
+    let out = sys.alloc(1 << 16);
+    sys.set_args(&[out as u32]);
+    sys.dispatch([8, 1, 1]).unwrap();
+    sys.report().cu_cycles
+}
+
+/// Median wall time of `reps` profiled/unprofiled runs, in nanoseconds.
+fn median_nanos_profiled(kernel: &scratch_asm::Kernel, profile: bool, reps: usize) -> u128 {
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(run_once_profiled(kernel, profile));
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The same gate for the execution profiler (per-PC retire counters):
+/// within 5% wall-clock of an unprofiled run, and — checked always, not
+/// just in the gate job — bit-identical simulated cycles either way.
+#[test]
+#[ignore = "wall-clock gate; run by the metrics-overhead CI job"]
+fn profiling_overhead_stays_under_the_gate() {
+    let kernel = alu_kernel();
+    run_once_profiled(&kernel, true);
+    run_once_profiled(&kernel, false);
+
+    let reps = 15;
+    let on = median_nanos_profiled(&kernel, true, reps);
+    let off = median_nanos_profiled(&kernel, false, reps);
+    let overhead = on as f64 / off as f64 - 1.0;
+    println!(
+        "profiler on {on} ns, off {off} ns, overhead {:.2}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "profiler overhead {:.2}% exceeds the 5% gate (on {on} ns vs off {off} ns)",
+        overhead * 100.0
+    );
+}
+
+/// Profiling is purely observational: identical cycle counts with the
+/// per-PC counters on and off (cheap, so part of the default run).
+#[test]
+fn profiling_never_changes_cycles() {
+    let kernel = alu_kernel();
+    assert_eq!(
+        run_once_profiled(&kernel, false),
+        run_once_profiled(&kernel, true),
+        "enabling the profiler changed the simulated cycle count"
+    );
+}

@@ -1,0 +1,36 @@
+//! # scratch-profile
+//!
+//! The observability spine of the serving stack, in three layers:
+//!
+//! 1. **Job spans** ([`span`]): a per-job timeline minted at serve
+//!    admission and advanced through every queue wait, checkpoint
+//!    restore, execution slice, snapshot capture, and the final reply.
+//!    Span sequences tile the job's wall-to-wall lifetime exactly — no
+//!    gaps, no overlaps, by construction ([`SpanTrack::mark`] closes one
+//!    span at the instant it opens the next) — and export as JSONL or
+//!    Chrome `trace_event` tracks correlated with `scratch-trace` CU
+//!    events through the shared job id.
+//! 2. **Instruction signatures** ([`signature`]): per-kernel
+//!    instruction-usage profiles ([`InstrSignature`]) aggregated from the
+//!    cycle tier's per-PC retire counters or the fast tier's per-block
+//!    dispatch counters. Signatures are serde round-trippable and
+//!    mergeable (pointwise sums — associative and commutative), and map
+//!    directly to the minimal trim preset covering the observed traffic:
+//!    the trim-cache key the online auto-trimming roadmap item needs.
+//! 3. **SLO telemetry** ([`slo`]): rolling-window latency quantiles,
+//!    shed rate, and error-budget burn per tenant ([`SloWindow`]), cheap
+//!    enough to update on every completion.
+//!
+//! The crate deliberately depends only on the ISA, CU, and fastpath
+//! layers — the serve daemon, tools, and experiments wire it up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod signature;
+pub mod slo;
+pub mod span;
+
+pub use signature::InstrSignature;
+pub use slo::{SloSnapshot, SloWindow};
+pub use span::{JobSpans, Span, SpanKind, SpanRecorder, SpanTrack};

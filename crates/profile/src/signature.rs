@@ -1,0 +1,345 @@
+//! Per-kernel instruction-usage signatures — the continuous profiler's
+//! aggregate and the trim-cache key for online auto-trimming.
+//!
+//! A signature is built from either execution tier:
+//!
+//! * **Cycle tier**: the pipeline's per-PC retire counters
+//!   ([`InstrSignature::from_pc_counts`]), distributed over basic blocks
+//!   by the fastpath translator's static [`BlockProfile`] table.
+//! * **Fast tier**: per-block dispatch counters from
+//!   [`FastStats::block_dispatches`](scratch_fastpath::FastStats)
+//!   multiplied by each block's static instruction list
+//!   ([`InstrSignature::from_block_dispatches`]).
+//!
+//! Both constructions produce identical signatures for the same dynamic
+//! instruction stream (property-tested in `tests/signature.rs`), so a
+//! deployment can profile whichever tier served the job.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use scratch_cu::{OpcodeHistogram, TrimSet};
+use scratch_fastpath::BlockProfile;
+use scratch_isa::{FuncUnit, Opcode};
+
+/// A kernel's observed instruction usage: the dynamic opcode histogram,
+/// the per-PC retire counts behind it, and an instruction-weighted
+/// hot-block table keyed by block-leader pc.
+///
+/// Signatures merge by pointwise sum ([`InstrSignature::merge`]), which
+/// is associative and commutative — aggregation order over slices, CUs,
+/// tenants, or time windows never changes the result.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrSignature {
+    /// Kernel the signature describes; merging signatures of different
+    /// kernels yields the wildcard label `*`.
+    pub kernel: String,
+    /// Dynamic execution counts per opcode.
+    pub opcodes: OpcodeHistogram,
+    /// Dynamic retire counts per program counter (word offset); zero
+    /// entries are absent.
+    pub pcs: BTreeMap<u32, u64>,
+    /// Instructions issued inside each basic block, keyed by the block's
+    /// leader pc; zero entries are absent.
+    pub hot_blocks: BTreeMap<u32, u64>,
+}
+
+impl InstrSignature {
+    /// Build a signature from the cycle tier's per-PC retire counters
+    /// (`pc_counts`, indexed by word offset), using `blocks` — the
+    /// fastpath translator's static block table for the same kernel — to
+    /// attribute counts to basic blocks.
+    #[must_use]
+    pub fn from_pc_counts(kernel: &str, blocks: &[BlockProfile], pc_counts: &[u64]) -> Self {
+        let mut sig = InstrSignature {
+            kernel: kernel.to_owned(),
+            ..InstrSignature::default()
+        };
+        let count_at = |pc: u32| pc_counts.get(pc as usize).copied().unwrap_or(0);
+        for b in blocks {
+            let mut in_block = 0u64;
+            for &(pc, op) in b.ops.iter().chain(b.term.iter()) {
+                let n = count_at(pc);
+                if n == 0 {
+                    continue;
+                }
+                *sig.opcodes.entry(op).or_default() += n;
+                *sig.pcs.entry(pc).or_default() += n;
+                in_block += n;
+            }
+            if in_block > 0 {
+                *sig.hot_blocks.entry(b.start).or_default() += in_block;
+            }
+        }
+        sig
+    }
+
+    /// Build a signature from the fast tier's per-block dispatch counters
+    /// (`dispatches`, indexed like `blocks`): every dispatch of a block
+    /// issues each of its instructions exactly once.
+    #[must_use]
+    pub fn from_block_dispatches(
+        kernel: &str,
+        blocks: &[BlockProfile],
+        dispatches: &[u64],
+    ) -> Self {
+        let mut sig = InstrSignature {
+            kernel: kernel.to_owned(),
+            ..InstrSignature::default()
+        };
+        for (b, &d) in blocks.iter().zip(dispatches) {
+            if d == 0 {
+                continue;
+            }
+            let mut in_block = 0u64;
+            for &(pc, op) in b.ops.iter().chain(b.term.iter()) {
+                *sig.opcodes.entry(op).or_default() += d;
+                *sig.pcs.entry(pc).or_default() += d;
+                in_block += d;
+            }
+            if in_block > 0 {
+                *sig.hot_blocks.entry(b.start).or_default() += in_block;
+            }
+        }
+        sig
+    }
+
+    /// Fold `other` into this signature: pointwise sums everywhere, and
+    /// the kernel label collapses to `*` when the two labels differ.
+    /// Associative and commutative (property-tested), so tenant- or
+    /// fleet-level aggregates are order-independent.
+    pub fn merge(&mut self, other: &InstrSignature) {
+        if self.kernel != other.kernel {
+            // A default signature (no data, no label) is the merge
+            // identity from either side: it adopts the other's label and
+            // never forces the wildcard.
+            if self.is_empty() && self.kernel.is_empty() {
+                self.kernel = other.kernel.clone();
+            } else if !(other.is_empty() && other.kernel.is_empty()) {
+                self.kernel = "*".to_owned();
+            }
+        }
+        for (&op, &n) in &other.opcodes {
+            *self.opcodes.entry(op).or_default() += n;
+        }
+        for (&pc, &n) in &other.pcs {
+            *self.pcs.entry(pc).or_default() += n;
+        }
+        for (&pc, &n) in &other.hot_blocks {
+            *self.hot_blocks.entry(pc).or_default() += n;
+        }
+    }
+
+    /// No dynamic instructions recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.opcodes.is_empty()
+    }
+
+    /// Total dynamic instructions in the signature.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.opcodes.values().sum()
+    }
+
+    /// Dynamic counts grouped into `unit/category/type` classes (the
+    /// paper's Fig. 4 taxonomy), e.g. `iVALU/ADD/INT`.
+    #[must_use]
+    pub fn classes(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (&op, &n) in &self.opcodes {
+            let key = format!(
+                "{}/{}/{}",
+                op.unit().label(),
+                op.category().label(),
+                op.data_type().label()
+            );
+            *out.entry(key).or_default() += n;
+        }
+        out
+    }
+
+    /// Functional units the observed traffic actually used, in report
+    /// order.
+    #[must_use]
+    pub fn units_used(&self) -> Vec<FuncUnit> {
+        FuncUnit::ALL
+            .into_iter()
+            .filter(|&u| self.opcodes.keys().any(|op| op.unit() == u))
+            .collect()
+    }
+
+    /// The minimal unit-level preset covering this signature: the full
+    /// ISA minus every functional unit the traffic never touched (the
+    /// paper's Fig. 6 trimming axis). Returns the preset's name — used
+    /// units joined by `+`, lowercase, or `full` when every unit is hot —
+    /// and the trim set itself.
+    #[must_use]
+    pub fn minimal_preset(&self) -> (String, TrimSet) {
+        let used = self.units_used();
+        if used.len() == FuncUnit::ALL.len() {
+            return ("full".to_owned(), TrimSet::full());
+        }
+        let kept: TrimSet = Opcode::ALL
+            .iter()
+            .copied()
+            .filter(|op| used.contains(&op.unit()))
+            .collect();
+        let name = used
+            .iter()
+            .map(|u| u.label().to_lowercase())
+            .collect::<Vec<_>>()
+            .join("+");
+        (name, kept)
+    }
+
+    /// The exact opcode-level trim set (Algorithm 1's output for this
+    /// traffic): keep precisely the opcodes observed.
+    #[must_use]
+    pub fn exact_trim(&self) -> TrimSet {
+        self.opcodes.keys().copied().collect()
+    }
+
+    /// Render the deterministic text report the golden-file test pins:
+    /// totals, class histogram, hot blocks, and the minimal covering
+    /// preset.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let total = self.instructions().max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "kernel {}: {} instructions, {} distinct opcodes",
+            self.kernel,
+            self.instructions(),
+            self.opcodes.len()
+        );
+        let _ = writeln!(out, "  classes:");
+        for (class, n) in self.classes() {
+            let _ = writeln!(
+                out,
+                "    {class:<24} {n:>10}  {:>5.1}%",
+                n as f64 * 100.0 / total as f64
+            );
+        }
+        let _ = writeln!(out, "  hot blocks:");
+        let mut blocks: Vec<(u32, u64)> = self.hot_blocks.iter().map(|(&p, &n)| (p, n)).collect();
+        blocks.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (pc, n) in blocks.into_iter().take(8) {
+            let _ = writeln!(
+                out,
+                "    pc {pc:#06x} {n:>12}  {:>5.1}%",
+                n as f64 * 100.0 / total as f64
+            );
+        }
+        let units = self
+            .units_used()
+            .iter()
+            .map(|u| u.label())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "  units: {units}");
+        let (preset, kept) = self.minimal_preset();
+        let _ = writeln!(
+            out,
+            "  minimal covering preset: {preset} ({} of {} opcodes)",
+            kept.len(),
+            Opcode::ALL.len()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(start: u32, ops: &[(u32, Opcode)], term: Option<(u32, Opcode)>) -> BlockProfile {
+        BlockProfile {
+            start,
+            ops: ops.to_vec(),
+            term,
+        }
+    }
+
+    #[test]
+    fn tiers_agree_on_a_two_block_program() {
+        let blocks = vec![
+            block(
+                0,
+                &[(0, Opcode::SMovB32), (1, Opcode::VAddI32)],
+                Some((2, Opcode::SCbranchScc1)),
+            ),
+            block(3, &[(3, Opcode::VMulLoI32)], Some((4, Opcode::SEndpgm))),
+        ];
+        // Block 0 ran 5 times, block 1 ran 2 times.
+        let mut pc_counts = vec![0u64; 5];
+        for (pc, n) in [(0, 5), (1, 5), (2, 5), (3, 2), (4, 2)] {
+            pc_counts[pc] = n;
+        }
+        let cycle = InstrSignature::from_pc_counts("k", &blocks, &pc_counts);
+        let fast = InstrSignature::from_block_dispatches("k", &blocks, &[5, 2]);
+        assert_eq!(cycle, fast);
+        assert_eq!(cycle.instructions(), 19);
+        assert_eq!(cycle.hot_blocks[&0], 15);
+        assert_eq!(cycle.hot_blocks[&3], 4);
+    }
+
+    #[test]
+    fn merge_collapses_kernel_labels() {
+        let blocks = vec![block(0, &[(0, Opcode::SEndpgm)], None)];
+        let a = InstrSignature::from_block_dispatches("a", &blocks, &[1]);
+        let b = InstrSignature::from_block_dispatches("b", &blocks, &[1]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.kernel, "*");
+        assert_eq!(ab.instructions(), 2);
+        let mut aa = a.clone();
+        aa.merge(&a);
+        assert_eq!(aa.kernel, "a");
+    }
+
+    #[test]
+    fn empty_signature_is_merge_identity() {
+        let blocks = vec![block(
+            0,
+            &[(0, Opcode::VAddF32)],
+            Some((1, Opcode::SEndpgm)),
+        )];
+        let a = InstrSignature::from_block_dispatches("fp", &blocks, &[3]);
+        let mut id = InstrSignature::default();
+        id.merge(&a);
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn minimal_preset_drops_unused_units() {
+        let blocks = vec![block(
+            0,
+            &[(0, Opcode::SMovB32), (1, Opcode::VAddI32)],
+            Some((2, Opcode::SEndpgm)),
+        )];
+        let sig = InstrSignature::from_block_dispatches("int", &blocks, &[1]);
+        let (name, kept) = sig.minimal_preset();
+        assert_eq!(name, "salu+ivalu+branch");
+        assert!(kept.contains(Opcode::VMulLoI32), "whole used units stay");
+        assert!(!kept.contains(Opcode::VAddF32), "unused SIMF trimmed");
+        assert!(kept.unit_unused(FuncUnit::Simf));
+        assert!(kept.unit_unused(FuncUnit::Lsu));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let blocks = vec![block(
+            0,
+            &[(0, Opcode::VAddF32), (2, Opcode::BufferLoadDword)],
+            Some((4, Opcode::SEndpgm)),
+        )];
+        let sig = InstrSignature::from_block_dispatches("rt", &blocks, &[7]);
+        let json = serde_json::to_string(&sig).unwrap();
+        let back: InstrSignature = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sig);
+    }
+}

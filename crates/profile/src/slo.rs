@@ -1,0 +1,224 @@
+//! Rolling-window SLO telemetry: latency quantiles, shed rate, and
+//! error-budget burn per tenant.
+//!
+//! A [`SloWindow`] keeps the last window (default 60 s) of completion
+//! latencies and shed decisions and summarises them on demand into a
+//! [`SloSnapshot`]. Recording is O(1) amortised; [`SloWindow::snapshot`]
+//! sorts the live samples (a few thousand at serving rates), and
+//! [`SloWindow::maybe_refresh`] throttles that to a caller-chosen cadence
+//! so per-completion gauge updates stay cheap.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time summary of one tenant's rolling window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloSnapshot {
+    /// Completions inside the window.
+    pub completed: u64,
+    /// Sheds (admission rejections) inside the window.
+    pub shed: u64,
+    /// Median completion latency, µs (0 when the window is empty).
+    pub p50_us: u64,
+    /// 95th-percentile completion latency, µs.
+    pub p95_us: u64,
+    /// 99th-percentile completion latency, µs.
+    pub p99_us: u64,
+    /// Shed fraction of admissions-plus-sheds in the window, 0..=1.
+    pub shed_ratio: f64,
+    /// Error-budget burn rate: `shed_ratio / (1 - target)`. 1.0 means
+    /// the tenant is burning budget exactly as fast as the SLO allows;
+    /// above 1.0 the budget is being exhausted early.
+    pub budget_burn: f64,
+}
+
+impl SloSnapshot {
+    /// An all-zero snapshot (empty window).
+    #[must_use]
+    pub fn empty() -> SloSnapshot {
+        SloSnapshot {
+            completed: 0,
+            shed: 0,
+            p50_us: 0,
+            p95_us: 0,
+            p99_us: 0,
+            shed_ratio: 0.0,
+            budget_burn: 0.0,
+        }
+    }
+}
+
+/// One tenant's rolling SLO window.
+#[derive(Debug)]
+pub struct SloWindow {
+    window: Duration,
+    /// Availability target in `(0, 1)`, e.g. `0.99`: the tolerated shed
+    /// fraction is `1 - target`.
+    target: f64,
+    /// `(completed_at, latency_us)`, oldest first.
+    latencies: VecDeque<(Instant, u64)>,
+    /// Shed instants, oldest first.
+    sheds: VecDeque<Instant>,
+    last_refresh: Option<Instant>,
+}
+
+impl SloWindow {
+    /// A window of `window` duration against availability `target`
+    /// (clamped into `[0, 0.9999]` so budget burn stays finite).
+    #[must_use]
+    pub fn new(window: Duration, target: f64) -> SloWindow {
+        SloWindow {
+            window,
+            target: target.clamp(0.0, 0.9999),
+            latencies: VecDeque::new(),
+            sheds: VecDeque::new(),
+            last_refresh: None,
+        }
+    }
+
+    /// The conventional serving default: 60 s window, 99% target.
+    #[must_use]
+    pub fn default_serving() -> SloWindow {
+        SloWindow::new(Duration::from_secs(60), 0.99)
+    }
+
+    /// Record a completed job's end-to-end latency.
+    pub fn record_latency(&mut self, latency_us: u64) {
+        self.latencies.push_back((Instant::now(), latency_us));
+    }
+
+    /// Record an admission shed.
+    pub fn record_shed(&mut self) {
+        self.sheds.push_back(Instant::now());
+    }
+
+    fn prune(&mut self, now: Instant) {
+        let horizon = now.checked_sub(self.window);
+        let Some(horizon) = horizon else { return };
+        while self.latencies.front().is_some_and(|&(at, _)| at < horizon) {
+            self.latencies.pop_front();
+        }
+        while self.sheds.front().is_some_and(|&at| at < horizon) {
+            self.sheds.pop_front();
+        }
+    }
+
+    /// Summarise the window as of now.
+    #[must_use]
+    pub fn snapshot(&mut self) -> SloSnapshot {
+        let now = Instant::now();
+        self.prune(now);
+        let completed = self.latencies.len() as u64;
+        let shed = self.sheds.len() as u64;
+        let mut sorted: Vec<u64> = self.latencies.iter().map(|&(_, us)| us).collect();
+        sorted.sort_unstable();
+        let q = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            // Nearest-rank on the sorted window.
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        let total = completed + shed;
+        let shed_ratio = if total == 0 {
+            0.0
+        } else {
+            shed as f64 / total as f64
+        };
+        SloSnapshot {
+            completed,
+            shed,
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+            shed_ratio,
+            budget_burn: shed_ratio / (1.0 - self.target),
+        }
+    }
+
+    /// [`SloWindow::snapshot`], throttled: returns `Some` at most once
+    /// per `min_interval` (and always on the first call), `None` when the
+    /// previous snapshot is still fresh. The cheap way to keep gauges
+    /// current from a per-completion hook.
+    #[must_use]
+    pub fn maybe_refresh(&mut self, min_interval: Duration) -> Option<SloSnapshot> {
+        let now = Instant::now();
+        if let Some(last) = self.last_refresh {
+            if now.duration_since(last) < min_interval {
+                return None;
+            }
+        }
+        self.last_refresh = Some(now);
+        Some(self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let mut w = SloWindow::new(Duration::from_secs(60), 0.99);
+        for us in 1..=100u64 {
+            w.record_latency(us * 10);
+        }
+        let snap = w.snapshot();
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.p50_us, 500);
+        assert_eq!(snap.p95_us, 950);
+        assert_eq!(snap.p99_us, 990);
+        assert_eq!(snap.shed, 0);
+        assert!((snap.budget_burn - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn shed_ratio_and_budget_burn() {
+        let mut w = SloWindow::new(Duration::from_secs(60), 0.99);
+        for _ in 0..98 {
+            w.record_latency(100);
+        }
+        for _ in 0..2 {
+            w.record_shed();
+        }
+        let snap = w.snapshot();
+        assert!((snap.shed_ratio - 0.02).abs() < 1e-9);
+        // 2% shed against a 1% budget: burning twice the allowed rate.
+        assert!(
+            (snap.budget_burn - 2.0).abs() < 1e-9,
+            "{}",
+            snap.budget_burn
+        );
+    }
+
+    #[test]
+    fn old_samples_fall_out_of_the_window() {
+        let mut w = SloWindow::new(Duration::from_millis(40), 0.99);
+        w.record_latency(123);
+        w.record_shed();
+        std::thread::sleep(Duration::from_millis(80));
+        w.record_latency(456);
+        let snap = w.snapshot();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.p50_us, 456);
+    }
+
+    #[test]
+    fn maybe_refresh_throttles() {
+        let mut w = SloWindow::new(Duration::from_secs(60), 0.99);
+        w.record_latency(10);
+        assert!(w.maybe_refresh(Duration::from_secs(3600)).is_some());
+        assert!(w.maybe_refresh(Duration::from_secs(3600)).is_none());
+        assert!(w.maybe_refresh(Duration::ZERO).is_some());
+    }
+
+    #[test]
+    fn empty_window_snapshot_is_zeroed() {
+        let mut w = SloWindow::default_serving();
+        assert_eq!(w.snapshot(), SloSnapshot::empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Integration properties of [`InstrSignature`]:
+//!
+//! * the rendered report is stable (golden file);
+//! * merge is associative and commutative (proptest over random
+//!   signatures), so aggregation order never matters;
+//! * the cycle tier's per-PC retire counters and the fast tier's
+//!   per-block dispatch counters build *identical* signatures (compiled
+//!   and interpreter-fallback ops alike run exactly once per block
+//!   dispatch, so the tiers count the same stream);
+//! * enabling the profiler changes no reported cycles and no output
+//!   words (proptest over random kernels × system presets).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use scratch_asm::{Kernel, KernelBuilder};
+use scratch_check::GenKernel;
+use scratch_fastpath::translate;
+use scratch_isa::{Opcode, Operand};
+use scratch_profile::InstrSignature;
+use scratch_system::{ExecMode, System, SystemConfig, SystemKind};
+
+/// Run `kernel` on the cycle tier with profiling and return its signature
+/// (counters attributed to blocks by the fastpath translator's table).
+fn cycle_signature(kernel: &Kernel, gk: Option<&GenKernel>, wgs: u32) -> InstrSignature {
+    let config = SystemConfig::preset(SystemKind::DcdPm).with_profile(true);
+    let mut sys = System::new(config, kernel).expect("system");
+    setup_and_dispatch(&mut sys, gk, wgs);
+    let prog = translate(kernel, &sys.config().cu).expect("translates");
+    InstrSignature::from_pc_counts(kernel.name(), &prog.block_profiles(), sys.pc_profile(0))
+}
+
+/// Run `kernel` on the fast tier and return its signature, built from
+/// per-block dispatch counters.
+fn fast_signature(kernel: &Kernel, gk: Option<&GenKernel>, wgs: u32) -> InstrSignature {
+    let config = SystemConfig::preset(SystemKind::DcdPm)
+        .with_exec(ExecMode::Fast)
+        .with_profile(true);
+    let mut sys = System::new(config, kernel).expect("system");
+    setup_and_dispatch(&mut sys, gk, wgs);
+    let stats = sys.fast_stats(0).expect("fast tier ran");
+    let blocks = sys.fast_block_profiles(0).expect("fast tier translated");
+    InstrSignature::from_block_dispatches(kernel.name(), &blocks, &stats.block_dispatches)
+}
+
+/// Allocate buffers the way the examples do (generated kernels also get
+/// their input image), then dispatch one row of `wgs` workgroups.
+/// Returns the output buffer's address.
+fn setup_and_dispatch(sys: &mut System, gk: Option<&GenKernel>, wgs: u32) -> u64 {
+    let out = sys.alloc(1 << 16);
+    match gk {
+        Some(gk) => {
+            let inp = sys.alloc_words(&gk.image);
+            sys.set_args(&[out as u32, inp as u32]);
+        }
+        None => sys.set_args(&[out as u32]),
+    }
+    sys.dispatch([wgs, 1, 1]).expect("kernel runs");
+    out
+}
+
+/// A deterministic straight-line kernel mixing integer VALU, FP VALU and
+/// the final branch-unit `endpgm` — enough classes to exercise the
+/// report's histogram, hot-block and preset sections.
+fn mixed_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("report_golden");
+    b.vgprs(8).sgprs(24).workgroup_size(4);
+    for i in 0..6u16 {
+        let dst = 1 + (i % 4) as u8;
+        b.vop3a(
+            Opcode::VMulLoI32,
+            dst,
+            Operand::Vgpr(0),
+            Operand::IntConst(3),
+            None,
+        )
+        .unwrap();
+    }
+    for _ in 0..3 {
+        b.vop2(Opcode::VMulF32, 5, Operand::FloatConst(2.0), 0)
+            .unwrap();
+    }
+    b.endpgm().unwrap();
+    b.finish().unwrap()
+}
+
+#[test]
+fn report_matches_the_golden_file() {
+    let kernel = mixed_kernel();
+    let sig = cycle_signature(&kernel, None, 2);
+    let report = sig.report();
+    let golden = include_str!("golden/report_golden.txt");
+    assert_eq!(
+        report, golden,
+        "signature report drifted from tests/golden/report_golden.txt;\n\
+         if the change is intentional, regenerate the golden file:\n---\n{report}---"
+    );
+}
+
+#[test]
+fn cycle_and_fast_tiers_build_identical_signatures() {
+    let mut compared = 0;
+    for seed in 0..64u64 {
+        let gk = GenKernel::generate(seed);
+        let Ok(kernel) = gk.build() else { continue };
+        let fast = fast_signature(&kernel, Some(&gk), gk.wgs);
+        let cycle = cycle_signature(&kernel, Some(&gk), gk.wgs);
+        assert_eq!(
+            cycle, fast,
+            "seed {seed}: per-PC and per-block profiles disagree"
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 10,
+        "only {compared} buildable kernels in 64 seeds — generator drifted?"
+    );
+}
+
+/// Random signatures for the merge laws: sparse maps over a small pc
+/// range so merges actually collide on keys.
+fn arb_signature() -> impl Strategy<Value = InstrSignature> {
+    let opcodes = proptest::collection::vec((0..40usize, 1..1000u64), 0..12).prop_map(|v| {
+        v.into_iter()
+            .map(|(i, n)| (Opcode::ALL[i % Opcode::ALL.len()], n))
+            .collect::<BTreeMap<_, _>>()
+    });
+    let pcs = proptest::collection::vec((0..64u32, 1..1000u64), 0..16)
+        .prop_map(|v| v.into_iter().collect::<BTreeMap<_, _>>());
+    let hot = proptest::collection::vec((0..16u32, 1..1000u64), 0..8)
+        .prop_map(|v| v.into_iter().collect::<BTreeMap<_, _>>());
+    (0..4u8, opcodes, pcs, hot).prop_map(|(name, opcodes, pcs, hot_blocks)| InstrSignature {
+        kernel: ["alpha", "beta", "gamma", "delta"][name as usize].to_owned(),
+        opcodes,
+        pcs,
+        hot_blocks,
+    })
+}
+
+fn merged(a: &InstrSignature, b: &InstrSignature) -> InstrSignature {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in arb_signature(), b in arb_signature()) {
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        // The label depends on merge order only through which non-`*`
+        // name wins ties; the counters never do.
+        prop_assert_eq!(&ab.opcodes, &ba.opcodes);
+        prop_assert_eq!(&ab.pcs, &ba.pcs);
+        prop_assert_eq!(&ab.hot_blocks, &ba.hot_blocks);
+        if a.kernel == b.kernel {
+            prop_assert_eq!(&ab.kernel, &ba.kernel);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_signature(),
+        b in arb_signature(),
+        c in arb_signature(),
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_identity_is_the_empty_signature(a in arb_signature()) {
+        prop_assert_eq!(merged(&a, &InstrSignature::default()), a.clone());
+        prop_assert_eq!(merged(&InstrSignature::default(), &a), a);
+    }
+
+    #[test]
+    fn profiling_changes_no_cycles_and_no_words(
+        seed in 0..10_000u64,
+        preset in 0..3usize,
+    ) {
+        let kind = [SystemKind::Original, SystemKind::Dcd, SystemKind::DcdPm][preset];
+        let gk = GenKernel::generate(seed);
+        let Ok(kernel) = gk.build() else { return Ok(()) };
+        let run = |profile: bool| {
+            let config = SystemConfig::preset(kind).with_profile(profile);
+            let mut sys = System::new(config, &kernel).expect("system");
+            let out = setup_and_dispatch(&mut sys, Some(&gk), gk.wgs);
+            let report = sys.report();
+            let out_words = (gk.out_bytes().max(4) / 4) as usize;
+            let words = sys.read_words(out, out_words);
+            (report.cu_cycles, report.instructions(), words)
+        };
+        let off = run(false);
+        let on = run(true);
+        prop_assert_eq!(off, on, "profiling perturbed the simulation (seed {}, {:?})", seed, kind);
+    }
+}

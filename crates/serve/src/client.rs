@@ -12,7 +12,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{JobDone, Rejection, Request, Response, StatsReply, SubmitRequest};
+use crate::protocol::{JobDone, Rejection, Request, Response, StatsReply, SubmitRequest, TopReply};
 
 /// A connected protocol client.
 pub struct ServeClient {
@@ -147,6 +147,20 @@ impl ServeClient {
         self.send(&Request::Stats)?;
         self.recv_until(|r| match r {
             Response::Stats(stats) => Ok(stats),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Fetch the live introspection view (per-tenant queues, rolling SLO
+    /// telemetry, aggregated instruction profile).
+    ///
+    /// # Errors
+    ///
+    /// Socket or protocol failure.
+    pub fn top(&mut self) -> io::Result<TopReply> {
+        self.send(&Request::Top)?;
+        self.recv_until(|r| match r {
+            Response::Top(top) => Ok(top),
             other => Err(Box::new(other)),
         })
     }

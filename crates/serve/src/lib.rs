@@ -47,7 +47,7 @@ pub use client::ServeClient;
 pub use load::{run_load, LoadPlan, LoadReport, StepReport};
 pub use protocol::{
     fnv1a, JobDone, RejectReason, Rejection, Request, Response, StatsReply, SubmitRequest,
-    TenantStats,
+    TenantStats, TenantTop, TopReply,
 };
 pub use quota::TokenBucket;
 pub use server::{ServeConfig, Server};

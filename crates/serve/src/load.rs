@@ -90,6 +90,15 @@ pub struct StepReport {
     pub p99_us: u64,
     /// Mean latency, microseconds.
     pub mean_us: u64,
+    /// Mean time completed jobs spent waiting for a worker (admission
+    /// wait plus between-slice parking), microseconds.
+    pub mean_queue_us: u64,
+    /// Mean time completed jobs spent actually executing (checkpoint
+    /// plane excluded), microseconds.
+    pub mean_run_us: u64,
+    /// Mean time completed jobs spent in checkpoint capture/serde and
+    /// restore/decode, microseconds.
+    pub mean_snap_us: u64,
 }
 
 /// The full saturation curve: one [`StepReport`] per client count.
@@ -141,6 +150,11 @@ struct Tally {
     failed: AtomicU64,
     completed: AtomicU64,
     instructions: AtomicU64,
+    /// Summed server-side breakdown of completed jobs' latency:
+    /// queue wait, pure run time, and checkpoint-plane time.
+    queue_us: AtomicU64,
+    run_us: AtomicU64,
+    snap_us: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -194,6 +208,10 @@ pub fn run_load(plan: &LoadPlan) -> io::Result<LoadReport> {
         let attempted = tally.attempted.load(Ordering::Acquire);
         let completed = tally.completed.load(Ordering::Acquire);
         let instructions = tally.instructions.load(Ordering::Acquire);
+        let mean_over_completed = |sum: &AtomicU64| sum.load(Ordering::Acquire) / completed.max(1);
+        let mean_queue_us = mean_over_completed(&tally.queue_us);
+        let mean_run_us = mean_over_completed(&tally.run_us);
+        let mean_snap_us = mean_over_completed(&tally.snap_us);
         steps.push(StepReport {
             clients: clients as u64,
             duration_ms: elapsed.as_millis().try_into().unwrap_or(u64::MAX),
@@ -210,6 +228,9 @@ pub fn run_load(plan: &LoadPlan) -> io::Result<LoadReport> {
             p95_us: q(0.95),
             p99_us: q(0.99),
             mean_us: mean,
+            mean_queue_us,
+            mean_run_us,
+            mean_snap_us,
         });
     }
     Ok(LoadReport {
@@ -262,6 +283,11 @@ fn client_loop(
                         tally
                             .instructions
                             .fetch_add(done.instructions, Ordering::AcqRel);
+                        tally.queue_us.fetch_add(done.queue_us, Ordering::AcqRel);
+                        tally.snap_us.fetch_add(done.snap_us, Ordering::AcqRel);
+                        tally
+                            .run_us
+                            .fetch_add(done.exec_us.saturating_sub(done.snap_us), Ordering::AcqRel);
                         if !done.ok {
                             tally.failed.fetch_add(1, Ordering::AcqRel);
                         }

@@ -43,6 +43,11 @@ pub enum Request {
         /// The job id from the matching [`Response::Accepted`].
         job: u64,
     },
+    /// Ask for the live SLO/queue introspection view (`scratch-tool ctl
+    /// top`): per-tenant queue depths, rolling latency quantiles, shed
+    /// ratio, error-budget burn, and the aggregated instruction-usage
+    /// profile.
+    Top,
 }
 
 /// The payload of a [`Request::Submit`].
@@ -140,12 +145,60 @@ pub enum Response {
         /// completed (its `Done` was produced — too late to cancel).
         cancelled: bool,
     },
+    /// Answer to [`Request::Top`].
+    Top(TopReply),
     /// The request line could not be parsed or violated the protocol.
     /// The connection stays open.
     Error {
         /// Human-readable description.
         message: String,
     },
+}
+
+/// One tenant's row in a [`TopReply`]: live backlog plus rolling-window
+/// SLO telemetry (last 60 s) and the profiler's aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantTop {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs parked in this tenant's engine queue right now (waiting for
+    /// a first or next slice).
+    pub queued: u64,
+    /// Jobs queued or running right now.
+    pub in_flight: u64,
+    /// Completions inside the rolling window.
+    pub completed: u64,
+    /// Sheds inside the rolling window.
+    pub shed: u64,
+    /// Rolling median end-to-end latency, µs.
+    pub p50_us: u64,
+    /// Rolling 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// Rolling 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Shed fraction inside the window, 0..=1.
+    pub shed_ratio: f64,
+    /// Error-budget burn rate (1.0 = burning exactly the allowed rate).
+    pub budget_burn: f64,
+    /// Dynamic instructions folded into the tenant's aggregated
+    /// instruction-usage signature (0 when profiling is off).
+    pub instructions: u64,
+    /// Name of the minimal trim preset covering the tenant's observed
+    /// traffic (`-` until the profiler has seen an instruction).
+    pub preset: String,
+}
+
+/// Answer to [`Request::Top`]: the live introspection view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopReply {
+    /// Jobs waiting in tenant queues right now.
+    pub queue_depth: u64,
+    /// Jobs executing on engine workers right now.
+    pub in_flight: u64,
+    /// `true` once a drain has been requested.
+    pub draining: bool,
+    /// Per-tenant rows, sorted by tenant name.
+    pub tenants: Vec<TenantTop>,
 }
 
 /// Why a submission was shed, and what the client should do about it.
@@ -231,6 +284,13 @@ pub struct JobDone {
     pub queue_us: u64,
     /// Microseconds the job spent executing.
     pub exec_us: u64,
+    /// Of `exec_us`, the microseconds spent on the checkpoint plane:
+    /// capturing + serializing state at quantum expiries and decoding +
+    /// restoring it at slice entries. `exec_us - snap_us` is pure run
+    /// time.
+    pub snap_us: u64,
+    /// Execution slices the job took (1 = never preempted).
+    pub slices: u64,
 }
 
 /// Per-tenant slice of a [`StatsReply`].

@@ -48,6 +48,9 @@ use std::time::{Duration, Instant};
 
 use scratch_engine::{JobError, JobOutcome, PreemptiveEngine, PreemptiveHandle, Slice};
 use scratch_metrics::{Counter, Gauge, Histogram, Registry};
+use scratch_profile::{
+    InstrSignature, JobSpans, SloSnapshot, SloWindow, SpanKind, SpanRecorder, SpanTrack,
+};
 use scratch_system::{
     CuError, DispatchProgress, ExecMode, System, SystemCheckpoint, SystemConfig, SystemError,
     SystemKind,
@@ -55,7 +58,7 @@ use scratch_system::{
 
 use crate::protocol::{
     fnv1a, JobDone, RejectReason, Rejection, Request, Response, StatsReply, SubmitRequest,
-    TenantStats,
+    TenantStats, TenantTop, TopReply,
 };
 use crate::quota::TokenBucket;
 
@@ -90,6 +93,15 @@ pub struct ServeConfig {
     /// Registry the serving metrics publish into (`None` = the
     /// process-global registry).
     pub registry: Option<Registry>,
+    /// Record a span timeline (admission → reply) for every job into an
+    /// internal recorder, drained via [`Server::take_spans`]. Purely
+    /// observational: enabling it changes no reported cycles or outputs.
+    pub spans: bool,
+    /// Run jobs with the continuous profiler on (per-PC retire counters
+    /// in the cycle tier, per-block dispatch counters in the fast tier)
+    /// and fold each completed job's [`InstrSignature`] into its
+    /// tenant's aggregate. Also purely observational.
+    pub profile: bool,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +117,8 @@ impl Default for ServeConfig {
             max_input_words: 1 << 20,
             max_out_bytes: 64 << 20,
             registry: None,
+            spans: false,
+            profile: false,
         }
     }
 }
@@ -217,6 +231,27 @@ impl ServeMetrics {
     }
 }
 
+/// SLO gauge handles for one tenant, refreshed from its rolling window
+/// at most every [`SLO_REFRESH`].
+#[derive(Clone)]
+struct SloGauges {
+    p99_us: Gauge,
+    shed_ratio: Gauge,
+    budget_burn: Gauge,
+}
+
+impl SloGauges {
+    fn publish(&self, snap: &SloSnapshot) {
+        self.p99_us.set(snap.p99_us as f64);
+        self.shed_ratio.set(snap.shed_ratio);
+        self.budget_burn.set(snap.budget_burn);
+    }
+}
+
+/// Minimum interval between gauge recomputations from a tenant's rolling
+/// window — keeps the per-completion hook O(1) under load.
+const SLO_REFRESH: Duration = Duration::from_millis(200);
+
 /// Per-tenant serving state. The registry handles double as the stats
 /// source, so counters exist in exactly one place.
 struct Tenant {
@@ -228,12 +263,44 @@ struct Tenant {
     shed: Counter,
     /// End-to-end latency, admission → Done, in microseconds.
     latency_us: Histogram,
+    /// Rolling SLO window (last 60 s of completions and sheds).
+    slo: Arc<Mutex<SloWindow>>,
+    slo_gauges: SloGauges,
+    /// The profiler's per-tenant aggregate: every completed job's
+    /// signature merged in (stays empty with profiling off).
+    signature: Arc<Mutex<InstrSignature>>,
 }
 
-/// What a slice job resolves to: the run's `(cycles, instructions,
-/// output-words)` or a failure description. Cancellation and panics
-/// arrive as the outer [`JobError`] instead.
-type JobResult = Result<(u64, u64, Vec<u32>), String>;
+impl Tenant {
+    /// Record a shed in the rolling window and refresh the gauges if due.
+    fn note_shed(&self) {
+        let mut slo = self.slo.lock().expect("tenant slo lock");
+        slo.record_shed();
+        if let Some(snap) = slo.maybe_refresh(SLO_REFRESH) {
+            self.slo_gauges.publish(&snap);
+        }
+    }
+}
+
+/// What a completed run resolves to. (Named to stay clear of
+/// `scratch_engine::JobOutcome`, which wraps engine-level delivery.)
+struct RunOutcome {
+    cycles: u64,
+    instructions: u64,
+    words: Vec<u32>,
+    /// Microseconds spent capturing/serializing and decoding/restoring
+    /// checkpoints across all slices.
+    snap_us: u64,
+    /// Execution slices the run took.
+    slices: u64,
+    /// The job's instruction-usage signature (profiling on only).
+    signature: Option<InstrSignature>,
+}
+
+/// What a slice job resolves to: the run's [`RunOutcome`] or a failure
+/// description. Cancellation and panics arrive as the outer [`JobError`]
+/// instead.
+type JobResult = Result<RunOutcome, String>;
 
 /// Everything the router needs to answer and account for one admitted
 /// job once its outcome arrives, keyed by engine job id.
@@ -246,6 +313,11 @@ struct PendingJob {
     tenant_in_flight: Arc<AtomicU64>,
     tenant_completed: Counter,
     tenant_latency: Histogram,
+    tenant_slo: Arc<Mutex<SloWindow>>,
+    tenant_slo_gauges: SloGauges,
+    tenant_signature: Arc<Mutex<InstrSignature>>,
+    /// The job's span timeline (spans on only); finished at routing.
+    track: Option<Arc<SpanTrack>>,
 }
 
 /// State shared by the accept loop, connection threads and the router.
@@ -265,6 +337,8 @@ struct Inner {
     /// Signalled on every job completion and on drain requests; the value
     /// is `true` once a drain has been requested.
     progress: (Mutex<bool>, Condvar),
+    /// Span recorder, present when [`ServeConfig::spans`] is on.
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl Inner {
@@ -292,6 +366,26 @@ impl Inner {
                 "End-to-end job latency (admission to completion), per tenant",
                 &[("tenant", name)],
             ),
+            slo: Arc::new(Mutex::new(SloWindow::default_serving())),
+            slo_gauges: SloGauges {
+                p99_us: registry.gauge_with(
+                    "scratch_slo_p99_micros",
+                    "Rolling-window (60s) p99 end-to-end latency, per tenant",
+                    &[("tenant", name)],
+                ),
+                shed_ratio: registry.gauge_with(
+                    "scratch_slo_shed_ratio",
+                    "Rolling-window (60s) shed fraction, per tenant",
+                    &[("tenant", name)],
+                ),
+                budget_burn: registry.gauge_with(
+                    "scratch_slo_budget_burn",
+                    "Error-budget burn rate against the 99% target (1.0 = \
+                     burning exactly the allowed rate), per tenant",
+                    &[("tenant", name)],
+                ),
+            },
+            signature: Arc::new(Mutex::new(InstrSignature::default())),
         }
     }
 
@@ -328,29 +422,27 @@ impl Inner {
         let queue_us = total_us.saturating_sub(exec_us);
         self.metrics.queue_us.observe(queue_us);
         let cancelled = matches!(outcome.result, Err(JobError::Cancelled));
-        let (ok, error, cycles, instructions, digest, output) = match outcome.result {
-            Ok(Ok((cycles, instructions, words))) => (
-                true,
-                None,
-                cycles,
-                instructions,
-                fnv1a(&words),
-                p.return_output.then_some(words),
-            ),
-            Ok(Err(msg)) => (false, Some(msg), 0, 0, fnv1a(&[]), None),
-            Err(JobError::Cancelled) => {
-                (false, Some("cancelled".to_owned()), 0, 0, fnv1a(&[]), None)
-            }
-            Err(JobError::Panicked(_)) => (
-                false,
-                Some("job panicked inside the simulator".to_owned()),
-                0,
-                0,
-                fnv1a(&[]),
-                None,
-            ),
-            Err(other) => (false, Some(other.to_string()), 0, 0, fnv1a(&[]), None),
-        };
+        let failure = |msg: String| (false, Some(msg), 0, 0, fnv1a(&[]), None, 0, 0, None);
+        let (ok, error, cycles, instructions, digest, output, snap_us, slices, signature) =
+            match outcome.result {
+                Ok(Ok(run)) => (
+                    true,
+                    None,
+                    run.cycles,
+                    run.instructions,
+                    fnv1a(&run.words),
+                    p.return_output.then_some(run.words),
+                    run.snap_us,
+                    run.slices,
+                    run.signature,
+                ),
+                Ok(Err(msg)) => failure(msg),
+                Err(JobError::Cancelled) => failure("cancelled".to_owned()),
+                Err(JobError::Panicked(_)) => {
+                    failure("job panicked inside the simulator".to_owned())
+                }
+                Err(other) => failure(other.to_string()),
+            };
         let done = JobDone {
             job: outcome.id,
             tenant: p.tenant,
@@ -363,12 +455,32 @@ impl Inner {
             output,
             queue_us,
             exec_us,
+            snap_us,
+            slices,
         };
         // A gone client makes this a no-op; the accounting below still
         // runs, so drains never wedge and accepted work is never dropped
         // server-side.
         let line = serde_json::to_string(&Response::Done(done)).expect("JobDone always serializes");
         let _ = p.tx.send(line);
+        // Close the span timeline only after the reply hit the writer
+        // channel, so the final Reply span covers the routing work too.
+        if let Some(track) = &p.track {
+            track.finish(outcome.id);
+        }
+        if let Some(sig) = signature {
+            p.tenant_signature
+                .lock()
+                .expect("tenant signature lock")
+                .merge(&sig);
+        }
+        {
+            let mut slo = p.tenant_slo.lock().expect("tenant slo lock");
+            slo.record_latency(total_us);
+            if let Some(snap) = slo.maybe_refresh(SLO_REFRESH) {
+                p.tenant_slo_gauges.publish(&snap);
+            }
+        }
 
         p.tenant_latency.observe(total_us);
         p.tenant_completed.inc();
@@ -426,7 +538,14 @@ impl Inner {
         // Tenant-table gates. The lock covers the bucket mutation and the
         // in-flight reservation, so two racing submissions cannot both
         // squeeze through the last slot.
-        let (tenant_in_flight, tenant_completed, tenant_latency) = {
+        let (
+            tenant_in_flight,
+            tenant_completed,
+            tenant_latency,
+            tenant_slo,
+            slo_gauges,
+            tenant_sig,
+        ) = {
             let mut tenants = self.tenants.lock().expect("tenant table lock");
             if !tenants.contains_key(&req.tenant) {
                 let t = self.tenant_metrics(&self.registry, &req.tenant);
@@ -436,6 +555,7 @@ impl Inner {
 
             if t.in_flight.load(Ordering::Acquire) >= self.config.tenant_cap as u64 {
                 t.shed.inc();
+                t.note_shed();
                 let msg = format!(
                     "tenant has {} jobs queued or running (cap {})",
                     t.in_flight.load(Ordering::Acquire),
@@ -445,11 +565,13 @@ impl Inner {
             }
             if self.engine.queue_depth() >= self.config.queue_cap {
                 t.shed.inc();
+                t.note_shed();
                 let msg = format!("engine queue at capacity ({} jobs)", self.config.queue_cap);
                 return self.reject(&req.tenant, RejectReason::Overloaded, None, &msg);
             }
             if let Err(wait) = t.bucket.try_take(Instant::now()) {
                 t.shed.inc();
+                t.note_shed();
                 let ms = wait.as_millis().try_into().unwrap_or(u64::MAX).max(1);
                 let msg = format!("tenant over its {}/s rate quota", self.config.rate);
                 return self.reject(&req.tenant, RejectReason::RateLimited, Some(ms), &msg);
@@ -461,6 +583,9 @@ impl Inner {
                 Arc::clone(&t.in_flight),
                 t.completed.clone(),
                 t.latency_us.clone(),
+                Arc::clone(&t.slo),
+                t.slo_gauges.clone(),
+                Arc::clone(&t.signature),
             )
         };
 
@@ -474,12 +599,18 @@ impl Inner {
         let return_output = req.return_output;
         let watchdog = self.config.watchdog_cycles;
         let quantum = self.config.quantum_cycles.max(1);
+        let profile = self.config.profile;
+        // The timeline opens in its Queue span here, at admission; the
+        // job id is bound at routing, once the engine has minted it.
+        let track = self.spans.as_ref().map(|r| r.begin(&tenant, &label));
+        let work_track = track.clone();
         // Checkpoint bytes carried between slices, plus the output base
         // the first slice allocated (the restored system re-derives
         // everything else from the checkpoint).
         let mut carried: Option<Vec<u8>> = None;
         let mut out_addr = 0u64;
-        let work = move |_slice: u64| -> Slice<JobResult> {
+        let mut snap_us = 0u64;
+        let work = move |job: u64, slice: u64| -> Slice<JobResult> {
             match run_slice(
                 &req,
                 kind,
@@ -489,6 +620,10 @@ impl Inner {
                 carried.take(),
                 &mut out_addr,
                 &inner.snap,
+                job,
+                profile,
+                work_track.as_deref(),
+                &mut snap_us,
             ) {
                 Ok(SliceStep::Paused(bytes)) => {
                     carried = Some(bytes);
@@ -498,7 +633,15 @@ impl Inner {
                     cycles,
                     instructions,
                     words,
-                }) => Slice::Done(Ok(Ok((cycles, instructions, words)))),
+                    signature,
+                }) => Slice::Done(Ok(Ok(RunOutcome {
+                    cycles,
+                    instructions,
+                    words,
+                    snap_us,
+                    slices: slice + 1,
+                    signature,
+                }))),
                 Err(msg) => Slice::Done(Ok(Err(msg))),
             }
         };
@@ -506,7 +649,9 @@ impl Inner {
         // the submit, so the router can't race us to the outcome.
         let job = {
             let mut pending = self.pending_jobs.lock().expect("pending jobs lock");
-            let id = self.engine.submit(tenant.clone(), engine_label, work);
+            let id = self
+                .engine
+                .submit_with_id(tenant.clone(), engine_label, work);
             pending.insert(
                 id,
                 PendingJob {
@@ -518,6 +663,10 @@ impl Inner {
                     tenant_in_flight,
                     tenant_completed,
                     tenant_latency,
+                    tenant_slo,
+                    tenant_slo_gauges: slo_gauges,
+                    tenant_signature: tenant_sig,
+                    track,
                 },
             );
             id
@@ -573,11 +722,53 @@ impl Inner {
         }
     }
 
+    /// The live introspection view behind `scratch-tool ctl top`.
+    fn top(&self) -> TopReply {
+        let mut queued: HashMap<String, u64> = HashMap::new();
+        for (tenant, depth) in self.engine.tenant_queue_depths() {
+            *queued.entry(tenant).or_default() += depth as u64;
+        }
+        let tenants = self.tenants.lock().expect("tenant table lock");
+        let mut rows = Vec::with_capacity(tenants.len());
+        for (name, t) in tenants.iter() {
+            let slo = t.slo.lock().expect("tenant slo lock").snapshot();
+            let (instructions, preset) = {
+                let sig = t.signature.lock().expect("tenant signature lock");
+                if sig.is_empty() {
+                    (0, "-".to_owned())
+                } else {
+                    (sig.instructions(), sig.minimal_preset().0)
+                }
+            };
+            rows.push(TenantTop {
+                tenant: name.clone(),
+                queued: queued.get(name).copied().unwrap_or(0),
+                in_flight: t.in_flight.load(Ordering::Acquire),
+                completed: slo.completed,
+                shed: slo.shed,
+                p50_us: slo.p50_us,
+                p95_us: slo.p95_us,
+                p99_us: slo.p99_us,
+                shed_ratio: slo.shed_ratio,
+                budget_burn: slo.budget_burn,
+                instructions,
+                preset,
+            });
+        }
+        TopReply {
+            queue_depth: self.engine.queue_depth() as u64,
+            in_flight: self.engine.in_flight() as u64,
+            draining: self.draining.load(Ordering::Acquire),
+            tenants: rows,
+        }
+    }
+
     /// Handle one parsed request; returns the immediate response.
     fn dispatch(self: &Arc<Inner>, req: Request, tx: &Sender<String>) -> Response {
         match req {
             Request::Submit(submit) => self.admit(submit, tx),
             Request::Stats => Response::Stats(self.stats()),
+            Request::Top => Response::Top(self.top()),
             Request::Ping => Response::Pong,
             Request::Drain => {
                 self.draining.store(true, Ordering::Release);
@@ -610,7 +801,31 @@ enum SliceStep {
         cycles: u64,
         instructions: u64,
         words: Vec<u32>,
+        signature: Option<InstrSignature>,
     },
+}
+
+/// Build the completed job's instruction-usage signature from whichever
+/// tier ran it: the cycle tier's accumulated per-PC retire counters, or
+/// the fast tier's per-block dispatch counters. Block attribution comes
+/// from the fastpath translator's static block table either way; a kernel
+/// the translator rejects outright simply yields no signature.
+fn build_signature(req: &SubmitRequest, kind: SystemKind, sys: &System) -> Option<InstrSignature> {
+    if let Some(stats) = sys.fast_stats(0) {
+        let blocks = sys.fast_block_profiles(0)?;
+        return Some(InstrSignature::from_block_dispatches(
+            &req.label,
+            &blocks,
+            &stats.block_dispatches,
+        ));
+    }
+    let config = SystemConfig::preset(kind);
+    let prog = scratch_fastpath::translate(&req.kernel, &config.cu).ok()?;
+    Some(InstrSignature::from_pc_counts(
+        &req.label,
+        &prog.block_profiles(),
+        sys.pc_profile(0),
+    ))
 }
 
 /// Run one quantum of an admitted submission on the calling engine
@@ -629,6 +844,10 @@ fn run_slice(
     carried: Option<Vec<u8>>,
     out_addr: &mut u64,
     snap: &SnapMetrics,
+    job: u64,
+    profile: bool,
+    track: Option<&SpanTrack>,
+    snap_us: &mut u64,
 ) -> Result<SliceStep, String> {
     let map_err = |e: SystemError| match e {
         SystemError::Cu(CuError::CycleLimit { .. }) => {
@@ -636,17 +855,25 @@ fn run_slice(
         }
         other => other.to_string(),
     };
+    let mark = |kind: SpanKind| {
+        if let Some(t) = track {
+            t.mark(kind);
+        }
+    };
     let exec = req.exec_mode().map_err(|e| e.to_string())?;
     if exec != ExecMode::Cycle {
         // Fast tiers have no cycle-accurate state to checkpoint
         // (`SnapError::UnsupportedExecMode`), so jobs that don't need
         // cycle counts run whole in a single slice with a plain dispatch
         // instead of the preemptible quantum loop.
+        mark(SpanKind::Run);
         let mut config = SystemConfig::preset(kind)
             .with_registry(registry.clone())
-            .with_exec(exec);
+            .with_exec(exec)
+            .with_profile(profile);
         config.cu.cycle_limit = config.cu.cycle_limit.min(watchdog.max(1));
         let mut sys = System::new(config, &req.kernel).map_err(map_err)?;
+        sys.set_job_id(job);
         let out = sys.alloc(req.out_bytes.max(4));
         let mut args = vec![u32::try_from(out).unwrap_or(0)];
         if !req.input.is_empty() {
@@ -661,26 +888,38 @@ fn run_slice(
             *out_addr,
             usize::try_from(req.out_bytes.max(4) / 4).unwrap_or(0),
         );
+        let signature = profile.then(|| build_signature(req, kind, &sys)).flatten();
+        mark(SpanKind::Reply);
         return Ok(SliceStep::Finished {
             cycles: report.cu_cycles,
             instructions: report.instructions(),
             words,
+            signature,
         });
     }
     let mut sys;
     let progress = match carried {
         Some(bytes) => {
+            mark(SpanKind::Restore);
             let resume_start = Instant::now();
             let ck: SystemCheckpoint = scratch_snap::from_bytes(&bytes)
                 .map_err(|e| format!("checkpoint decode failed: {e}"))?;
             sys = System::restore(&ck, Some(registry.clone())).map_err(map_err)?;
-            snap.resume_us.observe(micros(resume_start.elapsed()));
+            sys.set_job_id(job);
+            let restore_us = micros(resume_start.elapsed());
+            snap.resume_us.observe(restore_us);
+            *snap_us += restore_us;
+            mark(SpanKind::Run);
             sys.resume_dispatch(quantum).map_err(map_err)?
         }
         None => {
-            let mut config = SystemConfig::preset(kind).with_registry(registry.clone());
+            mark(SpanKind::Run);
+            let mut config = SystemConfig::preset(kind)
+                .with_registry(registry.clone())
+                .with_profile(profile);
             config.cu.cycle_limit = config.cu.cycle_limit.min(watchdog.max(1));
             sys = System::new(config, &req.kernel).map_err(map_err)?;
+            sys.set_job_id(job);
             let out = sys.alloc(req.out_bytes.max(4));
             let mut args = vec![u32::try_from(out).unwrap_or(0)];
             if !req.input.is_empty() {
@@ -695,10 +934,15 @@ fn run_slice(
     };
     match progress {
         DispatchProgress::Paused => {
+            mark(SpanKind::Capture);
+            let capture_start = Instant::now();
             let ck = sys.checkpoint().map_err(map_err)?;
             let bytes = scratch_snap::to_bytes(&ck);
+            *snap_us += micros(capture_start.elapsed());
             snap.checkpoints.inc();
             snap.checkpoint_bytes.add(bytes.len() as u64);
+            // Back on the shelf until the scheduler's next turn.
+            mark(SpanKind::Queue);
             Ok(SliceStep::Paused(bytes))
         }
         DispatchProgress::Complete { .. } => {
@@ -707,10 +951,13 @@ fn run_slice(
                 *out_addr,
                 usize::try_from(req.out_bytes.max(4) / 4).unwrap_or(0),
             );
+            let signature = profile.then(|| build_signature(req, kind, &sys)).flatten();
+            mark(SpanKind::Reply);
             Ok(SliceStep::Finished {
                 cycles: report.cu_cycles,
                 instructions: report.instructions(),
                 words,
+                signature,
             })
         }
     }
@@ -765,6 +1012,7 @@ impl Server {
         let engine = PreemptiveEngine::new(config.workers)
             .with_registry(registry.clone())
             .start();
+        let spans = config.spans.then(SpanRecorder::new);
         let inner = Arc::new(Inner {
             metrics: ServeMetrics::new(&registry),
             snap: SnapMetrics::new(&registry),
@@ -776,6 +1024,7 @@ impl Server {
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             progress: (Mutex::new(false), Condvar::new()),
+            spans,
         });
         let router_inner = Arc::clone(&inner);
         let router_thread = std::thread::Builder::new()
@@ -821,6 +1070,46 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> StatsReply {
         self.inner.stats()
+    }
+
+    /// The live introspection view ([`Request::Top`]'s payload).
+    #[must_use]
+    pub fn top(&self) -> TopReply {
+        self.inner.top()
+    }
+
+    /// Drain the span timelines of every job finished so far. Empty when
+    /// [`ServeConfig::spans`] is off (or between completions).
+    #[must_use]
+    pub fn take_spans(&self) -> Vec<JobSpans> {
+        self.inner
+            .spans
+            .as_ref()
+            .map(|r| r.take_finished())
+            .unwrap_or_default()
+    }
+
+    /// A handle on the span recorder (when [`ServeConfig::spans`] is on)
+    /// that outlives [`Server::shutdown`], so timelines of jobs that
+    /// finish during the drain can still be collected.
+    #[must_use]
+    pub fn span_recorder(&self) -> Option<Arc<SpanRecorder>> {
+        self.inner.spans.clone()
+    }
+
+    /// Snapshot of every tenant's aggregated instruction-usage signature
+    /// (empty signatures elided). Populated only with
+    /// [`ServeConfig::profile`] on.
+    #[must_use]
+    pub fn tenant_signatures(&self) -> Vec<(String, InstrSignature)> {
+        let tenants = self.inner.tenants.lock().expect("tenant table lock");
+        tenants
+            .iter()
+            .filter_map(|(name, t)| {
+                let sig = t.signature.lock().expect("tenant signature lock");
+                (!sig.is_empty()).then(|| (name.clone(), sig.clone()))
+            })
+            .collect()
     }
 
     /// Block until some client requests a drain ([`Request::Drain`]).

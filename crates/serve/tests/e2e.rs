@@ -289,7 +289,7 @@ fn rate_limit_sheds_with_retry_hint() {
         .expect_err("empty bucket sheds");
     assert_eq!(rejection.reason, RejectReason::RateLimited);
     let hint = rejection.retry_after_ms.expect("rate limit carries a hint");
-    assert!(hint >= 1 && hint <= 1000, "hint {hint}ms vs 2/s refill");
+    assert!((1..=1000).contains(&hint), "hint {hint}ms vs 2/s refill");
 
     // A different tenant has its own bucket.
     client
@@ -603,4 +603,112 @@ fn malformed_lines_answer_error_and_keep_the_connection() {
     );
 
     server.shutdown();
+}
+
+/// The full observability plane under preemption: spans on, profiling on,
+/// a 4-worker pool, and a quantum small enough that every job is sliced
+/// at least three times. Every job's span timeline must tile its lifetime
+/// exactly; enabling the plane must change no cycles and no output words;
+/// and `Top` must surface the per-tenant SLO and signature aggregates.
+#[test]
+fn spans_tile_exactly_under_preemption_and_top_aggregates() {
+    let gk = workload(901, 4);
+    let (ref_cycles, ref_words) = direct_run(&gk);
+    // Aim well past the 3-slice floor; the engine re-slices on quantum
+    // boundaries, so cycles/8 yields ~8 run slices per job.
+    let quantum = (ref_cycles / 8).max(1);
+    assert!(ref_cycles > 3 * quantum, "workload outlives three quanta");
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 4,
+            quantum_cycles: quantum,
+            spans: true,
+            profile: true,
+            registry: Some(Registry::new()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+
+    let tenants = ["alpha", "beta"];
+    let mut submitted = Vec::new();
+    for round in 0..4 {
+        for tenant in &tenants {
+            let job = client
+                .submit(submit_of(&gk, tenant, &format!("sliced-{round}"), true))
+                .expect("protocol")
+                .expect("no load, nothing sheds");
+            submitted.push(job);
+        }
+    }
+
+    for _ in 0..submitted.len() {
+        let d = client.recv_done().expect("sliced jobs complete");
+        assert!(d.ok, "job {} failed: {:?}", d.job, d.error);
+        assert_eq!(
+            d.output.as_ref().expect("return_output"),
+            &ref_words,
+            "spans+profiling changed the served words"
+        );
+        assert_eq!(d.cycles, ref_cycles, "spans+profiling changed the cycles");
+        assert!(
+            d.slices >= 3,
+            "job {} ran in {} slices; the quantum should force >= 3",
+            d.job,
+            d.slices
+        );
+        assert!(d.exec_us >= d.snap_us, "checkpoint time within exec time");
+    }
+
+    // Spans are finished on the router thread just after the reply is
+    // written, so give the recorder a moment to catch up with the client.
+    let spans = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut collected = Vec::new();
+        loop {
+            collected.extend(server.take_spans());
+            if collected.len() >= submitted.len() || std::time::Instant::now() > deadline {
+                break collected;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    assert_eq!(spans.len(), submitted.len(), "one timeline per job");
+    for j in &spans {
+        j.check_tiling()
+            .unwrap_or_else(|e| panic!("job {} timeline torn: {e}", j.job));
+        assert!(submitted.contains(&j.job), "unknown job id {}", j.job);
+        assert!(
+            j.slices() >= 3,
+            "job {} timeline shows {} run slices",
+            j.job,
+            j.slices()
+        );
+        assert!(j.total_us() > 0, "job {} has a zero-width timeline", j.job);
+        assert_eq!(
+            j.total_us(),
+            j.spans.iter().map(|s| s.dur_us()).sum::<u64>(),
+            "exact tiling: span durations sum to the job's lifetime"
+        );
+    }
+
+    // `Top` surfaces the rolling SLO and the aggregated signatures.
+    let top = client.top().expect("top");
+    assert!(!top.draining);
+    assert_eq!(top.tenants.len(), tenants.len());
+    for t in &top.tenants {
+        assert!(tenants.contains(&t.tenant.as_str()), "tenant {}", t.tenant);
+        assert_eq!(t.completed, 4, "{} completions", t.tenant);
+        assert_eq!(t.shed, 0);
+        assert!(t.p99_us >= t.p50_us, "{} quantile ordering", t.tenant);
+        assert!(t.instructions > 0, "{} signature aggregated", t.tenant);
+        assert_ne!(t.preset, "-", "{} covering preset computed", t.tenant);
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, submitted.len() as u64);
+    assert_eq!(stats.failed, 0);
 }

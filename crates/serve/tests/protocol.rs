@@ -4,6 +4,7 @@
 use scratch_asm::KernelBuilder;
 use scratch_serve::{
     JobDone, RejectReason, Rejection, Request, Response, StatsReply, SubmitRequest, TenantStats,
+    TenantTop, TopReply,
 };
 
 fn tiny_kernel() -> scratch_asm::Kernel {
@@ -55,6 +56,7 @@ fn every_request_variant_round_trips() {
     roundtrip_request(&Request::Ping);
     roundtrip_request(&Request::Drain);
     roundtrip_request(&Request::Cancel { job: 42 });
+    roundtrip_request(&Request::Top);
 }
 
 #[test]
@@ -87,6 +89,8 @@ fn every_response_variant_round_trips() {
         output: Some(vec![0, 1, u32::MAX]),
         queue_us: 12,
         exec_us: 3400,
+        snap_us: 210,
+        slices: 3,
     }));
     roundtrip_response(&Response::Done(JobDone {
         job: 43,
@@ -100,6 +104,8 @@ fn every_response_variant_round_trips() {
         output: None,
         queue_us: 12,
         exec_us: 50,
+        snap_us: 0,
+        slices: 1,
     }));
     roundtrip_response(&Response::Pong);
     roundtrip_response(&Response::Stats(StatsReply {
@@ -120,6 +126,25 @@ fn every_response_variant_round_trips() {
             completed: 7,
             in_flight: 1,
             latency_us: [150, 900, 2100],
+        }],
+    }));
+    roundtrip_response(&Response::Top(TopReply {
+        queue_depth: 2,
+        in_flight: 1,
+        draining: false,
+        tenants: vec![TenantTop {
+            tenant: "acme".to_owned(),
+            queued: 2,
+            in_flight: 1,
+            completed: 7,
+            shed: 1,
+            p50_us: 150,
+            p95_us: 900,
+            p99_us: 2100,
+            shed_ratio: 0.125,
+            budget_burn: 1.5,
+            instructions: 4096,
+            preset: "salu+ivalu+lsu+branch".to_owned(),
         }],
     }));
     roundtrip_response(&Response::Draining { pending: 3 });

@@ -481,6 +481,9 @@ pub struct CuSnapshot {
     /// Serialized `CuStats` at capture (kept as a value tree so this
     /// crate stays below `scratch-cu` in the dependency graph).
     pub stats: Value,
+    /// Per-PC retire counters at capture (empty unless the CU profiles),
+    /// so sliced jobs keep their instruction-usage profile across resume.
+    pub pc_counts: Vec<u64>,
 }
 
 #[cfg(test)]

@@ -89,6 +89,9 @@ fn random_snapshot(seed: u64) -> CuSnapshot {
             .collect(),
         stall_acc: (0..8).map(|_| rng.gen_range(0..1 << 40)).collect(),
         stats: random_stats(rng),
+        pc_counts: (0..rng.gen_range(0..24usize))
+            .map(|_| rng.gen_range(0..1 << 40))
+            .collect(),
     }
 }
 

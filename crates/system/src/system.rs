@@ -147,6 +147,10 @@ pub struct SystemConfig {
     pub faults: FaultSpec,
     /// Execution tier for dispatches (see [`ExecMode`]).
     pub exec: ExecMode,
+    /// Collect per-PC retire counters (cycle tier) and expose per-kernel
+    /// instruction-usage profiles via [`System::pc_profile`]. Off by
+    /// default; never changes simulated results.
+    pub profile: bool,
 }
 
 impl SystemConfig {
@@ -166,6 +170,7 @@ impl SystemConfig {
             registry: None,
             faults: FaultSpec::default(),
             exec: ExecMode::Cycle,
+            profile: false,
         }
     }
 
@@ -246,6 +251,16 @@ impl SystemConfig {
         self.exec = exec;
         self
     }
+
+    /// Builder-style override of the continuous profiler (see
+    /// [`SystemConfig::profile`]). Also switches the per-CU retire
+    /// counters on so the cycle tier actually collects.
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> SystemConfig {
+        self.profile = profile;
+        self.cu.profile = profile;
+        self
+    }
 }
 
 /// Cumulative measurements of a system run.
@@ -282,6 +297,9 @@ pub struct RunReport {
     /// Pipeline faults that actually fired ([`SystemConfig::faults`];
     /// empty when injection is off).
     pub fault_records: Vec<FaultRecord>,
+    /// Per-PC retire counters attributed to each loaded kernel
+    /// ([`SystemConfig::profile`] only — empty vectors otherwise).
+    pub pc_profiles: Vec<Vec<u64>>,
 }
 
 impl RunReport {
@@ -333,6 +351,13 @@ pub struct System {
     /// [`ExecMode::Fast`] dispatches — `FastWithTiming` counts through
     /// the cycle pipeline it also runs).
     fast_instructions: u64,
+    /// Per-kernel per-PC retire counters drained from the CUs after each
+    /// cycle-tier dispatch ([`SystemConfig::profile`] only).
+    per_kernel_pc: Vec<Vec<u64>>,
+    /// Job id stamped on emitted trace events (serve sets it per job so
+    /// engine shards and fault events correlate with job spans; 0 means
+    /// unattributed).
+    job_id: u64,
 }
 
 /// One kernel's translated fast-tier program and its accumulated counters.
@@ -377,6 +402,9 @@ impl System {
         // skip collecting it.
         let mut cu_cfg = config.cu.clone();
         cu_cfg.metrics = cu_cfg.metrics && config.metrics;
+        // Either switch turns the per-PC counters on: `with_profile` sets
+        // both, a hand-built config may set only the system-level flag.
+        cu_cfg.profile = cu_cfg.profile || config.profile;
         let mut cu_bufs = Vec::new();
         let mut cus = Vec::with_capacity(usize::from(config.cus));
         for ci in 0..config.cus {
@@ -427,6 +455,8 @@ impl System {
             paused: None,
             fast: (0..n).map(|_| None).collect(),
             fast_instructions: 0,
+            per_kernel_pc: vec![Vec::new(); n],
+            job_id: 0,
         };
         sys.cb0_addr = sys.alloc(64);
         Ok(sys)
@@ -624,6 +654,7 @@ impl System {
                             worker: (ci % workers) as u32,
                             start: before[ci],
                             end: self.cus[ci].now(),
+                            job: self.job_id,
                         });
                     }
                 }
@@ -826,6 +857,46 @@ impl System {
             .map(|s| &s.stats)
     }
 
+    /// Static per-block instruction profiles of kernel `idx`'s fast-tier
+    /// program ([`scratch_fastpath::BlockProfile`]); `None` until the
+    /// kernel's first fast-tier dispatch translated it.
+    #[must_use]
+    pub fn fast_block_profiles(&self, idx: usize) -> Option<Vec<scratch_fastpath::BlockProfile>> {
+        self.fast
+            .get(idx)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.prog.block_profiles())
+    }
+
+    /// Per-PC retire counters accumulated for kernel `idx` across every
+    /// cycle-tier dispatch so far ([`SystemConfig::profile`] only — empty
+    /// otherwise, and empty for an out-of-range index).
+    #[must_use]
+    pub fn pc_profile(&self, idx: usize) -> &[u64] {
+        self.per_kernel_pc.get(idx).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Stamp `job` on subsequently emitted trace events (see
+    /// [`TraceEvent::ShardRun`]; 0 restores the unattributed default).
+    pub fn set_job_id(&mut self, job: u64) {
+        self.job_id = job;
+    }
+
+    /// Fold each CU's per-PC retire counters into kernel `idx`'s profile,
+    /// leaving the CUs zeroed for the next dispatch.
+    fn drain_pc_counts(&mut self, idx: usize) {
+        let acc = &mut self.per_kernel_pc[idx];
+        for cu in &mut self.cus {
+            let counts = cu.take_pc_counts();
+            if acc.len() < counts.len() {
+                acc.resize(counts.len(), 0);
+            }
+            for (a, c) in acc.iter_mut().zip(&counts) {
+                *a += c;
+            }
+        }
+    }
+
     /// Shared prologue of the run-to-completion and preemptible dispatch
     /// paths: validate the launch, materialise scheduled memory upsets at
     /// the dispatch boundary, publish the OpenCL call values, and
@@ -877,6 +948,7 @@ impl System {
                                 u.addr, u.bit
                             ),
                             now,
+                            job: self.job_id,
                         });
                     }
                 }
@@ -927,11 +999,16 @@ impl System {
                             class: rec.target.class().to_owned(),
                             detail: rec.target.to_string(),
                             now: rec.now,
+                            job: self.job_id,
                         });
                     }
                     self.fault_log.push(rec);
                 }
             }
+        }
+
+        if self.config.profile {
+            self.drain_pc_counts(idx);
         }
 
         let spent = self
@@ -1166,6 +1243,7 @@ impl System {
                 epochs: p.epochs.clone(),
                 before: p.before.clone(),
             },
+            per_kernel_pc: self.per_kernel_pc.clone(),
         })
     }
 
@@ -1216,6 +1294,9 @@ impl System {
         config.auto_prefetch = ck.auto_prefetch;
         config.metrics = ck.metrics;
         config.registry = registry;
+        // The CU configuration carries the profiler switch; mirror it at
+        // the system level so the resumed run keeps draining pc counters.
+        config.profile = ck.cu.profile;
         let mut sys = System::with_kernels(config, &ck.kernels)?;
         let kernel = sys.kernels[kidx].clone();
         // The CUs' effective configuration (metrics switch folded in) is
@@ -1237,6 +1318,9 @@ impl System {
         sys.kernel_switches = ck.kernel_switches;
         sys.last_kernel = ck.last_kernel.map(|i| i as usize);
         sys.dispatch_seq = ck.dispatch_seq;
+        if ck.per_kernel_pc.len() == ck.kernels.len() {
+            sys.per_kernel_pc = ck.per_kernel_pc.clone();
+        }
         let wg_size = kernel.meta().workgroup_size;
         let waves_per_wg = (wg_size as usize).div_ceil(WAVEFRONT_SIZE);
         sys.paused = Some(PausedDispatch {
@@ -1399,6 +1483,7 @@ impl System {
             trace,
             trace_events: self.trace_buf.as_ref().map(EventBuffer::snapshot),
             fault_records: self.fault_log.clone(),
+            pc_profiles: self.per_kernel_pc.clone(),
         }
     }
 
@@ -1701,6 +1786,7 @@ pub struct SystemCheckpoint {
     dispatch_seq: u64,
     cu_state: Vec<CuSnapshot>,
     paused: PausedState,
+    per_kernel_pc: Vec<Vec<u64>>,
 }
 
 impl SystemCheckpoint {

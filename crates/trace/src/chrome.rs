@@ -341,6 +341,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 worker,
                 start,
                 end,
+                job,
             } => {
                 let tid = u64::from(*worker);
                 if named.insert((ENGINE_PID, tid)) {
@@ -355,7 +356,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                     tid,
                     *start,
                     end.saturating_sub(*start),
-                    obj(&[("cu", n(u64::from(*cu)))]),
+                    obj(&[("cu", n(u64::from(*cu))), ("job", n(*job))]),
                 ));
             }
             TraceEvent::FaultInjected {
@@ -364,6 +365,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 class,
                 detail,
                 now,
+                job,
             } => {
                 let pid = u64::from(*cu);
                 name_cu_track(
@@ -379,7 +381,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                     pid,
                     wave_tid(*wave),
                     *now,
-                    obj(&[("detail", s(detail))]),
+                    obj(&[("detail", s(detail)), ("job", n(*job))]),
                 ));
             }
             // Detection/recovery are campaign-level events: render them on
@@ -388,22 +390,28 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Value {
                 label,
                 detector,
                 now,
+                job,
             } => {
                 out.push(instant(
                     &format!("detected[{detector}]"),
                     0,
                     0,
                     *now,
-                    obj(&[("label", s(label))]),
+                    obj(&[("label", s(label)), ("job", n(*job))]),
                 ));
             }
-            TraceEvent::FaultRecovered { label, action, now } => {
+            TraceEvent::FaultRecovered {
+                label,
+                action,
+                now,
+                job,
+            } => {
                 out.push(instant(
                     &format!("recovered[{action}]"),
                     0,
                     0,
                     *now,
-                    obj(&[("label", s(label))]),
+                    obj(&[("label", s(label)), ("job", n(*job))]),
                 ));
             }
             TraceEvent::Stall {
@@ -535,12 +543,14 @@ mod tests {
                 worker: 0,
                 start: 0,
                 end: 500,
+                job: 7,
             },
             TraceEvent::ShardRun {
                 cu: 1,
                 worker: 1,
                 start: 0,
                 end: 480,
+                job: 7,
             },
         ];
         let json = chrome_trace(&events).to_string();
@@ -548,6 +558,7 @@ mod tests {
         assert!(json.contains("worker 0"));
         assert!(json.contains("worker 1"));
         assert!(json.contains("CU 1"));
+        assert!(json.contains("\"job\":7"));
     }
 
     #[test]

@@ -178,6 +178,9 @@ pub enum TraceEvent {
         start: u64,
         /// First CU-local cycle after the shard.
         end: u64,
+        /// Serving-layer job id the dispatch belongs to (0 when the run
+        /// is not attributed to a served job).
+        job: u64,
     },
     /// A scheduled fault fired inside a CU (fault-injection campaigns;
     /// see the `scratch-fault` crate).
@@ -192,6 +195,9 @@ pub enum TraceEvent {
         detail: String,
         /// Cycle the fault fired.
         now: u64,
+        /// Serving-layer job id (0 when unattributed), correlating fault
+        /// campaigns with serve spans on one timeline.
+        job: u64,
     },
     /// A detector (CRC comparison, DMR vote, simulator error) flagged a
     /// faulty run.
@@ -202,6 +208,9 @@ pub enum TraceEvent {
         detector: String,
         /// Cycle (or logical time) of the detection.
         now: u64,
+        /// Correlation id: the serve job (or campaign fault case) the
+        /// detection belongs to; 0 when unattributed.
+        job: u64,
     },
     /// A recovery action resolved a detected fault.
     FaultRecovered {
@@ -211,6 +220,9 @@ pub enum TraceEvent {
         action: String,
         /// Cycle (or logical time) of the recovery.
         now: u64,
+        /// Correlation id: the serve job (or campaign fault case) the
+        /// recovery belongs to; 0 when unattributed.
+        job: u64,
     },
     /// A coalesced stall interval `[from, to)` of one wavefront.
     Stall {

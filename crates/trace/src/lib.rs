@@ -216,6 +216,7 @@ mod tests {
                 worker: 0,
                 start: 10,
                 end: 20,
+                job: 0,
             });
         })
         .join()

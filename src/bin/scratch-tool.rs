@@ -9,6 +9,8 @@
 //! scratch-tool trim     <file.s>
 //! scratch-tool run      <file.s> [--system original|dcd|dcdpm] [--wgs N] [--out-words N]
 //!                       [--jobs N] [--exec cycle|fast|fast-timing] [--metrics] [--metrics-out FILE]
+//! scratch-tool profile  <file.s> [--system original|dcd|dcdpm] [--wgs N] [--exec cycle|fast]
+//!                       [--json]
 //! scratch-tool trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]
 //! scratch-tool fuzz     [--seed S] [--cases N]
 //!                       [--oracle reference|trim|parallel|roundtrip|checkpoint|fastpath|all]
@@ -16,9 +18,10 @@
 //! scratch-tool serve-metrics [--addr HOST:PORT] [--once]
 //! scratch-tool serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--tenant-cap N]
 //!                       [--rate R] [--burst B] [--quantum CYCLES] [--metrics-addr HOST:PORT]
+//!                       [--spans] [--spans-out FILE] [--spans-chrome FILE] [--profile]
 //! scratch-tool load     [--addr HOST:PORT] [--clients 1,2,4,...] [--duration-ms N]
 //!                       [--seed S] [--kernels N] [--tenants N] [--out FILE]
-//! scratch-tool ctl      ping|stats|drain|cancel <job> [--addr HOST:PORT]
+//! scratch-tool ctl      ping|stats|top|drain|cancel <job> [--addr HOST:PORT]
 //! ```
 //!
 //! `run` launches the kernel with one argument: the address of a scratch
@@ -29,6 +32,13 @@
 //! any N. `--exec fast` runs the block-compiled functional tier (no cycle
 //! counts, identical output words); `--exec fast-timing` runs both tiers
 //! and fails loudly if they disagree on any written byte.
+//!
+//! `profile` runs the kernel with per-PC retire profiling (cycle tier) or
+//! per-block dispatch counting (fast tier) and prints its instruction
+//! signature: the opcode-class histogram, hottest basic blocks, and the
+//! minimal trim preset covering every opcode the run actually executed —
+//! the observed-traffic side of the trimming argument. Both tiers report
+//! the same signature for fallback-free kernels.
 //!
 //! `run --metrics` adds a one-line utilisation summary (IPC, per-unit
 //! occupancy, memory pressure) and appends a snapshot of the process
@@ -62,6 +72,7 @@ use scratch::fpga::ParallelPlan;
 use scratch::isa::FuncUnit;
 use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
 use scratch::metrics::{jsonl, prometheus, MetricsServer};
+use scratch::profile::{span, InstrSignature};
 use scratch::serve::{LoadPlan, ServeClient, ServeConfig, Server};
 use scratch::system::{CuStats, ExecMode, RunReport, System, SystemConfig, SystemKind, TraceMode};
 use scratch::trace::chrome_trace;
@@ -354,6 +365,55 @@ fn real_main() -> Result<(), String> {
             }
             Ok(())
         }
+        "profile" => {
+            let path = path.ok_or("usage: scratch-tool profile <file.s> [--system ...]")?;
+            let kernel = load_kernel(&path)?;
+            let kind = match flag_value(&args, "--system").map(String::as_str) {
+                Some("original") => SystemKind::Original,
+                Some("dcd") => SystemKind::Dcd,
+                None | Some("dcdpm") => SystemKind::DcdPm,
+                Some(other) => return Err(format!("unknown system `{other}`")),
+            };
+            let exec = match flag_value(&args, "--exec").map(String::as_str) {
+                None | Some("cycle") => ExecMode::Cycle,
+                Some("fast") => ExecMode::Fast,
+                Some(other) => return Err(format!("profile: unknown exec tier `{other}`")),
+            };
+            let wgs = u32::try_from(flag_u64(&args, "--wgs", 1)?).unwrap_or(1);
+            let config = SystemConfig::preset(kind)
+                .with_exec(exec)
+                .with_profile(true);
+            let mut sys = System::new(config, &kernel).map_err(|e| e.to_string())?;
+            let out = sys.alloc(1 << 20);
+            sys.set_args(&[out as u32]);
+            sys.dispatch([wgs.max(1), 1, 1])
+                .map_err(|e| e.to_string())?;
+            let sig = if exec == ExecMode::Fast {
+                let blocks = sys
+                    .fast_block_profiles(0)
+                    .ok_or("fast tier produced no block profiles")?;
+                let stats = sys.fast_stats(0).ok_or("fast tier produced no stats")?;
+                InstrSignature::from_block_dispatches(
+                    kernel.name(),
+                    &blocks,
+                    &stats.block_dispatches,
+                )
+            } else {
+                let prog = scratch::fastpath::translate(&kernel, &sys.config().cu)
+                    .map_err(|e| format!("block translation: {e}"))?;
+                InstrSignature::from_pc_counts(
+                    kernel.name(),
+                    &prog.block_profiles(),
+                    sys.pc_profile(0),
+                )
+            };
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", serde_json::to_string_pretty(&sig).unwrap());
+            } else {
+                print!("{}", sig.report());
+            }
+            Ok(())
+        }
         "trace" => {
             let file = args.get(1).filter(|a| !a.starts_with("--")).cloned();
             let parse_n = |flag: &str, default: u32| -> u32 {
@@ -582,6 +642,10 @@ fn real_main() -> Result<(), String> {
                     ServeConfig::default().quantum_cycles,
                 )?
                 .max(1),
+                spans: args.iter().any(|a| a == "--spans")
+                    || flag_value(&args, "--spans-out").is_some()
+                    || flag_value(&args, "--spans-chrome").is_some(),
+                profile: args.iter().any(|a| a == "--profile"),
                 ..ServeConfig::default()
             };
             // Optional Prometheus sidecar on the same registry, so
@@ -602,11 +666,43 @@ fn real_main() -> Result<(), String> {
                 "drain with: scratch-tool ctl drain --addr {}",
                 server.addr()
             );
+            // Keep a recorder handle past shutdown so timelines of jobs
+            // finishing during the drain are still collected.
+            let recorder = server.span_recorder();
             server.wait_drain();
             println!("drain requested; finishing accepted jobs…");
             let stats = server.shutdown();
             if let Some(metrics) = metrics {
                 metrics.shutdown();
+            }
+            if let Some(recorder) = recorder {
+                let jobs = recorder.take_finished();
+                let mut torn = 0usize;
+                for j in &jobs {
+                    if let Err(e) = j.check_tiling() {
+                        eprintln!("span tiling violated on job {}: {e}", j.job);
+                        torn += 1;
+                    }
+                }
+                if torn == 0 {
+                    println!("span tiling: ok ({} jobs)", jobs.len());
+                }
+                if let Some(path) = flag_value(&args, "--spans-out") {
+                    std::fs::write(path, span::to_jsonl(&jobs))
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    println!("wrote {} job timelines to {path}", jobs.len());
+                }
+                if let Some(path) = flag_value(&args, "--spans-chrome") {
+                    std::fs::write(path, span::to_chrome(&jobs).to_string())
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    println!(
+                        "wrote Chrome trace of {} job timelines to {path}",
+                        jobs.len()
+                    );
+                }
+                if torn > 0 {
+                    return Err(format!("{torn} jobs with torn span timelines"));
+                }
             }
             println!(
                 "served {} jobs ({} shed, {} failed); goodbye",
@@ -639,12 +735,22 @@ fn real_main() -> Result<(), String> {
             };
             let report = scratch::serve::run_load(&plan).map_err(|e| e.to_string())?;
             println!(
-                "{:>8} {:>10} {:>10} {:>8} {:>12} {:>10} {:>10} {:>10}",
-                "clients", "offered/s", "done/s", "shed", "completed", "p50 us", "p95 us", "p99 us"
+                "{:>8} {:>10} {:>10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                "clients",
+                "offered/s",
+                "done/s",
+                "shed",
+                "completed",
+                "p50 us",
+                "p95 us",
+                "p99 us",
+                "queue us",
+                "run us",
+                "snap us"
             );
             for s in &report.steps {
                 println!(
-                    "{:>8} {:>10.1} {:>10.1} {:>8} {:>12} {:>10} {:>10} {:>10}",
+                    "{:>8} {:>10.1} {:>10.1} {:>8} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
                     s.clients,
                     s.offered_per_sec,
                     s.completed_per_sec,
@@ -652,7 +758,10 @@ fn real_main() -> Result<(), String> {
                     s.completed,
                     s.p50_us,
                     s.p95_us,
-                    s.p99_us
+                    s.p99_us,
+                    s.mean_queue_us,
+                    s.mean_run_us,
+                    s.mean_snap_us
                 );
             }
             if let Some(path) = flag_value(&args, "--out") {
@@ -664,7 +773,7 @@ fn real_main() -> Result<(), String> {
         }
         "ctl" => {
             let verb = args.get(1).map(String::as_str).ok_or(
-                "usage: scratch-tool ctl ping|stats|drain|cancel <job> [--addr HOST:PORT]",
+                "usage: scratch-tool ctl ping|stats|top|drain|cancel <job> [--addr HOST:PORT]",
             )?;
             let addr = flag_value(&args, "--addr")
                 .cloned()
@@ -680,6 +789,47 @@ fn real_main() -> Result<(), String> {
                 "stats" => {
                     let stats = client.stats().map_err(|e| e.to_string())?;
                     println!("{}", serde_json::to_string_pretty(&stats).unwrap());
+                    Ok(())
+                }
+                "top" => {
+                    let top = client.top().map_err(|e| e.to_string())?;
+                    println!(
+                        "queue {} | in-flight {}{}",
+                        top.queue_depth,
+                        top.in_flight,
+                        if top.draining { " | DRAINING" } else { "" }
+                    );
+                    println!(
+                        "{:<12} {:>6} {:>7} {:>9} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>12} preset",
+                        "tenant",
+                        "queued",
+                        "in-fl",
+                        "done",
+                        "shed",
+                        "p50 us",
+                        "p95 us",
+                        "p99 us",
+                        "shed%",
+                        "burn",
+                        "instrs"
+                    );
+                    for t in &top.tenants {
+                        println!(
+                            "{:<12} {:>6} {:>7} {:>9} {:>6} {:>8} {:>8} {:>8} {:>6.1} {:>6.2} {:>12} {}",
+                            t.tenant,
+                            t.queued,
+                            t.in_flight,
+                            t.completed,
+                            t.shed,
+                            t.p50_us,
+                            t.p95_us,
+                            t.p99_us,
+                            t.shed_ratio * 100.0,
+                            t.budget_burn,
+                            t.instructions,
+                            t.preset
+                        );
+                    }
                     Ok(())
                 }
                 "drain" => {
@@ -703,7 +853,7 @@ fn real_main() -> Result<(), String> {
                     }
                 }
                 other => Err(format!(
-                    "unknown ctl verb `{other}` (ping|stats|drain|cancel)"
+                    "unknown ctl verb `{other}` (ping|stats|top|drain|cancel)"
                 )),
             }
         }
@@ -750,6 +900,11 @@ fn real_main() -> Result<(), String> {
                  \x20          [--metrics]       print an IPC/occupancy summary and append a\n\
                  \x20                            registry snapshot to --metrics-out FILE\n\
                  \x20                            (default scratch-metrics.jsonl)\n\
+                 \x20 profile  <file.s> [--system original|dcd|dcdpm] [--wgs N]\n\
+                 \x20          [--exec cycle|fast] [--json]\n\
+                 \x20                            run with instruction profiling and print the\n\
+                 \x20                            kernel's signature: opcode-class histogram, hot\n\
+                 \x20                            blocks, and the minimal covering trim preset\n\
                  \x20 trace    [<file.s>] [--system original|dcd|dcdpm|all] [--n N] [--out DIR]\n\
                  \x20                                   cycle-attribution summary + Chrome trace.json\n\
                  \x20                                   (default workload: Matrix Add INT32 + SP FP)\n\
@@ -769,19 +924,27 @@ fn real_main() -> Result<(), String> {
                  \x20 serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--tenant-cap N]\n\
                  \x20          [--rate R] [--burst B] [--quantum CYCLES]\n\
                  \x20          [--metrics-addr HOST:PORT]\n\
+                 \x20          [--spans] [--spans-out FILE] [--spans-chrome FILE] [--profile]\n\
                  \x20                            multi-tenant kernel-execution daemon (JSONL/TCP,\n\
                  \x20                            token-bucket quotas, typed load shedding,\n\
                  \x20                            preemptive execution in --quantum-cycle slices\n\
                  \x20                            with checkpoint/restore between quanta);\n\
+                 \x20                            --spans records per-job span timelines (validated\n\
+                 \x20                            and exported as JSONL / Chrome trace at drain);\n\
+                 \x20                            --profile aggregates per-tenant instruction\n\
+                 \x20                            signatures (see ctl top);\n\
                  \x20                            exits 0 after a graceful drain\n\
                  \x20 load     [--addr HOST:PORT] [--clients 1,2,4,...] [--duration-ms N]\n\
                  \x20          [--seed S] [--kernels N] [--tenants N] [--out FILE]\n\
                  \x20                            closed-loop load harness: drives the daemon with\n\
                  \x20                            seeded kernel traffic and prints/writes the\n\
-                 \x20                            saturation curve (p50/p95/p99 per step)\n\
-                 \x20 ctl      ping|stats|drain|cancel <job> [--addr HOST:PORT]\n\
+                 \x20                            saturation curve (p50/p95/p99 per step, plus the\n\
+                 \x20                            server-side queue/run/checkpoint breakdown)\n\
+                 \x20 ctl      ping|stats|top|drain|cancel <job> [--addr HOST:PORT]\n\
                  \x20                            probe, inspect, gracefully drain, or cancel a\n\
-                 \x20                            mid-flight job on a daemon\n\
+                 \x20                            mid-flight job on a daemon; top prints per-tenant\n\
+                 \x20                            queues, rolling SLO quantiles, budget burn and\n\
+                 \x20                            the aggregated instruction profile\n\
                  \x20 serve-metrics [--addr HOST:PORT] [--once]\n\
                  \x20                                   warm up the simulators, then serve the\n\
                  \x20                                   metrics registry as Prometheus text and\n\

@@ -29,7 +29,12 @@
 //!   plans, CRC and DMR detection, resilience campaigns);
 //! * [`serve`] — multi-tenant kernel-execution service (JSONL-over-TCP
 //!   protocol, token-bucket quotas, admission control with typed load
-//!   shedding, graceful drain, closed-loop load harness).
+//!   shedding, graceful drain, closed-loop load harness);
+//! * [`fastpath`] — the block-compiled functional execution tier
+//!   (basic-block translation, compiled wavefront executor);
+//! * [`profile`] — the observability spine: per-job span timelines,
+//!   per-kernel instruction signatures with minimal-trim-preset mapping,
+//!   and rolling-window SLO telemetry.
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -38,11 +43,13 @@ pub use scratch_check as check;
 pub use scratch_core as core;
 pub use scratch_cu as cu;
 pub use scratch_engine as engine;
+pub use scratch_fastpath as fastpath;
 pub use scratch_fault as fault;
 pub use scratch_fpga as fpga;
 pub use scratch_isa as isa;
 pub use scratch_kernels as kernels;
 pub use scratch_metrics as metrics;
+pub use scratch_profile as profile;
 pub use scratch_serve as serve;
 pub use scratch_system as system;
 pub use scratch_trace as trace;
