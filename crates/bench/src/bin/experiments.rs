@@ -1,7 +1,7 @@
 //! Regenerate the SCRATCH paper's tables and figures.
 //!
 //! ```text
-//! experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|profile|resilience|ablations|all]
+//! experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|profile|resilience|recovery|ablations|all]
 //!             [--quick] [--jobs N] [--json <path>]
 //! experiments trace [--quick] [--json <path>]
 //! ```
@@ -17,12 +17,12 @@
 use std::fmt::Write as _;
 
 use scratch_bench::{
-    ablation, fig4, fig6, fig7, headline, profile, resilience, sec41, stalls, util, Scale,
+    ablation, fig4, fig6, fig7, headline, profile, recovery, resilience, sec41, stalls, util, Scale,
 };
 use scratch_isa::Category;
 
 const USAGE: &str = "\
-usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|profile|resilience|trace|ablations|all]
+usage: experiments [fig4|fig6-baseline|fig6-trim|sec41|fig7a|fig7b|headline|util|profile|resilience|recovery|trace|ablations|all]
                    [--quick] [--jobs N] [--json <path>]
 
   --quick        CI-sized workloads (default: the paper's sizes)
@@ -150,6 +150,16 @@ fn main() {
         }
     }
 
+    if run("recovery") {
+        match recovery::recovery_latency(quick) {
+            Ok(rows) => {
+                print_recovery(&rows);
+                json.insert("recovery".into(), serde_json::to_value(&rows).unwrap());
+            }
+            Err(e) => eprintln!("recovery failed: {e}"),
+        }
+    }
+
     // Opt-in study (not part of `all`): cycle attribution per preset.
     if what == "trace" {
         match stalls::stall_profiles(scale) {
@@ -263,6 +273,28 @@ fn ablation_tables(scale: Scale) -> Result<serde_json::Value, scratch_kernels::B
 
 fn hr(title: &str) {
     println!("\n=== {title} ===");
+}
+
+fn print_recovery(rows: &[recovery::RecoveryRow]) {
+    hr("Crash recovery — WAL scan latency and replay split");
+    println!(
+        "{:>9} {:>9} {:>10} {:>9} {:>9} {:>9} {:>6} {:>9} {:>9}",
+        "jobs", "frames", "log KiB", "replayed", "resumed", "deduped", "torn", "open ms", "MiB/s"
+    );
+    for r in rows {
+        println!(
+            "{:>9} {:>9} {:>10} {:>9} {:>9} {:>9} {:>6} {:>9.2} {:>9.1}",
+            r.jobs,
+            r.frames,
+            r.log_bytes / 1024,
+            r.replayed,
+            r.resumed,
+            r.deduped,
+            r.torn_bytes,
+            r.open_ms,
+            r.mib_per_sec
+        );
+    }
 }
 
 fn print_resilience(rows: &[resilience::ResilienceRow]) {

@@ -15,6 +15,7 @@
 //! | [`stalls`] | Cycle-attribution profiles from the `scratch-trace` subsystem |
 //! | [`util`] | Per-kernel utilisation (IPC, FU occupancy, memory pressure) from the metrics plane |
 //! | [`profile`] | Per-kernel instruction signatures and minimal covering trim presets from the execution profiler |
+//! | [`recovery`] | Crash-recovery latency and replayed/resumed/deduped splits from the `scratch-wal` durability layer |
 //!
 //! The `experiments` binary prints each as an aligned text table and can
 //! emit JSON for regeneration of `EXPERIMENTS.md`.
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod headline;
 pub mod profile;
+pub mod recovery;
 pub mod resilience;
 pub mod runner;
 pub mod sec41;

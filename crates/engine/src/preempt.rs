@@ -128,6 +128,13 @@ struct PShared<T> {
     /// [`JobTiming`]).
     clock: AtomicU64,
     submitted: AtomicU64,
+    /// Offset added to the `submitted` counter when minting submission
+    /// ids, so a restarted server can keep ids unique across process
+    /// lifetimes (WAL recovery hands the floor in via
+    /// [`PreemptiveEngine::with_first_id`]). `submitted` itself stays
+    /// zero-based: `pending()`/`submitted_count()` count this pool's own
+    /// jobs regardless of where the id space starts.
+    id_base: u64,
     completed: AtomicU64,
     /// Jobs currently executing a slice on some worker.
     in_flight: AtomicUsize,
@@ -258,6 +265,7 @@ pub struct PreemptiveEngine {
     workers: usize,
     metrics: bool,
     registry: Option<Registry>,
+    first_id: u64,
 }
 
 impl PreemptiveEngine {
@@ -274,6 +282,7 @@ impl PreemptiveEngine {
             },
             metrics: true,
             registry: None,
+            first_id: 0,
         }
     }
 
@@ -299,6 +308,16 @@ impl PreemptiveEngine {
         self
     }
 
+    /// Mint submission ids starting at `first_id` instead of 0. A server
+    /// recovering a write-ahead log passes one past the largest id the
+    /// log ever issued, so restarted processes never reuse an id a client
+    /// (or a completion record) has already seen.
+    #[must_use]
+    pub fn with_first_id(mut self, first_id: u64) -> PreemptiveEngine {
+        self.first_id = first_id;
+        self
+    }
+
     /// Spin up the pool and return the submission handle.
     #[must_use]
     pub fn start<T: Send + 'static>(&self) -> PreemptiveHandle<T> {
@@ -320,6 +339,7 @@ impl PreemptiveEngine {
             available: Condvar::new(),
             clock: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
+            id_base: self.first_id,
             completed: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             metrics,
@@ -392,7 +412,7 @@ impl<T: Send + 'static> PreemptiveHandle<T> {
     where
         F: FnMut(u64, u64) -> Slice<T> + Send + 'static,
     {
-        let id = self.shared.submitted.fetch_add(1, Ordering::AcqRel);
+        let id = self.shared.id_base + self.shared.submitted.fetch_add(1, Ordering::AcqRel);
         let enqueued = self.shared.tick();
         {
             let mut st = self.shared.sched.lock().expect("preemptive sched lock");
@@ -597,6 +617,25 @@ mod tests {
         for (_, n) in middle {
             assert_eq!(*n, 1, "tenants must alternate mid-stream: {log:?}");
         }
+    }
+
+    #[test]
+    fn first_id_offsets_minted_ids_without_breaking_counts() {
+        let engine = PreemptiveEngine::new(1)
+            .with_metrics(false)
+            .with_first_id(1000);
+        let mut handle: PreemptiveHandle<u64> = engine.start();
+        let a = handle.submit("t", "a", |_| Slice::Done(Ok(1)));
+        let b = handle.submit("t", "b", |_| Slice::Done(Ok(2)));
+        assert_eq!(a, 1000, "ids start at the recovered floor");
+        assert_eq!(b, 1001);
+        assert_eq!(handle.submitted_count(), 2, "counts stay zero-based");
+        let mut seen = Vec::new();
+        while let Some(o) = handle.recv() {
+            seen.push(o.id);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1000, 1001]);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub enum SpanKind {
     Capture,
     /// Writing the response back to the client.
     Reply,
+    /// Re-admission from the write-ahead log after a restart: the span
+    /// from recovery scan to the job's re-entry into the queue. Only
+    /// replayed jobs open with it; live admissions open with `Queue`.
+    Replay,
 }
 
 impl SpanKind {
@@ -46,6 +50,7 @@ impl SpanKind {
             SpanKind::Run => "run",
             SpanKind::Capture => "capture",
             SpanKind::Reply => "reply",
+            SpanKind::Replay => "replay",
         }
     }
 }
@@ -86,8 +91,9 @@ pub struct JobSpans {
 
 impl JobSpans {
     /// Verify the exact-tiling invariant: a non-empty timeline that opens
-    /// with a [`SpanKind::Queue`] admission span, where every span is
-    /// well-formed (`start <= end`) and each span starts at the very
+    /// with a [`SpanKind::Queue`] admission span (or [`SpanKind::Replay`]
+    /// for a job re-admitted from the write-ahead log), where every span
+    /// is well-formed (`start <= end`) and each span starts at the very
     /// microsecond the previous one ended.
     ///
     /// The last span is *not* required to be [`SpanKind::Reply`]: a job
@@ -101,9 +107,9 @@ impl JobSpans {
             .spans
             .first()
             .ok_or_else(|| format!("job {}: empty timeline", self.job))?;
-        if first.kind != SpanKind::Queue {
+        if first.kind != SpanKind::Queue && first.kind != SpanKind::Replay {
             return Err(format!(
-                "job {}: timeline opens with {}, not the admission queue span",
+                "job {}: timeline opens with {}, not an admission (queue/replay) span",
                 self.job,
                 first.kind.label()
             ));
@@ -212,6 +218,25 @@ impl SpanRecorder {
                 tenant: tenant.to_owned(),
                 label: label.to_owned(),
                 open_kind: SpanKind::Queue,
+                open_since_us: now,
+                spans: Vec::new(),
+                done: false,
+            }),
+        })
+    }
+
+    /// Open a track for a job re-admitted from the write-ahead log: the
+    /// timeline opens in [`SpanKind::Replay`] instead of `Queue`, so
+    /// recovery time is attributed distinctly from live queueing.
+    #[must_use]
+    pub fn begin_replayed(self: &Arc<SpanRecorder>, tenant: &str, label: &str) -> Arc<SpanTrack> {
+        let now = self.now_us();
+        Arc::new(SpanTrack {
+            recorder: Arc::clone(self),
+            state: Mutex::new(TrackState {
+                tenant: tenant.to_owned(),
+                label: label.to_owned(),
+                open_kind: SpanKind::Replay,
                 open_since_us: now,
                 spans: Vec::new(),
                 done: false,

@@ -71,6 +71,36 @@ fn serve_roundtrip(c: &mut Criterion) {
     drop(client);
     server.shutdown();
 
+    // The same full path with the write-ahead log on (default interval
+    // fsync): the acceptance gate is that journaling admissions and
+    // completions costs <= 10% over the bare round trip.
+    let wal_dir = std::env::temp_dir().join(format!("scratch-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            registry: Some(Registry::new()),
+            wal: Some(scratch_wal::WalConfig::new(&wal_dir)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    group.bench_function("submit_exec_done_wal", |b| {
+        b.iter(|| {
+            client
+                .submit(submit_of(&gk, "bench"))
+                .expect("protocol")
+                .expect("admits");
+            let done = client.recv_done().expect("completes");
+            assert!(done.ok);
+        });
+    });
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
     // Shed path: tenant_cap 0 rejects instantly, measuring protocol +
     // admission bookkeeping alone.
     let server = Server::bind(

@@ -24,6 +24,12 @@
 //!   [`Request::Stats`] or Prometheus exposition).
 //! * **Graceful drain** — [`Request::Drain`] stops admission, lets every
 //!   accepted job finish and be answered, then shuts the daemon down.
+//! * **Durability** — with a [`scratch-wal`](scratch_wal) write-ahead log
+//!   configured ([`ServeConfig::wal`]), every acked admission survives a
+//!   `kill -9`: the restarted daemon replays unfinished jobs (resuming
+//!   from durable checkpoints where one exists) exactly once. The
+//!   [`run_chaos`] harness SIGKILLs live daemons at seeded points —
+//!   including mid-`write(2)` torn appends — and audits that promise.
 //!
 //! ```no_run
 //! use scratch_serve::{Server, ServeConfig, ServeClient};
@@ -37,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod client;
 mod load;
 mod protocol;
 mod quota;
 mod server;
 
+pub use chaos::{run_chaos, ChaosPlan, ChaosReport};
 pub use client::ServeClient;
 pub use load::{run_load, LoadPlan, LoadReport, StepReport};
 pub use protocol::{

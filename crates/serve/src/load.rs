@@ -99,6 +99,13 @@ pub struct StepReport {
     /// Mean time completed jobs spent in checkpoint capture/serde and
     /// restore/decode, microseconds.
     pub mean_snap_us: u64,
+    /// Connections re-established after a reset (the daemon restarted or
+    /// dropped the socket). Clients reconnect with jittered backoff
+    /// instead of counting themselves out, so a load step can span a
+    /// daemon crash/restart — which is what lets the chaos harness drive
+    /// load across kill cycles.
+    #[serde(default)]
+    pub reconnects: u64,
 }
 
 /// The full saturation curve: one [`StepReport`] per client count.
@@ -155,6 +162,7 @@ struct Tally {
     queue_us: AtomicU64,
     run_us: AtomicU64,
     snap_us: AtomicU64,
+    reconnects: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -231,6 +239,7 @@ pub fn run_load(plan: &LoadPlan) -> io::Result<LoadReport> {
             mean_queue_us,
             mean_run_us,
             mean_snap_us,
+            reconnects: tally.reconnects.load(Ordering::Acquire),
         });
     }
     Ok(LoadReport {
@@ -242,7 +251,10 @@ pub fn run_load(plan: &LoadPlan) -> io::Result<LoadReport> {
 }
 
 /// One closed-loop client: submit, await the outcome, repeat until the
-/// deadline; on rejection honour the server's backoff hint.
+/// deadline; on rejection honour the server's backoff hint. A connection
+/// reset does not count the client out: it reconnects with jittered
+/// exponential backoff (so a restarting daemon is not stampeded the
+/// instant it rebinds) and keeps driving until the deadline.
 fn client_loop(
     addr: &str,
     tenant: &str,
@@ -251,11 +263,41 @@ fn client_loop(
     deadline: Instant,
     tally: &Tally,
 ) {
-    let Ok(mut client) = ServeClient::connect(addr) else {
-        return;
+    // Cheap per-client splitmix64 for backoff jitter — deterministic per
+    // client index, no shared state.
+    let mut rng_state = (client_idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef;
+    let mut rng = move || {
+        rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     };
+    let mut client: Option<ServeClient> = None;
+    let mut connected_before = false;
+    let mut attempts = 0u32; // consecutive failed connects / resets
     let mut i = client_idx; // stagger the mix across clients
     while Instant::now() < deadline {
+        let Some(c) = client.as_mut() else {
+            match ServeClient::connect(addr) {
+                Ok(c) => {
+                    if connected_before {
+                        tally.reconnects.fetch_add(1, Ordering::AcqRel);
+                    }
+                    connected_before = true;
+                    attempts = 0;
+                    client = Some(c);
+                }
+                Err(_) => {
+                    // Daemon down (possibly mid-restart): back off with
+                    // jitter and retry until the deadline.
+                    attempts = attempts.saturating_add(1);
+                    let base = (10u64 << attempts.min(5)).min(200);
+                    std::thread::sleep(Duration::from_millis(base + rng() % (base / 2 + 1)));
+                }
+            }
+            continue;
+        };
         let w = &mix[i % mix.len()];
         i = i.wrapping_add(1);
         let begun = Instant::now();
@@ -271,13 +313,13 @@ fn client_loop(
             exec: None,
         };
         tally.attempted.fetch_add(1, Ordering::AcqRel);
-        match client.submit(request) {
+        match c.submit(request) {
             Ok(Ok(_job)) => {
                 tally.accepted.fetch_add(1, Ordering::AcqRel);
                 // Closed loop: wait for this job's outcome before the
                 // next submission. Accepted jobs always complete, so
                 // this cannot wedge past the engine watchdog.
-                match client.recv_done() {
+                match c.recv_done() {
                     Ok(done) => {
                         tally.completed.fetch_add(1, Ordering::AcqRel);
                         tally
@@ -294,7 +336,7 @@ fn client_loop(
                         let us = u64::try_from(begun.elapsed().as_micros()).unwrap_or(u64::MAX);
                         tally.latencies_us.lock().expect("latency lock").push(us);
                     }
-                    Err(_) => return, // connection died mid-job
+                    Err(_) => client = None, // connection died mid-job
                 }
             }
             Ok(Err(rejection)) => {
@@ -305,7 +347,7 @@ fn client_loop(
                     .min(Duration::from_millis(50));
                 std::thread::sleep(backoff);
             }
-            Err(_) => return, // connection died
+            Err(_) => client = None, // connection died
         }
     }
 }

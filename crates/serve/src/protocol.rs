@@ -235,6 +235,10 @@ pub enum RejectReason {
     /// The request was malformed (e.g. unknown system preset). Retrying
     /// the same request is pointless.
     Invalid,
+    /// The connection sat idle (no request line, no job in flight) past
+    /// the server's idle timeout and is being closed. Sent once, best
+    /// effort, just before the server drops the connection.
+    IdleTimeout,
 }
 
 impl RejectReason {
@@ -248,6 +252,7 @@ impl RejectReason {
             RejectReason::Draining => "draining",
             RejectReason::TooLarge => "too_large",
             RejectReason::Invalid => "invalid",
+            RejectReason::IdleTimeout => "idle_timeout",
         }
     }
 }
@@ -291,6 +296,11 @@ pub struct JobDone {
     pub snap_us: u64,
     /// Execution slices the job took (1 = never preempted).
     pub slices: u64,
+    /// `true` when this completion was produced by write-ahead-log
+    /// recovery rather than the admitting connection's lifetime: the job
+    /// was re-admitted (or its completion re-derived) after a server
+    /// restart. Live completions always carry `false`.
+    pub redelivered: bool,
 }
 
 /// Per-tenant slice of a [`StatsReply`].

@@ -55,6 +55,7 @@ use scratch_system::{
     CuError, DispatchProgress, ExecMode, System, SystemCheckpoint, SystemConfig, SystemError,
     SystemKind,
 };
+use scratch_wal::{CrashOnAppend, PendingEntry, Record, RecoveryReport, Wal, WalConfig};
 
 use crate::protocol::{
     fnv1a, JobDone, RejectReason, Rejection, Request, Response, StatsReply, SubmitRequest,
@@ -102,6 +103,21 @@ pub struct ServeConfig {
     /// and fold each completed job's [`InstrSignature`] into its
     /// tenant's aggregate. Also purely observational.
     pub profile: bool,
+    /// Journal every admission, completion and quantum-boundary
+    /// checkpoint into a durable write-ahead log at this location
+    /// (`None` = no durability). On bind the log is recovered first:
+    /// unfinished jobs are re-admitted (resuming from their newest
+    /// durable checkpoint where one exists), completed ones are deduped
+    /// by request id, and the torn tail — if a crash landed mid-append —
+    /// is truncated. See [`Server::recovery_report`].
+    pub wal: Option<WalConfig>,
+    /// Close a connection that has sent no request *and* has no job in
+    /// flight for this long, shedding it with
+    /// [`RejectReason::IdleTimeout`] (`None` = connections may idle
+    /// forever, the historical behaviour). Clients blocked on a `Done`
+    /// of a long-running job are never idle-closed: in-flight jobs hold
+    /// the connection open.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +135,8 @@ impl Default for ServeConfig {
             registry: None,
             spans: false,
             profile: false,
+            wal: None,
+            idle_timeout: None,
         }
     }
 }
@@ -130,7 +148,7 @@ struct ServeMetrics {
     completed: Counter,
     failed: Counter,
     cancelled: Counter,
-    shed: [(RejectReason, Counter); 6],
+    shed: [(RejectReason, Counter); 7],
     queue_depth: Gauge,
     in_flight: Gauge,
     connections: Gauge,
@@ -160,6 +178,94 @@ impl SnapMetrics {
                 "scratch_snap_resume_micros",
                 "Microseconds to decode a checkpoint and rebuild the system",
             ),
+        }
+    }
+}
+
+/// Registry handles for the durability plane.
+struct WalMetrics {
+    appends: Counter,
+    appended_bytes: Counter,
+    fsyncs: Counter,
+    append_errors: Counter,
+    replayed: Counter,
+    resumed: Counter,
+    deduped: Counter,
+    recovery_ms: Gauge,
+}
+
+impl WalMetrics {
+    fn new(r: &Registry) -> WalMetrics {
+        WalMetrics {
+            appends: r.counter(
+                "scratch_wal_appends_total",
+                "Records appended to the write-ahead log",
+            ),
+            appended_bytes: r.counter(
+                "scratch_wal_appended_bytes_total",
+                "Frame bytes appended to the write-ahead log",
+            ),
+            fsyncs: r.counter(
+                "scratch_wal_fsyncs_total",
+                "Appends that paid an fsync under the configured policy",
+            ),
+            append_errors: r.counter(
+                "scratch_wal_append_errors_total",
+                "Write-ahead log appends that failed (durability degraded)",
+            ),
+            replayed: r.counter(
+                "scratch_wal_replayed_jobs_total",
+                "Unfinished jobs re-admitted from the log at startup",
+            ),
+            resumed: r.counter(
+                "scratch_wal_resumed_jobs_total",
+                "Replayed jobs that resumed from a durable checkpoint",
+            ),
+            deduped: r.counter(
+                "scratch_wal_deduped_jobs_total",
+                "Logged jobs whose completion record suppressed re-execution",
+            ),
+            recovery_ms: r.gauge(
+                "scratch_wal_recovery_ms",
+                "Wall-clock milliseconds the last recovery scan took",
+            ),
+        }
+    }
+}
+
+/// The serving side of the write-ahead log: a mutex around the writer
+/// (appends from the admission path, the router and engine workers are
+/// serialized here) plus the `scratch_wal_*` metrics.
+struct WalPlane {
+    wal: Mutex<Wal>,
+    metrics: WalMetrics,
+}
+
+impl WalPlane {
+    /// Append one record, best effort. A failed append loudly degrades
+    /// durability (counter + stderr) rather than wedging the serving
+    /// path: the job still runs, it is just no longer replayable.
+    fn append(&self, record: &Record) {
+        let mut wal = self.wal.lock().expect("wal lock");
+        match wal.append(record) {
+            Ok(info) => {
+                self.metrics.appends.inc();
+                self.metrics.appended_bytes.add(info.bytes);
+                if info.synced {
+                    self.metrics.fsyncs.inc();
+                }
+            }
+            Err(e) => {
+                self.metrics.append_errors.inc();
+                eprintln!("scratch-serve: wal append failed: {e}");
+            }
+        }
+    }
+
+    /// Force an fsync (drain/shutdown path).
+    fn sync(&self) {
+        if let Err(e) = self.wal.lock().expect("wal lock").sync() {
+            eprintln!("scratch-serve: wal sync failed: {e}");
         }
     }
 }
@@ -204,6 +310,7 @@ impl ServeMetrics {
                 shed_counter(RejectReason::Draining),
                 shed_counter(RejectReason::TooLarge),
                 shed_counter(RejectReason::Invalid),
+                shed_counter(RejectReason::IdleTimeout),
             ],
             queue_depth: r.gauge(
                 "scratch_serve_queue_depth",
@@ -318,6 +425,18 @@ struct PendingJob {
     tenant_signature: Arc<Mutex<InstrSignature>>,
     /// The job's span timeline (spans on only); finished at routing.
     track: Option<Arc<SpanTrack>>,
+    /// Id this job's WAL records settle under. Equal to the engine id for
+    /// live admissions; for jobs re-admitted by recovery it is the
+    /// *original* request id, so the completion record dedupes against
+    /// the original admission on the next restart.
+    wal_id: u64,
+    /// `true` for jobs re-admitted from the log (stamped into the
+    /// [`JobDone`]).
+    redelivered: bool,
+    /// The admitting connection's in-flight job count; decremented once
+    /// the `Done` is on the writer channel. Holds the idle timeout off
+    /// while the client legitimately waits in silence.
+    conn_pending: Arc<AtomicU64>,
 }
 
 /// State shared by the accept loop, connection threads and the router.
@@ -339,6 +458,8 @@ struct Inner {
     progress: (Mutex<bool>, Condvar),
     /// Span recorder, present when [`ServeConfig::spans`] is on.
     spans: Option<Arc<SpanRecorder>>,
+    /// Durability plane, present when [`ServeConfig::wal`] is set.
+    wal: Option<WalPlane>,
 }
 
 impl Inner {
@@ -443,6 +564,48 @@ impl Inner {
                 }
                 Err(other) => failure(other.to_string()),
             };
+        // The completion becomes durable *before* the client can observe
+        // it: a crash after this append but before the send redelivers a
+        // `Done` the client never saw (flagged `redelivered`), never the
+        // reverse — an acked `Done` whose job re-runs.
+        if let Some(plane) = &self.wal {
+            plane.append(&Record::Completed {
+                id: p.wal_id,
+                ok,
+                digest,
+                cycles,
+                instructions,
+                error: error.clone().unwrap_or_default(),
+            });
+        }
+        // Like the WAL append above, all completion accounting settles
+        // *before* the Done can reach the client: a client that has its
+        // reply in hand must never observe counters that do not yet
+        // include it.
+        if let Some(sig) = signature {
+            p.tenant_signature
+                .lock()
+                .expect("tenant signature lock")
+                .merge(&sig);
+        }
+        {
+            let mut slo = p.tenant_slo.lock().expect("tenant slo lock");
+            slo.record_latency(total_us);
+            if let Some(snap) = slo.maybe_refresh(SLO_REFRESH) {
+                p.tenant_slo_gauges.publish(&snap);
+            }
+        }
+        p.tenant_latency.observe(total_us);
+        p.tenant_completed.inc();
+        p.tenant_in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.metrics.completed.inc();
+        if !ok {
+            self.metrics.failed.inc();
+        }
+        if cancelled {
+            self.metrics.cancelled.inc();
+        }
+
         let done = JobDone {
             job: outcome.id,
             tenant: p.tenant,
@@ -457,40 +620,18 @@ impl Inner {
             exec_us,
             snap_us,
             slices,
+            redelivered: p.redelivered,
         };
-        // A gone client makes this a no-op; the accounting below still
-        // runs, so drains never wedge and accepted work is never dropped
+        // A gone client makes this a no-op; the accounting above already
+        // ran, so drains never wedge and accepted work is never dropped
         // server-side.
         let line = serde_json::to_string(&Response::Done(done)).expect("JobDone always serializes");
         let _ = p.tx.send(line);
+        p.conn_pending.fetch_sub(1, Ordering::AcqRel);
         // Close the span timeline only after the reply hit the writer
         // channel, so the final Reply span covers the routing work too.
         if let Some(track) = &p.track {
             track.finish(outcome.id);
-        }
-        if let Some(sig) = signature {
-            p.tenant_signature
-                .lock()
-                .expect("tenant signature lock")
-                .merge(&sig);
-        }
-        {
-            let mut slo = p.tenant_slo.lock().expect("tenant slo lock");
-            slo.record_latency(total_us);
-            if let Some(snap) = slo.maybe_refresh(SLO_REFRESH) {
-                p.tenant_slo_gauges.publish(&snap);
-            }
-        }
-
-        p.tenant_latency.observe(total_us);
-        p.tenant_completed.inc();
-        p.tenant_in_flight.fetch_sub(1, Ordering::AcqRel);
-        self.metrics.completed.inc();
-        if !ok {
-            self.metrics.failed.inc();
-        }
-        if cancelled {
-            self.metrics.cancelled.inc();
         }
         self.publish_backlog();
         // Wake anyone waiting on drain progress.
@@ -501,8 +642,14 @@ impl Inner {
 
     /// The admission decision for one submission. Returns the response to
     /// send immediately; on acceptance the job has already been queued
-    /// (its `Done` will follow through `tx`).
-    fn admit(self: &Arc<Inner>, req: SubmitRequest, tx: &Sender<String>) -> Response {
+    /// (its `Done` will follow through `tx`) and — when the WAL is on —
+    /// durably journaled, so the `Accepted` ack implies replay-on-crash.
+    fn admit(
+        self: &Arc<Inner>,
+        req: SubmitRequest,
+        tx: &Sender<String>,
+        conn_pending: &Arc<AtomicU64>,
+    ) -> Response {
         self.metrics.submitted.inc();
         if self.draining.load(Ordering::Acquire) {
             return self.reject(
@@ -590,7 +737,75 @@ impl Inner {
         };
 
         self.metrics.accepted.inc();
+        // The timeline opens in its Queue span here, at admission; the
+        // job id is bound at routing, once the engine has minted it.
+        let track = self
+            .spans
+            .as_ref()
+            .map(|r| r.begin(&req.tenant, &req.label));
+        let job = self.launch(
+            req,
+            kind,
+            tx.clone(),
+            Arc::clone(conn_pending),
+            (
+                tenant_in_flight,
+                tenant_completed,
+                tenant_latency,
+                tenant_slo,
+                slo_gauges,
+                tenant_sig,
+            ),
+            track,
+            None,
+            None,
+        );
+        self.publish_backlog();
+        Response::Accepted { job }
+    }
 
+    /// Hand one validated submission to the engine and register its
+    /// pending entry — the shared tail of live admission ([`Inner::admit`])
+    /// and WAL replay ([`Inner::replay`]). `resume` seeds the slice loop
+    /// with a recovered checkpoint's `(out_addr, snap bytes)`; `wal_id`
+    /// pins the WAL record id for replayed jobs (`None` = live admission,
+    /// whose records settle under the engine id).
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::type_complexity)]
+    fn launch(
+        self: &Arc<Inner>,
+        req: SubmitRequest,
+        kind: SystemKind,
+        tx: Sender<String>,
+        conn_pending: Arc<AtomicU64>,
+        handles: (
+            Arc<AtomicU64>,
+            Counter,
+            Histogram,
+            Arc<Mutex<SloWindow>>,
+            SloGauges,
+            Arc<Mutex<InstrSignature>>,
+        ),
+        track: Option<Arc<SpanTrack>>,
+        resume: Option<(u64, Vec<u8>)>,
+        wal_id: Option<u64>,
+    ) -> u64 {
+        let (
+            tenant_in_flight,
+            tenant_completed,
+            tenant_latency,
+            tenant_slo,
+            slo_gauges,
+            tenant_sig,
+        ) = handles;
+        // Live admissions journal the full submission; replayed jobs are
+        // already in the log (replay is idempotent by request id), so
+        // they are not re-journaled.
+        let payload = (wal_id.is_none() && self.wal.is_some()).then(|| {
+            serde_json::to_string(&req)
+                .expect("SubmitRequest always serializes")
+                .into_bytes()
+        });
         let inner = Arc::clone(self);
         let admitted = Instant::now();
         let engine_label = format!("{}/{}", req.tenant, req.label);
@@ -600,15 +815,16 @@ impl Inner {
         let watchdog = self.config.watchdog_cycles;
         let quantum = self.config.quantum_cycles.max(1);
         let profile = self.config.profile;
-        // The timeline opens in its Queue span here, at admission; the
-        // job id is bound at routing, once the engine has minted it.
-        let track = self.spans.as_ref().map(|r| r.begin(&tenant, &label));
         let work_track = track.clone();
+        let redelivered = wal_id.is_some();
         // Checkpoint bytes carried between slices, plus the output base
         // the first slice allocated (the restored system re-derives
-        // everything else from the checkpoint).
-        let mut carried: Option<Vec<u8>> = None;
-        let mut out_addr = 0u64;
+        // everything else from the checkpoint). Replay seeds both from
+        // the recovered checkpoint, so a restart resumes mid-kernel.
+        let (mut out_addr, mut carried) = match resume {
+            Some((addr, snap)) => (addr, Some(snap)),
+            None => (0u64, None),
+        };
         let mut snap_us = 0u64;
         let work = move |job: u64, slice: u64| -> Slice<JobResult> {
             match run_slice(
@@ -626,6 +842,24 @@ impl Inner {
                 &mut snap_us,
             ) {
                 Ok(SliceStep::Paused(bytes)) => {
+                    // Persist the quantum-boundary checkpoint, then carry
+                    // the same bytes into the next slice (destructured
+                    // back out of the record rather than cloned).
+                    let bytes = match &inner.wal {
+                        Some(plane) => {
+                            let record = Record::Checkpoint {
+                                id: wal_id.unwrap_or(job),
+                                out_addr,
+                                snap: bytes,
+                            };
+                            plane.append(&record);
+                            let Record::Checkpoint { snap, .. } = record else {
+                                unreachable!("just built as a checkpoint")
+                            };
+                            snap
+                        }
+                        None => bytes,
+                    };
                     carried = Some(bytes);
                     Slice::Yield
                 }
@@ -645,17 +879,28 @@ impl Inner {
                 Err(msg) => Slice::Done(Ok(Err(msg))),
             }
         };
+        conn_pending.fetch_add(1, Ordering::AcqRel);
         // Register the pending entry under the same critical section as
-        // the submit, so the router can't race us to the outcome.
+        // the submit, so the router can't race us to the outcome — and
+        // journal the admission there too, so a job's Admitted record
+        // always precedes its Completed record in the log.
         let job = {
             let mut pending = self.pending_jobs.lock().expect("pending jobs lock");
             let id = self
                 .engine
                 .submit_with_id(tenant.clone(), engine_label, work);
+            if let (Some(payload), Some(plane)) = (payload, &self.wal) {
+                plane.append(&Record::Admitted {
+                    id,
+                    tenant: tenant.clone(),
+                    label: label.clone(),
+                    payload,
+                });
+            }
             pending.insert(
                 id,
                 PendingJob {
-                    tx: tx.clone(),
+                    tx,
                     tenant,
                     label,
                     return_output,
@@ -667,12 +912,119 @@ impl Inner {
                     tenant_slo_gauges: slo_gauges,
                     tenant_signature: tenant_sig,
                     track,
+                    wal_id: wal_id.unwrap_or(id),
+                    redelivered,
+                    conn_pending: Arc::clone(&conn_pending),
                 },
             );
             id
         };
+        job
+    }
+
+    /// Re-admit every unfinished job recovery found in the write-ahead
+    /// log, in original admission order. Runs once at bind, after the
+    /// router thread is live.
+    fn replay(self: &Arc<Inner>, entries: Vec<PendingEntry>) {
+        for entry in entries {
+            let req: SubmitRequest = match std::str::from_utf8(&entry.payload)
+                .map_err(|e| e.to_string())
+                .and_then(|s| serde_json::from_str(s).map_err(|e| e.to_string()))
+            {
+                Ok(req) => req,
+                Err(e) => {
+                    self.dead_letter(entry.id, &format!("payload decode failed: {e}"));
+                    continue;
+                }
+            };
+            let kind = match req.system_kind() {
+                Ok(kind) => kind,
+                Err(msg) => {
+                    self.dead_letter(entry.id, &msg);
+                    continue;
+                }
+            };
+            if let Err(msg) = req.exec_mode() {
+                self.dead_letter(entry.id, &msg);
+                continue;
+            }
+            // A checkpoint from a foreign snap format version is dropped
+            // (the job re-runs from scratch, still exactly-once); same-
+            // version bytes resume mid-kernel.
+            let resume =
+                entry
+                    .checkpoint
+                    .and_then(|(addr, snap)| match scratch_snap::peek_version(&snap) {
+                        Ok(v) if v == scratch_snap::FORMAT_VERSION => Some((addr, snap)),
+                        peek => {
+                            eprintln!(
+                                "scratch-serve: wal replay: job {} checkpoint unusable \
+                             ({peek:?}); re-running from scratch",
+                                entry.id
+                            );
+                            None
+                        }
+                    });
+            let handles = {
+                let mut tenants = self.tenants.lock().expect("tenant table lock");
+                if !tenants.contains_key(&req.tenant) {
+                    let t = self.tenant_metrics(&self.registry, &req.tenant);
+                    tenants.insert(req.tenant.clone(), t);
+                }
+                let t = tenants.get_mut(&req.tenant).expect("just inserted");
+                // Replay bypasses the admission gates — these jobs were
+                // already admitted and acked in a previous lifetime — but
+                // still reserves tenant capacity, so live admission sees
+                // the recovered backlog.
+                t.in_flight.fetch_add(1, Ordering::AcqRel);
+                t.accepted.inc();
+                (
+                    Arc::clone(&t.in_flight),
+                    t.completed.clone(),
+                    t.latency_us.clone(),
+                    Arc::clone(&t.slo),
+                    t.slo_gauges.clone(),
+                    Arc::clone(&t.signature),
+                )
+            };
+            self.metrics.accepted.inc();
+            let track = self
+                .spans
+                .as_ref()
+                .map(|r| r.begin_replayed(&req.tenant, &req.label));
+            // No connection owns a replayed job: its Done goes to a dead
+            // channel (while still being journaled and accounted), its
+            // in-flight count to a throwaway counter.
+            let (tx, _) = channel::<String>();
+            self.launch(
+                req,
+                kind,
+                tx,
+                Arc::new(AtomicU64::new(0)),
+                handles,
+                track,
+                resume,
+                Some(entry.id),
+            );
+        }
         self.publish_backlog();
-        Response::Accepted { job }
+    }
+
+    /// A logged job that can no longer be replayed (undecodable payload
+    /// or an invalid request): journal a failed completion under its id
+    /// so the next recovery dedupes it instead of tripping over it again.
+    fn dead_letter(&self, id: u64, why: &str) {
+        eprintln!("scratch-serve: wal replay: job {id} dropped: {why}");
+        if let Some(plane) = &self.wal {
+            plane.append(&Record::Completed {
+                id,
+                ok: false,
+                digest: 0,
+                cycles: 0,
+                instructions: 0,
+                error: format!("unreplayable: {why}"),
+            });
+        }
     }
 
     fn reject(
@@ -764,9 +1116,14 @@ impl Inner {
     }
 
     /// Handle one parsed request; returns the immediate response.
-    fn dispatch(self: &Arc<Inner>, req: Request, tx: &Sender<String>) -> Response {
+    fn dispatch(
+        self: &Arc<Inner>,
+        req: Request,
+        tx: &Sender<String>,
+        conn_pending: &Arc<AtomicU64>,
+    ) -> Response {
         match req {
-            Request::Submit(submit) => self.admit(submit, tx),
+            Request::Submit(submit) => self.admit(submit, tx, conn_pending),
             Request::Stats => Response::Stats(self.stats()),
             Request::Top => Response::Top(self.top()),
             Request::Ping => Response::Pong,
@@ -994,6 +1351,7 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     router_thread: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
@@ -1009,8 +1367,47 @@ impl Server {
             .registry
             .clone()
             .unwrap_or_else(|| scratch_metrics::global().clone());
+        // Open and recover the WAL *before* the engine exists: recovery's
+        // `next_id` seeds the engine's id space, so restarted processes
+        // never re-mint an id a previous lifetime already acked.
+        let mut recovered = None;
+        let wal = match config.wal.clone() {
+            Some(wal_config) => {
+                let (mut wal, recovery) = Wal::open(wal_config).map_err(|e| match e {
+                    scratch_wal::WalError::Io(io) => io,
+                    other => io::Error::other(other.to_string()),
+                })?;
+                // Test-only chaos hook: SCRATCH_WAL_CRASH=<append>:<keep>
+                // tears that append after <keep> bytes and aborts the
+                // process — the chaos harness's mid-append crash. Never
+                // set it in production.
+                if let Ok(spec) = std::env::var("SCRATCH_WAL_CRASH") {
+                    if let Some(hook) = CrashOnAppend::parse(&spec) {
+                        eprintln!(
+                            "scratch-serve: SCRATCH_WAL_CRASH={spec} installed \
+                             (test-only crash fault)"
+                        );
+                        wal.set_fault_hook(Box::new(hook));
+                    }
+                }
+                let metrics = WalMetrics::new(&registry);
+                let report = &recovery.report;
+                metrics.replayed.add(report.replayed);
+                metrics.resumed.add(report.resumed);
+                metrics.deduped.add(report.deduped);
+                metrics.recovery_ms.set(report.recovery_ms as f64);
+                recovered = Some(recovery);
+                Some(WalPlane {
+                    wal: Mutex::new(wal),
+                    metrics,
+                })
+            }
+            None => None,
+        };
+        let first_id = recovered.as_ref().map_or(0, |r| r.next_id);
         let engine = PreemptiveEngine::new(config.workers)
             .with_registry(registry.clone())
+            .with_first_id(first_id)
             .start();
         let spans = config.spans.then(SpanRecorder::new);
         let inner = Arc::new(Inner {
@@ -1025,12 +1422,19 @@ impl Server {
             stop: AtomicBool::new(false),
             progress: (Mutex::new(false), Condvar::new()),
             spans,
+            wal,
         });
         let router_inner = Arc::clone(&inner);
         let router_thread = std::thread::Builder::new()
             .name("scratch-serve-route".to_owned())
             .spawn(move || router(&router_inner))
             .expect("spawn router thread");
+        // Re-admit the recovered backlog with the router already live, so
+        // replayed completions route (to dead channels) like any other.
+        let recovery = recovered.map(|r| {
+            inner.replay(r.pending);
+            r.report
+        });
         let conns = Arc::new(Mutex::new(Vec::new()));
         let accept_inner = Arc::clone(&inner);
         let accept_conns = Arc::clone(&conns);
@@ -1057,7 +1461,16 @@ impl Server {
             accept_thread: Some(accept_thread),
             router_thread: Some(router_thread),
             conns,
+            recovery,
         })
+    }
+
+    /// What WAL recovery did at bind: `None` without a WAL (or on a
+    /// fresh, empty log directory the report is all zeros — still
+    /// `Some`). The same numbers land on the `scratch_wal_*` metrics.
+    #[must_use]
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The bound address (useful with port 0).
@@ -1141,6 +1554,11 @@ impl Server {
             }
         }
         let stats = self.inner.stats();
+        // The backlog is drained; make its completion records durable
+        // before tearing anything down.
+        if let Some(plane) = &self.inner.wal {
+            plane.sync();
+        }
 
         // Stop the accept loop (one last self-connection unblocks it) and
         // the connection readers (they poll `stop` on their read timeout).
@@ -1192,7 +1610,10 @@ fn connection(inner: &Arc<Inner>, stream: TcpStream) {
         })
         .expect("spawn writer thread");
 
-    read_loop(inner, stream, &tx);
+    // Jobs this connection admitted whose Done has not been sent yet —
+    // the idle-timeout gate (a silently waiting client is not idle).
+    let conn_pending = Arc::new(AtomicU64::new(0));
+    read_loop(inner, stream, &tx, &conn_pending);
 
     inner.metrics.connections.dec();
     drop(tx);
@@ -1204,10 +1625,19 @@ fn connection(inner: &Arc<Inner>, stream: TcpStream) {
 
 /// Read request lines, tolerating arbitrarily short reads, and dispatch
 /// them. Malformed lines answer [`Response::Error`] and keep the
-/// connection open.
-fn read_loop(inner: &Arc<Inner>, mut stream: TcpStream, tx: &Sender<String>) {
+/// connection open. With [`ServeConfig::idle_timeout`] set, a connection
+/// that goes silent with nothing in flight is shed with
+/// [`RejectReason::IdleTimeout`] and closed, so abandoned sockets stop
+/// pinning reader/writer threads forever.
+fn read_loop(
+    inner: &Arc<Inner>,
+    mut stream: TcpStream,
+    tx: &Sender<String>,
+    conn_pending: &Arc<AtomicU64>,
+) {
     let mut acc: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 64 * 1024];
+    let mut last_activity = Instant::now();
     loop {
         if inner.stop.load(Ordering::Acquire) {
             return;
@@ -1223,10 +1653,32 @@ fn read_loop(inner: &Arc<Inner>, mut stream: TcpStream, tx: &Sender<String>) {
                         | io::ErrorKind::Interrupted
                 ) =>
             {
-                continue
+                if conn_pending.load(Ordering::Acquire) > 0 {
+                    // Awaiting a Done: legitimately silent, not idle.
+                    last_activity = Instant::now();
+                } else if let Some(idle) = inner.config.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        inner.metrics.shed(RejectReason::IdleTimeout).inc();
+                        respond(
+                            tx,
+                            &Response::Rejected(Rejection {
+                                reason: RejectReason::IdleTimeout,
+                                tenant: String::new(),
+                                retry_after_ms: None,
+                                message: format!(
+                                    "connection idle past the {} ms timeout",
+                                    idle.as_millis()
+                                ),
+                            }),
+                        );
+                        return;
+                    }
+                }
+                continue;
             }
             Err(_) => return,
         };
+        last_activity = Instant::now();
         acc.extend_from_slice(&chunk[..n]);
         if acc.len() > MAX_LINE_BYTES {
             respond(
@@ -1246,7 +1698,7 @@ fn read_loop(inner: &Arc<Inner>, mut stream: TcpStream, tx: &Sender<String>) {
                 continue;
             }
             let response = match serde_json::from_str::<Request>(line) {
-                Ok(req) => inner.dispatch(req, tx),
+                Ok(req) => inner.dispatch(req, tx, conn_pending),
                 Err(e) => Response::Error {
                     message: format!("malformed request: {e}"),
                 },

@@ -712,3 +712,247 @@ fn spans_tile_exactly_under_preemption_and_top_aggregates() {
     assert_eq!(stats.completed, submitted.len() as u64);
     assert_eq!(stats.failed, 0);
 }
+
+// ---------------------------------------------------------------------------
+// Durability: WAL recovery and the idle-timeout shed.
+// ---------------------------------------------------------------------------
+
+/// A scratch directory unique to one test.
+fn wal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("scratch-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Poll the log until `id` has a completion record (the replayed job's
+/// `Done` goes to a dead channel, so the log is the only witness).
+fn await_completion(dir: &std::path::Path, id: u64) -> scratch_wal::CompletionMeta {
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let state = scratch_wal::WalState::read(dir).expect("readable log");
+        if let Some(metas) = state.completions.get(&id) {
+            return metas[0].clone();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job {id} never completed after replay"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A restarted daemon must re-run logged-but-unfinished jobs, suppress
+/// logged-and-completed ones, produce bit-identical digests for the
+/// replays, and never re-mint an id the previous lifetime used.
+#[test]
+fn wal_recovery_replays_pending_dedupes_completed_and_floors_ids() {
+    use scratch_wal::{FsyncPolicy, Record, Wal, WalConfig};
+
+    let dir = wal_dir("recovery");
+    let gk_done = workload(300, 2);
+    let gk_pending = workload(310, 2);
+    let (_, done_words) = direct_run(&gk_done);
+    let (_, pending_words) = direct_run(&gk_pending);
+
+    // Forge the log a crashed daemon would have left behind: one job
+    // fully completed, one admitted but unfinished.
+    {
+        let (mut wal, _) = Wal::open(WalConfig {
+            fsync: FsyncPolicy::Never,
+            ..WalConfig::new(&dir)
+        })
+        .expect("fresh log");
+        let payload_of = |gk: &GenKernel, tenant: &str, label: &str| {
+            serde_json::to_string(&submit_of(gk, tenant, label, false))
+                .expect("serializable")
+                .into_bytes()
+        };
+        wal.append(&Record::Admitted {
+            id: 3,
+            tenant: "alpha".to_owned(),
+            label: "done".to_owned(),
+            payload: payload_of(&gk_done, "alpha", "done"),
+        })
+        .expect("append");
+        wal.append(&Record::Completed {
+            id: 3,
+            ok: true,
+            digest: fnv1a(&done_words),
+            cycles: 1,
+            instructions: 1,
+            error: String::new(),
+        })
+        .expect("append");
+        wal.append(&Record::Admitted {
+            id: 7,
+            tenant: "beta".to_owned(),
+            label: "pending".to_owned(),
+            payload: payload_of(&gk_pending, "beta", "pending"),
+        })
+        .expect("append");
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            wal: Some(scratch_wal::WalConfig::new(&dir)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind with wal");
+    let report = server.recovery_report().expect("wal configured").clone();
+    assert_eq!(report.admitted, 2);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.replayed, 1, "only the unfinished job re-runs");
+    assert_eq!(report.deduped, 1, "the completed job is suppressed");
+    assert_eq!(report.torn_bytes, 0, "a clean log has no torn tail");
+
+    // The replay completes with a digest bit-identical to a direct run,
+    // exactly once.
+    let meta = await_completion(&dir, 7);
+    assert!(meta.ok, "replayed job failed: {}", meta.error);
+    assert_eq!(
+        meta.digest,
+        fnv1a(&pending_words),
+        "replay is bit-identical"
+    );
+
+    // A live admission in the new lifetime never reuses a logged id.
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    let job = client
+        .submit(submit_of(&gk_done, "alpha", "fresh", false))
+        .expect("protocol")
+        .expect("admitted");
+    assert!(job > 7, "id floor: got {job}, the old lifetime reached 7");
+    let d = client.recv_done().expect("fresh job completes");
+    assert!(!d.redelivered, "a live admission is not a redelivery");
+    server.shutdown();
+
+    // The final ledger is clean: every admission has exactly one
+    // completion.
+    let vr = scratch_wal::verify(&dir).expect("verify");
+    assert!(vr.clean(), "post-shutdown log must be clean: {vr:?}");
+    assert_eq!(vr.duplicate_completions, 0);
+    assert_eq!(vr.unfinished, 0);
+    let state = scratch_wal::WalState::read(&dir).expect("read");
+    assert_eq!(state.completions.get(&3).map(Vec::len), Some(1));
+    assert_eq!(state.completions.get(&7).map(Vec::len), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unusable checkpoint (garbage bytes, wrong version) must not wedge
+/// recovery: the job falls back to a from-scratch replay and still lands
+/// the right digest.
+#[test]
+fn wal_recovery_survives_a_garbage_checkpoint() {
+    use scratch_wal::{FsyncPolicy, Record, Wal, WalConfig};
+
+    let dir = wal_dir("bad-checkpoint");
+    let gk = workload(320, 2);
+    let (_, words) = direct_run(&gk);
+    {
+        let (mut wal, _) = Wal::open(WalConfig {
+            fsync: FsyncPolicy::Never,
+            ..WalConfig::new(&dir)
+        })
+        .expect("fresh log");
+        wal.append(&Record::Admitted {
+            id: 5,
+            tenant: "alpha".to_owned(),
+            label: "resumable".to_owned(),
+            payload: serde_json::to_string(&submit_of(&gk, "alpha", "resumable", false))
+                .expect("serializable")
+                .into_bytes(),
+        })
+        .expect("append");
+        wal.append(&Record::Checkpoint {
+            id: 5,
+            out_addr: 64,
+            snap: vec![0xde, 0xad, 0xbe, 0xef, 1, 2, 3],
+        })
+        .expect("append");
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            wal: Some(scratch_wal::WalConfig::new(&dir)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind with wal");
+    let report = server.recovery_report().expect("wal configured");
+    assert_eq!(report.replayed, 1);
+    assert_eq!(report.resumed, 1, "the scan trusts the checkpoint's shape");
+
+    let meta = await_completion(&dir, 5);
+    assert!(meta.ok, "fallback replay failed: {}", meta.error);
+    assert_eq!(meta.digest, fnv1a(&words), "fallback is bit-identical");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `idle_timeout` set, a connection that goes silent with nothing in
+/// flight is shed with the typed `IdleTimeout` rejection and closed —
+/// while activity (even just pings) keeps it alive indefinitely.
+#[test]
+fn idle_connections_shed_with_typed_timeout_and_activity_resets_it() {
+    use scratch_serve::Response;
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            idle_timeout: Some(Duration::from_millis(300)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // A silent connection: the daemon speaks first, with the typed shed,
+    // then closes.
+    let silent = TcpStream::connect(addr).expect("connect");
+    silent
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut lines = BufReader::new(silent);
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("the shed notice arrives");
+    let response: Response = serde_json::from_str(&line).expect("valid protocol line");
+    match response {
+        Response::Rejected(r) => {
+            assert_eq!(r.reason, RejectReason::IdleTimeout);
+            assert!(r.message.contains("300 ms"), "message names the limit");
+        }
+        other => panic!("expected the idle shed, got {other:?}"),
+    }
+    line.clear();
+    let eof = lines.read_line(&mut line).expect("socket readable");
+    assert_eq!(eof, 0, "the daemon closes an idle-shed connection");
+
+    // An active connection outlives many idle windows: each ping resets
+    // the clock.
+    let mut active = ServeClient::connect(addr).expect("connect");
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(
+            active.ping().expect("still connected"),
+            "ping keeps it alive"
+        );
+    }
+
+    // ...and a submitted job holds the connection open while the client
+    // silently awaits its Done.
+    let gk = workload(330, 2);
+    active
+        .submit(submit_of(&gk, "tenant", "awaited", false))
+        .expect("protocol")
+        .expect("admitted");
+    let d = active
+        .recv_done()
+        .expect("done arrives on a live connection");
+    assert!(d.ok);
+    server.shutdown();
+}

@@ -69,6 +69,7 @@ fn every_response_variant_round_trips() {
         RejectReason::Draining,
         RejectReason::TooLarge,
         RejectReason::Invalid,
+        RejectReason::IdleTimeout,
     ] {
         roundtrip_response(&Response::Rejected(Rejection {
             reason,
@@ -91,6 +92,7 @@ fn every_response_variant_round_trips() {
         exec_us: 3400,
         snap_us: 210,
         slices: 3,
+        redelivered: false,
     }));
     roundtrip_response(&Response::Done(JobDone {
         job: 43,
@@ -106,6 +108,7 @@ fn every_response_variant_round_trips() {
         exec_us: 50,
         snap_us: 0,
         slices: 1,
+        redelivered: true,
     }));
     roundtrip_response(&Response::Pong);
     roundtrip_response(&Response::Stats(StatsReply {

@@ -296,6 +296,27 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Vec<u8> {
     out
 }
 
+/// Read just the format version out of a snapshot header, without
+/// decoding the body. Recovery paths use this to decide whether a durable
+/// checkpoint written by an older process is still restorable before
+/// spending a full decode on it.
+///
+/// # Errors
+///
+/// [`SnapError::Magic`] when the buffer does not open with the `SNAP`
+/// magic, [`SnapError::Truncated`] when it is shorter than the header.
+pub fn peek_version(bytes: &[u8]) -> Result<u32, SnapError> {
+    if bytes.len() < 4 || bytes[..4] != MAGIC {
+        return Err(SnapError::Magic);
+    }
+    if bytes.len() < 8 {
+        return Err(SnapError::Truncated);
+    }
+    let mut ver = [0u8; 4];
+    ver.copy_from_slice(&bytes[4..8]);
+    Ok(u32::from_le_bytes(ver))
+}
+
 /// Parse a binary snapshot produced by [`to_bytes`].
 ///
 /// # Errors
@@ -545,6 +566,18 @@ mod tests {
         bytes[0] = b'X';
         assert_eq!(from_bytes::<Value>(&bytes), Err(SnapError::Magic));
         assert_eq!(from_bytes::<Value>(b"SN"), Err(SnapError::Magic));
+    }
+
+    #[test]
+    fn peek_version_reads_the_header_only() {
+        let mut bytes = to_bytes(&Value::U64(7));
+        assert_eq!(peek_version(&bytes), Ok(FORMAT_VERSION));
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        // A future version peeks fine (that's the point) …
+        assert_eq!(peek_version(&bytes), Ok(99));
+        // … while garbage and short buffers fail without panicking.
+        assert_eq!(peek_version(b"nope"), Err(SnapError::Magic));
+        assert_eq!(peek_version(b"SNAP\x01"), Err(SnapError::Truncated));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! WAL micro-costs: append throughput under each fsync policy, and
+//! recovery (scan + truncate + fold) wall-clock against log size. These
+//! feed `BENCH_wal.json` alongside the serve-level overhead numbers.
+
+use std::path::PathBuf;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use scratch_wal::{FsyncPolicy, Record, Wal, WalConfig};
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scratch-wal-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn admitted(id: u64) -> Record {
+    Record::Admitted {
+        id,
+        tenant: "bench".to_owned(),
+        label: format!("job-{id}"),
+        // Typical admitted payload: a small JSON submission with a
+        // modest kernel body.
+        payload: vec![0x5a; 512],
+    }
+}
+
+fn completed(id: u64) -> Record {
+    Record::Completed {
+        id,
+        ok: true,
+        digest: id.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        cycles: 10_000,
+        instructions: 2_500,
+        error: String::new(),
+    }
+}
+
+fn append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.throughput(Throughput::Elements(1));
+    for (name, fsync) in [
+        ("interval_100ms", FsyncPolicy::IntervalMs(100)),
+        ("never", FsyncPolicy::Never),
+        ("always", FsyncPolicy::Always),
+    ] {
+        let dir = bench_dir(name);
+        let (mut wal, _) = Wal::open(WalConfig {
+            fsync,
+            ..WalConfig::new(&dir)
+        })
+        .expect("open");
+        let mut id = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                wal.append(&admitted(id)).expect("append");
+                wal.append(&completed(id)).expect("append");
+                id += 1;
+            });
+        });
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery");
+    group.sample_size(10);
+    for jobs in [100u64, 1_000, 10_000] {
+        let dir = bench_dir(&format!("recover-{jobs}"));
+        let (mut wal, _) = Wal::open(WalConfig {
+            fsync: FsyncPolicy::Never,
+            ..WalConfig::new(&dir)
+        })
+        .expect("open");
+        for id in 0..jobs {
+            wal.append(&admitted(id)).expect("append");
+            if id % 2 == 0 {
+                wal.append(&completed(id)).expect("append");
+            }
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+        group.bench_function(format!("open_{jobs}_jobs"), |b| {
+            b.iter(|| {
+                let (_, rec) = Wal::open(WalConfig::new(&dir)).expect("open");
+                assert_eq!(rec.report.admitted, jobs);
+                rec
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, append, recovery);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Append-path fault hooks, in the `scratch-fault` style: a trait object
+//! installed on the writer that gets to sabotage each append.
+//!
+//! These exist for crash testing only. [`TearOnce`] truncates one frame
+//! mid-write and reports [`WalError::TornWrite`](crate::WalError) so unit
+//! tests can observe the torn tail in-process; [`CrashOnAppend`] tears a
+//! frame and then *aborts the process* — the deterministic stand-in for a
+//! power cut landing in the middle of a `write(2)`, which the chaos
+//! harness schedules by seed.
+
+use std::fmt;
+
+/// What the hook wants done to one append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TearAction {
+    /// Write the frame intact.
+    Pass,
+    /// Write only the first `keep` bytes of the frame, flush them, then
+    /// either abort the process (`abort: true` — a simulated crash) or
+    /// return [`WalError::TornWrite`](crate::WalError) to the caller.
+    Tear {
+        /// Bytes of the frame to let through before cutting.
+        keep: usize,
+        /// Abort the process after the partial write.
+        abort: bool,
+    },
+}
+
+/// A saboteur on the append path. Consulted once per append with the
+/// 1-based append ordinal and the complete frame about to be written.
+pub trait AppendFault: fmt::Debug + Send {
+    /// Decide this append's fate.
+    fn on_append(&mut self, ordinal: u64, frame: &[u8]) -> TearAction;
+}
+
+/// Tear the `at`-th append (1-based), keeping `keep_frac` of the frame,
+/// and return an error instead of aborting — the in-process test hook.
+#[derive(Debug)]
+pub struct TearOnce {
+    at: u64,
+    keep_frac: f64,
+    seen: u64,
+}
+
+impl TearOnce {
+    /// Tear append number `at`, keeping `keep_frac` (clamped to `0..=1`)
+    /// of the frame bytes.
+    #[must_use]
+    pub fn new(at: u64, keep_frac: f64) -> TearOnce {
+        TearOnce {
+            at: at.max(1),
+            keep_frac: keep_frac.clamp(0.0, 1.0),
+            seen: 0,
+        }
+    }
+}
+
+impl AppendFault for TearOnce {
+    fn on_append(&mut self, ordinal: u64, frame: &[u8]) -> TearAction {
+        self.seen = ordinal;
+        if ordinal == self.at {
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+            #[allow(clippy::cast_sign_loss)]
+            let keep = (frame.len() as f64 * self.keep_frac) as usize;
+            TearAction::Tear {
+                keep: keep.min(frame.len().saturating_sub(1)),
+                abort: false,
+            }
+        } else {
+            TearAction::Pass
+        }
+    }
+}
+
+/// Tear the `at`-th append (1-based) after `keep` bytes and abort the
+/// process — the chaos harness's mid-append crash. The serving daemon
+/// installs it from the `SCRATCH_WAL_CRASH=<at>:<keep>` environment
+/// variable (test-only; never set it in production).
+#[derive(Debug)]
+pub struct CrashOnAppend {
+    at: u64,
+    keep: usize,
+}
+
+impl CrashOnAppend {
+    /// Crash on append number `at`, letting `keep` frame bytes through.
+    #[must_use]
+    pub fn new(at: u64, keep: usize) -> CrashOnAppend {
+        CrashOnAppend {
+            at: at.max(1),
+            keep,
+        }
+    }
+
+    /// Parse the `<at>:<keep>` form used by the environment hook.
+    #[must_use]
+    pub fn parse(spec: &str) -> Option<CrashOnAppend> {
+        let (at, keep) = spec.split_once(':')?;
+        Some(CrashOnAppend::new(at.parse().ok()?, keep.parse().ok()?))
+    }
+}
+
+impl AppendFault for CrashOnAppend {
+    fn on_append(&mut self, ordinal: u64, frame: &[u8]) -> TearAction {
+        if ordinal == self.at {
+            TearAction::Tear {
+                keep: self.keep.min(frame.len().saturating_sub(1)),
+                abort: true,
+            }
+        } else {
+            TearAction::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tear_once_fires_exactly_once_at_the_scheduled_append() {
+        let mut hook = TearOnce::new(3, 0.5);
+        let frame = vec![0u8; 100];
+        assert_eq!(hook.on_append(1, &frame), TearAction::Pass);
+        assert_eq!(hook.on_append(2, &frame), TearAction::Pass);
+        assert_eq!(
+            hook.on_append(3, &frame),
+            TearAction::Tear {
+                keep: 50,
+                abort: false
+            }
+        );
+        assert_eq!(hook.on_append(4, &frame), TearAction::Pass);
+    }
+
+    #[test]
+    fn crash_spec_parses_and_rejects_garbage() {
+        let hook = CrashOnAppend::parse("12:7").unwrap();
+        assert_eq!(hook.at, 12);
+        assert_eq!(hook.keep, 7);
+        assert!(CrashOnAppend::parse("12").is_none());
+        assert!(CrashOnAppend::parse("a:b").is_none());
+    }
+
+    #[test]
+    fn tears_always_keep_strictly_less_than_the_frame() {
+        let mut hook = TearOnce::new(1, 1.0);
+        let frame = vec![0u8; 10];
+        let TearAction::Tear { keep, .. } = hook.on_append(1, &frame) else {
+            panic!("must tear");
+        };
+        assert!(
+            keep < frame.len(),
+            "a 'tear' that keeps everything is a no-op"
+        );
+    }
+}

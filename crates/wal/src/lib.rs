@@ -1,0 +1,133 @@
+//! Durable write-ahead log for the serving layer.
+//!
+//! The log is a directory of numbered segment files. Each segment is a
+//! sequence of *frames*:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! where `crc` is the IEEE CRC32 of the payload and the payload is one
+//! encoded [`Record`] — a job admission (the full serialized submission),
+//! a completion (the digest the client was or would have been told), or a
+//! mid-run checkpoint (the `scratch-snap` bytes captured at a preemption
+//! quantum boundary). Appends go to the newest segment; when it passes
+//! [`WalConfig::segment_bytes`] the writer rotates to a fresh one.
+//!
+//! ## Recovery model
+//!
+//! A crash can tear the tail of the newest segment mid-frame. Recovery
+//! ([`Wal::open`]) therefore scans every segment in order, accepting
+//! frames until the first damage — a short header, an implausible length,
+//! a CRC mismatch, or an undecodable record — then truncates the damaged
+//! segment at the last valid frame and drops any later segments. Garbage
+//! never panics; it just marks the end of the durable prefix. The fold
+//! over the surviving records yields the [`Recovery`]: jobs admitted but
+//! not completed (each with its newest durable checkpoint, if any), a
+//! [`RecoveryReport`] for operators, and the next request id.
+//!
+//! ## Durability model
+//!
+//! [`FsyncPolicy`] trades append latency against power-loss durability.
+//! OS page cache survives a killed *process*, so even `Never` gives
+//! exactly-once recovery under SIGKILL (the chaos harness's regime);
+//! `Always`/`Interval` bound the loss window against whole-machine
+//! failure. The [`fault`] module hooks the append path for crash tests:
+//! a hook can tear a frame mid-write and abort, simulating the worst
+//! moment a power cut can pick.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod log;
+mod record;
+
+pub use fault::{AppendFault, CrashOnAppend, TearAction, TearOnce};
+pub use log::{
+    inspect, verify, AppendInfo, CompletionMeta, Damage, FsyncPolicy, InspectEntry, PendingEntry,
+    Recovery, RecoveryReport, VerifyReport, Wal, WalConfig, WalState,
+};
+pub use record::{Record, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD};
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong operating the log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem-level failure (open, read, write, fsync, truncate).
+    Io(io::Error),
+    /// A record payload larger than [`MAX_FRAME_PAYLOAD`] was offered for
+    /// append — the frame would be unreadable by recovery's plausibility
+    /// bound, so it is refused up front.
+    FrameTooLarge {
+        /// Offered payload size in bytes.
+        len: usize,
+    },
+    /// An installed [`AppendFault`] hook tore this append (test-only).
+    TornWrite,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::FrameTooLarge { len } => {
+                write!(
+                    f,
+                    "record payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte frame bound"
+                )
+            }
+            WalError::TornWrite => write!(f, "append torn by the installed fault hook"),
+        }
+    }
+}
+
+impl Error for WalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+/// IEEE 802.3 CRC32 (reflected, polynomial `0xedb8_8320`) over raw bytes —
+/// the byte-granular sibling of `scratch_fault::crc32`, which works on
+/// `u32` words. Table-free: the log is I/O-bound, not CRC-bound.
+#[must_use]
+pub fn crc32_bytes(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32_bytes(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32_bytes(b""), 0);
+        // Any single-bit flip changes the CRC.
+        let a = crc32_bytes(b"scratch");
+        let b = crc32_bytes(b"scsatch");
+        assert_ne!(a, b);
+    }
+}

@@ -19,10 +19,26 @@
 //! scratch-tool serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--tenant-cap N]
 //!                       [--rate R] [--burst B] [--quantum CYCLES] [--metrics-addr HOST:PORT]
 //!                       [--spans] [--spans-out FILE] [--spans-chrome FILE] [--profile]
+//!                       [--wal-dir DIR] [--wal-fsync always|never|MS] [--wal-segment-bytes N]
+//!                       [--idle-timeout-ms N]
 //! scratch-tool load     [--addr HOST:PORT] [--clients 1,2,4,...] [--duration-ms N]
 //!                       [--seed S] [--kernels N] [--tenants N] [--out FILE]
 //! scratch-tool ctl      ping|stats|top|drain|cancel <job> [--addr HOST:PORT]
+//! scratch-tool wal      inspect <dir> [--limit N] | verify <dir> [--json]
+//! scratch-tool chaos    [--seed S] [--cycles N] [--jobs N] [--clients N] [--tenants N]
+//!                       [--addr HOST:PORT] [--wal-dir DIR] [--quantum CYCLES]
+//!                       [--mid-append-every N] [--json]
 //! ```
+//!
+//! `serve --wal-dir` journals every admission, checkpoint and completion
+//! to a crash-safe write-ahead log; on restart against the same directory
+//! the daemon prints its recovery report, re-runs unfinished jobs (from
+//! their newest durable checkpoint where one exists) and dedupes
+//! completed ones by request id. `wal` audits such a log offline. `chaos`
+//! is the adversarial proof: it spawns a serve daemon, drives seeded load
+//! at it, SIGKILLs it at seeded points (some mid-`write(2)`, via the
+//! torn-append hook), restarts it, and fails unless every acked job
+//! completed exactly once with a digest bit-identical to a direct run.
 //!
 //! `run` launches the kernel with one argument: the address of a scratch
 //! output buffer (the quickstart convention used by the examples), then
@@ -73,9 +89,10 @@ use scratch::isa::FuncUnit;
 use scratch::kernels::{vec_ops::MatrixAdd, Benchmark};
 use scratch::metrics::{jsonl, prometheus, MetricsServer};
 use scratch::profile::{span, InstrSignature};
-use scratch::serve::{LoadPlan, ServeClient, ServeConfig, Server};
+use scratch::serve::{run_chaos, ChaosPlan, LoadPlan, ServeClient, ServeConfig, Server};
 use scratch::system::{CuStats, ExecMode, RunReport, System, SystemConfig, SystemKind, TraceMode};
 use scratch::trace::chrome_trace;
+use scratch::wal::{FsyncPolicy, WalConfig};
 
 fn load_kernel(path: &str) -> Result<Kernel, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -646,6 +663,22 @@ fn real_main() -> Result<(), String> {
                     || flag_value(&args, "--spans-out").is_some()
                     || flag_value(&args, "--spans-chrome").is_some(),
                 profile: args.iter().any(|a| a == "--profile"),
+                wal: flag_value(&args, "--wal-dir")
+                    .map(|dir| {
+                        let mut wal = WalConfig::new(dir);
+                        if let Some(policy) = flag_value(&args, "--wal-fsync") {
+                            wal.fsync = FsyncPolicy::parse(policy)
+                                .map_err(|e| format!("--wal-fsync: {e}"))?;
+                        }
+                        wal.segment_bytes =
+                            flag_u64(&args, "--wal-segment-bytes", wal.segment_bytes)?.max(1);
+                        Ok::<_, String>(wal)
+                    })
+                    .transpose()?,
+                idle_timeout: match flag_u64(&args, "--idle-timeout-ms", 0)? {
+                    0 => None,
+                    ms => Some(std::time::Duration::from_millis(ms)),
+                },
                 ..ServeConfig::default()
             };
             // Optional Prometheus sidecar on the same registry, so
@@ -661,6 +694,24 @@ fn real_main() -> Result<(), String> {
                 }
             };
             let server = Server::bind(addr.as_str(), config).map_err(|e| format!("{addr}: {e}"))?;
+            if let Some(r) = server.recovery_report() {
+                // One line per fact, grep-stable: the chaos harness and
+                // the CI wal-smoke job key on the `wal recovery:` prefix.
+                println!(
+                    "wal recovery: {} segments, {} frames ({} admitted / {} completed / {} checkpoints) in {} ms",
+                    r.segments, r.frames, r.admitted, r.completed, r.checkpoints, r.recovery_ms
+                );
+                println!(
+                    "wal recovery: {} replayed ({} resumed from checkpoint), {} deduped",
+                    r.replayed, r.resumed, r.deduped
+                );
+                if r.torn_bytes > 0 || r.dropped_segments > 0 {
+                    println!(
+                        "wal recovery: truncated {} torn bytes, dropped {} segments after the damage",
+                        r.torn_bytes, r.dropped_segments
+                    );
+                }
+            }
             println!("scratch-serve listening on {}", server.addr());
             println!(
                 "drain with: scratch-tool ctl drain --addr {}",
@@ -735,7 +786,7 @@ fn real_main() -> Result<(), String> {
             };
             let report = scratch::serve::run_load(&plan).map_err(|e| e.to_string())?;
             println!(
-                "{:>8} {:>10} {:>10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                "{:>8} {:>10} {:>10} {:>8} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>7}",
                 "clients",
                 "offered/s",
                 "done/s",
@@ -746,11 +797,12 @@ fn real_main() -> Result<(), String> {
                 "p99 us",
                 "queue us",
                 "run us",
-                "snap us"
+                "snap us",
+                "reconn"
             );
             for s in &report.steps {
                 println!(
-                    "{:>8} {:>10.1} {:>10.1} {:>8} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+                    "{:>8} {:>10.1} {:>10.1} {:>8} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>7}",
                     s.clients,
                     s.offered_per_sec,
                     s.completed_per_sec,
@@ -761,7 +813,8 @@ fn real_main() -> Result<(), String> {
                     s.p99_us,
                     s.mean_queue_us,
                     s.mean_run_us,
-                    s.mean_snap_us
+                    s.mean_snap_us,
+                    s.reconnects
                 );
             }
             if let Some(path) = flag_value(&args, "--out") {
@@ -881,6 +934,133 @@ fn real_main() -> Result<(), String> {
                 std::thread::park();
             }
         }
+        "wal" => {
+            let usage = "usage: scratch-tool wal inspect <dir> [--limit N] | verify <dir> [--json]";
+            let verb = args.get(1).map(String::as_str).ok_or(usage)?;
+            let dir = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or(usage)?
+                .as_str();
+            match verb {
+                "inspect" => {
+                    let limit = usize::try_from(flag_u64(&args, "--limit", 0)?).unwrap_or(0);
+                    let entries = scratch::wal::inspect(std::path::Path::new(dir), limit)
+                        .map_err(|e| format!("{dir}: {e}"))?;
+                    println!("{:>7} {:>10}  record", "segment", "offset");
+                    for e in &entries {
+                        println!("{:>7} {:>10}  {}", e.segment, e.offset, e.summary);
+                    }
+                    println!("{} frames", entries.len());
+                    Ok(())
+                }
+                "verify" => {
+                    let report = scratch::wal::verify(std::path::Path::new(dir))
+                        .map_err(|e| format!("{dir}: {e}"))?;
+                    if args.iter().any(|a| a == "--json") {
+                        println!("{}", serde_json::to_string_pretty(&report).unwrap());
+                    } else {
+                        println!(
+                            "{dir}: {} segments, {} frames ({} admitted / {} completed / {} checkpoints)",
+                            report.segments,
+                            report.frames,
+                            report.admitted,
+                            report.completed,
+                            report.checkpoints
+                        );
+                        println!(
+                            "unfinished {} | duplicate completions {} | orphan completions {}",
+                            report.unfinished,
+                            report.duplicate_completions,
+                            report.orphan_completions
+                        );
+                        if let Some(damage) = &report.damage {
+                            println!("damage: {damage:?}");
+                        }
+                    }
+                    if report.clean() {
+                        println!("wal verify: clean");
+                        Ok(())
+                    } else {
+                        Err("wal verify: log is not clean".to_owned())
+                    }
+                }
+                other => Err(format!("unknown wal verb `{other}` (inspect|verify)")),
+            }
+        }
+        "chaos" => {
+            let defaults = ChaosPlan::default();
+            let wal_dir = flag_value(&args, "--wal-dir").cloned().map_or_else(
+                || std::env::temp_dir().join(format!("scratch-chaos-{}", std::process::id())),
+                std::path::PathBuf::from,
+            );
+            let default_dir = flag_value(&args, "--wal-dir").is_none();
+            if default_dir {
+                // A stale default dir would make the audit see jobs from a
+                // previous campaign.
+                let _ = std::fs::remove_dir_all(&wal_dir);
+            }
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot locate own binary: {e}"))?
+                .display()
+                .to_string();
+            let plan = ChaosPlan {
+                seed: flag_u64(&args, "--seed", defaults.seed)?,
+                cycles: u32::try_from(flag_u64(&args, "--cycles", u64::from(defaults.cycles))?)
+                    .map_err(|_| "--cycles out of range".to_owned())?,
+                jobs: usize::try_from(flag_u64(&args, "--jobs", defaults.jobs as u64)?)
+                    .unwrap_or(defaults.jobs),
+                clients: usize::try_from(flag_u64(&args, "--clients", defaults.clients as u64)?)
+                    .unwrap_or(defaults.clients),
+                tenants: usize::try_from(flag_u64(&args, "--tenants", defaults.tenants as u64)?)
+                    .unwrap_or(defaults.tenants),
+                addr: flag_value(&args, "--addr")
+                    .cloned()
+                    .unwrap_or(defaults.addr),
+                wal_dir,
+                quantum: flag_u64(&args, "--quantum", defaults.quantum)?.max(1),
+                uptime_ms: defaults.uptime_ms,
+                mid_append_every: u32::try_from(flag_u64(
+                    &args,
+                    "--mid-append-every",
+                    u64::from(defaults.mid_append_every),
+                )?)
+                .map_err(|_| "--mid-append-every out of range".to_owned())?,
+                daemon: vec![
+                    exe,
+                    "serve".to_owned(),
+                    "--workers".to_owned(),
+                    "2".to_owned(),
+                    "--queue-cap".to_owned(),
+                    "256".to_owned(),
+                    "--tenant-cap".to_owned(),
+                    "64".to_owned(),
+                ],
+            };
+            println!(
+                "chaos: daemon at {}, wal in {}, seed {}",
+                plan.addr,
+                plan.wal_dir.display(),
+                plan.seed
+            );
+            let report = run_chaos(&plan).map_err(|e| e.to_string())?;
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", serde_json::to_string_pretty(&report).unwrap());
+            } else {
+                println!("{}", report.summary());
+            }
+            if report.ok() {
+                if default_dir {
+                    let _ = std::fs::remove_dir_all(&plan.wal_dir);
+                }
+                Ok(())
+            } else {
+                Err(format!(
+                    "chaos: exactly-once VIOLATED (log kept at {})",
+                    plan.wal_dir.display()
+                ))
+            }
+        }
         _ => {
             println!(
                 "scratch-tool — SCRATCH soft-GPGPU toolchain\n\
@@ -925,6 +1105,8 @@ fn real_main() -> Result<(), String> {
                  \x20          [--rate R] [--burst B] [--quantum CYCLES]\n\
                  \x20          [--metrics-addr HOST:PORT]\n\
                  \x20          [--spans] [--spans-out FILE] [--spans-chrome FILE] [--profile]\n\
+                 \x20          [--wal-dir DIR] [--wal-fsync always|never|MS]\n\
+                 \x20          [--wal-segment-bytes N] [--idle-timeout-ms N]\n\
                  \x20                            multi-tenant kernel-execution daemon (JSONL/TCP,\n\
                  \x20                            token-bucket quotas, typed load shedding,\n\
                  \x20                            preemptive execution in --quantum-cycle slices\n\
@@ -933,6 +1115,11 @@ fn real_main() -> Result<(), String> {
                  \x20                            and exported as JSONL / Chrome trace at drain);\n\
                  \x20                            --profile aggregates per-tenant instruction\n\
                  \x20                            signatures (see ctl top);\n\
+                 \x20                            --wal-dir journals admissions/completions to a\n\
+                 \x20                            crash-safe write-ahead log and replays unfinished\n\
+                 \x20                            jobs exactly once on restart (recovery report on\n\
+                 \x20                            stdout); --idle-timeout-ms sheds connections with\n\
+                 \x20                            no request and no job in flight;\n\
                  \x20                            exits 0 after a graceful drain\n\
                  \x20 load     [--addr HOST:PORT] [--clients 1,2,4,...] [--duration-ms N]\n\
                  \x20          [--seed S] [--kernels N] [--tenants N] [--out FILE]\n\
@@ -945,6 +1132,19 @@ fn real_main() -> Result<(), String> {
                  \x20                            mid-flight job on a daemon; top prints per-tenant\n\
                  \x20                            queues, rolling SLO quantiles, budget burn and\n\
                  \x20                            the aggregated instruction profile\n\
+                 \x20 wal      inspect <dir> [--limit N] | verify <dir> [--json]\n\
+                 \x20                            audit a write-ahead log offline: inspect lists\n\
+                 \x20                            frames in log order, verify checks framing CRCs\n\
+                 \x20                            and the exactly-once ledger (non-zero exit on\n\
+                 \x20                            damage, duplicates or orphans)\n\
+                 \x20 chaos    [--seed S] [--cycles N] [--jobs N] [--clients N] [--tenants N]\n\
+                 \x20          [--addr HOST:PORT] [--wal-dir DIR] [--quantum CYCLES]\n\
+                 \x20          [--mid-append-every N] [--json]\n\
+                 \x20                            crash-recovery campaign: SIGKILL a WAL-backed\n\
+                 \x20                            serve daemon at seeded points under load (every\n\
+                 \x20                            Nth kill torn mid-append), restart it, and fail\n\
+                 \x20                            unless every acked job completed exactly once\n\
+                 \x20                            with digests bit-identical to direct runs\n\
                  \x20 serve-metrics [--addr HOST:PORT] [--once]\n\
                  \x20                                   warm up the simulators, then serve the\n\
                  \x20                                   metrics registry as Prometheus text and\n\

@@ -34,7 +34,12 @@
 //!   (basic-block translation, compiled wavefront executor);
 //! * [`profile`] — the observability spine: per-job span timelines,
 //!   per-kernel instruction signatures with minimal-trim-preset mapping,
-//!   and rolling-window SLO telemetry.
+//!   and rolling-window SLO telemetry;
+//! * [`wal`] — the durability spine: a CRC-framed write-ahead log of
+//!   admissions, completions and checkpoints with configurable fsync
+//!   policy, segment rotation, torn-tail recovery and offline
+//!   inspect/verify audits — what lets `serve` survive `kill -9` with
+//!   exactly-once completion of every acked job.
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
@@ -53,3 +58,4 @@ pub use scratch_profile as profile;
 pub use scratch_serve as serve;
 pub use scratch_system as system;
 pub use scratch_trace as trace;
+pub use scratch_wal as wal;
